@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks: the *real* (wall-clock) cost of the DFM
+//! indirection vs a static call table — the mechanism behind the paper's
+//! E1 overhead claim, measured on today's hardware rather than the 400 MHz
+//! Pentium II of the Centurion testbed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcdo_core::Dfm;
+use dcdo_sim::SimDuration;
+use dcdo_types::{ComponentId, VersionId};
+use dcdo_vm::{
+    CallOrigin, CallResolver, NativeRegistry, RunOutcome, StaticResolver, Value, ValueStore,
+    VmThread,
+};
+use dcdo_workloads::{kernel_function, ComponentSuite, SuiteSpec};
+use std::hint::black_box;
+
+fn static_resolver() -> StaticResolver {
+    let mut r = StaticResolver::new();
+    r.insert(kernel_function("leaf", 0), ComponentId::from_raw(1));
+    r
+}
+
+fn dfm_with(functions: usize, components: usize) -> Dfm {
+    let mut dfm = Dfm::new(
+        VersionId::root(),
+        (SimDuration::ZERO, SimDuration::ZERO),
+        7,
+    );
+    let spec = SuiteSpec {
+        total_functions: functions.max(components),
+        components,
+        work_nanos: 0,
+        static_data_size: 0,
+        first_component_id: 10,
+    };
+    for comp in ComponentSuite::generate(&spec).components() {
+        dfm.incorporate_component(comp, None).expect("incorporates");
+        for f in comp.functions() {
+            dfm.enable_function(f.name(), comp.id()).expect("enables");
+        }
+    }
+    // The benched function itself.
+    let leaf = dcdo_vm::ComponentBuilder::new(ComponentId::from_raw(1), "leaf")
+        .exported_fn(kernel_function("leaf", 0))
+        .build()
+        .expect("valid");
+    dfm.incorporate_component(&leaf, None).expect("incorporates");
+    dfm.enable_function(&"leaf".into(), ComponentId::from_raw(1))
+        .expect("enables");
+    dfm
+}
+
+fn run_leaf(resolver: &mut dyn CallResolver, natives: &NativeRegistry, globals: &mut ValueStore) {
+    let mut t = VmThread::call(
+        resolver,
+        &"leaf".into(),
+        vec![Value::Int(1)],
+        CallOrigin::External,
+    )
+    .expect("starts");
+    match t.run(resolver, natives, globals, 1_000) {
+        RunOutcome::Completed(v) => {
+            black_box(v);
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let natives = NativeRegistry::standard();
+    let mut group = c.benchmark_group("dispatch");
+
+    let mut static_r = static_resolver();
+    let mut globals = ValueStore::new();
+    group.bench_function("static_table_call", |b| {
+        b.iter(|| run_leaf(&mut static_r, &natives, &mut globals));
+    });
+
+    for (functions, components) in [(10usize, 1usize), (100, 10), (500, 50)] {
+        let mut dfm = dfm_with(functions, components);
+        group.bench_with_input(
+            BenchmarkId::new("dfm_call", format!("{functions}fns_{components}comps")),
+            &(),
+            |b, ()| {
+                b.iter(|| run_leaf(&mut dfm, &natives, &mut globals));
+            },
+        );
+    }
+
+    // Pure resolution (no interpretation): the indirection alone.
+    let mut dfm = dfm_with(500, 50);
+    group.bench_function("dfm_resolve_only", |b| {
+        b.iter(|| {
+            let r = dfm.resolve(&"leaf".into(), CallOrigin::External);
+            black_box(r.is_ok());
+        });
+    });
+    let mut static_r = static_resolver();
+    group.bench_function("static_resolve_only", |b| {
+        b.iter(|| {
+            let r = static_r.resolve(&"leaf".into(), CallOrigin::External);
+            black_box(r.is_ok());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Criterion micro-benchmarks for the model's bookkeeping operations:
+//! descriptor configuration, dependency validation (ablation A2),
+//! component encode/decode, and state capture — the real costs of the
+//! machinery the simulation charges in virtual time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcdo_core::DfmDescriptor;
+use dcdo_types::{ComponentId, Dependency, VersionId};
+use dcdo_vm::{ComponentBinary, ValueStore};
+use dcdo_workloads::{ComponentSuite, SuiteSpec};
+use std::hint::black_box;
+
+fn descriptor_with(functions: usize, components: usize) -> (DfmDescriptor, Vec<ComponentBinary>) {
+    let spec = SuiteSpec {
+        total_functions: functions,
+        components,
+        work_nanos: 0,
+        static_data_size: 0,
+        first_component_id: 1,
+    };
+    let suite = ComponentSuite::generate(&spec);
+    let mut d = DfmDescriptor::new(VersionId::root());
+    for comp in suite.components() {
+        d.incorporate_component(&comp.descriptor(), None)
+            .expect("incorporates");
+        for f in comp.functions() {
+            d.enable_function(f.name(), comp.id()).expect("enables");
+        }
+    }
+    (d, suite.into_components())
+}
+
+fn bench_descriptor_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("descriptor");
+
+    // Incorporation cost vs descriptor size.
+    for size in [10usize, 100, 500] {
+        let (d, _) = descriptor_with(size, size / 10 + 1);
+        let extra = ComponentSuite::generate(&SuiteSpec {
+            total_functions: 10,
+            components: 1,
+            work_nanos: 0,
+            static_data_size: 0,
+            first_component_id: 900,
+        });
+        let comp = extra.components()[0].descriptor();
+        group.bench_with_input(BenchmarkId::new("incorporate", size), &(), |b, ()| {
+            b.iter(|| {
+                let mut d2 = d.clone();
+                d2.incorporate_component(&comp, None).expect("incorporates");
+                black_box(d2.component_count());
+            });
+        });
+    }
+
+    // Enable/disable round-trip.
+    let (d, _) = descriptor_with(100, 10);
+    let name = dcdo_types::FunctionName::new(ComponentSuite::function_name(0, 0));
+    let comp0 = ComponentId::from_raw(1);
+    group.bench_function("enable_disable_cycle", |b| {
+        b.iter(|| {
+            let mut d2 = d.clone();
+            d2.disable_function(&name).expect("disables");
+            d2.enable_function(&name, comp0).expect("enables");
+            black_box(d2.function_count());
+        });
+    });
+
+    // A2 ablation: validation cost vs dependency-set size.
+    for deps in [10usize, 100, 500] {
+        let (mut d, _) = descriptor_with(deps + 1, deps / 10 + 1);
+        let names: Vec<String> = d
+            .functions()
+            .map(|(n, _)| n.as_str().to_owned())
+            .collect();
+        for i in 0..deps {
+            let from = &names[i % names.len()];
+            let to = &names[(i + 1) % names.len()];
+            d.add_dependency(Dependency::type_d(from.as_str(), to.as_str()))
+                .expect("holds");
+        }
+        group.bench_with_input(BenchmarkId::new("validate_deps", deps), &(), |b, ()| {
+            b.iter(|| {
+                black_box(d.validate().is_ok());
+            });
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for fns in [10usize, 100] {
+        let suite = ComponentSuite::generate(&SuiteSpec {
+            total_functions: fns,
+            components: 1,
+            work_nanos: 0,
+            static_data_size: 0,
+            first_component_id: 1,
+        });
+        let comp = &suite.components()[0];
+        let encoded = comp.encode();
+        group.bench_with_input(BenchmarkId::new("encode", fns), &(), |b, ()| {
+            b.iter(|| black_box(comp.encode().len()));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", fns), &(), |b, ()| {
+            b.iter(|| {
+                let decoded = ComponentBinary::decode(encoded.clone()).expect("decodes");
+                black_box(decoded.functions().len());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state");
+    let mut store = ValueStore::new();
+    for i in 0..100 {
+        store.set(format!("slot{i}"), dcdo_vm::Value::Int(i));
+    }
+    let blob = store.capture();
+    group.bench_function("capture_100_slots", |b| {
+        b.iter(|| black_box(store.capture().len()));
+    });
+    group.bench_function("restore_100_slots", |b| {
+        b.iter(|| {
+            let restored = ValueStore::restore(blob.clone()).expect("restores");
+            black_box(restored.len());
+        });
+    });
+    group.finish();
+}
+
+fn bench_versions_and_asm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("versions");
+    // Deep version-tree derivation and ancestry checks.
+    let mut deep = dcdo_types::VersionId::root();
+    for i in 0..32 {
+        deep = deep.child(i % 7 + 1);
+    }
+    let root = dcdo_types::VersionId::root();
+    group.bench_function("derive_chain_32", |b| {
+        b.iter(|| {
+            let mut v = dcdo_types::VersionId::root();
+            for i in 0..32 {
+                v = v.child(i % 7 + 1);
+            }
+            black_box(v.depth());
+        });
+    });
+    group.bench_function("is_derived_from_depth32", |b| {
+        b.iter(|| black_box(deep.is_derived_from(&root)));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("asm");
+    let suite = ComponentSuite::generate(&SuiteSpec {
+        total_functions: 20,
+        components: 1,
+        work_nanos: 0,
+        static_data_size: 0,
+        first_component_id: 1,
+    });
+    let comp = &suite.components()[0];
+    let text = dcdo_vm::disassemble(comp);
+    group.bench_function("disassemble_20fns", |b| {
+        b.iter(|| black_box(dcdo_vm::disassemble(comp).len()));
+    });
+    group.bench_function("assemble_20fns", |b| {
+        b.iter(|| {
+            let c = dcdo_vm::assemble(&text).expect("assembles");
+            black_box(c.functions().len());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_descriptor_ops,
+    bench_codec,
+    bench_state,
+    bench_versions_and_asm
+);
+criterion_main!(benches);

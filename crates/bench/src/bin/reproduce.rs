@@ -1,0 +1,73 @@
+//! Regenerates the paper's evaluation tables in simulated time.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [--seed N] [--quick] [e1 e2 ...]
+//! ```
+//!
+//! With no experiment arguments, all of E1–E7 run. `--quick` shrinks trial
+//! counts and sweep sizes for fast smoke runs.
+
+use std::env;
+
+use dcdo_bench::experiments;
+
+fn main() {
+    let mut seed = 42u64;
+    let mut quick = false;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            "--quick" => quick = true,
+            other => selected.push(other.to_lowercase()),
+        }
+    }
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+
+    println!("# DCDO reproduction — paper evaluation tables (simulated time)");
+    println!();
+    println!(
+        "seed = {seed}; testbed = 16 nodes, 100 Mbps switched Ethernet (calibrated); \
+         mode = {}",
+        if quick { "quick" } else { "full" }
+    );
+    println!();
+
+    if want("e1") {
+        println!("{}", experiments::e1(seed));
+    }
+    if want("e2") {
+        println!("{}", experiments::e2(seed));
+    }
+    if want("e3") {
+        println!("{}", experiments::e3(seed));
+    }
+    if want("e4") {
+        let trials = if quick { 4 } else { 12 };
+        println!("{}", experiments::e4(seed, trials));
+    }
+    if want("e5") {
+        println!("{}", experiments::e5(seed));
+    }
+    if want("e6") {
+        println!("{}", experiments::e6(seed));
+    }
+    if want("e7") {
+        let sizes: &[usize] = if quick { &[4, 16] } else { &[4, 16, 64] };
+        println!("{}", experiments::e7(seed, sizes));
+    }
+    if want("e8") {
+        println!("{}", experiments::e8(seed));
+    }
+    if want("a1") && !quick {
+        println!("{}", experiments::a1(seed));
+    }
+}

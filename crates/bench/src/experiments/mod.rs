@@ -1,0 +1,11 @@
+//! The reproduction experiments, one per claim of the paper's §4.
+
+mod cost;
+mod ext;
+mod perf;
+mod policy;
+
+pub use cost::{assert_counter_still_works, counter_fleet_for_tests, e4, e5, e6};
+pub use ext::{a1, e8};
+pub use perf::{e1, e2, e3, single_instance};
+pub use policy::e7;

@@ -1,0 +1,129 @@
+//! Result tables in the shape the paper reports them.
+
+use std::fmt;
+
+/// One reproduced experiment's output table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id, e.g. `"E3"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The paper's claim this table reproduces (verbatim-ish).
+    pub paper_claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict comparing shape with the paper.
+    pub verdict: String,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(id: &str, title: &str, paper_claim: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            paper_claim: paper_claim.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    /// Adds a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Sets the verdict line.
+    pub fn verdict(&mut self, v: impl Into<String>) {
+        self.verdict = v.into();
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        writeln!(f)?;
+        writeln!(f, "Paper: {}", self.paper_claim)?;
+        writeln!(f)?;
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let line = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:width$} |", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(&self.headers, f)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            line(r, f)?;
+        }
+        if !self.verdict.is_empty() {
+            writeln!(f)?;
+            writeln!(f, "Verdict: {}", self.verdict)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a seconds value compactly.
+pub fn secs(v: f64) -> String {
+    if v >= 1.0 {
+        format!("{v:.2} s")
+    } else if v >= 1e-3 {
+        format!("{:.2} ms", v * 1e3)
+    } else {
+        format!("{:.1} us", v * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new("E0", "demo", "claim", &["a", "bee"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.verdict("shape holds");
+        let s = t.to_string();
+        assert!(s.contains("## E0"));
+        assert!(s.contains("| a "));
+        assert!(s.contains("shape holds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("E0", "demo", "claim", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn secs_formats_by_scale() {
+        assert_eq!(secs(2.5), "2.50 s");
+        assert_eq!(secs(0.0042), "4.20 ms");
+        assert_eq!(secs(0.0000123), "12.3 us");
+    }
+}

@@ -1,0 +1,484 @@
+//! The dynamic function mapper (§2).
+//!
+//! A `Dfm` is the centralized table through which all calls to dynamic
+//! functions go — the single level of indirection that enables dynamic
+//! configurability. It pairs a [`DfmDescriptor`] (the static shape) with
+//! runtime state: the *loaded* code of incorporated components and the
+//! per-implementation **active-thread counters** used for thread activity
+//! monitoring (§3.2). It implements
+//! [`CallResolver`], so the `dcdo-vm` interpreter resolves every `CallDyn`
+//! through it at call time.
+
+use std::collections::HashMap;
+
+use dcdo_sim::{SimDuration, SimRng};
+use dcdo_types::{ComponentId, FunctionName, VersionId};
+use dcdo_vm::{
+    CallOrigin, CallResolver, CodeBlock, ComponentBinary, ResolveError, ResolvedCall,
+};
+
+use crate::descriptor::{DfmDescriptor, ImplKey};
+use crate::error::ConfigError;
+
+/// The runtime dynamic function mapper of one DCDO.
+pub struct Dfm {
+    descriptor: DfmDescriptor,
+    loaded: HashMap<ComponentId, HashMap<FunctionName, CodeBlock>>,
+    counters: HashMap<ImplKey, u32>,
+    dispatch_band: (SimDuration, SimDuration),
+    rng: SimRng,
+    dispatches: u64,
+}
+
+impl Dfm {
+    /// Creates a DFM for a fresh (empty) implementation at `version`.
+    ///
+    /// `dispatch_band` is the simulated per-call indirection cost (the
+    /// paper's 10–15 µs); `seed` drives the jitter.
+    pub fn new(
+        version: VersionId,
+        dispatch_band: (SimDuration, SimDuration),
+        seed: u64,
+    ) -> Self {
+        Dfm {
+            descriptor: DfmDescriptor::new(version),
+            loaded: HashMap::new(),
+            counters: HashMap::new(),
+            dispatch_band,
+            rng: SimRng::seed_from_u64(seed),
+            dispatches: 0,
+        }
+    }
+
+    /// The descriptor describing the current configuration.
+    pub fn descriptor(&self) -> &DfmDescriptor {
+        &self.descriptor
+    }
+
+    /// The implementation version currently reflected.
+    pub fn version(&self) -> &VersionId {
+        self.descriptor.version()
+    }
+
+    /// Total dynamic calls resolved.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Active-thread count for the implementation of `function` in
+    /// `component`.
+    pub fn active_threads(&self, function: &FunctionName, component: ComponentId) -> u32 {
+        self.counters
+            .get(&ImplKey {
+                function: function.clone(),
+                component,
+            })
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total active threads across all implementations in `component` —
+    /// the disappearing-component check (§3.2).
+    pub fn component_active_threads(&self, component: ComponentId) -> u32 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.component == component)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// Returns `true` if any function that (transitively by one hop)
+    /// depends on `function` currently has active threads — used to
+    /// postpone disables under activity monitoring (§3.2).
+    pub fn dependents_active(&self, function: &FunctionName) -> bool {
+        self.descriptor.dependencies().iter().any(|dep| {
+            dep.target().function() == function
+                && self
+                    .counters
+                    .iter()
+                    .any(|(k, n)| *n > 0 && dep.source().matches(&k.function, k.component))
+        })
+    }
+
+    // ---- configuration (mechanism of §2.2) -----------------------------
+
+    /// Maps a component's code into the object and records it in the
+    /// descriptor. This is the "operating-system-specific mechanism for
+    /// mapping it into the DCDO's address space" (§2.3) of this
+    /// reproduction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor-level incorporation failures; the component is
+    /// validated before any state changes.
+    pub fn incorporate_component(
+        &mut self,
+        binary: &ComponentBinary,
+        ico: Option<dcdo_types::ObjectId>,
+    ) -> Result<(), ConfigError> {
+        binary
+            .validate()
+            .map_err(|e| ConfigError::BadComponent(e.to_string()))?;
+        self.descriptor
+            .incorporate_component(&binary.descriptor(), ico)?;
+        let code: HashMap<FunctionName, CodeBlock> = binary
+            .functions()
+            .iter()
+            .map(|f| (f.name().clone(), f.code().clone()))
+            .collect();
+        self.loaded.insert(binary.id(), code);
+        Ok(())
+    }
+
+    /// Unmaps a component.
+    ///
+    /// The *thread-activity* decision (error / delay / force) belongs to the
+    /// owning DCDO; this method enforces only the descriptor-level rules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor-level removal failures.
+    pub fn remove_component(&mut self, component: ComponentId) -> Result<(), ConfigError> {
+        self.descriptor.remove_component(component)?;
+        self.loaded.remove(&component);
+        Ok(())
+    }
+
+    /// Enables (or replaces) the implementation of `function` in
+    /// `component`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor-level failures.
+    pub fn enable_function(
+        &mut self,
+        function: &FunctionName,
+        component: ComponentId,
+    ) -> Result<(), ConfigError> {
+        self.descriptor.enable_function(function, component)
+    }
+
+    /// Disables `function`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates descriptor-level failures.
+    pub fn disable_function(&mut self, function: &FunctionName) -> Result<(), ConfigError> {
+        self.descriptor.disable_function(function)
+    }
+
+    /// Replaces the whole descriptor (bulk evolution), keeping loaded code.
+    ///
+    /// The caller must have already loaded every component the new
+    /// descriptor enables; [`ConfigError::ComponentNotPresent`] is returned
+    /// otherwise. Thread counters survive: threads keep running in
+    /// (possibly now-disabled) code, exactly as §3.2 allows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ComponentNotPresent`] if a required component
+    /// is not loaded, or a validation error if the descriptor is internally
+    /// inconsistent.
+    pub fn apply_descriptor(&mut self, descriptor: DfmDescriptor) -> Result<(), ConfigError> {
+        descriptor.validate()?;
+        for (component, _) in descriptor.components() {
+            if !self.loaded.contains_key(&component) {
+                return Err(ConfigError::ComponentNotPresent(component));
+            }
+        }
+        // Unload components the new descriptor no longer references.
+        let keep: Vec<ComponentId> = descriptor.components().map(|(c, _)| c).collect();
+        self.loaded.retain(|c, _| keep.contains(c));
+        self.descriptor = descriptor;
+        Ok(())
+    }
+
+    /// Loads component code without descriptor changes (staging step of a
+    /// bulk evolution: data arrives first, the descriptor swap is atomic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadComponent`] if the binary fails validation.
+    pub fn stage_component(&mut self, binary: &ComponentBinary) -> Result<(), ConfigError> {
+        binary
+            .validate()
+            .map_err(|e| ConfigError::BadComponent(e.to_string()))?;
+        let code: HashMap<FunctionName, CodeBlock> = binary
+            .functions()
+            .iter()
+            .map(|f| (f.name().clone(), f.code().clone()))
+            .collect();
+        self.loaded.insert(binary.id(), code);
+        Ok(())
+    }
+
+    /// Returns `true` if the component's code is loaded.
+    pub fn is_loaded(&self, component: ComponentId) -> bool {
+        self.loaded.contains_key(&component)
+    }
+
+    /// Applies a scoped mutation to the descriptor (protections,
+    /// dependencies, visibility — operations with no runtime side effects).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the mutation's error.
+    pub fn with_descriptor_mut(
+        &mut self,
+        f: impl FnOnce(&mut DfmDescriptor) -> Result<(), ConfigError>,
+    ) -> Result<(), ConfigError> {
+        f(&mut self.descriptor)
+    }
+}
+
+impl CallResolver for Dfm {
+    fn resolve(
+        &mut self,
+        function: &FunctionName,
+        origin: CallOrigin,
+    ) -> Result<ResolvedCall, ResolveError> {
+        let record = self
+            .descriptor
+            .function(function)
+            .ok_or(ResolveError::Missing)?;
+        if origin == CallOrigin::External && !record.visibility().is_exported() {
+            return Err(ResolveError::NotExported);
+        }
+        let component = record.enabled().ok_or(ResolveError::Disabled)?;
+        let code = self
+            .loaded
+            .get(&component)
+            .and_then(|m| m.get(function))
+            .ok_or(ResolveError::Missing)?;
+        self.dispatches += 1;
+        Ok(ResolvedCall {
+            code: code.clone(),
+            component,
+        })
+    }
+
+    fn enter(&mut self, function: &FunctionName, component: ComponentId) {
+        *self
+            .counters
+            .entry(ImplKey {
+                function: function.clone(),
+                component,
+            })
+            .or_insert(0) += 1;
+    }
+
+    fn exit(&mut self, function: &FunctionName, component: ComponentId) {
+        let key = ImplKey {
+            function: function.clone(),
+            component,
+        };
+        let n = self.counters.entry(key).or_insert(0);
+        debug_assert!(*n > 0, "thread-activity counter underflow");
+        *n = n.saturating_sub(1);
+    }
+
+    fn dispatch_cost_nanos(&mut self) -> u64 {
+        self.rng
+            .duration_between(self.dispatch_band.0, self.dispatch_band.1)
+            .as_nanos()
+    }
+}
+
+impl std::fmt::Debug for Dfm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dfm")
+            .field("version", self.descriptor.version())
+            .field("functions", &self.descriptor.function_count())
+            .field("components", &self.descriptor.component_count())
+            .field("dispatches", &self.dispatches)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcdo_types::Visibility;
+    use dcdo_vm::{
+        ComponentBuilder, NativeRegistry, RunOutcome, Value, ValueStore, VmThread,
+    };
+
+    use super::*;
+
+    fn band() -> (SimDuration, SimDuration) {
+        (SimDuration::from_micros(10), SimDuration::from_micros(15))
+    }
+
+    fn math_component(id: u64) -> ComponentBinary {
+        ComponentBuilder::new(ComponentId::from_raw(id), format!("math-{id}"))
+            .exported("double(int) -> int", |b| {
+                b.load_arg(0).push_int(2).mul().ret()
+            })
+            .expect("double")
+            .internal("helper() -> int", |b| b.push_int(7).ret())
+            .expect("helper")
+            .build()
+            .expect("valid")
+    }
+
+    fn ready_dfm() -> Dfm {
+        let mut dfm = Dfm::new("1".parse().expect("version"), band(), 7);
+        let comp = math_component(1);
+        dfm.incorporate_component(&comp, None).expect("incorporates");
+        dfm.enable_function(&"double".into(), ComponentId::from_raw(1))
+            .expect("enable double");
+        dfm.enable_function(&"helper".into(), ComponentId::from_raw(1))
+            .expect("enable helper");
+        dfm
+    }
+
+    #[test]
+    fn resolve_enforces_visibility_and_enablement() {
+        let mut dfm = ready_dfm();
+        assert!(dfm.resolve(&"double".into(), CallOrigin::External).is_ok());
+        assert_eq!(
+            dfm.resolve(&"helper".into(), CallOrigin::External).unwrap_err(),
+            ResolveError::NotExported
+        );
+        assert!(dfm.resolve(&"helper".into(), CallOrigin::Internal).is_ok());
+        assert_eq!(
+            dfm.resolve(&"ghost".into(), CallOrigin::Internal).unwrap_err(),
+            ResolveError::Missing
+        );
+        dfm.disable_function(&"double".into()).expect("disable");
+        assert_eq!(
+            dfm.resolve(&"double".into(), CallOrigin::External).unwrap_err(),
+            ResolveError::Disabled
+        );
+        assert_eq!(dfm.dispatches(), 2);
+    }
+
+    #[test]
+    fn full_call_through_the_dfm() {
+        let mut dfm = ready_dfm();
+        let mut thread = VmThread::call(
+            &mut dfm,
+            &"double".into(),
+            vec![Value::Int(21)],
+            CallOrigin::External,
+        )
+        .expect("starts");
+        let outcome = thread.run(&mut dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+        assert_eq!(outcome, RunOutcome::Completed(Value::Int(42)));
+        assert!(thread.take_consumed_nanos() >= 10_000, "dispatch cost charged");
+        assert_eq!(dfm.active_threads(&"double".into(), ComponentId::from_raw(1)), 0);
+    }
+
+    #[test]
+    fn dispatch_cost_stays_in_band() {
+        let mut dfm = ready_dfm();
+        for _ in 0..100 {
+            let c = dfm.dispatch_cost_nanos();
+            assert!((10_000..=15_000).contains(&c), "{c}");
+        }
+    }
+
+    #[test]
+    fn counters_track_enters_and_exits() {
+        let mut dfm = ready_dfm();
+        let c1 = ComponentId::from_raw(1);
+        dfm.enter(&"double".into(), c1);
+        dfm.enter(&"double".into(), c1);
+        dfm.enter(&"helper".into(), c1);
+        assert_eq!(dfm.active_threads(&"double".into(), c1), 2);
+        assert_eq!(dfm.component_active_threads(c1), 3);
+        dfm.exit(&"double".into(), c1);
+        dfm.exit(&"double".into(), c1);
+        dfm.exit(&"helper".into(), c1);
+        assert_eq!(dfm.component_active_threads(c1), 0);
+    }
+
+    #[test]
+    fn dependents_active_detects_blocked_disable() {
+        let mut dfm = ready_dfm();
+        let c1 = ComponentId::from_raw(1);
+        // double depends on helper; a thread is inside double.
+        dfm.descriptor
+            .add_dependency(dcdo_types::Dependency::type_a("double", c1, "helper"))
+            .expect("dep");
+        assert!(!dfm.dependents_active(&"helper".into()));
+        dfm.enter(&"double".into(), c1);
+        assert!(dfm.dependents_active(&"helper".into()));
+        assert!(!dfm.dependents_active(&"double".into()));
+        dfm.exit(&"double".into(), c1);
+        assert!(!dfm.dependents_active(&"helper".into()));
+    }
+
+    #[test]
+    fn apply_descriptor_requires_staged_code() {
+        let mut dfm = ready_dfm();
+        // Build a target descriptor with a second component.
+        let comp2 = ComponentBuilder::new(ComponentId::from_raw(2), "math-2")
+            .exported("triple(int) -> int", |b| {
+                b.load_arg(0).push_int(3).mul().ret()
+            })
+            .expect("triple")
+            .build()
+            .expect("valid");
+        let mut target = dfm.descriptor().clone().with_version("1.1".parse().expect("v"));
+        target
+            .incorporate_component(&comp2.descriptor(), None)
+            .expect("incorporate");
+        target
+            .enable_function(&"triple".into(), ComponentId::from_raw(2))
+            .expect("enable");
+
+        // Without staging the code, the swap is refused.
+        assert_eq!(
+            dfm.apply_descriptor(target.clone()),
+            Err(ConfigError::ComponentNotPresent(ComponentId::from_raw(2)))
+        );
+        dfm.stage_component(&comp2).expect("staged");
+        dfm.apply_descriptor(target).expect("swap succeeds");
+        assert_eq!(dfm.version(), &"1.1".parse::<VersionId>().expect("v"));
+        assert!(dfm.resolve(&"triple".into(), CallOrigin::External).is_ok());
+    }
+
+    #[test]
+    fn apply_descriptor_unloads_dropped_components() {
+        let mut dfm = ready_dfm();
+        let empty = DfmDescriptor::new("2".parse().expect("v"));
+        dfm.apply_descriptor(empty).expect("swap to empty");
+        assert!(!dfm.is_loaded(ComponentId::from_raw(1)));
+        assert_eq!(
+            dfm.resolve(&"double".into(), CallOrigin::External).unwrap_err(),
+            ResolveError::Missing
+        );
+    }
+
+    #[test]
+    fn removing_component_unloads_code() {
+        let mut dfm = ready_dfm();
+        let c1 = ComponentId::from_raw(1);
+        assert!(dfm.is_loaded(c1));
+        dfm.remove_component(c1).expect("removes");
+        assert!(!dfm.is_loaded(c1));
+        assert_eq!(
+            dfm.resolve(&"double".into(), CallOrigin::External).unwrap_err(),
+            ResolveError::Missing
+        );
+    }
+
+    #[test]
+    fn invalid_component_is_rejected_before_any_change() {
+        let dfm = Dfm::new("1".parse().expect("v"), band(), 1);
+        // A component with out-of-range code is invalid.
+        let bad = ComponentBuilder::new(ComponentId::from_raw(3), "bad")
+            .exported_fn(dcdo_vm::CodeBlock::new(
+                "f() -> unit".parse().expect("sig"),
+                0,
+                vec![dcdo_vm::Instr::Jump(99)],
+            ))
+            .build();
+        // The builder itself refuses; simulate a hand-built bad binary via
+        // the builder bypass not being available — validation also guards
+        // incorporate_component.
+        assert!(bad.is_err());
+        assert_eq!(dfm.descriptor().component_count(), 0);
+        let _ = Visibility::Exported;
+    }
+}

@@ -1,0 +1,1224 @@
+//! DCDO Managers (§2.4).
+//!
+//! A DCDO Manager maintains the implementation components and versions for
+//! one object type and evolves the DCDOs under its control. Its two primary
+//! data structures are:
+//!
+//! - the **DFM store**: versioned [`DfmDescriptor`]s, each *configurable*
+//!   (editable, not instantiable) or *instantiable* (frozen, usable to
+//!   create and evolve DCDOs) — the `<Manager, VersionId>` pair uniquely
+//!   identifies an interface and implementation;
+//! - the **DCDO table**: the version and implementation type of every
+//!   instance.
+//!
+//! The manager implements the version-legality rules of §3.4–3.5
+//! ([`VersionPolicy`]) and the push side of update propagation
+//! ([`UpdatePropagation::Proactive`] evolves every instance when a new
+//! current version is designated). The pull side (lazy checks) is served
+//! through [`CheckVersion`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use dcdo_sim::{Actor, ActorId, Ctx, NodeId, SimTime};
+use dcdo_types::{CallId, ClassId, ImplementationType, ObjectId, VersionId};
+use legion_substrate::binding::{RegisterBinding, UnregisterBinding};
+use legion_substrate::monolithic::{CaptureState, Deactivate, RestoreState, StateBlob};
+use legion_substrate::{
+    Ack, AgentAddress, ControlPayload, CostModel, Handled, InvocationFault, Msg, RpcClient,
+    RpcCompletion,
+};
+
+use crate::descriptor::DfmDescriptor;
+use crate::error::ConfigError;
+use crate::hosts::HostDirectory;
+use crate::object::DcdoObject;
+use crate::ops::{
+    ActivateDcdo, ApplyDfmDescriptor, CheckVersion, ConfigureVersion, CreateDcdo, DcdoCreated,
+    DcdoTable, DeactivateDcdo, DeriveVersion, DerivedVersion, ListDcdos, MarkInstantiable,
+    ListVersions, MigrateDcdo, MigrateDone, QueryVersionInfo, ReadComponentDescriptor,
+    ReportVersion, SetCurrentVersion, UpdateInstance, UpdateDone, VersionCheckReply,
+    VersionConfigOp, VersionInfo, VersionTable,
+};
+
+/// Which evolutions between versions are legal (§3.4–3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VersionPolicy {
+    /// Exactly one official version at a time; instances evolve only to it.
+    SingleVersion,
+    /// Instances never evolve; new versions apply only to new instances.
+    MultiNoUpdate,
+    /// Instances evolve only to versions derived from their current one
+    /// (the version tree's descendants).
+    MultiIncreasingVersion,
+    /// Instances may evolve to any instantiable version.
+    MultiGeneralEvolution,
+    /// Any instantiable version, provided mandatory functions survive and
+    /// permanent implementations are preserved (the hybrid of §3.5).
+    MultiHybrid,
+}
+
+/// When the manager pushes updates to instances (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdatePropagation {
+    /// Designating a new current version immediately updates all instances.
+    Proactive,
+    /// Updates happen only via explicit [`UpdateInstance`] calls (or lazy
+    /// pulls from the DCDOs themselves).
+    Explicit,
+}
+
+#[derive(Debug, Clone)]
+struct VersionEntry {
+    descriptor: DfmDescriptor,
+    instantiable: bool,
+}
+
+#[derive(Debug, Clone)]
+struct DcdoInfo {
+    actor: ActorId,
+    node: NodeId,
+    version: VersionId,
+    impl_type: ImplementationType,
+    /// `Some(state)` while the instance is deactivated (state parked here).
+    parked_state: Option<Bytes>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MgrStep {
+    Capture,
+    Deactivate,
+    Unregister,
+    Spawn,
+    Register,
+    Apply,
+    Restore,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MgrKind {
+    Create,
+    Update,
+    Migrate,
+    Deactivate,
+    Activate,
+}
+
+/// A queued (serialized) update request: reply channel, explicit target,
+/// and retry count.
+type QueuedUpdate = (Option<(ActorId, CallId)>, Option<VersionId>, u32);
+
+struct MgrFlow {
+    kind: MgrKind,
+    reply: Option<(ActorId, CallId)>,
+    object: ObjectId,
+    version: VersionId,
+    target_node: NodeId,
+    state: Option<Bytes>,
+    new_actor: Option<ActorId>,
+    step: MgrStep,
+    started: SimTime,
+    /// Push attempts already burned (supervised internal updates retry).
+    retries: u32,
+}
+
+/// The manager object for one DCDO type.
+pub struct DcdoManager {
+    object: ObjectId,
+    class: ClassId,
+    cost: CostModel,
+    agent: AgentAddress,
+    rpc: RpcClient,
+    hosts: HostDirectory,
+    store: BTreeMap<VersionId, VersionEntry>,
+    branch_counters: HashMap<VersionId, u32>,
+    current: VersionId,
+    table: HashMap<ObjectId, DcdoInfo>,
+    version_policy: VersionPolicy,
+    propagation: UpdatePropagation,
+    flows: HashMap<u64, MgrFlow>,
+    rpc_routes: HashMap<u64, u64>,
+    timer_routes: HashMap<u64, u64>,
+    // Supervised update retries: timer token -> (object, target, attempt).
+    retry_updates: HashMap<u64, (ObjectId, VersionId, u32)>,
+    // Per-instance serialization of update flows: an instance has at most
+    // one Apply in flight; later requests queue here. Without this, two
+    // overlapping pushes can complete out of order and roll the instance
+    // back to the older version.
+    updates_in_flight: std::collections::HashSet<ObjectId>,
+    queued_updates: HashMap<ObjectId, std::collections::VecDeque<QueuedUpdate>>,
+    // ConfigureVersion incorporations awaiting an ICO descriptor:
+    // rpc call -> (reply_to, call, version, ico).
+    pending_incorporations: HashMap<u64, (ActorId, CallId, VersionId, ObjectId)>,
+}
+
+impl DcdoManager {
+    /// Creates a manager whose DFM store starts with an empty, configurable
+    /// root version `1`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        object: ObjectId,
+        class: ClassId,
+        cost: CostModel,
+        agent: AgentAddress,
+        hosts: HostDirectory,
+        version_policy: VersionPolicy,
+        propagation: UpdatePropagation,
+    ) -> Self {
+        let root = VersionId::root();
+        let mut store = BTreeMap::new();
+        store.insert(root.clone(), VersionEntry {
+            descriptor: DfmDescriptor::new(root.clone()),
+            instantiable: false,
+        });
+        DcdoManager {
+            object,
+            class,
+            rpc: RpcClient::new(agent, cost.clone()),
+            cost,
+            agent,
+            hosts,
+            store,
+            branch_counters: HashMap::new(),
+            current: root,
+            table: HashMap::new(),
+            version_policy,
+            propagation,
+            flows: HashMap::new(),
+            rpc_routes: HashMap::new(),
+            timer_routes: HashMap::new(),
+            retry_updates: HashMap::new(),
+            updates_in_flight: std::collections::HashSet::new(),
+            queued_updates: HashMap::new(),
+            pending_incorporations: HashMap::new(),
+        }
+    }
+
+    /// The manager's object identity.
+    pub fn object_id(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The class managed.
+    pub fn class_id(&self) -> ClassId {
+        self.class
+    }
+
+    /// The current (official) version.
+    pub fn current_version(&self) -> &VersionId {
+        &self.current
+    }
+
+    /// The version policy in force.
+    pub fn version_policy(&self) -> VersionPolicy {
+        self.version_policy
+    }
+
+    /// Number of DCDOs in the table.
+    pub fn instance_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The DCDO table (driver-side inspection).
+    pub fn instances(&self) -> Vec<(ObjectId, VersionId, ImplementationType)> {
+        self.table
+            .iter()
+            .map(|(o, i)| (*o, i.version.clone(), i.impl_type))
+            .collect()
+    }
+
+    /// The stored descriptor for a version (driver-side inspection).
+    pub fn descriptor(&self, version: &VersionId) -> Option<&DfmDescriptor> {
+        self.store.get(version).map(|e| &e.descriptor)
+    }
+
+    /// Whether a version is instantiable.
+    pub fn is_instantiable(&self, version: &VersionId) -> bool {
+        self.store.get(version).is_some_and(|e| e.instantiable)
+    }
+
+    /// Lifecycle flows still in progress.
+    pub fn flows_in_flight(&self) -> usize {
+        self.flows.len()
+    }
+
+    // ---- version store operations --------------------------------------
+
+    fn derive_version(&mut self, from: &VersionId) -> Result<VersionId, ConfigError> {
+        let parent = self
+            .store
+            .get(from)
+            .ok_or_else(|| ConfigError::UnknownVersion(from.clone()))?;
+        let branch = self.branch_counters.entry(from.clone()).or_insert(0);
+        *branch += 1;
+        let version = from.child(*branch);
+        let descriptor = parent.descriptor.clone().with_version(version.clone());
+        self.store.insert(version.clone(), VersionEntry {
+            descriptor,
+            instantiable: false,
+        });
+        Ok(version)
+    }
+
+    fn configurable_mut(&mut self, version: &VersionId) -> Result<&mut DfmDescriptor, ConfigError> {
+        let entry = self
+            .store
+            .get_mut(version)
+            .ok_or_else(|| ConfigError::UnknownVersion(version.clone()))?;
+        if entry.instantiable {
+            return Err(ConfigError::VersionFrozen(version.clone()));
+        }
+        Ok(&mut entry.descriptor)
+    }
+
+    fn mark_instantiable(&mut self, version: &VersionId) -> Result<(), ConfigError> {
+        let entry = self
+            .store
+            .get(version)
+            .ok_or_else(|| ConfigError::UnknownVersion(version.clone()))?;
+        if entry.instantiable {
+            return Ok(());
+        }
+        entry.descriptor.validate()?;
+        if let Some(parent_version) = version.parent() {
+            if let Some(parent) = self.store.get(&parent_version) {
+                entry.descriptor.respects_inheritance(&parent.descriptor)?;
+            }
+        }
+        self.store
+            .get_mut(version)
+            .expect("entry exists")
+            .instantiable = true;
+        Ok(())
+    }
+
+    /// The version-policy check of §3.4–3.5.
+    fn evolution_allowed(&self, from: &VersionId, to: &VersionId) -> Result<(), ConfigError> {
+        let entry = self
+            .store
+            .get(to)
+            .ok_or_else(|| ConfigError::UnknownVersion(to.clone()))?;
+        if !entry.instantiable {
+            return Err(ConfigError::VersionNotInstantiable(to.clone()));
+        }
+        let forbid = |rule: &str| {
+            Err(ConfigError::PolicyForbids {
+                from: from.clone(),
+                to: to.clone(),
+                rule: rule.to_owned(),
+            })
+        };
+        match self.version_policy {
+            VersionPolicy::SingleVersion => {
+                if to != &self.current {
+                    return forbid("single-version managers evolve only to the current version");
+                }
+            }
+            VersionPolicy::MultiNoUpdate => {
+                return forbid("no-update managers never evolve existing instances");
+            }
+            VersionPolicy::MultiIncreasingVersion => {
+                if !to.is_derived_from(from) {
+                    return forbid("increasing-version-number: target must derive from current");
+                }
+            }
+            VersionPolicy::MultiGeneralEvolution => {}
+            VersionPolicy::MultiHybrid => {
+                if let Some(source) = self.store.get(from) {
+                    entry.descriptor.respects_inheritance(&source.descriptor)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- flows ----------------------------------------------------------
+
+    fn schedule_flow_timer(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        flow_id: u64,
+        delay: dcdo_sim::SimDuration,
+    ) {
+        let token = ctx.fresh_u64();
+        self.timer_routes.insert(token, flow_id);
+        ctx.schedule_timer(delay, token);
+    }
+
+    fn rpc_step(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        flow_id: u64,
+        target: ObjectId,
+        op: Box<dyn ControlPayload>,
+    ) {
+        let call = self.rpc.control(ctx, target, op);
+        self.rpc_routes.insert(call.as_raw(), flow_id);
+    }
+
+    /// Releases the per-instance update lock and starts the next queued
+    /// update, if any.
+    fn release_update_slot(&mut self, ctx: &mut Ctx<'_, Msg>, object: ObjectId) {
+        self.updates_in_flight.remove(&object);
+        let next = self
+            .queued_updates
+            .get_mut(&object)
+            .and_then(std::collections::VecDeque::pop_front);
+        if let Some((reply, to, retries)) = next {
+            self.start_update_with_retries(ctx, reply, object, to, retries);
+        }
+    }
+
+    fn fail_flow(&mut self, ctx: &mut Ctx<'_, Msg>, flow_id: u64, why: String) {
+        if let Some(flow) = self.flows.remove(&flow_id) {
+            ctx.metrics().incr("manager.flows_failed");
+            if flow.kind == MgrKind::Update {
+                self.release_update_slot(ctx, flow.object);
+            }
+            // Supervised internal updates (proactive pushes) are retried: a
+            // lost reply must not strand an instance behind the current
+            // version.
+            if flow.kind == MgrKind::Update && flow.reply.is_none() && flow.retries < 5 {
+                ctx.metrics().incr("manager.update_retries");
+                let token = ctx.fresh_u64();
+                self.retry_updates
+                    .insert(token, (flow.object, flow.version.clone(), flow.retries + 1));
+                ctx.schedule_timer(dcdo_sim::SimDuration::from_secs(1), token);
+                return;
+            }
+            if let Some((reply_to, call)) = flow.reply {
+                ctx.send(reply_to, Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(why)),
+                });
+            }
+        }
+    }
+
+    fn start_create(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        reply_to: ActorId,
+        call: CallId,
+        node: NodeId,
+    ) {
+        let version = self.current.clone();
+        let Some(entry) = self.store.get(&version) else {
+            ctx.send(reply_to, Msg::ControlReply {
+                call,
+                result: Err(InvocationFault::Refused(
+                    ConfigError::UnknownVersion(version).to_string(),
+                )),
+            });
+            return;
+        };
+        if !entry.instantiable {
+            ctx.send(reply_to, Msg::ControlReply {
+                call,
+                result: Err(InvocationFault::Refused(
+                    ConfigError::VersionNotInstantiable(version).to_string(),
+                )),
+            });
+            return;
+        }
+        if !self.hosts.contains(node) {
+            ctx.send(reply_to, Msg::ControlReply {
+                call,
+                result: Err(InvocationFault::Refused(format!("unknown node {node}"))),
+            });
+            return;
+        }
+        ctx.send(reply_to, Msg::Progress { call });
+        let flow_id = ctx.fresh_u64();
+        let object = ObjectId::from_raw(ctx.fresh_u64());
+        self.flows.insert(flow_id, MgrFlow {
+            kind: MgrKind::Create,
+            reply: Some((reply_to, call)),
+            object,
+            version,
+            target_node: node,
+            state: None,
+            new_actor: None,
+            step: MgrStep::Spawn,
+            started: ctx.now(),
+            retries: 0,
+        });
+        // DCDO process creation: base spawn cost only — the function
+        // "linking" happens per component during incorporation.
+        let delay = self.cost.process_spawn_base;
+        self.schedule_flow_timer(ctx, flow_id, delay);
+    }
+
+    fn spawn_dcdo(&mut self, ctx: &mut Ctx<'_, Msg>, flow_id: u64) {
+        let (node, object, kind) = {
+            let flow = &self.flows[&flow_id];
+            (flow.target_node, flow.object, flow.kind)
+        };
+        let entry = self.hosts.entry(node).expect("node checked at start");
+        let seed = ctx.rng().fork_seed();
+        let dcdo = DcdoObject::new(
+            object,
+            self.object,
+            entry.object,
+            entry.arch,
+            // The DCDO starts empty at the root; ApplyDfmDescriptor brings
+            // it to the flow's version.
+            VersionId::root(),
+            self.cost.clone(),
+            RpcClient::new(self.agent, self.cost.clone()),
+            seed,
+        );
+        let actor = ctx.spawn(node, Box::new(dcdo));
+        ctx.metrics().incr("manager.dcdos_created");
+        {
+            let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+            flow.new_actor = Some(actor);
+        }
+        // Address the new process directly until the binding is registered.
+        self.rpc.seed_binding(object, actor);
+        match kind {
+            MgrKind::Create => {
+                self.flows.get_mut(&flow_id).expect("flow exists").step = MgrStep::Register;
+                self.rpc_step(ctx, flow_id, self.agent.object, Box::new(RegisterBinding {
+                    object,
+                    address: actor,
+                }));
+            }
+            MgrKind::Migrate | MgrKind::Activate => {
+                // Bring the new process to the instance's version first.
+                self.begin_apply(ctx, flow_id);
+            }
+            MgrKind::Update | MgrKind::Deactivate => {
+                unreachable!("these flows do not spawn processes")
+            }
+        }
+    }
+
+    fn begin_apply(&mut self, ctx: &mut Ctx<'_, Msg>, flow_id: u64) {
+        let (object, version) = {
+            let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+            flow.step = MgrStep::Apply;
+            (flow.object, flow.version.clone())
+        };
+        let descriptor = self.store[&version].descriptor.clone();
+        self.rpc_step(ctx, flow_id, object, Box::new(ApplyDfmDescriptor { descriptor }));
+    }
+
+    fn finish_flow(&mut self, ctx: &mut Ctx<'_, Msg>, flow_id: u64) {
+        let flow = self.flows.remove(&flow_id).expect("flow exists");
+        let elapsed = ctx.now().duration_since(flow.started);
+        match flow.kind {
+            MgrKind::Create => {
+                let address = flow.new_actor.expect("spawned");
+                let impl_type = self
+                    .store
+                    .get(&flow.version)
+                    .map(|e| e.descriptor.implementation_type())
+                    .unwrap_or_default();
+                self.table.insert(flow.object, DcdoInfo {
+                    actor: address,
+                    node: flow.target_node,
+                    version: flow.version.clone(),
+                    impl_type,
+                    parked_state: None,
+                });
+                ctx.metrics().sample_duration("manager.create_time", elapsed);
+                if let Some((reply_to, call)) = flow.reply {
+                    ctx.send(reply_to, Msg::ControlReply {
+                        call,
+                        result: Ok(Box::new(DcdoCreated {
+                            object: flow.object,
+                            address,
+                            version: flow.version,
+                        })),
+                    });
+                }
+            }
+            MgrKind::Update => {
+                let impl_type = self
+                    .store
+                    .get(&flow.version)
+                    .map(|e| e.descriptor.implementation_type());
+                if let Some(info) = self.table.get_mut(&flow.object) {
+                    info.version = flow.version.clone();
+                    if let Some(t) = impl_type {
+                        info.impl_type = t;
+                    }
+                }
+                self.release_update_slot(ctx, flow.object);
+                ctx.metrics().incr("manager.updates_done");
+                ctx.metrics().sample_duration("manager.update_time", elapsed);
+                if let Some((reply_to, call)) = flow.reply {
+                    ctx.send(reply_to, Msg::ControlReply {
+                        call,
+                        result: Ok(Box::new(UpdateDone {
+                            object: flow.object,
+                            version: flow.version,
+                        })),
+                    });
+                }
+            }
+            MgrKind::Migrate => {
+                let address = flow.new_actor.expect("spawned");
+                if let Some(info) = self.table.get_mut(&flow.object) {
+                    info.actor = address;
+                    info.node = flow.target_node;
+                }
+                ctx.metrics().incr("manager.migrations_done");
+                ctx.metrics().sample_duration("manager.migrate_time", elapsed);
+                if let Some((reply_to, call)) = flow.reply {
+                    ctx.send(reply_to, Msg::ControlReply {
+                        call,
+                        result: Ok(Box::new(MigrateDone {
+                            object: flow.object,
+                            address,
+                            version: flow.version,
+                        })),
+                    });
+                }
+            }
+            MgrKind::Deactivate => {
+                if let Some(info) = self.table.get_mut(&flow.object) {
+                    info.parked_state = Some(flow.state.clone().expect("state captured"));
+                }
+                ctx.metrics().incr("manager.deactivations");
+                if let Some((reply_to, call)) = flow.reply {
+                    ctx.send(reply_to, Msg::ControlReply {
+                        call,
+                        result: Ok(Box::new(Ack)),
+                    });
+                }
+            }
+            MgrKind::Activate => {
+                let address = flow.new_actor.expect("spawned");
+                if let Some(info) = self.table.get_mut(&flow.object) {
+                    info.actor = address;
+                    info.node = flow.target_node;
+                    info.parked_state = None;
+                }
+                ctx.metrics().incr("manager.activations");
+                ctx.metrics().sample_duration("manager.activate_time", elapsed);
+                if let Some((reply_to, call)) = flow.reply {
+                    ctx.send(reply_to, Msg::ControlReply {
+                        call,
+                        result: Ok(Box::new(DcdoCreated {
+                            object: flow.object,
+                            address,
+                            version: flow.version,
+                        })),
+                    });
+                }
+            }
+        }
+    }
+
+    fn start_update(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        reply: Option<(ActorId, CallId)>,
+        object: ObjectId,
+        to: Option<VersionId>,
+    ) {
+        self.start_update_with_retries(ctx, reply, object, to, 0);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_update_with_retries(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        reply: Option<(ActorId, CallId)>,
+        object: ObjectId,
+        to: Option<VersionId>,
+        retries: u32,
+    ) {
+        if self.updates_in_flight.contains(&object) {
+            // Serialize: at most one Apply per instance at a time.
+            if let Some((reply_to, call)) = reply {
+                ctx.send(reply_to, Msg::Progress { call });
+            }
+            self.queued_updates
+                .entry(object)
+                .or_default()
+                .push_back((reply, to, retries));
+            return;
+        }
+        let target = to.unwrap_or_else(|| self.current.clone());
+        let refuse = |ctx: &mut Ctx<'_, Msg>, why: String| {
+            if let Some((reply_to, call)) = reply {
+                ctx.send(reply_to, Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(why)),
+                });
+            }
+        };
+        let Some(info) = self.table.get(&object) else {
+            refuse(ctx, format!("unknown instance {object}"));
+            return;
+        };
+        if info.parked_state.is_some() {
+            refuse(ctx, format!("instance {object} is deactivated"));
+            return;
+        }
+        if info.version == target {
+            // Already there: answer immediately.
+            if let Some((reply_to, call)) = reply {
+                ctx.send(reply_to, Msg::ControlReply {
+                    call,
+                    result: Ok(Box::new(UpdateDone {
+                        object,
+                        version: target,
+                    })),
+                });
+            }
+            return;
+        }
+        if let Err(e) = self.evolution_allowed(&info.version, &target) {
+            ctx.metrics().incr("manager.updates_refused");
+            refuse(ctx, e.to_string());
+            return;
+        }
+        if let Some((reply_to, call)) = reply {
+            ctx.send(reply_to, Msg::Progress { call });
+        }
+        let flow_id = ctx.fresh_u64();
+        self.flows.insert(flow_id, MgrFlow {
+            kind: MgrKind::Update,
+            reply,
+            object,
+            version: target,
+            target_node: info.node,
+            state: None,
+            new_actor: Some(info.actor),
+            step: MgrStep::Apply,
+            started: ctx.now(),
+            retries,
+        });
+        self.updates_in_flight.insert(object);
+        self.begin_apply(ctx, flow_id);
+    }
+
+    /// Migrates a DCDO to another node: capture state, deactivate the old
+    /// process, create a new process there, re-apply the instance's version
+    /// (component fetches hit the *new* host's cache), restore state, and
+    /// re-register the binding. Clients holding the old address pay the
+    /// stale-binding discovery — migration, unlike evolution, does move the
+    /// physical address.
+    fn start_migrate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        reply: Option<(ActorId, CallId)>,
+        object: ObjectId,
+        to: NodeId,
+    ) {
+        let refuse = |ctx: &mut Ctx<'_, Msg>, why: String| {
+            if let Some((reply_to, call)) = reply {
+                ctx.send(reply_to, Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(why)),
+                });
+            }
+        };
+        let Some(info) = self.table.get(&object).cloned() else {
+            refuse(ctx, format!("unknown instance {object}"));
+            return;
+        };
+        if !self.hosts.contains(to) {
+            refuse(ctx, format!("unknown node {to}"));
+            return;
+        }
+        if let Some((reply_to, call)) = reply {
+            ctx.send(reply_to, Msg::Progress { call });
+        }
+        let flow_id = ctx.fresh_u64();
+        self.flows.insert(flow_id, MgrFlow {
+            kind: MgrKind::Migrate,
+            reply,
+            object,
+            version: info.version.clone(),
+            target_node: to,
+            state: None,
+            new_actor: None,
+            step: MgrStep::Capture,
+            started: ctx.now(),
+            retries: 0,
+        });
+        self.rpc_step(ctx, flow_id, object, Box::new(CaptureState));
+    }
+
+    fn start_deactivate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        reply: Option<(ActorId, CallId)>,
+        object: ObjectId,
+    ) {
+        let refuse = |ctx: &mut Ctx<'_, Msg>, why: String| {
+            if let Some((reply_to, call)) = reply {
+                ctx.send(reply_to, Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(why)),
+                });
+            }
+        };
+        let Some(info) = self.table.get(&object).cloned() else {
+            refuse(ctx, format!("unknown instance {object}"));
+            return;
+        };
+        if info.parked_state.is_some() {
+            refuse(ctx, format!("instance {object} is already deactivated"));
+            return;
+        }
+        if let Some((reply_to, call)) = reply {
+            ctx.send(reply_to, Msg::Progress { call });
+        }
+        let flow_id = ctx.fresh_u64();
+        self.flows.insert(flow_id, MgrFlow {
+            kind: MgrKind::Deactivate,
+            reply,
+            object,
+            version: info.version.clone(),
+            target_node: info.node,
+            state: None,
+            new_actor: None,
+            step: MgrStep::Capture,
+            started: ctx.now(),
+            retries: 0,
+        });
+        self.rpc_step(ctx, flow_id, object, Box::new(CaptureState));
+    }
+
+    fn start_activate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        reply: Option<(ActorId, CallId)>,
+        object: ObjectId,
+        node: Option<NodeId>,
+    ) {
+        let refuse = |ctx: &mut Ctx<'_, Msg>, why: String| {
+            if let Some((reply_to, call)) = reply {
+                ctx.send(reply_to, Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(why)),
+                });
+            }
+        };
+        let Some(info) = self.table.get(&object).cloned() else {
+            refuse(ctx, format!("unknown instance {object}"));
+            return;
+        };
+        let Some(state) = info.parked_state else {
+            refuse(ctx, format!("instance {object} is not deactivated"));
+            return;
+        };
+        let target_node = node.unwrap_or(info.node);
+        if !self.hosts.contains(target_node) {
+            refuse(ctx, format!("unknown node {target_node}"));
+            return;
+        }
+        if let Some((reply_to, call)) = reply {
+            ctx.send(reply_to, Msg::Progress { call });
+        }
+        let flow_id = ctx.fresh_u64();
+        self.flows.insert(flow_id, MgrFlow {
+            kind: MgrKind::Activate,
+            reply,
+            object,
+            version: info.version.clone(),
+            target_node,
+            state: Some(state),
+            new_actor: None,
+            step: MgrStep::Spawn,
+            started: ctx.now(),
+            retries: 0,
+        });
+        let delay = self.cost.process_spawn_base;
+        self.schedule_flow_timer(ctx, flow_id, delay);
+    }
+
+    fn handle_rpc_completion(&mut self, ctx: &mut Ctx<'_, Msg>, completion: RpcCompletion) {
+        // ConfigureVersion incorporations.
+        if let Some((reply_to, call, version, ico)) = self
+            .pending_incorporations
+            .remove(&completion.call.as_raw())
+        {
+            let result = completion
+                .result
+                .map_err(|f| ConfigError::BadComponent(format!("descriptor read failed: {f}")))
+                .and_then(|payload| {
+                    let reply = payload
+                        .control_as::<crate::ops::ComponentDescriptorReply>()
+                        .ok_or_else(|| {
+                            ConfigError::BadComponent("bad descriptor reply".into())
+                        })?
+                        .descriptor
+                        .clone();
+                    self.configurable_mut(&version)?
+                        .incorporate_component(&reply, Some(ico))
+                });
+            let wire = match result {
+                Ok(()) => Ok(Box::new(Ack) as Box<dyn ControlPayload>),
+                Err(e) => Err(InvocationFault::Refused(e.to_string())),
+            };
+            ctx.send(reply_to, Msg::ControlReply { call, result: wire });
+            return;
+        }
+        let Some(flow_id) = self.rpc_routes.remove(&completion.call.as_raw()) else {
+            return;
+        };
+        let Some(flow) = self.flows.get(&flow_id) else {
+            return;
+        };
+        let (kind, step) = (flow.kind, flow.step);
+        let payload = match completion.result {
+            Ok(p) => p,
+            Err(fault) => {
+                self.fail_flow(ctx, flow_id, format!("step {step:?} failed: {fault}"));
+                return;
+            }
+        };
+        match (kind, step) {
+            // Create: Spawn(timer) -> Register -> Apply -> done.
+            (MgrKind::Create, MgrStep::Register) => self.begin_apply(ctx, flow_id),
+            (MgrKind::Create, MgrStep::Apply) => self.finish_flow(ctx, flow_id),
+            // Update: Apply -> done.
+            (MgrKind::Update, MgrStep::Apply) => self.finish_flow(ctx, flow_id),
+            // Migrate: Capture -> Deactivate -> Spawn(timer) -> Apply ->
+            // Restore -> Register -> done.
+            (MgrKind::Migrate, MgrStep::Capture) => {
+                let Some(blob) = payload.control_as::<StateBlob>().map(|b| b.bytes.clone())
+                else {
+                    self.fail_flow(ctx, flow_id, "capture returned no state".into());
+                    return;
+                };
+                let object = {
+                    let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                    flow.state = Some(blob);
+                    flow.step = MgrStep::Deactivate;
+                    flow.object
+                };
+                self.rpc_step(ctx, flow_id, object, Box::new(Deactivate));
+            }
+            (MgrKind::Migrate, MgrStep::Deactivate) => {
+                self.flows.get_mut(&flow_id).expect("flow exists").step = MgrStep::Spawn;
+                let delay = self.cost.process_spawn_base;
+                self.schedule_flow_timer(ctx, flow_id, delay);
+            }
+            (MgrKind::Migrate, MgrStep::Apply) => {
+                let (object, state) = {
+                    let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                    flow.step = MgrStep::Restore;
+                    (flow.object, flow.state.clone().expect("state captured"))
+                };
+                self.rpc_step(ctx, flow_id, object, Box::new(RestoreState { bytes: state }));
+            }
+            (MgrKind::Migrate, MgrStep::Restore) => {
+                let (object, address) = {
+                    let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                    flow.step = MgrStep::Register;
+                    (flow.object, flow.new_actor.expect("spawned"))
+                };
+                self.rpc_step(ctx, flow_id, self.agent.object, Box::new(RegisterBinding {
+                    object,
+                    address,
+                }));
+            }
+            (MgrKind::Migrate, MgrStep::Register) => self.finish_flow(ctx, flow_id),
+            // Deactivate: Capture -> Deactivate -> Unregister -> done.
+            (MgrKind::Deactivate, MgrStep::Capture) => {
+                let Some(blob) = payload.control_as::<StateBlob>().map(|b| b.bytes.clone())
+                else {
+                    self.fail_flow(ctx, flow_id, "capture returned no state".into());
+                    return;
+                };
+                let object = {
+                    let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                    flow.state = Some(blob);
+                    flow.step = MgrStep::Deactivate;
+                    flow.object
+                };
+                self.rpc_step(ctx, flow_id, object, Box::new(Deactivate));
+            }
+            (MgrKind::Deactivate, MgrStep::Deactivate) => {
+                let object = {
+                    let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                    flow.step = MgrStep::Unregister;
+                    flow.object
+                };
+                self.rpc_step(ctx, flow_id, self.agent.object, Box::new(UnregisterBinding {
+                    object,
+                }));
+            }
+            (MgrKind::Deactivate, MgrStep::Unregister) => self.finish_flow(ctx, flow_id),
+            // Activate: Spawn(timer) -> Apply -> Restore -> Register -> done.
+            (MgrKind::Activate, MgrStep::Apply) => {
+                let (object, state) = {
+                    let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                    flow.step = MgrStep::Restore;
+                    (flow.object, flow.state.clone().expect("state parked"))
+                };
+                self.rpc_step(ctx, flow_id, object, Box::new(RestoreState { bytes: state }));
+            }
+            (MgrKind::Activate, MgrStep::Restore) => {
+                let (object, address) = {
+                    let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                    flow.step = MgrStep::Register;
+                    (flow.object, flow.new_actor.expect("spawned"))
+                };
+                self.rpc_step(ctx, flow_id, self.agent.object, Box::new(RegisterBinding {
+                    object,
+                    address,
+                }));
+            }
+            (MgrKind::Activate, MgrStep::Register) => self.finish_flow(ctx, flow_id),
+            (kind, step) => {
+                self.fail_flow(ctx, flow_id, format!("unexpected reply in {kind:?}/{step:?}"));
+            }
+        }
+    }
+
+    fn handle_configure(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ActorId,
+        call: CallId,
+        cfg: &ConfigureVersion,
+    ) {
+        // Incorporation needs an ICO round trip; everything else is local.
+        if let VersionConfigOp::IncorporateComponent { ico } = cfg.op {
+            // Check the version is configurable before paying the roundtrip.
+            if let Err(e) = self.configurable_mut(&cfg.version).map(|_| ()) {
+                ctx.send(from, Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(e.to_string())),
+                });
+                return;
+            }
+            let rpc_call = self
+                .rpc
+                .control(ctx, ico, Box::new(ReadComponentDescriptor));
+            self.pending_incorporations
+                .insert(rpc_call.as_raw(), (from, call, cfg.version.clone(), ico));
+            return;
+        }
+        let result = self.configurable_mut(&cfg.version).and_then(|d| match &cfg.op {
+            VersionConfigOp::IncorporateComponent { .. } => unreachable!("handled above"),
+            VersionConfigOp::RemoveComponent { component } => d.remove_component(*component),
+            VersionConfigOp::EnableFunction {
+                function,
+                component,
+            } => d.enable_function(function, *component),
+            VersionConfigOp::DisableFunction { function } => d.disable_function(function),
+            VersionConfigOp::SetProtection {
+                function,
+                protection,
+            } => d.set_protection(function, *protection),
+            VersionConfigOp::AddDependency { dependency } => d.add_dependency(dependency.clone()),
+            VersionConfigOp::RemoveDependency { dependency } => {
+                d.remove_dependency(dependency);
+                Ok(())
+            }
+            VersionConfigOp::SetVisibility {
+                function,
+                visibility,
+            } => d.set_visibility(function, *visibility),
+        });
+        let wire = match result {
+            Ok(()) => Ok(Box::new(Ack) as Box<dyn ControlPayload>),
+            Err(e) => Err(InvocationFault::Refused(e.to_string())),
+        };
+        ctx.send(from, Msg::ControlReply { call, result: wire });
+    }
+
+    fn handle_control(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ActorId,
+        call: CallId,
+        op: Box<dyn ControlPayload>,
+    ) {
+        if let Some(create) = op.as_any().downcast_ref::<CreateDcdo>() {
+            self.start_create(ctx, from, call, create.node);
+            return;
+        }
+        if let Some(update) = op.as_any().downcast_ref::<UpdateInstance>() {
+            self.start_update(ctx, Some((from, call)), update.object, update.to.clone());
+            return;
+        }
+        if let Some(mig) = op.as_any().downcast_ref::<MigrateDcdo>() {
+            self.start_migrate(ctx, Some((from, call)), mig.object, mig.to);
+            return;
+        }
+        if let Some(de) = op.as_any().downcast_ref::<DeactivateDcdo>() {
+            self.start_deactivate(ctx, Some((from, call)), de.object);
+            return;
+        }
+        if let Some(act) = op.as_any().downcast_ref::<ActivateDcdo>() {
+            self.start_activate(ctx, Some((from, call)), act.object, act.node);
+            return;
+        }
+        if let Some(cfg) = op.as_any().downcast_ref::<ConfigureVersion>() {
+            self.handle_configure(ctx, from, call, cfg);
+            return;
+        }
+        let result: Result<Box<dyn ControlPayload>, InvocationFault> = if let Some(derive) =
+            op.as_any().downcast_ref::<DeriveVersion>()
+        {
+            match self.derive_version(&derive.from) {
+                Ok(version) => Ok(Box::new(DerivedVersion { version })),
+                Err(e) => Err(InvocationFault::Refused(e.to_string())),
+            }
+        } else if let Some(mark) = op.as_any().downcast_ref::<MarkInstantiable>() {
+            match self.mark_instantiable(&mark.version) {
+                Ok(()) => Ok(Box::new(Ack)),
+                Err(e) => Err(InvocationFault::Refused(e.to_string())),
+            }
+        } else if let Some(set) = op.as_any().downcast_ref::<SetCurrentVersion>() {
+            match self.store.get(&set.version) {
+                Some(entry) if entry.instantiable => {
+                    self.current = set.version.clone();
+                    ctx.metrics().incr("manager.current_version_changes");
+                    if self.propagation == UpdatePropagation::Proactive {
+                        let instances: Vec<ObjectId> = self
+                            .table
+                            .iter()
+                            .filter(|(_, i)| i.version != self.current)
+                            .map(|(o, _)| *o)
+                            .collect();
+                        for object in instances {
+                            self.start_update(ctx, None, object, None);
+                        }
+                    }
+                    Ok(Box::new(Ack))
+                }
+                Some(_) => Err(InvocationFault::Refused(
+                    ConfigError::VersionNotInstantiable(set.version.clone()).to_string(),
+                )),
+                None => Err(InvocationFault::Refused(
+                    ConfigError::UnknownVersion(set.version.clone()).to_string(),
+                )),
+            }
+        } else if let Some(check) = op.as_any().downcast_ref::<CheckVersion>() {
+            ctx.metrics().incr("manager.version_checks");
+            let up_to_date = check.current == self.current
+                || self.evolution_allowed(&check.current, &self.current).is_err();
+            let descriptor = if up_to_date {
+                None
+            } else {
+                self.store.get(&self.current).map(|e| e.descriptor.clone())
+            };
+            // Optimistically record the promise; the DCDO confirms with
+            // ReportVersion once the evolution lands.
+            Ok(Box::new(VersionCheckReply {
+                up_to_date,
+                descriptor,
+            }))
+        } else if let Some(report) = op.as_any().downcast_ref::<ReportVersion>() {
+            if let Some(info) = self.table.get_mut(&report.object) {
+                info.version = report.version.clone();
+            }
+            Ok(Box::new(Ack))
+        } else if op.as_any().downcast_ref::<ListVersions>().is_some() {
+            Ok(Box::new(VersionTable {
+                entries: self
+                    .store
+                    .iter()
+                    .map(|(v, e)| {
+                        (
+                            v.clone(),
+                            e.instantiable,
+                            e.descriptor.component_count(),
+                            e.descriptor.function_count(),
+                        )
+                    })
+                    .collect(),
+                current: self.current.clone(),
+            }))
+        } else if op.as_any().downcast_ref::<ListDcdos>().is_some() {
+            Ok(Box::new(DcdoTable {
+                entries: self.instances(),
+            }))
+        } else if let Some(q) = op.as_any().downcast_ref::<QueryVersionInfo>() {
+            match self.store.get(&q.version) {
+                Some(entry) => Ok(Box::new(VersionInfo {
+                    version: q.version.clone(),
+                    instantiable: entry.instantiable,
+                    descriptor: entry.descriptor.clone(),
+                })),
+                None => Err(InvocationFault::Refused(
+                    ConfigError::UnknownVersion(q.version.clone()).to_string(),
+                )),
+            }
+        } else {
+            Err(InvocationFault::Refused(format!(
+                "DCDO Manager does not understand {}",
+                op.describe()
+            )))
+        };
+        ctx.send(from, Msg::ControlReply { call, result });
+    }
+}
+
+impl Actor<Msg> for DcdoManager {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        match msg {
+            Msg::Control { call, target, op } => {
+                if target != self.object {
+                    ctx.send(from, Msg::ControlReply {
+                        call,
+                        result: Err(InvocationFault::NoSuchObject(target)),
+                    });
+                    return;
+                }
+                self.handle_control(ctx, from, call, op);
+            }
+            Msg::Invoke { call, function, .. } => {
+                ctx.send(from, Msg::Reply {
+                    call,
+                    result: Err(InvocationFault::NoSuchFunction(function)),
+                });
+            }
+            reply => {
+                if let Handled::Completed(completion) = self.rpc.handle_message(ctx, reply) {
+                    self.handle_rpc_completion(ctx, completion);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        if self.rpc.owns_timer(token) {
+            if let Some(completion) = self.rpc.handle_timer(ctx, token) {
+                self.handle_rpc_completion(ctx, completion);
+            }
+            return;
+        }
+        if let Some((object, version, attempt)) = self.retry_updates.remove(&token) {
+            self.start_update_with_retries(ctx, None, object, Some(version), attempt);
+            return;
+        }
+        if let Some(flow_id) = self.timer_routes.remove(&token) {
+            if self
+                .flows
+                .get(&flow_id)
+                .is_some_and(|f| f.step == MgrStep::Spawn)
+            {
+                self.spawn_dcdo(ctx, flow_id);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "dcdo-manager"
+    }
+}
+
+impl std::fmt::Debug for DcdoManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DcdoManager")
+            .field("object", &self.object)
+            .field("class", &self.class)
+            .field("current", &self.current)
+            .field("versions", &self.store.len())
+            .field("instances", &self.table.len())
+            .finish()
+    }
+}

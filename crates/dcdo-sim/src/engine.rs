@@ -1,0 +1,817 @@
+//! The discrete-event engine: actors, timers, and the event loop.
+//!
+//! Every active entity of the simulated system — hosts, class objects,
+//! binding agents, DCDOs, ICOs, managers, clients — is an [`Actor`] placed on
+//! a [`NodeId`] of the simulated network. Actors interact only through
+//! messages (routed through the [`Network`](crate::net::Network) model) and
+//! timers. The engine is single-threaded and processes events in a total
+//! order keyed by `(time, sequence-number)`, which together with the single
+//! seeded RNG makes whole simulations deterministic.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::metrics::Metrics;
+use crate::net::{DeliveryPlan, NetConfig, Network, NodeId};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceEvent};
+
+/// Identifies an actor within one [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(u32);
+
+impl ActorId {
+    /// Creates an actor id from a raw index (normally produced by
+    /// [`Simulation::spawn`]).
+    pub const fn from_raw(raw: u32) -> Self {
+        ActorId(raw)
+    }
+
+    /// Returns the raw index.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor:{}", self.0)
+    }
+}
+
+/// Identifies a scheduled timer so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// A message type routable by the engine.
+///
+/// `wire_size` is the payload size the network model charges for; the
+/// default of 64 bytes approximates an empty RPC header.
+pub trait Payload: 'static {
+    /// Returns the on-the-wire size of this message in bytes.
+    fn wire_size(&self) -> u64 {
+        64
+    }
+}
+
+/// An active entity of the simulation.
+///
+/// Actors own their state and react to messages and timers via the [`Ctx`]
+/// handle, which exposes the clock, the network, randomness, metrics, and
+/// actor management. `Actor` requires [`Any`] so drivers can downcast actors
+/// for inspection between events.
+pub trait Actor<M: Payload>: Any {
+    /// Handles a message delivered to this actor.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: ActorId, msg: M);
+
+    /// Handles a timer scheduled by this actor. `token` is the value passed
+    /// to [`Ctx::schedule_timer`].
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// A short human-readable name used in traces.
+    fn name(&self) -> &str {
+        "actor"
+    }
+}
+
+enum EventKind<M> {
+    Deliver { src: ActorId, dst: ActorId, msg: M },
+    Timer { dst: ActorId, id: TimerId, token: u64 },
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The handle through which an actor (or a driver) interacts with the engine.
+pub struct Ctx<'a, M: Payload> {
+    sim: &'a mut Simulation<M>,
+    self_id: ActorId,
+    killed_self: bool,
+}
+
+impl<'a, M: Payload> Ctx<'a, M> {
+    /// Returns the current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.time
+    }
+
+    /// Returns the id of the actor being executed.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Returns the node this actor is placed on.
+    pub fn node(&self) -> NodeId {
+        self.sim.node_of(self.self_id)
+    }
+
+    /// Returns the node an arbitrary actor is placed on.
+    pub fn node_of(&self, actor: ActorId) -> NodeId {
+        self.sim.node_of(actor)
+    }
+
+    /// Sends `msg` to `dst` through the network model.
+    ///
+    /// Delivery time accounts for protocol overhead, serialization,
+    /// latency, egress contention, and fault injection. Messages to dead
+    /// actors become dead letters (counted in metrics, otherwise dropped) —
+    /// this is how a stale physical address behaves.
+    pub fn send(&mut self, dst: ActorId, msg: M) {
+        self.sim.route(self.self_id, dst, msg);
+    }
+
+    /// Schedules a timer `delay` from now; `token` is handed back to
+    /// [`Actor::on_timer`]. Returns an id usable with [`Ctx::cancel_timer`].
+    pub fn schedule_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        self.sim.schedule_timer_for(self.self_id, delay, token)
+    }
+
+    /// Cancels a previously scheduled timer. Cancelling an already-fired or
+    /// unknown timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.sim.cancelled_timers.insert(id.0);
+    }
+
+    /// Returns the simulation's random-number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.sim.rng
+    }
+
+    /// Returns the simulation's metrics registry.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.sim.metrics
+    }
+
+    /// Mints a fresh unique `u64` (for object ids, call ids, …).
+    pub fn fresh_u64(&mut self) -> u64 {
+        self.sim.fresh_u64()
+    }
+
+    /// Spawns a new actor on `node` and returns its id.
+    pub fn spawn(&mut self, node: NodeId, actor: Box<dyn Actor<M>>) -> ActorId {
+        self.sim.spawn_boxed(node, actor)
+    }
+
+    /// Kills an actor. Pending messages to it become dead letters. Killing
+    /// the running actor defers removal until its handler returns.
+    pub fn kill(&mut self, actor: ActorId) {
+        if actor == self.self_id {
+            self.killed_self = true;
+        } else {
+            self.sim.kill(actor);
+        }
+    }
+
+    /// Returns `true` if the actor exists (has been spawned and not killed).
+    pub fn is_alive(&self, actor: ActorId) -> bool {
+        self.sim.is_alive(actor)
+    }
+}
+
+enum Slot<M> {
+    Occupied(Box<dyn Actor<M>>),
+    Running,
+    Vacant,
+}
+
+/// The discrete-event simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use dcdo_sim::{Actor, ActorId, Ctx, NetConfig, NodeId, Payload, Simulation};
+///
+/// struct Ping;
+/// struct Echo;
+///
+/// impl Payload for Ping {}
+///
+/// impl Actor<Ping> for Echo {
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, Ping>, from: ActorId, _msg: Ping) {
+///         ctx.metrics().incr("echoed");
+///         let _ = from;
+///     }
+/// }
+///
+/// let mut sim = Simulation::<Ping>::new(NetConfig::centurion(), 42);
+/// let node = NodeId::from_raw(0);
+/// let echo = sim.spawn(node, Echo);
+/// sim.post(echo, echo, Ping);
+/// sim.run_until_idle();
+/// assert_eq!(sim.metrics().counter("echoed"), 1);
+/// ```
+pub struct Simulation<M: Payload> {
+    time: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    actors: Vec<Slot<M>>,
+    placements: Vec<NodeId>,
+    network: Network,
+    rng: SimRng,
+    metrics: Metrics,
+    cancelled_timers: HashSet<u64>,
+    next_timer: u64,
+    fresh: u64,
+    events_processed: u64,
+    trace: Trace,
+}
+
+impl<M: Payload> Simulation<M> {
+    /// Creates a simulation with the given network configuration and RNG
+    /// seed.
+    pub fn new(net: NetConfig, seed: u64) -> Self {
+        Simulation {
+            time: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            actors: Vec::new(),
+            placements: Vec::new(),
+            network: Network::new(net),
+            rng: SimRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            cancelled_timers: HashSet::new(),
+            next_timer: 0,
+            fresh: 0,
+            events_processed: 0,
+            trace: Trace::new(),
+        }
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Returns the metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Returns the metrics registry mutably.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Returns the network model.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Returns the network model mutably (for fault-injection tests).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Returns the number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The execution trace (disabled by default; see [`Trace::enable`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the execution trace, e.g. to enable it.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Mints a fresh unique `u64`.
+    pub fn fresh_u64(&mut self) -> u64 {
+        self.fresh += 1;
+        self.fresh
+    }
+
+    /// Spawns an actor on `node` and returns its id.
+    pub fn spawn(&mut self, node: NodeId, actor: impl Actor<M>) -> ActorId {
+        self.spawn_boxed(node, Box::new(actor))
+    }
+
+    /// Spawns a boxed actor on `node` and returns its id.
+    pub fn spawn_boxed(&mut self, node: NodeId, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = ActorId(self.actors.len() as u32);
+        self.actors.push(Slot::Occupied(actor));
+        self.placements.push(node);
+        self.trace.record(self.time, TraceEvent::Spawned { actor: id, node });
+        id
+    }
+
+    /// Kills an actor; subsequent messages to it are dead letters.
+    pub fn kill(&mut self, actor: ActorId) {
+        if let Some(slot) = self.actors.get_mut(actor.index()) {
+            *slot = Slot::Vacant;
+            self.trace.record(self.time, TraceEvent::Killed { actor });
+        }
+    }
+
+    /// Returns `true` if the actor is alive.
+    pub fn is_alive(&self, actor: ActorId) -> bool {
+        matches!(
+            self.actors.get(actor.index()),
+            Some(Slot::Occupied(_) | Slot::Running)
+        )
+    }
+
+    /// Returns the node an actor is placed on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor id was never spawned.
+    pub fn node_of(&self, actor: ActorId) -> NodeId {
+        self.placements[actor.index()]
+    }
+
+    /// Downcasts an actor to a concrete type for inspection.
+    pub fn actor<T: Actor<M>>(&self, id: ActorId) -> Option<&T> {
+        match self.actors.get(id.index())? {
+            Slot::Occupied(a) => (a.as_ref() as &dyn Any).downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Downcasts an actor to a concrete type for mutation between events.
+    pub fn actor_mut<T: Actor<M>>(&mut self, id: ActorId) -> Option<&mut T> {
+        match self.actors.get_mut(id.index())? {
+            Slot::Occupied(a) => (a.as_mut() as &mut dyn Any).downcast_mut::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Runs `f` against a concrete actor with a live [`Ctx`], letting drivers
+    /// initiate activity (e.g. start a client) at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor is dead or not of type `T`.
+    pub fn with_actor<T: Actor<M>, R>(
+        &mut self,
+        id: ActorId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_, M>) -> R,
+    ) -> R {
+        let slot = std::mem::replace(&mut self.actors[id.index()], Slot::Running);
+        let Slot::Occupied(mut actor) = slot else {
+            panic!("with_actor: {id} is not alive");
+        };
+        let (out, killed) = {
+            let mut ctx = Ctx {
+                sim: self,
+                self_id: id,
+                killed_self: false,
+            };
+            let t = (actor.as_mut() as &mut dyn Any)
+                .downcast_mut::<T>()
+                .expect("with_actor: actor has a different concrete type");
+            let out = f(t, &mut ctx);
+            (out, ctx.killed_self)
+        };
+        self.actors[id.index()] = if killed {
+            Slot::Vacant
+        } else {
+            Slot::Occupied(actor)
+        };
+        out
+    }
+
+    /// Posts a message from `src` to `dst` through the network at the
+    /// current time (driver-side injection).
+    pub fn post(&mut self, src: ActorId, dst: ActorId, msg: M) {
+        self.route(src, dst, msg);
+    }
+
+    /// Schedules a timer for an actor (driver-side).
+    pub fn schedule_timer_for(
+        &mut self,
+        actor: ActorId,
+        delay: SimDuration,
+        token: u64,
+    ) -> TimerId {
+        self.next_timer += 1;
+        let id = TimerId(self.next_timer);
+        let at = self.time + delay;
+        self.push(at, EventKind::Timer {
+            dst: actor,
+            id,
+            token,
+        });
+        id
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    fn route(&mut self, src: ActorId, dst: ActorId, msg: M) {
+        let bytes = msg.wire_size();
+        let (src_node, dst_node) = (self.node_of(src), self.node_of(dst));
+        let now = self.time;
+        match self.network.plan(now, src_node, dst_node, bytes, &mut self.rng) {
+            DeliveryPlan::Deliver(at) => self.push(at, EventKind::Deliver { src, dst, msg }),
+            DeliveryPlan::DeliverTwice(_a, _b) => {
+                // Duplication requires M: Clone; engine-level duplication is
+                // modelled by re-delivery of the single message at the later
+                // time plus a metric, keeping M free of a Clone bound.
+                self.metrics.incr("sim.duplicates_planned");
+                self.push(_b, EventKind::Deliver { src, dst, msg });
+            }
+            DeliveryPlan::Lost => {
+                self.metrics.incr("sim.messages_lost");
+            }
+        }
+    }
+
+    /// Processes the next event. Returns `false` if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.time, "time cannot go backwards");
+        self.time = ev.at;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { src, dst, msg } => self.dispatch_message(src, dst, msg),
+            EventKind::Timer { dst, id, token } => {
+                if self.cancelled_timers.remove(&id.0) {
+                    return true;
+                }
+                self.dispatch_timer(dst, token);
+            }
+        }
+        true
+    }
+
+    fn dispatch_message(&mut self, src: ActorId, dst: ActorId, msg: M) {
+        let Some(slot) = self.actors.get_mut(dst.index()) else {
+            self.metrics.incr("sim.dead_letters");
+            self.trace.record(self.time, TraceEvent::DeadLetter { src, dst });
+            return;
+        };
+        let slot = std::mem::replace(slot, Slot::Running);
+        let Slot::Occupied(mut actor) = slot else {
+            self.actors[dst.index()] = Slot::Vacant;
+            self.metrics.incr("sim.dead_letters");
+            self.trace.record(self.time, TraceEvent::DeadLetter { src, dst });
+            return;
+        };
+        self.trace.record(self.time, TraceEvent::Delivered { src, dst });
+        let killed;
+        {
+            let mut ctx = Ctx {
+                sim: self,
+                self_id: dst,
+                killed_self: false,
+            };
+            actor.on_message(&mut ctx, src, msg);
+            killed = ctx.killed_self;
+        }
+        self.actors[dst.index()] = if killed {
+            Slot::Vacant
+        } else {
+            Slot::Occupied(actor)
+        };
+    }
+
+    fn dispatch_timer(&mut self, dst: ActorId, token: u64) {
+        self.trace
+            .record(self.time, TraceEvent::TimerFired { actor: dst, token });
+        let Some(slot) = self.actors.get_mut(dst.index()) else {
+            return;
+        };
+        let slot = std::mem::replace(slot, Slot::Running);
+        let Slot::Occupied(mut actor) = slot else {
+            self.actors[dst.index()] = Slot::Vacant;
+            return;
+        };
+        let killed;
+        {
+            let mut ctx = Ctx {
+                sim: self,
+                self_id: dst,
+                killed_self: false,
+            };
+            actor.on_timer(&mut ctx, token);
+            killed = ctx.killed_self;
+        }
+        self.actors[dst.index()] = if killed {
+            Slot::Vacant
+        } else {
+            Slot::Occupied(actor)
+        };
+    }
+
+    /// Runs until the queue is empty. Returns the number of events
+    /// processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 100 million events as a runaway-loop backstop.
+    pub fn run_until_idle(&mut self) -> u64 {
+        self.run_with_budget(100_000_000)
+    }
+
+    /// Runs until the queue is empty or `budget` events have been processed;
+    /// returns the number processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is exhausted with events still pending — a
+    /// deterministic simulation that exceeds its budget is a bug, not load.
+    pub fn run_with_budget(&mut self, budget: u64) -> u64 {
+        let mut n = 0;
+        while n < budget {
+            if !self.step() {
+                return n;
+            }
+            n += 1;
+        }
+        if self.queue.is_empty() {
+            n
+        } else {
+            panic!("simulation exceeded event budget of {budget}");
+        }
+    }
+
+    /// Runs until simulated time reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the queue empties. Returns events
+    /// processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+        n
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.time + d;
+        self.run_until(deadline)
+    }
+}
+
+impl<M: Payload> fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("time", &self.time)
+            .field("actors", &self.actors.len())
+            .field("pending_events", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    enum TestMsg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl Payload for TestMsg {
+        fn wire_size(&self) -> u64 {
+            32
+        }
+    }
+
+    /// Replies to every Ping with a Pong carrying the same tag.
+    struct Responder;
+
+    impl Actor<TestMsg> for Responder {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, from: ActorId, msg: TestMsg) {
+            if let TestMsg::Ping(tag) = msg {
+                ctx.send(from, TestMsg::Pong(tag));
+            }
+        }
+
+        fn name(&self) -> &str {
+            "responder"
+        }
+    }
+
+    /// Records received pongs and the times they arrived.
+    #[derive(Default)]
+    struct Collector {
+        pongs: Vec<(u32, SimTime)>,
+    }
+
+    impl Actor<TestMsg> for Collector {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _from: ActorId, msg: TestMsg) {
+            if let TestMsg::Pong(tag) = msg {
+                let now = ctx.now();
+                self.pongs.push((tag, now));
+            }
+        }
+    }
+
+    fn two_node_sim() -> (Simulation<TestMsg>, ActorId, ActorId) {
+        let mut sim = Simulation::new(NetConfig::centurion(), 1);
+        let client = sim.spawn(NodeId::from_raw(0), Collector::default());
+        let server = sim.spawn(NodeId::from_raw(1), Responder);
+        (sim, client, server)
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let (mut sim, client, server) = two_node_sim();
+        sim.post(client, server, TestMsg::Ping(7));
+        sim.run_until_idle();
+        let c = sim.actor::<Collector>(client).expect("alive");
+        assert_eq!(c.pongs.len(), 1);
+        assert_eq!(c.pongs[0].0, 7);
+        assert!(c.pongs[0].1 > SimTime::ZERO);
+    }
+
+    #[test]
+    fn events_fire_in_time_order_with_fifo_ties() {
+        let (mut sim, client, server) = two_node_sim();
+        for tag in 0..10 {
+            sim.post(client, server, TestMsg::Ping(tag));
+        }
+        sim.run_until_idle();
+        let c = sim.actor::<Collector>(client).expect("alive");
+        let tags: Vec<u32> = c.pongs.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+        let times: Vec<SimTime> = c.pongs.iter().map(|(_, t)| *t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn dead_actor_messages_become_dead_letters() {
+        let (mut sim, client, server) = two_node_sim();
+        sim.kill(server);
+        sim.post(client, server, TestMsg::Ping(1));
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().counter("sim.dead_letters"), 1);
+        let c = sim.actor::<Collector>(client).expect("alive");
+        assert!(c.pongs.is_empty());
+    }
+
+    /// An actor that kills itself upon the first message.
+    struct SelfDestruct;
+
+    impl Actor<TestMsg> for SelfDestruct {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _from: ActorId, _msg: TestMsg) {
+            let me = ctx.self_id();
+            ctx.kill(me);
+        }
+    }
+
+    #[test]
+    fn self_kill_takes_effect_after_handler() {
+        let mut sim = Simulation::new(NetConfig::instant(), 2);
+        let a = sim.spawn(NodeId::from_raw(0), SelfDestruct);
+        let b = sim.spawn(NodeId::from_raw(0), Collector::default());
+        sim.post(b, a, TestMsg::Ping(0));
+        sim.post(b, a, TestMsg::Ping(1));
+        sim.run_until_idle();
+        assert!(!sim.is_alive(a));
+        assert_eq!(sim.metrics().counter("sim.dead_letters"), 1);
+    }
+
+    /// Fires a timer chain: each on_timer schedules the next until 5 fired.
+    #[derive(Default)]
+    struct TimerChain {
+        fired: Vec<(u64, SimTime)>,
+    }
+
+    impl Actor<TestMsg> for TimerChain {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _from: ActorId, _msg: TestMsg) {
+            ctx.schedule_timer(SimDuration::from_millis(10), 0);
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, token: u64) {
+            let now = ctx.now();
+            self.fired.push((token, now));
+            if token < 4 {
+                ctx.schedule_timer(SimDuration::from_millis(10), token + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn timer_chains_advance_the_clock() {
+        let mut sim = Simulation::new(NetConfig::instant(), 3);
+        let a = sim.spawn(NodeId::from_raw(0), TimerChain::default());
+        sim.post(a, a, TestMsg::Ping(0));
+        sim.run_until_idle();
+        let chain = sim.actor::<TimerChain>(a).expect("alive");
+        assert_eq!(chain.fired.len(), 5);
+        assert_eq!(
+            chain.fired.last().expect("five").1,
+            SimTime::ZERO + SimDuration::from_millis(50)
+        );
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let mut sim = Simulation::new(NetConfig::instant(), 4);
+        let a = sim.spawn(NodeId::from_raw(0), TimerChain::default());
+        let id = sim.schedule_timer_for(a, SimDuration::from_secs(1), 99);
+        sim.with_actor::<TimerChain, _>(a, |_, ctx| ctx.cancel_timer(id));
+        sim.run_until_idle();
+        let chain = sim.actor::<TimerChain>(a).expect("alive");
+        assert!(chain.fired.is_empty());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new(NetConfig::instant(), 5);
+        let a = sim.spawn(NodeId::from_raw(0), TimerChain::default());
+        sim.post(a, a, TestMsg::Ping(0));
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(25));
+        let fired = sim.actor::<TimerChain>(a).expect("alive").fired.len();
+        assert_eq!(fired, 2, "only timers at 10ms and 20ms fire by 25ms");
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(25));
+        sim.run_until_idle();
+        assert_eq!(sim.actor::<TimerChain>(a).expect("alive").fired.len(), 5);
+    }
+
+    #[test]
+    fn with_actor_returns_closure_result() {
+        let mut sim = Simulation::new(NetConfig::instant(), 6);
+        let a = sim.spawn(NodeId::from_raw(0), Collector::default());
+        let n = sim.with_actor::<Collector, _>(a, |c, _ctx| c.pongs.len());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not alive")]
+    fn with_actor_panics_on_dead_actor() {
+        let mut sim = Simulation::new(NetConfig::instant(), 7);
+        let a = sim.spawn(NodeId::from_raw(0), Collector::default());
+        sim.kill(a);
+        sim.with_actor::<Collector, _>(a, |_, _| ());
+    }
+
+    #[test]
+    fn fresh_u64_is_monotonic() {
+        let mut sim = Simulation::<TestMsg>::new(NetConfig::instant(), 8);
+        let a = sim.fresh_u64();
+        let b = sim.fresh_u64();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_traces() {
+        let run = |seed: u64| -> Vec<(u32, SimTime)> {
+            let mut sim = Simulation::new(NetConfig::centurion(), seed);
+            let client = sim.spawn(NodeId::from_raw(0), Collector::default());
+            let server = sim.spawn(NodeId::from_raw(1), Responder);
+            for tag in 0..20 {
+                sim.post(client, server, TestMsg::Ping(tag));
+            }
+            sim.run_until_idle();
+            sim.actor::<Collector>(client).expect("alive").pongs.clone()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should jitter differently");
+    }
+}

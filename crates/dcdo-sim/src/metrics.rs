@@ -1,0 +1,265 @@
+//! Measurement collection for experiments.
+//!
+//! Counters count events; histograms collect sample distributions (latencies,
+//! sizes) and report means and quantiles. The benchmark harness reads these
+//! after a run to print the paper-style tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// A distribution of `f64` samples with quantile reporting.
+///
+/// Samples are kept raw (the experiments collect at most tens of thousands of
+/// points), so quantiles are exact.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, sample: f64) {
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Records a duration sample in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Returns the number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns the arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Returns the smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::min)
+    }
+
+    /// Returns the largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// Returns the `q`-quantile (`0.0 ..= 1.0`) by nearest-rank, or `None` if
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// Returns the median, or `None` if empty.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Returns a view of the raw samples, in insertion order unless a
+    /// quantile has been computed (which sorts them).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A named collection of counters and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Returns the value of the named counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into the named histogram.
+    pub fn sample(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    /// Records a duration sample (in seconds) into the named histogram.
+    pub fn sample_duration(&mut self, name: &str, d: SimDuration) {
+        self.sample(name, d.as_secs_f64());
+    }
+
+    /// Returns the named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Returns the named histogram mutably (needed for quantiles), if any.
+    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+        self.histograms.get_mut(name)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Clears all counters and histograms.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counters:")?;
+        for (name, v) in &self.counters {
+            writeln!(f, "  {name} = {v}")?;
+        }
+        writeln!(f, "histograms:")?;
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "  {name}: n={} mean={:?} min={:?} max={:?}",
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        assert_eq!(m.counter("x"), 0);
+        m.incr("x");
+        m.add("x", 4);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.counters().collect::<Vec<_>>(), vec![("x", 5)]);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        for x in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.mean(), Some(3.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(5.0));
+        assert_eq!(h.median(), Some(3.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let mut h = Histogram::new();
+        for x in 1..=100 {
+            h.record(x as f64);
+        }
+        assert_eq!(h.quantile(0.25), Some(25.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn duration_sampling() {
+        let mut m = Metrics::new();
+        m.sample_duration("lat", SimDuration::from_millis(250));
+        let h = m.histogram("lat").expect("recorded");
+        assert_eq!(h.count(), 1);
+        assert!((h.mean().expect("nonempty") - 0.25).abs() < 1e-12);
+        assert!(m.histogram("other").is_none());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.sample("b", 1.0);
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.histogram("b").is_none());
+    }
+
+    #[test]
+    fn display_never_empty() {
+        let m = Metrics::new();
+        let s = m.to_string();
+        assert!(s.contains("counters"));
+    }
+}

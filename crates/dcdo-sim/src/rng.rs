@@ -1,0 +1,151 @@
+//! Deterministic randomness for the simulator.
+//!
+//! All jitter in the simulation (timeout backoff, overhead variation, loss)
+//! flows from a single seeded generator so identical seeds produce identical
+//! traces — the determinism property tests rely on this.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngExt as _, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A seeded random-number generator for simulation jitter.
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed. The same seed always yields the same
+    /// stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.random_range(0.0..1.0)
+    }
+
+    /// Returns a uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Returns a uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit_f64() < p
+        }
+    }
+
+    /// Returns a duration uniformly drawn from `[lo, hi]`.
+    pub fn duration_between(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        if lo >= hi {
+            return lo;
+        }
+        SimDuration::from_nanos(self.range_u64(lo.as_nanos(), hi.as_nanos() + 1))
+    }
+
+    /// Scales `base` by a uniform factor in `[1 - frac, 1 + frac]`.
+    ///
+    /// Used for the "10–15 µs" style jitter bands of the paper's overhead
+    /// measurements.
+    pub fn jitter(&mut self, base: SimDuration, frac: f64) -> SimDuration {
+        if frac <= 0.0 {
+            return base;
+        }
+        base.mul_f64(self.range_f64(1.0 - frac, 1.0 + frac))
+    }
+
+    /// Draws a fresh seed for a derived generator.
+    pub fn fork_seed(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1_000_000), b.range_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.range_u64(0, u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.range_u64(0, u64::MAX - 1)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn duration_between_bounds() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let lo = SimDuration::from_millis(10);
+        let hi = SimDuration::from_millis(20);
+        for _ in 0..100 {
+            let d = rng.duration_between(lo, hi);
+            assert!(d >= lo && d <= hi, "{d}");
+        }
+        assert_eq!(rng.duration_between(hi, lo), hi);
+        assert_eq!(rng.duration_between(lo, lo), lo);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let base = SimDuration::from_micros(100);
+        for _ in 0..100 {
+            let j = rng.jitter(base, 0.2);
+            assert!(j >= base.mul_f64(0.8) && j <= base.mul_f64(1.2), "{j}");
+        }
+        assert_eq!(rng.jitter(base, 0.0), base);
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Engine robustness: large actor populations, timer storms, budget
+//! enforcement, and histogram quantile properties.
+
+use dcdo_sim::{
+    Actor, ActorId, Ctx, Histogram, NetConfig, NodeId, Payload, SimDuration, Simulation,
+};
+use proptest::prelude::*;
+
+#[derive(Debug)]
+struct Token(u32);
+
+impl Payload for Token {}
+
+/// Forwards each token around a ring a fixed number of laps.
+struct RingNode {
+    next: Option<ActorId>,
+    laps_remaining: u32,
+    seen: u32,
+}
+
+impl Actor<Token> for RingNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, _from: ActorId, msg: Token) {
+        self.seen += 1;
+        if let Some(next) = self.next {
+            if msg.0 > 0 {
+                ctx.send(next, Token(msg.0 - 1));
+            }
+        }
+        let _ = self.laps_remaining;
+    }
+}
+
+#[test]
+fn thousand_actor_ring_drains() {
+    let n = 1000u32;
+    let mut sim = Simulation::new(NetConfig::centurion(), 1);
+    let ids: Vec<ActorId> = (0..n)
+        .map(|i| {
+            sim.spawn(NodeId::from_raw(i % 16), RingNode {
+                next: None,
+                laps_remaining: 0,
+                seen: 0,
+            })
+        })
+        .collect();
+    for (i, id) in ids.iter().enumerate() {
+        let next = ids[(i + 1) % ids.len()];
+        sim.actor_mut::<RingNode>(*id).expect("alive").next = Some(next);
+    }
+    // 5 laps around the 1000-node ring.
+    sim.post(ids[0], ids[0], Token(5 * n));
+    let events = sim.run_until_idle();
+    assert!(events >= (5 * n) as u64);
+    let total_seen: u32 = ids
+        .iter()
+        .map(|id| sim.actor::<RingNode>(*id).expect("alive").seen)
+        .sum();
+    assert_eq!(total_seen, 5 * n + 1);
+}
+
+/// An actor that reschedules itself forever.
+struct Forever;
+
+impl Actor<Token> for Forever {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, _from: ActorId, _msg: Token) {
+        ctx.schedule_timer(SimDuration::from_nanos(1), 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Token>, _token: u64) {
+        ctx.schedule_timer(SimDuration::from_nanos(1), 0);
+    }
+}
+
+#[test]
+#[should_panic(expected = "event budget")]
+fn runaway_loops_hit_the_budget_backstop() {
+    let mut sim = Simulation::new(NetConfig::instant(), 2);
+    let a = sim.spawn(NodeId::from_raw(0), Forever);
+    sim.post(a, a, Token(0));
+    sim.run_with_budget(10_000);
+}
+
+#[test]
+fn run_until_on_empty_queue_advances_the_clock() {
+    let mut sim = Simulation::<Token>::new(NetConfig::instant(), 3);
+    let deadline = dcdo_sim::SimTime::from_nanos(5_000_000_000);
+    assert_eq!(sim.run_until(deadline), 0);
+    assert_eq!(sim.now(), deadline);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in prop::collection::vec(-1e6f64..1e6, 1..200),
+        qs in prop::collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        let min = h.min().expect("nonempty");
+        let max = h.max().expect("nonempty");
+        let mut sorted_qs = qs.clone();
+        sorted_qs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mut last = f64::NEG_INFINITY;
+        for q in sorted_qs {
+            let v = h.quantile(q).expect("nonempty");
+            prop_assert!(v >= min && v <= max);
+            prop_assert!(v >= last, "quantiles must be monotone");
+            last = v;
+        }
+        // Mean is within [min, max] too.
+        let mean = h.mean().expect("nonempty");
+        prop_assert!(mean >= min - 1e-9 && mean <= max + 1e-9);
+    }
+
+    /// The quantile of every recorded sample's rank recovers a recorded
+    /// sample (nearest-rank property).
+    #[test]
+    fn quantiles_return_recorded_samples(
+        samples in prop::collection::vec(-1e6f64..1e6, 1..100),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        let v = h.quantile(q).expect("nonempty");
+        prop_assert!(samples.iter().any(|s| (s - v).abs() < 1e-12));
+    }
+}

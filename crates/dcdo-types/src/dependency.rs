@@ -1,0 +1,297 @@
+//! Function dependencies (§3.2 of the paper).
+//!
+//! Programmers (or static analysis, for structural dependencies) can declare
+//! that dynamic functions depend on other functions in an interface or
+//! implementation. A *structural* dependency requires that **some**
+//! implementation of the target remain enabled; a *behavioral* dependency
+//! requires a **specific** implementation (in a named component) to remain
+//! enabled. Both the source and the target side can be pinned to a component
+//! or left open, giving the four types of the paper:
+//!
+//! | Type | Form                 | Kind        |
+//! |------|----------------------|-------------|
+//! | A    | `[F1, C1] -> [F2]`   | structural  |
+//! | B    | `[F1, C1] -> [F2, C2]` | behavioral |
+//! | C    | `[F1] -> [F2, C2]`   | behavioral  |
+//! | D    | `[F1] -> [F2]`       | structural  |
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ComponentId, FunctionName};
+
+/// One side of a dependency: a function, optionally pinned to the
+/// implementation found in a specific component.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DependencyEnd {
+    function: FunctionName,
+    component: Option<ComponentId>,
+}
+
+impl DependencyEnd {
+    /// An end matching *any* implementation of `function`.
+    pub fn any_impl(function: impl Into<FunctionName>) -> Self {
+        DependencyEnd {
+            function: function.into(),
+            component: None,
+        }
+    }
+
+    /// An end matching specifically the implementation of `function` found
+    /// in `component`.
+    pub fn in_component(function: impl Into<FunctionName>, component: ComponentId) -> Self {
+        DependencyEnd {
+            function: function.into(),
+            component: Some(component),
+        }
+    }
+
+    /// The function this end names.
+    pub fn function(&self) -> &FunctionName {
+        &self.function
+    }
+
+    /// The pinned component, if this end is implementation-specific.
+    pub fn component(&self) -> Option<ComponentId> {
+        self.component
+    }
+
+    /// Returns `true` if this end is pinned to a specific component.
+    pub fn is_pinned(&self) -> bool {
+        self.component.is_some()
+    }
+
+    /// Returns `true` if this end matches the implementation of `function`
+    /// residing in `component`.
+    pub fn matches(&self, function: &FunctionName, component: ComponentId) -> bool {
+        &self.function == function && self.component.is_none_or(|c| c == component)
+    }
+}
+
+impl fmt::Display for DependencyEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.component {
+            Some(c) => write!(f, "[{}, {}]", self.function, c),
+            None => write!(f, "[{}]", self.function),
+        }
+    }
+}
+
+/// The letter classification of a dependency (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DependencyType {
+    /// `[F1, C1] -> [F2]`: structural, source pinned.
+    A,
+    /// `[F1, C1] -> [F2, C2]`: behavioral, both pinned.
+    B,
+    /// `[F1] -> [F2, C2]`: behavioral, target pinned.
+    C,
+    /// `[F1] -> [F2]`: structural, neither pinned.
+    D,
+}
+
+impl fmt::Display for DependencyType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DependencyType::A => "A",
+            DependencyType::B => "B",
+            DependencyType::C => "C",
+            DependencyType::D => "D",
+        })
+    }
+}
+
+/// A declared dependency between dynamic functions (§3.2).
+///
+/// The dependency constrains the *target*: as long as the source end is
+/// enabled, the target end must remain enabled. It never restricts the
+/// evolution of the source function itself.
+///
+/// # Examples
+///
+/// ```
+/// use dcdo_types::{ComponentId, Dependency, DependencyType};
+///
+/// let c1 = ComponentId::from_raw(1);
+/// let c2 = ComponentId::from_raw(2);
+/// // sort's implementation in c1 must not outlive every compare:
+/// let a = Dependency::type_a("sort", c1, "compare");
+/// assert_eq!(a.dependency_type(), DependencyType::A);
+/// assert!(a.is_structural());
+/// // sort (any implementation) requires compare's implementation in c2:
+/// let c = Dependency::type_c("sort", "compare", c2);
+/// assert!(c.is_behavioral());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dependency {
+    source: DependencyEnd,
+    target: DependencyEnd,
+}
+
+impl Dependency {
+    /// Creates a dependency from explicit ends.
+    pub fn new(source: DependencyEnd, target: DependencyEnd) -> Self {
+        Dependency { source, target }
+    }
+
+    /// Type A: `[f1, c1] -> [f2]` — the implementation of `f1` in `c1`
+    /// structurally depends on some implementation of `f2`.
+    pub fn type_a(
+        f1: impl Into<FunctionName>,
+        c1: ComponentId,
+        f2: impl Into<FunctionName>,
+    ) -> Self {
+        Dependency::new(
+            DependencyEnd::in_component(f1, c1),
+            DependencyEnd::any_impl(f2),
+        )
+    }
+
+    /// Type B: `[f1, c1] -> [f2, c2]` — the implementation of `f1` in `c1`
+    /// behaviorally depends on the implementation of `f2` in `c2`.
+    pub fn type_b(
+        f1: impl Into<FunctionName>,
+        c1: ComponentId,
+        f2: impl Into<FunctionName>,
+        c2: ComponentId,
+    ) -> Self {
+        Dependency::new(
+            DependencyEnd::in_component(f1, c1),
+            DependencyEnd::in_component(f2, c2),
+        )
+    }
+
+    /// Type C: `[f1] -> [f2, c2]` — any implementation of `f1` behaviorally
+    /// depends on the implementation of `f2` in `c2`.
+    pub fn type_c(
+        f1: impl Into<FunctionName>,
+        f2: impl Into<FunctionName>,
+        c2: ComponentId,
+    ) -> Self {
+        Dependency::new(
+            DependencyEnd::any_impl(f1),
+            DependencyEnd::in_component(f2, c2),
+        )
+    }
+
+    /// Type D: `[f1] -> [f2]` — any implementation of `f1` structurally
+    /// depends on some implementation of `f2`.
+    pub fn type_d(f1: impl Into<FunctionName>, f2: impl Into<FunctionName>) -> Self {
+        Dependency::new(DependencyEnd::any_impl(f1), DependencyEnd::any_impl(f2))
+    }
+
+    /// The source end (the depending function).
+    pub fn source(&self) -> &DependencyEnd {
+        &self.source
+    }
+
+    /// The target end (the function being depended on).
+    pub fn target(&self) -> &DependencyEnd {
+        &self.target
+    }
+
+    /// Returns the letter classification of this dependency.
+    pub fn dependency_type(&self) -> DependencyType {
+        match (self.source.is_pinned(), self.target.is_pinned()) {
+            (true, false) => DependencyType::A,
+            (true, true) => DependencyType::B,
+            (false, true) => DependencyType::C,
+            (false, false) => DependencyType::D,
+        }
+    }
+
+    /// Returns `true` if the target side is open (structural: *some*
+    /// implementation of the target suffices).
+    pub fn is_structural(&self) -> bool {
+        !self.target.is_pinned()
+    }
+
+    /// Returns `true` if the target side is pinned (behavioral: a *specific*
+    /// implementation is required).
+    pub fn is_behavioral(&self) -> bool {
+        self.target.is_pinned()
+    }
+
+    /// Returns `true` if this dependency is a self-dependency — the paper's
+    /// idiom for protecting recursive functions from being changed while
+    /// they execute.
+    pub fn is_self_dependency(&self) -> bool {
+        self.source.function() == self.target.function()
+    }
+}
+
+impl fmt::Display for Dependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} (type {})",
+            self.source,
+            self.target,
+            self.dependency_type()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u64) -> ComponentId {
+        ComponentId::from_raw(n)
+    }
+
+    #[test]
+    fn four_types_classify_correctly() {
+        assert_eq!(
+            Dependency::type_a("f1", c(1), "f2").dependency_type(),
+            DependencyType::A
+        );
+        assert_eq!(
+            Dependency::type_b("f1", c(1), "f2", c(2)).dependency_type(),
+            DependencyType::B
+        );
+        assert_eq!(
+            Dependency::type_c("f1", "f2", c(2)).dependency_type(),
+            DependencyType::C
+        );
+        assert_eq!(
+            Dependency::type_d("f1", "f2").dependency_type(),
+            DependencyType::D
+        );
+    }
+
+    #[test]
+    fn structural_vs_behavioral() {
+        assert!(Dependency::type_a("f1", c(1), "f2").is_structural());
+        assert!(Dependency::type_d("f1", "f2").is_structural());
+        assert!(Dependency::type_b("f1", c(1), "f2", c(2)).is_behavioral());
+        assert!(Dependency::type_c("f1", "f2", c(2)).is_behavioral());
+    }
+
+    #[test]
+    fn end_matching() {
+        let open = DependencyEnd::any_impl("f");
+        assert!(open.matches(&"f".into(), c(1)));
+        assert!(open.matches(&"f".into(), c(2)));
+        assert!(!open.matches(&"g".into(), c(1)));
+
+        let pinned = DependencyEnd::in_component("f", c(1));
+        assert!(pinned.matches(&"f".into(), c(1)));
+        assert!(!pinned.matches(&"f".into(), c(2)));
+    }
+
+    #[test]
+    fn self_dependency_detects_recursion_guard() {
+        assert!(Dependency::type_d("fib", "fib").is_self_dependency());
+        assert!(!Dependency::type_d("fib", "add").is_self_dependency());
+    }
+
+    #[test]
+    fn display_formats_like_the_paper() {
+        let d = Dependency::type_b("f1", c(1), "f2", c(2));
+        assert_eq!(d.to_string(), "[f1, comp:1] -> [f2, comp:2] (type B)");
+        let d = Dependency::type_d("f1", "f2");
+        assert_eq!(d.to_string(), "[f1] -> [f2] (type D)");
+    }
+}

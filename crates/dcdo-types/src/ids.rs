@@ -1,0 +1,123 @@
+//! Opaque identifiers for the entities of the system.
+//!
+//! Legion names everything in a single global object namespace with LOIDs
+//! (Legion object identifiers). We model LOIDs as opaque 64-bit identifiers
+//! minted by the simulation kernel; the textual rendering mimics the dotted
+//! LOID style only for readability.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an identifier from a raw value.
+            ///
+            /// Raw values are minted by whatever allocator owns the namespace
+            /// (typically the simulation kernel); this constructor performs no
+            /// uniqueness checking.
+            pub const fn from_raw(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw value underlying this identifier.
+            pub const fn as_raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A Legion object identifier (LOID): names any active object in the
+    /// global namespace — DCDOs, ICOs, managers, class objects, hosts, and
+    /// vaults all live in this single namespace.
+    ObjectId,
+    "loid:"
+);
+
+id_type!(
+    /// Identifies an object *type* (a Legion class). Every DCDO Manager and
+    /// every Legion class object manages exactly one class.
+    ClassId,
+    "class:"
+);
+
+id_type!(
+    /// Identifies a physical host (a node of the simulated testbed).
+    HostId,
+    "host:"
+);
+
+id_type!(
+    /// Identifies an implementation component, unique within one object type.
+    ///
+    /// Components are *maintained* inside implementation component objects
+    /// (ICOs), which carry an [`ObjectId`]; the `ComponentId` is the stable
+    /// logical identity a DFM descriptor refers to, so the same component can
+    /// be re-hosted in a different ICO without invalidating descriptors.
+    ComponentId,
+    "comp:"
+);
+
+id_type!(
+    /// Correlates an RPC request with its reply.
+    CallId,
+    "call:"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        let id = ObjectId::from_raw(42);
+        assert_eq!(id.as_raw(), 42);
+        assert_eq!(u64::from(id), 42);
+    }
+
+    #[test]
+    fn display_is_prefixed_and_nonempty() {
+        assert_eq!(ObjectId::from_raw(7).to_string(), "loid:7");
+        assert_eq!(ClassId::from_raw(1).to_string(), "class:1");
+        assert_eq!(HostId::from_raw(3).to_string(), "host:3");
+        assert_eq!(ComponentId::from_raw(9).to_string(), "comp:9");
+        assert_eq!(CallId::from_raw(0).to_string(), "call:0");
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(ObjectId::from_raw(1) < ObjectId::from_raw(2));
+        let mut v = vec![HostId::from_raw(5), HostId::from_raw(1)];
+        v.sort();
+        assert_eq!(v, vec![HostId::from_raw(1), HostId::from_raw(5)]);
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_unify() {
+        // Compile-time property: this test documents that the newtypes are
+        // distinct; equality across types does not type-check.
+        fn takes_object(_: ObjectId) {}
+        takes_object(ObjectId::from_raw(1));
+    }
+}

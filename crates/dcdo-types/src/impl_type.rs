@@ -1,0 +1,216 @@
+//! Implementation types (§2.1 of the paper).
+//!
+//! Dynamic configurability allows functionally equivalent implementations of
+//! the same version to coexist so compiled, architecture-specific code can be
+//! used in a heterogeneous system while objects remain free to migrate. An
+//! *implementation type* records the characteristics of one such kind of
+//! implementation: the architecture it runs on, the object-code format, and
+//! (when it matters) the source language.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Machine architecture an implementation component was built for.
+///
+/// The variants mirror the heterogeneity of late-1990s Legion deployments
+/// (the Centurion testbed mixed x86 and Alpha nodes) plus a `Portable`
+/// architecture for bytecode components that run anywhere — the common case
+/// in this reproduction, where "object code" is the `dcdo-vm` bytecode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Architecture {
+    /// Intel x86 (e.g. the 400 MHz Pentium IIs of the Centurion testbed).
+    X86,
+    /// DEC Alpha.
+    Alpha,
+    /// Sun SPARC.
+    Sparc,
+    /// Architecture-neutral bytecode; runs on any host.
+    Portable,
+}
+
+impl Architecture {
+    /// Returns `true` if code built for `self` can execute on a host whose
+    /// native architecture is `host`.
+    pub fn runs_on(self, host: Architecture) -> bool {
+        self == Architecture::Portable || self == host
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Architecture::X86 => "x86",
+            Architecture::Alpha => "alpha",
+            Architecture::Sparc => "sparc",
+            Architecture::Portable => "portable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Object-code format of an implementation component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectCodeFormat {
+    /// ELF shared object (native components on Unix hosts).
+    ElfSharedObject,
+    /// The `dcdo-vm` serialized bytecode component format.
+    DcdoBytecode,
+}
+
+impl fmt::Display for ObjectCodeFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ObjectCodeFormat::ElfSharedObject => "elf-so",
+            ObjectCodeFormat::DcdoBytecode => "dcdo-bytecode",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Source language of an implementation component, when relevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Language {
+    /// C++ (the language of the original Legion implementation).
+    Cpp,
+    /// The `dcdo-vm` assembly used by this reproduction.
+    VmAssembly,
+    /// Language unknown or irrelevant.
+    Unspecified,
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Language::Cpp => "c++",
+            Language::VmAssembly => "vm-asm",
+            Language::Unspecified => "unspecified",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The implementation type of a component: architecture, code format, and
+/// language (§2.1).
+///
+/// Two components with the same [`ComponentId`](crate::ComponentId) but
+/// different implementation types are interchangeable realizations of the
+/// same logical component — e.g. an x86 build and an Alpha build.
+///
+/// # Examples
+///
+/// ```
+/// use dcdo_types::{Architecture, ImplementationType};
+///
+/// let bytecode = ImplementationType::portable_bytecode();
+/// assert!(bytecode.compatible_with_host(Architecture::X86));
+/// assert!(bytecode.compatible_with_host(Architecture::Alpha));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ImplementationType {
+    architecture: Architecture,
+    format: ObjectCodeFormat,
+    language: Language,
+}
+
+impl ImplementationType {
+    /// Creates an implementation type from its three characteristics.
+    pub fn new(architecture: Architecture, format: ObjectCodeFormat, language: Language) -> Self {
+        ImplementationType {
+            architecture,
+            format,
+            language,
+        }
+    }
+
+    /// The implementation type of `dcdo-vm` bytecode components: portable
+    /// architecture, bytecode format, VM assembly language.
+    pub fn portable_bytecode() -> Self {
+        ImplementationType::new(
+            Architecture::Portable,
+            ObjectCodeFormat::DcdoBytecode,
+            Language::VmAssembly,
+        )
+    }
+
+    /// A native implementation type for the given architecture, in ELF
+    /// shared-object format with C++ as the source language.
+    pub fn native(architecture: Architecture) -> Self {
+        ImplementationType::new(architecture, ObjectCodeFormat::ElfSharedObject, Language::Cpp)
+    }
+
+    /// Returns the architecture characteristic.
+    pub fn architecture(&self) -> Architecture {
+        self.architecture
+    }
+
+    /// Returns the object-code format characteristic.
+    pub fn format(&self) -> ObjectCodeFormat {
+        self.format
+    }
+
+    /// Returns the language characteristic.
+    pub fn language(&self) -> Language {
+        self.language
+    }
+
+    /// Returns `true` if an implementation of this type can run on a host
+    /// with the given native architecture.
+    pub fn compatible_with_host(&self, host: Architecture) -> bool {
+        self.architecture.runs_on(host)
+    }
+}
+
+impl Default for ImplementationType {
+    fn default() -> Self {
+        ImplementationType::portable_bytecode()
+    }
+}
+
+impl fmt::Display for ImplementationType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.architecture, self.format, self.language)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn portable_runs_everywhere() {
+        for host in [Architecture::X86, Architecture::Alpha, Architecture::Sparc] {
+            assert!(Architecture::Portable.runs_on(host));
+            assert!(ImplementationType::portable_bytecode().compatible_with_host(host));
+        }
+    }
+
+    #[test]
+    fn native_only_runs_on_matching_architecture() {
+        let x86 = ImplementationType::native(Architecture::X86);
+        assert!(x86.compatible_with_host(Architecture::X86));
+        assert!(!x86.compatible_with_host(Architecture::Alpha));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = ImplementationType::native(Architecture::Alpha);
+        assert_eq!(t.to_string(), "alpha/elf-so/c++");
+        assert_eq!(
+            ImplementationType::portable_bytecode().to_string(),
+            "portable/dcdo-bytecode/vm-asm"
+        );
+    }
+
+    #[test]
+    fn accessors_return_characteristics() {
+        let t = ImplementationType::new(
+            Architecture::Sparc,
+            ObjectCodeFormat::ElfSharedObject,
+            Language::Cpp,
+        );
+        assert_eq!(t.architecture(), Architecture::Sparc);
+        assert_eq!(t.format(), ObjectCodeFormat::ElfSharedObject);
+        assert_eq!(t.language(), Language::Cpp);
+    }
+}

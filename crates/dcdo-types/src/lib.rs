@@ -1,0 +1,42 @@
+//! Shared vocabulary types for the DCDO reproduction.
+//!
+//! This crate defines the identifiers, version identifiers, implementation
+//! types, and dynamic-function interface descriptions that every other crate
+//! in the workspace speaks. It corresponds to the "common object model"
+//! vocabulary of the paper: Legion object identifiers, DCDO version
+//! identifiers (§2.1), implementation types (§2.1), and the
+//! exported/internal, enabled/disabled, mandatory/permanent classification of
+//! dynamic functions (§2.2, §3.2).
+//!
+//! # Examples
+//!
+//! ```
+//! use dcdo_types::{VersionId, FunctionName, Visibility};
+//!
+//! let root = VersionId::root();
+//! let child = root.child(2);
+//! assert!(child.is_derived_from(&root));
+//! assert_eq!(child.to_string(), "1.2");
+//!
+//! let f = FunctionName::new("sort");
+//! assert_eq!(f.as_str(), "sort");
+//! assert_eq!(Visibility::Exported.is_exported(), true);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dependency;
+mod function;
+mod ids;
+mod impl_type;
+mod version;
+
+pub use dependency::{Dependency, DependencyEnd, DependencyType};
+pub use function::{
+    FunctionName, FunctionSignature, FunctionState, ParseSignatureError, Protection, TypeTag,
+    Visibility,
+};
+pub use ids::{CallId, ClassId, ComponentId, HostId, ObjectId};
+pub use impl_type::{Architecture, ImplementationType, Language, ObjectCodeFormat};
+pub use version::{ParseVersionError, VersionId};

@@ -1,0 +1,250 @@
+//! Version identifiers (§2.1 of the paper).
+//!
+//! A version identifier is an array of positive integers that identifies some
+//! version of an object type's implementation. Identifiers are unique only
+//! within one object type. Versions form a tree: `1.2.3` is derived
+//! (transitively) from `1.2` and `1`, and the *increasing version number*
+//! evolution policy only permits evolution to descendants.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A version identifier: a non-empty array of positive integers, e.g. `1.2.3`.
+///
+/// Within one object type, two DCDOs carrying the same `VersionId` have
+/// functionally equivalent implementations: the same components incorporated
+/// and functionally equivalent DFMs (§2.1).
+///
+/// # Examples
+///
+/// ```
+/// use dcdo_types::VersionId;
+///
+/// let v: VersionId = "1.2.3".parse()?;
+/// assert!(v.is_derived_from(&"1.2".parse()?));
+/// assert!(!v.is_derived_from(&"1.3".parse()?));
+/// assert_eq!(v.parent(), Some("1.2".parse()?));
+/// # Ok::<(), dcdo_types::ParseVersionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VersionId(Vec<u32>);
+
+impl VersionId {
+    /// The root version, `1`, from which every version tree grows.
+    pub fn root() -> Self {
+        VersionId(vec![1])
+    }
+
+    /// Creates a version identifier from components.
+    ///
+    /// Returns `None` if `components` is empty or contains a zero (the paper
+    /// requires positive integers).
+    pub fn new<I>(components: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let v: Vec<u32> = components.into_iter().collect();
+        if v.is_empty() || v.contains(&0) {
+            None
+        } else {
+            Some(VersionId(v))
+        }
+    }
+
+    /// Returns the components of this identifier.
+    pub fn components(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Returns the number of components (the depth in the version tree).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Derives the child version obtained by appending `branch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch` is zero; version components are positive.
+    pub fn child(&self, branch: u32) -> Self {
+        assert!(branch > 0, "version components are positive integers");
+        let mut v = self.0.clone();
+        v.push(branch);
+        VersionId(v)
+    }
+
+    /// Returns the parent version, or `None` for a depth-1 version.
+    pub fn parent(&self) -> Option<Self> {
+        if self.0.len() <= 1 {
+            None
+        } else {
+            Some(VersionId(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Returns `true` if `self` is (transitively) derived from `ancestor`.
+    ///
+    /// A version is *not* considered derived from itself; use
+    /// [`VersionId::is_self_or_derived_from`] for the reflexive relation.
+    pub fn is_derived_from(&self, ancestor: &VersionId) -> bool {
+        self.0.len() > ancestor.0.len() && self.0.starts_with(&ancestor.0)
+    }
+
+    /// Returns `true` if `self` equals `ancestor` or is derived from it.
+    pub fn is_self_or_derived_from(&self, ancestor: &VersionId) -> bool {
+        self == ancestor || self.is_derived_from(ancestor)
+    }
+
+    /// Returns the nearest common ancestor of two versions in the tree, if
+    /// they share one (they do whenever their first components agree).
+    pub fn common_ancestor(&self, other: &VersionId) -> Option<VersionId> {
+        let shared: Vec<u32> = self
+            .0
+            .iter()
+            .zip(other.0.iter())
+            .take_while(|(a, b)| a == b)
+            .map(|(a, _)| *a)
+            .collect();
+        if shared.is_empty() {
+            None
+        } else {
+            Some(VersionId(shared))
+        }
+    }
+}
+
+impl Default for VersionId {
+    fn default() -> Self {
+        VersionId::root()
+    }
+}
+
+impl fmt::Display for VersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`VersionId`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVersionError {
+    input: String,
+}
+
+impl fmt::Display for ParseVersionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid version identifier {:?}: expected dot-separated positive integers",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseVersionError {}
+
+impl FromStr for VersionId {
+    type Err = ParseVersionError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseVersionError {
+            input: s.to_owned(),
+        };
+        let components: Vec<u32> = s
+            .split('.')
+            .map(|part| part.parse::<u32>().map_err(|_| err()))
+            .collect::<Result<_, _>>()?;
+        VersionId::new(components).ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_one() {
+        assert_eq!(VersionId::root().to_string(), "1");
+        assert_eq!(VersionId::default(), VersionId::root());
+    }
+
+    #[test]
+    fn new_rejects_empty_and_zero() {
+        assert!(VersionId::new([]).is_none());
+        assert!(VersionId::new([1, 0, 3]).is_none());
+        assert!(VersionId::new([1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        // The paper defines version components as *positive* integers
+        // (§2.1), so the informal "3.2.0.4" example from §3.4 is rejected.
+        let err = "3.2.0.4".parse::<VersionId>().unwrap_err().to_string();
+        assert!(err.contains("3.2.0.4"));
+        let v: VersionId = "1.2.3".parse().unwrap();
+        assert_eq!(v.to_string(), "1.2.3");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<VersionId>().is_err());
+        assert!("1..2".parse::<VersionId>().is_err());
+        assert!("a.b".parse::<VersionId>().is_err());
+        assert!("1.2.".parse::<VersionId>().is_err());
+        assert!("-1.2".parse::<VersionId>().is_err());
+    }
+
+    #[test]
+    fn derivation_follows_the_paper_example() {
+        // §3.5: a version 3.2 DCDO can evolve to 3.2.1, but not to 3.3.
+        let v32: VersionId = "3.2".parse().unwrap();
+        let v321: VersionId = "3.2.1".parse().unwrap();
+        let v33: VersionId = "3.3".parse().unwrap();
+        assert!(v321.is_derived_from(&v32));
+        assert!(!v33.is_derived_from(&v32));
+        assert!(!v32.is_derived_from(&v32));
+        assert!(v32.is_self_or_derived_from(&v32));
+    }
+
+    #[test]
+    fn child_and_parent_invert() {
+        let v = VersionId::root().child(4).child(2);
+        assert_eq!(v.to_string(), "1.4.2");
+        assert_eq!(v.parent().unwrap().to_string(), "1.4");
+        assert_eq!(VersionId::root().parent(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn child_zero_panics() {
+        let _ = VersionId::root().child(0);
+    }
+
+    #[test]
+    fn common_ancestor() {
+        let a: VersionId = "1.2.3".parse().unwrap();
+        let b: VersionId = "1.2.5.1".parse().unwrap();
+        assert_eq!(a.common_ancestor(&b).unwrap().to_string(), "1.2");
+        let c: VersionId = "2.1".parse().unwrap();
+        assert_eq!(a.common_ancestor(&c), None);
+        assert_eq!(a.common_ancestor(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_components() {
+        let a: VersionId = "1.2".parse().unwrap();
+        let b: VersionId = "1.2.1".parse().unwrap();
+        let c: VersionId = "1.3".parse().unwrap();
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the shared vocabulary types.
+
+use dcdo_types::{FunctionSignature, TypeTag, VersionId};
+use proptest::prelude::*;
+
+fn version_components() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(1u32..=1_000, 1..8)
+}
+
+proptest! {
+    /// Display/parse round-trips for any valid version identifier.
+    #[test]
+    fn version_display_parse_round_trip(components in version_components()) {
+        let v = VersionId::new(components).expect("valid components");
+        let parsed: VersionId = v.to_string().parse().expect("round trip");
+        prop_assert_eq!(parsed, v);
+    }
+
+    /// Every child is derived from its parent, and derivation is transitive
+    /// along a chain of children.
+    #[test]
+    fn derivation_chain_is_transitive(
+        components in version_components(),
+        branches in prop::collection::vec(1u32..=50, 1..5),
+    ) {
+        let root = VersionId::new(components).expect("valid components");
+        let mut chain = vec![root.clone()];
+        for b in branches {
+            let next = chain.last().expect("nonempty").child(b);
+            chain.push(next);
+        }
+        for (i, ancestor) in chain.iter().enumerate() {
+            for descendant in &chain[i + 1..] {
+                prop_assert!(descendant.is_derived_from(ancestor));
+                prop_assert!(!ancestor.is_derived_from(descendant));
+            }
+        }
+    }
+
+    /// parent() inverts child() for every branch number.
+    #[test]
+    fn parent_inverts_child(components in version_components(), branch in 1u32..=10_000) {
+        let v = VersionId::new(components).expect("valid components");
+        prop_assert_eq!(v.child(branch).parent(), Some(v));
+    }
+
+    /// Siblings are never derived from one another.
+    #[test]
+    fn siblings_are_unrelated(
+        components in version_components(),
+        a in 1u32..=100,
+        b in 1u32..=100,
+    ) {
+        prop_assume!(a != b);
+        let parent = VersionId::new(components).expect("valid components");
+        let left = parent.child(a);
+        let right = parent.child(b);
+        prop_assert!(!left.is_derived_from(&right));
+        prop_assert!(!right.is_derived_from(&left));
+        prop_assert_eq!(left.common_ancestor(&right), Some(parent));
+    }
+
+    /// common_ancestor is symmetric and yields an ancestor of both inputs.
+    #[test]
+    fn common_ancestor_is_symmetric_and_sound(
+        a in version_components(),
+        b in version_components(),
+    ) {
+        let va = VersionId::new(a).expect("valid");
+        let vb = VersionId::new(b).expect("valid");
+        let ab = va.common_ancestor(&vb);
+        let ba = vb.common_ancestor(&va);
+        prop_assert_eq!(ab.clone(), ba);
+        if let Some(anc) = ab {
+            prop_assert!(va.is_self_or_derived_from(&anc));
+            prop_assert!(vb.is_self_or_derived_from(&anc));
+        }
+    }
+}
+
+fn type_tag() -> impl Strategy<Value = TypeTag> {
+    prop_oneof![
+        Just(TypeTag::Unit),
+        Just(TypeTag::Int),
+        Just(TypeTag::Bool),
+        Just(TypeTag::Str),
+        Just(TypeTag::List),
+        Just(TypeTag::Any),
+    ]
+}
+
+proptest! {
+    /// Signature display/parse round-trips.
+    #[test]
+    fn signature_display_parse_round_trip(
+        name in "[a-z][a-z0-9_]{0,12}",
+        params in prop::collection::vec(type_tag(), 0..6),
+        ret in type_tag(),
+    ) {
+        let sig = FunctionSignature::new(name.as_str(), params, ret);
+        let parsed: FunctionSignature = sig.to_string().parse().expect("round trip");
+        prop_assert_eq!(parsed, sig);
+    }
+
+    /// Signature compatibility is reflexive.
+    #[test]
+    fn signature_compatibility_reflexive(
+        name in "[a-z][a-z0-9_]{0,12}",
+        params in prop::collection::vec(type_tag(), 0..6),
+        ret in type_tag(),
+    ) {
+        let sig = FunctionSignature::new(name.as_str(), params, ret);
+        prop_assert!(sig.compatible_with(&sig));
+    }
+}

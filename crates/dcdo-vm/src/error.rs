@@ -1,0 +1,183 @@
+//! Runtime faults of the dynamic-code substrate.
+//!
+//! The variants [`VmError::MissingFunction`], [`VmError::FunctionDisabled`],
+//! and [`VmError::ComponentGone`] are the concrete runtime manifestations of
+//! the §3.1 problems (missing internal function, disappearing internal
+//! function, disappearing component). The evolution-restriction machinery in
+//! `dcdo-core` exists precisely to make these unreachable.
+
+use std::fmt;
+
+use dcdo_types::{ComponentId, FunctionName, TypeTag};
+use serde::{Deserialize, Serialize};
+
+/// A fault raised while executing dynamic-function code.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmError {
+    /// An instruction needed more operands than the stack holds.
+    StackUnderflow,
+    /// An operand had the wrong runtime type.
+    TypeMismatch {
+        /// The type the instruction required.
+        expected: TypeTag,
+        /// The type actually found.
+        found: TypeTag,
+    },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// A list access was out of range.
+    IndexOutOfRange {
+        /// The index used.
+        index: i64,
+        /// The length of the list.
+        len: usize,
+    },
+    /// A call supplied the wrong number of arguments.
+    ArityMismatch {
+        /// The function called.
+        function: FunctionName,
+        /// Declared arity.
+        expected: usize,
+        /// Arguments supplied.
+        found: usize,
+    },
+    /// A call argument had a type incompatible with the signature.
+    ArgumentType {
+        /// The function called.
+        function: FunctionName,
+        /// Zero-based argument position.
+        position: usize,
+        /// The declared parameter type.
+        expected: TypeTag,
+        /// The argument's type.
+        found: TypeTag,
+    },
+    /// A function returned a value incompatible with its declared return
+    /// type.
+    ReturnType {
+        /// The returning function.
+        function: FunctionName,
+        /// The declared return type.
+        expected: TypeTag,
+        /// The returned value's type.
+        found: TypeTag,
+    },
+    /// No implementation of the function exists in the object — the
+    /// *missing internal function* problem (§3.1).
+    MissingFunction(FunctionName),
+    /// The function exists but is disabled, so the DFM disallows the call —
+    /// how a *disappearing* function manifests to a caller (§3.1).
+    FunctionDisabled(FunctionName),
+    /// The function exists but is internal and the call came from outside
+    /// the object — the failed remnant of a *disappearing exported
+    /// function* (§3.1).
+    NotExported(FunctionName),
+    /// The component a suspended thread was executing in was removed while
+    /// it was blocked — the *disappearing component* problem (§3.1).
+    ComponentGone(ComponentId),
+    /// A native intrinsic was not found in the host registry.
+    UnknownNative(FunctionName),
+    /// A native intrinsic reported an error.
+    NativeError(String),
+    /// The call stack exceeded the depth limit.
+    CallDepthExceeded(usize),
+    /// The thread exhausted its instruction budget.
+    FuelExhausted,
+    /// A remote outcall failed (timeout, dead object, remote fault).
+    RemoteCallFailed(String),
+    /// The thread was aborted by its owner (e.g. forced component removal).
+    Aborted(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StackUnderflow => write!(f, "stack underflow"),
+            VmError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            VmError::DivideByZero => write!(f, "division by zero"),
+            VmError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for list of length {len}")
+            }
+            VmError::ArityMismatch {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function {function} expects {expected} arguments, got {found}"
+            ),
+            VmError::ArgumentType {
+                function,
+                position,
+                expected,
+                found,
+            } => write!(
+                f,
+                "argument {position} of {function}: expected {expected}, found {found}"
+            ),
+            VmError::ReturnType {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function {function} returned {found}, expected {expected}"
+            ),
+            VmError::MissingFunction(name) => {
+                write!(f, "no implementation of function {name} is present")
+            }
+            VmError::FunctionDisabled(name) => write!(f, "function {name} is disabled"),
+            VmError::NotExported(name) => write!(f, "function {name} is not exported"),
+            VmError::ComponentGone(c) => {
+                write!(f, "component {c} was removed while a thread was inside it")
+            }
+            VmError::UnknownNative(name) => write!(f, "unknown native intrinsic {name}"),
+            VmError::NativeError(msg) => write!(f, "native intrinsic failed: {msg}"),
+            VmError::CallDepthExceeded(depth) => {
+                write!(f, "call depth limit of {depth} exceeded")
+            }
+            VmError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            VmError::RemoteCallFailed(msg) => write!(f, "remote call failed: {msg}"),
+            VmError::Aborted(msg) => write!(f, "thread aborted: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_informative() {
+        let cases: Vec<VmError> = vec![
+            VmError::StackUnderflow,
+            VmError::DivideByZero,
+            VmError::MissingFunction("f".into()),
+            VmError::FunctionDisabled("g".into()),
+            VmError::NotExported("h".into()),
+            VmError::ComponentGone(ComponentId::from_raw(3)),
+            VmError::FuelExhausted,
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().expect("nonempty").is_lowercase() || s.starts_with('n'));
+        }
+    }
+
+    #[test]
+    fn structured_variants_carry_context() {
+        let e = VmError::ArgumentType {
+            function: "compare".into(),
+            position: 1,
+            expected: TypeTag::Int,
+            found: TypeTag::Str,
+        };
+        let s = e.to_string();
+        assert!(s.contains("compare") && s.contains("int") && s.contains("str"));
+    }
+}

@@ -1,0 +1,626 @@
+//! The resumable interpreter.
+//!
+//! A [`VmThread`] models one Legion thread executing inside an object. It
+//! runs bytecode until it completes, faults, or *suspends* at a remote
+//! outcall ([`Instr::CallRemote`]); a suspended thread's entire state —
+//! call frames, operand stacks, locals — is parked inside the `VmThread`
+//! and resumes when the owner delivers the reply. This is exactly the
+//! "thread blocked on an outcall" state in which the paper's disappearing
+//! function and disappearing component problems arise (§3.1): configuration
+//! operations execute between suspension and resumption, and when the thread
+//! wakes it may find the function or component it needs gone.
+//!
+//! All intra-object calls resolve through the owner's [`CallResolver`] at
+//! call time, and entry/exit of every frame is reported to the resolver so a
+//! DFM can maintain the per-function active-thread counters used for thread
+//! activity monitoring (§3.2).
+
+use std::fmt;
+
+use dcdo_types::{ComponentId, FunctionName, ObjectId, TypeTag};
+
+use crate::error::VmError;
+use crate::instr::{CodeBlock, Instr};
+use crate::native::NativeRegistry;
+use crate::resolver::{CallOrigin, CallResolver, ResolveError, ResolvedCall};
+use crate::store::ValueStore;
+use crate::value::Value;
+
+/// Maximum call-stack depth.
+pub const MAX_CALL_DEPTH: usize = 128;
+
+/// One call frame of a running thread.
+#[derive(Debug, Clone)]
+struct Frame {
+    code: CodeBlock,
+    component: ComponentId,
+    pc: usize,
+    args: Vec<Value>,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+}
+
+impl Frame {
+    fn new(resolved: ResolvedCall, args: Vec<Value>) -> Self {
+        let locals = vec![Value::Unit; resolved.code.locals() as usize];
+        Frame {
+            code: resolved.code,
+            component: resolved.component,
+            pc: 0,
+            args,
+            locals,
+            stack: Vec::new(),
+        }
+    }
+
+    fn function(&self) -> &FunctionName {
+        self.code.signature().name()
+    }
+}
+
+/// A pending remote invocation produced by a suspended thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutcallRequest {
+    /// The object to invoke.
+    pub target: ObjectId,
+    /// The exported function to invoke on the target.
+    pub function: FunctionName,
+    /// The arguments.
+    pub args: Vec<Value>,
+}
+
+/// The observable status of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// Ready to run (fresh or just resumed).
+    Runnable,
+    /// Parked at a remote outcall awaiting a reply.
+    Suspended,
+    /// Finished (completed or faulted); may not run again.
+    Done,
+}
+
+/// The result of running a thread until it can run no further.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The root function returned this value.
+    Completed(Value),
+    /// The thread suspended at a remote outcall; deliver the reply with
+    /// [`VmThread::resume`] (or abort with [`VmThread::resume_err`]) and run
+    /// again.
+    Suspended(OutcallRequest),
+    /// The thread faulted; its frames have been unwound (the resolver saw
+    /// matching exits for every enter).
+    Faulted(VmError),
+}
+
+/// A (possibly suspended) thread executing dynamic-function code.
+pub struct VmThread {
+    frames: Vec<Frame>,
+    status: ThreadStatus,
+    consumed_nanos: u64,
+    pending_resume: Option<Result<Value, VmError>>,
+}
+
+impl VmThread {
+    /// Starts a thread by resolving and calling `function` with `args`.
+    ///
+    /// `origin` selects the visibility rule: [`CallOrigin::External`] for
+    /// invocations arriving from other objects (only exported functions),
+    /// [`CallOrigin::Internal`] for locally initiated work.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast — without creating a thread — if resolution, arity, or
+    /// argument types fail. The resolver's `enter` is called on success.
+    pub fn call(
+        resolver: &mut dyn CallResolver,
+        function: &FunctionName,
+        args: Vec<Value>,
+        origin: CallOrigin,
+    ) -> Result<VmThread, VmError> {
+        let resolved = resolve_checked(resolver, function, origin)?;
+        check_args(&resolved, function, &args)?;
+        let mut thread = VmThread {
+            frames: Vec::new(),
+            status: ThreadStatus::Runnable,
+            consumed_nanos: resolver.dispatch_cost_nanos(),
+            pending_resume: None,
+        };
+        resolver.enter(function, resolved.component);
+        thread.frames.push(Frame::new(resolved, args));
+        Ok(thread)
+    }
+
+    /// Returns the thread's status.
+    pub fn status(&self) -> ThreadStatus {
+        self.status
+    }
+
+    /// Returns the current call depth.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The components with at least one frame on this thread's stack.
+    pub fn components_on_stack(&self) -> Vec<ComponentId> {
+        let mut v: Vec<ComponentId> = self.frames.iter().map(|f| f.component).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The functions with at least one frame on this thread's stack,
+    /// innermost last.
+    pub fn functions_on_stack(&self) -> Vec<FunctionName> {
+        self.frames.iter().map(|f| f.function().clone()).collect()
+    }
+
+    /// Drains the simulated compute time accumulated since the last call
+    /// (from `Work` instructions and dispatch costs).
+    pub fn take_consumed_nanos(&mut self) -> u64 {
+        std::mem::take(&mut self.consumed_nanos)
+    }
+
+    /// Delivers the reply for the outcall this thread is suspended on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is not suspended.
+    pub fn resume(&mut self, value: Value) {
+        assert_eq!(
+            self.status,
+            ThreadStatus::Suspended,
+            "resume on a thread that is not suspended"
+        );
+        self.pending_resume = Some(Ok(value));
+        self.status = ThreadStatus::Runnable;
+    }
+
+    /// Delivers a failure for the outcall this thread is suspended on; the
+    /// next run faults the thread with the error (after unwinding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is not suspended.
+    pub fn resume_err(&mut self, error: VmError) {
+        assert_eq!(
+            self.status,
+            ThreadStatus::Suspended,
+            "resume_err on a thread that is not suspended"
+        );
+        self.pending_resume = Some(Err(error));
+        self.status = ThreadStatus::Runnable;
+    }
+
+    /// Aborts the thread, unwinding all frames (reporting exits to the
+    /// resolver). Used when an owner forcibly removes a component with the
+    /// time-out policy of §3.2.
+    pub fn abort(&mut self, resolver: &mut dyn CallResolver, reason: &str) -> VmError {
+        let err = VmError::Aborted(reason.to_owned());
+        self.unwind(resolver);
+        self.status = ThreadStatus::Done;
+        err
+    }
+
+    fn unwind(&mut self, resolver: &mut dyn CallResolver) {
+        while let Some(frame) = self.frames.pop() {
+            resolver.exit(frame.function(), frame.component);
+        }
+    }
+
+    /// Runs the thread until it completes, suspends, or faults, executing at
+    /// most `fuel` instructions. `globals` is the owning object's persistent
+    /// state, read and written by `GlobalGet`/`GlobalSet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is suspended (deliver the reply first) or done.
+    pub fn run(
+        &mut self,
+        resolver: &mut dyn CallResolver,
+        natives: &NativeRegistry,
+        globals: &mut ValueStore,
+        fuel: u64,
+    ) -> RunOutcome {
+        assert_eq!(
+            self.status,
+            ThreadStatus::Runnable,
+            "run on a thread that is not runnable"
+        );
+        if let Some(pending) = self.pending_resume.take() {
+            match pending {
+                Ok(value) => {
+                    let frame = self.frames.last_mut().expect("suspended thread has frames");
+                    frame.stack.push(value);
+                }
+                Err(err) => return self.fault(resolver, err),
+            }
+        }
+        let mut remaining = fuel;
+        loop {
+            if remaining == 0 {
+                return self.fault(resolver, VmError::FuelExhausted);
+            }
+            remaining -= 1;
+            match self.step(resolver, natives, globals) {
+                Ok(StepOutcome::Continue) => {}
+                Ok(StepOutcome::Returned(value)) => {
+                    self.status = ThreadStatus::Done;
+                    return RunOutcome::Completed(value);
+                }
+                Ok(StepOutcome::Suspend(req)) => {
+                    self.status = ThreadStatus::Suspended;
+                    return RunOutcome::Suspended(req);
+                }
+                Err(err) => return self.fault(resolver, err),
+            }
+        }
+    }
+
+    fn fault(&mut self, resolver: &mut dyn CallResolver, err: VmError) -> RunOutcome {
+        self.unwind(resolver);
+        self.status = ThreadStatus::Done;
+        RunOutcome::Faulted(err)
+    }
+
+    fn step(
+        &mut self,
+        resolver: &mut dyn CallResolver,
+        natives: &NativeRegistry,
+        globals: &mut ValueStore,
+    ) -> Result<StepOutcome, VmError> {
+        // Implicit return of unit when execution falls off the end.
+        let (instr, depth) = {
+            let frame = self.frames.last_mut().expect("running thread has frames");
+            if frame.pc >= frame.code.len() {
+                return self.do_return(resolver, Value::Unit);
+            }
+            let instr = frame.code.instrs()[frame.pc].clone();
+            frame.pc += 1;
+            (instr, self.frames.len())
+        };
+        let frame = self.frames.last_mut().expect("frame exists");
+        match instr {
+            Instr::Push(v) => frame.stack.push(v),
+            Instr::Pop => {
+                pop(frame)?;
+            }
+            Instr::Dup => {
+                let v = frame.stack.last().ok_or(VmError::StackUnderflow)?.clone();
+                frame.stack.push(v);
+            }
+            Instr::Swap => {
+                let b = pop(frame)?;
+                let a = pop(frame)?;
+                frame.stack.push(b);
+                frame.stack.push(a);
+            }
+            Instr::LoadArg(n) => {
+                let v = frame
+                    .args
+                    .get(n as usize)
+                    .ok_or(VmError::StackUnderflow)?
+                    .clone();
+                frame.stack.push(v);
+            }
+            Instr::LoadLocal(n) => {
+                let v = frame
+                    .locals
+                    .get(n as usize)
+                    .ok_or(VmError::StackUnderflow)?
+                    .clone();
+                frame.stack.push(v);
+            }
+            Instr::StoreLocal(n) => {
+                let v = pop(frame)?;
+                let slot = frame
+                    .locals
+                    .get_mut(n as usize)
+                    .ok_or(VmError::StackUnderflow)?;
+                *slot = v;
+            }
+            Instr::Add => int_binop(frame, |a, b| Ok(a.wrapping_add(b)))?,
+            Instr::Sub => int_binop(frame, |a, b| Ok(a.wrapping_sub(b)))?,
+            Instr::Mul => int_binop(frame, |a, b| Ok(a.wrapping_mul(b)))?,
+            Instr::Div => int_binop(frame, |a, b| {
+                if b == 0 {
+                    Err(VmError::DivideByZero)
+                } else {
+                    Ok(a.wrapping_div(b))
+                }
+            })?,
+            Instr::Rem => int_binop(frame, |a, b| {
+                if b == 0 {
+                    Err(VmError::DivideByZero)
+                } else {
+                    Ok(a.wrapping_rem(b))
+                }
+            })?,
+            Instr::Neg => {
+                let a = pop_int(frame)?;
+                frame.stack.push(Value::Int(a.wrapping_neg()));
+            }
+            Instr::Not => {
+                let a = pop_bool(frame)?;
+                frame.stack.push(Value::Bool(!a));
+            }
+            Instr::And => {
+                let b = pop_bool(frame)?;
+                let a = pop_bool(frame)?;
+                frame.stack.push(Value::Bool(a && b));
+            }
+            Instr::Or => {
+                let b = pop_bool(frame)?;
+                let a = pop_bool(frame)?;
+                frame.stack.push(Value::Bool(a || b));
+            }
+            Instr::Eq => {
+                let b = pop(frame)?;
+                let a = pop(frame)?;
+                frame.stack.push(Value::Bool(a == b));
+            }
+            Instr::Ne => {
+                let b = pop(frame)?;
+                let a = pop(frame)?;
+                frame.stack.push(Value::Bool(a != b));
+            }
+            Instr::Lt => int_cmp(frame, |a, b| a < b)?,
+            Instr::Le => int_cmp(frame, |a, b| a <= b)?,
+            Instr::Gt => int_cmp(frame, |a, b| a > b)?,
+            Instr::Ge => int_cmp(frame, |a, b| a >= b)?,
+            Instr::Jump(t) => frame.pc = t as usize,
+            Instr::JumpIfFalse(t) => {
+                if !pop_bool(frame)? {
+                    frame.pc = t as usize;
+                }
+            }
+            Instr::JumpIfTrue(t) => {
+                if pop_bool(frame)? {
+                    frame.pc = t as usize;
+                }
+            }
+            Instr::CallDyn { function, argc } => {
+                if depth >= MAX_CALL_DEPTH {
+                    return Err(VmError::CallDepthExceeded(MAX_CALL_DEPTH));
+                }
+                let args = pop_n(frame, argc as usize)?;
+                let resolved = resolve_checked(resolver, &function, CallOrigin::Internal)?;
+                check_args(&resolved, &function, &args)?;
+                self.consumed_nanos += resolver.dispatch_cost_nanos();
+                resolver.enter(&function, resolved.component);
+                self.frames.push(Frame::new(resolved, args));
+            }
+            Instr::CallNative { function, argc } => {
+                let args = pop_n(frame, argc as usize)?;
+                let result = natives.call(&function, &args)?;
+                frame.stack.push(result);
+            }
+            Instr::CallRemote { function, argc } => {
+                let args = pop_n(frame, argc as usize)?;
+                let target = pop(frame)?;
+                let Some(target) = target.as_obj_ref() else {
+                    return Err(VmError::TypeMismatch {
+                        expected: TypeTag::ObjRef,
+                        found: target.type_tag(),
+                    });
+                };
+                return Ok(StepOutcome::Suspend(OutcallRequest {
+                    target,
+                    function,
+                    args,
+                }));
+            }
+            Instr::Ret => {
+                let value = frame.stack.pop().unwrap_or(Value::Unit);
+                return self.do_return(resolver, value);
+            }
+            Instr::MakeList(n) => {
+                let items = pop_n(frame, n as usize)?;
+                frame.stack.push(Value::List(items));
+            }
+            Instr::ListGet => {
+                let index = pop_int(frame)?;
+                let list = pop_list(frame)?;
+                let item = usize::try_from(index)
+                    .ok()
+                    .and_then(|i| list.get(i).cloned())
+                    .ok_or(VmError::IndexOutOfRange {
+                        index,
+                        len: list.len(),
+                    })?;
+                frame.stack.push(item);
+            }
+            Instr::ListSet => {
+                let value = pop(frame)?;
+                let index = pop_int(frame)?;
+                let mut list = pop_list(frame)?;
+                let len = list.len();
+                let slot = usize::try_from(index)
+                    .ok()
+                    .and_then(|i| list.get_mut(i))
+                    .ok_or(VmError::IndexOutOfRange { index, len })?;
+                *slot = value;
+                frame.stack.push(Value::List(list));
+            }
+            Instr::ListLen => {
+                let list = pop_list(frame)?;
+                frame.stack.push(Value::Int(list.len() as i64));
+            }
+            Instr::ListPush => {
+                let value = pop(frame)?;
+                let mut list = pop_list(frame)?;
+                list.push(value);
+                frame.stack.push(Value::List(list));
+            }
+            Instr::StrConcat => {
+                let b = pop_str(frame)?;
+                let a = pop_str(frame)?;
+                frame.stack.push(Value::str(format!("{a}{b}")));
+            }
+            Instr::StrLen => {
+                let s = pop_str(frame)?;
+                frame.stack.push(Value::Int(s.len() as i64));
+            }
+            Instr::Work(nanos) => {
+                self.consumed_nanos += nanos;
+            }
+            Instr::GlobalGet(key) => {
+                frame.stack.push(globals.get(key.as_str()));
+            }
+            Instr::GlobalSet(key) => {
+                let v = pop(frame)?;
+                globals.set(key.as_str().to_owned(), v);
+            }
+        }
+        Ok(StepOutcome::Continue)
+    }
+
+    fn do_return(
+        &mut self,
+        resolver: &mut dyn CallResolver,
+        value: Value,
+    ) -> Result<StepOutcome, VmError> {
+        let frame = self.frames.pop().expect("returning thread has a frame");
+        resolver.exit(frame.function(), frame.component);
+        let expected = frame.code.signature().ret();
+        if !expected.accepts(value.type_tag()) {
+            return Err(VmError::ReturnType {
+                function: frame.function().clone(),
+                expected,
+                found: value.type_tag(),
+            });
+        }
+        match self.frames.last_mut() {
+            Some(caller) => {
+                caller.stack.push(value);
+                Ok(StepOutcome::Continue)
+            }
+            None => Ok(StepOutcome::Returned(value)),
+        }
+    }
+}
+
+impl fmt::Debug for VmThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VmThread")
+            .field("status", &self.status)
+            .field("depth", &self.frames.len())
+            .field(
+                "stack",
+                &self
+                    .frames
+                    .iter()
+                    .map(|fr| fr.function().as_str().to_owned())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+enum StepOutcome {
+    Continue,
+    Returned(Value),
+    Suspend(OutcallRequest),
+}
+
+fn resolve_checked(
+    resolver: &mut dyn CallResolver,
+    function: &FunctionName,
+    origin: CallOrigin,
+) -> Result<ResolvedCall, VmError> {
+    resolver.resolve(function, origin).map_err(|e| match e {
+        ResolveError::Missing => VmError::MissingFunction(function.clone()),
+        ResolveError::Disabled => VmError::FunctionDisabled(function.clone()),
+        ResolveError::NotExported => VmError::NotExported(function.clone()),
+    })
+}
+
+fn check_args(
+    resolved: &ResolvedCall,
+    function: &FunctionName,
+    args: &[Value],
+) -> Result<(), VmError> {
+    let params = resolved.code.signature().params();
+    if params.len() != args.len() {
+        return Err(VmError::ArityMismatch {
+            function: function.clone(),
+            expected: params.len(),
+            found: args.len(),
+        });
+    }
+    for (position, (param, arg)) in params.iter().zip(args).enumerate() {
+        if !param.accepts(arg.type_tag()) {
+            return Err(VmError::ArgumentType {
+                function: function.clone(),
+                position,
+                expected: *param,
+                found: arg.type_tag(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn pop(frame: &mut Frame) -> Result<Value, VmError> {
+    frame.stack.pop().ok_or(VmError::StackUnderflow)
+}
+
+fn pop_n(frame: &mut Frame, n: usize) -> Result<Vec<Value>, VmError> {
+    if frame.stack.len() < n {
+        return Err(VmError::StackUnderflow);
+    }
+    Ok(frame.stack.split_off(frame.stack.len() - n))
+}
+
+fn pop_int(frame: &mut Frame) -> Result<i64, VmError> {
+    let v = pop(frame)?;
+    v.as_int().ok_or(VmError::TypeMismatch {
+        expected: TypeTag::Int,
+        found: v.type_tag(),
+    })
+}
+
+fn pop_bool(frame: &mut Frame) -> Result<bool, VmError> {
+    let v = pop(frame)?;
+    v.as_bool().ok_or(VmError::TypeMismatch {
+        expected: TypeTag::Bool,
+        found: v.type_tag(),
+    })
+}
+
+fn pop_str(frame: &mut Frame) -> Result<std::sync::Arc<str>, VmError> {
+    let v = pop(frame)?;
+    match v {
+        Value::Str(s) => Ok(s),
+        other => Err(VmError::TypeMismatch {
+            expected: TypeTag::Str,
+            found: other.type_tag(),
+        }),
+    }
+}
+
+fn pop_list(frame: &mut Frame) -> Result<Vec<Value>, VmError> {
+    let v = pop(frame)?;
+    match v {
+        Value::List(l) => Ok(l),
+        other => Err(VmError::TypeMismatch {
+            expected: TypeTag::List,
+            found: other.type_tag(),
+        }),
+    }
+}
+
+fn int_binop(frame: &mut Frame, f: impl Fn(i64, i64) -> Result<i64, VmError>) -> Result<(), VmError> {
+    let b = pop_int(frame)?;
+    let a = pop_int(frame)?;
+    frame.stack.push(Value::Int(f(a, b)?));
+    Ok(())
+}
+
+fn int_cmp(frame: &mut Frame, f: impl Fn(i64, i64) -> bool) -> Result<(), VmError> {
+    let b = pop_int(frame)?;
+    let a = pop_int(frame)?;
+    frame.stack.push(Value::Bool(f(a, b)));
+    Ok(())
+}

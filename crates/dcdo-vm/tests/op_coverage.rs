@@ -1,0 +1,265 @@
+//! Exhaustive instruction coverage: every opcode is executed at least once
+//! with its happy path and (where applicable) its fault path.
+
+use dcdo_types::ComponentId;
+use dcdo_vm::{
+    CallOrigin, CodeBlock, Instr, NativeRegistry, RunOutcome, StaticResolver, Value, ValueStore,
+    VmError, VmThread,
+};
+
+fn run_block(sig: &str, instrs: Vec<Instr>, args: Vec<Value>) -> RunOutcome {
+    let mut r = StaticResolver::new();
+    let block = CodeBlock::new(sig.parse().expect("signature"), 8, instrs);
+    block.validate().expect("valid block");
+    r.insert(block, ComponentId::from_raw(1));
+    let name = sig.split('(').next().expect("name");
+    let mut t = VmThread::call(&mut r, &name.into(), args, CallOrigin::External)
+        .expect("starts");
+    t.run(&mut r, &NativeRegistry::standard(), &mut ValueStore::new(), 100_000)
+}
+
+fn expect_int(sig: &str, instrs: Vec<Instr>, args: Vec<Value>, expected: i64) {
+    assert_eq!(
+        run_block(sig, instrs, args),
+        RunOutcome::Completed(Value::Int(expected))
+    );
+}
+
+fn expect_bool(instrs: Vec<Instr>, expected: bool) {
+    assert_eq!(
+        run_block("f() -> bool", instrs, vec![]),
+        RunOutcome::Completed(Value::Bool(expected))
+    );
+}
+
+#[test]
+fn arithmetic_ops() {
+    use Instr::*;
+    expect_int("f() -> int", vec![Push(Value::Int(7)), Push(Value::Int(3)), Sub, Ret], vec![], 4);
+    expect_int("f() -> int", vec![Push(Value::Int(7)), Push(Value::Int(3)), Rem, Ret], vec![], 1);
+    expect_int("f() -> int", vec![Push(Value::Int(7)), Neg, Ret], vec![], -7);
+    expect_int("f() -> int", vec![Push(Value::Int(6)), Push(Value::Int(7)), Mul, Ret], vec![], 42);
+    expect_int("f() -> int", vec![Push(Value::Int(42)), Push(Value::Int(6)), Div, Ret], vec![], 7);
+}
+
+#[test]
+fn boolean_ops() {
+    use Instr::*;
+    expect_bool(vec![Push(Value::Bool(true)), Push(Value::Bool(false)), And, Ret], false);
+    expect_bool(vec![Push(Value::Bool(true)), Push(Value::Bool(false)), Or, Ret], true);
+    expect_bool(vec![Push(Value::Bool(false)), Not, Ret], true);
+    expect_bool(vec![Push(Value::Int(1)), Push(Value::Int(2)), Ne, Ret], true);
+    expect_bool(vec![Push(Value::Int(3)), Push(Value::Int(2)), Gt, Ret], true);
+    expect_bool(vec![Push(Value::Int(2)), Push(Value::Int(2)), Le, Ret], true);
+}
+
+#[test]
+fn stack_shuffling() {
+    use Instr::*;
+    // swap: [1, 2] -> [2, 1]; top (1) is returned after a Sub: 1 - 2 would
+    // be -1 unswapped; swapped it is 2 - 1 = 1.
+    expect_int(
+        "f() -> int",
+        vec![Push(Value::Int(1)), Push(Value::Int(2)), Swap, Sub, Ret],
+        vec![],
+        1,
+    );
+    // dup then pop leaves the original.
+    expect_int(
+        "f() -> int",
+        vec![Push(Value::Int(9)), Dup, Pop, Ret],
+        vec![],
+        9,
+    );
+}
+
+#[test]
+fn jump_if_true_takes_the_branch() {
+    use Instr::*;
+    // if true jump over the 111 push.
+    expect_int(
+        "f() -> int",
+        vec![
+            Push(Value::Bool(true)),
+            JumpIfTrue(3),
+            Push(Value::Int(111)),
+            Push(Value::Int(5)),
+            Ret,
+        ],
+        vec![],
+        5,
+    );
+}
+
+#[test]
+fn list_ops() {
+    use Instr::*;
+    // make [10, 20], set [1] = 99, read it back; also len and push.
+    expect_int(
+        "f() -> int",
+        vec![
+            Push(Value::Int(10)),
+            Push(Value::Int(20)),
+            MakeList(2),
+            Push(Value::Int(1)),
+            Push(Value::Int(99)),
+            ListSet,
+            Push(Value::Int(1)),
+            ListGet,
+            Ret,
+        ],
+        vec![],
+        99,
+    );
+    expect_int(
+        "f() -> int",
+        vec![
+            MakeList(0),
+            Push(Value::Int(7)),
+            ListPush,
+            ListLen,
+            Ret,
+        ],
+        vec![],
+        1,
+    );
+}
+
+#[test]
+fn string_ops() {
+    use Instr::*;
+    expect_int(
+        "f() -> int",
+        vec![Push(Value::str("hello")), StrLen, Ret],
+        vec![],
+        5,
+    );
+}
+
+#[test]
+fn store_and_load_locals() {
+    use Instr::*;
+    expect_int(
+        "f(int) -> int",
+        vec![
+            LoadArg(0),
+            StoreLocal(3),
+            LoadLocal(3),
+            LoadLocal(3),
+            Add,
+            Ret,
+        ],
+        vec![Value::Int(21)],
+        42,
+    );
+}
+
+#[test]
+fn fault_paths() {
+    use Instr::*;
+    // list index out of range
+    assert!(matches!(
+        run_block(
+            "f() -> int",
+            vec![MakeList(0), Push(Value::Int(0)), ListGet, Ret],
+            vec![]
+        ),
+        RunOutcome::Faulted(VmError::IndexOutOfRange { .. })
+    ));
+    // negative index
+    assert!(matches!(
+        run_block(
+            "f() -> int",
+            vec![
+                Push(Value::Int(1)),
+                MakeList(1),
+                Push(Value::Int(-1)),
+                ListGet,
+                Ret
+            ],
+            vec![]
+        ),
+        RunOutcome::Faulted(VmError::IndexOutOfRange { .. })
+    ));
+    // remainder by zero
+    assert!(matches!(
+        run_block(
+            "f() -> int",
+            vec![Push(Value::Int(1)), Push(Value::Int(0)), Rem, Ret],
+            vec![]
+        ),
+        RunOutcome::Faulted(VmError::DivideByZero)
+    ));
+    // type confusion: And on ints
+    assert!(matches!(
+        run_block(
+            "f() -> bool",
+            vec![Push(Value::Int(1)), Push(Value::Int(2)), And, Ret],
+            vec![]
+        ),
+        RunOutcome::Faulted(VmError::TypeMismatch { .. })
+    ));
+    // stack underflow
+    assert!(matches!(
+        run_block("f() -> int", vec![Instr::Pop, Instr::Ret], vec![]),
+        RunOutcome::Faulted(VmError::StackUnderflow)
+    ));
+    // str_concat with a non-string
+    assert!(matches!(
+        run_block(
+            "f() -> str",
+            vec![
+                Push(Value::str("a")),
+                Push(Value::Int(1)),
+                StrConcat,
+                Ret
+            ],
+            vec![]
+        ),
+        RunOutcome::Faulted(VmError::TypeMismatch { .. })
+    ));
+}
+
+#[test]
+fn eq_compares_structurally() {
+    use Instr::*;
+    expect_bool(
+        vec![
+            Push(Value::Int(1)),
+            Push(Value::Int(2)),
+            MakeList(2),
+            Push(Value::Int(1)),
+            Push(Value::Int(2)),
+            MakeList(2),
+            Eq,
+            Ret,
+        ],
+        true,
+    );
+}
+
+#[test]
+fn wrapping_arithmetic_does_not_panic() {
+    use Instr::*;
+    assert!(matches!(
+        run_block(
+            "f() -> int",
+            vec![
+                Push(Value::Int(i64::MAX)),
+                Push(Value::Int(1)),
+                Add,
+                Ret
+            ],
+            vec![]
+        ),
+        RunOutcome::Completed(Value::Int(i64::MIN))
+    ));
+    assert!(matches!(
+        run_block(
+            "f() -> int",
+            vec![Push(Value::Int(i64::MIN)), Neg, Ret],
+            vec![]
+        ),
+        RunOutcome::Completed(Value::Int(i64::MIN))
+    ));
+}

@@ -1,0 +1,20 @@
+//! Workload generators for the DCDO reproduction's benches, examples, and
+//! integration tests.
+//!
+//! - [`ComponentSuite`] / [`SuiteSpec`] — populations of components for the
+//!   creation/overhead sweeps (the paper's 500-functions-in-N-components
+//!   shape);
+//! - [`service`] — the canonical counter and sort/compare services
+//!   (including the paper's §3.2 behavioral-dependency example);
+//! - [`ClosedLoopClient`] — the sequential-call load driver used to measure
+//!   remote-invocation latency and to feed lazy update checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clients;
+mod components;
+pub mod service;
+
+pub use clients::{CallRecord, ClosedLoopClient};
+pub use components::{kernel_function, ComponentSuite, SuiteSpec};

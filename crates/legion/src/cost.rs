@@ -1,0 +1,215 @@
+//! The calibrated cost model of the substrate.
+//!
+//! All simulated-time constants live here, fit to the paper's own reported
+//! numbers (see DESIGN.md §6). Experiments sweep these in ablations to show
+//! the *shape* conclusions are robust to the exact constants.
+
+use dcdo_sim::{SimDuration, SimRng, TransferModel};
+use serde::{Deserialize, Serialize};
+
+/// Simulated-time cost constants for the Legion substrate and the DCDO
+/// mechanism.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    /// DFM-mediated dynamic call dispatch: uniform band (paper: 10–15 µs for
+    /// self-calls, intra-component, and inter-component calls alike).
+    pub dfm_dispatch_min: SimDuration,
+    /// Upper edge of the DFM dispatch band.
+    pub dfm_dispatch_max: SimDuration,
+    /// Direct (statically linked) call dispatch in a monolithic object.
+    pub static_dispatch: SimDuration,
+    /// Fixed process-creation cost (exec, address-space setup).
+    pub process_spawn_base: SimDuration,
+    /// Per-function link/registration cost when a process starts.
+    pub process_link_per_function: SimDuration,
+    /// Mapping one *cached* component into a DCDO (paper: ≈200 µs per
+    /// component when components are cached and available).
+    pub component_map_cached: SimDuration,
+    /// Per-component incorporation overhead when the component is *not*
+    /// cached: ICO lookup, metadata roundtrips, registration (dominates the
+    /// 50-component ≈10 s creation figure).
+    pub component_incorporate_overhead: SimDuration,
+    /// Per-function DFM-entry installation cost during incorporation.
+    pub dfm_install_per_function: SimDuration,
+    /// Bulk implementation transfer model (Legion file transfer; used for
+    /// whole executables).
+    pub transfer: TransferModel,
+    /// Component-data transfer model (ICO object-to-object reads: cheaper
+    /// setup than the file-transfer path, same sustained throughput).
+    pub component_transfer: TransferModel,
+    /// Object state capture, per kilobyte of state.
+    pub state_capture_per_kb: SimDuration,
+    /// Object state restore, per kilobyte of state.
+    pub state_restore_per_kb: SimDuration,
+    /// Client-side connect timeout before a send to a cached address is
+    /// declared failed.
+    pub binding_connect_timeout: SimDuration,
+    /// Attempts (first send + retries) against a cached address before the
+    /// client falls back to the binding agent.
+    pub binding_attempts: u32,
+    /// Multiplicative backoff band applied to each successive attempt's
+    /// timeout: the factor is drawn uniformly from `[1.0, backoff_jitter]`.
+    pub binding_backoff_jitter: f64,
+    /// Overall deadline after which an invocation is abandoned with
+    /// `Timeout`.
+    pub invocation_deadline: SimDuration,
+}
+
+impl CostModel {
+    /// The calibrated Centurion configuration (DESIGN.md §6):
+    ///
+    /// - monolithic creation: `0.2 s + 4 ms × functions` → 500 fns ≈ 2.2 s;
+    /// - DCDO creation: ≈156 ms per non-cached component + base → 500 fns in
+    ///   50 components ≈ 10 s;
+    /// - cached component map: 200 µs;
+    /// - transfer: 2 s + size / 256 KiB/s → 5.1 MB ≈ 22 s, 550 KB ≈ 4 s;
+    /// - stale-binding discovery: 5 attempts × 5 s × jitter ∈ [1.0, 1.4]
+    ///   → 25–35 s.
+    pub fn centurion() -> Self {
+        CostModel {
+            dfm_dispatch_min: SimDuration::from_micros(10),
+            dfm_dispatch_max: SimDuration::from_micros(15),
+            static_dispatch: SimDuration::from_nanos(500),
+            process_spawn_base: SimDuration::from_millis(200),
+            process_link_per_function: SimDuration::from_millis(4),
+            component_map_cached: SimDuration::from_micros(200),
+            component_incorporate_overhead: SimDuration::from_millis(150),
+            dfm_install_per_function: SimDuration::from_micros(10),
+            transfer: TransferModel::legion_file_transfer(),
+            component_transfer: TransferModel {
+                setup: SimDuration::from_millis(40),
+                throughput_bps: 256.0 * 1024.0,
+            },
+            state_capture_per_kb: SimDuration::from_micros(400),
+            state_restore_per_kb: SimDuration::from_micros(400),
+            binding_connect_timeout: SimDuration::from_secs(5),
+            binding_attempts: 5,
+            binding_backoff_jitter: 1.4,
+            invocation_deadline: SimDuration::from_secs(120),
+        }
+    }
+
+    /// An all-zero / instantaneous model for timing-agnostic unit tests.
+    pub fn instant() -> Self {
+        CostModel {
+            dfm_dispatch_min: SimDuration::ZERO,
+            dfm_dispatch_max: SimDuration::ZERO,
+            static_dispatch: SimDuration::ZERO,
+            process_spawn_base: SimDuration::ZERO,
+            process_link_per_function: SimDuration::ZERO,
+            component_map_cached: SimDuration::ZERO,
+            component_incorporate_overhead: SimDuration::ZERO,
+            dfm_install_per_function: SimDuration::ZERO,
+            transfer: TransferModel::instant(),
+            component_transfer: TransferModel::instant(),
+            state_capture_per_kb: SimDuration::ZERO,
+            state_restore_per_kb: SimDuration::ZERO,
+            binding_connect_timeout: SimDuration::from_millis(100),
+            binding_attempts: 2,
+            binding_backoff_jitter: 1.0,
+            invocation_deadline: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Draws one DFM dispatch cost from the configured band.
+    pub fn dfm_dispatch(&self, rng: &mut SimRng) -> SimDuration {
+        rng.duration_between(self.dfm_dispatch_min, self.dfm_dispatch_max)
+    }
+
+    /// Process-creation cost for an executable exposing `functions`
+    /// functions.
+    pub fn process_creation(&self, functions: usize) -> SimDuration {
+        self.process_spawn_base + self.process_link_per_function * functions as u64
+    }
+
+    /// State capture cost for `bytes` of object state.
+    pub fn state_capture(&self, bytes: u64) -> SimDuration {
+        self.state_capture_per_kb * bytes.div_ceil(1024)
+    }
+
+    /// State restore cost for `bytes` of object state.
+    pub fn state_restore(&self, bytes: u64) -> SimDuration {
+        self.state_restore_per_kb * bytes.div_ceil(1024)
+    }
+
+    /// Incorporation cost for one component with `functions` functions,
+    /// given whether its data is already cached on the host.
+    pub fn component_incorporation(&self, functions: usize, cached: bool) -> SimDuration {
+        let map = if cached {
+            self.component_map_cached
+        } else {
+            self.component_incorporate_overhead
+        };
+        map + self.dfm_install_per_function * functions as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::centurion()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monolithic_creation_matches_paper() {
+        let m = CostModel::centurion();
+        let t = m.process_creation(500).as_secs_f64();
+        assert!((2.1..=2.3).contains(&t), "500 functions -> {t}s (paper: 2.2s)");
+    }
+
+    #[test]
+    fn dcdo_creation_with_50_components_lands_near_10s() {
+        let m = CostModel::centurion();
+        // 50 components x 10 small functions, none cached: each pays the
+        // incorporation overhead plus an ICO read, then process spawn.
+        let per_component =
+            m.component_incorporation(10, false) + m.component_transfer.transfer_time(2_000);
+        let total = m.process_spawn_base + per_component * 50;
+        let t = total.as_secs_f64();
+        assert!((8.0..=12.0).contains(&t), "50 components -> {t}s (paper: ~10s)");
+    }
+
+    #[test]
+    fn cached_component_is_about_200_micros() {
+        let m = CostModel::centurion();
+        let t = m.component_incorporation(0, true);
+        assert_eq!(t, SimDuration::from_micros(200));
+        // With a handful of functions it stays in the same order.
+        assert!(m.component_incorporation(10, true) < SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn dfm_dispatch_band_is_10_to_15_micros() {
+        let m = CostModel::centurion();
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let d = m.dfm_dispatch(&mut rng);
+            assert!(
+                d >= SimDuration::from_micros(10) && d <= SimDuration::from_micros(15),
+                "{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_costs_scale_with_size() {
+        let m = CostModel::centurion();
+        assert!(m.state_capture(1 << 20) > m.state_capture(1 << 10));
+        assert_eq!(m.state_restore(0), SimDuration::ZERO);
+        // Partial kilobytes round up.
+        assert_eq!(m.state_capture(1), m.state_capture(1024));
+    }
+
+    #[test]
+    fn worst_case_stale_binding_band() {
+        let m = CostModel::centurion();
+        let min = m.binding_connect_timeout * m.binding_attempts as u64;
+        let max = min.mul_f64(m.binding_backoff_jitter);
+        assert!((24.0..=26.0).contains(&min.as_secs_f64()));
+        assert!((34.0..=36.0).contains(&max.as_secs_f64()));
+    }
+}

@@ -1,0 +1,211 @@
+//! Scenario harness: a ready-made simulated testbed.
+//!
+//! [`Testbed`] assembles the standing infrastructure every experiment
+//! needs — the simulation engine, a binding agent, host objects for each
+//! node, a vault, and a context space — and provides driver-side helpers to
+//! issue calls from clients and wait for their completions. Benches,
+//! integration tests, and examples all build on this.
+
+use dcdo_sim::{ActorId, NetConfig, NodeId, SimDuration, Simulation};
+use dcdo_types::{Architecture, HostId, ObjectId};
+use dcdo_vm::Value;
+
+use crate::binding::BindingAgent;
+use crate::client::ClientObject;
+use crate::cost::CostModel;
+use crate::host::HostObject;
+use crate::msg::{ControlPayload, Msg};
+use crate::naming::ContextSpace;
+use crate::rpc::{AgentAddress, RpcCompletion};
+use crate::vault::Vault;
+
+/// The number of nodes in the paper's testbed subset.
+pub const CENTURION_NODES: u32 = 16;
+
+/// A simulated testbed with standing Legion infrastructure.
+pub struct Testbed {
+    /// The simulation engine.
+    pub sim: Simulation<Msg>,
+    /// The binding agent's address.
+    pub agent: AgentAddress,
+    /// The nodes of the testbed.
+    pub nodes: Vec<NodeId>,
+    /// The host object on each node (parallel to `nodes`).
+    pub hosts: Vec<ActorId>,
+    /// The vault actor (on node 0).
+    pub vault: ActorId,
+    /// The vault's object identity.
+    pub vault_object: ObjectId,
+    /// The context-space actor (on node 0).
+    pub context: ActorId,
+    /// The context space's object identity.
+    pub context_object: ObjectId,
+    /// The cost model in force.
+    pub cost: CostModel,
+}
+
+impl Testbed {
+    /// Builds a testbed with `n_nodes` nodes, the given cost/network models,
+    /// and RNG seed.
+    pub fn new(n_nodes: u32, cost: CostModel, net: NetConfig, seed: u64) -> Self {
+        assert!(n_nodes >= 1, "a testbed needs at least one node");
+        let mut sim = Simulation::new(net, seed);
+        let nodes: Vec<NodeId> = (0..n_nodes).map(NodeId::from_raw).collect();
+
+        let agent_object = ObjectId::from_raw(sim.fresh_u64());
+        let agent_actor = sim.spawn(nodes[0], BindingAgent::new(agent_object));
+        let agent = AgentAddress {
+            actor: agent_actor,
+            object: agent_object,
+        };
+
+        let mut hosts = Vec::with_capacity(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            let host_object = ObjectId::from_raw(sim.fresh_u64());
+            let host = sim.spawn(
+                *node,
+                HostObject::new(
+                    host_object,
+                    HostId::from_raw(i as u64),
+                    *node,
+                    Architecture::X86,
+                ),
+            );
+            sim.actor_mut::<BindingAgent>(agent_actor)
+                .expect("agent alive")
+                .register(host_object, host);
+            hosts.push(host);
+        }
+
+        let vault_object = ObjectId::from_raw(sim.fresh_u64());
+        let vault = sim.spawn(nodes[0], Vault::new(vault_object));
+        let context_object = ObjectId::from_raw(sim.fresh_u64());
+        let context = sim.spawn(nodes[0], ContextSpace::new(context_object));
+        for (obj, actor) in [(vault_object, vault), (context_object, context)] {
+            sim.actor_mut::<BindingAgent>(agent_actor)
+                .expect("agent alive")
+                .register(obj, actor);
+        }
+
+        Testbed {
+            sim,
+            agent,
+            nodes,
+            hosts,
+            vault,
+            vault_object,
+            context,
+            context_object,
+            cost,
+        }
+    }
+
+    /// A 16-node Centurion testbed with calibrated costs.
+    pub fn centurion(seed: u64) -> Self {
+        Testbed::new(
+            CENTURION_NODES,
+            CostModel::centurion(),
+            NetConfig::centurion(),
+            seed,
+        )
+    }
+
+    /// Mints a fresh object identity.
+    pub fn fresh_object_id(&mut self) -> ObjectId {
+        ObjectId::from_raw(self.sim.fresh_u64())
+    }
+
+    /// Registers an object's physical address with the binding agent
+    /// (driver-side, instantaneous).
+    pub fn register(&mut self, object: ObjectId, address: ActorId) {
+        self.sim
+            .actor_mut::<BindingAgent>(self.agent.actor)
+            .expect("agent alive")
+            .register(object, address);
+    }
+
+    /// Spawns a client object on `node`.
+    pub fn spawn_client(&mut self, node: NodeId) -> (ObjectId, ActorId) {
+        let object = self.fresh_object_id();
+        let client = ClientObject::new(object, self.agent, self.cost.clone());
+        let actor = self.sim.spawn(node, client);
+        self.register(object, actor);
+        (object, actor)
+    }
+
+    /// Issues an invocation from a client (by actor id) and returns the call
+    /// id without running the simulation.
+    pub fn client_call(
+        &mut self,
+        client: ActorId,
+        target: ObjectId,
+        function: &str,
+        args: Vec<Value>,
+    ) -> dcdo_types::CallId {
+        self.sim.with_actor::<ClientObject, _>(client, |c, ctx| {
+            c.call(ctx, target, function, args)
+        })
+    }
+
+    /// Issues a control operation from a client.
+    pub fn client_control(
+        &mut self,
+        client: ActorId,
+        target: ObjectId,
+        op: Box<dyn ControlPayload>,
+    ) -> dcdo_types::CallId {
+        self.sim.with_actor::<ClientObject, _>(client, |c, ctx| {
+            c.control_op(ctx, target, op)
+        })
+    }
+
+    /// Runs the simulation until the given client call completes, and
+    /// returns its completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation drains without the call completing.
+    pub fn wait_for(&mut self, client: ActorId, call: dcdo_types::CallId) -> RpcCompletion {
+        loop {
+            let done = self
+                .sim
+                .actor_mut::<ClientObject>(client)
+                .expect("client alive")
+                .take_completion(call);
+            if let Some(completion) = done {
+                return completion;
+            }
+            if !self.sim.step() {
+                panic!("simulation drained before call {call} completed");
+            }
+        }
+    }
+
+    /// Convenience: issue an invocation and run until it completes.
+    pub fn call_and_wait(
+        &mut self,
+        client: ActorId,
+        target: ObjectId,
+        function: &str,
+        args: Vec<Value>,
+    ) -> RpcCompletion {
+        let call = self.client_call(client, target, function, args);
+        self.wait_for(client, call)
+    }
+
+    /// Convenience: issue a control op and run until it completes.
+    pub fn control_and_wait(
+        &mut self,
+        client: ActorId,
+        target: ObjectId,
+        op: Box<dyn ControlPayload>,
+    ) -> RpcCompletion {
+        let call = self.client_control(client, target, op);
+        self.wait_for(client, call)
+    }
+
+    /// Lets the simulation run for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+}

@@ -1,0 +1,299 @@
+//! The wire protocol of the distributed object system.
+//!
+//! Every interaction between Legion objects is a message: user-level method
+//! invocations ([`Msg::Invoke`]/[`Msg::Reply`]) carry dynamic-function calls
+//! with [`Value`] arguments; system-level operations
+//! ([`Msg::Control`]/[`Msg::ControlReply`]) carry typed control payloads
+//! (binding registration, component reads, configuration operations, …)
+//! as type-erased [`ControlPayload`] boxes so higher layers (the DCDO crate)
+//! can add operations without this crate knowing them.
+
+use std::any::Any;
+use std::fmt;
+
+use dcdo_sim::Payload;
+use dcdo_types::{CallId, FunctionName, ObjectId};
+use dcdo_vm::{Value, VmError};
+
+/// A fault reported to the caller of a remote invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvocationFault {
+    /// No object with the given identity lives at the address used — in
+    /// real Legion this manifests as a connection failure; here the reply
+    /// never comes and the caller's timeout machinery fires.
+    NoSuchObject(ObjectId),
+    /// The invoked function is not present in the object's interface —
+    /// the *disappearing exported function* problem as seen by a client
+    /// (§3.1).
+    NoSuchFunction(FunctionName),
+    /// The function exists but is currently disabled.
+    FunctionDisabled(FunctionName),
+    /// The function exists but is internal.
+    NotExported(FunctionName),
+    /// The invocation ran and faulted inside the object.
+    ExecutionFault(VmError),
+    /// The object refused the operation (policy, consistency, or validation
+    /// failure), with an explanation.
+    Refused(String),
+    /// Synthesized by the *caller* when all retries and rebinds failed.
+    Timeout,
+}
+
+impl fmt::Display for InvocationFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvocationFault::NoSuchObject(o) => write!(f, "no such object {o}"),
+            InvocationFault::NoSuchFunction(name) => {
+                write!(f, "function {name} not in interface")
+            }
+            InvocationFault::FunctionDisabled(name) => write!(f, "function {name} disabled"),
+            InvocationFault::NotExported(name) => write!(f, "function {name} not exported"),
+            InvocationFault::ExecutionFault(e) => write!(f, "execution fault: {e}"),
+            InvocationFault::Refused(why) => write!(f, "operation refused: {why}"),
+            InvocationFault::Timeout => write!(f, "invocation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for InvocationFault {}
+
+impl From<VmError> for InvocationFault {
+    fn from(e: VmError) -> Self {
+        match e {
+            VmError::MissingFunction(name) => InvocationFault::NoSuchFunction(name),
+            VmError::FunctionDisabled(name) => InvocationFault::FunctionDisabled(name),
+            VmError::NotExported(name) => InvocationFault::NotExported(name),
+            other => InvocationFault::ExecutionFault(other),
+        }
+    }
+}
+
+/// A typed control operation or reply, type-erased for transport.
+///
+/// Implemented by binding-agent, vault, host, class, ICO, DCDO, and manager
+/// operation types. Receivers downcast with [`ControlPayload::as_any`].
+pub trait ControlPayload: Any + fmt::Debug + Send {
+    /// On-the-wire size of the payload in bytes.
+    fn wire_size(&self) -> u64 {
+        64
+    }
+
+    /// Short operation name for traces and dead-letter diagnostics.
+    fn describe(&self) -> &'static str;
+
+    /// Upcast for downcasting to the concrete operation type.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Clones the payload (control calls must be resendable by the RPC
+    /// retry machinery).
+    fn clone_box(&self) -> Box<dyn ControlPayload>;
+}
+
+impl Clone for Box<dyn ControlPayload> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Implements [`ControlPayload`] for a `Clone + Debug + Send + 'static` type.
+#[macro_export]
+macro_rules! control_payload {
+    ($ty:ty, $name:literal) => {
+        impl $crate::ControlPayload for $ty {
+            fn describe(&self) -> &'static str {
+                $name
+            }
+            fn as_any(&self) -> &dyn ::std::any::Any {
+                self
+            }
+            fn clone_box(&self) -> ::std::boxed::Box<dyn $crate::ControlPayload> {
+                ::std::boxed::Box::new(self.clone())
+            }
+        }
+    };
+    ($ty:ty, $name:literal, wire_size = $size:expr) => {
+        impl $crate::ControlPayload for $ty {
+            fn wire_size(&self) -> u64 {
+                let f: fn(&$ty) -> u64 = $size;
+                f(self)
+            }
+            fn describe(&self) -> &'static str {
+                $name
+            }
+            fn as_any(&self) -> &dyn ::std::any::Any {
+                self
+            }
+            fn clone_box(&self) -> ::std::boxed::Box<dyn $crate::ControlPayload> {
+                ::std::boxed::Box::new(self.clone())
+            }
+        }
+    };
+}
+
+/// A message between Legion objects.
+#[derive(Debug)]
+pub enum Msg {
+    /// Invoke an exported dynamic function on the destination object.
+    Invoke {
+        /// Correlates the eventual [`Msg::Reply`].
+        call: CallId,
+        /// The object the caller believes lives at the destination actor.
+        target: ObjectId,
+        /// The function to invoke.
+        function: FunctionName,
+        /// The arguments.
+        args: Vec<Value>,
+    },
+    /// The outcome of an [`Msg::Invoke`].
+    Reply {
+        /// The call this answers.
+        call: CallId,
+        /// The invocation outcome.
+        result: Result<Value, InvocationFault>,
+    },
+    /// A system-level control operation.
+    Control {
+        /// Correlates the eventual [`Msg::ControlReply`].
+        call: CallId,
+        /// The object the caller believes lives at the destination actor.
+        target: ObjectId,
+        /// The operation.
+        op: Box<dyn ControlPayload>,
+    },
+    /// The outcome of a [`Msg::Control`].
+    ControlReply {
+        /// The call this answers.
+        call: CallId,
+        /// The operation outcome: a typed reply payload or a fault.
+        result: Result<Box<dyn ControlPayload>, InvocationFault>,
+    },
+    /// An early acknowledgement that a long-running operation was accepted
+    /// and is in progress. Receipt proves the address is live, so the
+    /// caller's connect-timeout/retry machinery stands down and only the
+    /// overall deadline remains (the moral equivalent of the TCP connection
+    /// having been established).
+    Progress {
+        /// The call being acknowledged.
+        call: CallId,
+    },
+}
+
+impl Payload for Msg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            Msg::Invoke { function, args, .. } => {
+                64 + function.as_str().len() as u64
+                    + args.iter().map(Value::approx_size).sum::<u64>()
+            }
+            Msg::Reply { result, .. } => {
+                64 + match result {
+                    Ok(v) => v.approx_size(),
+                    Err(_) => 32,
+                }
+            }
+            Msg::Control { op, .. } => 64 + op.wire_size(),
+            Msg::ControlReply { result, .. } => {
+                64 + match result {
+                    Ok(op) => op.wire_size(),
+                    Err(_) => 32,
+                }
+            }
+            Msg::Progress { .. } => 64,
+        }
+    }
+}
+
+impl Msg {
+    /// Returns the call id carried by the message.
+    pub fn call_id(&self) -> CallId {
+        match self {
+            Msg::Invoke { call, .. }
+            | Msg::Reply { call, .. }
+            | Msg::Control { call, .. }
+            | Msg::ControlReply { call, .. }
+            | Msg::Progress { call } => *call,
+        }
+    }
+}
+
+/// An empty acknowledgement control reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ack;
+
+control_payload!(Ack, "ack");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct TestOp {
+        data: Vec<u8>,
+    }
+
+    control_payload!(TestOp, "test-op", wire_size = |op| 16 + op.data.len() as u64);
+
+    #[test]
+    fn control_payload_downcasts() {
+        let op: Box<dyn ControlPayload> = Box::new(TestOp {
+            data: vec![1, 2, 3],
+        });
+        assert_eq!(op.describe(), "test-op");
+        assert_eq!(op.wire_size(), 19);
+        let concrete = op.as_any().downcast_ref::<TestOp>().expect("same type");
+        assert_eq!(concrete.data, vec![1, 2, 3]);
+        assert!(op.as_any().downcast_ref::<Ack>().is_none());
+    }
+
+    #[test]
+    fn control_payload_clone_box() {
+        let op: Box<dyn ControlPayload> = Box::new(TestOp { data: vec![9] });
+        let cloned = op.clone();
+        assert_eq!(
+            cloned.as_any().downcast_ref::<TestOp>(),
+            op.as_any().downcast_ref::<TestOp>()
+        );
+    }
+
+    #[test]
+    fn invoke_wire_size_includes_args() {
+        let small = Msg::Invoke {
+            call: CallId::from_raw(1),
+            target: ObjectId::from_raw(1),
+            function: "f".into(),
+            args: vec![],
+        };
+        let big = Msg::Invoke {
+            call: CallId::from_raw(1),
+            target: ObjectId::from_raw(1),
+            function: "f".into(),
+            args: vec![Value::str("x".repeat(1000))],
+        };
+        assert!(big.wire_size() > small.wire_size() + 900);
+    }
+
+    #[test]
+    fn fault_from_vm_error_maps_the_papers_problems() {
+        assert_eq!(
+            InvocationFault::from(VmError::MissingFunction("f".into())),
+            InvocationFault::NoSuchFunction("f".into())
+        );
+        assert_eq!(
+            InvocationFault::from(VmError::FunctionDisabled("f".into())),
+            InvocationFault::FunctionDisabled("f".into())
+        );
+        assert!(matches!(
+            InvocationFault::from(VmError::DivideByZero),
+            InvocationFault::ExecutionFault(VmError::DivideByZero)
+        ));
+    }
+
+    #[test]
+    fn call_id_accessor() {
+        let m = Msg::Reply {
+            call: CallId::from_raw(7),
+            result: Ok(Value::Unit),
+        };
+        assert_eq!(m.call_id(), CallId::from_raw(7));
+    }
+}

@@ -1,0 +1,30 @@
+//! Umbrella crate for the DCDO reproduction.
+//!
+//! Re-exports every layer of the stack so examples, integration tests, and
+//! downstream users can depend on a single crate:
+//!
+//! - [`types`] — identifiers, version identifiers, interface vocabulary.
+//! - [`sim`] — the deterministic discrete-event testbed simulator.
+//! - [`vm`] — the bytecode substrate standing in for native dynamic loading.
+//! - [`legion`] — the Legion-like distributed object substrate and the
+//!   monolithic-object baseline.
+//! - [`core`] — the paper's contribution: DFMs, DCDOs, ICOs, DCDO Managers,
+//!   dependencies, and evolution restrictions.
+//! - [`evolution`] — evolution management strategies (§3.3–3.5).
+//! - [`workloads`] — workload generators used by the benchmark harness.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: build components,
+//! publish them in ICOs, define versions in a DCDO Manager, create a DCDO,
+//! invoke it, and evolve it on the fly while clients keep calling.
+
+#![forbid(unsafe_code)]
+
+pub use dcdo_core as core;
+pub use dcdo_evolution as evolution;
+pub use dcdo_sim as sim;
+pub use dcdo_types as types;
+pub use dcdo_vm as vm;
+pub use dcdo_workloads as workloads;
+pub use legion_substrate as legion;
