@@ -21,11 +21,7 @@ fn static_resolver() -> StaticResolver {
 }
 
 fn dfm_with(functions: usize, components: usize) -> Dfm {
-    let mut dfm = Dfm::new(
-        VersionId::root(),
-        (SimDuration::ZERO, SimDuration::ZERO),
-        7,
-    );
+    let mut dfm = Dfm::new(VersionId::root(), (SimDuration::ZERO, SimDuration::ZERO), 7);
     let spec = SuiteSpec {
         total_functions: functions.max(components),
         components,
@@ -44,8 +40,23 @@ fn dfm_with(functions: usize, components: usize) -> Dfm {
         .exported_fn(kernel_function("leaf", 0))
         .build()
         .expect("valid");
-    dfm.incorporate_component(&leaf, None).expect("incorporates");
+    dfm.incorporate_component(&leaf, None)
+        .expect("incorporates");
     dfm.enable_function(&"leaf".into(), ComponentId::from_raw(1))
+        .expect("enables");
+    dfm
+}
+
+/// A DFM populated like [`dfm_with`], plus the `driver` loop function.
+fn dfm_with_driver(functions: usize, components: usize) -> Dfm {
+    let mut dfm = dfm_with(functions, components);
+    let driver = dcdo_vm::ComponentBuilder::new(ComponentId::from_raw(2), "driver")
+        .exported_fn(driver_function())
+        .build()
+        .expect("valid");
+    dfm.incorporate_component(&driver, None)
+        .expect("incorporates");
+    dfm.enable_function(&"driver".into(), ComponentId::from_raw(2))
         .expect("enables");
     dfm
 }
@@ -59,6 +70,57 @@ fn run_leaf(resolver: &mut dyn CallResolver, natives: &NativeRegistry, globals: 
     )
     .expect("starts");
     match t.run(resolver, natives, globals, 1_000) {
+        RunOutcome::Completed(v) => {
+            black_box(v);
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+}
+
+/// `driver(int) -> int`: performs `arg0` dynamic calls to `leaf` in a loop.
+/// Every `CallDyn` goes through the resolver's inline-cache path, so one
+/// run measures one cold resolution plus `arg0 - 1` cache hits.
+fn driver_function() -> dcdo_vm::CodeBlock {
+    let mut b = dcdo_vm::FunctionBuilder::parse("driver(int) -> int").expect("signature");
+    b.locals(1);
+    let top = b.new_label();
+    let done = b.new_label();
+    b.load_arg(0)
+        .store_local(0)
+        .bind(top)
+        .load_local(0)
+        .push_int(0)
+        .le()
+        .jump_if_true(done)
+        .push_int(1)
+        .call_dyn("leaf", 1)
+        .pop()
+        .load_local(0)
+        .push_int(1)
+        .sub()
+        .store_local(0)
+        .jump(top)
+        .bind(done)
+        .push_int(0)
+        .ret();
+    b.build().expect("driver is valid")
+}
+
+/// Runs `driver(calls)` to completion on a fresh thread.
+fn run_driver(
+    resolver: &mut dyn CallResolver,
+    natives: &NativeRegistry,
+    globals: &mut ValueStore,
+    calls: i64,
+) {
+    let mut t = VmThread::call(
+        resolver,
+        &"driver".into(),
+        vec![Value::Int(calls)],
+        CallOrigin::External,
+    )
+    .expect("starts");
+    match t.run(resolver, natives, globals, 64 + 32 * calls as u64) {
         RunOutcome::Completed(v) => {
             black_box(v);
         }
@@ -87,6 +149,43 @@ fn bench_dispatch(c: &mut Criterion) {
         );
     }
 
+    // Inline-cache variants: a driver loop performing `CALLS` dynamic calls
+    // per run. Steady state pays one cold resolution then `CALLS - 1`
+    // token redemptions; the post-reconfiguration variant runs a
+    // configuration operation before each run, so the run also pays the
+    // slot-table rebuild and starts from an expired generation.
+    const CALLS: i64 = 64;
+    for (functions, components) in [(100usize, 10usize), (500, 50)] {
+        let mut dfm = dfm_with_driver(functions, components);
+        group.bench_with_input(
+            BenchmarkId::new(
+                "dfm_calldyn_hot_loop64",
+                format!("{functions}fns_{components}comps"),
+            ),
+            &(),
+            |b, ()| {
+                b.iter(|| run_driver(&mut dfm, &natives, &mut globals, CALLS));
+            },
+        );
+        let mut dfm = dfm_with_driver(functions, components);
+        group.bench_with_input(
+            BenchmarkId::new(
+                "dfm_calldyn_post_reconfig64",
+                format!("{functions}fns_{components}comps"),
+            ),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    // A real configuration operation: expires every token
+                    // and forces the slot table to rebuild.
+                    dfm.enable_function(&"leaf".into(), ComponentId::from_raw(1))
+                        .expect("re-enables");
+                    run_driver(&mut dfm, &natives, &mut globals, CALLS);
+                });
+            },
+        );
+    }
+
     // Pure resolution (no interpretation): the indirection alone.
     let mut dfm = dfm_with(500, 50);
     group.bench_function("dfm_resolve_only", |b| {
@@ -99,6 +198,29 @@ fn bench_dispatch(c: &mut Criterion) {
     group.bench_function("static_resolve_only", |b| {
         b.iter(|| {
             let r = static_r.resolve(&"leaf".into(), CallOrigin::External);
+            black_box(r.is_ok());
+        });
+    });
+
+    // Token redemption (the steady-state inline-cache hit) vs a resolve
+    // forced to re-issue after a configuration change.
+    let mut dfm = dfm_with(500, 50);
+    let (_, token) = dfm
+        .resolve_with_token(&"leaf".into(), CallOrigin::External)
+        .expect("resolves");
+    let token = token.expect("dfm issues tokens");
+    group.bench_function("dfm_resolve_token_hit", |b| {
+        b.iter(|| {
+            let r = dfm.resolve_token(token);
+            black_box(r.is_some());
+        });
+    });
+    let mut dfm = dfm_with(500, 50);
+    group.bench_function("dfm_resolve_post_reconfig", |b| {
+        b.iter(|| {
+            dfm.enable_function(&"leaf".into(), ComponentId::from_raw(1))
+                .expect("re-enables");
+            let r = dfm.resolve_with_token(&"leaf".into(), CallOrigin::External);
             black_box(r.is_ok());
         });
     });

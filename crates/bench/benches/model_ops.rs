@@ -69,10 +69,7 @@ fn bench_descriptor_ops(c: &mut Criterion) {
     // A2 ablation: validation cost vs dependency-set size.
     for deps in [10usize, 100, 500] {
         let (mut d, _) = descriptor_with(deps + 1, deps / 10 + 1);
-        let names: Vec<String> = d
-            .functions()
-            .map(|(n, _)| n.as_str().to_owned())
-            .collect();
+        let names: Vec<String> = d.functions().map(|(n, _)| n.as_str().to_owned()).collect();
         for i in 0..deps {
             let from = &names[i % names.len()];
             let to = &names[(i + 1) % names.len()];

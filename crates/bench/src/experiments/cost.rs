@@ -40,9 +40,13 @@ pub fn e4(seed: u64, trials: usize) -> Table {
             .result
             .expect("prime call");
         // Replace the executable: the old process dies, the address changes.
-        bed.control_and_wait(admin, class, Box::new(SetCurrentImage {
-            image: ExecutableImage::new(2, vec![leaf], 550_000),
-        }))
+        bed.control_and_wait(
+            admin,
+            class,
+            Box::new(SetCurrentImage {
+                image: ExecutableImage::new(2, vec![leaf], 550_000),
+            }),
+        )
         .result
         .expect("image set");
         bed.control_and_wait(admin, class, Box::new(EvolveInstance { object: instance }))
@@ -70,7 +74,11 @@ pub fn e4(seed: u64, trials: usize) -> Table {
         "discovery window {}..{} — the paper's 25-35 s band: {}",
         secs(min),
         secs(max),
-        if min >= 20.0 && max <= 40.0 { "reproduced" } else { "NOT reproduced" }
+        if min >= 20.0 && max <= 40.0 {
+            "reproduced"
+        } else {
+            "NOT reproduced"
+        }
     ));
     t
 }
@@ -82,7 +90,11 @@ pub fn e5(seed: u64) -> Table {
         "Implementation download time",
         "a 5.1 Megabyte object implementation takes 15 to 25 seconds to download; \
          a 550 K implementation takes about 4 seconds",
-        &["size", "model download time", "measured (full evolve pipeline)"],
+        &[
+            "size",
+            "model download time",
+            "measured (full evolve pipeline)",
+        ],
     );
     let cost = legion_substrate::CostModel::centurion();
     for (label, bytes, measure) in [
@@ -101,10 +113,14 @@ pub fn e5(seed: u64) -> Table {
             let class = spawn_class(&mut bed, 1, image);
             let (_, admin) = bed.spawn_client(bed.nodes[0]);
             let node = bed.nodes[2];
-        let instance = create_monolithic(&mut bed, admin, class, node);
-            bed.control_and_wait(admin, class, Box::new(SetCurrentImage {
-                image: ExecutableImage::new(2, vec![leaf], bytes),
-            }))
+            let instance = create_monolithic(&mut bed, admin, class, node);
+            bed.control_and_wait(
+                admin,
+                class,
+                Box::new(SetCurrentImage {
+                    image: ExecutableImage::new(2, vec![leaf], bytes),
+                }),
+            )
             .result
             .expect("image set");
             let completion =
@@ -183,10 +199,13 @@ pub fn e6(seed: u64) -> Table {
     // (a) DCDO, reconfiguration only (enable/disable in a derived version).
     {
         let (mut fleet, v1) = counter_fleet(seed);
-        let v2 = fleet.build_version(&v1, vec![VersionConfigOp::SetProtection {
-            function: "get".into(),
-            protection: dcdo_types::Protection::Mandatory,
-        }]);
+        let v2 = fleet.build_version(
+            &v1,
+            vec![VersionConfigOp::SetProtection {
+                function: "get".into(),
+                protection: dcdo_types::Protection::Mandatory,
+            }],
+        );
         let elapsed = update_elapsed(&mut fleet, &v2);
         t.row(vec![
             "DCDO reconfiguration only".into(),
@@ -261,9 +280,13 @@ pub fn e6(seed: u64) -> Table {
         let (_, admin) = bed.spawn_client(bed.nodes[0]);
         let node = bed.nodes[2];
         let instance = create_monolithic(&mut bed, admin, class, node);
-        bed.control_and_wait(admin, class, Box::new(SetCurrentImage {
-            image: ExecutableImage::new(2, functions, bytes),
-        }))
+        bed.control_and_wait(
+            admin,
+            class,
+            Box::new(SetCurrentImage {
+                image: ExecutableImage::new(2, functions, bytes),
+            }),
+        )
         .result
         .expect("image set");
         let completion =

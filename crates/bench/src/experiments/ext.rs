@@ -26,7 +26,11 @@ pub fn e8(seed: u64) -> Table {
         "Migration cost: DCDO vs monolithic",
         "(extension; the paper measures evolution, not migration, but the same \
          pipeline applies: capture, move implementation, restore, re-register)",
-        &["object kind", "implementation on target host", "migration time"],
+        &[
+            "object kind",
+            "implementation on target host",
+            "migration time",
+        ],
     );
 
     // DCDO, cold target host (components must be re-fetched).
@@ -89,14 +93,23 @@ pub fn e8(seed: u64) -> Table {
             // Downloading once (via a throwaway instance) warms the cache.
             let _ = create_monolithic(&mut bed, admin, class, to);
         }
-        let completion = bed.control_and_wait(admin, class, Box::new(MigrateInstance {
-            object: instance,
-            to,
-        }));
+        let completion = bed.control_and_wait(
+            admin,
+            class,
+            Box::new(MigrateInstance {
+                object: instance,
+                to,
+            }),
+        );
         completion.result.expect("migration succeeds");
         t.row(vec![
             "monolithic".into(),
-            if warm { "cached" } else { "cold (550 KB download)" }.into(),
+            if warm {
+                "cached"
+            } else {
+                "cold (550 KB download)"
+            }
+            .into(),
             secs(completion.elapsed.as_secs_f64()),
         ]);
     }
@@ -123,7 +136,13 @@ pub fn a1(seed: u64) -> Table {
         "Calibration sensitivity",
         "(ablation; DESIGN.md §6: shape conclusions should be robust to the \
          calibrated constants)",
-        &["knob", "setting", "stale discovery", "5.1 MB download", "DCDO wins E6?"],
+        &[
+            "knob",
+            "setting",
+            "stale discovery",
+            "5.1 MB download",
+            "DCDO wins E6?",
+        ],
     );
     for timeout_s in [2u64, 5, 10] {
         for throughput_kib in [128.0f64, 256.0, 512.0] {
@@ -151,25 +170,29 @@ pub fn a1(seed: u64) -> Table {
                 let core = service::counter_core();
                 let ico = fleet.publish_component(&core, 1);
                 let root = dcdo_types::VersionId::root();
-                let v1 = fleet.build_version(&root, vec![
-                    dcdo_core::ops::VersionConfigOp::IncorporateComponent { ico },
-                    dcdo_core::ops::VersionConfigOp::EnableFunction {
-                        function: "step".into(),
-                        component: service::ids::COUNTER_CORE,
-                    },
-                    dcdo_core::ops::VersionConfigOp::EnableFunction {
-                        function: "incr".into(),
-                        component: service::ids::COUNTER_CORE,
-                    },
-                ]);
+                let v1 = fleet.build_version(
+                    &root,
+                    vec![
+                        dcdo_core::ops::VersionConfigOp::IncorporateComponent { ico },
+                        dcdo_core::ops::VersionConfigOp::EnableFunction {
+                            function: "step".into(),
+                            component: service::ids::COUNTER_CORE,
+                        },
+                        dcdo_core::ops::VersionConfigOp::EnableFunction {
+                            function: "incr".into(),
+                            component: service::ids::COUNTER_CORE,
+                        },
+                    ],
+                );
                 fleet.set_current(&v1);
                 fleet.create_instances(1);
-                let v2 = fleet.build_version(&v1, vec![
-                    dcdo_core::ops::VersionConfigOp::SetProtection {
+                let v2 = fleet.build_version(
+                    &v1,
+                    vec![dcdo_core::ops::VersionConfigOp::SetProtection {
                         function: "incr".into(),
                         protection: dcdo_types::Protection::Mandatory,
-                    },
-                ]);
+                    }],
+                );
                 fleet.set_current(&v2);
                 let (object, _) = fleet.instances[0];
                 let completion = fleet.bed.control_and_wait(

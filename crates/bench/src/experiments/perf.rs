@@ -174,8 +174,11 @@ pub fn e2(seed: u64) -> Table {
         };
         let mut components = bench_components(1);
         components.extend(dcdo_workloads::ComponentSuite::generate(&spec).into_components());
-        let (mut fleet, _v) =
-            fleet_with_components(&components, Strategy::SingleVersionExplicit, seed + fns as u64);
+        let (mut fleet, _v) = fleet_with_components(
+            &components,
+            Strategy::SingleVersionExplicit,
+            seed + fns as u64,
+        );
         fleet.create_instances(1);
         let (obj, _) = fleet.instances[0];
         let rt = mean_latency_secs(&mut fleet, 9, obj, "leaf", SAMPLES);
@@ -238,8 +241,7 @@ pub fn e3(seed: u64) -> Table {
     let mut last = 0.0;
     for comps in [1usize, 2, 5, 10, 25, 50] {
         let spec = SuiteSpec::paper_creation(comps);
-        let (mut fleet, _v) =
-            fleet_with_suite_spec(&spec, seed + comps as u64);
+        let (mut fleet, _v) = fleet_with_suite_spec(&spec, seed + comps as u64);
         let node = fleet.bed.nodes[3];
         let completion = fleet.bed.control_and_wait(
             fleet.driver,

@@ -21,13 +21,16 @@ fn base_version(fleet: &mut Fleet) -> VersionId {
     let comp = tick_component(1, 1);
     let ico = fleet.publish_component(&comp, 1);
     let root = VersionId::root();
-    let v = fleet.build_version(&root, vec![
-        VersionConfigOp::IncorporateComponent { ico },
-        VersionConfigOp::EnableFunction {
-            function: "tick".into(),
-            component: ComponentId::from_raw(1),
-        },
-    ]);
+    let v = fleet.build_version(
+        &root,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico },
+            VersionConfigOp::EnableFunction {
+                function: "tick".into(),
+                component: ComponentId::from_raw(1),
+            },
+        ],
+    );
     fleet.set_current(&v);
     v
 }
@@ -35,13 +38,16 @@ fn base_version(fleet: &mut Fleet) -> VersionId {
 fn next_version(fleet: &mut Fleet, from: &VersionId) -> VersionId {
     let comp = tick_component(2, 10);
     let ico = fleet.publish_component(&comp, 2);
-    fleet.build_version(from, vec![
-        VersionConfigOp::IncorporateComponent { ico },
-        VersionConfigOp::EnableFunction {
-            function: "tick".into(),
-            component: ComponentId::from_raw(2),
-        },
-    ])
+    fleet.build_version(
+        from,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico },
+            VersionConfigOp::EnableFunction {
+                function: "tick".into(),
+                component: ComponentId::from_raw(2),
+            },
+        ],
+    )
 }
 
 /// E7: rollout behavior per strategy and fleet size.

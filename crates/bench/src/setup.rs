@@ -60,7 +60,11 @@ pub fn fleet_with_components(
         .collect();
     let targets: std::collections::HashSet<dcdo_types::FunctionName> = components
         .iter()
-        .flat_map(|c| c.dependencies().iter().map(|d| d.target().function().clone()))
+        .flat_map(|c| {
+            c.dependencies()
+                .iter()
+                .map(|d| d.target().function().clone())
+        })
         .collect();
     enables.sort_by_key(|(f, _)| !targets.contains(f));
     for (function, component) in enables {
@@ -83,11 +87,7 @@ pub fn fleet_with_suite(spec: &SuiteSpec, strategy: Strategy, seed: u64) -> (Fle
 
 /// Spawns a monolithic class object into a testbed and returns its object
 /// identity.
-pub fn spawn_class(
-    bed: &mut Testbed,
-    class_id: u64,
-    image: ExecutableImage,
-) -> ObjectId {
+pub fn spawn_class(bed: &mut Testbed, class_id: u64, image: ExecutableImage) -> ObjectId {
     let class_obj = bed.fresh_object_id();
     let class = ClassObject::new(
         class_obj,

@@ -275,17 +275,20 @@ impl DfmDescriptor {
                 self.dependencies.push(dep.clone());
             }
         }
-        self.components.insert(id, ComponentRecord {
-            name: descriptor.name.clone(),
-            ico,
-            impl_type: descriptor.impl_type,
-            size_bytes: descriptor.size_bytes,
-            functions: descriptor
-                .functions
-                .iter()
-                .map(|f| f.signature.name().clone())
-                .collect(),
-        });
+        self.components.insert(
+            id,
+            ComponentRecord {
+                name: descriptor.name.clone(),
+                ico,
+                impl_type: descriptor.impl_type,
+                size_bytes: descriptor.size_bytes,
+                functions: descriptor
+                    .functions
+                    .iter()
+                    .map(|f| f.signature.name().clone())
+                    .collect(),
+            },
+        );
         Ok(())
     }
 
@@ -566,9 +569,10 @@ impl DfmDescriptor {
                     }
                 }
                 Protection::Permanent => {
-                    let ok = self.functions.get(name).is_some_and(|r| {
-                        r.enabled.is_some() && r.enabled == parent_record.enabled
-                    });
+                    let ok = self
+                        .functions
+                        .get(name)
+                        .is_some_and(|r| r.enabled.is_some() && r.enabled == parent_record.enabled);
                     if !ok {
                         return Err(ConfigError::ProtectionViolation {
                             function: name.clone(),
@@ -658,7 +662,10 @@ mod tests {
         let rec = d.function(&"add".into()).expect("recorded");
         assert!(!rec.is_enabled(), "incorporation does not enable");
         d.enable_function(&"add".into(), c(1)).expect("enables");
-        assert_eq!(d.function(&"add".into()).expect("rec").enabled(), Some(c(1)));
+        assert_eq!(
+            d.function(&"add".into()).expect("rec").enabled(),
+            Some(c(1))
+        );
         assert_eq!(d.exported_interface().len(), 1);
         assert_eq!(d.component_count(), 1);
         assert_eq!(d.function_count(), 1);
@@ -693,7 +700,15 @@ mod tests {
             .expect("first");
         let err = d
             .incorporate_component(
-                &comp(2, "b", &[("f() -> unit", Visibility::Internal, Protection::FullyDynamic)]),
+                &comp(
+                    2,
+                    "b",
+                    &[(
+                        "f() -> unit",
+                        Visibility::Internal,
+                        Protection::FullyDynamic,
+                    )],
+                ),
                 None,
             )
             .unwrap_err();
@@ -708,7 +723,8 @@ mod tests {
         d.incorporate_component(&comp(2, "b", &[exported("f() -> unit")]), None)
             .expect("b");
         d.enable_function(&"f".into(), c(1)).expect("enable in a");
-        d.enable_function(&"f".into(), c(2)).expect("replace with b");
+        d.enable_function(&"f".into(), c(2))
+            .expect("replace with b");
         assert_eq!(d.function(&"f".into()).expect("rec").enabled(), Some(c(2)));
         assert_eq!(d.function(&"f".into()).expect("rec").impls(), &[c(1), c(2)]);
     }
@@ -719,22 +735,33 @@ mod tests {
         // permanent f into a descriptor that already has a permanent f.
         let mut d = DfmDescriptor::new(v("1"));
         d.incorporate_component(
-            &comp(1, "a", &[("f() -> unit", Visibility::Exported, Protection::Permanent)]),
+            &comp(
+                1,
+                "a",
+                &[("f() -> unit", Visibility::Exported, Protection::Permanent)],
+            ),
             None,
         )
         .expect("a");
         d.enable_function(&"f".into(), c(1)).expect("enable");
         let err = d
             .incorporate_component(
-                &comp(2, "b", &[("f() -> unit", Visibility::Exported, Protection::Permanent)]),
+                &comp(
+                    2,
+                    "b",
+                    &[("f() -> unit", Visibility::Exported, Protection::Permanent)],
+                ),
                 None,
             )
             .unwrap_err();
-        assert_eq!(err, ConfigError::PermanentConflict {
-            function: "f".into(),
-            existing: c(1),
-            offered: c(2),
-        });
+        assert_eq!(
+            err,
+            ConfigError::PermanentConflict {
+                function: "f".into(),
+                existing: c(1),
+                offered: c(2),
+            }
+        );
     }
 
     #[test]
@@ -766,7 +793,8 @@ mod tests {
         d.set_protection(&"f".into(), Protection::Mandatory)
             .expect("mandatory");
         // Mandatory: some implementation must stay; switching is fine.
-        d.enable_function(&"f".into(), c(2)).expect("switch allowed");
+        d.enable_function(&"f".into(), c(2))
+            .expect("switch allowed");
         d.set_protection(&"f".into(), Protection::Permanent)
             .expect("permanent");
         // Permanent: the implementation is frozen.
@@ -797,7 +825,14 @@ mod tests {
         // sort depends structurally on compare (Type A).
         let mut d = DfmDescriptor::new(v("1"));
         d.incorporate_component(
-            &comp(1, "sorting", &[exported("sort(list) -> list"), exported("compare(int, int) -> int")]),
+            &comp(
+                1,
+                "sorting",
+                &[
+                    exported("sort(list) -> list"),
+                    exported("compare(int, int) -> int"),
+                ],
+            ),
             None,
         )
         .expect("incorporates");
@@ -811,7 +846,8 @@ mod tests {
         ));
         // Disabling the *source* lifts the constraint (§3.2: dependencies
         // evolve with the implementation).
-        d.disable_function(&"sort".into()).expect("sort is unprotected");
+        d.disable_function(&"sort".into())
+            .expect("sort is unprotected");
         d.disable_function(&"compare".into())
             .expect("no enabled source remains");
     }
@@ -820,12 +856,22 @@ mod tests {
     fn structural_dependency_allows_replacing_target() {
         let mut d = DfmDescriptor::new(v("1"));
         d.incorporate_component(
-            &comp(1, "sorting", &[exported("sort(list) -> list"), exported("compare(int, int) -> int")]),
+            &comp(
+                1,
+                "sorting",
+                &[
+                    exported("sort(list) -> list"),
+                    exported("compare(int, int) -> int"),
+                ],
+            ),
             None,
         )
         .expect("sorting");
-        d.incorporate_component(&comp(2, "cmp2", &[exported("compare(int, int) -> int")]), None)
-            .expect("cmp2");
+        d.incorporate_component(
+            &comp(2, "cmp2", &[exported("compare(int, int) -> int")]),
+            None,
+        )
+        .expect("cmp2");
         d.enable_function(&"sort".into(), c(1)).expect("sort");
         d.enable_function(&"compare".into(), c(1)).expect("compare");
         d.add_dependency(Dependency::type_a("sort", c(1), "compare"))
@@ -840,12 +886,22 @@ mod tests {
         // The paper's sort/compare example: Type C pins compare to c1.
         let mut d = DfmDescriptor::new(v("1"));
         d.incorporate_component(
-            &comp(1, "sorting", &[exported("sort(list) -> list"), exported("compare(int, int) -> int")]),
+            &comp(
+                1,
+                "sorting",
+                &[
+                    exported("sort(list) -> list"),
+                    exported("compare(int, int) -> int"),
+                ],
+            ),
             None,
         )
         .expect("sorting");
-        d.incorporate_component(&comp(2, "cmp2", &[exported("compare(int, int) -> int")]), None)
-            .expect("cmp2");
+        d.incorporate_component(
+            &comp(2, "cmp2", &[exported("compare(int, int) -> int")]),
+            None,
+        )
+        .expect("cmp2");
         d.enable_function(&"sort".into(), c(1)).expect("sort");
         d.enable_function(&"compare".into(), c(1)).expect("compare");
         d.add_dependency(Dependency::type_c("sort", "compare", c(1)))
@@ -901,11 +957,7 @@ mod tests {
         // Force an inconsistent state through direct manipulation of a
         // derived copy (models a hand-built descriptor).
         let mut broken = d.clone();
-        broken
-            .functions
-            .get_mut(&"f".into())
-            .expect("rec")
-            .enabled = None;
+        broken.functions.get_mut(&"f".into()).expect("rec").enabled = None;
         assert_eq!(
             broken.validate(),
             Err(ConfigError::MandatoryUnsatisfied("f".into()))
@@ -1007,8 +1059,11 @@ mod tests {
     fn record_accessors() {
         let mut d = DfmDescriptor::new(v("2.1"));
         assert_eq!(d.version(), &v("2.1"));
-        d.incorporate_component(&comp(4, "acc", &[exported("f(int) -> int")]), Some(ObjectId::from_raw(9)))
-            .expect("acc");
+        d.incorporate_component(
+            &comp(4, "acc", &[exported("f(int) -> int")]),
+            Some(ObjectId::from_raw(9)),
+        )
+        .expect("acc");
         let record = d.component(c(4)).expect("present");
         assert_eq!(record.name, "acc");
         assert_eq!(record.ico, Some(ObjectId::from_raw(9)));

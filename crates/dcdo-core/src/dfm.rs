@@ -8,22 +8,56 @@
 //! monitoring (§3.2). It implements
 //! [`CallResolver`], so the `dcdo-vm` interpreter resolves every `CallDyn`
 //! through it at call time.
+//!
+//! # Dispatch hot path
+//!
+//! Function names are interned ([`FunctionInterner`]) and the per-function
+//! dispatch records live in a flat slot table indexed by [`FunctionId`].
+//! The table is rebuilt after every (rare) configuration operation, at
+//! which point the DFM also moves to a fresh, globally unique configuration
+//! *generation*. Call sites may cache a `(slot, generation)`
+//! [`CallToken`]; a token redeems in O(1) while the generation matches and
+//! silently expires the moment any configuration operation runs — so a
+//! stale cache can never dispatch a disabled, replaced, or removed
+//! function (§3.1's failure-mode semantics are preserved: the re-resolve
+//! reports the same `Missing`/`Disabled`/`NotExported` outcomes a fresh
+//! call would see).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dcdo_sim::{SimDuration, SimRng};
-use dcdo_types::{ComponentId, FunctionName, VersionId};
+use dcdo_types::{ComponentId, FunctionId, FunctionInterner, FunctionName, VersionId};
 use dcdo_vm::{
-    CallOrigin, CallResolver, CodeBlock, ComponentBinary, ResolveError, ResolvedCall,
+    next_generation, CallOrigin, CallResolver, CallToken, CodeBlock, ComponentBinary, ResolveError,
+    ResolvedCall,
 };
 
 use crate::descriptor::{DfmDescriptor, ImplKey};
 use crate::error::ConfigError;
 
+/// One slot of the flat dispatch table, indexed by [`FunctionId`].
+#[derive(Debug, Clone, Default)]
+enum Slot {
+    /// The function is enabled and its code is loaded: dispatch is an index.
+    Ready {
+        code: Arc<CodeBlock>,
+        component: ComponentId,
+        exported: bool,
+    },
+    /// Anything else (unknown, disabled, or code not loaded); the slow path
+    /// computes the precise [`ResolveError`].
+    #[default]
+    Vacant,
+}
+
 /// The runtime dynamic function mapper of one DCDO.
 pub struct Dfm {
     descriptor: DfmDescriptor,
-    loaded: HashMap<ComponentId, HashMap<FunctionName, CodeBlock>>,
+    loaded: HashMap<ComponentId, HashMap<FunctionName, Arc<CodeBlock>>>,
+    interner: FunctionInterner,
+    slots: Vec<Slot>,
+    generation: u64,
     counters: HashMap<ImplKey, u32>,
     dispatch_band: (SimDuration, SimDuration),
     rng: SimRng,
@@ -35,14 +69,13 @@ impl Dfm {
     ///
     /// `dispatch_band` is the simulated per-call indirection cost (the
     /// paper's 10–15 µs); `seed` drives the jitter.
-    pub fn new(
-        version: VersionId,
-        dispatch_band: (SimDuration, SimDuration),
-        seed: u64,
-    ) -> Self {
+    pub fn new(version: VersionId, dispatch_band: (SimDuration, SimDuration), seed: u64) -> Self {
         Dfm {
             descriptor: DfmDescriptor::new(version),
             loaded: HashMap::new(),
+            interner: FunctionInterner::new(),
+            slots: Vec::new(),
+            generation: next_generation(),
             counters: HashMap::new(),
             dispatch_band,
             rng: SimRng::seed_from_u64(seed),
@@ -53,6 +86,63 @@ impl Dfm {
     /// The descriptor describing the current configuration.
     pub fn descriptor(&self) -> &DfmDescriptor {
         &self.descriptor
+    }
+
+    /// The current configuration generation. Every configuration operation
+    /// moves the DFM to a fresh, globally unique generation, expiring all
+    /// outstanding [`CallToken`]s.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Rebuilds the flat dispatch table from the descriptor and loaded code,
+    /// and moves to a fresh generation. Called after every configuration
+    /// operation — configuration is rare, dispatch is hot, so all per-call
+    /// map walking is paid here instead.
+    fn reindex(&mut self) {
+        self.generation = next_generation();
+        self.slots.iter_mut().for_each(|s| *s = Slot::Vacant);
+        for (name, record) in self.descriptor.functions() {
+            let id = self.interner.intern(name);
+            if self.slots.len() <= id.index() {
+                self.slots.resize(id.index() + 1, Slot::Vacant);
+            }
+            let Some(component) = record.enabled() else {
+                continue;
+            };
+            let Some(code) = self.loaded.get(&component).and_then(|m| m.get(name)) else {
+                continue;
+            };
+            self.slots[id.index()] = Slot::Ready {
+                code: Arc::clone(code),
+                component,
+                exported: record.visibility().is_exported(),
+            };
+        }
+    }
+
+    /// The slow resolution path: recomputes the precise error exactly as a
+    /// descriptor walk would report it. Reached only when the fast path has
+    /// no ready slot (or, in `debug_assertions`, to cross-check it).
+    fn resolve_slow(
+        &self,
+        function: &FunctionName,
+        origin: CallOrigin,
+    ) -> Result<(Arc<CodeBlock>, ComponentId), ResolveError> {
+        let record = self
+            .descriptor
+            .function(function)
+            .ok_or(ResolveError::Missing)?;
+        if origin == CallOrigin::External && !record.visibility().is_exported() {
+            return Err(ResolveError::NotExported);
+        }
+        let component = record.enabled().ok_or(ResolveError::Disabled)?;
+        let code = self
+            .loaded
+            .get(&component)
+            .and_then(|m| m.get(function))
+            .ok_or(ResolveError::Missing)?;
+        Ok((Arc::clone(code), component))
     }
 
     /// The implementation version currently reflected.
@@ -121,12 +211,8 @@ impl Dfm {
             .map_err(|e| ConfigError::BadComponent(e.to_string()))?;
         self.descriptor
             .incorporate_component(&binary.descriptor(), ico)?;
-        let code: HashMap<FunctionName, CodeBlock> = binary
-            .functions()
-            .iter()
-            .map(|f| (f.name().clone(), f.code().clone()))
-            .collect();
-        self.loaded.insert(binary.id(), code);
+        self.loaded.insert(binary.id(), share_code(binary));
+        self.reindex();
         Ok(())
     }
 
@@ -141,6 +227,7 @@ impl Dfm {
     pub fn remove_component(&mut self, component: ComponentId) -> Result<(), ConfigError> {
         self.descriptor.remove_component(component)?;
         self.loaded.remove(&component);
+        self.reindex();
         Ok(())
     }
 
@@ -155,7 +242,9 @@ impl Dfm {
         function: &FunctionName,
         component: ComponentId,
     ) -> Result<(), ConfigError> {
-        self.descriptor.enable_function(function, component)
+        self.descriptor.enable_function(function, component)?;
+        self.reindex();
+        Ok(())
     }
 
     /// Disables `function`.
@@ -164,7 +253,9 @@ impl Dfm {
     ///
     /// Propagates descriptor-level failures.
     pub fn disable_function(&mut self, function: &FunctionName) -> Result<(), ConfigError> {
-        self.descriptor.disable_function(function)
+        self.descriptor.disable_function(function)?;
+        self.reindex();
+        Ok(())
     }
 
     /// Replaces the whole descriptor (bulk evolution), keeping loaded code.
@@ -190,6 +281,7 @@ impl Dfm {
         let keep: Vec<ComponentId> = descriptor.components().map(|(c, _)| c).collect();
         self.loaded.retain(|c, _| keep.contains(c));
         self.descriptor = descriptor;
+        self.reindex();
         Ok(())
     }
 
@@ -203,12 +295,8 @@ impl Dfm {
         binary
             .validate()
             .map_err(|e| ConfigError::BadComponent(e.to_string()))?;
-        let code: HashMap<FunctionName, CodeBlock> = binary
-            .functions()
-            .iter()
-            .map(|f| (f.name().clone(), f.code().clone()))
-            .collect();
-        self.loaded.insert(binary.id(), code);
+        self.loaded.insert(binary.id(), share_code(binary));
+        self.reindex();
         Ok(())
     }
 
@@ -227,7 +315,60 @@ impl Dfm {
         &mut self,
         f: impl FnOnce(&mut DfmDescriptor) -> Result<(), ConfigError>,
     ) -> Result<(), ConfigError> {
-        f(&mut self.descriptor)
+        let result = f(&mut self.descriptor);
+        // The mutation may have changed visibility (which the slot table
+        // caches) — and even a refused mutation may have partially probed;
+        // reindexing unconditionally keeps the invariant simple: *every*
+        // configuration operation moves to a fresh generation.
+        self.reindex();
+        result
+    }
+}
+
+/// Shares a binary's code blocks for loading (one `Arc` per function, no
+/// deep copies of instruction sequences or signatures).
+fn share_code(binary: &ComponentBinary) -> HashMap<FunctionName, Arc<CodeBlock>> {
+    binary
+        .functions()
+        .iter()
+        .map(|f| (f.name().clone(), Arc::new(f.code().clone())))
+        .collect()
+}
+
+impl Dfm {
+    /// The shared fast/slow resolution core. Returns the resolved call plus
+    /// the ready slot's id when the fast path served it (the token, if any,
+    /// is minted by the caller).
+    fn resolve_inner(
+        &mut self,
+        function: &FunctionName,
+        origin: CallOrigin,
+    ) -> Result<(ResolvedCall, Option<FunctionId>), ResolveError> {
+        // Fast path: interned id → flat slot. One hash, one index, no
+        // descriptor walk.
+        if let Some(id) = self.interner.get(function) {
+            if let Some(Slot::Ready {
+                code,
+                component,
+                exported,
+            }) = self.slots.get(id.index())
+            {
+                if origin == CallOrigin::External && !*exported {
+                    return Err(ResolveError::NotExported);
+                }
+                self.dispatches += 1;
+                return Ok((
+                    ResolvedCall {
+                        code: Arc::clone(code),
+                        component: *component,
+                    },
+                    Some(id),
+                ));
+            }
+        }
+        let (code, component) = self.resolve_slow(function, origin)?;
+        self.dispatches += 1;
+        Ok((ResolvedCall { code, component }, None))
     }
 }
 
@@ -237,24 +378,43 @@ impl CallResolver for Dfm {
         function: &FunctionName,
         origin: CallOrigin,
     ) -> Result<ResolvedCall, ResolveError> {
-        let record = self
-            .descriptor
-            .function(function)
-            .ok_or(ResolveError::Missing)?;
-        if origin == CallOrigin::External && !record.visibility().is_exported() {
-            return Err(ResolveError::NotExported);
-        }
-        let component = record.enabled().ok_or(ResolveError::Disabled)?;
-        let code = self
-            .loaded
-            .get(&component)
-            .and_then(|m| m.get(function))
-            .ok_or(ResolveError::Missing)?;
-        self.dispatches += 1;
-        Ok(ResolvedCall {
-            code: code.clone(),
-            component,
+        self.resolve_inner(function, origin).map(|(call, _)| call)
+    }
+
+    fn resolve_with_token(
+        &mut self,
+        function: &FunctionName,
+        origin: CallOrigin,
+    ) -> Result<(ResolvedCall, Option<CallToken>), ResolveError> {
+        let generation = self.generation;
+        self.resolve_inner(function, origin).map(|(call, id)| {
+            let token = id.map(|id| CallToken {
+                slot: id.as_u32(),
+                generation,
+            });
+            (call, token)
         })
+    }
+
+    fn resolve_token(&mut self, token: CallToken) -> Option<ResolvedCall> {
+        // A matching generation proves the slot table is byte-for-byte the
+        // one the token was issued against: no configuration operation has
+        // run since, so the slot is still `Ready` with the same code.
+        if token.generation != self.generation {
+            return None;
+        }
+        match self.slots.get(token.slot as usize) {
+            Some(Slot::Ready {
+                code, component, ..
+            }) => {
+                self.dispatches += 1;
+                Some(ResolvedCall {
+                    code: Arc::clone(code),
+                    component: *component,
+                })
+            }
+            _ => None,
+        }
     }
 
     fn enter(&mut self, function: &FunctionName, component: ComponentId) {
@@ -298,9 +458,7 @@ impl std::fmt::Debug for Dfm {
 #[cfg(test)]
 mod tests {
     use dcdo_types::Visibility;
-    use dcdo_vm::{
-        ComponentBuilder, NativeRegistry, RunOutcome, Value, ValueStore, VmThread,
-    };
+    use dcdo_vm::{ComponentBuilder, NativeRegistry, RunOutcome, Value, ValueStore, VmThread};
 
     use super::*;
 
@@ -323,7 +481,8 @@ mod tests {
     fn ready_dfm() -> Dfm {
         let mut dfm = Dfm::new("1".parse().expect("version"), band(), 7);
         let comp = math_component(1);
-        dfm.incorporate_component(&comp, None).expect("incorporates");
+        dfm.incorporate_component(&comp, None)
+            .expect("incorporates");
         dfm.enable_function(&"double".into(), ComponentId::from_raw(1))
             .expect("enable double");
         dfm.enable_function(&"helper".into(), ComponentId::from_raw(1))
@@ -336,17 +495,20 @@ mod tests {
         let mut dfm = ready_dfm();
         assert!(dfm.resolve(&"double".into(), CallOrigin::External).is_ok());
         assert_eq!(
-            dfm.resolve(&"helper".into(), CallOrigin::External).unwrap_err(),
+            dfm.resolve(&"helper".into(), CallOrigin::External)
+                .unwrap_err(),
             ResolveError::NotExported
         );
         assert!(dfm.resolve(&"helper".into(), CallOrigin::Internal).is_ok());
         assert_eq!(
-            dfm.resolve(&"ghost".into(), CallOrigin::Internal).unwrap_err(),
+            dfm.resolve(&"ghost".into(), CallOrigin::Internal)
+                .unwrap_err(),
             ResolveError::Missing
         );
         dfm.disable_function(&"double".into()).expect("disable");
         assert_eq!(
-            dfm.resolve(&"double".into(), CallOrigin::External).unwrap_err(),
+            dfm.resolve(&"double".into(), CallOrigin::External)
+                .unwrap_err(),
             ResolveError::Disabled
         );
         assert_eq!(dfm.dispatches(), 2);
@@ -362,10 +524,21 @@ mod tests {
             CallOrigin::External,
         )
         .expect("starts");
-        let outcome = thread.run(&mut dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+        let outcome = thread.run(
+            &mut dfm,
+            &NativeRegistry::standard(),
+            &mut ValueStore::new(),
+            10_000,
+        );
         assert_eq!(outcome, RunOutcome::Completed(Value::Int(42)));
-        assert!(thread.take_consumed_nanos() >= 10_000, "dispatch cost charged");
-        assert_eq!(dfm.active_threads(&"double".into(), ComponentId::from_raw(1)), 0);
+        assert!(
+            thread.take_consumed_nanos() >= 10_000,
+            "dispatch cost charged"
+        );
+        assert_eq!(
+            dfm.active_threads(&"double".into(), ComponentId::from_raw(1)),
+            0
+        );
     }
 
     #[test]
@@ -419,7 +592,10 @@ mod tests {
             .expect("triple")
             .build()
             .expect("valid");
-        let mut target = dfm.descriptor().clone().with_version("1.1".parse().expect("v"));
+        let mut target = dfm
+            .descriptor()
+            .clone()
+            .with_version("1.1".parse().expect("v"));
         target
             .incorporate_component(&comp2.descriptor(), None)
             .expect("incorporate");
@@ -445,7 +621,8 @@ mod tests {
         dfm.apply_descriptor(empty).expect("swap to empty");
         assert!(!dfm.is_loaded(ComponentId::from_raw(1)));
         assert_eq!(
-            dfm.resolve(&"double".into(), CallOrigin::External).unwrap_err(),
+            dfm.resolve(&"double".into(), CallOrigin::External)
+                .unwrap_err(),
             ResolveError::Missing
         );
     }
@@ -458,7 +635,8 @@ mod tests {
         dfm.remove_component(c1).expect("removes");
         assert!(!dfm.is_loaded(c1));
         assert_eq!(
-            dfm.resolve(&"double".into(), CallOrigin::External).unwrap_err(),
+            dfm.resolve(&"double".into(), CallOrigin::External)
+                .unwrap_err(),
             ResolveError::Missing
         );
     }

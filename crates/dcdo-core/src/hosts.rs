@@ -110,11 +110,18 @@ mod tests {
 
     #[test]
     fn set_arch_overrides() {
-        let mut dir: HostDirectory =
-            [(NodeId::from_raw(0), ObjectId::from_raw(1))].into_iter().collect();
-        assert_eq!(dir.entry(NodeId::from_raw(0)).expect("present").arch, Architecture::X86);
+        let mut dir: HostDirectory = [(NodeId::from_raw(0), ObjectId::from_raw(1))]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            dir.entry(NodeId::from_raw(0)).expect("present").arch,
+            Architecture::X86
+        );
         dir.set_arch(NodeId::from_raw(0), Architecture::Sparc);
-        assert_eq!(dir.entry(NodeId::from_raw(0)).expect("present").arch, Architecture::Sparc);
+        assert_eq!(
+            dir.entry(NodeId::from_raw(0)).expect("present").arch,
+            Architecture::Sparc
+        );
         // Unknown nodes are ignored.
         dir.set_arch(NodeId::from_raw(9), Architecture::Alpha);
         assert!(!dir.contains(NodeId::from_raw(9)));

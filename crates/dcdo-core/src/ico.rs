@@ -15,7 +15,9 @@ use dcdo_types::{CallId, ComponentId, ImplementationType, ObjectId};
 use dcdo_vm::{ComponentBinary, ComponentDescriptor};
 use legion_substrate::{ControlPayload, CostModel, InvocationFault, Msg};
 
-use crate::ops::{ComponentDescriptorReply, ComponentPayload, ReadComponent, ReadComponentDescriptor};
+use crate::ops::{
+    ComponentDescriptorReply, ComponentPayload, ReadComponent, ReadComponentDescriptor,
+};
 
 /// An active object serving one implementation component's data.
 pub struct Ico {
@@ -75,7 +77,9 @@ impl Ico {
 
     /// The time a data read takes for this component.
     pub fn read_time(&self) -> SimDuration {
-        self.cost.component_transfer.transfer_time(self.size_bytes())
+        self.cost
+            .component_transfer
+            .transfer_time(self.size_bytes())
     }
 }
 
@@ -84,10 +88,13 @@ impl Actor<Msg> for Ico {
         match msg {
             Msg::Control { call, target, op } => {
                 if target != self.object {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Err(InvocationFault::NoSuchObject(target)),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Err(InvocationFault::NoSuchObject(target)),
+                        },
+                    );
                     return;
                 }
                 if op.as_any().downcast_ref::<ReadComponent>().is_some() {
@@ -100,28 +107,41 @@ impl Actor<Msg> for Ico {
                     ctx.metrics().incr("ico.reads");
                     ctx.metrics().sample_duration("ico.read_time", delay);
                     ctx.schedule_timer(delay, token);
-                } else if op.as_any().downcast_ref::<ReadComponentDescriptor>().is_some() {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Ok(Box::new(ComponentDescriptorReply {
-                            descriptor: self.descriptor.clone(),
-                        }) as Box<dyn ControlPayload>),
-                    });
+                } else if op
+                    .as_any()
+                    .downcast_ref::<ReadComponentDescriptor>()
+                    .is_some()
+                {
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Ok(Box::new(ComponentDescriptorReply {
+                                descriptor: self.descriptor.clone(),
+                            }) as Box<dyn ControlPayload>),
+                        },
+                    );
                 } else {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Err(InvocationFault::Refused(format!(
-                            "ICO does not understand {}",
-                            op.describe()
-                        ))),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Err(InvocationFault::Refused(format!(
+                                "ICO does not understand {}",
+                                op.describe()
+                            ))),
+                        },
+                    );
                 }
             }
             Msg::Invoke { call, function, .. } => {
-                ctx.send(from, Msg::Reply {
-                    call,
-                    result: Err(InvocationFault::NoSuchFunction(function)),
-                });
+                ctx.send(
+                    from,
+                    Msg::Reply {
+                        call,
+                        result: Err(InvocationFault::NoSuchFunction(function)),
+                    },
+                );
             }
             Msg::Reply { .. } | Msg::ControlReply { .. } | Msg::Progress { .. } => {}
         }
@@ -130,13 +150,16 @@ impl Actor<Msg> for Ico {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
         if let Some((requester, call)) = self.pending_reads.remove(&token) {
             self.reads_served += 1;
-            ctx.send(requester, Msg::ControlReply {
-                call,
-                result: Ok(Box::new(ComponentPayload {
-                    component: self.component,
-                    bytes: self.encoded.clone(),
-                }) as Box<dyn ControlPayload>),
-            });
+            ctx.send(
+                requester,
+                Msg::ControlReply {
+                    call,
+                    result: Ok(Box::new(ComponentPayload {
+                        component: self.component,
+                        bytes: self.encoded.clone(),
+                    }) as Box<dyn ControlPayload>),
+                },
+            );
         }
     }
 
@@ -199,11 +222,15 @@ mod tests {
             Ico::new(ico_obj, &binary, CostModel::centurion()),
         );
         let probe = sim.spawn(NodeId::from_raw(1), Probe::default());
-        sim.post(probe, ico, Msg::Control {
-            call: CallId::from_raw(1),
-            target: ico_obj,
-            op: Box::new(ReadComponent),
-        });
+        sim.post(
+            probe,
+            ico,
+            Msg::Control {
+                call: CallId::from_raw(1),
+                target: ico_obj,
+                op: Box::new(ReadComponent),
+            },
+        );
         sim.run_until_idle();
         let elapsed = sim.now().as_secs_f64();
         // 256 KiB at 256 KiB/s + 40ms setup ≈ 1.04s.
@@ -217,10 +244,7 @@ mod tests {
             .expect("component payload");
         let decoded = ComponentBinary::decode(data.bytes.clone()).expect("decodes");
         assert_eq!(decoded, binary);
-        assert_eq!(
-            sim.actor::<Ico>(ico).expect("alive").reads_served(),
-            1
-        );
+        assert_eq!(sim.actor::<Ico>(ico).expect("alive").reads_served(), 1);
     }
 
     #[test]
@@ -233,13 +257,20 @@ mod tests {
             Ico::new(ico_obj, &binary, CostModel::centurion()),
         );
         let probe = sim.spawn(NodeId::from_raw(1), Probe::default());
-        sim.post(probe, ico, Msg::Control {
-            call: CallId::from_raw(1),
-            target: ico_obj,
-            op: Box::new(ReadComponentDescriptor),
-        });
+        sim.post(
+            probe,
+            ico,
+            Msg::Control {
+                call: CallId::from_raw(1),
+                target: ico_obj,
+                op: Box::new(ReadComponentDescriptor),
+            },
+        );
         sim.run_until_idle();
-        assert!(sim.now().as_secs_f64() < 0.1, "metadata read is not a download");
+        assert!(
+            sim.now().as_secs_f64() < 0.1,
+            "metadata read is not a download"
+        );
         let probe_ref = sim.actor::<Probe>(probe).expect("alive");
         let payload = probe_ref.replies[0].as_ref().expect("read succeeds");
         let reply = payload

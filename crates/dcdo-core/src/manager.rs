@@ -35,9 +35,9 @@ use crate::hosts::HostDirectory;
 use crate::object::DcdoObject;
 use crate::ops::{
     ActivateDcdo, ApplyDfmDescriptor, CheckVersion, ConfigureVersion, CreateDcdo, DcdoCreated,
-    DcdoTable, DeactivateDcdo, DeriveVersion, DerivedVersion, ListDcdos, MarkInstantiable,
-    ListVersions, MigrateDcdo, MigrateDone, QueryVersionInfo, ReadComponentDescriptor,
-    ReportVersion, SetCurrentVersion, UpdateInstance, UpdateDone, VersionCheckReply,
+    DcdoTable, DeactivateDcdo, DeriveVersion, DerivedVersion, ListDcdos, ListVersions,
+    MarkInstantiable, MigrateDcdo, MigrateDone, QueryVersionInfo, ReadComponentDescriptor,
+    ReportVersion, SetCurrentVersion, UpdateDone, UpdateInstance, VersionCheckReply,
     VersionConfigOp, VersionInfo, VersionTable,
 };
 
@@ -167,10 +167,13 @@ impl DcdoManager {
     ) -> Self {
         let root = VersionId::root();
         let mut store = BTreeMap::new();
-        store.insert(root.clone(), VersionEntry {
-            descriptor: DfmDescriptor::new(root.clone()),
-            instantiable: false,
-        });
+        store.insert(
+            root.clone(),
+            VersionEntry {
+                descriptor: DfmDescriptor::new(root.clone()),
+                instantiable: false,
+            },
+        );
         DcdoManager {
             object,
             class,
@@ -253,10 +256,13 @@ impl DcdoManager {
         *branch += 1;
         let version = from.child(*branch);
         let descriptor = parent.descriptor.clone().with_version(version.clone());
-        self.store.insert(version.clone(), VersionEntry {
-            descriptor,
-            instantiable: false,
-        });
+        self.store.insert(
+            version.clone(),
+            VersionEntry {
+                descriptor,
+                instantiable: false,
+            },
+        );
         Ok(version)
     }
 
@@ -387,10 +393,13 @@ impl DcdoManager {
                 return;
             }
             if let Some((reply_to, call)) = flow.reply {
-                ctx.send(reply_to, Msg::ControlReply {
-                    call,
-                    result: Err(InvocationFault::Refused(why)),
-                });
+                ctx.send(
+                    reply_to,
+                    Msg::ControlReply {
+                        call,
+                        result: Err(InvocationFault::Refused(why)),
+                    },
+                );
             }
         }
     }
@@ -404,45 +413,57 @@ impl DcdoManager {
     ) {
         let version = self.current.clone();
         let Some(entry) = self.store.get(&version) else {
-            ctx.send(reply_to, Msg::ControlReply {
-                call,
-                result: Err(InvocationFault::Refused(
-                    ConfigError::UnknownVersion(version).to_string(),
-                )),
-            });
+            ctx.send(
+                reply_to,
+                Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(
+                        ConfigError::UnknownVersion(version).to_string(),
+                    )),
+                },
+            );
             return;
         };
         if !entry.instantiable {
-            ctx.send(reply_to, Msg::ControlReply {
-                call,
-                result: Err(InvocationFault::Refused(
-                    ConfigError::VersionNotInstantiable(version).to_string(),
-                )),
-            });
+            ctx.send(
+                reply_to,
+                Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(
+                        ConfigError::VersionNotInstantiable(version).to_string(),
+                    )),
+                },
+            );
             return;
         }
         if !self.hosts.contains(node) {
-            ctx.send(reply_to, Msg::ControlReply {
-                call,
-                result: Err(InvocationFault::Refused(format!("unknown node {node}"))),
-            });
+            ctx.send(
+                reply_to,
+                Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(format!("unknown node {node}"))),
+                },
+            );
             return;
         }
         ctx.send(reply_to, Msg::Progress { call });
         let flow_id = ctx.fresh_u64();
         let object = ObjectId::from_raw(ctx.fresh_u64());
-        self.flows.insert(flow_id, MgrFlow {
-            kind: MgrKind::Create,
-            reply: Some((reply_to, call)),
-            object,
-            version,
-            target_node: node,
-            state: None,
-            new_actor: None,
-            step: MgrStep::Spawn,
-            started: ctx.now(),
-            retries: 0,
-        });
+        self.flows.insert(
+            flow_id,
+            MgrFlow {
+                kind: MgrKind::Create,
+                reply: Some((reply_to, call)),
+                object,
+                version,
+                target_node: node,
+                state: None,
+                new_actor: None,
+                step: MgrStep::Spawn,
+                started: ctx.now(),
+                retries: 0,
+            },
+        );
         // DCDO process creation: base spawn cost only — the function
         // "linking" happens per component during incorporation.
         let delay = self.cost.process_spawn_base;
@@ -479,10 +500,15 @@ impl DcdoManager {
         match kind {
             MgrKind::Create => {
                 self.flows.get_mut(&flow_id).expect("flow exists").step = MgrStep::Register;
-                self.rpc_step(ctx, flow_id, self.agent.object, Box::new(RegisterBinding {
-                    object,
-                    address: actor,
-                }));
+                self.rpc_step(
+                    ctx,
+                    flow_id,
+                    self.agent.object,
+                    Box::new(RegisterBinding {
+                        object,
+                        address: actor,
+                    }),
+                );
             }
             MgrKind::Migrate | MgrKind::Activate => {
                 // Bring the new process to the instance's version first.
@@ -501,7 +527,12 @@ impl DcdoManager {
             (flow.object, flow.version.clone())
         };
         let descriptor = self.store[&version].descriptor.clone();
-        self.rpc_step(ctx, flow_id, object, Box::new(ApplyDfmDescriptor { descriptor }));
+        self.rpc_step(
+            ctx,
+            flow_id,
+            object,
+            Box::new(ApplyDfmDescriptor { descriptor }),
+        );
     }
 
     fn finish_flow(&mut self, ctx: &mut Ctx<'_, Msg>, flow_id: u64) {
@@ -515,23 +546,30 @@ impl DcdoManager {
                     .get(&flow.version)
                     .map(|e| e.descriptor.implementation_type())
                     .unwrap_or_default();
-                self.table.insert(flow.object, DcdoInfo {
-                    actor: address,
-                    node: flow.target_node,
-                    version: flow.version.clone(),
-                    impl_type,
-                    parked_state: None,
-                });
-                ctx.metrics().sample_duration("manager.create_time", elapsed);
+                self.table.insert(
+                    flow.object,
+                    DcdoInfo {
+                        actor: address,
+                        node: flow.target_node,
+                        version: flow.version.clone(),
+                        impl_type,
+                        parked_state: None,
+                    },
+                );
+                ctx.metrics()
+                    .sample_duration("manager.create_time", elapsed);
                 if let Some((reply_to, call)) = flow.reply {
-                    ctx.send(reply_to, Msg::ControlReply {
-                        call,
-                        result: Ok(Box::new(DcdoCreated {
-                            object: flow.object,
-                            address,
-                            version: flow.version,
-                        })),
-                    });
+                    ctx.send(
+                        reply_to,
+                        Msg::ControlReply {
+                            call,
+                            result: Ok(Box::new(DcdoCreated {
+                                object: flow.object,
+                                address,
+                                version: flow.version,
+                            })),
+                        },
+                    );
                 }
             }
             MgrKind::Update => {
@@ -547,15 +585,19 @@ impl DcdoManager {
                 }
                 self.release_update_slot(ctx, flow.object);
                 ctx.metrics().incr("manager.updates_done");
-                ctx.metrics().sample_duration("manager.update_time", elapsed);
+                ctx.metrics()
+                    .sample_duration("manager.update_time", elapsed);
                 if let Some((reply_to, call)) = flow.reply {
-                    ctx.send(reply_to, Msg::ControlReply {
-                        call,
-                        result: Ok(Box::new(UpdateDone {
-                            object: flow.object,
-                            version: flow.version,
-                        })),
-                    });
+                    ctx.send(
+                        reply_to,
+                        Msg::ControlReply {
+                            call,
+                            result: Ok(Box::new(UpdateDone {
+                                object: flow.object,
+                                version: flow.version,
+                            })),
+                        },
+                    );
                 }
             }
             MgrKind::Migrate => {
@@ -565,16 +607,20 @@ impl DcdoManager {
                     info.node = flow.target_node;
                 }
                 ctx.metrics().incr("manager.migrations_done");
-                ctx.metrics().sample_duration("manager.migrate_time", elapsed);
+                ctx.metrics()
+                    .sample_duration("manager.migrate_time", elapsed);
                 if let Some((reply_to, call)) = flow.reply {
-                    ctx.send(reply_to, Msg::ControlReply {
-                        call,
-                        result: Ok(Box::new(MigrateDone {
-                            object: flow.object,
-                            address,
-                            version: flow.version,
-                        })),
-                    });
+                    ctx.send(
+                        reply_to,
+                        Msg::ControlReply {
+                            call,
+                            result: Ok(Box::new(MigrateDone {
+                                object: flow.object,
+                                address,
+                                version: flow.version,
+                            })),
+                        },
+                    );
                 }
             }
             MgrKind::Deactivate => {
@@ -583,10 +629,13 @@ impl DcdoManager {
                 }
                 ctx.metrics().incr("manager.deactivations");
                 if let Some((reply_to, call)) = flow.reply {
-                    ctx.send(reply_to, Msg::ControlReply {
-                        call,
-                        result: Ok(Box::new(Ack)),
-                    });
+                    ctx.send(
+                        reply_to,
+                        Msg::ControlReply {
+                            call,
+                            result: Ok(Box::new(Ack)),
+                        },
+                    );
                 }
             }
             MgrKind::Activate => {
@@ -597,16 +646,20 @@ impl DcdoManager {
                     info.parked_state = None;
                 }
                 ctx.metrics().incr("manager.activations");
-                ctx.metrics().sample_duration("manager.activate_time", elapsed);
+                ctx.metrics()
+                    .sample_duration("manager.activate_time", elapsed);
                 if let Some((reply_to, call)) = flow.reply {
-                    ctx.send(reply_to, Msg::ControlReply {
-                        call,
-                        result: Ok(Box::new(DcdoCreated {
-                            object: flow.object,
-                            address,
-                            version: flow.version,
-                        })),
-                    });
+                    ctx.send(
+                        reply_to,
+                        Msg::ControlReply {
+                            call,
+                            result: Ok(Box::new(DcdoCreated {
+                                object: flow.object,
+                                address,
+                                version: flow.version,
+                            })),
+                        },
+                    );
                 }
             }
         }
@@ -645,10 +698,13 @@ impl DcdoManager {
         let target = to.unwrap_or_else(|| self.current.clone());
         let refuse = |ctx: &mut Ctx<'_, Msg>, why: String| {
             if let Some((reply_to, call)) = reply {
-                ctx.send(reply_to, Msg::ControlReply {
-                    call,
-                    result: Err(InvocationFault::Refused(why)),
-                });
+                ctx.send(
+                    reply_to,
+                    Msg::ControlReply {
+                        call,
+                        result: Err(InvocationFault::Refused(why)),
+                    },
+                );
             }
         };
         let Some(info) = self.table.get(&object) else {
@@ -662,13 +718,16 @@ impl DcdoManager {
         if info.version == target {
             // Already there: answer immediately.
             if let Some((reply_to, call)) = reply {
-                ctx.send(reply_to, Msg::ControlReply {
-                    call,
-                    result: Ok(Box::new(UpdateDone {
-                        object,
-                        version: target,
-                    })),
-                });
+                ctx.send(
+                    reply_to,
+                    Msg::ControlReply {
+                        call,
+                        result: Ok(Box::new(UpdateDone {
+                            object,
+                            version: target,
+                        })),
+                    },
+                );
             }
             return;
         }
@@ -681,18 +740,21 @@ impl DcdoManager {
             ctx.send(reply_to, Msg::Progress { call });
         }
         let flow_id = ctx.fresh_u64();
-        self.flows.insert(flow_id, MgrFlow {
-            kind: MgrKind::Update,
-            reply,
-            object,
-            version: target,
-            target_node: info.node,
-            state: None,
-            new_actor: Some(info.actor),
-            step: MgrStep::Apply,
-            started: ctx.now(),
-            retries,
-        });
+        self.flows.insert(
+            flow_id,
+            MgrFlow {
+                kind: MgrKind::Update,
+                reply,
+                object,
+                version: target,
+                target_node: info.node,
+                state: None,
+                new_actor: Some(info.actor),
+                step: MgrStep::Apply,
+                started: ctx.now(),
+                retries,
+            },
+        );
         self.updates_in_flight.insert(object);
         self.begin_apply(ctx, flow_id);
     }
@@ -712,10 +774,13 @@ impl DcdoManager {
     ) {
         let refuse = |ctx: &mut Ctx<'_, Msg>, why: String| {
             if let Some((reply_to, call)) = reply {
-                ctx.send(reply_to, Msg::ControlReply {
-                    call,
-                    result: Err(InvocationFault::Refused(why)),
-                });
+                ctx.send(
+                    reply_to,
+                    Msg::ControlReply {
+                        call,
+                        result: Err(InvocationFault::Refused(why)),
+                    },
+                );
             }
         };
         let Some(info) = self.table.get(&object).cloned() else {
@@ -730,18 +795,21 @@ impl DcdoManager {
             ctx.send(reply_to, Msg::Progress { call });
         }
         let flow_id = ctx.fresh_u64();
-        self.flows.insert(flow_id, MgrFlow {
-            kind: MgrKind::Migrate,
-            reply,
-            object,
-            version: info.version.clone(),
-            target_node: to,
-            state: None,
-            new_actor: None,
-            step: MgrStep::Capture,
-            started: ctx.now(),
-            retries: 0,
-        });
+        self.flows.insert(
+            flow_id,
+            MgrFlow {
+                kind: MgrKind::Migrate,
+                reply,
+                object,
+                version: info.version.clone(),
+                target_node: to,
+                state: None,
+                new_actor: None,
+                step: MgrStep::Capture,
+                started: ctx.now(),
+                retries: 0,
+            },
+        );
         self.rpc_step(ctx, flow_id, object, Box::new(CaptureState));
     }
 
@@ -753,10 +821,13 @@ impl DcdoManager {
     ) {
         let refuse = |ctx: &mut Ctx<'_, Msg>, why: String| {
             if let Some((reply_to, call)) = reply {
-                ctx.send(reply_to, Msg::ControlReply {
-                    call,
-                    result: Err(InvocationFault::Refused(why)),
-                });
+                ctx.send(
+                    reply_to,
+                    Msg::ControlReply {
+                        call,
+                        result: Err(InvocationFault::Refused(why)),
+                    },
+                );
             }
         };
         let Some(info) = self.table.get(&object).cloned() else {
@@ -771,18 +842,21 @@ impl DcdoManager {
             ctx.send(reply_to, Msg::Progress { call });
         }
         let flow_id = ctx.fresh_u64();
-        self.flows.insert(flow_id, MgrFlow {
-            kind: MgrKind::Deactivate,
-            reply,
-            object,
-            version: info.version.clone(),
-            target_node: info.node,
-            state: None,
-            new_actor: None,
-            step: MgrStep::Capture,
-            started: ctx.now(),
-            retries: 0,
-        });
+        self.flows.insert(
+            flow_id,
+            MgrFlow {
+                kind: MgrKind::Deactivate,
+                reply,
+                object,
+                version: info.version.clone(),
+                target_node: info.node,
+                state: None,
+                new_actor: None,
+                step: MgrStep::Capture,
+                started: ctx.now(),
+                retries: 0,
+            },
+        );
         self.rpc_step(ctx, flow_id, object, Box::new(CaptureState));
     }
 
@@ -795,10 +869,13 @@ impl DcdoManager {
     ) {
         let refuse = |ctx: &mut Ctx<'_, Msg>, why: String| {
             if let Some((reply_to, call)) = reply {
-                ctx.send(reply_to, Msg::ControlReply {
-                    call,
-                    result: Err(InvocationFault::Refused(why)),
-                });
+                ctx.send(
+                    reply_to,
+                    Msg::ControlReply {
+                        call,
+                        result: Err(InvocationFault::Refused(why)),
+                    },
+                );
             }
         };
         let Some(info) = self.table.get(&object).cloned() else {
@@ -818,18 +895,21 @@ impl DcdoManager {
             ctx.send(reply_to, Msg::Progress { call });
         }
         let flow_id = ctx.fresh_u64();
-        self.flows.insert(flow_id, MgrFlow {
-            kind: MgrKind::Activate,
-            reply,
-            object,
-            version: info.version.clone(),
-            target_node,
-            state: Some(state),
-            new_actor: None,
-            step: MgrStep::Spawn,
-            started: ctx.now(),
-            retries: 0,
-        });
+        self.flows.insert(
+            flow_id,
+            MgrFlow {
+                kind: MgrKind::Activate,
+                reply,
+                object,
+                version: info.version.clone(),
+                target_node,
+                state: Some(state),
+                new_actor: None,
+                step: MgrStep::Spawn,
+                started: ctx.now(),
+                retries: 0,
+            },
+        );
         let delay = self.cost.process_spawn_base;
         self.schedule_flow_timer(ctx, flow_id, delay);
     }
@@ -846,9 +926,7 @@ impl DcdoManager {
                 .and_then(|payload| {
                     let reply = payload
                         .control_as::<crate::ops::ComponentDescriptorReply>()
-                        .ok_or_else(|| {
-                            ConfigError::BadComponent("bad descriptor reply".into())
-                        })?
+                        .ok_or_else(|| ConfigError::BadComponent("bad descriptor reply".into()))?
                         .descriptor
                         .clone();
                     self.configurable_mut(&version)?
@@ -884,8 +962,7 @@ impl DcdoManager {
             // Migrate: Capture -> Deactivate -> Spawn(timer) -> Apply ->
             // Restore -> Register -> done.
             (MgrKind::Migrate, MgrStep::Capture) => {
-                let Some(blob) = payload.control_as::<StateBlob>().map(|b| b.bytes.clone())
-                else {
+                let Some(blob) = payload.control_as::<StateBlob>().map(|b| b.bytes.clone()) else {
                     self.fail_flow(ctx, flow_id, "capture returned no state".into());
                     return;
                 };
@@ -908,7 +985,12 @@ impl DcdoManager {
                     flow.step = MgrStep::Restore;
                     (flow.object, flow.state.clone().expect("state captured"))
                 };
-                self.rpc_step(ctx, flow_id, object, Box::new(RestoreState { bytes: state }));
+                self.rpc_step(
+                    ctx,
+                    flow_id,
+                    object,
+                    Box::new(RestoreState { bytes: state }),
+                );
             }
             (MgrKind::Migrate, MgrStep::Restore) => {
                 let (object, address) = {
@@ -916,16 +998,17 @@ impl DcdoManager {
                     flow.step = MgrStep::Register;
                     (flow.object, flow.new_actor.expect("spawned"))
                 };
-                self.rpc_step(ctx, flow_id, self.agent.object, Box::new(RegisterBinding {
-                    object,
-                    address,
-                }));
+                self.rpc_step(
+                    ctx,
+                    flow_id,
+                    self.agent.object,
+                    Box::new(RegisterBinding { object, address }),
+                );
             }
             (MgrKind::Migrate, MgrStep::Register) => self.finish_flow(ctx, flow_id),
             // Deactivate: Capture -> Deactivate -> Unregister -> done.
             (MgrKind::Deactivate, MgrStep::Capture) => {
-                let Some(blob) = payload.control_as::<StateBlob>().map(|b| b.bytes.clone())
-                else {
+                let Some(blob) = payload.control_as::<StateBlob>().map(|b| b.bytes.clone()) else {
                     self.fail_flow(ctx, flow_id, "capture returned no state".into());
                     return;
                 };
@@ -943,9 +1026,12 @@ impl DcdoManager {
                     flow.step = MgrStep::Unregister;
                     flow.object
                 };
-                self.rpc_step(ctx, flow_id, self.agent.object, Box::new(UnregisterBinding {
-                    object,
-                }));
+                self.rpc_step(
+                    ctx,
+                    flow_id,
+                    self.agent.object,
+                    Box::new(UnregisterBinding { object }),
+                );
             }
             (MgrKind::Deactivate, MgrStep::Unregister) => self.finish_flow(ctx, flow_id),
             // Activate: Spawn(timer) -> Apply -> Restore -> Register -> done.
@@ -955,7 +1041,12 @@ impl DcdoManager {
                     flow.step = MgrStep::Restore;
                     (flow.object, flow.state.clone().expect("state parked"))
                 };
-                self.rpc_step(ctx, flow_id, object, Box::new(RestoreState { bytes: state }));
+                self.rpc_step(
+                    ctx,
+                    flow_id,
+                    object,
+                    Box::new(RestoreState { bytes: state }),
+                );
             }
             (MgrKind::Activate, MgrStep::Restore) => {
                 let (object, address) = {
@@ -963,14 +1054,20 @@ impl DcdoManager {
                     flow.step = MgrStep::Register;
                     (flow.object, flow.new_actor.expect("spawned"))
                 };
-                self.rpc_step(ctx, flow_id, self.agent.object, Box::new(RegisterBinding {
-                    object,
-                    address,
-                }));
+                self.rpc_step(
+                    ctx,
+                    flow_id,
+                    self.agent.object,
+                    Box::new(RegisterBinding { object, address }),
+                );
             }
             (MgrKind::Activate, MgrStep::Register) => self.finish_flow(ctx, flow_id),
             (kind, step) => {
-                self.fail_flow(ctx, flow_id, format!("unexpected reply in {kind:?}/{step:?}"));
+                self.fail_flow(
+                    ctx,
+                    flow_id,
+                    format!("unexpected reply in {kind:?}/{step:?}"),
+                );
             }
         }
     }
@@ -986,10 +1083,13 @@ impl DcdoManager {
         if let VersionConfigOp::IncorporateComponent { ico } = cfg.op {
             // Check the version is configurable before paying the roundtrip.
             if let Err(e) = self.configurable_mut(&cfg.version).map(|_| ()) {
-                ctx.send(from, Msg::ControlReply {
-                    call,
-                    result: Err(InvocationFault::Refused(e.to_string())),
-                });
+                ctx.send(
+                    from,
+                    Msg::ControlReply {
+                        call,
+                        result: Err(InvocationFault::Refused(e.to_string())),
+                    },
+                );
                 return;
             }
             let rpc_call = self
@@ -999,28 +1099,32 @@ impl DcdoManager {
                 .insert(rpc_call.as_raw(), (from, call, cfg.version.clone(), ico));
             return;
         }
-        let result = self.configurable_mut(&cfg.version).and_then(|d| match &cfg.op {
-            VersionConfigOp::IncorporateComponent { .. } => unreachable!("handled above"),
-            VersionConfigOp::RemoveComponent { component } => d.remove_component(*component),
-            VersionConfigOp::EnableFunction {
-                function,
-                component,
-            } => d.enable_function(function, *component),
-            VersionConfigOp::DisableFunction { function } => d.disable_function(function),
-            VersionConfigOp::SetProtection {
-                function,
-                protection,
-            } => d.set_protection(function, *protection),
-            VersionConfigOp::AddDependency { dependency } => d.add_dependency(dependency.clone()),
-            VersionConfigOp::RemoveDependency { dependency } => {
-                d.remove_dependency(dependency);
-                Ok(())
-            }
-            VersionConfigOp::SetVisibility {
-                function,
-                visibility,
-            } => d.set_visibility(function, *visibility),
-        });
+        let result = self
+            .configurable_mut(&cfg.version)
+            .and_then(|d| match &cfg.op {
+                VersionConfigOp::IncorporateComponent { .. } => unreachable!("handled above"),
+                VersionConfigOp::RemoveComponent { component } => d.remove_component(*component),
+                VersionConfigOp::EnableFunction {
+                    function,
+                    component,
+                } => d.enable_function(function, *component),
+                VersionConfigOp::DisableFunction { function } => d.disable_function(function),
+                VersionConfigOp::SetProtection {
+                    function,
+                    protection,
+                } => d.set_protection(function, *protection),
+                VersionConfigOp::AddDependency { dependency } => {
+                    d.add_dependency(dependency.clone())
+                }
+                VersionConfigOp::RemoveDependency { dependency } => {
+                    d.remove_dependency(dependency);
+                    Ok(())
+                }
+                VersionConfigOp::SetVisibility {
+                    function,
+                    visibility,
+                } => d.set_visibility(function, *visibility),
+            });
         let wire = match result {
             Ok(()) => Ok(Box::new(Ack) as Box<dyn ControlPayload>),
             Err(e) => Err(InvocationFault::Refused(e.to_string())),
@@ -1059,100 +1163,101 @@ impl DcdoManager {
             self.handle_configure(ctx, from, call, cfg);
             return;
         }
-        let result: Result<Box<dyn ControlPayload>, InvocationFault> = if let Some(derive) =
-            op.as_any().downcast_ref::<DeriveVersion>()
-        {
-            match self.derive_version(&derive.from) {
-                Ok(version) => Ok(Box::new(DerivedVersion { version })),
-                Err(e) => Err(InvocationFault::Refused(e.to_string())),
-            }
-        } else if let Some(mark) = op.as_any().downcast_ref::<MarkInstantiable>() {
-            match self.mark_instantiable(&mark.version) {
-                Ok(()) => Ok(Box::new(Ack)),
-                Err(e) => Err(InvocationFault::Refused(e.to_string())),
-            }
-        } else if let Some(set) = op.as_any().downcast_ref::<SetCurrentVersion>() {
-            match self.store.get(&set.version) {
-                Some(entry) if entry.instantiable => {
-                    self.current = set.version.clone();
-                    ctx.metrics().incr("manager.current_version_changes");
-                    if self.propagation == UpdatePropagation::Proactive {
-                        let instances: Vec<ObjectId> = self
-                            .table
-                            .iter()
-                            .filter(|(_, i)| i.version != self.current)
-                            .map(|(o, _)| *o)
-                            .collect();
-                        for object in instances {
-                            self.start_update(ctx, None, object, None);
-                        }
-                    }
-                    Ok(Box::new(Ack))
+        let result: Result<Box<dyn ControlPayload>, InvocationFault> =
+            if let Some(derive) = op.as_any().downcast_ref::<DeriveVersion>() {
+                match self.derive_version(&derive.from) {
+                    Ok(version) => Ok(Box::new(DerivedVersion { version })),
+                    Err(e) => Err(InvocationFault::Refused(e.to_string())),
                 }
-                Some(_) => Err(InvocationFault::Refused(
-                    ConfigError::VersionNotInstantiable(set.version.clone()).to_string(),
-                )),
-                None => Err(InvocationFault::Refused(
-                    ConfigError::UnknownVersion(set.version.clone()).to_string(),
-                )),
-            }
-        } else if let Some(check) = op.as_any().downcast_ref::<CheckVersion>() {
-            ctx.metrics().incr("manager.version_checks");
-            let up_to_date = check.current == self.current
-                || self.evolution_allowed(&check.current, &self.current).is_err();
-            let descriptor = if up_to_date {
-                None
+            } else if let Some(mark) = op.as_any().downcast_ref::<MarkInstantiable>() {
+                match self.mark_instantiable(&mark.version) {
+                    Ok(()) => Ok(Box::new(Ack)),
+                    Err(e) => Err(InvocationFault::Refused(e.to_string())),
+                }
+            } else if let Some(set) = op.as_any().downcast_ref::<SetCurrentVersion>() {
+                match self.store.get(&set.version) {
+                    Some(entry) if entry.instantiable => {
+                        self.current = set.version.clone();
+                        ctx.metrics().incr("manager.current_version_changes");
+                        if self.propagation == UpdatePropagation::Proactive {
+                            let instances: Vec<ObjectId> = self
+                                .table
+                                .iter()
+                                .filter(|(_, i)| i.version != self.current)
+                                .map(|(o, _)| *o)
+                                .collect();
+                            for object in instances {
+                                self.start_update(ctx, None, object, None);
+                            }
+                        }
+                        Ok(Box::new(Ack))
+                    }
+                    Some(_) => Err(InvocationFault::Refused(
+                        ConfigError::VersionNotInstantiable(set.version.clone()).to_string(),
+                    )),
+                    None => Err(InvocationFault::Refused(
+                        ConfigError::UnknownVersion(set.version.clone()).to_string(),
+                    )),
+                }
+            } else if let Some(check) = op.as_any().downcast_ref::<CheckVersion>() {
+                ctx.metrics().incr("manager.version_checks");
+                let up_to_date = check.current == self.current
+                    || self
+                        .evolution_allowed(&check.current, &self.current)
+                        .is_err();
+                let descriptor = if up_to_date {
+                    None
+                } else {
+                    self.store.get(&self.current).map(|e| e.descriptor.clone())
+                };
+                // Optimistically record the promise; the DCDO confirms with
+                // ReportVersion once the evolution lands.
+                Ok(Box::new(VersionCheckReply {
+                    up_to_date,
+                    descriptor,
+                }))
+            } else if let Some(report) = op.as_any().downcast_ref::<ReportVersion>() {
+                if let Some(info) = self.table.get_mut(&report.object) {
+                    info.version = report.version.clone();
+                }
+                Ok(Box::new(Ack))
+            } else if op.as_any().downcast_ref::<ListVersions>().is_some() {
+                Ok(Box::new(VersionTable {
+                    entries: self
+                        .store
+                        .iter()
+                        .map(|(v, e)| {
+                            (
+                                v.clone(),
+                                e.instantiable,
+                                e.descriptor.component_count(),
+                                e.descriptor.function_count(),
+                            )
+                        })
+                        .collect(),
+                    current: self.current.clone(),
+                }))
+            } else if op.as_any().downcast_ref::<ListDcdos>().is_some() {
+                Ok(Box::new(DcdoTable {
+                    entries: self.instances(),
+                }))
+            } else if let Some(q) = op.as_any().downcast_ref::<QueryVersionInfo>() {
+                match self.store.get(&q.version) {
+                    Some(entry) => Ok(Box::new(VersionInfo {
+                        version: q.version.clone(),
+                        instantiable: entry.instantiable,
+                        descriptor: entry.descriptor.clone(),
+                    })),
+                    None => Err(InvocationFault::Refused(
+                        ConfigError::UnknownVersion(q.version.clone()).to_string(),
+                    )),
+                }
             } else {
-                self.store.get(&self.current).map(|e| e.descriptor.clone())
+                Err(InvocationFault::Refused(format!(
+                    "DCDO Manager does not understand {}",
+                    op.describe()
+                )))
             };
-            // Optimistically record the promise; the DCDO confirms with
-            // ReportVersion once the evolution lands.
-            Ok(Box::new(VersionCheckReply {
-                up_to_date,
-                descriptor,
-            }))
-        } else if let Some(report) = op.as_any().downcast_ref::<ReportVersion>() {
-            if let Some(info) = self.table.get_mut(&report.object) {
-                info.version = report.version.clone();
-            }
-            Ok(Box::new(Ack))
-        } else if op.as_any().downcast_ref::<ListVersions>().is_some() {
-            Ok(Box::new(VersionTable {
-                entries: self
-                    .store
-                    .iter()
-                    .map(|(v, e)| {
-                        (
-                            v.clone(),
-                            e.instantiable,
-                            e.descriptor.component_count(),
-                            e.descriptor.function_count(),
-                        )
-                    })
-                    .collect(),
-                current: self.current.clone(),
-            }))
-        } else if op.as_any().downcast_ref::<ListDcdos>().is_some() {
-            Ok(Box::new(DcdoTable {
-                entries: self.instances(),
-            }))
-        } else if let Some(q) = op.as_any().downcast_ref::<QueryVersionInfo>() {
-            match self.store.get(&q.version) {
-                Some(entry) => Ok(Box::new(VersionInfo {
-                    version: q.version.clone(),
-                    instantiable: entry.instantiable,
-                    descriptor: entry.descriptor.clone(),
-                })),
-                None => Err(InvocationFault::Refused(
-                    ConfigError::UnknownVersion(q.version.clone()).to_string(),
-                )),
-            }
-        } else {
-            Err(InvocationFault::Refused(format!(
-                "DCDO Manager does not understand {}",
-                op.describe()
-            )))
-        };
         ctx.send(from, Msg::ControlReply { call, result });
     }
 }
@@ -1162,19 +1267,25 @@ impl Actor<Msg> for DcdoManager {
         match msg {
             Msg::Control { call, target, op } => {
                 if target != self.object {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Err(InvocationFault::NoSuchObject(target)),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Err(InvocationFault::NoSuchObject(target)),
+                        },
+                    );
                     return;
                 }
                 self.handle_control(ctx, from, call, op);
             }
             Msg::Invoke { call, function, .. } => {
-                ctx.send(from, Msg::Reply {
-                    call,
-                    result: Err(InvocationFault::NoSuchFunction(function)),
-                });
+                ctx.send(
+                    from,
+                    Msg::Reply {
+                        call,
+                        result: Err(InvocationFault::NoSuchFunction(function)),
+                    },
+                );
             }
             reply => {
                 if let Handled::Completed(completion) = self.rpc.handle_message(ctx, reply) {

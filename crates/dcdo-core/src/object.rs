@@ -41,7 +41,7 @@ use crate::ops::{
     AddFunctionDependency, ApplyDfmDescriptor, CheckVersion, DisableFunction, EnableFunction,
     FunctionStatusReport, ImplementationReport, IncorporateComponent, InterfaceReport, LazyCheck,
     QueryFunctionStatus, QueryImplementation, QueryInterface, ReadComponent,
-    ReadComponentDescriptor, RemoveComponent, RemoveFunctionDependency, RemovalPolicy,
+    ReadComponentDescriptor, RemovalPolicy, RemoveComponent, RemoveFunctionDependency,
     SetFunctionProtection, SetLazyCheck, SetRemovalPolicy, VersionCheckReply,
 };
 
@@ -53,7 +53,10 @@ enum FetchStage {
     /// Reading the component descriptor from the ICO (size unknown yet).
     Descriptor { ico: ObjectId },
     /// Asking the local host cache.
-    HostCheck { component: ComponentId, ico: ObjectId },
+    HostCheck {
+        component: ComponentId,
+        ico: ObjectId,
+    },
     /// Downloading from the ICO.
     IcoRead { component: ComponentId },
     /// Writing into the local host cache.
@@ -412,7 +415,8 @@ impl DcdoObject {
                 if outcome.is_ok() {
                     let elapsed = ctx.now().duration_since(flow.started);
                     ctx.metrics().incr("dcdo.evolutions");
-                    ctx.metrics().sample_duration("dcdo.evolution_time", elapsed);
+                    ctx.metrics()
+                        .sample_duration("dcdo.evolution_time", elapsed);
                 }
                 outcome
             }
@@ -446,7 +450,13 @@ impl DcdoObject {
                 Ok(()) => Ok(Box::new(Ack) as Box<dyn ControlPayload>),
                 Err(e) => Err(InvocationFault::Refused(e.to_string())),
             };
-            ctx.send(reply_to, Msg::ControlReply { call, result: reply });
+            ctx.send(
+                reply_to,
+                Msg::ControlReply {
+                    call,
+                    result: reply,
+                },
+            );
         }
     }
 
@@ -460,10 +470,13 @@ impl DcdoObject {
             self.unpark_all(ctx);
         }
         if let Some((reply_to, call)) = flow.reply {
-            ctx.send(reply_to, Msg::ControlReply {
-                call,
-                result: Err(InvocationFault::Refused(err.to_string())),
-            });
+            ctx.send(
+                reply_to,
+                Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(err.to_string())),
+                },
+            );
         }
     }
 
@@ -502,10 +515,13 @@ impl DcdoObject {
         };
         match stage {
             Some(FetchStage::Descriptor { ico }) => {
-                let Some(reply) =
-                    payload.control_as::<crate::ops::ComponentDescriptorReply>()
+                let Some(reply) = payload.control_as::<crate::ops::ComponentDescriptorReply>()
                 else {
-                    self.fail_flow(ctx, flow_id, ConfigError::BadComponent("bad descriptor reply".into()));
+                    self.fail_flow(
+                        ctx,
+                        flow_id,
+                        ConfigError::BadComponent("bad descriptor reply".into()),
+                    );
                     return;
                 };
                 let component = reply.descriptor.id;
@@ -516,11 +532,9 @@ impl DcdoObject {
                 }
                 let flow = self.flows.get_mut(&flow_id).expect("flow exists");
                 flow.fetching = Some(FetchStage::HostCheck { component, ico });
-                let call = self.rpc.control(
-                    ctx,
-                    self.host,
-                    Box::new(FetchComponentData { component }),
-                );
+                let call =
+                    self.rpc
+                        .control(ctx, self.host, Box::new(FetchComponentData { component }));
                 self.rpc_routes.insert(call.as_raw(), flow_id);
             }
             Some(FetchStage::HostCheck { component, ico }) => {
@@ -543,7 +557,11 @@ impl DcdoObject {
             }
             Some(FetchStage::IcoRead { component }) => {
                 let Some(data) = payload.control_as::<crate::ops::ComponentPayload>() else {
-                    self.fail_flow(ctx, flow_id, ConfigError::BadComponent("bad component payload".into()));
+                    self.fail_flow(
+                        ctx,
+                        flow_id,
+                        ConfigError::BadComponent("bad component payload".into()),
+                    );
                     return;
                 };
                 let bytes = data.bytes.clone();
@@ -684,23 +702,29 @@ impl DcdoObject {
                         "component {component} has no ICO to fetch from"
                     ));
                     if let Some((reply_to, call)) = reply {
-                        ctx.send(reply_to, Msg::ControlReply {
-                            call,
-                            result: Err(InvocationFault::Refused(err.to_string())),
-                        });
+                        ctx.send(
+                            reply_to,
+                            Msg::ControlReply {
+                                call,
+                                result: Err(InvocationFault::Refused(err.to_string())),
+                            },
+                        );
                     }
                     return;
                 }
             }
         }
-        self.start_flow(ctx, ConfigFlow {
-            reply,
-            kind: FlowKind::Apply { target },
-            to_fetch,
-            fetching: None,
-            started: ctx.now(),
-            force_deadline: None,
-        });
+        self.start_flow(
+            ctx,
+            ConfigFlow {
+                reply,
+                kind: FlowKind::Apply { target },
+                to_fetch,
+                fetching: None,
+                started: ctx.now(),
+                force_deadline: None,
+            },
+        );
     }
 
     // ---- control dispatch ------------------------------------------------
@@ -719,14 +743,17 @@ impl DcdoObject {
                 ico: inc.ico,
                 component: None,
             });
-            self.start_flow(ctx, ConfigFlow {
-                reply: Some((from, call)),
-                kind: FlowKind::Incorporate,
-                to_fetch,
-                fetching: None,
-                started: ctx.now(),
-                force_deadline: None,
-            });
+            self.start_flow(
+                ctx,
+                ConfigFlow {
+                    reply: Some((from, call)),
+                    kind: FlowKind::Incorporate,
+                    to_fetch,
+                    fetching: None,
+                    started: ctx.now(),
+                    force_deadline: None,
+                },
+            );
             return;
         }
         if let Some(apply) = op.as_any().downcast_ref::<ApplyDfmDescriptor>() {
@@ -734,111 +761,116 @@ impl DcdoObject {
             return;
         }
         if let Some(rm) = op.as_any().downcast_ref::<RemoveComponent>() {
-            self.start_flow(ctx, ConfigFlow {
-                reply: Some((from, call)),
-                kind: FlowKind::Remove {
-                    component: rm.component,
+            self.start_flow(
+                ctx,
+                ConfigFlow {
+                    reply: Some((from, call)),
+                    kind: FlowKind::Remove {
+                        component: rm.component,
+                    },
+                    to_fetch: VecDeque::new(),
+                    fetching: None,
+                    started: ctx.now(),
+                    force_deadline: None,
                 },
-                to_fetch: VecDeque::new(),
-                fetching: None,
-                started: ctx.now(),
-                force_deadline: None,
-            });
+            );
             return;
         }
         if let Some(dis) = op.as_any().downcast_ref::<DisableFunction>() {
-            self.start_flow(ctx, ConfigFlow {
-                reply: Some((from, call)),
-                kind: FlowKind::Disable {
-                    function: dis.function.clone(),
+            self.start_flow(
+                ctx,
+                ConfigFlow {
+                    reply: Some((from, call)),
+                    kind: FlowKind::Disable {
+                        function: dis.function.clone(),
+                    },
+                    to_fetch: VecDeque::new(),
+                    fetching: None,
+                    started: ctx.now(),
+                    force_deadline: None,
                 },
-                to_fetch: VecDeque::new(),
-                fetching: None,
-                started: ctx.now(),
-                force_deadline: None,
-            });
+            );
             return;
         }
 
         // Synchronous configuration and status functions.
-        let result: Result<Box<dyn ControlPayload>, InvocationFault> = if let Some(en) =
-            op.as_any().downcast_ref::<EnableFunction>()
-        {
-            let r = self.dfm.enable_function(&en.function, en.component);
-            self.config_result(r)
-        } else if let Some(p) = op.as_any().downcast_ref::<SetFunctionProtection>() {
-            let r = self.dfm_descriptor_mut(|d| d.set_protection(&p.function, p.protection));
-            self.config_result(r)
-        } else if let Some(d) = op.as_any().downcast_ref::<AddFunctionDependency>() {
-            let r = self.dfm_descriptor_mut(|desc| desc.add_dependency(d.dependency.clone()));
-            self.config_result(r)
-        } else if let Some(d) = op.as_any().downcast_ref::<RemoveFunctionDependency>() {
-            let r = self.dfm_descriptor_mut(|desc| {
-                desc.remove_dependency(&d.dependency);
-                Ok(())
-            });
-            self.config_result(r)
-        } else if let Some(p) = op.as_any().downcast_ref::<SetRemovalPolicy>() {
-            self.removal_policy = p.policy;
-            Ok(Box::new(Ack))
-        } else if let Some(l) = op.as_any().downcast_ref::<SetLazyCheck>() {
-            self.lazy = l.mode;
-            Ok(Box::new(Ack))
-        } else if op.as_any().downcast_ref::<QueryInterface>().is_some() {
-            Ok(Box::new(InterfaceReport {
-                functions: self
-                    .dfm
-                    .descriptor()
-                    .exported_interface()
-                    .into_iter()
-                    .map(|(sig, prot)| (sig.to_string(), prot))
-                    .collect(),
-            }))
-        } else if op.as_any().downcast_ref::<QueryImplementation>().is_some() {
-            Ok(Box::new(ImplementationReport {
-                version: self.dfm.version().clone(),
-                components: self.dfm.descriptor().components().map(|(c, _)| c).collect(),
-                impl_type: self.impl_type,
-                function_count: self.dfm.descriptor().function_count(),
-            }))
-        } else if let Some(q) = op.as_any().downcast_ref::<QueryFunctionStatus>() {
-            let record = self.dfm.descriptor().function(&q.function);
-            let implementations = record.map(|r| r.impls().to_vec()).unwrap_or_default();
-            let active_threads = implementations
-                .iter()
-                .map(|c| self.dfm.active_threads(&q.function, *c))
-                .sum();
-            Ok(Box::new(FunctionStatusReport {
-                function: q.function.clone(),
-                present: record.is_some(),
-                enabled: record.and_then(|r| r.enabled()),
-                visibility: record.map(|r| r.visibility()),
-                protection: record.map(|r| r.protection()),
-                active_threads,
-                implementations,
-            }))
-        } else if op.as_any().downcast_ref::<CaptureState>().is_some() {
-            Ok(Box::new(StateBlob {
-                bytes: self.state.capture(),
-            }))
-        } else if let Some(restore) = op.as_any().downcast_ref::<RestoreState>() {
-            match ValueStore::restore(restore.bytes.clone()) {
-                Ok(state) => {
-                    self.state = state;
-                    Ok(Box::new(Ack))
+        let result: Result<Box<dyn ControlPayload>, InvocationFault> =
+            if let Some(en) = op.as_any().downcast_ref::<EnableFunction>() {
+                let r = self.dfm.enable_function(&en.function, en.component);
+                self.config_result(r)
+            } else if let Some(p) = op.as_any().downcast_ref::<SetFunctionProtection>() {
+                let r = self.dfm_descriptor_mut(|d| d.set_protection(&p.function, p.protection));
+                self.config_result(r)
+            } else if let Some(d) = op.as_any().downcast_ref::<AddFunctionDependency>() {
+                let r = self.dfm_descriptor_mut(|desc| desc.add_dependency(d.dependency.clone()));
+                self.config_result(r)
+            } else if let Some(d) = op.as_any().downcast_ref::<RemoveFunctionDependency>() {
+                let r = self.dfm_descriptor_mut(|desc| {
+                    desc.remove_dependency(&d.dependency);
+                    Ok(())
+                });
+                self.config_result(r)
+            } else if let Some(p) = op.as_any().downcast_ref::<SetRemovalPolicy>() {
+                self.removal_policy = p.policy;
+                Ok(Box::new(Ack))
+            } else if let Some(l) = op.as_any().downcast_ref::<SetLazyCheck>() {
+                self.lazy = l.mode;
+                Ok(Box::new(Ack))
+            } else if op.as_any().downcast_ref::<QueryInterface>().is_some() {
+                Ok(Box::new(InterfaceReport {
+                    functions: self
+                        .dfm
+                        .descriptor()
+                        .exported_interface()
+                        .into_iter()
+                        .map(|(sig, prot)| (sig.to_string(), prot))
+                        .collect(),
+                }))
+            } else if op.as_any().downcast_ref::<QueryImplementation>().is_some() {
+                Ok(Box::new(ImplementationReport {
+                    version: self.dfm.version().clone(),
+                    components: self.dfm.descriptor().components().map(|(c, _)| c).collect(),
+                    impl_type: self.impl_type,
+                    function_count: self.dfm.descriptor().function_count(),
+                }))
+            } else if let Some(q) = op.as_any().downcast_ref::<QueryFunctionStatus>() {
+                let record = self.dfm.descriptor().function(&q.function);
+                let implementations = record.map(|r| r.impls().to_vec()).unwrap_or_default();
+                let active_threads = implementations
+                    .iter()
+                    .map(|c| self.dfm.active_threads(&q.function, *c))
+                    .sum();
+                Ok(Box::new(FunctionStatusReport {
+                    function: q.function.clone(),
+                    present: record.is_some(),
+                    enabled: record.and_then(|r| r.enabled()),
+                    visibility: record.map(|r| r.visibility()),
+                    protection: record.map(|r| r.protection()),
+                    active_threads,
+                    implementations,
+                }))
+            } else if op.as_any().downcast_ref::<CaptureState>().is_some() {
+                Ok(Box::new(StateBlob {
+                    bytes: self.state.capture(),
+                }))
+            } else if let Some(restore) = op.as_any().downcast_ref::<RestoreState>() {
+                match ValueStore::restore(restore.bytes.clone()) {
+                    Ok(state) => {
+                        self.state = state;
+                        Ok(Box::new(Ack))
+                    }
+                    Err(e) => Err(InvocationFault::Refused(format!("bad state blob: {e}"))),
                 }
-                Err(e) => Err(InvocationFault::Refused(format!("bad state blob: {e}"))),
-            }
-        } else if op.as_any().downcast_ref::<Deactivate>().is_some() {
-            let me = ctx.self_id();
-            ctx.kill(me);
-            Ok(Box::new(Ack))
-        } else {
-            Err(InvocationFault::Refused(format!(
-                "DCDO does not understand {}",
-                op.describe()
-            )))
-        };
+            } else if op.as_any().downcast_ref::<Deactivate>().is_some() {
+                let me = ctx.self_id();
+                ctx.kill(me);
+                Ok(Box::new(Ack))
+            } else {
+                Err(InvocationFault::Refused(format!(
+                    "DCDO does not understand {}",
+                    op.describe()
+                )))
+            };
         ctx.send(from, Msg::ControlReply { call, result });
     }
 
@@ -874,10 +906,13 @@ impl Actor<Msg> for DcdoObject {
                 args,
             } => {
                 if target != self.object {
-                    ctx.send(from, Msg::Reply {
-                        call,
-                        result: Err(InvocationFault::NoSuchObject(target)),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::Reply {
+                            call,
+                            result: Err(InvocationFault::NoSuchObject(target)),
+                        },
+                    );
                     return;
                 }
                 let now = ctx.now();
@@ -915,10 +950,13 @@ impl Actor<Msg> for DcdoObject {
             }
             Msg::Control { call, target, op } => {
                 if target != self.object {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Err(InvocationFault::NoSuchObject(target)),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Err(InvocationFault::NoSuchObject(target)),
+                        },
+                    );
                     return;
                 }
                 self.handle_control(ctx, from, call, op);

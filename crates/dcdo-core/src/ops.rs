@@ -52,9 +52,11 @@ pub struct ComponentDescriptorReply {
     pub descriptor: ComponentDescriptor,
 }
 
-control_payload!(ComponentDescriptorReply, "component-descriptor-reply", wire_size = |op| {
-    256 + op.descriptor.functions.len() as u64 * 48
-});
+control_payload!(
+    ComponentDescriptorReply,
+    "component-descriptor-reply",
+    wire_size = |op| { 256 + op.descriptor.functions.len() as u64 * 48 }
+);
 
 // ---- DCDO configuration functions (§2.2) ------------------------------------
 
@@ -137,10 +139,14 @@ pub struct ApplyDfmDescriptor {
     pub descriptor: DfmDescriptor,
 }
 
-control_payload!(ApplyDfmDescriptor, "apply-dfm-descriptor", wire_size = |op| {
-    256 + op.descriptor.function_count() as u64 * 48
-        + op.descriptor.component_count() as u64 * 64
-});
+control_payload!(
+    ApplyDfmDescriptor,
+    "apply-dfm-descriptor",
+    wire_size = |op| {
+        256 + op.descriptor.function_count() as u64 * 48
+            + op.descriptor.component_count() as u64 * 64
+    }
+);
 
 /// Thread-activity policy for component removal (§3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -201,9 +207,17 @@ pub struct InterfaceReport {
     pub functions: Vec<(String, Protection)>,
 }
 
-control_payload!(InterfaceReport, "interface-report", wire_size = |op| {
-    64 + op.functions.iter().map(|(s, _)| s.len() as u64 + 8).sum::<u64>()
-});
+control_payload!(
+    InterfaceReport,
+    "interface-report",
+    wire_size = |op| {
+        64 + op
+            .functions
+            .iter()
+            .map(|(s, _)| s.len() as u64 + 8)
+            .sum::<u64>()
+    }
+);
 
 /// Returns the object's implementation status.
 #[derive(Debug, Clone)]
@@ -423,11 +437,15 @@ pub struct VersionCheckReply {
     pub descriptor: Option<DfmDescriptor>,
 }
 
-control_payload!(VersionCheckReply, "version-check-reply", wire_size = |op| {
-    64 + op.descriptor.as_ref().map_or(0, |d| {
-        d.function_count() as u64 * 48 + d.component_count() as u64 * 64
-    })
-});
+control_payload!(
+    VersionCheckReply,
+    "version-check-reply",
+    wire_size = |op| {
+        64 + op.descriptor.as_ref().map_or(0, |d| {
+            d.function_count() as u64 * 48 + d.component_count() as u64 * 64
+        })
+    }
+);
 
 /// Migrates a DCDO to another node at its current version. Unlike
 /// evolution, migration does change the instance's physical address, so
@@ -506,9 +524,11 @@ pub struct DcdoTable {
     pub entries: Vec<(ObjectId, VersionId, ImplementationType)>,
 }
 
-control_payload!(DcdoTable, "dcdo-table", wire_size = |op| {
-    64 + op.entries.len() as u64 * 48
-});
+control_payload!(
+    DcdoTable,
+    "dcdo-table",
+    wire_size = |op| { 64 + op.entries.len() as u64 * 48 }
+);
 
 /// Lists every version in the manager's DFM store.
 #[derive(Debug, Clone)]
@@ -526,9 +546,11 @@ pub struct VersionTable {
     pub current: VersionId,
 }
 
-control_payload!(VersionTable, "version-table", wire_size = |op| {
-    64 + op.entries.len() as u64 * 32
-});
+control_payload!(
+    VersionTable,
+    "version-table",
+    wire_size = |op| { 64 + op.entries.len() as u64 * 32 }
+);
 
 /// Queries one stored version's status.
 #[derive(Debug, Clone)]
@@ -550,9 +572,11 @@ pub struct VersionInfo {
     pub descriptor: DfmDescriptor,
 }
 
-control_payload!(VersionInfo, "version-info", wire_size = |op| {
-    64 + op.descriptor.function_count() as u64 * 48
-});
+control_payload!(
+    VersionInfo,
+    "version-info",
+    wire_size = |op| { 64 + op.descriptor.function_count() as u64 * 48 }
+);
 
 #[cfg(test)]
 mod tests {
@@ -582,10 +606,7 @@ mod tests {
     #[test]
     fn removal_policy_and_lazy_check_are_plain_data() {
         assert_eq!(RemovalPolicy::Refuse, RemovalPolicy::Refuse);
-        assert_ne!(
-            LazyCheck::EveryCall,
-            LazyCheck::EveryKCalls(3),
-        );
+        assert_ne!(LazyCheck::EveryCall, LazyCheck::EveryKCalls(3),);
         let forced = RemovalPolicy::ForceAfter(SimDuration::from_secs(2));
         assert!(matches!(forced, RemovalPolicy::ForceAfter(d) if d.as_nanos() == 2_000_000_000));
     }

@@ -8,8 +8,8 @@ use dcdo_core::ops::{
     ApplyDfmDescriptor, CheckVersion, ConfigureVersion, CreateDcdo, DcdoCreated, DcdoTable,
     DeriveVersion, DerivedVersion, DisableFunction, ImplementationReport, IncorporateComponent,
     InterfaceReport, LazyCheck, ListDcdos, MarkInstantiable, QueryImplementation, QueryInterface,
-    RemovalPolicy, RemoveComponent, SetCurrentVersion, SetLazyCheck, SetRemovalPolicy,
-    UpdateDone, UpdateInstance, VersionConfigOp,
+    RemovalPolicy, RemoveComponent, SetCurrentVersion, SetLazyCheck, SetRemovalPolicy, UpdateDone,
+    UpdateInstance, VersionConfigOp,
 };
 use dcdo_core::{DcdoManager, HostDirectory, Ico, UpdatePropagation, VersionPolicy};
 use dcdo_sim::SimDuration;
@@ -131,26 +131,22 @@ impl Scenario {
     fn publish_component(&mut self, binary: &ComponentBinary, node: usize) -> ObjectId {
         let ico_obj = self.bed.fresh_object_id();
         let node = self.bed.nodes[node];
-        let actor = self.bed.sim.spawn(
-            node,
-            Ico::new(ico_obj, binary, self.bed.cost.clone()),
-        );
+        let actor = self
+            .bed
+            .sim
+            .spawn(node, Ico::new(ico_obj, binary, self.bed.cost.clone()));
         self.bed.register(ico_obj, actor);
         self.icos.insert(binary.id().as_raw(), ico_obj);
         ico_obj
     }
 
     fn mgr_ok(&mut self, op: Box<dyn legion_substrate::ControlPayload>) {
-        let completion = self
-            .bed
-            .control_and_wait(self.client, self.manager_obj, op);
+        let completion = self.bed.control_and_wait(self.client, self.manager_obj, op);
         completion.result.expect("manager op succeeds");
     }
 
     fn mgr_err(&mut self, op: Box<dyn legion_substrate::ControlPayload>) -> InvocationFault {
-        let completion = self
-            .bed
-            .control_and_wait(self.client, self.manager_obj, op);
+        let completion = self.bed.control_and_wait(self.client, self.manager_obj, op);
         completion.result.expect_err("manager op should fail")
     }
 
@@ -189,17 +185,20 @@ impl Scenario {
 
     fn create_dcdo(&mut self, node: usize) -> (ObjectId, dcdo_sim::ActorId) {
         let node = self.bed.nodes[node];
-        let completion = self.bed.control_and_wait(
-            self.client,
-            self.manager_obj,
-            Box::new(CreateDcdo { node }),
-        );
+        let completion =
+            self.bed
+                .control_and_wait(self.client, self.manager_obj, Box::new(CreateDcdo { node }));
         let payload = completion.result.expect("creation succeeds");
         let created = payload.control_as::<DcdoCreated>().expect("dcdo-created");
         (created.object, created.address)
     }
 
-    fn call(&mut self, target: ObjectId, function: &str, args: Vec<Value>) -> Result<Value, InvocationFault> {
+    fn call(
+        &mut self,
+        target: ObjectId,
+        function: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, InvocationFault> {
         let completion = self.bed.call_and_wait(self.client, target, function, args);
         completion
             .result
@@ -209,7 +208,11 @@ impl Scenario {
     /// Standard setup: counter-core published and live in version 1.1 as
     /// the current version, one DCDO created.
     fn with_counter(seed: u64, auto_deps: bool) -> (Scenario, ObjectId, VersionId) {
-        let mut s = Scenario::new(seed, VersionPolicy::SingleVersion, UpdatePropagation::Explicit);
+        let mut s = Scenario::new(
+            seed,
+            VersionPolicy::SingleVersion,
+            UpdatePropagation::Explicit,
+        );
         let core = counter_core(auto_deps);
         let ico = s.publish_component(&core, 1);
         let v = s.derive("1");
@@ -218,10 +221,13 @@ impl Scenario {
         // Type A dependency [incr, c1] -> [step] would otherwise be violated
         // the moment incr is enabled.
         for f in ["step", "get", "incr"] {
-            s.configure(&v, VersionConfigOp::EnableFunction {
-                function: f.into(),
-                component: ComponentId::from_raw(1),
-            });
+            s.configure(
+                &v,
+                VersionConfigOp::EnableFunction {
+                    function: f.into(),
+                    component: ComponentId::from_raw(1),
+                },
+            );
         }
         s.mark_and_set_current(&v);
         let (dcdo, _) = s.create_dcdo(4);
@@ -253,7 +259,9 @@ fn manager_version_workflow_and_first_invocations() {
 fn cannot_instantiate_or_evolve_to_configurable_versions() {
     let mut s = Scenario::new(2, VersionPolicy::SingleVersion, UpdatePropagation::Explicit);
     // Root "1" is configurable, not instantiable: creation must fail.
-    let err = s.mgr_err(Box::new(CreateDcdo { node: s.bed.nodes[1] }));
+    let err = s.mgr_err(Box::new(CreateDcdo {
+        node: s.bed.nodes[1],
+    }));
     assert!(err.to_string().contains("not marked instantiable"), "{err}");
     // SetCurrentVersion to a configurable version also fails.
     let err = s.mgr_err(Box::new(SetCurrentVersion {
@@ -289,10 +297,13 @@ fn evolution_replaces_internal_function_on_the_fly() {
     let ico = s.publish_component(&ten, 2);
     let v2 = s.derive(&v1.to_string());
     s.configure(&v2, VersionConfigOp::IncorporateComponent { ico });
-    s.configure(&v2, VersionConfigOp::EnableFunction {
-        function: "step".into(),
-        component: ComponentId::from_raw(2),
-    });
+    s.configure(
+        &v2,
+        VersionConfigOp::EnableFunction {
+            function: "step".into(),
+            component: ComponentId::from_raw(2),
+        },
+    );
     s.mark_and_set_current(&v2);
 
     // Evolve the live instance explicitly.
@@ -310,9 +321,16 @@ fn evolution_replaces_internal_function_on_the_fly() {
 
     // Same object, same address (no rebinds!), new behavior, kept state.
     let completion = s.bed.call_and_wait(s.client, dcdo, "incr", vec![]);
-    assert_eq!(completion.rebinds, 0, "evolution never invalidates bindings");
     assert_eq!(
-        completion.result.expect("incr").into_value().expect("value"),
+        completion.rebinds, 0,
+        "evolution never invalidates bindings"
+    );
+    assert_eq!(
+        completion
+            .result
+            .expect("incr")
+            .into_value()
+            .expect("value"),
         Value::Int(11),
         "1 (kept state) + 10 (new step)"
     );
@@ -325,9 +343,12 @@ fn reconfiguration_only_evolution_is_fast_and_component_evolution_is_cheap() {
 
     // (a) Reconfiguration-only: disable `get` in the next version.
     let v2 = s.derive(&v1.to_string());
-    s.configure(&v2, VersionConfigOp::DisableFunction {
-        function: "get".into(),
-    });
+    s.configure(
+        &v2,
+        VersionConfigOp::DisableFunction {
+            function: "get".into(),
+        },
+    );
     s.mark_and_set_current(&v2);
     let completion = s.bed.control_and_wait(
         s.client,
@@ -350,10 +371,13 @@ fn reconfiguration_only_evolution_is_fast_and_component_evolution_is_cheap() {
     let ico = s.publish_component(&ten, 2);
     let v3 = s.derive(&v2.to_string());
     s.configure(&v3, VersionConfigOp::IncorporateComponent { ico });
-    s.configure(&v3, VersionConfigOp::EnableFunction {
-        function: "step".into(),
-        component: ComponentId::from_raw(2),
-    });
+    s.configure(
+        &v3,
+        VersionConfigOp::EnableFunction {
+            function: "step".into(),
+            component: ComponentId::from_raw(2),
+        },
+    );
     s.mark_and_set_current(&v3);
     let completion = s.bed.control_and_wait(
         s.client,
@@ -378,10 +402,13 @@ fn dcdo_evolution_beats_monolithic_evolution_dramatically() {
     let ico = s.publish_component(&ten, 2);
     let v2 = s.derive(&v1.to_string());
     s.configure(&v2, VersionConfigOp::IncorporateComponent { ico });
-    s.configure(&v2, VersionConfigOp::EnableFunction {
-        function: "step".into(),
-        component: ComponentId::from_raw(2),
-    });
+    s.configure(
+        &v2,
+        VersionConfigOp::EnableFunction {
+            function: "step".into(),
+            component: ComponentId::from_raw(2),
+        },
+    );
     s.mark_and_set_current(&v2);
     let dcdo_completion = s.bed.control_and_wait(
         s.client,
@@ -468,9 +495,12 @@ fn missing_internal_function_problem_reproduced_without_restrictions() {
     // step can be marked instantiable, and the call fails at runtime.
     let (mut s, dcdo, v1) = Scenario::with_counter(7, false);
     let v2 = s.derive(&v1.to_string());
-    s.configure(&v2, VersionConfigOp::DisableFunction {
-        function: "step".into(),
-    });
+    s.configure(
+        &v2,
+        VersionConfigOp::DisableFunction {
+            function: "step".into(),
+        },
+    );
     s.mark_and_set_current(&v2);
     s.mgr_ok(Box::new(UpdateInstance {
         object: dcdo,
@@ -514,10 +544,13 @@ fn mandatory_protection_survives_derivation() {
     let (mut s, _dcdo, v1) = Scenario::with_counter(9, false);
     // Mark incr mandatory in a derived version, freeze it.
     let v2 = s.derive(&v1.to_string());
-    s.configure(&v2, VersionConfigOp::SetProtection {
-        function: "incr".into(),
-        protection: dcdo_types::Protection::Mandatory,
-    });
+    s.configure(
+        &v2,
+        VersionConfigOp::SetProtection {
+            function: "incr".into(),
+            protection: dcdo_types::Protection::Mandatory,
+        },
+    );
     s.mark_and_set_current(&v2);
     // A child of v2 that disables incr cannot be configured that way...
     let v3 = s.derive(&v2.to_string());
@@ -546,14 +579,21 @@ fn disappearing_exported_function_as_seen_by_a_client() {
         .control_and_wait(s.client, dcdo, Box::new(QueryInterface));
     let payload = completion.result.expect("interface");
     let report = payload.control_as::<InterfaceReport>().expect("report");
-    assert!(report.functions.iter().any(|(sig, _)| sig.starts_with("get(")));
+    assert!(report
+        .functions
+        .iter()
+        .any(|(sig, _)| sig.starts_with("get(")));
 
     // Disable get() directly on the live object (a configuration function
     // of the DCDO's own interface, §2.2).
     s.bed
-        .control_and_wait(s.client, dcdo, Box::new(DisableFunction {
-            function: "get".into(),
-        }))
+        .control_and_wait(
+            s.client,
+            dcdo,
+            Box::new(DisableFunction {
+                function: "get".into(),
+            }),
+        )
         .result
         .expect("disable succeeds");
 
@@ -630,10 +670,13 @@ fn thread_activity_monitoring_gates_component_removal() {
     let ico = s.publish_component(&relay, 3);
     let v2 = s.derive(&v1.to_string());
     s.configure(&v2, VersionConfigOp::IncorporateComponent { ico });
-    s.configure(&v2, VersionConfigOp::EnableFunction {
-        function: "relay".into(),
-        component: ComponentId::from_raw(3),
-    });
+    s.configure(
+        &v2,
+        VersionConfigOp::EnableFunction {
+            function: "relay".into(),
+            component: ComponentId::from_raw(3),
+        },
+    );
     s.mark_and_set_current(&v2);
     s.mgr_ok(Box::new(UpdateInstance {
         object: dcdo,
@@ -647,26 +690,42 @@ fn thread_activity_monitoring_gates_component_removal() {
     s.bed.run_for(SimDuration::from_millis(200));
 
     // Policy 1: Refuse — removal fails with ComponentBusy.
-    let completion = s.bed.control_and_wait(s.client, dcdo, Box::new(RemoveComponent {
-        component: ComponentId::from_raw(3),
-    }));
+    let completion = s.bed.control_and_wait(
+        s.client,
+        dcdo,
+        Box::new(RemoveComponent {
+            component: ComponentId::from_raw(3),
+        }),
+    );
     let err = completion.result.expect_err("refused while busy");
     assert!(err.to_string().contains("active threads"), "{err}");
 
     // Policy 2: DelayUntilIdle — removal waits for the thread to finish,
     // then succeeds; the relay call still completes correctly.
     s.bed
-        .control_and_wait(s.client, dcdo, Box::new(SetRemovalPolicy {
-            policy: RemovalPolicy::DelayUntilIdle,
-        }))
+        .control_and_wait(
+            s.client,
+            dcdo,
+            Box::new(SetRemovalPolicy {
+                policy: RemovalPolicy::DelayUntilIdle,
+            }),
+        )
         .result
         .expect("policy set");
-    let removal = s.bed.client_control(s.client, dcdo, Box::new(RemoveComponent {
-        component: ComponentId::from_raw(3),
-    }));
+    let removal = s.bed.client_control(
+        s.client,
+        dcdo,
+        Box::new(RemoveComponent {
+            component: ComponentId::from_raw(3),
+        }),
+    );
     let relay_result = s.bed.wait_for(s.client, pending);
     assert_eq!(
-        relay_result.result.expect("relay").into_value().expect("value"),
+        relay_result
+            .result
+            .expect("relay")
+            .into_value()
+            .expect("value"),
         Value::Int(5),
         "the suspended thread completed despite the pending removal"
     );
@@ -715,10 +774,13 @@ fn forced_removal_aborts_suspended_threads() {
     let ico = s.publish_component(&relay, 3);
     let v2 = s.derive(&v1.to_string());
     s.configure(&v2, VersionConfigOp::IncorporateComponent { ico });
-    s.configure(&v2, VersionConfigOp::EnableFunction {
-        function: "relay".into(),
-        component: ComponentId::from_raw(3),
-    });
+    s.configure(
+        &v2,
+        VersionConfigOp::EnableFunction {
+            function: "relay".into(),
+            component: ComponentId::from_raw(3),
+        },
+    );
     s.mark_and_set_current(&v2);
     s.mgr_ok(Box::new(UpdateInstance {
         object: dcdo,
@@ -730,14 +792,22 @@ fn forced_removal_aborts_suspended_threads() {
         .client_call(s.client, dcdo, "relay", vec![Value::ObjRef(peer)]);
     s.bed.run_for(SimDuration::from_millis(200));
     s.bed
-        .control_and_wait(s.client, dcdo, Box::new(SetRemovalPolicy {
-            policy: RemovalPolicy::ForceAfter(SimDuration::from_secs(1)),
-        }))
+        .control_and_wait(
+            s.client,
+            dcdo,
+            Box::new(SetRemovalPolicy {
+                policy: RemovalPolicy::ForceAfter(SimDuration::from_secs(1)),
+            }),
+        )
         .result
         .expect("policy set");
-    let removal = s.bed.client_control(s.client, dcdo, Box::new(RemoveComponent {
-        component: ComponentId::from_raw(3),
-    }));
+    let removal = s.bed.client_control(
+        s.client,
+        dcdo,
+        Box::new(RemoveComponent {
+            component: ComponentId::from_raw(3),
+        }),
+    );
     let removal_result = s.bed.wait_for(s.client, removal);
     assert!(
         removal_result.result.is_ok(),
@@ -747,7 +817,10 @@ fn forced_removal_aborts_suspended_threads() {
     let relay_result = s.bed.wait_for(s.client, pending);
     let err = relay_result.result.expect_err("aborted");
     assert!(
-        matches!(err, InvocationFault::ExecutionFault(dcdo_vm::VmError::Aborted(_))),
+        matches!(
+            err,
+            InvocationFault::ExecutionFault(dcdo_vm::VmError::Aborted(_))
+        ),
         "{err}"
     );
 }
@@ -758,9 +831,13 @@ fn lazy_every_call_updates_before_serving() {
     // manager on every invocation.
     let (mut s, dcdo, v1) = Scenario::with_counter(14, false);
     s.bed
-        .control_and_wait(s.client, dcdo, Box::new(SetLazyCheck {
-            mode: LazyCheck::EveryCall,
-        }))
+        .control_and_wait(
+            s.client,
+            dcdo,
+            Box::new(SetLazyCheck {
+                mode: LazyCheck::EveryCall,
+            }),
+        )
         .result
         .expect("lazy set");
 
@@ -769,10 +846,13 @@ fn lazy_every_call_updates_before_serving() {
     let ico = s.publish_component(&ten, 2);
     let v2 = s.derive(&v1.to_string());
     s.configure(&v2, VersionConfigOp::IncorporateComponent { ico });
-    s.configure(&v2, VersionConfigOp::EnableFunction {
-        function: "step".into(),
-        component: ComponentId::from_raw(2),
-    });
+    s.configure(
+        &v2,
+        VersionConfigOp::EnableFunction {
+            function: "step".into(),
+            component: ComponentId::from_raw(2),
+        },
+    );
     s.mark_and_set_current(&v2);
 
     // The very next call self-updates first, then runs with new behavior.
@@ -794,16 +874,23 @@ fn lazy_every_call_updates_before_serving() {
 fn proactive_propagation_updates_all_instances() {
     // §3.4 proactive policy: designating a new current version triggers an
     // immediate attempt to update all existing instances.
-    let mut s = Scenario::new(15, VersionPolicy::SingleVersion, UpdatePropagation::Proactive);
+    let mut s = Scenario::new(
+        15,
+        VersionPolicy::SingleVersion,
+        UpdatePropagation::Proactive,
+    );
     let core = counter_core(false);
     let ico = s.publish_component(&core, 1);
     let v1 = s.derive("1");
     s.configure(&v1, VersionConfigOp::IncorporateComponent { ico });
     for f in ["step", "get", "incr"] {
-        s.configure(&v1, VersionConfigOp::EnableFunction {
-            function: f.into(),
-            component: ComponentId::from_raw(1),
-        });
+        s.configure(
+            &v1,
+            VersionConfigOp::EnableFunction {
+                function: f.into(),
+                component: ComponentId::from_raw(1),
+            },
+        );
     }
     s.mark_and_set_current(&v1);
     let instances: Vec<ObjectId> = (0..4).map(|i| s.create_dcdo(i + 2).0).collect();
@@ -812,10 +899,13 @@ fn proactive_propagation_updates_all_instances() {
     let ico = s.publish_component(&ten, 2);
     let v2 = s.derive(&v1.to_string());
     s.configure(&v2, VersionConfigOp::IncorporateComponent { ico });
-    s.configure(&v2, VersionConfigOp::EnableFunction {
-        function: "step".into(),
-        component: ComponentId::from_raw(2),
-    });
+    s.configure(
+        &v2,
+        VersionConfigOp::EnableFunction {
+            function: "step".into(),
+            component: ComponentId::from_raw(2),
+        },
+    );
     s.mark_and_set_current(&v2);
     // Let the proactive fan-out complete.
     s.bed.sim.run_until_idle();
@@ -847,10 +937,13 @@ fn increasing_version_policy_refuses_cross_branch_evolution() {
     let v11 = s.derive("1");
     s.configure(&v11, VersionConfigOp::IncorporateComponent { ico });
     for f in ["step", "get", "incr"] {
-        s.configure(&v11, VersionConfigOp::EnableFunction {
-            function: f.into(),
-            component: ComponentId::from_raw(1),
-        });
+        s.configure(
+            &v11,
+            VersionConfigOp::EnableFunction {
+                function: f.into(),
+                component: ComponentId::from_raw(1),
+            },
+        );
     }
     s.mark_and_set_current(&v11);
     let (dcdo, _) = s.create_dcdo(3);
@@ -858,7 +951,9 @@ fn increasing_version_policy_refuses_cross_branch_evolution() {
     // A sibling branch 1.2 (not derived from 1.1; the empty root makes it
     // trivially instantiable).
     let v12 = s.derive("1");
-    s.mgr_ok(Box::new(MarkInstantiable { version: v12.clone() }));
+    s.mgr_ok(Box::new(MarkInstantiable {
+        version: v12.clone(),
+    }));
     let err = s.mgr_err(Box::new(UpdateInstance {
         object: dcdo,
         to: Some(v12),
@@ -867,10 +962,15 @@ fn increasing_version_policy_refuses_cross_branch_evolution() {
 
     // A child of 1.1 is fine.
     let v111 = s.derive(&v11.to_string());
-    s.configure(&v111, VersionConfigOp::DisableFunction {
-        function: "get".into(),
-    });
-    s.mgr_ok(Box::new(MarkInstantiable { version: v111.clone() }));
+    s.configure(
+        &v111,
+        VersionConfigOp::DisableFunction {
+            function: "get".into(),
+        },
+    );
+    s.mgr_ok(Box::new(MarkInstantiable {
+        version: v111.clone(),
+    }));
     s.mgr_ok(Box::new(UpdateInstance {
         object: dcdo,
         to: Some(v111),
@@ -879,23 +979,33 @@ fn increasing_version_policy_refuses_cross_branch_evolution() {
 
 #[test]
 fn no_update_policy_freezes_existing_instances() {
-    let mut s = Scenario::new(17, VersionPolicy::MultiNoUpdate, UpdatePropagation::Explicit);
+    let mut s = Scenario::new(
+        17,
+        VersionPolicy::MultiNoUpdate,
+        UpdatePropagation::Explicit,
+    );
     let core = counter_core(false);
     let ico = s.publish_component(&core, 1);
     let v1 = s.derive("1");
     s.configure(&v1, VersionConfigOp::IncorporateComponent { ico });
     for f in ["step", "get", "incr"] {
-        s.configure(&v1, VersionConfigOp::EnableFunction {
-            function: f.into(),
-            component: ComponentId::from_raw(1),
-        });
+        s.configure(
+            &v1,
+            VersionConfigOp::EnableFunction {
+                function: f.into(),
+                component: ComponentId::from_raw(1),
+            },
+        );
     }
     s.mark_and_set_current(&v1);
     let (dcdo, _) = s.create_dcdo(2);
     let v2 = s.derive(&v1.to_string());
-    s.configure(&v2, VersionConfigOp::DisableFunction {
-        function: "get".into(),
-    });
+    s.configure(
+        &v2,
+        VersionConfigOp::DisableFunction {
+            function: "get".into(),
+        },
+    );
     s.mark_and_set_current(&v2);
     let err = s.mgr_err(Box::new(UpdateInstance {
         object: dcdo,
@@ -942,11 +1052,11 @@ fn apply_descriptor_rejects_component_without_ico() {
     target
         .incorporate_component(&phantom.descriptor(), None)
         .expect("descriptor-level ok");
-    let completion = s
-        .bed
-        .control_and_wait(s.client, dcdo, Box::new(ApplyDfmDescriptor {
-            descriptor: target,
-        }));
+    let completion = s.bed.control_and_wait(
+        s.client,
+        dcdo,
+        Box::new(ApplyDfmDescriptor { descriptor: target }),
+    );
     let err = completion.result.expect_err("refused");
     assert!(err.to_string().contains("no ICO"), "{err}");
 }
@@ -999,7 +1109,10 @@ fn dcdo_migration_preserves_state_and_updates_the_table() {
     // The watcher's old binding is stale; its next call pays the
     // 25-35 s discovery and then succeeds against the new address.
     let completion = s.bed.call_and_wait(watcher, dcdo, "get", vec![]);
-    assert_eq!(completion.rebinds, 1, "migration moved the physical address");
+    assert_eq!(
+        completion.rebinds, 1,
+        "migration moved the physical address"
+    );
     let discovery = completion.elapsed.as_secs_f64();
     assert!(
         (25.0..=40.0).contains(&discovery),
@@ -1015,7 +1128,11 @@ fn native_components_cannot_map_onto_the_wrong_architecture() {
     // anywhere.
     use dcdo_types::{Architecture, ImplementationType};
 
-    let mut s = Scenario::new(21, VersionPolicy::SingleVersion, UpdatePropagation::Explicit);
+    let mut s = Scenario::new(
+        21,
+        VersionPolicy::SingleVersion,
+        UpdatePropagation::Explicit,
+    );
     // Re-declare node 8 as a DEC Alpha in the manager's host directory.
     let mut bed2 = Testbed::centurion(22);
     let mut hosts = HostDirectory::from_testbed(&bed2);
@@ -1048,23 +1165,27 @@ fn native_components_cannot_map_onto_the_wrong_architecture() {
     let ico = s.publish_component(&native, 1);
     let v = s.derive("1");
     s.configure(&v, VersionConfigOp::IncorporateComponent { ico });
-    s.configure(&v, VersionConfigOp::EnableFunction {
-        function: "f".into(),
-        component: ComponentId::from_raw(5),
-    });
+    s.configure(
+        &v,
+        VersionConfigOp::EnableFunction {
+            function: "f".into(),
+            component: ComponentId::from_raw(5),
+        },
+    );
     s.mark_and_set_current(&v);
 
     // Creation on an x86 host works...
     let (x86_dcdo, _) = s.create_dcdo(4);
-    assert_eq!(s.call(x86_dcdo, "f", vec![]).expect("runs"), dcdo_vm::Value::Int(1));
+    assert_eq!(
+        s.call(x86_dcdo, "f", vec![]).expect("runs"),
+        dcdo_vm::Value::Int(1)
+    );
 
     // ...but on the Alpha node the mapping is refused.
     let node = s.bed.nodes[8];
-    let completion = s.bed.control_and_wait(
-        s.client,
-        s.manager_obj,
-        Box::new(CreateDcdo { node }),
-    );
+    let completion = s
+        .bed
+        .control_and_wait(s.client, s.manager_obj, Box::new(CreateDcdo { node }));
     let err = completion.result.expect_err("creation fails on Alpha");
     assert!(
         err.to_string().contains("cannot run on a alpha host"),
@@ -1090,14 +1211,12 @@ fn deactivation_parks_state_and_reactivation_restores_it() {
     completion.result.expect("deactivation succeeds");
 
     // While deactivated: calls cannot reach it, and updates are refused.
-    let err = s
-        .mgr_err(Box::new(UpdateInstance {
-            object: dcdo,
-            to: None,
-        }));
+    let err = s.mgr_err(Box::new(UpdateInstance {
+        object: dcdo,
+        to: None,
+    }));
     assert!(err.to_string().contains("deactivated"), "{err}");
-    let err = s
-        .mgr_err(Box::new(dcdo_core::ops::DeactivateDcdo { object: dcdo }));
+    let err = s.mgr_err(Box::new(dcdo_core::ops::DeactivateDcdo { object: dcdo }));
     assert!(err.to_string().contains("already deactivated"), "{err}");
 
     // Reactivate on a different node.
@@ -1153,10 +1272,13 @@ fn invocations_during_a_slow_evolution_see_the_old_version_until_the_swap() {
     let ico = s.publish_component(&big_step, 2);
     let v2 = s.derive(&v1.to_string());
     s.configure(&v2, VersionConfigOp::IncorporateComponent { ico });
-    s.configure(&v2, VersionConfigOp::EnableFunction {
-        function: "step".into(),
-        component: ComponentId::from_raw(2),
-    });
+    s.configure(
+        &v2,
+        VersionConfigOp::EnableFunction {
+            function: "step".into(),
+            component: ComponentId::from_raw(2),
+        },
+    );
     s.mark_and_set_current(&v2);
 
     // Kick off the update but only run 1 simulated second (the ~4s
@@ -1189,5 +1311,9 @@ fn invocations_during_a_slow_evolution_see_the_old_version_until_the_swap() {
         .expect("served after evolution")
         .into_value()
         .expect("value");
-    assert_eq!(after, dcdo_vm::Value::Int(12), "new step (+10) after the swap");
+    assert_eq!(
+        after,
+        dcdo_vm::Value::Int(12),
+        "new step (+10) after the swap"
+    );
 }

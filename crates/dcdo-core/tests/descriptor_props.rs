@@ -40,18 +40,37 @@ fn component(id: u64, fns: &[usize]) -> ComponentDescriptor {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Incorporate { id: u64, fns: Vec<usize> },
+    Incorporate {
+        id: u64,
+        fns: Vec<usize>,
+    },
     Remove(u64),
-    Enable { f: usize, c: u64 },
+    Enable {
+        f: usize,
+        c: u64,
+    },
     Disable(usize),
-    Protect { f: usize, p: Protection },
-    Depend { from: usize, to: usize, pin_from: bool, pin_to: bool, c1: u64, c2: u64 },
+    Protect {
+        f: usize,
+        p: Protection,
+    },
+    Depend {
+        from: usize,
+        to: usize,
+        pin_from: bool,
+        pin_to: bool,
+        c1: u64,
+        c2: u64,
+    },
     Undepend(usize),
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (1..=COMPONENTS, prop::collection::vec(0..FUNCTIONS.len(), 1..=3))
+        (
+            1..=COMPONENTS,
+            prop::collection::vec(0..FUNCTIONS.len(), 1..=3)
+        )
             .prop_map(|(id, mut fns)| {
                 fns.sort_unstable();
                 fns.dedup();
@@ -60,10 +79,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (1..=COMPONENTS).prop_map(Op::Remove),
         (0..FUNCTIONS.len(), 1..=COMPONENTS).prop_map(|(f, c)| Op::Enable { f, c }),
         (0..FUNCTIONS.len()).prop_map(Op::Disable),
-        (0..FUNCTIONS.len(), prop_oneof![
-            Just(Protection::Mandatory),
-            Just(Protection::Permanent)
-        ])
+        (
+            0..FUNCTIONS.len(),
+            prop_oneof![Just(Protection::Mandatory), Just(Protection::Permanent)]
+        )
             .prop_map(|(f, p)| Op::Protect { f, p }),
         (
             0..FUNCTIONS.len(),
@@ -89,9 +108,7 @@ fn apply(d: &mut DfmDescriptor, op: &Op) -> Result<(), ConfigError> {
     match op {
         Op::Incorporate { id, fns } => d.incorporate_component(&component(*id, fns), None),
         Op::Remove(c) => d.remove_component(ComponentId::from_raw(*c)),
-        Op::Enable { f, c } => {
-            d.enable_function(&FUNCTIONS[*f].into(), ComponentId::from_raw(*c))
-        }
+        Op::Enable { f, c } => d.enable_function(&FUNCTIONS[*f].into(), ComponentId::from_raw(*c)),
         Op::Disable(f) => d.disable_function(&FUNCTIONS[*f].into()),
         Op::Protect { f, p } => d.set_protection(&FUNCTIONS[*f].into(), *p),
         Op::Depend {
@@ -109,16 +126,12 @@ fn apply(d: &mut DfmDescriptor, op: &Op) -> Result<(), ConfigError> {
                     FUNCTIONS[*to],
                     ComponentId::from_raw(*c2),
                 ),
-                (true, false) => Dependency::type_a(
-                    FUNCTIONS[*from],
-                    ComponentId::from_raw(*c1),
-                    FUNCTIONS[*to],
-                ),
-                (false, true) => Dependency::type_c(
-                    FUNCTIONS[*from],
-                    FUNCTIONS[*to],
-                    ComponentId::from_raw(*c2),
-                ),
+                (true, false) => {
+                    Dependency::type_a(FUNCTIONS[*from], ComponentId::from_raw(*c1), FUNCTIONS[*to])
+                }
+                (false, true) => {
+                    Dependency::type_c(FUNCTIONS[*from], FUNCTIONS[*to], ComponentId::from_raw(*c2))
+                }
                 (false, false) => Dependency::type_d(FUNCTIONS[*from], FUNCTIONS[*to]),
             };
             d.add_dependency(dep)

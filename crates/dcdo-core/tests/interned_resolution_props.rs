@@ -1,0 +1,303 @@
+//! Property tests for the interned-slot dispatch fast path.
+//!
+//! The DFM resolves dynamic calls two ways: the hot path indexes a flat
+//! slot table by interned [`FunctionId`], and the slow path walks the
+//! descriptor by name. These tests drive a DFM through random
+//! configuration-operation sequences and assert, after every step, that
+//!
+//! 1. resolution through the public [`CallResolver`] entry points is
+//!    observationally identical to a name-based walk of the descriptor
+//!    (same resolved component on success, same [`ResolveError`] on
+//!    failure, for both call origins);
+//! 2. a freshly issued [`CallToken`] redeems to the same implementation
+//!    the by-name resolve returned;
+//! 3. every token issued *before* an accepted configuration operation is
+//!    dead *after* it — a stale inline cache can never dispatch a
+//!    disabled, removed, or replaced function;
+//! 4. refused operations expire nothing: tokens issued before a refused
+//!    operation still redeem, to the same component.
+//!
+//! [`FunctionId`]: dcdo_types::FunctionId
+
+use dcdo_core::Dfm;
+use dcdo_sim::SimDuration;
+use dcdo_types::{ComponentId, FunctionName, Protection, VersionId, Visibility};
+use dcdo_vm::{
+    CallOrigin, CallResolver, CallToken, CodeBlock, ComponentBinary, ComponentBuilder, Instr,
+    ResolveError, Value,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+
+const FUNCTIONS: &[&str] = &["alpha", "beta", "gamma", "delta", "epsilon"];
+const COMPONENTS: u64 = 4;
+
+/// Function `f` is exported iff its index is even — deterministic, so every
+/// component providing it declares the same visibility.
+fn visibility(f: usize) -> Visibility {
+    if f.is_multiple_of(2) {
+        Visibility::Exported
+    } else {
+        Visibility::Internal
+    }
+}
+
+fn binary(id: u64, fns: &[usize]) -> ComponentBinary {
+    let mut b = ComponentBuilder::new(ComponentId::from_raw(id), format!("c{id}"));
+    for &f in fns {
+        let code = CodeBlock::new(
+            format!("{}() -> int", FUNCTIONS[f]).parse().expect("sig"),
+            0,
+            vec![
+                Instr::Push(Value::Int(id as i64 * 100 + f as i64)),
+                Instr::Ret,
+            ],
+        );
+        b = b.function(code, visibility(f), Protection::FullyDynamic);
+    }
+    b.build().expect("generated component valid")
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Incorporate { id: u64, fns: Vec<usize> },
+    Remove(u64),
+    Enable { f: usize, c: u64 },
+    Disable(usize),
+    Stage { id: u64, fns: Vec<usize> },
+}
+
+fn fns_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..FUNCTIONS.len(), 1..=3).prop_map(|mut fns| {
+        fns.sort_unstable();
+        fns.dedup();
+        fns
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1..=COMPONENTS, fns_strategy()).prop_map(|(id, fns)| Op::Incorporate { id, fns }),
+        (1..=COMPONENTS).prop_map(Op::Remove),
+        (0..FUNCTIONS.len(), 1..=COMPONENTS).prop_map(|(f, c)| Op::Enable { f, c }),
+        (0..FUNCTIONS.len()).prop_map(Op::Disable),
+        (1..=COMPONENTS, fns_strategy()).prop_map(|(id, fns)| Op::Stage { id, fns }),
+    ]
+}
+
+/// The test's independent model of which functions each loaded component
+/// carries code for (the one piece of DFM state the descriptor does not
+/// expose).
+type LoadedModel = HashMap<u64, BTreeSet<usize>>;
+
+/// Applies `op`, mirroring accepted code-loading effects into `loaded`.
+/// Returns `true` if the DFM accepted the operation.
+fn apply(dfm: &mut Dfm, loaded: &mut LoadedModel, op: &Op) -> bool {
+    match op {
+        Op::Incorporate { id, fns } => {
+            let ok = dfm.incorporate_component(&binary(*id, fns), None).is_ok();
+            if ok {
+                loaded.insert(*id, fns.iter().copied().collect());
+            }
+            ok
+        }
+        Op::Remove(c) => {
+            let ok = dfm.remove_component(ComponentId::from_raw(*c)).is_ok();
+            if ok {
+                loaded.remove(c);
+            }
+            ok
+        }
+        Op::Enable { f, c } => dfm
+            .enable_function(&FUNCTIONS[*f].into(), ComponentId::from_raw(*c))
+            .is_ok(),
+        Op::Disable(f) => dfm.disable_function(&FUNCTIONS[*f].into()).is_ok(),
+        Op::Stage { id, fns } => {
+            let ok = dfm.stage_component(&binary(*id, fns)).is_ok();
+            if ok {
+                loaded.insert(*id, fns.iter().copied().collect());
+            }
+            ok
+        }
+    }
+}
+
+/// Name-based resolution oracle: a walk of the *public* descriptor state,
+/// written independently of the DFM's slot table. Returns the component
+/// that must serve the call, or the precise error.
+fn oracle(
+    dfm: &Dfm,
+    loaded: &LoadedModel,
+    f: usize,
+    origin: CallOrigin,
+) -> Result<ComponentId, ResolveError> {
+    let name: FunctionName = FUNCTIONS[f].into();
+    let record = dfm
+        .descriptor()
+        .function(&name)
+        .ok_or(ResolveError::Missing)?;
+    if origin == CallOrigin::External && !record.visibility().is_exported() {
+        return Err(ResolveError::NotExported);
+    }
+    let component = record.enabled().ok_or(ResolveError::Disabled)?;
+    let has_code = loaded
+        .get(&component.as_raw())
+        .is_some_and(|fns| fns.contains(&f));
+    if !has_code {
+        return Err(ResolveError::Missing);
+    }
+    Ok(component)
+}
+
+/// Asserts the DFM's resolution of every function, through every public
+/// entry point, matches the oracle. Returns the tokens issued for the
+/// currently resolvable functions.
+fn check_resolution(
+    dfm: &mut Dfm,
+    loaded: &LoadedModel,
+    context: &str,
+) -> Result<Vec<(usize, ComponentId, CallToken)>, TestCaseError> {
+    let mut live = Vec::new();
+    for (f, &fname) in FUNCTIONS.iter().enumerate() {
+        let name: FunctionName = fname.into();
+        for origin in [CallOrigin::External, CallOrigin::Internal] {
+            let expected = oracle(dfm, loaded, f, origin);
+            let got = dfm.resolve(&name, origin).map(|r| r.component);
+            prop_assert_eq!(
+                got,
+                expected,
+                "resolve({}, {:?}) diverged from name-based walk {}",
+                FUNCTIONS[f],
+                origin,
+                context
+            );
+            let with_token = dfm.resolve_with_token(&name, origin);
+            match (&expected, with_token) {
+                (Ok(component), Ok((resolved, token))) => {
+                    prop_assert_eq!(resolved.component, *component);
+                    let token = token.expect("DFM issues a token on every successful resolve");
+                    // A just-issued token redeems to the same implementation.
+                    let redeemed = dfm
+                        .resolve_token(token)
+                        .expect("fresh token redeems immediately");
+                    prop_assert_eq!(redeemed.component, *component);
+                    if origin == CallOrigin::Internal {
+                        live.push((f, *component, token));
+                    }
+                }
+                (Err(expected), Ok(_)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "resolve_with_token({}) succeeded where the name walk fails \
+                         with {expected:?} {context}",
+                        FUNCTIONS[f]
+                    )));
+                }
+                (Ok(_), Err(got)) => {
+                    return Err(TestCaseError::fail(format!(
+                        "resolve_with_token({}) failed with {got:?} where the name \
+                         walk succeeds {context}",
+                        FUNCTIONS[f]
+                    )));
+                }
+                (Err(expected), Err(got)) => {
+                    prop_assert_eq!(got, *expected);
+                }
+            }
+        }
+    }
+    Ok(live)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// After every operation in a random configuration sequence, slot-table
+    /// resolution matches the name-based descriptor walk, and tokens from
+    /// before an accepted operation never redeem after it.
+    #[test]
+    fn interned_resolution_matches_name_walk(
+        ops in prop::collection::vec(op_strategy(), 1..32),
+    ) {
+        let mut dfm = Dfm::new(VersionId::root(), (SimDuration::ZERO, SimDuration::ZERO), 11);
+        let mut loaded: LoadedModel = HashMap::new();
+        let mut live = check_resolution(&mut dfm, &loaded, "before any op")?;
+        for (i, op) in ops.iter().enumerate() {
+            let generation_before = dfm.generation();
+            let accepted = apply(&mut dfm, &mut loaded, op);
+            let context = format!("after op {i} {op:?} (accepted: {accepted})");
+            if accepted {
+                // Every accepted configuration operation moves to a fresh
+                // generation...
+                prop_assert_ne!(
+                    dfm.generation(),
+                    generation_before,
+                    "accepted {:?} did not bump the generation",
+                    op
+                );
+                // ...so every outstanding inline-cache token is dead: a
+                // stale cache can never dispatch a disabled/removed
+                // function.
+                for (f, component, token) in &live {
+                    prop_assert!(
+                        dfm.resolve_token(*token).is_none(),
+                        "stale token for {} (was {}) redeemed {}",
+                        FUNCTIONS[*f],
+                        component,
+                        &context
+                    );
+                }
+            } else {
+                // A refused operation changes nothing: old tokens still
+                // redeem, to the same implementation.
+                prop_assert_eq!(dfm.generation(), generation_before);
+                for (f, component, token) in &live {
+                    let redeemed = dfm.resolve_token(*token);
+                    prop_assert!(
+                        redeemed.as_ref().is_some_and(|r| r.component == *component),
+                        "token for {} stopped redeeming after refused op {}",
+                        FUNCTIONS[*f],
+                        &context
+                    );
+                }
+            }
+            live = check_resolution(&mut dfm, &loaded, &context)?;
+        }
+    }
+
+    /// Focused regression shape for the §3.1 failure mode: resolve, take a
+    /// token, disable (or remove) the implementation, and verify the token
+    /// is dead while by-name resolution reports the right error.
+    #[test]
+    fn stale_token_never_dispatches_disabled_function(
+        f in 0..FUNCTIONS.len(),
+        remove in any::<bool>(),
+    ) {
+        let mut dfm = Dfm::new(VersionId::root(), (SimDuration::ZERO, SimDuration::ZERO), 5);
+        let mut loaded: LoadedModel = HashMap::new();
+        let fns: Vec<usize> = (0..FUNCTIONS.len()).collect();
+        prop_assert!(apply(&mut dfm, &mut loaded, &Op::Incorporate { id: 1, fns: fns.clone() }));
+        prop_assert!(apply(&mut dfm, &mut loaded, &Op::Enable { f, c: 1 }));
+
+        let name: FunctionName = FUNCTIONS[f].into();
+        let (resolved, token) = dfm
+            .resolve_with_token(&name, CallOrigin::Internal)
+            .expect("enabled function resolves");
+        prop_assert_eq!(resolved.component, ComponentId::from_raw(1));
+        let token = token.expect("DFM issues tokens");
+
+        let op = if remove { Op::Remove(1) } else { Op::Disable(f) };
+        prop_assert!(apply(&mut dfm, &mut loaded, &op));
+
+        prop_assert!(
+            dfm.resolve_token(token).is_none(),
+            "stale token dispatched {} after {:?}",
+            FUNCTIONS[f],
+            op
+        );
+        let expected = if remove { ResolveError::Missing } else { ResolveError::Disabled };
+        prop_assert_eq!(
+            dfm.resolve(&name, CallOrigin::Internal).map(|r| r.component),
+            Err(expected)
+        );
+    }
+}

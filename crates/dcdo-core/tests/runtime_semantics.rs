@@ -60,7 +60,12 @@ fn start_suspended(dfm: &mut Dfm) -> VmThread {
         CallOrigin::External,
     )
     .expect("starts");
-    let outcome = thread.run(dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+    let outcome = thread.run(
+        dfm,
+        &NativeRegistry::standard(),
+        &mut ValueStore::new(),
+        10_000,
+    );
     assert!(matches!(outcome, RunOutcome::Suspended(_)));
     thread
 }
@@ -88,7 +93,12 @@ fn disabling_a_function_does_not_evict_its_threads() {
     dfm.disable_function(&"helper".into())
         .expect("helper has no protections");
     thread.resume(Value::Int(0));
-    let outcome = thread.run(&mut dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+    let outcome = thread.run(
+        &mut dfm,
+        &NativeRegistry::standard(),
+        &mut ValueStore::new(),
+        10_000,
+    );
     assert_eq!(outcome, RunOutcome::Completed(Value::Int(42)));
     // But a fresh call through the DFM is now refused.
     let err = VmThread::call(
@@ -98,7 +108,12 @@ fn disabling_a_function_does_not_evict_its_threads() {
         CallOrigin::External,
     )
     .expect("outer itself is still enabled")
-    .run(&mut dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+    .run(
+        &mut dfm,
+        &NativeRegistry::standard(),
+        &mut ValueStore::new(),
+        10_000,
+    );
     assert_eq!(
         err,
         RunOutcome::Faulted(VmError::FunctionDisabled("helper".into()))
@@ -115,7 +130,12 @@ fn disappearing_internal_function_strikes_at_resume() {
     dfm.disable_function(&"finisher".into())
         .expect("no protections");
     thread.resume(Value::Int(0));
-    let outcome = thread.run(&mut dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+    let outcome = thread.run(
+        &mut dfm,
+        &NativeRegistry::standard(),
+        &mut ValueStore::new(),
+        10_000,
+    );
     assert_eq!(
         outcome,
         RunOutcome::Faulted(VmError::FunctionDisabled("finisher".into()))
@@ -136,11 +156,17 @@ fn replacement_during_suspension_upgrades_the_resumed_call() {
         .build()
         .expect("valid");
     let mut thread = start_suspended(&mut dfm);
-    dfm.incorporate_component(&better, None).expect("incorporates");
+    dfm.incorporate_component(&better, None)
+        .expect("incorporates");
     dfm.enable_function(&"finisher".into(), ComponentId::from_raw(2))
         .expect("switch to the new implementation");
     thread.resume(Value::Int(0));
-    let outcome = thread.run(&mut dfm, &NativeRegistry::standard(), &mut ValueStore::new(), 10_000);
+    let outcome = thread.run(
+        &mut dfm,
+        &NativeRegistry::standard(),
+        &mut ValueStore::new(),
+        10_000,
+    );
     assert_eq!(
         outcome,
         RunOutcome::Completed(Value::Int(1000)),

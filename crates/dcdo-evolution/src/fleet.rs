@@ -10,11 +10,11 @@
 
 use std::collections::HashMap;
 
-use dcdo_core::HostDirectory;
 use dcdo_core::ops::{
     ConfigureVersion, CreateDcdo, DcdoCreated, DeriveVersion, DerivedVersion, LazyCheck,
     MarkInstantiable, SetCurrentVersion, SetLazyCheck, UpdateInstance, VersionConfigOp,
 };
+use dcdo_core::HostDirectory;
 use dcdo_core::{DcdoManager, DcdoObject, Ico};
 use dcdo_sim::{ActorId, SimDuration};
 use dcdo_types::{ClassId, ObjectId, VersionId};
@@ -179,15 +179,21 @@ impl Fleet {
             .clone();
         for op in steps {
             let mgr = self.manager_obj;
-            self.control_expect(mgr, Box::new(ConfigureVersion {
-                version: version.clone(),
-                op,
-            }));
+            self.control_expect(
+                mgr,
+                Box::new(ConfigureVersion {
+                    version: version.clone(),
+                    op,
+                }),
+            );
         }
         let mgr = self.manager_obj;
-        self.control_expect(mgr, Box::new(MarkInstantiable {
-            version: version.clone(),
-        }));
+        self.control_expect(
+            mgr,
+            Box::new(MarkInstantiable {
+                version: version.clone(),
+            }),
+        );
         version
     }
 
@@ -195,9 +201,12 @@ impl Fleet {
     /// strategy calls for it).
     pub fn set_current(&mut self, version: &VersionId) {
         let mgr = self.manager_obj;
-        self.control_expect(mgr, Box::new(SetCurrentVersion {
-            version: version.clone(),
-        }));
+        self.control_expect(
+            mgr,
+            Box::new(SetCurrentVersion {
+                version: version.clone(),
+            }),
+        );
         self.current = version.clone();
     }
 
@@ -390,13 +399,16 @@ mod tests {
         let comp = tick_component(1, 1);
         let ico = fleet.publish_component(&comp, 1);
         let root = VersionId::root();
-        let v = fleet.build_version(&root, vec![
-            VersionConfigOp::IncorporateComponent { ico },
-            VersionConfigOp::EnableFunction {
-                function: "tick".into(),
-                component: ComponentId::from_raw(1),
-            },
-        ]);
+        let v = fleet.build_version(
+            &root,
+            vec![
+                VersionConfigOp::IncorporateComponent { ico },
+                VersionConfigOp::EnableFunction {
+                    function: "tick".into(),
+                    component: ComponentId::from_raw(1),
+                },
+            ],
+        );
         fleet.set_current(&v);
         v
     }
@@ -404,13 +416,16 @@ mod tests {
     fn next_version(fleet: &mut Fleet, from: &VersionId) -> VersionId {
         let comp = tick_component(2, 10);
         let ico = fleet.publish_component(&comp, 2);
-        fleet.build_version(from, vec![
-            VersionConfigOp::IncorporateComponent { ico },
-            VersionConfigOp::EnableFunction {
-                function: "tick".into(),
-                component: ComponentId::from_raw(2),
-            },
-        ])
+        fleet.build_version(
+            from,
+            vec![
+                VersionConfigOp::IncorporateComponent { ico },
+                VersionConfigOp::EnableFunction {
+                    function: "tick".into(),
+                    component: ComponentId::from_raw(2),
+                },
+            ],
+        )
     }
 
     #[test]
@@ -419,7 +434,11 @@ mod tests {
         let v1 = base_version(&mut fleet);
         fleet.create_instances(6);
         let v2 = next_version(&mut fleet, &v1);
-        let report = fleet.measure_rollout(&v2, SimDuration::from_secs(60), SimDuration::from_millis(250));
+        let report = fleet.measure_rollout(
+            &v2,
+            SimDuration::from_secs(60),
+            SimDuration::from_millis(250),
+        );
         assert_eq!(report.converged_fraction(), 1.0, "{report:?}");
         assert!(report.all_converged_after.expect("converged") < SimDuration::from_secs(30));
         assert_eq!(report.version_checks, 0, "proactive needs no lazy polls");
@@ -431,7 +450,11 @@ mod tests {
         let v1 = base_version(&mut fleet);
         fleet.create_instances(4);
         let v2 = next_version(&mut fleet, &v1);
-        let report = fleet.measure_rollout(&v2, SimDuration::from_secs(60), SimDuration::from_millis(250));
+        let report = fleet.measure_rollout(
+            &v2,
+            SimDuration::from_secs(60),
+            SimDuration::from_millis(250),
+        );
         assert_eq!(report.converged_fraction(), 1.0);
     }
 
@@ -443,20 +466,24 @@ mod tests {
         let v2 = next_version(&mut fleet, &v1);
 
         // Without traffic, nothing converges.
-        let report = fleet.measure_rollout(&v2, SimDuration::from_secs(10), SimDuration::from_secs(1));
+        let report =
+            fleet.measure_rollout(&v2, SimDuration::from_secs(10), SimDuration::from_secs(1));
         assert_eq!(report.converged_fraction(), 0.0);
 
         // With traffic, lazy checks pull the update.
         let v3 = {
             let comp = tick_component(3, 100);
             let ico = fleet.publish_component(&comp, 3);
-            fleet.build_version(&v2, vec![
-                VersionConfigOp::IncorporateComponent { ico },
-                VersionConfigOp::EnableFunction {
-                    function: "tick".into(),
-                    component: ComponentId::from_raw(3),
-                },
-            ])
+            fleet.build_version(
+                &v2,
+                vec![
+                    VersionConfigOp::IncorporateComponent { ico },
+                    VersionConfigOp::EnableFunction {
+                        function: "tick".into(),
+                        component: ComponentId::from_raw(3),
+                    },
+                ],
+            )
         };
         let report = fleet.measure_rollout_with_traffic(
             &v3,
@@ -474,11 +501,15 @@ mod tests {
         let v1 = base_version(&mut fleet);
         fleet.create_instances(2);
         let v2 = next_version(&mut fleet, &v1);
-        let report = fleet.measure_rollout(&v2, SimDuration::from_secs(10), SimDuration::from_secs(1));
+        let report =
+            fleet.measure_rollout(&v2, SimDuration::from_secs(10), SimDuration::from_secs(1));
         assert_eq!(report.converged_fraction(), 0.0);
         // Old instances still answer with the old behavior.
         let (obj, _) = fleet.instances[0];
-        assert_eq!(fleet.call(obj, "tick", vec![]).expect("tick"), dcdo_vm::Value::Int(1));
+        assert_eq!(
+            fleet.call(obj, "tick", vec![]).expect("tick"),
+            dcdo_vm::Value::Int(1)
+        );
     }
 
     #[test]
@@ -487,10 +518,16 @@ mod tests {
         let v1 = base_version(&mut fleet);
         fleet.create_instances(2);
         let (obj, _) = fleet.instances[0];
-        assert_eq!(fleet.call(obj, "tick", vec![]).expect("tick"), dcdo_vm::Value::Int(1));
+        assert_eq!(
+            fleet.call(obj, "tick", vec![]).expect("tick"),
+            dcdo_vm::Value::Int(1)
+        );
         let v2 = next_version(&mut fleet, &v1);
         fleet.push_and_settle(&v2);
-        assert_eq!(fleet.call(obj, "tick", vec![]).expect("tick"), dcdo_vm::Value::Int(10));
+        assert_eq!(
+            fleet.call(obj, "tick", vec![]).expect("tick"),
+            dcdo_vm::Value::Int(10)
+        );
     }
 }
 
@@ -513,13 +550,16 @@ mod more_tests {
     fn version_with(fleet: &mut Fleet, from: &VersionId, id: u64, amount: i64) -> VersionId {
         let comp = tick_component(id, amount);
         let ico = fleet.publish_component(&comp, id as usize % 8);
-        fleet.build_version(from, vec![
-            dcdo_core::ops::VersionConfigOp::IncorporateComponent { ico },
-            dcdo_core::ops::VersionConfigOp::EnableFunction {
-                function: "tick".into(),
-                component: ComponentId::from_raw(id),
-            },
-        ])
+        fleet.build_version(
+            from,
+            vec![
+                dcdo_core::ops::VersionConfigOp::IncorporateComponent { ico },
+                dcdo_core::ops::VersionConfigOp::EnableFunction {
+                    function: "tick".into(),
+                    component: ComponentId::from_raw(id),
+                },
+            ],
+        )
     }
 
     #[test]
@@ -571,13 +611,16 @@ mod more_tests {
             .build()
             .expect("valid");
         let ico = fleet.publish_component(&big, 2);
-        let v2 = fleet.build_version(&v1, vec![
-            dcdo_core::ops::VersionConfigOp::IncorporateComponent { ico },
-            dcdo_core::ops::VersionConfigOp::EnableFunction {
-                function: "tick".into(),
-                component: ComponentId::from_raw(2),
-            },
-        ]);
+        let v2 = fleet.build_version(
+            &v1,
+            vec![
+                dcdo_core::ops::VersionConfigOp::IncorporateComponent { ico },
+                dcdo_core::ops::VersionConfigOp::EnableFunction {
+                    function: "tick".into(),
+                    component: ComponentId::from_raw(2),
+                },
+            ],
+        );
         let v3 = version_with(&mut fleet, &v2, 3, 100);
 
         fleet.set_current(&v2);

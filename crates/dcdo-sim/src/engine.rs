@@ -84,8 +84,16 @@ pub trait Actor<M: Payload>: Any {
 }
 
 enum EventKind<M> {
-    Deliver { src: ActorId, dst: ActorId, msg: M },
-    Timer { dst: ActorId, id: TimerId, token: u64 },
+    Deliver {
+        src: ActorId,
+        dst: ActorId,
+        msg: M,
+    },
+    Timer {
+        dst: ActorId,
+        id: TimerId,
+        token: u64,
+    },
 }
 
 struct Scheduled<M> {
@@ -326,7 +334,8 @@ impl<M: Payload> Simulation<M> {
         let id = ActorId(self.actors.len() as u32);
         self.actors.push(Slot::Occupied(actor));
         self.placements.push(node);
-        self.trace.record(self.time, TraceEvent::Spawned { actor: id, node });
+        self.trace
+            .record(self.time, TraceEvent::Spawned { actor: id, node });
         id
     }
 
@@ -422,11 +431,14 @@ impl<M: Payload> Simulation<M> {
         self.next_timer += 1;
         let id = TimerId(self.next_timer);
         let at = self.time + delay;
-        self.push(at, EventKind::Timer {
-            dst: actor,
-            id,
-            token,
-        });
+        self.push(
+            at,
+            EventKind::Timer {
+                dst: actor,
+                id,
+                token,
+            },
+        );
         id
     }
 
@@ -443,7 +455,10 @@ impl<M: Payload> Simulation<M> {
         let bytes = msg.wire_size();
         let (src_node, dst_node) = (self.node_of(src), self.node_of(dst));
         let now = self.time;
-        match self.network.plan(now, src_node, dst_node, bytes, &mut self.rng) {
+        match self
+            .network
+            .plan(now, src_node, dst_node, bytes, &mut self.rng)
+        {
             DeliveryPlan::Deliver(at) => self.push(at, EventKind::Deliver { src, dst, msg }),
             DeliveryPlan::DeliverTwice(_a, _b) => {
                 // Duplication requires M: Clone; engine-level duplication is
@@ -481,17 +496,20 @@ impl<M: Payload> Simulation<M> {
     fn dispatch_message(&mut self, src: ActorId, dst: ActorId, msg: M) {
         let Some(slot) = self.actors.get_mut(dst.index()) else {
             self.metrics.incr("sim.dead_letters");
-            self.trace.record(self.time, TraceEvent::DeadLetter { src, dst });
+            self.trace
+                .record(self.time, TraceEvent::DeadLetter { src, dst });
             return;
         };
         let slot = std::mem::replace(slot, Slot::Running);
         let Slot::Occupied(mut actor) = slot else {
             self.actors[dst.index()] = Slot::Vacant;
             self.metrics.incr("sim.dead_letters");
-            self.trace.record(self.time, TraceEvent::DeadLetter { src, dst });
+            self.trace
+                .record(self.time, TraceEvent::DeadLetter { src, dst });
             return;
         };
-        self.trace.record(self.time, TraceEvent::Delivered { src, dst });
+        self.trace
+            .record(self.time, TraceEvent::Delivered { src, dst });
         let killed;
         {
             let mut ctx = Ctx {
@@ -812,6 +830,10 @@ mod tests {
             sim.actor::<Collector>(client).expect("alive").pongs.clone()
         };
         assert_eq!(run(42), run(42));
-        assert_ne!(run(42), run(43), "different seeds should jitter differently");
+        assert_ne!(
+            run(42),
+            run(43),
+            "different seeds should jitter differently"
+        );
     }
 }

@@ -12,11 +12,18 @@ use crate::time::SimDuration;
 /// A distribution of `f64` samples with quantile reporting.
 ///
 /// Samples are kept raw (the experiments collect at most tens of thousands of
-/// points), so quantiles are exact.
+/// points), so quantiles are exact. The running sum, minimum, and maximum are
+/// maintained incrementally on [`record`](Histogram::record), so
+/// [`mean`](Histogram::mean), [`min`](Histogram::min), and
+/// [`max`](Histogram::max) are O(1) even mid-run — the experiment drivers
+/// poll them between batches without paying a rescan of the sample buffer.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     samples: Vec<f64>,
     sorted: bool,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
 }
 
 impl Histogram {
@@ -25,10 +32,27 @@ impl Histogram {
         Histogram::default()
     }
 
+    /// Creates an empty histogram with capacity for `n` samples, avoiding
+    /// buffer regrowth when the sample count is known up front.
+    pub fn with_capacity(n: usize) -> Self {
+        Histogram {
+            samples: Vec::with_capacity(n),
+            ..Histogram::default()
+        }
+    }
+
+    /// Reserves capacity for at least `additional` more samples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.samples.reserve(additional);
+    }
+
     /// Records a sample.
     pub fn record(&mut self, sample: f64) {
         self.samples.push(sample);
         self.sorted = false;
+        self.sum += sample;
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = Some(self.max.map_or(sample, |m| m.max(sample)));
     }
 
     /// Records a duration sample in seconds.
@@ -51,18 +75,18 @@ impl Histogram {
         if self.samples.is_empty() {
             None
         } else {
-            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+            Some(self.sum / self.samples.len() as f64)
         }
     }
 
     /// Returns the smallest sample, or `None` if empty.
     pub fn min(&self) -> Option<f64> {
-        self.samples.iter().copied().reduce(f64::min)
+        self.min
     }
 
     /// Returns the largest sample, or `None` if empty.
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().copied().reduce(f64::max)
+        self.max
     }
 
     /// Returns the `q`-quantile (`0.0 ..= 1.0`) by nearest-rank, or `None` if
@@ -216,6 +240,24 @@ mod tests {
         assert_eq!(h.median(), Some(3.0));
         assert_eq!(h.quantile(0.0), Some(1.0));
         assert_eq!(h.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    fn running_statistics_survive_capacity_and_sorting() {
+        let mut h = Histogram::with_capacity(8);
+        h.reserve(100);
+        assert!(h.samples.capacity() >= 100);
+        for x in [2.0, -1.0, 7.0, 3.0] {
+            h.record(x);
+        }
+        // Sorting for a quantile must not disturb the cached aggregates.
+        assert_eq!(h.median(), Some(2.0));
+        assert_eq!(h.mean(), Some(2.75));
+        assert_eq!(h.min(), Some(-1.0));
+        assert_eq!(h.max(), Some(7.0));
+        h.record(-9.0);
+        assert_eq!(h.min(), Some(-9.0));
+        assert_eq!(h.max(), Some(7.0));
     }
 
     #[test]

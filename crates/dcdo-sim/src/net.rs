@@ -18,9 +18,7 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a node (machine) of the simulated testbed network.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u32);
 
 impl NodeId {

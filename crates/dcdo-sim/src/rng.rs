@@ -5,7 +5,7 @@
 //! traces — the determinism property tests rely on this.
 
 use rand::rngs::StdRng;
-use rand::{Rng as _, RngExt as _, SeedableRng};
+use rand::{Rng as _, SeedableRng};
 
 use crate::time::SimDuration;
 

@@ -247,14 +247,20 @@ mod tests {
         assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
         assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3_000));
         assert_eq!(SimDuration::from_micros(5), SimDuration::from_nanos(5_000));
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1_500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1_500)
+        );
     }
 
     #[test]
     fn time_arithmetic() {
         let t = SimTime::ZERO + SimDuration::from_secs(3);
         assert_eq!(t.as_secs_f64(), 3.0);
-        assert_eq!(t - SimTime::from_nanos(1_000_000_000), SimDuration::from_secs(2));
+        assert_eq!(
+            t - SimTime::from_nanos(1_000_000_000),
+            SimDuration::from_secs(2)
+        );
         assert_eq!(t.duration_since(SimTime::ZERO), SimDuration::from_secs(3));
     }
 
@@ -270,7 +276,10 @@ mod tests {
         assert_eq!(d * 3, SimDuration::from_millis(30));
         assert_eq!(d / 2, SimDuration::from_millis(5));
         assert_eq!(d.mul_f64(2.5), SimDuration::from_millis(25));
-        assert_eq!(d.saturating_sub(SimDuration::from_secs(1)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_secs(1)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -279,15 +288,15 @@ mod tests {
         assert_eq!(SimDuration::from_micros(12).to_string(), "12.000us");
         assert_eq!(SimDuration::from_millis(7).to_string(), "7.000ms");
         assert_eq!(SimDuration::from_secs(4).to_string(), "4.000s");
-        assert_eq!(SimTime::from_nanos(1_500_000_000).to_string(), "t+1.500000s");
+        assert_eq!(
+            SimTime::from_nanos(1_500_000_000).to_string(),
+            "t+1.500000s"
+        );
     }
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration = [1u64, 2, 3]
-            .into_iter()
-            .map(SimDuration::from_secs)
-            .sum();
+        let total: SimDuration = [1u64, 2, 3].into_iter().map(SimDuration::from_secs).sum();
         assert_eq!(total, SimDuration::from_secs(6));
     }
 

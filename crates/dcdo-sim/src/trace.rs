@@ -192,14 +192,20 @@ mod tests {
     fn render_is_line_per_entry() {
         let mut t = Trace::new();
         t.enable(10);
-        t.record(SimTime::ZERO, TraceEvent::Spawned {
-            actor: ActorId::from_raw(3),
-            node: NodeId::from_raw(1),
-        });
-        t.record(SimTime::from_nanos(5), TraceEvent::DeadLetter {
-            src: ActorId::from_raw(3),
-            dst: ActorId::from_raw(9),
-        });
+        t.record(
+            SimTime::ZERO,
+            TraceEvent::Spawned {
+                actor: ActorId::from_raw(3),
+                node: NodeId::from_raw(1),
+            },
+        );
+        t.record(
+            SimTime::from_nanos(5),
+            TraceEvent::DeadLetter {
+                src: ActorId::from_raw(3),
+                dst: ActorId::from_raw(9),
+            },
+        );
         let s = t.render();
         assert_eq!(s.lines().count(), 2);
         assert!(s.contains("spawn actor:3"));

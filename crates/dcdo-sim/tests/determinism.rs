@@ -31,10 +31,13 @@ impl Actor<Job> for Worker {
         // send the reply now; the jittered network provides the variance we
         // want for the determinism check.
         let _ = think;
-        ctx.send(from, Job {
-            tag: msg.tag,
-            size: 64,
-        });
+        ctx.send(
+            from,
+            Job {
+                tag: msg.tag,
+                size: 64,
+            },
+        );
     }
 }
 
@@ -58,10 +61,14 @@ fn run_workload(seed: u64, sizes: &[u64], nodes: u32) -> Vec<(u32, SimTime)> {
         .collect();
     for (i, &size) in sizes.iter().enumerate() {
         let dst = workers[i % workers.len()];
-        sim.post(origin, dst, Job {
-            tag: i as u32,
-            size,
-        });
+        sim.post(
+            origin,
+            dst,
+            Job {
+                tag: i as u32,
+                size,
+            },
+        );
     }
     sim.run_until_idle();
     sim.actor::<Origin>(origin)
@@ -139,10 +146,14 @@ fn identical_seeds_produce_identical_traces_verbatim() {
             .map(|n| sim.spawn(NodeId::from_raw(n + 1), Worker))
             .collect();
         for i in 0..30u32 {
-            sim.post(origin, workers[i as usize % workers.len()], Job {
-                tag: i,
-                size: 100 + u64::from(i) * 37,
-            });
+            sim.post(
+                origin,
+                workers[i as usize % workers.len()],
+                Job {
+                    tag: i,
+                    size: 100 + u64::from(i) * 37,
+                },
+            );
         }
         sim.run_until_idle();
         sim.trace().render()

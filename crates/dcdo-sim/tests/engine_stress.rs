@@ -36,11 +36,14 @@ fn thousand_actor_ring_drains() {
     let mut sim = Simulation::new(NetConfig::centurion(), 1);
     let ids: Vec<ActorId> = (0..n)
         .map(|i| {
-            sim.spawn(NodeId::from_raw(i % 16), RingNode {
-                next: None,
-                laps_remaining: 0,
-                seen: 0,
-            })
+            sim.spawn(
+                NodeId::from_raw(i % 16),
+                RingNode {
+                    next: None,
+                    laps_remaining: 0,
+                    seen: 0,
+                },
+            )
         })
         .collect();
     for (i, id) in ids.iter().enumerate() {

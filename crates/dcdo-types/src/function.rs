@@ -30,6 +30,18 @@ impl FunctionName {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// An identity key for this name's shared allocation.
+    ///
+    /// Clones of one `FunctionName` share it; equal names created
+    /// independently do not. Suitable only as a per-call-site cache key
+    /// (two sites sharing a key is required for correctness-by-identity;
+    /// two equal names with different keys merely miss the cache), and only
+    /// while a clone of the name is alive — a freed allocation's address
+    /// can be reused.
+    pub fn identity_key(&self) -> usize {
+        Arc::as_ptr(&self.0) as *const u8 as usize
+    }
 }
 
 impl fmt::Display for FunctionName {

@@ -136,7 +136,11 @@ impl ImplementationType {
     /// A native implementation type for the given architecture, in ELF
     /// shared-object format with C++ as the source language.
     pub fn native(architecture: Architecture) -> Self {
-        ImplementationType::new(architecture, ObjectCodeFormat::ElfSharedObject, Language::Cpp)
+        ImplementationType::new(
+            architecture,
+            ObjectCodeFormat::ElfSharedObject,
+            Language::Cpp,
+        )
     }
 
     /// Returns the architecture characteristic.

@@ -1,0 +1,124 @@
+//! Function-name interning for the dispatch hot path.
+//!
+//! Every resolver that serves calls by [`FunctionName`] pays a string hash
+//! (or worse, an ordered-map walk) per call. Interning maps each distinct
+//! name to a small dense [`FunctionId`] once, so per-call records can live
+//! in a flat `Vec` indexed by slot instead of a keyed map.
+//!
+//! The interner is **append-only**: a name's id never changes and ids are
+//! never reused, even if the function later disappears from the
+//! configuration. That stability is what lets call sites cache a slot
+//! across reconfigurations — a configuration change invalidates the cached
+//! *generation*, never the slot numbering.
+
+use std::collections::HashMap;
+
+use crate::function::FunctionName;
+
+/// A dense interned identifier for one [`FunctionName`].
+///
+/// Valid only for the [`FunctionInterner`] that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FunctionId(u32);
+
+impl FunctionId {
+    /// The id as a flat-table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a flat-table index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn from_index(index: usize) -> Self {
+        FunctionId(u32::try_from(index).expect("function id overflow"))
+    }
+
+    /// The raw id value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An append-only map from [`FunctionName`] to dense [`FunctionId`].
+#[derive(Debug, Clone, Default)]
+pub struct FunctionInterner {
+    ids: HashMap<FunctionName, FunctionId>,
+    names: Vec<FunctionName>,
+}
+
+impl FunctionInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        FunctionInterner::default()
+    }
+
+    /// Returns the id for `name`, allocating the next id on first sight.
+    pub fn intern(&mut self, name: &FunctionName) -> FunctionId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = FunctionId::from_index(self.names.len());
+        self.names.push(name.clone());
+        self.ids.insert(name.clone(), id);
+        id
+    }
+
+    /// Returns the id for `name` if it has been interned.
+    pub fn get(&self, name: &FunctionName) -> Option<FunctionId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Returns the name behind `id`, if `id` came from this interner.
+    pub fn name(&self, id: FunctionId) -> Option<&FunctionName> {
+        self.names.get(id.index())
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut interner = FunctionInterner::new();
+        let a = interner.intern(&"alpha".into());
+        let b = interner.intern(&"beta".into());
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        // Re-interning returns the same id.
+        assert_eq!(interner.intern(&"alpha".into()), a);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.get(&"beta".into()), Some(b));
+        assert_eq!(interner.get(&"gamma".into()), None);
+        assert_eq!(interner.name(a).map(|n| n.as_str()), Some("alpha"));
+        assert_eq!(interner.name(FunctionId::from_index(9)), None);
+    }
+
+    #[test]
+    fn distinct_name_objects_with_equal_text_share_an_id() {
+        let mut interner = FunctionInterner::new();
+        let first = FunctionName::new("sort");
+        let second = FunctionName::new(String::from("sort"));
+        assert_eq!(interner.intern(&first), interner.intern(&second));
+        assert_eq!(interner.len(), 1);
+    }
+}

@@ -30,6 +30,7 @@ mod dependency;
 mod function;
 mod ids;
 mod impl_type;
+mod intern;
 mod version;
 
 pub use dependency::{Dependency, DependencyEnd, DependencyType};
@@ -39,4 +40,5 @@ pub use function::{
 };
 pub use ids::{CallId, ClassId, ComponentId, HostId, ObjectId};
 pub use impl_type::{Architecture, ImplementationType, Language, ObjectCodeFormat};
+pub use intern::{FunctionId, FunctionInterner};
 pub use version::{ParseVersionError, VersionId};

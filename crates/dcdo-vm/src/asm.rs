@@ -38,8 +38,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use dcdo_types::{
-    Architecture, ComponentId, Dependency, DependencyEnd, FunctionSignature, Protection,
-    Visibility,
+    Architecture, ComponentId, Dependency, DependencyEnd, FunctionSignature, Protection, Visibility,
 };
 
 use crate::builder::FunctionBuilder;
@@ -187,9 +186,10 @@ fn parse_header(
     let mut arch = Architecture::Portable;
     for part in rest.split_whitespace() {
         if let Some(v) = part.strip_prefix("id=") {
-            id = Some(ComponentId::from_raw(v.parse().map_err(|_| {
-                err(lineno, format!("bad component id {v:?}"))
-            })?));
+            id =
+                Some(ComponentId::from_raw(v.parse().map_err(|_| {
+                    err(lineno, format!("bad component id {v:?}"))
+                })?));
         } else if let Some(v) = part.strip_prefix("arch=") {
             arch = match v {
                 "x86" => Architecture::X86,
@@ -290,12 +290,13 @@ fn assemble_body(sig: &str, body: &[(usize, String)]) -> Result<crate::CodeBlock
                 .parse()
                 .map_err(|_| err(lineno, format!("{mnemonic} needs an integer operand")))
         };
-        let want_label = |labels: &HashMap<String, crate::Label>| -> Result<crate::Label, AsmError> {
-            labels
-                .get(operand)
-                .copied()
-                .ok_or_else(|| err(lineno, format!("unknown label {operand:?}")))
-        };
+        let want_label =
+            |labels: &HashMap<String, crate::Label>| -> Result<crate::Label, AsmError> {
+                labels
+                    .get(operand)
+                    .copied()
+                    .ok_or_else(|| err(lineno, format!("unknown label {operand:?}")))
+            };
         let want_call = || -> Result<(String, u8), AsmError> {
             let (name, argc) = operand
                 .rsplit_once('/')
@@ -589,9 +590,7 @@ mod tests {
     use dcdo_types::{FunctionName, Visibility};
 
     use super::*;
-    use crate::{
-        CallOrigin, NativeRegistry, RunOutcome, StaticResolver, ValueStore, VmThread,
-    };
+    use crate::{CallOrigin, NativeRegistry, RunOutcome, StaticResolver, ValueStore, VmThread};
 
     const COUNTER: &str = r#"
 component "counter" id=7 arch=portable
@@ -628,7 +627,9 @@ depend [incr, self] -> [step]
         assert_eq!(component.name(), "counter");
         assert_eq!(component.static_data_size(), 512);
         assert_eq!(component.functions().len(), 2);
-        let step = component.function(&FunctionName::new("step")).expect("step");
+        let step = component
+            .function(&FunctionName::new("step"))
+            .expect("step");
         assert_eq!(step.visibility(), Visibility::Internal);
         assert_eq!(step.protection_request(), Protection::Mandatory);
         assert_eq!(component.dependencies().len(), 1);
@@ -639,9 +640,8 @@ depend [incr, self] -> [step]
         }
         let mut g = ValueStore::new();
         for expected in 1..=3 {
-            let mut t =
-                VmThread::call(&mut r, &"incr".into(), vec![], CallOrigin::External)
-                    .expect("starts");
+            let mut t = VmThread::call(&mut r, &"incr".into(), vec![], CallOrigin::External)
+                .expect("starts");
             let out = t.run(&mut r, &NativeRegistry::standard(), &mut g, 10_000);
             assert_eq!(out, RunOutcome::Completed(Value::Int(expected)));
         }
@@ -680,8 +680,7 @@ export fn f() -> int {
         let e = assemble("component \"c\"\n").unwrap_err();
         assert!(e.message.contains("id=N"));
 
-        let e = assemble("component \"c\" id=1\nexport fn f() -> int {\n    push 1\n")
-            .unwrap_err();
+        let e = assemble("component \"c\" id=1\nexport fn f() -> int {\n    push 1\n").unwrap_err();
         assert!(e.message.contains("unterminated"));
 
         let e = assemble("component \"c\" id=1\nexport fn nope {\n}\n").unwrap_err();
@@ -718,10 +717,7 @@ depend [f] -> [g]
     fn native_arch_header() {
         let src = "component \"n\" id=2 arch=alpha\nexport fn f() -> unit {\n    ret\n}\n";
         let component = assemble(src).expect("assembles");
-        assert_eq!(
-            component.impl_type().architecture(),
-            Architecture::Alpha
-        );
+        assert_eq!(component.impl_type().architecture(), Architecture::Alpha);
         let text = disassemble(&component);
         assert!(text.contains("arch=alpha"));
         assert_eq!(assemble(&text).expect("round trip"), component);
@@ -748,8 +744,8 @@ export fn yes() -> bool {
             r.insert(f.code().clone(), component.id());
         }
         let mut g = ValueStore::new();
-        let mut t = VmThread::call(&mut r, &"greet".into(), vec![], CallOrigin::External)
-            .expect("starts");
+        let mut t =
+            VmThread::call(&mut r, &"greet".into(), vec![], CallOrigin::External).expect("starts");
         assert_eq!(
             t.run(&mut r, &NativeRegistry::standard(), &mut g, 1000),
             RunOutcome::Completed(Value::str("hi there"))

@@ -264,8 +264,7 @@ impl ComponentBinary {
         }
         for dep in &self.dependencies {
             // Only pinned-to-self sources can be checked locally.
-            if dep.source().component() == Some(self.id)
-                && !seen.contains(dep.source().function())
+            if dep.source().component() == Some(self.id) && !seen.contains(dep.source().function())
             {
                 return Err(ComponentError::DanglingDependencySource(
                     dep.source().function().clone(),
@@ -505,8 +504,14 @@ impl ComponentBuilder {
     }
 
     /// Adds a function with explicit visibility and protection request.
-    pub fn function(mut self, code: CodeBlock, visibility: Visibility, protection: Protection) -> Self {
-        self.functions.push(FunctionDecl::new(code, visibility, protection));
+    pub fn function(
+        mut self,
+        code: CodeBlock,
+        visibility: Visibility,
+        protection: Protection,
+    ) -> Self {
+        self.functions
+            .push(FunctionDecl::new(code, visibility, protection));
         self
     }
 
@@ -600,13 +605,17 @@ mod tests {
     }
 
     fn calls_block(sig: &str, callee: &str) -> CodeBlock {
-        CodeBlock::new(sig.parse().expect("signature"), 0, vec![
-            Instr::CallDyn {
-                function: callee.into(),
-                argc: 0,
-            },
-            Instr::Ret,
-        ])
+        CodeBlock::new(
+            sig.parse().expect("signature"),
+            0,
+            vec![
+                Instr::CallDyn {
+                    function: callee.into(),
+                    argc: 0,
+                },
+                Instr::Ret,
+            ],
+        )
     }
 
     #[test]
@@ -737,7 +746,10 @@ mod tests {
         assert_eq!(d.id, id);
         assert_eq!(d.functions.len(), 1);
         assert_eq!(d.functions[0].protection_request, Protection::Mandatory);
-        assert_eq!(d.function(&"f".into()).expect("present").visibility, Visibility::Exported);
+        assert_eq!(
+            d.function(&"f".into()).expect("present").visibility,
+            Visibility::Exported
+        );
         assert_eq!(d.function_names(), vec![FunctionName::new("f")]);
         assert_eq!(d.size_bytes, comp.size_bytes());
     }

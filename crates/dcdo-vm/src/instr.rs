@@ -210,22 +210,19 @@ impl CodeBlock {
         let arity = self.signature.params().len() as u8;
         for (pc, instr) in self.instrs.iter().enumerate() {
             match *instr {
-                Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t)
-                    if t >= len => {
-                        return Err(CodeValidationError::JumpOutOfRange { pc, target: t });
-                    }
-                Instr::LoadArg(n)
-                    if n >= arity => {
-                        return Err(CodeValidationError::ArgOutOfRange { pc, arg: n, arity });
-                    }
-                Instr::LoadLocal(n) | Instr::StoreLocal(n)
-                    if n >= self.locals => {
-                        return Err(CodeValidationError::LocalOutOfRange {
-                            pc,
-                            local: n,
-                            locals: self.locals,
-                        });
-                    }
+                Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) if t >= len => {
+                    return Err(CodeValidationError::JumpOutOfRange { pc, target: t });
+                }
+                Instr::LoadArg(n) if n >= arity => {
+                    return Err(CodeValidationError::ArgOutOfRange { pc, arg: n, arity });
+                }
+                Instr::LoadLocal(n) | Instr::StoreLocal(n) if n >= self.locals => {
+                    return Err(CodeValidationError::LocalOutOfRange {
+                        pc,
+                        local: n,
+                        locals: self.locals,
+                    });
+                }
                 _ => {}
             }
         }
@@ -291,23 +288,27 @@ mod tests {
 
     #[test]
     fn dynamic_callees_are_deduplicated_and_sorted() {
-        let block = CodeBlock::new(sig("f() -> unit"), 0, vec![
-            Instr::CallDyn {
-                function: "zeta".into(),
-                argc: 0,
-            },
-            Instr::Pop,
-            Instr::CallDyn {
-                function: "alpha".into(),
-                argc: 0,
-            },
-            Instr::Pop,
-            Instr::CallDyn {
-                function: "zeta".into(),
-                argc: 0,
-            },
-            Instr::Ret,
-        ]);
+        let block = CodeBlock::new(
+            sig("f() -> unit"),
+            0,
+            vec![
+                Instr::CallDyn {
+                    function: "zeta".into(),
+                    argc: 0,
+                },
+                Instr::Pop,
+                Instr::CallDyn {
+                    function: "alpha".into(),
+                    argc: 0,
+                },
+                Instr::Pop,
+                Instr::CallDyn {
+                    function: "zeta".into(),
+                    argc: 0,
+                },
+                Instr::Ret,
+            ],
+        );
         let callees: Vec<String> = block
             .dynamic_callees()
             .iter()
@@ -318,14 +319,18 @@ mod tests {
 
     #[test]
     fn validate_accepts_well_formed_code() {
-        let block = CodeBlock::new(sig("inc(int) -> int"), 1, vec![
-            Instr::LoadArg(0),
-            Instr::Push(Value::Int(1)),
-            Instr::Add,
-            Instr::StoreLocal(0),
-            Instr::LoadLocal(0),
-            Instr::Ret,
-        ]);
+        let block = CodeBlock::new(
+            sig("inc(int) -> int"),
+            1,
+            vec![
+                Instr::LoadArg(0),
+                Instr::Push(Value::Int(1)),
+                Instr::Add,
+                Instr::StoreLocal(0),
+                Instr::LoadLocal(0),
+                Instr::Ret,
+            ],
+        );
         assert_eq!(block.validate(), Ok(()));
         assert_eq!(block.len(), 6);
         assert!(!block.is_empty());
@@ -345,12 +350,20 @@ mod tests {
         let block = CodeBlock::new(sig("f(int) -> int"), 1, vec![Instr::LoadArg(1)]);
         assert!(matches!(
             block.validate(),
-            Err(CodeValidationError::ArgOutOfRange { arg: 1, arity: 1, .. })
+            Err(CodeValidationError::ArgOutOfRange {
+                arg: 1,
+                arity: 1,
+                ..
+            })
         ));
         let block = CodeBlock::new(sig("f() -> unit"), 1, vec![Instr::StoreLocal(2)]);
         assert!(matches!(
             block.validate(),
-            Err(CodeValidationError::LocalOutOfRange { local: 2, locals: 1, .. })
+            Err(CodeValidationError::LocalOutOfRange {
+                local: 2,
+                locals: 1,
+                ..
+            })
         ));
     }
 

@@ -15,14 +15,16 @@
 //! DFM can maintain the per-function active-thread counters used for thread
 //! activity monitoring (§3.2).
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use dcdo_types::{ComponentId, FunctionName, ObjectId, TypeTag};
 
 use crate::error::VmError;
 use crate::instr::{CodeBlock, Instr};
 use crate::native::NativeRegistry;
-use crate::resolver::{CallOrigin, CallResolver, ResolveError, ResolvedCall};
+use crate::resolver::{CallOrigin, CallResolver, CallToken, ResolveError, ResolvedCall};
 use crate::store::ValueStore;
 use crate::value::Value;
 
@@ -32,7 +34,7 @@ pub const MAX_CALL_DEPTH: usize = 128;
 /// One call frame of a running thread.
 #[derive(Debug, Clone)]
 struct Frame {
-    code: CodeBlock,
+    code: Arc<CodeBlock>,
     component: ComponentId,
     pc: usize,
     args: Vec<Value>,
@@ -100,6 +102,12 @@ pub struct VmThread {
     status: ThreadStatus,
     consumed_nanos: u64,
     pending_resume: Option<Result<Value, VmError>>,
+    /// Per-call-site inline cache: the callee name's identity key maps to
+    /// the generation-stamped [`CallToken`] the resolver issued last time
+    /// this site resolved. A hit turns dispatch into one slot-table index;
+    /// any configuration change bumps the resolver's generation, so stale
+    /// entries fail redemption and fall back to full by-name resolution.
+    call_cache: HashMap<usize, CallToken>,
 }
 
 impl VmThread {
@@ -126,6 +134,7 @@ impl VmThread {
             status: ThreadStatus::Runnable,
             consumed_nanos: resolver.dispatch_cost_nanos(),
             pending_resume: None,
+            call_cache: HashMap::new(),
         };
         resolver.enter(function, resolved.component);
         thread.frames.push(Frame::new(resolved, args));
@@ -271,18 +280,21 @@ impl VmThread {
         globals: &mut ValueStore,
     ) -> Result<StepOutcome, VmError> {
         // Implicit return of unit when execution falls off the end.
-        let (instr, depth) = {
+        let (code, pc, depth) = {
             let frame = self.frames.last_mut().expect("running thread has frames");
             if frame.pc >= frame.code.len() {
                 return self.do_return(resolver, Value::Unit);
             }
-            let instr = frame.code.instrs()[frame.pc].clone();
+            let pc = frame.pc;
             frame.pc += 1;
-            (instr, self.frames.len())
+            (Arc::clone(&frame.code), pc, self.frames.len())
         };
+        // Borrow the instruction from the (cheaply cloned) shared code block
+        // rather than deep-cloning it every step.
+        let instr = &code.instrs()[pc];
         let frame = self.frames.last_mut().expect("frame exists");
         match instr {
-            Instr::Push(v) => frame.stack.push(v),
+            Instr::Push(v) => frame.stack.push(v.clone()),
             Instr::Pop => {
                 pop(frame)?;
             }
@@ -299,7 +311,7 @@ impl VmThread {
             Instr::LoadArg(n) => {
                 let v = frame
                     .args
-                    .get(n as usize)
+                    .get(*n as usize)
                     .ok_or(VmError::StackUnderflow)?
                     .clone();
                 frame.stack.push(v);
@@ -307,7 +319,7 @@ impl VmThread {
             Instr::LoadLocal(n) => {
                 let v = frame
                     .locals
-                    .get(n as usize)
+                    .get(*n as usize)
                     .ok_or(VmError::StackUnderflow)?
                     .clone();
                 frame.stack.push(v);
@@ -316,7 +328,7 @@ impl VmThread {
                 let v = pop(frame)?;
                 let slot = frame
                     .locals
-                    .get_mut(n as usize)
+                    .get_mut(*n as usize)
                     .ok_or(VmError::StackUnderflow)?;
                 *slot = v;
             }
@@ -369,35 +381,57 @@ impl VmThread {
             Instr::Le => int_cmp(frame, |a, b| a <= b)?,
             Instr::Gt => int_cmp(frame, |a, b| a > b)?,
             Instr::Ge => int_cmp(frame, |a, b| a >= b)?,
-            Instr::Jump(t) => frame.pc = t as usize,
+            Instr::Jump(t) => frame.pc = *t as usize,
             Instr::JumpIfFalse(t) => {
                 if !pop_bool(frame)? {
-                    frame.pc = t as usize;
+                    frame.pc = *t as usize;
                 }
             }
             Instr::JumpIfTrue(t) => {
                 if pop_bool(frame)? {
-                    frame.pc = t as usize;
+                    frame.pc = *t as usize;
                 }
             }
             Instr::CallDyn { function, argc } => {
                 if depth >= MAX_CALL_DEPTH {
                     return Err(VmError::CallDepthExceeded(MAX_CALL_DEPTH));
                 }
-                let args = pop_n(frame, argc as usize)?;
-                let resolved = resolve_checked(resolver, &function, CallOrigin::Internal)?;
-                check_args(&resolved, &function, &args)?;
+                let args = pop_n(frame, *argc as usize)?;
+                // Inline cache: redeem the token this call site cached, if
+                // the resolver's configuration generation still matches.
+                let site = function.identity_key();
+                let resolved = match self
+                    .call_cache
+                    .get(&site)
+                    .and_then(|token| resolver.resolve_token(*token))
+                {
+                    Some(resolved) => resolved,
+                    None => {
+                        let (resolved, token) =
+                            resolve_with_token_checked(resolver, function, CallOrigin::Internal)?;
+                        match token {
+                            Some(token) => {
+                                self.call_cache.insert(site, token);
+                            }
+                            None => {
+                                self.call_cache.remove(&site);
+                            }
+                        }
+                        resolved
+                    }
+                };
+                check_args(&resolved, function, &args)?;
                 self.consumed_nanos += resolver.dispatch_cost_nanos();
-                resolver.enter(&function, resolved.component);
+                resolver.enter(function, resolved.component);
                 self.frames.push(Frame::new(resolved, args));
             }
             Instr::CallNative { function, argc } => {
-                let args = pop_n(frame, argc as usize)?;
-                let result = natives.call(&function, &args)?;
+                let args = pop_n(frame, *argc as usize)?;
+                let result = natives.call(function, &args)?;
                 frame.stack.push(result);
             }
             Instr::CallRemote { function, argc } => {
-                let args = pop_n(frame, argc as usize)?;
+                let args = pop_n(frame, *argc as usize)?;
                 let target = pop(frame)?;
                 let Some(target) = target.as_obj_ref() else {
                     return Err(VmError::TypeMismatch {
@@ -407,7 +441,7 @@ impl VmThread {
                 };
                 return Ok(StepOutcome::Suspend(OutcallRequest {
                     target,
-                    function,
+                    function: function.clone(),
                     args,
                 }));
             }
@@ -416,7 +450,7 @@ impl VmThread {
                 return self.do_return(resolver, value);
             }
             Instr::MakeList(n) => {
-                let items = pop_n(frame, n as usize)?;
+                let items = pop_n(frame, *n as usize)?;
                 frame.stack.push(Value::List(items));
             }
             Instr::ListGet => {
@@ -463,7 +497,7 @@ impl VmThread {
                 frame.stack.push(Value::Int(s.len() as i64));
             }
             Instr::Work(nanos) => {
-                self.consumed_nanos += nanos;
+                self.consumed_nanos += *nanos;
             }
             Instr::GlobalGet(key) => {
                 frame.stack.push(globals.get(key.as_str()));
@@ -524,16 +558,32 @@ enum StepOutcome {
     Suspend(OutcallRequest),
 }
 
+fn resolve_error_to_vm(e: ResolveError, function: &FunctionName) -> VmError {
+    match e {
+        ResolveError::Missing => VmError::MissingFunction(function.clone()),
+        ResolveError::Disabled => VmError::FunctionDisabled(function.clone()),
+        ResolveError::NotExported => VmError::NotExported(function.clone()),
+    }
+}
+
 fn resolve_checked(
     resolver: &mut dyn CallResolver,
     function: &FunctionName,
     origin: CallOrigin,
 ) -> Result<ResolvedCall, VmError> {
-    resolver.resolve(function, origin).map_err(|e| match e {
-        ResolveError::Missing => VmError::MissingFunction(function.clone()),
-        ResolveError::Disabled => VmError::FunctionDisabled(function.clone()),
-        ResolveError::NotExported => VmError::NotExported(function.clone()),
-    })
+    resolver
+        .resolve(function, origin)
+        .map_err(|e| resolve_error_to_vm(e, function))
+}
+
+fn resolve_with_token_checked(
+    resolver: &mut dyn CallResolver,
+    function: &FunctionName,
+    origin: CallOrigin,
+) -> Result<(ResolvedCall, Option<CallToken>), VmError> {
+    resolver
+        .resolve_with_token(function, origin)
+        .map_err(|e| resolve_error_to_vm(e, function))
 }
 
 fn check_args(
@@ -611,7 +661,10 @@ fn pop_list(frame: &mut Frame) -> Result<Vec<Value>, VmError> {
     }
 }
 
-fn int_binop(frame: &mut Frame, f: impl Fn(i64, i64) -> Result<i64, VmError>) -> Result<(), VmError> {
+fn int_binop(
+    frame: &mut Frame,
+    f: impl Fn(i64, i64) -> Result<i64, VmError>,
+) -> Result<(), VmError> {
     let b = pop_int(frame)?;
     let a = pop_int(frame)?;
     frame.stack.push(Value::Int(f(a, b)?));

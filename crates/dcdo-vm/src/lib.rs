@@ -51,6 +51,9 @@ pub use error::VmError;
 pub use instr::{CodeBlock, CodeValidationError, Instr};
 pub use interp::{OutcallRequest, RunOutcome, ThreadStatus, VmThread, MAX_CALL_DEPTH};
 pub use native::{NativeFn, NativeRegistry};
-pub use resolver::{CallOrigin, CallResolver, ResolveError, ResolvedCall, StaticResolver};
+pub use resolver::{
+    next_generation, CallOrigin, CallResolver, CallToken, ResolveError, ResolvedCall,
+    StaticResolver,
+};
 pub use store::ValueStore;
 pub use value::Value;

@@ -16,8 +16,30 @@
 //! - `Dfm` (in `dcdo-core`): the dynamic function mapper, which checks
 //!   visibility and enablement at every call and maintains active-thread
 //!   counters.
+//!
+//! # Inline-cache tokens
+//!
+//! Resolution by name costs a hash (or an ordered-map walk) per call. A
+//! resolver that keeps its per-function records in a flat slot table can
+//! hand the caller a [`CallToken`] — a `(slot, generation)` pair — via
+//! [`CallResolver::resolve_with_token`]. The caller stores the token next
+//! to the call site; on the next call, [`CallResolver::resolve_token`]
+//! turns it back into a [`ResolvedCall`] with a single bounds-checked index
+//! — *if* the resolver's configuration generation still matches. Every
+//! configuration operation moves the resolver to a fresh, globally unique
+//! generation (see [`next_generation`]), so a stale token can never
+//! dispatch through an outdated table, and a token can never be honored by
+//! a resolver other than the one that issued it.
+//!
+//! Tokens elide the name lookup and the visibility/enablement checks, so
+//! they are only valid for [`CallOrigin::Internal`] call sites (internal
+//! calls may reach both exported and internal functions). Issuing resolvers
+//! must keep resolved code alive until the next generation bump, so a
+//! token's slot can never name freed code.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use dcdo_types::{ComponentId, FunctionName};
 
@@ -48,18 +70,67 @@ pub enum ResolveError {
 /// A successful resolution: the code to run and the component it lives in.
 #[derive(Debug, Clone)]
 pub struct ResolvedCall {
-    /// The implementation to execute.
-    pub code: CodeBlock,
+    /// The implementation to execute (shared, not deep-copied per call).
+    pub code: Arc<CodeBlock>,
     /// The component containing the implementation (for thread-activity
     /// accounting and the disappearing-component check).
     pub component: ComponentId,
 }
 
+/// A generation-stamped slot reference cacheable at a call site.
+///
+/// Issued by [`CallResolver::resolve_with_token`]; redeemed by
+/// [`CallResolver::resolve_token`]. Valid only while the issuing resolver
+/// remains at `generation` — any configuration change moves the resolver to
+/// a fresh generation and silently invalidates every outstanding token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallToken {
+    /// Index into the issuing resolver's slot table.
+    pub slot: u32,
+    /// The resolver configuration generation the token was issued at.
+    pub generation: u64,
+}
+
+/// Issues the next globally unique configuration generation.
+///
+/// Generations are drawn from one process-wide counter rather than
+/// per-resolver counters so a [`CallToken`] issued by one resolver can never
+/// accidentally match another resolver that happens to have seen the same
+/// number of configuration changes. Generation `0` is reserved and never
+/// issued, so it is safe as a "never matches" sentinel.
+pub fn next_generation() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Maps dynamic-function calls to implementations at call time.
 pub trait CallResolver {
     /// Resolves a call to `function` originating from `origin`.
-    fn resolve(&mut self, function: &FunctionName, origin: CallOrigin)
-        -> Result<ResolvedCall, ResolveError>;
+    fn resolve(
+        &mut self,
+        function: &FunctionName,
+        origin: CallOrigin,
+    ) -> Result<ResolvedCall, ResolveError>;
+
+    /// Resolves like [`CallResolver::resolve`], additionally issuing a
+    /// [`CallToken`] the caller may cache when the resolver supports slot
+    /// redemption. The default implementation issues no token, which keeps
+    /// plain resolvers correct with zero extra work.
+    fn resolve_with_token(
+        &mut self,
+        function: &FunctionName,
+        origin: CallOrigin,
+    ) -> Result<(ResolvedCall, Option<CallToken>), ResolveError> {
+        self.resolve(function, origin).map(|r| (r, None))
+    }
+
+    /// Redeems a previously issued token, or returns `None` if the token's
+    /// generation no longer matches (the caller must then re-resolve by
+    /// name). Only [`CallOrigin::Internal`] call sites may redeem tokens.
+    fn resolve_token(&mut self, token: CallToken) -> Option<ResolvedCall> {
+        let _ = token;
+        None
+    }
 
     /// Notifies that a thread entered the implementation of `function` in
     /// `component` (push of a call frame).
@@ -84,18 +155,32 @@ pub trait CallResolver {
 /// A frozen function table: the resolver of a monolithic Legion object.
 ///
 /// All functions are implicitly enabled and exported — exactly the contract
-/// a statically linked executable provides — and resolution is a plain map
-/// lookup with no bookkeeping.
-#[derive(Debug, Clone, Default)]
+/// a statically linked executable provides. Entries live in a flat slot
+/// table (name → slot index resolved once, then cached via [`CallToken`]s),
+/// so steady-state dispatch is a bounds-checked index.
+#[derive(Debug, Clone)]
 pub struct StaticResolver {
-    table: HashMap<FunctionName, ResolvedEntry>,
+    slots_by_name: HashMap<FunctionName, u32>,
+    entries: Vec<ResolvedEntry>,
+    generation: u64,
     dispatch_cost_nanos: u64,
 }
 
 #[derive(Debug, Clone)]
 struct ResolvedEntry {
-    code: CodeBlock,
+    code: Arc<CodeBlock>,
     component: ComponentId,
+}
+
+impl Default for StaticResolver {
+    fn default() -> Self {
+        StaticResolver {
+            slots_by_name: HashMap::new(),
+            entries: Vec::new(),
+            generation: next_generation(),
+            dispatch_cost_nanos: 0,
+        }
+    }
 }
 
 impl StaticResolver {
@@ -112,24 +197,51 @@ impl StaticResolver {
     }
 
     /// Installs a function implementation. Later insertions replace earlier
-    /// ones (link order).
+    /// ones (link order). Each insertion moves the table to a fresh
+    /// generation, invalidating outstanding [`CallToken`]s.
     pub fn insert(&mut self, code: CodeBlock, component: ComponentId) {
-        self.table.insert(code.signature().name().clone(), ResolvedEntry { code, component });
+        let name = code.signature().name().clone();
+        let entry = ResolvedEntry {
+            code: Arc::new(code),
+            component,
+        };
+        match self.slots_by_name.get(&name) {
+            Some(&slot) => self.entries[slot as usize] = entry,
+            None => {
+                let slot = u32::try_from(self.entries.len()).expect("slot overflow");
+                self.entries.push(entry);
+                self.slots_by_name.insert(name, slot);
+            }
+        }
+        self.generation = next_generation();
+    }
+
+    /// The table's current configuration generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Returns the number of functions in the table.
     pub fn len(&self) -> usize {
-        self.table.len()
+        self.entries.len()
     }
 
     /// Returns `true` if the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.table.is_empty()
+        self.entries.is_empty()
     }
 
     /// Returns `true` if the table contains `function`.
     pub fn contains(&self, function: &FunctionName) -> bool {
-        self.table.contains_key(function)
+        self.slots_by_name.contains_key(function)
+    }
+
+    fn entry_call(&self, slot: u32) -> ResolvedCall {
+        let entry = &self.entries[slot as usize];
+        ResolvedCall {
+            code: Arc::clone(&entry.code),
+            component: entry.component,
+        }
     }
 }
 
@@ -139,11 +251,34 @@ impl CallResolver for StaticResolver {
         function: &FunctionName,
         _origin: CallOrigin,
     ) -> Result<ResolvedCall, ResolveError> {
-        let entry = self.table.get(function).ok_or(ResolveError::Missing)?;
-        Ok(ResolvedCall {
-            code: entry.code.clone(),
-            component: entry.component,
-        })
+        let slot = *self
+            .slots_by_name
+            .get(function)
+            .ok_or(ResolveError::Missing)?;
+        Ok(self.entry_call(slot))
+    }
+
+    fn resolve_with_token(
+        &mut self,
+        function: &FunctionName,
+        _origin: CallOrigin,
+    ) -> Result<(ResolvedCall, Option<CallToken>), ResolveError> {
+        let slot = *self
+            .slots_by_name
+            .get(function)
+            .ok_or(ResolveError::Missing)?;
+        let token = CallToken {
+            slot,
+            generation: self.generation,
+        };
+        Ok((self.entry_call(slot), Some(token)))
+    }
+
+    fn resolve_token(&mut self, token: CallToken) -> Option<ResolvedCall> {
+        if token.generation != self.generation || token.slot as usize >= self.entries.len() {
+            return None;
+        }
+        Some(self.entry_call(token.slot))
     }
 
     fn dispatch_cost_nanos(&mut self) -> u64 {
@@ -197,5 +332,57 @@ mod tests {
     fn dispatch_cost_configurable() {
         let mut r = StaticResolver::new().with_dispatch_cost_nanos(300);
         assert_eq!(r.dispatch_cost_nanos(), 300);
+    }
+
+    #[test]
+    fn tokens_redeem_until_the_table_changes() {
+        let mut r = StaticResolver::new();
+        r.insert(block("f() -> unit"), ComponentId::from_raw(1));
+        let (first, token) = r
+            .resolve_with_token(&"f".into(), CallOrigin::Internal)
+            .expect("resolves");
+        let token = token.expect("static resolver issues tokens");
+        let redeemed = r.resolve_token(token).expect("fresh token redeems");
+        assert_eq!(redeemed.component, first.component);
+        assert!(Arc::ptr_eq(&redeemed.code, &first.code), "same shared code");
+
+        // Any insertion invalidates outstanding tokens...
+        r.insert(block("f() -> unit"), ComponentId::from_raw(2));
+        assert!(r.resolve_token(token).is_none());
+        // ...and re-resolving yields a fresh, redeemable token.
+        let (_, token2) = r
+            .resolve_with_token(&"f".into(), CallOrigin::Internal)
+            .expect("resolves");
+        let redeemed = r.resolve_token(token2.expect("token")).expect("redeems");
+        assert_eq!(redeemed.component, ComponentId::from_raw(2));
+    }
+
+    #[test]
+    fn foreign_and_malformed_tokens_are_rejected() {
+        let mut a = StaticResolver::new();
+        let mut b = StaticResolver::new();
+        a.insert(block("f() -> unit"), ComponentId::from_raw(1));
+        b.insert(block("f() -> unit"), ComponentId::from_raw(9));
+        let (_, token) = a
+            .resolve_with_token(&"f".into(), CallOrigin::Internal)
+            .expect("resolves");
+        let token = token.expect("token");
+        // Generations are globally unique, so b can never honor a's token.
+        assert!(b.resolve_token(token).is_none());
+        // An out-of-range slot is rejected even with a matching generation.
+        let bad = CallToken {
+            slot: 99,
+            generation: a.generation(),
+        };
+        assert!(a.resolve_token(bad).is_none());
+    }
+
+    #[test]
+    fn resolved_calls_share_one_code_allocation() {
+        let mut r = StaticResolver::new();
+        r.insert(block("f() -> unit"), ComponentId::from_raw(1));
+        let x = r.resolve(&"f".into(), CallOrigin::Internal).expect("ok");
+        let y = r.resolve(&"f".into(), CallOrigin::Internal).expect("ok");
+        assert!(Arc::ptr_eq(&x.code, &y.code));
     }
 }

@@ -10,8 +10,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Values are dynamically typed; [`TypeTag`]s are checked at call
 /// boundaries (argument and return positions) against declared signatures.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Value {
     /// The unit value.
     #[default]
@@ -98,7 +97,6 @@ impl Value {
         }
     }
 }
-
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -138,7 +138,10 @@ fn recursion_through_the_resolver() {
         Value::Int(610)
     );
     assert!(r.all_idle(), "all enters matched by exits");
-    assert!(r.max_seen > 1, "recursion nests frames in the same function");
+    assert!(
+        r.max_seen > 1,
+        "recursion nests frames in the same function"
+    );
 }
 
 #[test]
@@ -171,7 +174,10 @@ fn list_operations() {
         .expect("valid");
     r.insert(code, ComponentId::from_raw(1));
     let list = Value::List(vec![Value::Int(10), Value::str("x")]);
-    assert_eq!(run_to_completion(&mut r, "second", vec![list]), Value::str("x"));
+    assert_eq!(
+        run_to_completion(&mut r, "second", vec![list]),
+        Value::str("x")
+    );
 }
 
 #[test]
@@ -349,9 +355,21 @@ fn arity_and_type_errors_fail_fast() {
         .expect("valid");
     r.insert(code, ComponentId::from_raw(1));
     // Wrong arity.
-    let err = VmThread::call(&mut r, &"pair".into(), vec![Value::Int(1)], CallOrigin::External)
-        .unwrap_err();
-    assert!(matches!(err, VmError::ArityMismatch { expected: 2, found: 1, .. }));
+    let err = VmThread::call(
+        &mut r,
+        &"pair".into(),
+        vec![Value::Int(1)],
+        CallOrigin::External,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        VmError::ArityMismatch {
+            expected: 2,
+            found: 1,
+            ..
+        }
+    ));
     // Wrong type.
     let err = VmThread::call(
         &mut r,
@@ -487,7 +505,10 @@ fn components_on_stack_reports_suspended_location() {
         thread.run(&mut r, &natives(), &mut globals(), FUEL),
         RunOutcome::Suspended(_)
     ));
-    assert_eq!(thread.components_on_stack(), vec![ComponentId::from_raw(42)]);
+    assert_eq!(
+        thread.components_on_stack(),
+        vec![ComponentId::from_raw(42)]
+    );
     assert_eq!(thread.depth(), 1);
 }
 

@@ -13,9 +13,13 @@ fn run_block(sig: &str, instrs: Vec<Instr>, args: Vec<Value>) -> RunOutcome {
     block.validate().expect("valid block");
     r.insert(block, ComponentId::from_raw(1));
     let name = sig.split('(').next().expect("name");
-    let mut t = VmThread::call(&mut r, &name.into(), args, CallOrigin::External)
-        .expect("starts");
-    t.run(&mut r, &NativeRegistry::standard(), &mut ValueStore::new(), 100_000)
+    let mut t = VmThread::call(&mut r, &name.into(), args, CallOrigin::External).expect("starts");
+    t.run(
+        &mut r,
+        &NativeRegistry::standard(),
+        &mut ValueStore::new(),
+        100_000,
+    )
 }
 
 fn expect_int(sig: &str, instrs: Vec<Instr>, args: Vec<Value>, expected: i64) {
@@ -35,22 +39,62 @@ fn expect_bool(instrs: Vec<Instr>, expected: bool) {
 #[test]
 fn arithmetic_ops() {
     use Instr::*;
-    expect_int("f() -> int", vec![Push(Value::Int(7)), Push(Value::Int(3)), Sub, Ret], vec![], 4);
-    expect_int("f() -> int", vec![Push(Value::Int(7)), Push(Value::Int(3)), Rem, Ret], vec![], 1);
-    expect_int("f() -> int", vec![Push(Value::Int(7)), Neg, Ret], vec![], -7);
-    expect_int("f() -> int", vec![Push(Value::Int(6)), Push(Value::Int(7)), Mul, Ret], vec![], 42);
-    expect_int("f() -> int", vec![Push(Value::Int(42)), Push(Value::Int(6)), Div, Ret], vec![], 7);
+    expect_int(
+        "f() -> int",
+        vec![Push(Value::Int(7)), Push(Value::Int(3)), Sub, Ret],
+        vec![],
+        4,
+    );
+    expect_int(
+        "f() -> int",
+        vec![Push(Value::Int(7)), Push(Value::Int(3)), Rem, Ret],
+        vec![],
+        1,
+    );
+    expect_int(
+        "f() -> int",
+        vec![Push(Value::Int(7)), Neg, Ret],
+        vec![],
+        -7,
+    );
+    expect_int(
+        "f() -> int",
+        vec![Push(Value::Int(6)), Push(Value::Int(7)), Mul, Ret],
+        vec![],
+        42,
+    );
+    expect_int(
+        "f() -> int",
+        vec![Push(Value::Int(42)), Push(Value::Int(6)), Div, Ret],
+        vec![],
+        7,
+    );
 }
 
 #[test]
 fn boolean_ops() {
     use Instr::*;
-    expect_bool(vec![Push(Value::Bool(true)), Push(Value::Bool(false)), And, Ret], false);
-    expect_bool(vec![Push(Value::Bool(true)), Push(Value::Bool(false)), Or, Ret], true);
+    expect_bool(
+        vec![Push(Value::Bool(true)), Push(Value::Bool(false)), And, Ret],
+        false,
+    );
+    expect_bool(
+        vec![Push(Value::Bool(true)), Push(Value::Bool(false)), Or, Ret],
+        true,
+    );
     expect_bool(vec![Push(Value::Bool(false)), Not, Ret], true);
-    expect_bool(vec![Push(Value::Int(1)), Push(Value::Int(2)), Ne, Ret], true);
-    expect_bool(vec![Push(Value::Int(3)), Push(Value::Int(2)), Gt, Ret], true);
-    expect_bool(vec![Push(Value::Int(2)), Push(Value::Int(2)), Le, Ret], true);
+    expect_bool(
+        vec![Push(Value::Int(1)), Push(Value::Int(2)), Ne, Ret],
+        true,
+    );
+    expect_bool(
+        vec![Push(Value::Int(3)), Push(Value::Int(2)), Gt, Ret],
+        true,
+    );
+    expect_bool(
+        vec![Push(Value::Int(2)), Push(Value::Int(2)), Le, Ret],
+        true,
+    );
 }
 
 #[test]
@@ -113,13 +157,7 @@ fn list_ops() {
     );
     expect_int(
         "f() -> int",
-        vec![
-            MakeList(0),
-            Push(Value::Int(7)),
-            ListPush,
-            ListLen,
-            Ret,
-        ],
+        vec![MakeList(0), Push(Value::Int(7)), ListPush, ListLen, Ret],
         vec![],
         1,
     );
@@ -208,12 +246,7 @@ fn fault_paths() {
     assert!(matches!(
         run_block(
             "f() -> str",
-            vec![
-                Push(Value::str("a")),
-                Push(Value::Int(1)),
-                StrConcat,
-                Ret
-            ],
+            vec![Push(Value::str("a")), Push(Value::Int(1)), StrConcat, Ret],
             vec![]
         ),
         RunOutcome::Faulted(VmError::TypeMismatch { .. })
@@ -244,12 +277,7 @@ fn wrapping_arithmetic_does_not_panic() {
     assert!(matches!(
         run_block(
             "f() -> int",
-            vec![
-                Push(Value::Int(i64::MAX)),
-                Push(Value::Int(1)),
-                Add,
-                Ret
-            ],
+            vec![Push(Value::Int(i64::MAX)), Push(Value::Int(1)), Add, Ret],
             vec![]
         ),
         RunOutcome::Completed(Value::Int(i64::MIN))

@@ -130,12 +130,7 @@ pub fn kernel_function(name: &str, work_nanos: u64) -> CodeBlock {
     if work_nanos > 0 {
         b.work(work_nanos);
     }
-    b.load_arg(0)
-        .push_int(3)
-        .mul()
-        .push_int(1)
-        .add()
-        .ret();
+    b.load_arg(0).push_int(3).mul().push_int(1).add().ret();
     b.build().expect("kernel is valid")
 }
 
@@ -220,10 +215,19 @@ mod tests {
         };
         let mut r = StaticResolver::new();
         r.insert(kernel_function("k", 500), ComponentId::from_raw(1));
-        let mut t =
-            VmThread::call(&mut r, &"k".into(), vec![Value::Int(7)], CallOrigin::External)
-                .expect("starts");
-        let out = t.run(&mut r, &NativeRegistry::standard(), &mut ValueStore::new(), 1_000);
+        let mut t = VmThread::call(
+            &mut r,
+            &"k".into(),
+            vec![Value::Int(7)],
+            CallOrigin::External,
+        )
+        .expect("starts");
+        let out = t.run(
+            &mut r,
+            &NativeRegistry::standard(),
+            &mut ValueStore::new(),
+            1_000,
+        );
         assert_eq!(out, RunOutcome::Completed(Value::Int(22)));
         assert_eq!(t.take_consumed_nanos(), 500);
     }

@@ -207,8 +207,8 @@ mod tests {
         f: &str,
         args: Vec<Value>,
     ) -> Value {
-        let mut t = VmThread::call(resolver, &f.into(), args, CallOrigin::External)
-            .expect("starts");
+        let mut t =
+            VmThread::call(resolver, &f.into(), args, CallOrigin::External).expect("starts");
         match t.run(resolver, &NativeRegistry::standard(), globals, 1_000_000) {
             RunOutcome::Completed(v) => v,
             other => panic!("expected completion, got {other:?}"),
@@ -299,7 +299,12 @@ mod tests {
             Value::List(vec![])
         );
         assert_eq!(
-            run(&mut r, &mut g, "sort", vec![Value::List(vec![Value::Int(7)])]),
+            run(
+                &mut r,
+                &mut g,
+                "sort",
+                vec![Value::List(vec![Value::Int(7)])]
+            ),
             Value::List(vec![Value::Int(7)])
         );
     }

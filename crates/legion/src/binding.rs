@@ -126,10 +126,13 @@ impl Actor<Msg> for BindingAgent {
             }
             Msg::Invoke { call, function, .. } => {
                 // Binding agents export no user-level functions.
-                ctx.send(from, Msg::Reply {
-                    call,
-                    result: Err(InvocationFault::NoSuchFunction(function)),
-                });
+                ctx.send(
+                    from,
+                    Msg::Reply {
+                        call,
+                        result: Err(InvocationFault::NoSuchFunction(function)),
+                    },
+                );
             }
             Msg::Reply { .. } | Msg::ControlReply { .. } | Msg::Progress { .. } => {}
         }
@@ -182,11 +185,23 @@ mod tests {
         let (mut sim, agent, probe, agent_obj) = setup();
         let obj = ObjectId::from_raw(42);
         let addr = ActorId::from_raw(9);
-        sim.post(probe, agent, control(1, agent_obj, RegisterBinding {
-            object: obj,
-            address: addr,
-        }));
-        sim.post(probe, agent, control(2, agent_obj, QueryBinding { object: obj }));
+        sim.post(
+            probe,
+            agent,
+            control(
+                1,
+                agent_obj,
+                RegisterBinding {
+                    object: obj,
+                    address: addr,
+                },
+            ),
+        );
+        sim.post(
+            probe,
+            agent,
+            control(2, agent_obj, QueryBinding { object: obj }),
+        );
         sim.run_until_idle();
         let probe_ref = sim.actor::<Probe>(probe).expect("alive");
         assert_eq!(probe_ref.replies.len(), 2);
@@ -201,9 +216,17 @@ mod tests {
     #[test]
     fn query_for_unbound_object_returns_none() {
         let (mut sim, agent, probe, agent_obj) = setup();
-        sim.post(probe, agent, control(1, agent_obj, QueryBinding {
-            object: ObjectId::from_raw(404),
-        }));
+        sim.post(
+            probe,
+            agent,
+            control(
+                1,
+                agent_obj,
+                QueryBinding {
+                    object: ObjectId::from_raw(404),
+                },
+            ),
+        );
         sim.run_until_idle();
         let probe_ref = sim.actor::<Probe>(probe).expect("alive");
         let result = probe_ref.replies[0].as_ref().expect("query succeeds");
@@ -218,12 +241,28 @@ mod tests {
     fn unregister_removes_binding() {
         let (mut sim, agent, probe, agent_obj) = setup();
         let obj = ObjectId::from_raw(5);
-        sim.post(probe, agent, control(1, agent_obj, RegisterBinding {
-            object: obj,
-            address: ActorId::from_raw(3),
-        }));
-        sim.post(probe, agent, control(2, agent_obj, UnregisterBinding { object: obj }));
-        sim.post(probe, agent, control(3, agent_obj, QueryBinding { object: obj }));
+        sim.post(
+            probe,
+            agent,
+            control(
+                1,
+                agent_obj,
+                RegisterBinding {
+                    object: obj,
+                    address: ActorId::from_raw(3),
+                },
+            ),
+        );
+        sim.post(
+            probe,
+            agent,
+            control(2, agent_obj, UnregisterBinding { object: obj }),
+        );
+        sim.post(
+            probe,
+            agent,
+            control(3, agent_obj, QueryBinding { object: obj }),
+        );
         sim.run_until_idle();
         let probe_ref = sim.actor::<Probe>(probe).expect("alive");
         let result = probe_ref.replies[2].as_ref().expect("query succeeds");
@@ -237,16 +276,25 @@ mod tests {
     #[test]
     fn user_invocations_are_rejected() {
         let (mut sim, agent, probe, agent_obj) = setup();
-        sim.post(probe, agent, Msg::Invoke {
-            call: CallId::from_raw(1),
-            target: agent_obj,
-            function: "anything".into(),
-            args: vec![],
-        });
+        sim.post(
+            probe,
+            agent,
+            Msg::Invoke {
+                call: CallId::from_raw(1),
+                target: agent_obj,
+                function: "anything".into(),
+                args: vec![],
+            },
+        );
         sim.run_until_idle();
         // The probe only records ControlReply; the Reply is observed via
         // dead-silence here, so check the agent served no queries instead.
-        assert_eq!(sim.actor::<BindingAgent>(agent).expect("alive").queries_served(), 0);
+        assert_eq!(
+            sim.actor::<BindingAgent>(agent)
+                .expect("alive")
+                .queries_served(),
+            0
+        );
     }
 
     #[test]

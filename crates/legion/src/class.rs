@@ -20,7 +20,9 @@ use dcdo_types::{CallId, ClassId, ObjectId};
 use crate::binding::RegisterBinding;
 use crate::control_payload;
 use crate::cost::CostModel;
-use crate::monolithic::{CaptureState, Deactivate, ExecutableImage, MonolithicObject, RestoreState, StateBlob};
+use crate::monolithic::{
+    CaptureState, Deactivate, ExecutableImage, MonolithicObject, RestoreState, StateBlob,
+};
 use crate::msg::{ControlPayload, InvocationFault, Msg};
 use crate::rpc::{AgentAddress, Handled, RpcClient, RpcCompletion};
 use crate::vault::{LoadState, LoadedState, SaveState};
@@ -54,9 +56,11 @@ pub struct SetCurrentImage {
     pub image: ExecutableImage,
 }
 
-control_payload!(SetCurrentImage, "set-current-image", wire_size = |op| {
-    64 + op.image.size_bytes()
-});
+control_payload!(
+    SetCurrentImage,
+    "set-current-image",
+    wire_size = |op| { 64 + op.image.size_bytes() }
+);
 
 /// Control op: evolve an instance to the class's current image (the full
 /// monolithic replacement pipeline).
@@ -251,7 +255,13 @@ impl ClassObject {
         ctx.schedule_timer(after, token);
     }
 
-    fn rpc_step(&mut self, ctx: &mut Ctx<'_, Msg>, op_id: u64, target: ObjectId, op: Box<dyn ControlPayload>) {
+    fn rpc_step(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        op_id: u64,
+        target: ObjectId,
+        op: Box<dyn ControlPayload>,
+    ) {
         let call = self.rpc.control(ctx, target, op);
         self.rpc_routes.insert(call.as_raw(), op_id);
     }
@@ -259,10 +269,13 @@ impl ClassObject {
     fn fail_op(&mut self, ctx: &mut Ctx<'_, Msg>, op_id: u64, why: String) {
         if let Some(op) = self.ops.remove(&op_id) {
             ctx.metrics().incr("class.ops_failed");
-            ctx.send(op.reply_to, Msg::ControlReply {
-                call: op.call,
-                result: Err(InvocationFault::Refused(why)),
-            });
+            ctx.send(
+                op.reply_to,
+                Msg::ControlReply {
+                    call: op.call,
+                    result: Err(InvocationFault::Refused(why)),
+                },
+            );
         }
     }
 
@@ -368,21 +381,26 @@ impl ClassObject {
             op.step = Step::Register;
             (op.object, op.new_actor.expect("spawned"))
         };
-        self.rpc_step(ctx, op_id, self.agent.object, Box::new(RegisterBinding {
-            object,
-            address,
-        }));
+        self.rpc_step(
+            ctx,
+            op_id,
+            self.agent.object,
+            Box::new(RegisterBinding { object, address }),
+        );
     }
 
     fn finish_op(&mut self, ctx: &mut Ctx<'_, Msg>, op_id: u64) {
         let op = self.ops.remove(&op_id).expect("op exists");
         let address = op.new_actor.expect("spawned");
         self.downloaded.insert((op.target_node, op.target_version));
-        self.instances.insert(op.object, Instance {
-            actor: address,
-            node: op.target_node,
-            version: op.target_version,
-        });
+        self.instances.insert(
+            op.object,
+            Instance {
+                actor: address,
+                node: op.target_node,
+                version: op.target_version,
+            },
+        );
         let elapsed = ctx.now().duration_since(op.started);
         let (metric, reply): (&str, Box<dyn ControlPayload>) = match op.kind {
             OpKind::Create => (
@@ -411,10 +429,13 @@ impl ClassObject {
             ),
         };
         ctx.metrics().sample_duration(metric, elapsed);
-        ctx.send(op.reply_to, Msg::ControlReply {
-            call: op.call,
-            result: Ok(reply),
-        });
+        ctx.send(
+            op.reply_to,
+            Msg::ControlReply {
+                call: op.call,
+                result: Ok(reply),
+            },
+        );
     }
 
     fn start_lifecycle(
@@ -427,12 +448,15 @@ impl ClassObject {
         target_node: Option<NodeId>,
     ) {
         let Some(instance) = self.instances.get(&object).copied() else {
-            ctx.send(reply_to, Msg::ControlReply {
-                call,
-                result: Err(InvocationFault::Refused(format!(
-                    "unknown instance {object}"
-                ))),
-            });
+            ctx.send(
+                reply_to,
+                Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(format!(
+                        "unknown instance {object}"
+                    ))),
+                },
+            );
             return;
         };
         ctx.send(reply_to, Msg::Progress { call });
@@ -516,7 +540,11 @@ impl ClassObject {
                     self.finish_op(ctx, op_id);
                 }
                 other => {
-                    self.fail_op(ctx, op_id, format!("unexpected rpc reply in step {other:?}"));
+                    self.fail_op(
+                        ctx,
+                        op_id,
+                        format!("unexpected rpc reply in step {other:?}"),
+                    );
                 }
             },
         }
@@ -543,10 +571,15 @@ impl ClassObject {
                         op.step = Step::SaveVault;
                         (op.object, op.state.clone().expect("state captured"))
                     };
-                    self.rpc_step(ctx, op_id, vault, Box::new(SaveState {
-                        owner: object,
-                        bytes: state,
-                    }));
+                    self.rpc_step(
+                        ctx,
+                        op_id,
+                        vault,
+                        Box::new(SaveState {
+                            owner: object,
+                            bytes: state,
+                        }),
+                    );
                     // The blob now lives in the vault; drop the local copy
                     // to keep the flow honest about where state resides.
                     self.ops.get_mut(&op_id).expect("op exists").state = None;
@@ -594,10 +627,13 @@ impl Actor<Msg> for ClassObject {
         match msg {
             Msg::Control { call, target, op } => {
                 if target != self.object {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Err(InvocationFault::NoSuchObject(target)),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Err(InvocationFault::NoSuchObject(target)),
+                        },
+                    );
                     return;
                 }
                 if let Some(create) = op.as_any().downcast_ref::<CreateInstance>() {
@@ -606,36 +642,55 @@ impl Actor<Msg> for ClassObject {
                     let version = set.image.version();
                     self.images.insert(version, set.image.clone());
                     self.current_version = version;
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Ok(Box::new(crate::msg::Ack)),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Ok(Box::new(crate::msg::Ack)),
+                        },
+                    );
                 } else if let Some(ev) = op.as_any().downcast_ref::<EvolveInstance>() {
                     self.start_lifecycle(ctx, OpKind::Evolve, from, call, ev.object, None);
                 } else if let Some(mig) = op.as_any().downcast_ref::<MigrateInstance>() {
-                    self.start_lifecycle(ctx, OpKind::Migrate, from, call, mig.object, Some(mig.to));
+                    self.start_lifecycle(
+                        ctx,
+                        OpKind::Migrate,
+                        from,
+                        call,
+                        mig.object,
+                        Some(mig.to),
+                    );
                 } else if op.as_any().downcast_ref::<ListInstances>().is_some() {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Ok(Box::new(InstanceTable {
-                            entries: self.instances(),
-                        })),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Ok(Box::new(InstanceTable {
+                                entries: self.instances(),
+                            })),
+                        },
+                    );
                 } else {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Err(InvocationFault::Refused(format!(
-                            "class object does not understand {}",
-                            op.describe()
-                        ))),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Err(InvocationFault::Refused(format!(
+                                "class object does not understand {}",
+                                op.describe()
+                            ))),
+                        },
+                    );
                 }
             }
             Msg::Invoke { call, function, .. } => {
-                ctx.send(from, Msg::Reply {
-                    call,
-                    result: Err(InvocationFault::NoSuchFunction(function)),
-                });
+                ctx.send(
+                    from,
+                    Msg::Reply {
+                        call,
+                        result: Err(InvocationFault::NoSuchFunction(function)),
+                    },
+                );
             }
             reply => {
                 if let Handled::Completed(completion) = self.rpc.handle_message(ctx, reply) {
@@ -673,4 +728,3 @@ impl std::fmt::Debug for ClassObject {
             .finish()
     }
 }
-

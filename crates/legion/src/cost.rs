@@ -158,7 +158,10 @@ mod tests {
     fn monolithic_creation_matches_paper() {
         let m = CostModel::centurion();
         let t = m.process_creation(500).as_secs_f64();
-        assert!((2.1..=2.3).contains(&t), "500 functions -> {t}s (paper: 2.2s)");
+        assert!(
+            (2.1..=2.3).contains(&t),
+            "500 functions -> {t}s (paper: 2.2s)"
+        );
     }
 
     #[test]
@@ -170,7 +173,10 @@ mod tests {
             m.component_incorporation(10, false) + m.component_transfer.transfer_time(2_000);
         let total = m.process_spawn_base + per_component * 50;
         let t = total.as_secs_f64();
-        assert!((8.0..=12.0).contains(&t), "50 components -> {t}s (paper: ~10s)");
+        assert!(
+            (8.0..=12.0).contains(&t),
+            "50 components -> {t}s (paper: ~10s)"
+        );
     }
 
     #[test]

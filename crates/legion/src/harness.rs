@@ -142,9 +142,8 @@ impl Testbed {
         function: &str,
         args: Vec<Value>,
     ) -> dcdo_types::CallId {
-        self.sim.with_actor::<ClientObject, _>(client, |c, ctx| {
-            c.call(ctx, target, function, args)
-        })
+        self.sim
+            .with_actor::<ClientObject, _>(client, |c, ctx| c.call(ctx, target, function, args))
     }
 
     /// Issues a control operation from a client.
@@ -154,9 +153,8 @@ impl Testbed {
         target: ObjectId,
         op: Box<dyn ControlPayload>,
     ) -> dcdo_types::CallId {
-        self.sim.with_actor::<ClientObject, _>(client, |c, ctx| {
-            c.control_op(ctx, target, op)
-        })
+        self.sim
+            .with_actor::<ClientObject, _>(client, |c, ctx| c.control_op(ctx, target, op))
     }
 
     /// Runs the simulation until the given client call completes, and

@@ -24,9 +24,11 @@ pub struct StoreComponentData {
     pub bytes: Bytes,
 }
 
-control_payload!(StoreComponentData, "store-component-data", wire_size = |op| {
-    32 + op.bytes.len() as u64
-});
+control_payload!(
+    StoreComponentData,
+    "store-component-data",
+    wire_size = |op| { 32 + op.bytes.len() as u64 }
+);
 
 /// Control op: fetch component data from the host's cache.
 #[derive(Debug, Clone)]
@@ -46,9 +48,11 @@ pub struct ComponentData {
     pub bytes: Option<Bytes>,
 }
 
-control_payload!(ComponentData, "component-data", wire_size = |op| {
-    32 + op.bytes.as_ref().map_or(0, |b| b.len() as u64)
-});
+control_payload!(
+    ComponentData,
+    "component-data",
+    wire_size = |op| { 32 + op.bytes.as_ref().map_or(0, |b| b.len() as u64) }
+);
 
 /// Control op: does the host cache this component?
 #[derive(Debug, Clone)]
@@ -166,10 +170,13 @@ impl Actor<Msg> for HostObject {
         match msg {
             Msg::Control { call, target, op } => {
                 if target != self.object {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Err(InvocationFault::NoSuchObject(target)),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Err(InvocationFault::NoSuchObject(target)),
+                        },
+                    );
                     return;
                 }
                 let result: Result<Box<dyn ControlPayload>, InvocationFault> =
@@ -202,10 +209,13 @@ impl Actor<Msg> for HostObject {
                 ctx.send(from, Msg::ControlReply { call, result });
             }
             Msg::Invoke { call, function, .. } => {
-                ctx.send(from, Msg::Reply {
-                    call,
-                    result: Err(InvocationFault::NoSuchFunction(function)),
-                });
+                ctx.send(
+                    from,
+                    Msg::Reply {
+                        call,
+                        result: Err(InvocationFault::NoSuchFunction(function)),
+                    },
+                );
             }
             Msg::Reply { .. } | Msg::ControlReply { .. } | Msg::Progress { .. } => {}
         }

@@ -57,9 +57,13 @@ impl ExecutableImage {
     }
 
     /// Builds the frozen call table for a process running this image.
+    ///
+    /// [`StaticResolver`] uses the same slot-table + generation-stamped
+    /// token machinery as the DFM, so monolithic call sites enjoy the same
+    /// inline-cache hits; the table being frozen just means the generation
+    /// never changes after this method returns.
     pub fn resolver(&self, cost: &CostModel) -> StaticResolver {
-        let mut r = StaticResolver::new()
-            .with_dispatch_cost_nanos(cost.static_dispatch.as_nanos());
+        let mut r = StaticResolver::new().with_dispatch_cost_nanos(cost.static_dispatch.as_nanos());
         // A monolithic executable is logically one big component.
         let component = ComponentId::from_raw(0);
         for code in &self.functions {
@@ -82,7 +86,11 @@ pub struct StateBlob {
     pub bytes: Bytes,
 }
 
-control_payload!(StateBlob, "state-blob", wire_size = |b| 32 + b.bytes.len() as u64);
+control_payload!(
+    StateBlob,
+    "state-blob",
+    wire_size = |b| 32 + b.bytes.len() as u64
+);
 
 /// Control op: restore previously captured state into the object.
 #[derive(Debug, Clone)]
@@ -91,7 +99,11 @@ pub struct RestoreState {
     pub bytes: Bytes,
 }
 
-control_payload!(RestoreState, "restore-state", wire_size = |b| 32 + b.bytes.len() as u64);
+control_payload!(
+    RestoreState,
+    "restore-state",
+    wire_size = |b| 32 + b.bytes.len() as u64
+);
 
 /// Control op: report the implementation version the object runs.
 #[derive(Debug, Clone)]
@@ -131,7 +143,12 @@ pub struct MonolithicObject {
 
 impl MonolithicObject {
     /// Creates an active object running `image`.
-    pub fn new(object: ObjectId, image: &ExecutableImage, cost: &CostModel, rpc: RpcClient) -> Self {
+    pub fn new(
+        object: ObjectId,
+        image: &ExecutableImage,
+        cost: &CostModel,
+        rpc: RpcClient,
+    ) -> Self {
         MonolithicObject {
             object,
             runtime: ObjectRuntime::new(object),
@@ -218,10 +235,13 @@ impl Actor<Msg> for MonolithicObject {
                 args,
             } => {
                 if target != self.object {
-                    ctx.send(from, Msg::Reply {
-                        call,
-                        result: Err(InvocationFault::NoSuchObject(target)),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::Reply {
+                            call,
+                            result: Err(InvocationFault::NoSuchObject(target)),
+                        },
+                    );
                     return;
                 }
                 self.runtime.handle_invoke(
@@ -238,10 +258,13 @@ impl Actor<Msg> for MonolithicObject {
             }
             Msg::Control { call, target, op } => {
                 if target != self.object {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Err(InvocationFault::NoSuchObject(target)),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Err(InvocationFault::NoSuchObject(target)),
+                        },
+                    );
                     return;
                 }
                 self.handle_control(ctx, from, call, op);

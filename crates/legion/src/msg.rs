@@ -231,7 +231,11 @@ mod tests {
         data: Vec<u8>,
     }
 
-    control_payload!(TestOp, "test-op", wire_size = |op| 16 + op.data.len() as u64);
+    control_payload!(
+        TestOp,
+        "test-op",
+        wire_size = |op| 16 + op.data.len() as u64
+    );
 
     #[test]
     fn control_payload_downcasts() {

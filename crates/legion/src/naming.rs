@@ -163,9 +163,17 @@ pub struct ContextListing {
     pub entries: Vec<(ContextPath, ObjectId)>,
 }
 
-control_payload!(ContextListing, "context-listing", wire_size = |op| {
-    32 + op.entries.iter().map(|(p, _)| p.as_str().len() as u64 + 8).sum::<u64>()
-});
+control_payload!(
+    ContextListing,
+    "context-listing",
+    wire_size = |op| {
+        32 + op
+            .entries
+            .iter()
+            .map(|(p, _)| p.as_str().len() as u64 + 8)
+            .sum::<u64>()
+    }
+);
 
 /// The context-space object: hierarchical path → object map.
 #[derive(Debug)]
@@ -214,10 +222,13 @@ impl Actor<Msg> for ContextSpace {
         match msg {
             Msg::Control { call, target, op } => {
                 if target != self.object {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Err(InvocationFault::NoSuchObject(target)),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Err(InvocationFault::NoSuchObject(target)),
+                        },
+                    );
                     return;
                 }
                 let result: Result<Box<dyn ControlPayload>, InvocationFault> =
@@ -249,10 +260,13 @@ impl Actor<Msg> for ContextSpace {
                 ctx.send(from, Msg::ControlReply { call, result });
             }
             Msg::Invoke { call, function, .. } => {
-                ctx.send(from, Msg::Reply {
-                    call,
-                    result: Err(InvocationFault::NoSuchFunction(function)),
-                });
+                ctx.send(
+                    from,
+                    Msg::Reply {
+                        call,
+                        result: Err(InvocationFault::NoSuchFunction(function)),
+                    },
+                );
             }
             Msg::Reply { .. } | Msg::ControlReply { .. } | Msg::Progress { .. } => {}
         }
@@ -271,7 +285,10 @@ mod tests {
     fn path_parse_and_display() {
         let p: ContextPath = "/home/components/sort".parse().expect("valid");
         assert_eq!(p.to_string(), "/home/components/sort");
-        assert_eq!(p.segments().collect::<Vec<_>>(), vec!["home", "components", "sort"]);
+        assert_eq!(
+            p.segments().collect::<Vec<_>>(),
+            vec!["home", "components", "sort"]
+        );
         assert_eq!(ContextPath::root().to_string(), "/");
     }
 

@@ -112,10 +112,13 @@ impl ObjectRuntime {
         };
         let err = entry.thread.abort(resolver, reason);
         ctx.metrics().incr("object.threads_aborted");
-        ctx.send(entry.reply_to, Msg::Reply {
-            call: entry.call,
-            result: Err(InvocationFault::ExecutionFault(err)),
-        });
+        ctx.send(
+            entry.reply_to,
+            Msg::Reply {
+                call: entry.call,
+                result: Err(InvocationFault::ExecutionFault(err)),
+            },
+        );
         true
     }
 
@@ -137,20 +140,26 @@ impl ObjectRuntime {
         match VmThread::call(resolver, &function, args, CallOrigin::External) {
             Ok(thread) => {
                 let token = ctx.fresh_u64();
-                self.threads.insert(token, ThreadEntry {
-                    thread,
-                    reply_to: from,
-                    call,
-                    root_function: function,
-                });
+                self.threads.insert(
+                    token,
+                    ThreadEntry {
+                        thread,
+                        reply_to: from,
+                        call,
+                        root_function: function,
+                    },
+                );
                 self.run_thread(ctx, token, resolver, natives, globals, rpc);
             }
             Err(err) => {
                 ctx.metrics().incr("object.invoke_rejected");
-                ctx.send(from, Msg::Reply {
-                    call,
-                    result: Err(err.into()),
-                });
+                ctx.send(
+                    from,
+                    Msg::Reply {
+                        call,
+                        result: Err(err.into()),
+                    },
+                );
             }
         }
     }
@@ -171,20 +180,28 @@ impl ObjectRuntime {
         match outcome {
             RunOutcome::Completed(value) => {
                 let entry = self.threads.remove(&token).expect("thread exists");
-                self.defer(ctx, consumed, Deferred::SendReply {
-                    to: entry.reply_to,
-                    call: entry.call,
-                    result: Ok(value),
-                });
+                self.defer(
+                    ctx,
+                    consumed,
+                    Deferred::SendReply {
+                        to: entry.reply_to,
+                        call: entry.call,
+                        result: Ok(value),
+                    },
+                );
             }
             RunOutcome::Faulted(err) => {
                 let entry = self.threads.remove(&token).expect("thread exists");
                 ctx.metrics().incr("object.threads_faulted");
-                self.defer(ctx, consumed, Deferred::SendReply {
-                    to: entry.reply_to,
-                    call: entry.call,
-                    result: Err(err.into()),
-                });
+                self.defer(
+                    ctx,
+                    consumed,
+                    Deferred::SendReply {
+                        to: entry.reply_to,
+                        call: entry.call,
+                        result: Err(err.into()),
+                    },
+                );
             }
             RunOutcome::Suspended(request) => {
                 let _ = rpc;

@@ -113,8 +113,14 @@ pub enum Handled {
 enum Phase {
     /// Transient state while the call is being (re)routed.
     Idle,
-    AwaitReply { timer: TimerId, address: ActorId },
-    AwaitBinding { timer: TimerId, query: CallId },
+    AwaitReply {
+        timer: TimerId,
+        address: ActorId,
+    },
+    AwaitBinding {
+        timer: TimerId,
+        query: CallId,
+    },
 }
 
 #[derive(Debug)]
@@ -187,10 +193,14 @@ impl RpcClient {
         function: impl Into<FunctionName>,
         args: Vec<Value>,
     ) -> CallId {
-        self.start(ctx, target, RpcOp::Invoke {
-            function: function.into(),
-            args,
-        })
+        self.start(
+            ctx,
+            target,
+            RpcOp::Invoke {
+                function: function.into(),
+                args,
+            },
+        )
     }
 
     /// Starts a control operation on `target`.
@@ -247,7 +257,9 @@ impl RpcClient {
             },
         };
         ctx.send(address, msg);
-        let factor = ctx.rng().range_f64(1.0, self.cost.binding_backoff_jitter.max(1.0) + 1e-9);
+        let factor = ctx
+            .rng()
+            .range_f64(1.0, self.cost.binding_backoff_jitter.max(1.0) + 1e-9);
         let timeout = self.cost.binding_connect_timeout.mul_f64(factor);
         let timer = ctx.schedule_timer(timeout, call.as_raw());
         pending.phase = Phase::AwaitReply { timer, address };
@@ -255,13 +267,16 @@ impl RpcClient {
 
     fn query_binding(&mut self, ctx: &mut Ctx<'_, Msg>, call: CallId, pending: &mut Pending) {
         let query = CallId::from_raw(ctx.fresh_u64());
-        ctx.send(self.agent.actor, Msg::Control {
-            call: query,
-            target: self.agent.object,
-            op: Box::new(QueryBinding {
-                object: pending.target,
-            }),
-        });
+        ctx.send(
+            self.agent.actor,
+            Msg::Control {
+                call: query,
+                target: self.agent.object,
+                op: Box::new(QueryBinding {
+                    object: pending.target,
+                }),
+            },
+        );
         self.binding_queries.insert(query.as_raw(), call.as_raw());
         let timer = ctx.schedule_timer(self.cost.binding_connect_timeout, call.as_raw());
         pending.phase = Phase::AwaitBinding { timer, query };
@@ -270,9 +285,7 @@ impl RpcClient {
     /// Feeds an incoming message to the client.
     pub fn handle_message(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) -> Handled {
         match msg {
-            Msg::Reply { call, result } => {
-                self.settle(ctx, call, result.map(ReplyPayload::Value))
-            }
+            Msg::Reply { call, result } => self.settle(ctx, call, result.map(ReplyPayload::Value)),
             Msg::ControlReply { call, result } => {
                 // Binding-query answers come back as ControlReply too.
                 if let Some(original) = self.binding_queries.remove(&call.as_raw()) {
@@ -338,7 +351,11 @@ impl RpcClient {
         let call = CallId::from_raw(original);
         let address = result
             .ok()
-            .and_then(|op| op.as_any().downcast_ref::<BindingResult>().map(|b| b.address))
+            .and_then(|op| {
+                op.as_any()
+                    .downcast_ref::<BindingResult>()
+                    .map(|b| b.address)
+            })
             .flatten();
         match address {
             Some(address) => {

@@ -22,7 +22,11 @@ pub struct SaveState {
     pub bytes: Bytes,
 }
 
-control_payload!(SaveState, "save-state", wire_size = |op| 32 + op.bytes.len() as u64);
+control_payload!(
+    SaveState,
+    "save-state",
+    wire_size = |op| 32 + op.bytes.len() as u64
+);
 
 /// Control op: load the persisted state blob of `owner`.
 #[derive(Debug, Clone)]
@@ -42,9 +46,11 @@ pub struct LoadedState {
     pub bytes: Option<Bytes>,
 }
 
-control_payload!(LoadedState, "loaded-state", wire_size = |op| {
-    32 + op.bytes.as_ref().map_or(0, |b| b.len() as u64)
-});
+control_payload!(
+    LoadedState,
+    "loaded-state",
+    wire_size = |op| { 32 + op.bytes.as_ref().map_or(0, |b| b.len() as u64) }
+);
 
 /// A vault: persistent object-state storage.
 #[derive(Debug)]
@@ -88,10 +94,13 @@ impl Actor<Msg> for Vault {
         match msg {
             Msg::Control { call, target, op } => {
                 if target != self.object {
-                    ctx.send(from, Msg::ControlReply {
-                        call,
-                        result: Err(InvocationFault::NoSuchObject(target)),
-                    });
+                    ctx.send(
+                        from,
+                        Msg::ControlReply {
+                            call,
+                            result: Err(InvocationFault::NoSuchObject(target)),
+                        },
+                    );
                     return;
                 }
                 let result: Result<Box<dyn ControlPayload>, InvocationFault> =
@@ -114,10 +123,13 @@ impl Actor<Msg> for Vault {
                 ctx.send(from, Msg::ControlReply { call, result });
             }
             Msg::Invoke { call, function, .. } => {
-                ctx.send(from, Msg::Reply {
-                    call,
-                    result: Err(InvocationFault::NoSuchFunction(function)),
-                });
+                ctx.send(
+                    from,
+                    Msg::Reply {
+                        call,
+                        result: Err(InvocationFault::NoSuchFunction(function)),
+                    },
+                );
             }
             Msg::Reply { .. } | Msg::ControlReply { .. } | Msg::Progress { .. } => {}
         }

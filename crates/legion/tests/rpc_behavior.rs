@@ -89,7 +89,10 @@ fn dead_address_with_reregistration_recovers_after_retries() {
         c.attempts
     );
     let elapsed = c.elapsed.as_secs_f64();
-    assert!((25.0..=40.0).contains(&elapsed), "discovery window {elapsed}s");
+    assert!(
+        (25.0..=40.0).contains(&elapsed),
+        "discovery window {elapsed}s"
+    );
 }
 
 #[test]
@@ -162,13 +165,16 @@ fn in_flight_accounting_balances() {
 fn concurrent_clients_share_one_server() {
     let mut bed = Testbed::centurion(6);
     let (object, _) = spawn_echo(&mut bed, 0);
-    let clients: Vec<_> = (1..9)
-        .map(|n| bed.spawn_client(bed.nodes[n]).1)
-        .collect();
+    let clients: Vec<_> = (1..9).map(|n| bed.spawn_client(bed.nodes[n]).1).collect();
     let calls: Vec<_> = clients
         .iter()
         .enumerate()
-        .map(|(i, c)| (*c, bed.client_call(*c, object, "echo", vec![Value::Int(i as i64)])))
+        .map(|(i, c)| {
+            (
+                *c,
+                bed.client_call(*c, object, "echo", vec![Value::Int(i as i64)]),
+            )
+        })
         .collect();
     for (i, (client, call)) in calls.into_iter().enumerate() {
         let c = bed.wait_for(client, call);
@@ -191,7 +197,11 @@ fn duplicate_deliveries_do_not_confuse_the_protocol() {
     let (_, client) = bed.spawn_client(bed.nodes[5]);
     for i in 0..20 {
         let c = bed.call_and_wait(client, object, "echo", vec![Value::Int(i)]);
-        let v = c.result.expect("completes once").into_value().expect("value");
+        let v = c
+            .result
+            .expect("completes once")
+            .into_value()
+            .expect("value");
         assert_eq!(v, Value::Int(i));
     }
     let c = bed.sim.actor::<ClientObject>(client).expect("client alive");

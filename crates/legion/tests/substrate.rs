@@ -123,18 +123,22 @@ fn creation_cost_matches_paper_calibration() {
     let (mut bed, class_object) = setup(2);
     let (_, client) = bed.spawn_client(bed.nodes[0]);
     // First creation pays executable download (550 KB ~ 4s) + spawn.
-    let call = bed.client_control(client, class_object, Box::new(CreateInstance {
-        node: bed.nodes[1],
-    }));
+    let call = bed.client_control(
+        client,
+        class_object,
+        Box::new(CreateInstance { node: bed.nodes[1] }),
+    );
     let completion = bed.wait_for(client, call);
     assert!(completion.result.is_ok());
     let first = completion.elapsed.as_secs_f64();
     assert!((3.5..=6.5).contains(&first), "first creation {first}s");
 
     // Second creation on the same node: executable cached, only spawn cost.
-    let call = bed.client_control(client, class_object, Box::new(CreateInstance {
-        node: bed.nodes[1],
-    }));
+    let call = bed.client_control(
+        client,
+        class_object,
+        Box::new(CreateInstance { node: bed.nodes[1] }),
+    );
     let completion = bed.wait_for(client, call);
     let second = completion.elapsed.as_secs_f64();
     assert!(second < 0.5, "cached creation {second}s");
@@ -178,16 +182,24 @@ fn evolution_replaces_executable_and_preserves_state() {
     for _ in 0..5 {
         bed.call_and_wait(client, instance, "bump", vec![]);
     }
-    let completion = bed.control_and_wait(client, class_object, Box::new(SetCurrentImage {
-        image: adder_image(2, 0, 5_100_000),
-    }));
+    let completion = bed.control_and_wait(
+        client,
+        class_object,
+        Box::new(SetCurrentImage {
+            image: adder_image(2, 0, 5_100_000),
+        }),
+    );
     assert!(completion.result.is_ok());
 
-    let completion = bed.control_and_wait(client, class_object, Box::new(EvolveInstance {
-        object: instance,
-    }));
+    let completion = bed.control_and_wait(
+        client,
+        class_object,
+        Box::new(EvolveInstance { object: instance }),
+    );
     let payload = completion.result.expect("evolution succeeds");
-    let done = payload.control_as::<LifecycleDone>().expect("lifecycle-done");
+    let done = payload
+        .control_as::<LifecycleDone>()
+        .expect("lifecycle-done");
     assert_eq!(done.version, 2);
     // Full monolithic pipeline: capture + 5.1MB download (~22s) + process
     // creation + restore. Paper band for the download alone is 15-25s.
@@ -211,7 +223,11 @@ fn evolution_replaces_executable_and_preserves_state() {
         .expect("invocation succeeds")
         .into_value()
         .expect("value");
-    assert_eq!(count, Value::Int(6), "counter continued from captured state");
+    assert_eq!(
+        count,
+        Value::Int(6),
+        "counter continued from captured state"
+    );
 }
 
 #[test]
@@ -227,12 +243,18 @@ fn stale_binding_discovery_takes_25_to_35_seconds() {
 
     // Evolve the instance: the old process dies, the binding changes.
     let (_, admin) = bed.spawn_client(bed.nodes[0]);
-    bed.control_and_wait(admin, class_object, Box::new(SetCurrentImage {
-        image: adder_image(3, 0, 550_000),
-    }));
-    let done = bed.control_and_wait(admin, class_object, Box::new(EvolveInstance {
-        object: instance,
-    }));
+    bed.control_and_wait(
+        admin,
+        class_object,
+        Box::new(SetCurrentImage {
+            image: adder_image(3, 0, 550_000),
+        }),
+    );
+    let done = bed.control_and_wait(
+        admin,
+        class_object,
+        Box::new(EvolveInstance { object: instance }),
+    );
     assert!(done.result.is_ok());
 
     // The client still holds the stale address; its next call must ride
@@ -271,10 +293,14 @@ fn migration_moves_an_instance_between_hosts() {
     for _ in 0..3 {
         bed.call_and_wait(client, instance, "bump", vec![]);
     }
-    let completion = bed.control_and_wait(client, class_object, Box::new(MigrateInstance {
-        object: instance,
-        to: bed.nodes[8],
-    }));
+    let completion = bed.control_and_wait(
+        client,
+        class_object,
+        Box::new(MigrateInstance {
+            object: instance,
+            to: bed.nodes[8],
+        }),
+    );
     let payload = completion.result.expect("migration succeeds");
     assert!(payload.control_as::<LifecycleDone>().is_some());
 
@@ -305,7 +331,9 @@ fn version_query_reports_running_image() {
     let (_, client) = bed.spawn_client(bed.nodes[2]);
     let completion = bed.control_and_wait(client, instance, Box::new(QueryVersion));
     let payload = completion.result.expect("query succeeds");
-    let report = payload.control_as::<VersionReport>().expect("version report");
+    let report = payload
+        .control_as::<VersionReport>()
+        .expect("version report");
     assert_eq!(report.version, 1);
     assert_eq!(report.functions, 3);
 }
@@ -343,9 +371,11 @@ fn evolution_can_park_state_in_the_vault() {
     bed.register(class_object, actor);
 
     let (_, client) = bed.spawn_client(bed.nodes[0]);
-    let created = bed.control_and_wait(client, class_object, Box::new(CreateInstance {
-        node: bed.nodes[2],
-    }));
+    let created = bed.control_and_wait(
+        client,
+        class_object,
+        Box::new(CreateInstance { node: bed.nodes[2] }),
+    );
     let instance = created
         .result
         .expect("creation succeeds")
@@ -358,14 +388,20 @@ fn evolution_can_park_state_in_the_vault() {
             .expect("bump");
     }
 
-    bed.control_and_wait(client, class_object, Box::new(SetCurrentImage {
-        image: adder_image(2, 0, 550_000),
-    }))
+    bed.control_and_wait(
+        client,
+        class_object,
+        Box::new(SetCurrentImage {
+            image: adder_image(2, 0, 550_000),
+        }),
+    )
     .result
     .expect("image set");
-    let done = bed.control_and_wait(client, class_object, Box::new(EvolveInstance {
-        object: instance,
-    }));
+    let done = bed.control_and_wait(
+        client,
+        class_object,
+        Box::new(EvolveInstance { object: instance }),
+    );
     assert!(done.result.is_ok());
 
     // The vault served a save and a load, and still holds the parked blob.

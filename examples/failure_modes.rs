@@ -15,11 +15,11 @@ use dcdo::core::ops::{
     DisableFunction, RemovalPolicy, RemoveComponent, SetRemovalPolicy, VersionConfigOp,
 };
 use dcdo::evolution::{Fleet, Strategy};
+use dcdo::legion::class::{ClassObject, CreateInstance, InstanceCreated};
+use dcdo::legion::monolithic::ExecutableImage;
 use dcdo::sim::SimDuration;
 use dcdo::types::{ClassId, ComponentId, Protection, VersionId};
 use dcdo::vm::{ComponentBuilder, FunctionBuilder, Value};
-use dcdo::legion::class::{ClassObject, CreateInstance, InstanceCreated};
-use dcdo::legion::monolithic::ExecutableImage;
 
 /// counter without declared dependencies — deliberately unprotected.
 fn unprotected_counter() -> dcdo::vm::ComponentBinary {
@@ -37,17 +37,20 @@ fn main() {
     let comp = unprotected_counter();
     let ico = fleet.publish_component(&comp, 1);
     let root = VersionId::root();
-    let v1 = fleet.build_version(&root, vec![
-        VersionConfigOp::IncorporateComponent { ico },
-        VersionConfigOp::EnableFunction {
-            function: "step".into(),
-            component: ComponentId::from_raw(1),
-        },
-        VersionConfigOp::EnableFunction {
-            function: "incr".into(),
-            component: ComponentId::from_raw(1),
-        },
-    ]);
+    let v1 = fleet.build_version(
+        &root,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico },
+            VersionConfigOp::EnableFunction {
+                function: "step".into(),
+                component: ComponentId::from_raw(1),
+            },
+            VersionConfigOp::EnableFunction {
+                function: "incr".into(),
+                component: ComponentId::from_raw(1),
+            },
+        ],
+    );
     fleet.set_current(&v1);
     fleet.create_instances(1);
     let (dcdo, _) = fleet.instances[0];
@@ -56,9 +59,13 @@ fn main() {
     println!("client observes incr() in the interface, then it is disabled:");
     fleet
         .bed
-        .control_and_wait(fleet.driver, dcdo, Box::new(DisableFunction {
-            function: "incr".into(),
-        }))
+        .control_and_wait(
+            fleet.driver,
+            dcdo,
+            Box::new(DisableFunction {
+                function: "incr".into(),
+            }),
+        )
         .result
         .expect("disable succeeds (nothing protects incr)");
     match fleet.call(dcdo, "incr", vec![]) {
@@ -68,10 +75,14 @@ fn main() {
     // Re-enable for the next act.
     fleet
         .bed
-        .control_and_wait(fleet.driver, dcdo, Box::new(dcdo::core::ops::EnableFunction {
-            function: "incr".into(),
-            component: ComponentId::from_raw(1),
-        }))
+        .control_and_wait(
+            fleet.driver,
+            dcdo,
+            Box::new(dcdo::core::ops::EnableFunction {
+                function: "incr".into(),
+                component: ComponentId::from_raw(1),
+            }),
+        )
         .result
         .expect("re-enable succeeds");
 
@@ -80,9 +91,13 @@ fn main() {
     println!("step() is disabled out from under incr():");
     fleet
         .bed
-        .control_and_wait(fleet.driver, dcdo, Box::new(DisableFunction {
-            function: "step".into(),
-        }))
+        .control_and_wait(
+            fleet.driver,
+            dcdo,
+            Box::new(DisableFunction {
+                function: "step".into(),
+            }),
+        )
         .result
         .expect("disable succeeds (no dependency declared)");
     match fleet.call(dcdo, "incr", vec![]) {
@@ -94,10 +109,14 @@ fn main() {
     println!("== prevention: structural dependency + mandatory marking ==");
     fleet
         .bed
-        .control_and_wait(fleet.driver, dcdo, Box::new(dcdo::core::ops::EnableFunction {
-            function: "step".into(),
-            component: ComponentId::from_raw(1),
-        }))
+        .control_and_wait(
+            fleet.driver,
+            dcdo,
+            Box::new(dcdo::core::ops::EnableFunction {
+                function: "step".into(),
+                component: ComponentId::from_raw(1),
+            }),
+        )
         .result
         .expect("re-enable succeeds");
     fleet
@@ -117,9 +136,13 @@ fn main() {
         .expect("dependency declared");
     match fleet
         .bed
-        .control_and_wait(fleet.driver, dcdo, Box::new(DisableFunction {
-            function: "step".into(),
-        }))
+        .control_and_wait(
+            fleet.driver,
+            dcdo,
+            Box::new(DisableFunction {
+                function: "step".into(),
+            }),
+        )
         .result
     {
         Err(e) => println!("  disable of step now refused: {e}"),
@@ -139,9 +162,13 @@ fn main() {
         .expect("incr marked mandatory");
     match fleet
         .bed
-        .control_and_wait(fleet.driver, dcdo, Box::new(DisableFunction {
-            function: "incr".into(),
-        }))
+        .control_and_wait(
+            fleet.driver,
+            dcdo,
+            Box::new(DisableFunction {
+                function: "incr".into(),
+            }),
+        )
         .result
     {
         Err(e) => println!("  disable of mandatory incr refused: {e}"),
@@ -162,17 +189,23 @@ fn main() {
     let ico2 = fleet.publish_component(&relay, 2);
     fleet
         .bed
-        .control_and_wait(fleet.driver, dcdo, Box::new(dcdo::core::ops::IncorporateComponent {
-            ico: ico2,
-        }))
+        .control_and_wait(
+            fleet.driver,
+            dcdo,
+            Box::new(dcdo::core::ops::IncorporateComponent { ico: ico2 }),
+        )
         .result
         .expect("incorporation succeeds");
     fleet
         .bed
-        .control_and_wait(fleet.driver, dcdo, Box::new(dcdo::core::ops::EnableFunction {
-            function: "relay".into(),
-            component: ComponentId::from_raw(2),
-        }))
+        .control_and_wait(
+            fleet.driver,
+            dcdo,
+            Box::new(dcdo::core::ops::EnableFunction {
+                function: "relay".into(),
+                component: ComponentId::from_raw(2),
+            }),
+        )
         .result
         .expect("relay enabled");
 
@@ -211,9 +244,13 @@ fn main() {
     println!("a thread is suspended inside the relay component; removal under Refuse policy:");
     match fleet
         .bed
-        .control_and_wait(fleet.driver, dcdo, Box::new(RemoveComponent {
-            component: ComponentId::from_raw(2),
-        }))
+        .control_and_wait(
+            fleet.driver,
+            dcdo,
+            Box::new(RemoveComponent {
+                component: ComponentId::from_raw(2),
+            }),
+        )
         .result
     {
         Err(e) => println!("  refused: {e}"),
@@ -223,14 +260,22 @@ fn main() {
     println!("switching to DelayUntilIdle and retrying:");
     fleet
         .bed
-        .control_and_wait(fleet.driver, dcdo, Box::new(SetRemovalPolicy {
-            policy: RemovalPolicy::DelayUntilIdle,
-        }))
+        .control_and_wait(
+            fleet.driver,
+            dcdo,
+            Box::new(SetRemovalPolicy {
+                policy: RemovalPolicy::DelayUntilIdle,
+            }),
+        )
         .result
         .expect("policy set");
-    let removal = fleet.bed.client_control(fleet.driver, dcdo, Box::new(RemoveComponent {
-        component: ComponentId::from_raw(2),
-    }));
+    let removal = fleet.bed.client_control(
+        fleet.driver,
+        dcdo,
+        Box::new(RemoveComponent {
+            component: ComponentId::from_raw(2),
+        }),
+    );
     let relay_reply = fleet.bed.wait_for(fleet.driver, pending);
     println!(
         "  suspended thread completed first: relay -> {}",

@@ -39,17 +39,20 @@ fn main() {
     let sorting = service::sorting_component();
     let ico = fleet.publish_component(&sorting, 1);
     let root = VersionId::root();
-    let v1 = fleet.build_version(&root, vec![
-        VersionConfigOp::IncorporateComponent { ico },
-        VersionConfigOp::EnableFunction {
-            function: "compare".into(),
-            component: service::ids::SORTING,
-        },
-        VersionConfigOp::EnableFunction {
-            function: "sort".into(),
-            component: service::ids::SORTING,
-        },
-    ]);
+    let v1 = fleet.build_version(
+        &root,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico },
+            VersionConfigOp::EnableFunction {
+                function: "compare".into(),
+                component: service::ids::SORTING,
+            },
+            VersionConfigOp::EnableFunction {
+                function: "sort".into(),
+                component: service::ids::SORTING,
+            },
+        ],
+    );
     fleet.set_current(&v1);
     fleet.create_instances(1);
     show(&mut fleet, "v1 (ascending compare)");
@@ -58,13 +61,16 @@ fn main() {
     // structural rule objects — but the behavior flips.
     let desc = service::compare_descending();
     let ico2 = fleet.publish_component(&desc, 2);
-    let v2 = fleet.build_version(&v1, vec![
-        VersionConfigOp::IncorporateComponent { ico: ico2 },
-        VersionConfigOp::EnableFunction {
-            function: "compare".into(),
-            component: service::ids::COMPARE_DESC,
-        },
-    ]);
+    let v2 = fleet.build_version(
+        &v1,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico: ico2 },
+            VersionConfigOp::EnableFunction {
+                function: "compare".into(),
+                component: service::ids::COMPARE_DESC,
+            },
+        ],
+    );
     fleet.set_current(&v2);
     let accepted = fleet.update_all_explicitly();
     assert_eq!(accepted, 1);
@@ -73,15 +79,18 @@ fn main() {
     // Now protect sort's behavior: derive a version pinning compare to the
     // original implementation (Type C behavioral dependency), and try the
     // swap again.
-    let v3 = fleet.build_version(&v2, vec![
-        VersionConfigOp::EnableFunction {
-            function: "compare".into(),
-            component: service::ids::SORTING,
-        },
-        VersionConfigOp::AddDependency {
-            dependency: Dependency::type_c("sort", "compare", service::ids::SORTING),
-        },
-    ]);
+    let v3 = fleet.build_version(
+        &v2,
+        vec![
+            VersionConfigOp::EnableFunction {
+                function: "compare".into(),
+                component: service::ids::SORTING,
+            },
+            VersionConfigOp::AddDependency {
+                dependency: Dependency::type_c("sort", "compare", service::ids::SORTING),
+            },
+        ],
+    );
     fleet.set_current(&v3);
     fleet.update_all_explicitly();
     show(&mut fleet, "v3 (ascending again, now behaviorally pinned)");

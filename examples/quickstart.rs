@@ -12,9 +12,7 @@
 //! then evolve it — without restarting anything and without invalidating
 //! any client's binding.
 
-use dcdo::core::ops::{
-    CreateDcdo, DcdoCreated, QueryInterface, InterfaceReport, VersionConfigOp,
-};
+use dcdo::core::ops::{CreateDcdo, DcdoCreated, InterfaceReport, QueryInterface, VersionConfigOp};
 use dcdo::core::{DcdoManager, Ico, UpdatePropagation, VersionPolicy};
 use dcdo::legion::harness::Testbed;
 use dcdo::types::{ClassId, ComponentId, ObjectId, VersionId};
@@ -23,7 +21,10 @@ use dcdo::vm::{ComponentBuilder, Value};
 fn main() {
     // 1. A simulated 16-node testbed with the calibrated cost model.
     let mut bed = Testbed::centurion(7);
-    println!("testbed up: {} nodes, binding agent, vault, context space", bed.nodes.len());
+    println!(
+        "testbed up: {} nodes, binding agent, vault, context space",
+        bed.nodes.len()
+    );
 
     // 2. Author a component: one exported function `shout(str) -> str`.
     let component = ComponentBuilder::new(ComponentId::from_raw(1), "greeter-v1")
@@ -36,9 +37,10 @@ fn main() {
 
     // 3. Publish it in an ICO so it has a name in the global namespace.
     let ico_obj = bed.fresh_object_id();
-    let ico = bed
-        .sim
-        .spawn(bed.nodes[1], Ico::new(ico_obj, &component, bed.cost.clone()));
+    let ico = bed.sim.spawn(
+        bed.nodes[1],
+        Ico::new(ico_obj, &component, bed.cost.clone()),
+    );
     bed.register(ico_obj, ico);
     println!("published component {} in ICO {ico_obj}", component.name());
 
@@ -80,29 +82,43 @@ fn main() {
             component: ComponentId::from_raw(1),
         },
     ] {
-        bed.control_and_wait(admin, manager_obj, Box::new(dcdo::core::ops::ConfigureVersion {
-            version: v1.clone(),
-            op,
-        }))
+        bed.control_and_wait(
+            admin,
+            manager_obj,
+            Box::new(dcdo::core::ops::ConfigureVersion {
+                version: v1.clone(),
+                op,
+            }),
+        )
         .result
         .expect("configure succeeds");
     }
-    bed.control_and_wait(admin, manager_obj, Box::new(dcdo::core::ops::MarkInstantiable {
-        version: v1.clone(),
-    }))
+    bed.control_and_wait(
+        admin,
+        manager_obj,
+        Box::new(dcdo::core::ops::MarkInstantiable {
+            version: v1.clone(),
+        }),
+    )
     .result
     .expect("mark succeeds");
-    bed.control_and_wait(admin, manager_obj, Box::new(dcdo::core::ops::SetCurrentVersion {
-        version: v1.clone(),
-    }))
+    bed.control_and_wait(
+        admin,
+        manager_obj,
+        Box::new(dcdo::core::ops::SetCurrentVersion {
+            version: v1.clone(),
+        }),
+    )
     .result
     .expect("set-current succeeds");
     println!("version {v1} configured and instantiable");
 
     // 6. Create a DCDO on node 4 and call it from node 9.
-    let created = bed.control_and_wait(admin, manager_obj, Box::new(CreateDcdo {
-        node: bed.nodes[4],
-    }));
+    let created = bed.control_and_wait(
+        admin,
+        manager_obj,
+        Box::new(CreateDcdo { node: bed.nodes[4] }),
+    );
     let dcdo: ObjectId = created
         .result
         .expect("creation succeeds")
@@ -115,7 +131,11 @@ fn main() {
     let reply = bed.call_and_wait(client, dcdo, "shout", vec![Value::str("hello, legion")]);
     println!(
         "shout(\"hello, legion\") -> {} ({} round-trip)",
-        reply.result.expect("call succeeds").into_value().expect("value"),
+        reply
+            .result
+            .expect("call succeeds")
+            .into_value()
+            .expect("value"),
         reply.elapsed
     );
 
@@ -132,14 +152,17 @@ fn main() {
         .build()
         .expect("component validates");
     let ico2_obj = bed.fresh_object_id();
-    let ico2 = bed
-        .sim
-        .spawn(bed.nodes[2], Ico::new(ico2_obj, &v2_component, bed.cost.clone()));
+    let ico2 = bed.sim.spawn(
+        bed.nodes[2],
+        Ico::new(ico2_obj, &v2_component, bed.cost.clone()),
+    );
     bed.register(ico2_obj, ico2);
 
-    let derive = bed.control_and_wait(admin, manager_obj, Box::new(dcdo::core::ops::DeriveVersion {
-        from: v1.clone(),
-    }));
+    let derive = bed.control_and_wait(
+        admin,
+        manager_obj,
+        Box::new(dcdo::core::ops::DeriveVersion { from: v1.clone() }),
+    );
     let v2: VersionId = derive
         .result
         .expect("derive succeeds")
@@ -154,28 +177,44 @@ fn main() {
             component: ComponentId::from_raw(2),
         },
     ] {
-        bed.control_and_wait(admin, manager_obj, Box::new(dcdo::core::ops::ConfigureVersion {
-            version: v2.clone(),
-            op,
-        }))
+        bed.control_and_wait(
+            admin,
+            manager_obj,
+            Box::new(dcdo::core::ops::ConfigureVersion {
+                version: v2.clone(),
+                op,
+            }),
+        )
         .result
         .expect("configure succeeds");
     }
-    bed.control_and_wait(admin, manager_obj, Box::new(dcdo::core::ops::MarkInstantiable {
-        version: v2.clone(),
-    }))
+    bed.control_and_wait(
+        admin,
+        manager_obj,
+        Box::new(dcdo::core::ops::MarkInstantiable {
+            version: v2.clone(),
+        }),
+    )
     .result
     .expect("mark succeeds");
-    bed.control_and_wait(admin, manager_obj, Box::new(dcdo::core::ops::SetCurrentVersion {
-        version: v2.clone(),
-    }))
+    bed.control_and_wait(
+        admin,
+        manager_obj,
+        Box::new(dcdo::core::ops::SetCurrentVersion {
+            version: v2.clone(),
+        }),
+    )
     .result
     .expect("set-current succeeds");
 
-    let update = bed.control_and_wait(admin, manager_obj, Box::new(dcdo::core::ops::UpdateInstance {
-        object: dcdo,
-        to: None,
-    }));
+    let update = bed.control_and_wait(
+        admin,
+        manager_obj,
+        Box::new(dcdo::core::ops::UpdateInstance {
+            object: dcdo,
+            to: None,
+        }),
+    );
     update.result.expect("update succeeds");
     println!("evolved {dcdo} to {v2} in {}", update.elapsed);
 
@@ -184,7 +223,11 @@ fn main() {
     assert_eq!(reply.rebinds, 0, "evolution never invalidated the binding");
     println!(
         "shout(\"hello, legion\") -> {} (same address, {} rebinds)",
-        reply.result.expect("call succeeds").into_value().expect("value"),
+        reply
+            .result
+            .expect("call succeeds")
+            .into_value()
+            .expect("value"),
         reply.rebinds
     );
 

@@ -40,26 +40,32 @@ fn main() {
         let base = tick(1, 1);
         let ico = fleet.publish_component(&base, 1);
         let root = VersionId::root();
-        let v1 = fleet.build_version(&root, vec![
-            VersionConfigOp::IncorporateComponent { ico },
-            VersionConfigOp::EnableFunction {
-                function: "tick".into(),
-                component: ComponentId::from_raw(1),
-            },
-        ]);
+        let v1 = fleet.build_version(
+            &root,
+            vec![
+                VersionConfigOp::IncorporateComponent { ico },
+                VersionConfigOp::EnableFunction {
+                    function: "tick".into(),
+                    component: ComponentId::from_raw(1),
+                },
+            ],
+        );
         fleet.set_current(&v1);
         fleet.create_instances(12);
 
         // Roll out version 1.1.1: tick() -> 10.
         let next = tick(2, 10);
         let ico = fleet.publish_component(&next, 2);
-        let v2 = fleet.build_version(&v1, vec![
-            VersionConfigOp::IncorporateComponent { ico },
-            VersionConfigOp::EnableFunction {
-                function: "tick".into(),
-                component: ComponentId::from_raw(2),
-            },
-        ]);
+        let v2 = fleet.build_version(
+            &v1,
+            vec![
+                VersionConfigOp::IncorporateComponent { ico },
+                VersionConfigOp::EnableFunction {
+                    function: "tick".into(),
+                    component: ComponentId::from_raw(2),
+                },
+            ],
+        );
         let lazy = strategy.lazy_check() != dcdo::core::ops::LazyCheck::Never;
         let report = fleet.measure_rollout_with_traffic(
             &v2,

@@ -72,17 +72,20 @@ fn main() {
     let mut fleet = Fleet::new(Strategy::SingleVersionExplicit, 51);
     let ico = fleet.publish_component(&v1_component, 1);
     let root = VersionId::root();
-    let v1 = fleet.build_version(&root, vec![
-        VersionConfigOp::IncorporateComponent { ico },
-        VersionConfigOp::EnableFunction {
-            function: "weight".into(),
-            component: ComponentId::from_raw(41),
-        },
-        VersionConfigOp::EnableFunction {
-            function: "record".into(),
-            component: ComponentId::from_raw(41),
-        },
-    ]);
+    let v1 = fleet.build_version(
+        &root,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico },
+            VersionConfigOp::EnableFunction {
+                function: "weight".into(),
+                component: ComponentId::from_raw(41),
+            },
+            VersionConfigOp::EnableFunction {
+                function: "record".into(),
+                component: ComponentId::from_raw(41),
+            },
+        ],
+    );
     fleet.set_current(&v1);
     fleet.create_instances(1);
     let (tally, _) = fleet.instances[0];
@@ -97,13 +100,16 @@ fn main() {
     // The upgrade arrives as *text*, long after deployment.
     let v2_component = assemble(WEIGHT_SQUARED).expect("v2 assembles");
     let ico2 = fleet.publish_component(&v2_component, 2);
-    let v2 = fleet.build_version(&v1, vec![
-        VersionConfigOp::IncorporateComponent { ico: ico2 },
-        VersionConfigOp::EnableFunction {
-            function: "weight".into(),
-            component: ComponentId::from_raw(42),
-        },
-    ]);
+    let v2 = fleet.build_version(
+        &v1,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico: ico2 },
+            VersionConfigOp::EnableFunction {
+                function: "weight".into(),
+                component: ComponentId::from_raw(42),
+            },
+        ],
+    );
     fleet.set_current(&v2);
     fleet.update_all_explicitly();
     println!("hot-swapped weight() from source text; totals now grow quadratically:");

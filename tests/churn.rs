@@ -24,13 +24,16 @@ fn ten_generations_under_load_and_loss() {
     let base = tick(1, 1);
     let ico = fleet.publish_component(&base, 1);
     let root = VersionId::root();
-    let mut current = fleet.build_version(&root, vec![
-        VersionConfigOp::IncorporateComponent { ico },
-        VersionConfigOp::EnableFunction {
-            function: "tick".into(),
-            component: ComponentId::from_raw(1),
-        },
-    ]);
+    let mut current = fleet.build_version(
+        &root,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico },
+            VersionConfigOp::EnableFunction {
+                function: "tick".into(),
+                component: ComponentId::from_raw(1),
+            },
+        ],
+    );
     fleet.set_current(&current);
     fleet.create_instances(3);
 
@@ -71,13 +74,16 @@ fn ten_generations_under_load_and_loss() {
     for gen in 2..=11u64 {
         let comp = tick(gen, gen as i64);
         let ico = fleet.publish_component(&comp, (gen % 8) as usize);
-        current = fleet.build_version(&current, vec![
-            VersionConfigOp::IncorporateComponent { ico },
-            VersionConfigOp::EnableFunction {
-                function: "tick".into(),
-                component: ComponentId::from_raw(gen),
-            },
-        ]);
+        current = fleet.build_version(
+            &current,
+            vec![
+                VersionConfigOp::IncorporateComponent { ico },
+                VersionConfigOp::EnableFunction {
+                    function: "tick".into(),
+                    component: ComponentId::from_raw(gen),
+                },
+            ],
+        );
         fleet.set_current(&current);
         fleet.bed.run_for(SimDuration::from_secs(1));
     }
@@ -107,11 +113,10 @@ fn ten_generations_under_load_and_loss() {
     }
 
     // The manager's DFM store holds the whole derivation chain.
-    let completion = fleet.bed.control_and_wait(
-        fleet.driver,
-        fleet.manager_obj,
-        Box::new(ListVersions),
-    );
+    let completion =
+        fleet
+            .bed
+            .control_and_wait(fleet.driver, fleet.manager_obj, Box::new(ListVersions));
     let payload = completion.result.expect("list succeeds");
     let table = payload.control_as::<VersionTable>().expect("version table");
     assert_eq!(table.current, current);

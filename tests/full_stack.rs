@@ -15,21 +15,24 @@ fn counter_fleet(strategy: Strategy, seed: u64) -> (Fleet, VersionId) {
     let core = service::counter_core();
     let ico = fleet.publish_component(&core, 1);
     let root = VersionId::root();
-    let v1 = fleet.build_version(&root, vec![
-        VersionConfigOp::IncorporateComponent { ico },
-        VersionConfigOp::EnableFunction {
-            function: "step".into(),
-            component: service::ids::COUNTER_CORE,
-        },
-        VersionConfigOp::EnableFunction {
-            function: "get".into(),
-            component: service::ids::COUNTER_CORE,
-        },
-        VersionConfigOp::EnableFunction {
-            function: "incr".into(),
-            component: service::ids::COUNTER_CORE,
-        },
-    ]);
+    let v1 = fleet.build_version(
+        &root,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico },
+            VersionConfigOp::EnableFunction {
+                function: "step".into(),
+                component: service::ids::COUNTER_CORE,
+            },
+            VersionConfigOp::EnableFunction {
+                function: "get".into(),
+                component: service::ids::COUNTER_CORE,
+            },
+            VersionConfigOp::EnableFunction {
+                function: "incr".into(),
+                component: service::ids::COUNTER_CORE,
+            },
+        ],
+    );
     fleet.set_current(&v1);
     fleet.create_instances(1);
     (fleet, v1)
@@ -70,13 +73,16 @@ fn service_keeps_answering_through_an_evolution() {
     fleet.bed.run_for(SimDuration::from_secs(1));
     let step10 = service::step_by(10);
     let ico = fleet.publish_component(&step10, 2);
-    let v2 = fleet.build_version(&v1, vec![
-        VersionConfigOp::IncorporateComponent { ico },
-        VersionConfigOp::EnableFunction {
-            function: "step".into(),
-            component: service::ids::STEP_TEN,
-        },
-    ]);
+    let v2 = fleet.build_version(
+        &v1,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico },
+            VersionConfigOp::EnableFunction {
+                function: "step".into(),
+                component: service::ids::STEP_TEN,
+            },
+        ],
+    );
     fleet.set_current(&v2);
     assert_eq!(fleet.update_all_explicitly(), 1);
     fleet.bed.sim.run_until_idle();
@@ -113,13 +119,16 @@ fn same_seed_same_story() {
         }
         let step = service::step_by(7);
         let ico = fleet.publish_component(&step, 2);
-        let v2 = fleet.build_version(&v1, vec![
-            VersionConfigOp::IncorporateComponent { ico },
-            VersionConfigOp::EnableFunction {
-                function: "step".into(),
-                component: service::ids::STEP_TEN,
-            },
-        ]);
+        let v2 = fleet.build_version(
+            &v1,
+            vec![
+                VersionConfigOp::IncorporateComponent { ico },
+                VersionConfigOp::EnableFunction {
+                    function: "step".into(),
+                    component: service::ids::STEP_TEN,
+                },
+            ],
+        );
         fleet.set_current(&v2);
         fleet.bed.sim.run_until_idle();
         for _ in 0..10 {
@@ -141,7 +150,10 @@ fn same_seed_same_story() {
     assert_eq!(a, b, "identical seeds give identical traces");
     assert_eq!(a.0, 10 + 70, "10 increments by 1, then 10 by 7");
     let c = run(78);
-    assert!(a.2 != c.2 || a.1 != c.1, "different seeds jitter differently");
+    assert!(
+        a.2 != c.2 || a.1 != c.1,
+        "different seeds jitter differently"
+    );
 }
 
 #[test]
@@ -185,13 +197,16 @@ fn two_services_coexist_and_interact() {
         .build()
         .expect("component validates");
     let ico = fleet.publish_component(&front_comp, 3);
-    let v_front = fleet.build_version(&v1, vec![
-        VersionConfigOp::IncorporateComponent { ico },
-        VersionConfigOp::EnableFunction {
-            function: "poke".into(),
-            component: ComponentId::from_raw(9),
-        },
-    ]);
+    let v_front = fleet.build_version(
+        &v1,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico },
+            VersionConfigOp::EnableFunction {
+                function: "poke".into(),
+                component: ComponentId::from_raw(9),
+            },
+        ],
+    );
     fleet.set_current(&v_front);
     fleet.create_instances(1);
     let (front, _) = fleet.instances[1];
@@ -204,13 +219,16 @@ fn two_services_coexist_and_interact() {
     // Evolve the backend's step to 100; the front's next poke shows it.
     let step = service::step_by(100);
     let ico = fleet.publish_component(&step, 2);
-    let v2 = fleet.build_version(&v_front, vec![
-        VersionConfigOp::IncorporateComponent { ico },
-        VersionConfigOp::EnableFunction {
-            function: "step".into(),
-            component: service::ids::STEP_TEN,
-        },
-    ]);
+    let v2 = fleet.build_version(
+        &v_front,
+        vec![
+            VersionConfigOp::IncorporateComponent { ico },
+            VersionConfigOp::EnableFunction {
+                function: "step".into(),
+                component: service::ids::STEP_TEN,
+            },
+        ],
+    );
     fleet.set_current(&v2);
     // Update only the backend instance.
     fleet
@@ -295,7 +313,10 @@ fn two_managers_two_types_one_testbed() {
     let ico_obj = fleet.bed.fresh_object_id();
     let node = fleet.bed.nodes[2];
     let cost = fleet.bed.cost.clone();
-    let ico = fleet.bed.sim.spawn(node, dcdo::core::Ico::new(ico_obj, &sorting, cost));
+    let ico = fleet
+        .bed
+        .sim
+        .spawn(node, dcdo::core::Ico::new(ico_obj, &sorting, cost));
     fleet.bed.register(ico_obj, ico);
 
     let derive = fleet.bed.control_and_wait(
@@ -325,19 +346,24 @@ fn two_managers_two_types_one_testbed() {
     ] {
         fleet
             .bed
-            .control_and_wait(fleet.driver, sorter_mgr_obj, Box::new(
-                dcdo::core::ops::ConfigureVersion {
+            .control_and_wait(
+                fleet.driver,
+                sorter_mgr_obj,
+                Box::new(dcdo::core::ops::ConfigureVersion {
                     version: v1.clone(),
                     op,
-                },
-            ))
+                }),
+            )
             .result
             .expect("configure succeeds");
     }
     for op in [
-        Box::new(dcdo::core::ops::MarkInstantiable { version: v1.clone() })
-            as Box<dyn dcdo::legion::ControlPayload>,
-        Box::new(dcdo::core::ops::SetCurrentVersion { version: v1.clone() }),
+        Box::new(dcdo::core::ops::MarkInstantiable {
+            version: v1.clone(),
+        }) as Box<dyn dcdo::legion::ControlPayload>,
+        Box::new(dcdo::core::ops::SetCurrentVersion {
+            version: v1.clone(),
+        }),
     ] {
         fleet
             .bed
@@ -362,11 +388,16 @@ fn two_managers_two_types_one_testbed() {
     // Both types serve, independently.
     let sorted = fleet
         .bed
-        .call_and_wait(fleet.driver, sorter, "sort", vec![Value::List(vec![
-            Value::Int(3),
-            Value::Int(1),
-            Value::Int(2),
-        ])])
+        .call_and_wait(
+            fleet.driver,
+            sorter,
+            "sort",
+            vec![Value::List(vec![
+                Value::Int(3),
+                Value::Int(1),
+                Value::Int(2),
+            ])],
+        )
         .result
         .expect("sort succeeds")
         .into_value()
@@ -387,13 +418,16 @@ fn two_managers_two_types_one_testbed() {
     // Evolving the counter type does not disturb the sorter.
     let step = service::step_by(50);
     let ico2 = fleet.publish_component(&step, 3);
-    let v2 = fleet.build_version(&"1.1".parse::<VersionId>().expect("v"), vec![
-        VersionConfigOp::IncorporateComponent { ico: ico2 },
-        VersionConfigOp::EnableFunction {
-            function: "step".into(),
-            component: service::ids::STEP_TEN,
-        },
-    ]);
+    let v2 = fleet.build_version(
+        &"1.1".parse::<VersionId>().expect("v"),
+        vec![
+            VersionConfigOp::IncorporateComponent { ico: ico2 },
+            VersionConfigOp::EnableFunction {
+                function: "step".into(),
+                component: service::ids::STEP_TEN,
+            },
+        ],
+    );
     fleet.set_current(&v2);
     fleet.update_all_explicitly();
     let n = fleet
@@ -406,10 +440,12 @@ fn two_managers_two_types_one_testbed() {
     assert_eq!(n, Value::Int(51), "counter evolved (+50)");
     let sorted = fleet
         .bed
-        .call_and_wait(fleet.driver, sorter, "sort", vec![Value::List(vec![
-            Value::Int(9),
-            Value::Int(8),
-        ])])
+        .call_and_wait(
+            fleet.driver,
+            sorter,
+            "sort",
+            vec![Value::List(vec![Value::Int(9), Value::Int(8)])],
+        )
         .result
         .expect("sort still succeeds")
         .into_value()

@@ -4,7 +4,9 @@
 
 use dcdo::core::Ico;
 use dcdo::legion::harness::Testbed;
-use dcdo::legion::naming::{BindName, ContextListing, ContextPath, ListContext, LookupName, NameResult};
+use dcdo::legion::naming::{
+    BindName, ContextListing, ContextPath, ListContext, LookupName, NameResult,
+};
 use dcdo::types::ObjectId;
 use dcdo::vm::{
     CallOrigin, NativeRegistry, RunOutcome, StaticResolver, Value, ValueStore, VmThread,
@@ -33,27 +35,39 @@ fn components_are_published_and_resolved_by_name() {
         let actor = bed.sim.spawn(node, Ico::new(ico_obj, &comp, cost));
         bed.register(ico_obj, actor);
         let path: ContextPath = format!("/components/{name}").parse().expect("valid path");
-        bed.control_and_wait(client, context, Box::new(BindName {
-            path,
-            object: ico_obj,
-        }))
+        bed.control_and_wait(
+            client,
+            context,
+            Box::new(BindName {
+                path,
+                object: ico_obj,
+            }),
+        )
         .result
         .expect("bind succeeds");
         published.push((name.to_owned(), ico_obj));
     }
 
     // Resolve one by full path.
-    let completion = bed.control_and_wait(client, context, Box::new(LookupName {
-        path: "/components/sorting".parse().expect("valid path"),
-    }));
+    let completion = bed.control_and_wait(
+        client,
+        context,
+        Box::new(LookupName {
+            path: "/components/sorting".parse().expect("valid path"),
+        }),
+    );
     let payload = completion.result.expect("lookup succeeds");
     let result = payload.control_as::<NameResult>().expect("name result");
     assert_eq!(result.object, Some(published[1].1));
 
     // Enumerate the /components context.
-    let completion = bed.control_and_wait(client, context, Box::new(ListContext {
-        context: "/components".parse().expect("valid path"),
-    }));
+    let completion = bed.control_and_wait(
+        client,
+        context,
+        Box::new(ListContext {
+            context: "/components".parse().expect("valid path"),
+        }),
+    );
     let payload = completion.result.expect("list succeeds");
     let listing = payload.control_as::<ContextListing>().expect("listing");
     assert_eq!(listing.entries.len(), 2);
@@ -72,9 +86,13 @@ fn components_are_published_and_resolved_by_name() {
     assert_eq!(reply.descriptor.name, "sorting");
 
     // Unbound names resolve to nothing.
-    let completion = bed.control_and_wait(client, context, Box::new(LookupName {
-        path: "/components/ghost".parse().expect("valid path"),
-    }));
+    let completion = bed.control_and_wait(
+        client,
+        context,
+        Box::new(LookupName {
+            path: "/components/ghost".parse().expect("valid path"),
+        }),
+    );
     let payload = completion.result.expect("lookup succeeds");
     assert_eq!(
         payload.control_as::<NameResult>().expect("result").object,

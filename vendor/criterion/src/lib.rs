@@ -1,0 +1,225 @@
+//! Offline mini benchmark harness, API-compatible with the subset of
+//! `criterion` 0.x this workspace uses.
+//!
+//! Unlike the other vendor stubs, this one does real work: each benchmark
+//! is warmed up, then timed over several batches with `std::time::Instant`,
+//! and the median ns/iter is printed. No statistical analysis, plotting, or
+//! HTML reports — just stable, comparable numbers so before/after tables in
+//! EXPERIMENTS.md are measurable. Swap back to the real `criterion` when a
+//! registry is reachable; call sites need no changes.
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group (`BenchmarkId::new(name, param)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into one id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Uses the parameter alone as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iter across batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and discover a batch size targeting ~5ms per batch.
+        let mut iters_per_batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters_per_batch >= 1 << 30 {
+                break;
+            }
+            iters_per_batch *= 2;
+        }
+
+        const BATCHES: usize = 11;
+        let mut samples = [0f64; BATCHES];
+        for sample in &mut samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                std::hint::black_box(routine());
+            }
+            *sample = start.elapsed().as_nanos() as f64 / iters_per_batch as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[BATCHES / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        self.run(&id, f);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into().0;
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        self.criterion.report(&full, bencher.ns_per_iter);
+    }
+}
+
+/// Conversion glue so bench ids can be `&str`, `String`, or [`BenchmarkId`].
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.id)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs and reports one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        self.report(&id, bencher.ns_per_iter);
+        self
+    }
+
+    fn report(&mut self, id: &str, ns: f64) {
+        let human = if ns >= 1_000_000.0 {
+            format!("{:.3} ms", ns / 1_000_000.0)
+        } else if ns >= 1_000.0 {
+            format!("{:.3} µs", ns / 1_000.0)
+        } else {
+            format!("{ns:.1} ns")
+        };
+        println!("{id:<50} {human:>12}/iter");
+        self.results.push((id.to_string(), ns));
+    }
+
+    /// `--bench` harness entry point; prints a header per registered group fn.
+    pub fn final_summary(&self) {}
+}
+
+/// Registers benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a set of [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` (and possibly filters) to bench
+            // binaries; this mini-harness runs everything regardless.
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_trivial_workload() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("add", |b| b.iter(|| 2u64 + 2));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|(_, ns)| *ns >= 0.0));
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The repository's actual serialization is the hand-rolled binary codec in
+//! `dcdo-vm`; `Serialize`/`Deserialize` derives on model types are
+//! declarations of intent only. This stub provides the two marker traits and
+//! re-exports the no-op derive macros so the workspace builds without
+//! registry access. Swap back to the real `serde` when a network is
+//! available — no call sites need to change.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

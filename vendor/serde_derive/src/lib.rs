@@ -1,0 +1,21 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The workspace's wire formats are hand-rolled (`dcdo-vm/src/codec.rs`);
+//! the `Serialize`/`Deserialize` derives on model types only declare intent.
+//! These stubs accept the same syntax (including `#[serde(...)]` helper
+//! attributes) and emit nothing, which keeps the workspace building in
+//! offline environments with no crates.io access.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
