@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for sim-core event throughput: the four
+//! canonical workload shapes (see `dcdo_workloads::simbench`) at bench-run
+//! sizes. The `sim_bench` binary runs the same shapes at larger scale and
+//! emits `BENCH_sim.json` for cross-PR tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcdo_workloads::simbench;
+use std::hint::black_box;
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.bench_function("ping_pong_10k", |b| {
+        b.iter(|| black_box(simbench::ping_pong(10_000)))
+    });
+    g.finish();
+}
+
+fn bench_fan_out(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.bench_function("fan_out_50x200", |b| {
+        b.iter(|| black_box(simbench::fan_out(50, 200, 512)))
+    });
+    g.finish();
+}
+
+fn bench_timer_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.bench_function("timer_heavy_16x500", |b| {
+        b.iter(|| black_box(simbench::timer_heavy(16, 500)))
+    });
+    g.finish();
+}
+
+fn bench_transfer_heavy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.bench_function("transfer_heavy_10x50", |b| {
+        b.iter(|| black_box(simbench::transfer_heavy(10, 50)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ping_pong,
+    bench_fan_out,
+    bench_timer_heavy,
+    bench_transfer_heavy
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Sim-core throughput tracker: runs the four canonical workload shapes
+//! from `dcdo_workloads::simbench` under wall-clock timing and emits a
+//! machine-readable `BENCH_sim.json` so the events/sec trajectory is
+//! tracked across PRs (CI uploads it as an artifact).
+//!
+//! Usage: `cargo run --release -p dcdo-bench --bin sim_bench [-- out.json]`
+
+use std::time::Instant;
+
+use dcdo_workloads::simbench;
+
+struct Shot {
+    name: &'static str,
+    events: u64,
+    best_events_per_sec: f64,
+    mean_events_per_sec: f64,
+}
+
+/// Times one workload: a warmup run, then `reps` measured runs; reports the
+/// best (least-noise) and mean rates.
+fn measure(name: &'static str, reps: u32, run: impl Fn() -> u64) -> Shot {
+    let warm_events = run();
+    let mut best = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut events = warm_events;
+    for _ in 0..reps {
+        let t = Instant::now();
+        events = run();
+        let secs = t.elapsed().as_secs_f64().max(1e-12);
+        let rate = events as f64 / secs;
+        best = best.max(rate);
+        sum += rate;
+    }
+    Shot {
+        name,
+        events,
+        best_events_per_sec: best,
+        mean_events_per_sec: sum / f64::from(reps),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let reps = 5;
+    let shots = vec![
+        measure("ping_pong", reps, || simbench::ping_pong(100_000)),
+        measure("fan_out", reps, || simbench::fan_out(500, 200, 512)),
+        measure("timer_heavy", reps, || simbench::timer_heavy(64, 2_000)),
+        measure("transfer_heavy", reps, || simbench::transfer_heavy(100, 50)),
+    ];
+
+    let mut json = String::from("{\n  \"suite\": \"sim_throughput\",\n  \"unit\": \"events_per_sec\",\n  \"workloads\": {\n");
+    for (i, s) in shots.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"events\": {}, \"best\": {:.0}, \"mean\": {:.0}}}{}\n",
+            s.name,
+            s.events,
+            s.best_events_per_sec,
+            s.mean_events_per_sec,
+            if i + 1 < shots.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    for s in &shots {
+        println!(
+            "{:<16} {:>10} events   best {:>12.0} ev/s   mean {:>12.0} ev/s",
+            s.name, s.events, s.best_events_per_sec, s.mean_events_per_sec
+        );
+    }
+    std::fs::write(&out_path, json).expect("write BENCH_sim.json");
+    println!("wrote {out_path}");
+}

@@ -12,6 +12,7 @@ use legion_substrate::class::{EvolveInstance, SetCurrentImage};
 use legion_substrate::harness::Testbed;
 use legion_substrate::host::HostObject;
 use legion_substrate::monolithic::ExecutableImage;
+use legion_substrate::ControlOp;
 
 use crate::setup::{create_monolithic, fleet_with_components, spawn_class};
 use crate::table::{secs, Table};
@@ -43,15 +44,19 @@ pub fn e4(seed: u64, trials: usize) -> Table {
         bed.control_and_wait(
             admin,
             class,
-            Box::new(SetCurrentImage {
+            ControlOp::new(SetCurrentImage {
                 image: ExecutableImage::new(2, vec![leaf], 550_000),
             }),
         )
         .result
         .expect("image set");
-        bed.control_and_wait(admin, class, Box::new(EvolveInstance { object: instance }))
-            .result
-            .expect("evolved");
+        bed.control_and_wait(
+            admin,
+            class,
+            ControlOp::new(EvolveInstance { object: instance }),
+        )
+        .result
+        .expect("evolved");
         // The stale client call rides through the discovery protocol.
         let completion = bed.call_and_wait(client, instance, "leaf", vec![Value::Int(1)]);
         completion.result.expect("eventually succeeds");
@@ -117,14 +122,17 @@ pub fn e5(seed: u64) -> Table {
             bed.control_and_wait(
                 admin,
                 class,
-                Box::new(SetCurrentImage {
+                ControlOp::new(SetCurrentImage {
                     image: ExecutableImage::new(2, vec![leaf], bytes),
                 }),
             )
             .result
             .expect("image set");
-            let completion =
-                bed.control_and_wait(admin, class, Box::new(EvolveInstance { object: instance }));
+            let completion = bed.control_and_wait(
+                admin,
+                class,
+                ControlOp::new(EvolveInstance { object: instance }),
+            );
             completion.result.expect("evolved");
             secs(completion.elapsed.as_secs_f64())
         } else {
@@ -156,7 +164,7 @@ fn update_elapsed(fleet: &mut Fleet, version: &VersionId) -> f64 {
     let completion = fleet.bed.control_and_wait(
         fleet.driver,
         fleet.manager_obj,
-        Box::new(UpdateInstance { object, to: None }),
+        ControlOp::new(UpdateInstance { object, to: None }),
     );
     completion.result.expect("update succeeds");
     completion.elapsed.as_secs_f64()
@@ -283,14 +291,17 @@ pub fn e6(seed: u64) -> Table {
         bed.control_and_wait(
             admin,
             class,
-            Box::new(SetCurrentImage {
+            ControlOp::new(SetCurrentImage {
                 image: ExecutableImage::new(2, functions, bytes),
             }),
         )
         .result
         .expect("image set");
-        let completion =
-            bed.control_and_wait(admin, class, Box::new(EvolveInstance { object: instance }));
+        let completion = bed.control_and_wait(
+            admin,
+            class,
+            ControlOp::new(EvolveInstance { object: instance }),
+        );
         completion.result.expect("evolved");
         t.row(vec![
             "monolithic replacement".into(),

@@ -9,7 +9,7 @@ use legion_substrate::class::MigrateInstance;
 use legion_substrate::harness::Testbed;
 use legion_substrate::host::HostObject;
 use legion_substrate::monolithic::ExecutableImage;
-use legion_substrate::CostModel;
+use legion_substrate::{ControlOp, CostModel};
 
 use crate::setup::{create_monolithic, fleet_with_components, spawn_class};
 use crate::table::{secs, Table};
@@ -65,7 +65,7 @@ pub fn e8(seed: u64) -> Table {
         let completion = fleet.bed.control_and_wait(
             fleet.driver,
             fleet.manager_obj,
-            Box::new(MigrateDcdo { object, to }),
+            ControlOp::new(MigrateDcdo { object, to }),
         );
         let payload = completion.result.expect("migration succeeds");
         assert!(payload.control_as::<MigrateDone>().is_some());
@@ -96,7 +96,7 @@ pub fn e8(seed: u64) -> Table {
         let completion = bed.control_and_wait(
             admin,
             class,
-            Box::new(MigrateInstance {
+            ControlOp::new(MigrateInstance {
                 object: instance,
                 to,
             }),
@@ -198,7 +198,7 @@ pub fn a1(seed: u64) -> Table {
                 let completion = fleet.bed.control_and_wait(
                     fleet.driver,
                     fleet.manager_obj,
-                    Box::new(dcdo_core::ops::UpdateInstance { object, to: None }),
+                    ControlOp::new(dcdo_core::ops::UpdateInstance { object, to: None }),
                 );
                 completion.result.expect("evolution succeeds");
                 completion.elapsed.as_secs_f64()

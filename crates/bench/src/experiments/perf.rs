@@ -5,7 +5,7 @@ use dcdo_sim::NetConfig;
 use dcdo_types::ObjectId;
 use dcdo_workloads::SuiteSpec;
 use legion_substrate::harness::Testbed;
-use legion_substrate::CostModel;
+use legion_substrate::{ControlOp, CostModel};
 
 use crate::setup::{
     bench_components, create_monolithic, fleet_with_components, mean_latency_secs, spawn_class,
@@ -227,7 +227,7 @@ pub fn e3(seed: u64) -> Table {
         let completion = bed.control_and_wait(
             admin,
             class,
-            Box::new(legion_substrate::class::CreateInstance { node: bed.nodes[3] }),
+            ControlOp::new(legion_substrate::class::CreateInstance { node: bed.nodes[3] }),
         );
         completion.result.expect("creation succeeds");
         completion.elapsed.as_secs_f64()
@@ -246,7 +246,7 @@ pub fn e3(seed: u64) -> Table {
         let completion = fleet.bed.control_and_wait(
             fleet.driver,
             fleet.manager_obj,
-            Box::new(dcdo_core::ops::CreateDcdo { node }),
+            ControlOp::new(dcdo_core::ops::CreateDcdo { node }),
         );
         completion.result.expect("creation succeeds");
         last = completion.elapsed.as_secs_f64();

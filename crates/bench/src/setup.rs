@@ -9,6 +9,7 @@ use dcdo_workloads::{ComponentSuite, SuiteSpec};
 use legion_substrate::class::{ClassObject, CreateInstance, InstanceCreated};
 use legion_substrate::harness::Testbed;
 use legion_substrate::monolithic::ExecutableImage;
+use legion_substrate::ControlOp;
 
 /// A `name() -> int` that performs `k` dynamic calls to `callee` and
 /// returns their sum (each callee returns 1, so the result is `k`).
@@ -108,7 +109,8 @@ pub fn create_monolithic(
     class_obj: ObjectId,
     node: NodeId,
 ) -> ObjectId {
-    let completion = bed.control_and_wait(admin, class_obj, Box::new(CreateInstance { node }));
+    let completion =
+        bed.control_and_wait(admin, class_obj, ControlOp::new(CreateInstance { node }));
     completion
         .result
         .expect("monolithic creation succeeds")

@@ -13,7 +13,7 @@ use bytes::Bytes;
 use dcdo_sim::{Actor, ActorId, Ctx, SimDuration};
 use dcdo_types::{CallId, ComponentId, ImplementationType, ObjectId};
 use dcdo_vm::{ComponentBinary, ComponentDescriptor};
-use legion_substrate::{ControlPayload, CostModel, InvocationFault, Msg};
+use legion_substrate::{ControlOp, CostModel, InvocationFault, Msg};
 
 use crate::ops::{
     ComponentDescriptorReply, ComponentPayload, ReadComponent, ReadComponentDescriptor,
@@ -116,9 +116,9 @@ impl Actor<Msg> for Ico {
                         from,
                         Msg::ControlReply {
                             call,
-                            result: Ok(Box::new(ComponentDescriptorReply {
+                            result: Ok(ControlOp::new(ComponentDescriptorReply {
                                 descriptor: self.descriptor.clone(),
-                            }) as Box<dyn ControlPayload>),
+                            })),
                         },
                     );
                 } else {
@@ -154,10 +154,10 @@ impl Actor<Msg> for Ico {
                 requester,
                 Msg::ControlReply {
                     call,
-                    result: Ok(Box::new(ComponentPayload {
+                    result: Ok(ControlOp::new(ComponentPayload {
                         component: self.component,
                         bytes: self.encoded.clone(),
-                    }) as Box<dyn ControlPayload>),
+                    })),
                 },
             );
         }
@@ -198,7 +198,7 @@ mod tests {
     /// Probe recording control replies.
     #[derive(Default)]
     struct Probe {
-        replies: Vec<Result<Box<dyn ControlPayload>, InvocationFault>>,
+        replies: Vec<Result<ControlOp, InvocationFault>>,
         progress: u32,
     }
 
@@ -228,7 +228,7 @@ mod tests {
             Msg::Control {
                 call: CallId::from_raw(1),
                 target: ico_obj,
-                op: Box::new(ReadComponent),
+                op: ControlOp::new(ReadComponent),
             },
         );
         sim.run_until_idle();
@@ -263,7 +263,7 @@ mod tests {
             Msg::Control {
                 call: CallId::from_raw(1),
                 target: ico_obj,
-                op: Box::new(ReadComponentDescriptor),
+                op: ControlOp::new(ReadComponentDescriptor),
             },
         );
         sim.run_until_idle();

@@ -25,7 +25,7 @@ use dcdo_types::{CallId, ClassId, ImplementationType, ObjectId, VersionId};
 use legion_substrate::binding::{RegisterBinding, UnregisterBinding};
 use legion_substrate::monolithic::{CaptureState, Deactivate, RestoreState, StateBlob};
 use legion_substrate::{
-    Ack, AgentAddress, ControlPayload, CostModel, Handled, InvocationFault, Msg, RpcClient,
+    Ack, AgentAddress, ControlOp, CostModel, Handled, InvocationFault, Msg, RpcClient,
     RpcCompletion,
 };
 
@@ -351,13 +351,7 @@ impl DcdoManager {
         ctx.schedule_timer(delay, token);
     }
 
-    fn rpc_step(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        flow_id: u64,
-        target: ObjectId,
-        op: Box<dyn ControlPayload>,
-    ) {
+    fn rpc_step(&mut self, ctx: &mut Ctx<'_, Msg>, flow_id: u64, target: ObjectId, op: ControlOp) {
         let call = self.rpc.control(ctx, target, op);
         self.rpc_routes.insert(call.as_raw(), flow_id);
     }
@@ -504,7 +498,7 @@ impl DcdoManager {
                     ctx,
                     flow_id,
                     self.agent.object,
-                    Box::new(RegisterBinding {
+                    ControlOp::new(RegisterBinding {
                         object,
                         address: actor,
                     }),
@@ -531,7 +525,7 @@ impl DcdoManager {
             ctx,
             flow_id,
             object,
-            Box::new(ApplyDfmDescriptor { descriptor }),
+            ControlOp::new(ApplyDfmDescriptor { descriptor }),
         );
     }
 
@@ -563,7 +557,7 @@ impl DcdoManager {
                         reply_to,
                         Msg::ControlReply {
                             call,
-                            result: Ok(Box::new(DcdoCreated {
+                            result: Ok(ControlOp::new(DcdoCreated {
                                 object: flow.object,
                                 address,
                                 version: flow.version,
@@ -592,7 +586,7 @@ impl DcdoManager {
                         reply_to,
                         Msg::ControlReply {
                             call,
-                            result: Ok(Box::new(UpdateDone {
+                            result: Ok(ControlOp::new(UpdateDone {
                                 object: flow.object,
                                 version: flow.version,
                             })),
@@ -614,7 +608,7 @@ impl DcdoManager {
                         reply_to,
                         Msg::ControlReply {
                             call,
-                            result: Ok(Box::new(MigrateDone {
+                            result: Ok(ControlOp::new(MigrateDone {
                                 object: flow.object,
                                 address,
                                 version: flow.version,
@@ -633,7 +627,7 @@ impl DcdoManager {
                         reply_to,
                         Msg::ControlReply {
                             call,
-                            result: Ok(Box::new(Ack)),
+                            result: Ok(ControlOp::new(Ack)),
                         },
                     );
                 }
@@ -653,7 +647,7 @@ impl DcdoManager {
                         reply_to,
                         Msg::ControlReply {
                             call,
-                            result: Ok(Box::new(DcdoCreated {
+                            result: Ok(ControlOp::new(DcdoCreated {
                                 object: flow.object,
                                 address,
                                 version: flow.version,
@@ -722,7 +716,7 @@ impl DcdoManager {
                     reply_to,
                     Msg::ControlReply {
                         call,
-                        result: Ok(Box::new(UpdateDone {
+                        result: Ok(ControlOp::new(UpdateDone {
                             object,
                             version: target,
                         })),
@@ -810,7 +804,7 @@ impl DcdoManager {
                 retries: 0,
             },
         );
-        self.rpc_step(ctx, flow_id, object, Box::new(CaptureState));
+        self.rpc_step(ctx, flow_id, object, ControlOp::new(CaptureState));
     }
 
     fn start_deactivate(
@@ -857,7 +851,7 @@ impl DcdoManager {
                 retries: 0,
             },
         );
-        self.rpc_step(ctx, flow_id, object, Box::new(CaptureState));
+        self.rpc_step(ctx, flow_id, object, ControlOp::new(CaptureState));
     }
 
     fn start_activate(
@@ -933,7 +927,7 @@ impl DcdoManager {
                         .incorporate_component(&reply, Some(ico))
                 });
             let wire = match result {
-                Ok(()) => Ok(Box::new(Ack) as Box<dyn ControlPayload>),
+                Ok(()) => Ok(ControlOp::new(Ack)),
                 Err(e) => Err(InvocationFault::Refused(e.to_string())),
             };
             ctx.send(reply_to, Msg::ControlReply { call, result: wire });
@@ -972,7 +966,7 @@ impl DcdoManager {
                     flow.step = MgrStep::Deactivate;
                     flow.object
                 };
-                self.rpc_step(ctx, flow_id, object, Box::new(Deactivate));
+                self.rpc_step(ctx, flow_id, object, ControlOp::new(Deactivate));
             }
             (MgrKind::Migrate, MgrStep::Deactivate) => {
                 self.flows.get_mut(&flow_id).expect("flow exists").step = MgrStep::Spawn;
@@ -989,7 +983,7 @@ impl DcdoManager {
                     ctx,
                     flow_id,
                     object,
-                    Box::new(RestoreState { bytes: state }),
+                    ControlOp::new(RestoreState { bytes: state }),
                 );
             }
             (MgrKind::Migrate, MgrStep::Restore) => {
@@ -1002,7 +996,7 @@ impl DcdoManager {
                     ctx,
                     flow_id,
                     self.agent.object,
-                    Box::new(RegisterBinding { object, address }),
+                    ControlOp::new(RegisterBinding { object, address }),
                 );
             }
             (MgrKind::Migrate, MgrStep::Register) => self.finish_flow(ctx, flow_id),
@@ -1018,7 +1012,7 @@ impl DcdoManager {
                     flow.step = MgrStep::Deactivate;
                     flow.object
                 };
-                self.rpc_step(ctx, flow_id, object, Box::new(Deactivate));
+                self.rpc_step(ctx, flow_id, object, ControlOp::new(Deactivate));
             }
             (MgrKind::Deactivate, MgrStep::Deactivate) => {
                 let object = {
@@ -1030,7 +1024,7 @@ impl DcdoManager {
                     ctx,
                     flow_id,
                     self.agent.object,
-                    Box::new(UnregisterBinding { object }),
+                    ControlOp::new(UnregisterBinding { object }),
                 );
             }
             (MgrKind::Deactivate, MgrStep::Unregister) => self.finish_flow(ctx, flow_id),
@@ -1045,7 +1039,7 @@ impl DcdoManager {
                     ctx,
                     flow_id,
                     object,
-                    Box::new(RestoreState { bytes: state }),
+                    ControlOp::new(RestoreState { bytes: state }),
                 );
             }
             (MgrKind::Activate, MgrStep::Restore) => {
@@ -1058,7 +1052,7 @@ impl DcdoManager {
                     ctx,
                     flow_id,
                     self.agent.object,
-                    Box::new(RegisterBinding { object, address }),
+                    ControlOp::new(RegisterBinding { object, address }),
                 );
             }
             (MgrKind::Activate, MgrStep::Register) => self.finish_flow(ctx, flow_id),
@@ -1094,7 +1088,7 @@ impl DcdoManager {
             }
             let rpc_call = self
                 .rpc
-                .control(ctx, ico, Box::new(ReadComponentDescriptor));
+                .control(ctx, ico, ControlOp::new(ReadComponentDescriptor));
             self.pending_incorporations
                 .insert(rpc_call.as_raw(), (from, call, cfg.version.clone(), ico));
             return;
@@ -1126,7 +1120,7 @@ impl DcdoManager {
                 } => d.set_visibility(function, *visibility),
             });
         let wire = match result {
-            Ok(()) => Ok(Box::new(Ack) as Box<dyn ControlPayload>),
+            Ok(()) => Ok(ControlOp::new(Ack)),
             Err(e) => Err(InvocationFault::Refused(e.to_string())),
         };
         ctx.send(from, Msg::ControlReply { call, result: wire });
@@ -1137,7 +1131,7 @@ impl DcdoManager {
         ctx: &mut Ctx<'_, Msg>,
         from: ActorId,
         call: CallId,
-        op: Box<dyn ControlPayload>,
+        op: ControlOp,
     ) {
         if let Some(create) = op.as_any().downcast_ref::<CreateDcdo>() {
             self.start_create(ctx, from, call, create.node);
@@ -1163,15 +1157,15 @@ impl DcdoManager {
             self.handle_configure(ctx, from, call, cfg);
             return;
         }
-        let result: Result<Box<dyn ControlPayload>, InvocationFault> =
+        let result: Result<ControlOp, InvocationFault> =
             if let Some(derive) = op.as_any().downcast_ref::<DeriveVersion>() {
                 match self.derive_version(&derive.from) {
-                    Ok(version) => Ok(Box::new(DerivedVersion { version })),
+                    Ok(version) => Ok(ControlOp::new(DerivedVersion { version })),
                     Err(e) => Err(InvocationFault::Refused(e.to_string())),
                 }
             } else if let Some(mark) = op.as_any().downcast_ref::<MarkInstantiable>() {
                 match self.mark_instantiable(&mark.version) {
-                    Ok(()) => Ok(Box::new(Ack)),
+                    Ok(()) => Ok(ControlOp::new(Ack)),
                     Err(e) => Err(InvocationFault::Refused(e.to_string())),
                 }
             } else if let Some(set) = op.as_any().downcast_ref::<SetCurrentVersion>() {
@@ -1190,7 +1184,7 @@ impl DcdoManager {
                                 self.start_update(ctx, None, object, None);
                             }
                         }
-                        Ok(Box::new(Ack))
+                        Ok(ControlOp::new(Ack))
                     }
                     Some(_) => Err(InvocationFault::Refused(
                         ConfigError::VersionNotInstantiable(set.version.clone()).to_string(),
@@ -1212,7 +1206,7 @@ impl DcdoManager {
                 };
                 // Optimistically record the promise; the DCDO confirms with
                 // ReportVersion once the evolution lands.
-                Ok(Box::new(VersionCheckReply {
+                Ok(ControlOp::new(VersionCheckReply {
                     up_to_date,
                     descriptor,
                 }))
@@ -1220,9 +1214,9 @@ impl DcdoManager {
                 if let Some(info) = self.table.get_mut(&report.object) {
                     info.version = report.version.clone();
                 }
-                Ok(Box::new(Ack))
+                Ok(ControlOp::new(Ack))
             } else if op.as_any().downcast_ref::<ListVersions>().is_some() {
-                Ok(Box::new(VersionTable {
+                Ok(ControlOp::new(VersionTable {
                     entries: self
                         .store
                         .iter()
@@ -1238,12 +1232,12 @@ impl DcdoManager {
                     current: self.current.clone(),
                 }))
             } else if op.as_any().downcast_ref::<ListDcdos>().is_some() {
-                Ok(Box::new(DcdoTable {
+                Ok(ControlOp::new(DcdoTable {
                     entries: self.instances(),
                 }))
             } else if let Some(q) = op.as_any().downcast_ref::<QueryVersionInfo>() {
                 match self.store.get(&q.version) {
-                    Some(entry) => Ok(Box::new(VersionInfo {
+                    Some(entry) => Ok(ControlOp::new(VersionInfo {
                         version: q.version.clone(),
                         instantiable: entry.instantiable,
                         descriptor: entry.descriptor.clone(),

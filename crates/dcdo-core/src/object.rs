@@ -32,7 +32,7 @@ use dcdo_vm::{ComponentBinary, NativeRegistry, Value, ValueStore};
 use legion_substrate::host::{ComponentData, FetchComponentData, StoreComponentData};
 use legion_substrate::monolithic::{CaptureState, Deactivate, RestoreState, StateBlob};
 use legion_substrate::{
-    Ack, ControlPayload, CostModel, Handled, InvocationFault, Msg, RpcClient, RpcCompletion,
+    Ack, ControlOp, CostModel, Handled, InvocationFault, Msg, RpcClient, RpcCompletion,
 };
 
 use crate::dfm::Dfm;
@@ -250,7 +250,7 @@ impl DcdoObject {
         let call = self.rpc.control(
             ctx,
             self.manager,
-            Box::new(CheckVersion {
+            ControlOp::new(CheckVersion {
                 object: self.object,
                 current: self.dfm.version().clone(),
             }),
@@ -312,15 +312,15 @@ impl DcdoObject {
                     let call = self.rpc.control(
                         ctx,
                         self.host,
-                        Box::new(FetchComponentData { component }),
+                        ControlOp::new(FetchComponentData { component }),
                     );
                     self.rpc_routes.insert(call.as_raw(), flow_id);
                 }
                 None => {
                     flow.fetching = Some(FetchStage::Descriptor { ico: item.ico });
-                    let call = self
-                        .rpc
-                        .control(ctx, item.ico, Box::new(ReadComponentDescriptor));
+                    let call =
+                        self.rpc
+                            .control(ctx, item.ico, ControlOp::new(ReadComponentDescriptor));
                     self.rpc_routes.insert(call.as_raw(), flow_id);
                 }
             }
@@ -434,7 +434,7 @@ impl DcdoObject {
                 let call = self.rpc.control(
                     ctx,
                     self.manager,
-                    Box::new(crate::ops::ReportVersion {
+                    ControlOp::new(crate::ops::ReportVersion {
                         object: self.object,
                         version: self.dfm.version().clone(),
                     }),
@@ -447,7 +447,7 @@ impl DcdoObject {
         }
         if let Some((reply_to, call)) = flow.reply {
             let reply = match result {
-                Ok(()) => Ok(Box::new(Ack) as Box<dyn ControlPayload>),
+                Ok(()) => Ok(ControlOp::new(Ack)),
                 Err(e) => Err(InvocationFault::Refused(e.to_string())),
             };
             ctx.send(
@@ -532,9 +532,11 @@ impl DcdoObject {
                 }
                 let flow = self.flows.get_mut(&flow_id).expect("flow exists");
                 flow.fetching = Some(FetchStage::HostCheck { component, ico });
-                let call =
-                    self.rpc
-                        .control(ctx, self.host, Box::new(FetchComponentData { component }));
+                let call = self.rpc.control(
+                    ctx,
+                    self.host,
+                    ControlOp::new(FetchComponentData { component }),
+                );
                 self.rpc_routes.insert(call.as_raw(), flow_id);
             }
             Some(FetchStage::HostCheck { component, ico }) => {
@@ -550,7 +552,7 @@ impl DcdoObject {
                         ctx.metrics().incr("dcdo.component_cache_misses");
                         let flow = self.flows.get_mut(&flow_id).expect("flow exists");
                         flow.fetching = Some(FetchStage::IcoRead { component });
-                        let call = self.rpc.control(ctx, ico, Box::new(ReadComponent));
+                        let call = self.rpc.control(ctx, ico, ControlOp::new(ReadComponent));
                         self.rpc_routes.insert(call.as_raw(), flow_id);
                     }
                 }
@@ -578,7 +580,7 @@ impl DcdoObject {
                 let call = self.rpc.control(
                     ctx,
                     self.host,
-                    Box::new(StoreComponentData { component, bytes }),
+                    ControlOp::new(StoreComponentData { component, bytes }),
                 );
                 self.rpc_routes.insert(call.as_raw(), flow_id);
             }
@@ -734,7 +736,7 @@ impl DcdoObject {
         ctx: &mut Ctx<'_, Msg>,
         from: ActorId,
         call: CallId,
-        op: Box<dyn ControlPayload>,
+        op: ControlOp,
     ) {
         // Multi-step configuration functions.
         if let Some(inc) = op.as_any().downcast_ref::<IncorporateComponent>() {
@@ -794,7 +796,7 @@ impl DcdoObject {
         }
 
         // Synchronous configuration and status functions.
-        let result: Result<Box<dyn ControlPayload>, InvocationFault> =
+        let result: Result<ControlOp, InvocationFault> =
             if let Some(en) = op.as_any().downcast_ref::<EnableFunction>() {
                 let r = self.dfm.enable_function(&en.function, en.component);
                 self.config_result(r)
@@ -812,12 +814,12 @@ impl DcdoObject {
                 self.config_result(r)
             } else if let Some(p) = op.as_any().downcast_ref::<SetRemovalPolicy>() {
                 self.removal_policy = p.policy;
-                Ok(Box::new(Ack))
+                Ok(ControlOp::new(Ack))
             } else if let Some(l) = op.as_any().downcast_ref::<SetLazyCheck>() {
                 self.lazy = l.mode;
-                Ok(Box::new(Ack))
+                Ok(ControlOp::new(Ack))
             } else if op.as_any().downcast_ref::<QueryInterface>().is_some() {
-                Ok(Box::new(InterfaceReport {
+                Ok(ControlOp::new(InterfaceReport {
                     functions: self
                         .dfm
                         .descriptor()
@@ -827,7 +829,7 @@ impl DcdoObject {
                         .collect(),
                 }))
             } else if op.as_any().downcast_ref::<QueryImplementation>().is_some() {
-                Ok(Box::new(ImplementationReport {
+                Ok(ControlOp::new(ImplementationReport {
                     version: self.dfm.version().clone(),
                     components: self.dfm.descriptor().components().map(|(c, _)| c).collect(),
                     impl_type: self.impl_type,
@@ -840,7 +842,7 @@ impl DcdoObject {
                     .iter()
                     .map(|c| self.dfm.active_threads(&q.function, *c))
                     .sum();
-                Ok(Box::new(FunctionStatusReport {
+                Ok(ControlOp::new(FunctionStatusReport {
                     function: q.function.clone(),
                     present: record.is_some(),
                     enabled: record.and_then(|r| r.enabled()),
@@ -850,21 +852,21 @@ impl DcdoObject {
                     implementations,
                 }))
             } else if op.as_any().downcast_ref::<CaptureState>().is_some() {
-                Ok(Box::new(StateBlob {
+                Ok(ControlOp::new(StateBlob {
                     bytes: self.state.capture(),
                 }))
             } else if let Some(restore) = op.as_any().downcast_ref::<RestoreState>() {
                 match ValueStore::restore(restore.bytes.clone()) {
                     Ok(state) => {
                         self.state = state;
-                        Ok(Box::new(Ack))
+                        Ok(ControlOp::new(Ack))
                     }
                     Err(e) => Err(InvocationFault::Refused(format!("bad state blob: {e}"))),
                 }
             } else if op.as_any().downcast_ref::<Deactivate>().is_some() {
                 let me = ctx.self_id();
                 ctx.kill(me);
-                Ok(Box::new(Ack))
+                Ok(ControlOp::new(Ack))
             } else {
                 Err(InvocationFault::Refused(format!(
                     "DCDO does not understand {}",
@@ -882,14 +884,11 @@ impl DcdoObject {
         self.dfm.with_descriptor_mut(f)
     }
 
-    fn config_result(
-        &mut self,
-        r: Result<(), ConfigError>,
-    ) -> Result<Box<dyn ControlPayload>, InvocationFault> {
+    fn config_result(&mut self, r: Result<(), ConfigError>) -> Result<ControlOp, InvocationFault> {
         match r {
             Ok(()) => {
                 self.config_ops_applied += 1;
-                Ok(Box::new(Ack))
+                Ok(ControlOp::new(Ack))
             }
             Err(e) => Err(InvocationFault::Refused(e.to_string())),
         }

@@ -580,13 +580,13 @@ control_payload!(
 
 #[cfg(test)]
 mod tests {
-    use legion_substrate::ControlPayload;
+    use legion_substrate::{ControlOp, ControlPayload};
 
     use super::*;
 
     #[test]
     fn payloads_downcast_and_describe() {
-        let op: Box<dyn ControlPayload> = Box::new(EnableFunction {
+        let op: ControlOp = ControlOp::new(EnableFunction {
             function: "f".into(),
             component: ComponentId::from_raw(1),
         });

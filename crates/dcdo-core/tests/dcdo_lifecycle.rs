@@ -18,7 +18,7 @@ use dcdo_vm::{ComponentBinary, ComponentBuilder, FunctionBuilder, Value};
 use legion_substrate::class::{ClassObject, CreateInstance, InstanceCreated};
 use legion_substrate::harness::Testbed;
 use legion_substrate::monolithic::ExecutableImage;
-use legion_substrate::InvocationFault;
+use legion_substrate::{ControlOp, InvocationFault};
 
 // ---- scenario components ----------------------------------------------------
 
@@ -140,12 +140,12 @@ impl Scenario {
         ico_obj
     }
 
-    fn mgr_ok(&mut self, op: Box<dyn legion_substrate::ControlPayload>) {
+    fn mgr_ok(&mut self, op: ControlOp) {
         let completion = self.bed.control_and_wait(self.client, self.manager_obj, op);
         completion.result.expect("manager op succeeds");
     }
 
-    fn mgr_err(&mut self, op: Box<dyn legion_substrate::ControlPayload>) -> InvocationFault {
+    fn mgr_err(&mut self, op: ControlOp) -> InvocationFault {
         let completion = self.bed.control_and_wait(self.client, self.manager_obj, op);
         completion.result.expect_err("manager op should fail")
     }
@@ -154,7 +154,7 @@ impl Scenario {
         let completion = self.bed.control_and_wait(
             self.client,
             self.manager_obj,
-            Box::new(DeriveVersion {
+            ControlOp::new(DeriveVersion {
                 from: from.parse().expect("version"),
             }),
         );
@@ -168,26 +168,28 @@ impl Scenario {
     }
 
     fn configure(&mut self, version: &VersionId, op: VersionConfigOp) {
-        self.mgr_ok(Box::new(ConfigureVersion {
+        self.mgr_ok(ControlOp::new(ConfigureVersion {
             version: version.clone(),
             op,
         }));
     }
 
     fn mark_and_set_current(&mut self, version: &VersionId) {
-        self.mgr_ok(Box::new(MarkInstantiable {
+        self.mgr_ok(ControlOp::new(MarkInstantiable {
             version: version.clone(),
         }));
-        self.mgr_ok(Box::new(SetCurrentVersion {
+        self.mgr_ok(ControlOp::new(SetCurrentVersion {
             version: version.clone(),
         }));
     }
 
     fn create_dcdo(&mut self, node: usize) -> (ObjectId, dcdo_sim::ActorId) {
         let node = self.bed.nodes[node];
-        let completion =
-            self.bed
-                .control_and_wait(self.client, self.manager_obj, Box::new(CreateDcdo { node }));
+        let completion = self.bed.control_and_wait(
+            self.client,
+            self.manager_obj,
+            ControlOp::new(CreateDcdo { node }),
+        );
         let payload = completion.result.expect("creation succeeds");
         let created = payload.control_as::<DcdoCreated>().expect("dcdo-created");
         (created.object, created.address)
@@ -259,12 +261,12 @@ fn manager_version_workflow_and_first_invocations() {
 fn cannot_instantiate_or_evolve_to_configurable_versions() {
     let mut s = Scenario::new(2, VersionPolicy::SingleVersion, UpdatePropagation::Explicit);
     // Root "1" is configurable, not instantiable: creation must fail.
-    let err = s.mgr_err(Box::new(CreateDcdo {
+    let err = s.mgr_err(ControlOp::new(CreateDcdo {
         node: s.bed.nodes[1],
     }));
     assert!(err.to_string().contains("not marked instantiable"), "{err}");
     // SetCurrentVersion to a configurable version also fails.
-    let err = s.mgr_err(Box::new(SetCurrentVersion {
+    let err = s.mgr_err(ControlOp::new(SetCurrentVersion {
         version: "1".parse().expect("version"),
     }));
     assert!(err.to_string().contains("not marked instantiable"), "{err}");
@@ -276,7 +278,7 @@ fn instantiable_versions_are_frozen() {
     let completion = s.bed.control_and_wait(
         s.client,
         s.manager_obj,
-        Box::new(ConfigureVersion {
+        ControlOp::new(ConfigureVersion {
             version: v,
             op: VersionConfigOp::DisableFunction {
                 function: "get".into(),
@@ -310,7 +312,7 @@ fn evolution_replaces_internal_function_on_the_fly() {
     let completion = s.bed.control_and_wait(
         s.client,
         s.manager_obj,
-        Box::new(UpdateInstance {
+        ControlOp::new(UpdateInstance {
             object: dcdo,
             to: None,
         }),
@@ -353,7 +355,7 @@ fn reconfiguration_only_evolution_is_fast_and_component_evolution_is_cheap() {
     let completion = s.bed.control_and_wait(
         s.client,
         s.manager_obj,
-        Box::new(UpdateInstance {
+        ControlOp::new(UpdateInstance {
             object: dcdo,
             to: None,
         }),
@@ -382,7 +384,7 @@ fn reconfiguration_only_evolution_is_fast_and_component_evolution_is_cheap() {
     let completion = s.bed.control_and_wait(
         s.client,
         s.manager_obj,
-        Box::new(UpdateInstance {
+        ControlOp::new(UpdateInstance {
             object: dcdo,
             to: None,
         }),
@@ -413,7 +415,7 @@ fn dcdo_evolution_beats_monolithic_evolution_dramatically() {
     let dcdo_completion = s.bed.control_and_wait(
         s.client,
         s.manager_obj,
-        Box::new(UpdateInstance {
+        ControlOp::new(UpdateInstance {
             object: dcdo,
             to: None,
         }),
@@ -444,7 +446,7 @@ fn dcdo_evolution_beats_monolithic_evolution_dramatically() {
     let created = s.bed.control_and_wait(
         s.client,
         class_obj,
-        Box::new(CreateInstance {
+        ControlOp::new(CreateInstance {
             node: s.bed.nodes[4],
         }),
     );
@@ -467,14 +469,14 @@ fn dcdo_evolution_beats_monolithic_evolution_dramatically() {
         .control_and_wait(
             s.client,
             class_obj,
-            Box::new(legion_substrate::class::SetCurrentImage { image: image_v2 }),
+            ControlOp::new(legion_substrate::class::SetCurrentImage { image: image_v2 }),
         )
         .result
         .expect("image set");
     let mono_completion = s.bed.control_and_wait(
         s.client,
         class_obj,
-        Box::new(legion_substrate::class::EvolveInstance { object: instance }),
+        ControlOp::new(legion_substrate::class::EvolveInstance { object: instance }),
     );
     let mono_time = mono_completion.elapsed;
     assert!(mono_completion.result.is_ok());
@@ -502,7 +504,7 @@ fn missing_internal_function_problem_reproduced_without_restrictions() {
         },
     );
     s.mark_and_set_current(&v2);
-    s.mgr_ok(Box::new(UpdateInstance {
+    s.mgr_ok(ControlOp::new(UpdateInstance {
         object: dcdo,
         to: None,
     }));
@@ -525,7 +527,7 @@ fn structural_dependencies_prevent_the_missing_function_problem() {
     let completion = s.bed.control_and_wait(
         s.client,
         s.manager_obj,
-        Box::new(ConfigureVersion {
+        ControlOp::new(ConfigureVersion {
             version: v2,
             op: VersionConfigOp::DisableFunction {
                 function: "step".into(),
@@ -557,7 +559,7 @@ fn mandatory_protection_survives_derivation() {
     let completion = s.bed.control_and_wait(
         s.client,
         s.manager_obj,
-        Box::new(ConfigureVersion {
+        ControlOp::new(ConfigureVersion {
             version: v3.clone(),
             op: VersionConfigOp::DisableFunction {
                 function: "incr".into(),
@@ -566,7 +568,7 @@ fn mandatory_protection_survives_derivation() {
     );
     assert!(completion.result.is_err(), "mandatory blocks the disable");
     // ...and it can still be marked instantiable with incr intact.
-    s.mgr_ok(Box::new(MarkInstantiable { version: v3 }));
+    s.mgr_ok(ControlOp::new(MarkInstantiable { version: v3 }));
 }
 
 #[test]
@@ -576,7 +578,7 @@ fn disappearing_exported_function_as_seen_by_a_client() {
     let (mut s, dcdo, _v) = Scenario::with_counter(10, false);
     let completion = s
         .bed
-        .control_and_wait(s.client, dcdo, Box::new(QueryInterface));
+        .control_and_wait(s.client, dcdo, ControlOp::new(QueryInterface));
     let payload = completion.result.expect("interface");
     let report = payload.control_as::<InterfaceReport>().expect("report");
     assert!(report
@@ -590,7 +592,7 @@ fn disappearing_exported_function_as_seen_by_a_client() {
         .control_and_wait(
             s.client,
             dcdo,
-            Box::new(DisableFunction {
+            ControlOp::new(DisableFunction {
                 function: "get".into(),
             }),
         )
@@ -608,13 +610,13 @@ fn incorporate_component_directly_on_live_object() {
     let ico = s.publish_component(&relay, 3);
     // incorporateComponent() on the DCDO itself (§2.2).
     s.bed
-        .control_and_wait(s.client, dcdo, Box::new(IncorporateComponent { ico }))
+        .control_and_wait(s.client, dcdo, ControlOp::new(IncorporateComponent { ico }))
         .result
         .expect("incorporation succeeds");
     // The function is present but not yet enabled.
     let completion = s
         .bed
-        .control_and_wait(s.client, dcdo, Box::new(QueryImplementation));
+        .control_and_wait(s.client, dcdo, ControlOp::new(QueryImplementation));
     let payload = completion.result.expect("implementation");
     let report = payload
         .control_as::<ImplementationReport>()
@@ -653,7 +655,7 @@ fn thread_activity_monitoring_gates_component_removal() {
         let completion = s.bed.control_and_wait(
             s.client,
             class_obj,
-            Box::new(CreateInstance {
+            ControlOp::new(CreateInstance {
                 node: s.bed.nodes[2],
             }),
         );
@@ -678,7 +680,7 @@ fn thread_activity_monitoring_gates_component_removal() {
         },
     );
     s.mark_and_set_current(&v2);
-    s.mgr_ok(Box::new(UpdateInstance {
+    s.mgr_ok(ControlOp::new(UpdateInstance {
         object: dcdo,
         to: None,
     }));
@@ -693,7 +695,7 @@ fn thread_activity_monitoring_gates_component_removal() {
     let completion = s.bed.control_and_wait(
         s.client,
         dcdo,
-        Box::new(RemoveComponent {
+        ControlOp::new(RemoveComponent {
             component: ComponentId::from_raw(3),
         }),
     );
@@ -706,7 +708,7 @@ fn thread_activity_monitoring_gates_component_removal() {
         .control_and_wait(
             s.client,
             dcdo,
-            Box::new(SetRemovalPolicy {
+            ControlOp::new(SetRemovalPolicy {
                 policy: RemovalPolicy::DelayUntilIdle,
             }),
         )
@@ -715,7 +717,7 @@ fn thread_activity_monitoring_gates_component_removal() {
     let removal = s.bed.client_control(
         s.client,
         dcdo,
-        Box::new(RemoveComponent {
+        ControlOp::new(RemoveComponent {
             component: ComponentId::from_raw(3),
         }),
     );
@@ -759,7 +761,7 @@ fn forced_removal_aborts_suspended_threads() {
         let completion = s.bed.control_and_wait(
             s.client,
             class_obj,
-            Box::new(CreateInstance {
+            ControlOp::new(CreateInstance {
                 node: s.bed.nodes[2],
             }),
         );
@@ -782,7 +784,7 @@ fn forced_removal_aborts_suspended_threads() {
         },
     );
     s.mark_and_set_current(&v2);
-    s.mgr_ok(Box::new(UpdateInstance {
+    s.mgr_ok(ControlOp::new(UpdateInstance {
         object: dcdo,
         to: None,
     }));
@@ -795,7 +797,7 @@ fn forced_removal_aborts_suspended_threads() {
         .control_and_wait(
             s.client,
             dcdo,
-            Box::new(SetRemovalPolicy {
+            ControlOp::new(SetRemovalPolicy {
                 policy: RemovalPolicy::ForceAfter(SimDuration::from_secs(1)),
             }),
         )
@@ -804,7 +806,7 @@ fn forced_removal_aborts_suspended_threads() {
     let removal = s.bed.client_control(
         s.client,
         dcdo,
-        Box::new(RemoveComponent {
+        ControlOp::new(RemoveComponent {
             component: ComponentId::from_raw(3),
         }),
     );
@@ -834,7 +836,7 @@ fn lazy_every_call_updates_before_serving() {
         .control_and_wait(
             s.client,
             dcdo,
-            Box::new(SetLazyCheck {
+            ControlOp::new(SetLazyCheck {
                 mode: LazyCheck::EveryCall,
             }),
         )
@@ -864,7 +866,7 @@ fn lazy_every_call_updates_before_serving() {
     // The manager's table reflects the self-update (ReportVersion).
     let completion = s
         .bed
-        .control_and_wait(s.client, s.manager_obj, Box::new(ListDcdos));
+        .control_and_wait(s.client, s.manager_obj, ControlOp::new(ListDcdos));
     let payload = completion.result.expect("list");
     let table = payload.control_as::<DcdoTable>().expect("table");
     assert_eq!(table.entries[0].1, v2);
@@ -951,10 +953,10 @@ fn increasing_version_policy_refuses_cross_branch_evolution() {
     // A sibling branch 1.2 (not derived from 1.1; the empty root makes it
     // trivially instantiable).
     let v12 = s.derive("1");
-    s.mgr_ok(Box::new(MarkInstantiable {
+    s.mgr_ok(ControlOp::new(MarkInstantiable {
         version: v12.clone(),
     }));
-    let err = s.mgr_err(Box::new(UpdateInstance {
+    let err = s.mgr_err(ControlOp::new(UpdateInstance {
         object: dcdo,
         to: Some(v12),
     }));
@@ -968,10 +970,10 @@ fn increasing_version_policy_refuses_cross_branch_evolution() {
             function: "get".into(),
         },
     );
-    s.mgr_ok(Box::new(MarkInstantiable {
+    s.mgr_ok(ControlOp::new(MarkInstantiable {
         version: v111.clone(),
     }));
-    s.mgr_ok(Box::new(UpdateInstance {
+    s.mgr_ok(ControlOp::new(UpdateInstance {
         object: dcdo,
         to: Some(v111),
     }));
@@ -1007,7 +1009,7 @@ fn no_update_policy_freezes_existing_instances() {
         },
     );
     s.mark_and_set_current(&v2);
-    let err = s.mgr_err(Box::new(UpdateInstance {
+    let err = s.mgr_err(ControlOp::new(UpdateInstance {
         object: dcdo,
         to: None,
     }));
@@ -1025,7 +1027,7 @@ fn check_version_answers_lazy_pollers() {
     let completion = s.bed.control_and_wait(
         s.client,
         s.manager_obj,
-        Box::new(CheckVersion {
+        ControlOp::new(CheckVersion {
             object: dcdo,
             current: v1.clone(),
         }),
@@ -1055,7 +1057,7 @@ fn apply_descriptor_rejects_component_without_ico() {
     let completion = s.bed.control_and_wait(
         s.client,
         dcdo,
-        Box::new(ApplyDfmDescriptor { descriptor: target }),
+        ControlOp::new(ApplyDfmDescriptor { descriptor: target }),
     );
     let err = completion.result.expect_err("refused");
     assert!(err.to_string().contains("no ICO"), "{err}");
@@ -1078,7 +1080,7 @@ fn dcdo_migration_preserves_state_and_updates_the_table() {
     let completion = s.bed.control_and_wait(
         s.client,
         s.manager_obj,
-        Box::new(dcdo_core::ops::MigrateDcdo { object: dcdo, to }),
+        ControlOp::new(dcdo_core::ops::MigrateDcdo { object: dcdo, to }),
     );
     let payload = completion.result.expect("migration succeeds");
     let done = payload
@@ -1183,9 +1185,9 @@ fn native_components_cannot_map_onto_the_wrong_architecture() {
 
     // ...but on the Alpha node the mapping is refused.
     let node = s.bed.nodes[8];
-    let completion = s
-        .bed
-        .control_and_wait(s.client, s.manager_obj, Box::new(CreateDcdo { node }));
+    let completion =
+        s.bed
+            .control_and_wait(s.client, s.manager_obj, ControlOp::new(CreateDcdo { node }));
     let err = completion.result.expect_err("creation fails on Alpha");
     assert!(
         err.to_string().contains("cannot run on a alpha host"),
@@ -1206,17 +1208,19 @@ fn deactivation_parks_state_and_reactivation_restores_it() {
     let completion = s.bed.control_and_wait(
         s.client,
         s.manager_obj,
-        Box::new(dcdo_core::ops::DeactivateDcdo { object: dcdo }),
+        ControlOp::new(dcdo_core::ops::DeactivateDcdo { object: dcdo }),
     );
     completion.result.expect("deactivation succeeds");
 
     // While deactivated: calls cannot reach it, and updates are refused.
-    let err = s.mgr_err(Box::new(UpdateInstance {
+    let err = s.mgr_err(ControlOp::new(UpdateInstance {
         object: dcdo,
         to: None,
     }));
     assert!(err.to_string().contains("deactivated"), "{err}");
-    let err = s.mgr_err(Box::new(dcdo_core::ops::DeactivateDcdo { object: dcdo }));
+    let err = s.mgr_err(ControlOp::new(dcdo_core::ops::DeactivateDcdo {
+        object: dcdo,
+    }));
     assert!(err.to_string().contains("already deactivated"), "{err}");
 
     // Reactivate on a different node.
@@ -1224,7 +1228,7 @@ fn deactivation_parks_state_and_reactivation_restores_it() {
     let completion = s.bed.control_and_wait(
         s.client,
         s.manager_obj,
-        Box::new(dcdo_core::ops::ActivateDcdo {
+        ControlOp::new(dcdo_core::ops::ActivateDcdo {
             object: dcdo,
             node: Some(node),
         }),
@@ -1244,7 +1248,7 @@ fn deactivation_parks_state_and_reactivation_restores_it() {
     assert_eq!(count, dcdo_vm::Value::Int(8));
 
     // Activating an active instance is refused.
-    let err = s.mgr_err(Box::new(dcdo_core::ops::ActivateDcdo {
+    let err = s.mgr_err(ControlOp::new(dcdo_core::ops::ActivateDcdo {
         object: dcdo,
         node: None,
     }));
@@ -1286,7 +1290,7 @@ fn invocations_during_a_slow_evolution_see_the_old_version_until_the_swap() {
     let update = s.bed.client_control(
         s.client,
         s.manager_obj,
-        Box::new(UpdateInstance {
+        ControlOp::new(UpdateInstance {
             object: dcdo,
             to: None,
         }),

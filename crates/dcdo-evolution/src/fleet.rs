@@ -20,7 +20,7 @@ use dcdo_sim::{ActorId, SimDuration};
 use dcdo_types::{ClassId, ObjectId, VersionId};
 use dcdo_vm::ComponentBinary;
 use legion_substrate::harness::Testbed;
-use legion_substrate::ControlPayload;
+use legion_substrate::ControlOp;
 
 use crate::strategy::Strategy;
 
@@ -135,12 +135,12 @@ impl Fleet {
         &self.current
     }
 
-    fn control(&mut self, target: ObjectId, op: Box<dyn ControlPayload>) -> Result<(), String> {
+    fn control(&mut self, target: ObjectId, op: ControlOp) -> Result<(), String> {
         let completion = self.bed.control_and_wait(self.driver, target, op);
         completion.result.map(|_| ()).map_err(|e| e.to_string())
     }
 
-    fn control_expect(&mut self, target: ObjectId, op: Box<dyn ControlPayload>) {
+    fn control_expect(&mut self, target: ObjectId, op: ControlOp) {
         if let Err(e) = self.control(target, op) {
             panic!("fleet control op failed: {e}");
         }
@@ -168,7 +168,7 @@ impl Fleet {
         let completion = self.bed.control_and_wait(
             self.driver,
             self.manager_obj,
-            Box::new(DeriveVersion { from: from.clone() }),
+            ControlOp::new(DeriveVersion { from: from.clone() }),
         );
         let version = completion
             .result
@@ -181,7 +181,7 @@ impl Fleet {
             let mgr = self.manager_obj;
             self.control_expect(
                 mgr,
-                Box::new(ConfigureVersion {
+                ControlOp::new(ConfigureVersion {
                     version: version.clone(),
                     op,
                 }),
@@ -190,7 +190,7 @@ impl Fleet {
         let mgr = self.manager_obj;
         self.control_expect(
             mgr,
-            Box::new(MarkInstantiable {
+            ControlOp::new(MarkInstantiable {
                 version: version.clone(),
             }),
         );
@@ -203,7 +203,7 @@ impl Fleet {
         let mgr = self.manager_obj;
         self.control_expect(
             mgr,
-            Box::new(SetCurrentVersion {
+            ControlOp::new(SetCurrentVersion {
                 version: version.clone(),
             }),
         );
@@ -219,13 +219,13 @@ impl Fleet {
             let completion = self.bed.control_and_wait(
                 self.driver,
                 self.manager_obj,
-                Box::new(CreateDcdo { node }),
+                ControlOp::new(CreateDcdo { node }),
             );
             let payload = completion.result.expect("creation succeeds");
             let created = payload.control_as::<DcdoCreated>().expect("dcdo-created");
             let (object, address) = (created.object, created.address);
             if lazy != LazyCheck::Never {
-                self.control_expect(object, Box::new(SetLazyCheck { mode: lazy }));
+                self.control_expect(object, ControlOp::new(SetLazyCheck { mode: lazy }));
             }
             self.instances.push((object, address));
         }
@@ -240,7 +240,7 @@ impl Fleet {
         for (object, _) in self.instances.clone() {
             let mgr = self.manager_obj;
             if self
-                .control(mgr, Box::new(UpdateInstance { object, to: None }))
+                .control(mgr, ControlOp::new(UpdateInstance { object, to: None }))
                 .is_ok()
             {
                 accepted += 1;

@@ -9,12 +9,11 @@
 //! seeded RNG makes whole simulations deterministic.
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
 use crate::metrics::Metrics;
 use crate::net::{DeliveryPlan, NetConfig, Network, NodeId};
+use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent};
@@ -59,6 +58,20 @@ pub trait Payload: 'static {
     fn wire_size(&self) -> u64 {
         64
     }
+
+    /// Clones the message for duplicate delivery (fault injection).
+    ///
+    /// The default returns `None`, keeping `Clone` optional for payload
+    /// types: the engine then models a planned duplicate as a single
+    /// delivery at the later of the two arrival times. Types that are
+    /// cheaply clonable (e.g. with `Arc`-shared bodies) should return
+    /// `Some(clone)` to get true double delivery.
+    fn clone_for_redelivery(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// An active entity of the simulation.
@@ -94,33 +107,6 @@ enum EventKind<M> {
         id: TimerId,
         token: u64,
     },
-}
-
-struct Scheduled<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<M> Eq for Scheduled<M> {}
-
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so earliest (time, seq) pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
 }
 
 /// The handle through which an actor (or a driver) interacts with the engine.
@@ -167,10 +153,11 @@ impl<'a, M: Payload> Ctx<'a, M> {
         self.sim.schedule_timer_for(self.self_id, delay, token)
     }
 
-    /// Cancels a previously scheduled timer. Cancelling an already-fired or
-    /// unknown timer is a no-op.
+    /// Cancels a previously scheduled timer, removing it from the event
+    /// queue immediately. Cancelling an already-fired or unknown timer is a
+    /// no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        self.sim.cancelled_timers.insert(id.0);
+        self.sim.queue.cancel_timer(id.0);
     }
 
     /// Returns the simulation's random-number generator.
@@ -244,13 +231,12 @@ enum Slot<M> {
 pub struct Simulation<M: Payload> {
     time: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled<M>>,
+    queue: EventQueue<EventKind<M>>,
     actors: Vec<Slot<M>>,
     placements: Vec<NodeId>,
     network: Network,
     rng: SimRng,
     metrics: Metrics,
-    cancelled_timers: HashSet<u64>,
     next_timer: u64,
     fresh: u64,
     events_processed: u64,
@@ -264,13 +250,12 @@ impl<M: Payload> Simulation<M> {
         Simulation {
             time: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             actors: Vec::new(),
             placements: Vec::new(),
             network: Network::new(net),
             rng: SimRng::seed_from_u64(seed),
             metrics: Metrics::new(),
-            cancelled_timers: HashSet::new(),
             next_timer: 0,
             fresh: 0,
             events_processed: 0,
@@ -304,8 +289,25 @@ impl<M: Payload> Simulation<M> {
     }
 
     /// Returns the number of events processed so far.
+    ///
+    /// Cancelled timers are removed from the queue at cancellation time and
+    /// never surface here.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Returns the number of pending events: live timers plus undelivered
+    /// messages. Cancelled timers leave this count immediately.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns the high-water mark of [`pending_events`]
+    /// (memory-boundedness witness for cancel-heavy workloads).
+    ///
+    /// [`pending_events`]: Simulation::pending_events
+    pub fn peak_pending_events(&self) -> usize {
+        self.queue.peak_len()
     }
 
     /// The execution trace (disabled by default; see [`Trace::enable`]).
@@ -442,13 +444,25 @@ impl<M: Payload> Simulation<M> {
         id
     }
 
+    /// Cancels a timer (driver-side). The entry is removed from the queue
+    /// immediately; a cancelled or already-fired timer id is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.queue.cancel_timer(id.0);
+    }
+
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq: self.seq,
-            kind,
-        });
+        let timer_id = match &kind {
+            EventKind::Timer { id, .. } => Some(id.0),
+            EventKind::Deliver { .. } => None,
+        };
+        match timer_id {
+            // Timers always go through the heap — even zero-delay ones —
+            // so every timer stays cancellable until it fires.
+            Some(id) => self.queue.push_timer(at, self.seq, id, kind),
+            None if at == self.time => self.queue.push_same_tick(at, self.seq, kind),
+            None => self.queue.push(at, self.seq, kind),
+        }
     }
 
     fn route(&mut self, src: ActorId, dst: ActorId, msg: M) {
@@ -460,12 +474,18 @@ impl<M: Payload> Simulation<M> {
             .plan(now, src_node, dst_node, bytes, &mut self.rng)
         {
             DeliveryPlan::Deliver(at) => self.push(at, EventKind::Deliver { src, dst, msg }),
-            DeliveryPlan::DeliverTwice(_a, _b) => {
-                // Duplication requires M: Clone; engine-level duplication is
-                // modelled by re-delivery of the single message at the later
-                // time plus a metric, keeping M free of a Clone bound.
+            DeliveryPlan::DeliverTwice(first, second) => {
                 self.metrics.incr("sim.duplicates_planned");
-                self.push(_b, EventKind::Deliver { src, dst, msg });
+                match msg.clone_for_redelivery() {
+                    // True double delivery for payloads that opt in.
+                    Some(dup) => {
+                        self.push(first, EventKind::Deliver { src, dst, msg });
+                        self.push(second, EventKind::Deliver { src, dst, msg: dup });
+                    }
+                    // Non-clonable payloads degrade to the old model: one
+                    // delivery at the later of the two arrival times.
+                    None => self.push(second, EventKind::Deliver { src, dst, msg }),
+                }
             }
             DeliveryPlan::Lost => {
                 self.metrics.incr("sim.messages_lost");
@@ -475,20 +495,15 @@ impl<M: Payload> Simulation<M> {
 
     /// Processes the next event. Returns `false` if the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        let Some((at, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.time, "time cannot go backwards");
-        self.time = ev.at;
+        debug_assert!(at >= self.time, "time cannot go backwards");
+        self.time = at;
         self.events_processed += 1;
-        match ev.kind {
+        match kind {
             EventKind::Deliver { src, dst, msg } => self.dispatch_message(src, dst, msg),
-            EventKind::Timer { dst, id, token } => {
-                if self.cancelled_timers.remove(&id.0) {
-                    return true;
-                }
-                self.dispatch_timer(dst, token);
-            }
+            EventKind::Timer { dst, token, .. } => self.dispatch_timer(dst, token),
         }
         true
     }
@@ -592,8 +607,8 @@ impl<M: Payload> Simulation<M> {
     /// processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(head) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some((at, _)) = self.queue.peek_key() {
+            if at > deadline {
                 break;
             }
             self.step();

@@ -54,6 +54,7 @@
 mod engine;
 mod metrics;
 mod net;
+mod queue;
 mod rng;
 mod time;
 mod trace;

@@ -9,7 +9,6 @@
 //! (≈0.25 MB/s with ≈2 s fixed cost — derived from its own reported numbers:
 //! 5.1 MB → 15–25 s, 550 KB → ≈4 s).
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -119,7 +118,9 @@ pub enum DeliveryPlan {
 #[derive(Debug, Clone)]
 pub struct Network {
     config: NetConfig,
-    egress_free: BTreeMap<NodeId, SimTime>,
+    /// Per-node egress-queue free time, indexed by raw node id (node ids are
+    /// small dense integers; a flat vector beats a map on the send path).
+    egress_free: Vec<SimTime>,
     messages_sent: u64,
     messages_lost: u64,
     bytes_sent: u64,
@@ -130,7 +131,7 @@ impl Network {
     pub fn new(config: NetConfig) -> Self {
         Network {
             config,
-            egress_free: BTreeMap::new(),
+            egress_free: Vec::new(),
             messages_sent: 0,
             messages_lost: 0,
             bytes_sent: 0,
@@ -163,20 +164,38 @@ impl Network {
         self.messages_sent += 1;
         self.bytes_sent += bytes;
         if src == dst {
+            // Same-node messages bypass contention and faults entirely: no
+            // RNG draws, so toggling fault knobs cannot shift local traffic.
             return DeliveryPlan::Deliver(now + self.config.local_delivery);
         }
-        if rng.chance(self.config.loss_rate) {
+        // Fault knobs at zero draw nothing from the RNG, so fault-free
+        // configurations produce identical traces whether the knobs are
+        // "disabled" or merely set to 0.0.
+        if self.config.loss_rate > 0.0 && rng.chance(self.config.loss_rate) {
             self.messages_lost += 1;
             return DeliveryPlan::Lost;
         }
         let tx = self.config.per_message_overhead + self.config.serialization_time(bytes);
-        let start = (*self.egress_free.entry(src).or_insert(now)).max(now);
-        let egress_done = start + tx;
-        self.egress_free.insert(src, egress_done);
+        let free = self
+            .egress_free
+            .get(src.0 as usize)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        let egress_done = free.max(now) + tx;
+        if !tx.is_zero() {
+            // Zero-cost sends never push the free time past `now`, so the
+            // store (and the vector growth) can be skipped for them.
+            if self.egress_free.len() <= src.0 as usize {
+                self.egress_free.resize(src.0 as usize + 1, SimTime::ZERO);
+            }
+            self.egress_free[src.0 as usize] = egress_done;
+        }
         let mut delay = egress_done.duration_since(now) + self.config.latency;
-        delay = rng.jitter(delay, self.config.jitter_frac);
+        if self.config.jitter_frac > 0.0 {
+            delay = rng.jitter(delay, self.config.jitter_frac);
+        }
         let arrival = now + delay;
-        if rng.chance(self.config.duplicate_rate) {
+        if self.config.duplicate_rate > 0.0 && rng.chance(self.config.duplicate_rate) {
             let second = arrival + rng.duration_between(SimDuration::ZERO, self.config.latency * 4);
             DeliveryPlan::DeliverTwice(arrival, second)
         } else {

@@ -164,6 +164,338 @@ fn identical_seeds_produce_identical_traces_verbatim() {
     assert_ne!(a, run(100), "different seeds produce different traces");
 }
 
+/// Golden-trace pinning: the exact event order of the engine, hashed.
+///
+/// These hashes were captured from the seed engine (binary-heap event queue
+/// with tombstone cancellation) and pin the observable event order across
+/// the queue-implementation swap to the indexed four-ary heap + same-tick
+/// ring: a replacement queue must produce bit-identical traces for all
+/// three workload shapes. If one of these fails, event ordering changed —
+/// that is a correctness bug, not a test to update.
+mod golden_trace {
+    use dcdo_sim::{
+        Actor, ActorId, Ctx, NetConfig, NodeId, Payload, SimDuration, Simulation, TimerId,
+    };
+
+    /// FNV-1a, dependency-free and stable across platforms and Rust
+    /// versions (unlike `DefaultHasher`).
+    fn fnv1a(data: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in data {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    #[derive(Debug, Clone)]
+    struct Packet {
+        tag: u32,
+        size: u64,
+    }
+
+    impl Payload for Packet {
+        fn wire_size(&self) -> u64 {
+            self.size
+        }
+    }
+
+    /// Ping-pong: two actors volley a packet back and forth `rounds` times
+    /// over the jittered centurion network (exercises the time-ordered heap
+    /// path with RNG-perturbed arrival times).
+    struct Volley {
+        remaining: u32,
+    }
+
+    impl Actor<Packet> for Volley {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Packet>, from: ActorId, msg: Packet) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(
+                    from,
+                    Packet {
+                        tag: msg.tag + 1,
+                        size: 64 + u64::from(msg.tag % 7) * 100,
+                    },
+                );
+            }
+        }
+    }
+
+    fn ping_pong_trace() -> String {
+        let mut sim = Simulation::new(NetConfig::centurion(), 7);
+        sim.trace_mut().enable(100_000);
+        let a = sim.spawn(NodeId::from_raw(0), Volley { remaining: 40 });
+        let b = sim.spawn(NodeId::from_raw(1), Volley { remaining: 40 });
+        sim.post(a, b, Packet { tag: 0, size: 64 });
+        sim.run_until_idle();
+        sim.trace().render()
+    }
+
+    /// Fan-out: a hub broadcasts to every spoke each round; each spoke acks;
+    /// when all acks are in, the next round starts. Run on the instant
+    /// network so every delivery is same-tick (exercises the FIFO ring path
+    /// and seq-order tie-breaking).
+    struct Hub {
+        spokes: Vec<ActorId>,
+        rounds_remaining: u32,
+        acks_pending: u32,
+    }
+
+    impl Hub {
+        fn broadcast(&mut self, ctx: &mut Ctx<'_, Packet>, tag: u32) {
+            self.acks_pending = self.spokes.len() as u32;
+            for &s in &self.spokes.clone() {
+                ctx.send(s, Packet { tag, size: 256 });
+            }
+        }
+    }
+
+    impl Actor<Packet> for Hub {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Packet>, _from: ActorId, _msg: Packet) {
+            self.acks_pending -= 1;
+            if self.acks_pending == 0 && self.rounds_remaining > 0 {
+                self.rounds_remaining -= 1;
+                let tag = self.rounds_remaining;
+                self.broadcast(ctx, tag);
+            }
+        }
+    }
+
+    struct Spoke {
+        hub: ActorId,
+    }
+
+    impl Actor<Packet> for Spoke {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Packet>, _from: ActorId, msg: Packet) {
+            ctx.send(
+                self.hub,
+                Packet {
+                    tag: msg.tag,
+                    size: 64,
+                },
+            );
+        }
+    }
+
+    fn fan_out_trace() -> String {
+        let mut sim = Simulation::new(NetConfig::instant(), 11);
+        sim.trace_mut().enable(100_000);
+        let hub = sim.spawn(
+            NodeId::from_raw(0),
+            Hub {
+                spokes: Vec::new(),
+                rounds_remaining: 12,
+                acks_pending: 0,
+            },
+        );
+        let spokes: Vec<ActorId> = (0..6)
+            .map(|i| sim.spawn(NodeId::from_raw(i % 16), Spoke { hub }))
+            .collect();
+        sim.actor_mut::<Hub>(hub).expect("alive").spokes = spokes;
+        // Kick off round one via a self-ack.
+        sim.actor_mut::<Hub>(hub).expect("alive").acks_pending = 1;
+        sim.post(hub, hub, Packet { tag: 0, size: 64 });
+        sim.run_until_idle();
+        sim.trace().render()
+    }
+
+    /// Timer-heavy: each fire schedules a keeper and a decoy and cancels the
+    /// decoy — the retry-timer-cancelled-by-reply pattern that dominates the
+    /// RPC layer (exercises cancellation bookkeeping and timer ordering,
+    /// including same-tick timers against same-tick deliveries).
+    struct TimerStorm {
+        fires_remaining: u32,
+        decoy: Option<TimerId>,
+    }
+
+    impl Actor<Packet> for TimerStorm {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Packet>, _from: ActorId, msg: Packet) {
+            ctx.schedule_timer(SimDuration::ZERO, u64::from(msg.tag));
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Packet>, token: u64) {
+            if let Some(decoy) = self.decoy.take() {
+                ctx.cancel_timer(decoy);
+            }
+            if self.fires_remaining == 0 {
+                return;
+            }
+            self.fires_remaining -= 1;
+            let step = SimDuration::from_micros(10 + (token % 5) * 3);
+            ctx.schedule_timer(step, token + 1);
+            let decoy = ctx.schedule_timer(step * 2, token + 1_000_000);
+            self.decoy = Some(decoy);
+            if self.fires_remaining.is_multiple_of(5) {
+                // A same-tick self-delivery racing the same-tick timer it
+                // schedules in on_message: pins ring-vs-heap tie-breaking.
+                let me = ctx.self_id();
+                ctx.send(
+                    me,
+                    Packet {
+                        tag: (token % 97) as u32,
+                        size: 64,
+                    },
+                );
+            }
+        }
+    }
+
+    fn timer_heavy_trace() -> String {
+        let mut sim = Simulation::new(NetConfig::instant(), 13);
+        sim.trace_mut().enable(100_000);
+        let actors: Vec<ActorId> = (0..3)
+            .map(|i| {
+                sim.spawn(
+                    NodeId::from_raw(i),
+                    TimerStorm {
+                        fires_remaining: 25,
+                        decoy: None,
+                    },
+                )
+            })
+            .collect();
+        for (i, &a) in actors.iter().enumerate() {
+            sim.post(
+                a,
+                a,
+                Packet {
+                    tag: i as u32,
+                    size: 64,
+                },
+            );
+        }
+        sim.run_until_idle();
+        sim.trace().render()
+    }
+
+    #[test]
+    fn golden_ping_pong_event_order_is_pinned() {
+        let trace = ping_pong_trace();
+        assert!(!trace.is_empty());
+        assert_eq!(fnv1a(trace.as_bytes()), GOLDEN_PING_PONG, "\n{trace}");
+    }
+
+    #[test]
+    fn golden_fan_out_event_order_is_pinned() {
+        let trace = fan_out_trace();
+        assert!(!trace.is_empty());
+        assert_eq!(fnv1a(trace.as_bytes()), GOLDEN_FAN_OUT, "\n{trace}");
+    }
+
+    #[test]
+    fn golden_timer_heavy_event_order_is_pinned() {
+        let trace = timer_heavy_trace();
+        assert!(!trace.is_empty());
+        assert_eq!(fnv1a(trace.as_bytes()), GOLDEN_TIMER_HEAVY, "\n{trace}");
+    }
+
+    // Captured from the seed engine (BinaryHeap + tombstone HashSet) before
+    // the indexed-heap swap; see the module docs.
+    const GOLDEN_PING_PONG: u64 = 2216845957000273215;
+    const GOLDEN_FAN_OUT: u64 = 6123350677609424778;
+    const GOLDEN_TIMER_HEAVY: u64 = 1764204384686360050;
+}
+
+/// The fault knobs must be free when zeroed: a fault-free configuration
+/// draws nothing from the RNG for loss or duplication, so traces are
+/// identical whether the knobs are "disabled" or merely set to `0.0`.
+mod fault_knob_gating {
+    use super::{Job, Origin, Worker};
+    use dcdo_sim::{NetConfig, Network, NodeId, SimRng, SimTime, Simulation};
+
+    fn jittered_trace(cfg: NetConfig, seed: u64) -> String {
+        let mut sim = Simulation::new(cfg, seed);
+        sim.trace_mut().enable(100_000);
+        let origin = sim.spawn(NodeId::from_raw(0), Origin::default());
+        let workers: Vec<_> = (0..4)
+            .map(|n| sim.spawn(NodeId::from_raw(n + 1), Worker))
+            .collect();
+        for i in 0..50u32 {
+            sim.post(
+                origin,
+                workers[i as usize % workers.len()],
+                Job {
+                    tag: i,
+                    size: 100 + u64::from(i) * 53,
+                },
+            );
+        }
+        sim.run_until_idle();
+        sim.trace().render()
+    }
+
+    #[test]
+    fn zeroed_duplicate_knob_leaves_fault_free_traces_unchanged() {
+        for seed in [3u64, 41, 977] {
+            let base = NetConfig::centurion();
+            let mut explicit = NetConfig::centurion();
+            explicit.duplicate_rate = 0.0;
+            explicit.loss_rate = 0.0;
+            assert_eq!(
+                jittered_trace(base, seed),
+                jittered_trace(explicit, seed),
+                "zero-valued fault knobs shifted the RNG stream (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_duplicate_knob_actually_perturbs_traces() {
+        // Guards the previous test against vacuity: the knob is live, so
+        // its zero case being free is a real property, not a dead branch.
+        let base = NetConfig::centurion();
+        let mut dup = NetConfig::centurion();
+        dup.duplicate_rate = 0.5;
+        assert_ne!(jittered_trace(base, 3), jittered_trace(dup, 3));
+    }
+
+    #[test]
+    fn fault_free_remote_plans_draw_nothing_from_the_rng() {
+        let mut cfg = NetConfig::centurion();
+        cfg.jitter_frac = 0.0;
+        let mut net = Network::new(cfg);
+        let mut used = SimRng::seed_from_u64(9);
+        let mut untouched = SimRng::seed_from_u64(9);
+        for i in 0..100u64 {
+            net.plan(
+                SimTime::ZERO,
+                NodeId::from_raw(0),
+                NodeId::from_raw(1),
+                64 + i,
+                &mut used,
+            );
+        }
+        assert_eq!(
+            used.fork_seed(),
+            untouched.fork_seed(),
+            "a fault-free plan consumed an RNG draw"
+        );
+    }
+
+    #[test]
+    fn same_node_plans_bypass_faults_and_the_rng() {
+        // Even with every knob hot, local traffic must not touch the RNG.
+        let mut cfg = NetConfig::centurion();
+        cfg.loss_rate = 0.5;
+        cfg.duplicate_rate = 0.5;
+        cfg.jitter_frac = 0.25;
+        let mut net = Network::new(cfg);
+        let mut used = SimRng::seed_from_u64(10);
+        let mut untouched = SimRng::seed_from_u64(10);
+        for i in 0..100u64 {
+            net.plan(
+                SimTime::ZERO,
+                NodeId::from_raw(3),
+                NodeId::from_raw(3),
+                64 + i,
+                &mut used,
+            );
+        }
+        assert_eq!(used.fork_seed(), untouched.fork_seed());
+    }
+}
+
 mod net_props {
     use dcdo_sim::{DeliveryPlan, NetConfig, Network, NodeId, SimRng, SimTime};
     use proptest::prelude::*;

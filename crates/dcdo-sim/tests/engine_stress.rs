@@ -82,6 +82,73 @@ fn runaway_loops_hit_the_budget_backstop() {
     sim.run_with_budget(10_000);
 }
 
+/// Sink for the cancelled-timer storm; counts any timer that actually fires.
+#[derive(Default)]
+struct TimerSink {
+    fired: u64,
+}
+
+impl Actor<Token> for TimerSink {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Token>, _from: ActorId, _msg: Token) {}
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, Token>, _token: u64) {
+        self.fired += 1;
+    }
+}
+
+/// Scheduling and cancelling a million timers must not grow the event
+/// queue: cancellation removes the entry immediately (no tombstones), and
+/// freed slots are reused. The seed engine kept every cancelled timer in
+/// the heap plus a tombstone-set entry until its deadline, so this exact
+/// workload grew the queue to ~2M entries; the indexed heap keeps the
+/// high-water mark at the in-flight batch size.
+#[test]
+fn million_cancelled_timers_stay_bounded() {
+    const BATCH: usize = 64;
+    const BATCHES: usize = 1_000_000 / BATCH;
+    let mut sim = Simulation::new(NetConfig::instant(), 5);
+    let sink = sim.spawn(NodeId::from_raw(0), TimerSink::default());
+    let mut ids = Vec::with_capacity(BATCH);
+    for batch in 0..BATCHES {
+        for i in 0..BATCH {
+            let delay = SimDuration::from_micros(1 + ((batch + i) % 17) as u64);
+            ids.push(sim.schedule_timer_for(sink, delay, i as u64));
+        }
+        for id in ids.drain(..) {
+            sim.cancel_timer(id);
+        }
+    }
+    assert_eq!(sim.pending_events(), 0, "every timer was cancelled");
+    assert!(
+        sim.peak_pending_events() <= BATCH,
+        "queue high-water mark {} exceeds the in-flight batch size {BATCH}: \
+         cancelled timers are accumulating",
+        sim.peak_pending_events()
+    );
+    // None of the million cancelled timers may fire.
+    sim.run_until_idle();
+    assert_eq!(sim.actor::<TimerSink>(sink).expect("alive").fired, 0);
+    assert_eq!(sim.events_processed(), 0);
+}
+
+/// Cancelling timers out of insertion order (newest-first, then a shuffled
+/// pattern) exercises hole-punching in the middle of the heap rather than
+/// just root removal.
+#[test]
+fn out_of_order_cancellation_is_exact() {
+    let mut sim = Simulation::new(NetConfig::instant(), 6);
+    let sink = sim.spawn(NodeId::from_raw(0), TimerSink::default());
+    let ids: Vec<_> = (0..1_000u64)
+        .map(|i| sim.schedule_timer_for(sink, SimDuration::from_micros(1 + i % 31), i))
+        .collect();
+    // Cancel every other timer, newest first.
+    for id in ids.iter().rev().step_by(2) {
+        sim.cancel_timer(*id);
+    }
+    assert_eq!(sim.pending_events(), 500);
+    sim.run_until_idle();
+    assert_eq!(sim.actor::<TimerSink>(sink).expect("alive").fired, 500);
+}
+
 #[test]
 fn run_until_on_empty_queue_advances_the_clock() {
     let mut sim = Simulation::<Token>::new(NetConfig::instant(), 3);

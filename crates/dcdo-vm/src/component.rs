@@ -166,6 +166,11 @@ pub struct ComponentBinary {
     functions: Vec<FunctionDecl>,
     dependencies: Vec<Dependency>,
     static_data_size: u64,
+    /// Length of [`ComponentBinary::encode`]'s output, computed once at
+    /// construction. `wire_size` is consulted on every simulated send of a
+    /// component-bearing message, so [`ComponentBinary::size_bytes`] must
+    /// not re-encode per call.
+    encoded_len: u64,
 }
 
 impl ComponentBinary {
@@ -206,8 +211,11 @@ impl ComponentBinary {
     }
 
     /// Total transferable size: encoded metadata + code + static data.
+    ///
+    /// The encoded length is cached at construction; this is a constant-time
+    /// accessor, safe to call from per-message `wire_size` hooks.
     pub fn size_bytes(&self) -> u64 {
-        self.encode().len() as u64 + self.static_data_size
+        self.encoded_len + self.static_data_size
     }
 
     /// Returns the metadata-only descriptor.
@@ -250,9 +258,12 @@ impl ComponentBinary {
     /// Validates the component: unique function names, valid code, and
     /// dependency sources implemented here.
     pub fn validate(&self) -> Result<(), ComponentError> {
-        let mut seen = BTreeSet::new();
+        // Name lookups go through `&str` so the happy path allocates
+        // nothing: `FunctionName` is only cloned (a refcount bump) when
+        // building an error.
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
         for decl in &self.functions {
-            if !seen.insert(decl.name().clone()) {
+            if !seen.insert(decl.name().as_str()) {
                 return Err(ComponentError::DuplicateFunction(decl.name().clone()));
             }
             decl.code()
@@ -264,7 +275,8 @@ impl ComponentBinary {
         }
         for dep in &self.dependencies {
             // Only pinned-to-self sources can be checked locally.
-            if dep.source().component() == Some(self.id) && !seen.contains(dep.source().function())
+            if dep.source().component() == Some(self.id)
+                && !seen.contains(dep.source().function().as_str())
             {
                 return Err(ComponentError::DanglingDependencySource(
                     dep.source().function().clone(),
@@ -306,6 +318,7 @@ impl ComponentBinary {
     /// Returns a [`DecodeError`] on malformed input (bad magic, unsupported
     /// version, truncated data, unknown opcodes, invalid signatures).
     pub fn decode(bytes: Bytes) -> Result<Self, DecodeError> {
+        let total_len = bytes.len() as u64;
         let mut r = Reader::new(bytes);
         let magic = r.u32()?;
         if magic != MAGIC {
@@ -351,6 +364,7 @@ impl ComponentBinary {
             functions,
             dependencies,
             static_data_size,
+            encoded_len: total_len - r.remaining() as u64,
         })
     }
 }
@@ -584,6 +598,7 @@ impl ComponentBuilder {
             functions: self.functions,
             dependencies: self.dependencies,
             static_data_size: self.static_data_size,
+            encoded_len: 0,
         };
         if self.auto_deps {
             let mut auto = component.analyze_structural_deps();
@@ -591,6 +606,7 @@ impl ComponentBuilder {
             component.dependencies.extend(auto);
         }
         component.validate()?;
+        component.encoded_len = component.encode().len() as u64;
         Ok(component)
     }
 }

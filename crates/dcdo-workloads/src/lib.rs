@@ -7,7 +7,9 @@
 //! - [`service`] — the canonical counter and sort/compare services
 //!   (including the paper's §3.2 behavioral-dependency example);
 //! - [`ClosedLoopClient`] — the sequential-call load driver used to measure
-//!   remote-invocation latency and to feed lazy update checks.
+//!   remote-invocation latency and to feed lazy update checks;
+//! - [`simbench`] — the sim-core throughput workload shapes behind the
+//!   `sim_throughput` bench suite and the `BENCH_sim.json` emitter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,6 +17,7 @@
 mod clients;
 mod components;
 pub mod service;
+pub mod simbench;
 
 pub use clients::{CallRecord, ClosedLoopClient};
 pub use components::{kernel_function, ComponentSuite, SuiteSpec};

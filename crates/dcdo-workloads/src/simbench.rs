@@ -1,0 +1,463 @@
+//! Sim-core throughput workloads.
+//!
+//! Four canonical event-mix shapes used by the `sim_throughput` criterion
+//! suite and the `sim_bench` JSON emitter to track engine events/sec across
+//! PRs. Each runs a self-contained simulation over the real Legion [`Msg`]
+//! wire type so the measured cost includes payload handling (cloning ops for
+//! broadcast/resend, wire-size accounting) and not just queue mechanics:
+//!
+//! - **ping-pong** — two objects volley an `Invoke`/`Reply` pair over the
+//!   jittered centurion network: the latency-bound RPC shape.
+//! - **fan-out** — a hub broadcasts one control op to every spoke each round
+//!   on the instant network: the same-tick burst shape (every delivery lands
+//!   at the current instant).
+//! - **timer-heavy** — actors run schedule-two-cancel-one timer chains: the
+//!   retry-timer shape that dominates the RPC layer's bookkeeping.
+//! - **transfer-heavy** — a source replicates an implementation component
+//!   (descriptor-bearing control op plus its encoded bytes) to many sinks:
+//!   the implementation-download shape, dominated by payload size
+//!   accounting and bulk-data ownership.
+
+use bytes::Bytes;
+use dcdo_sim::{Actor, ActorId, Ctx, NetConfig, NodeId, SimDuration, Simulation, TimerId};
+use dcdo_types::{CallId, ObjectId};
+use dcdo_vm::{ComponentBinary, Value};
+use legion_substrate::{control_payload, ControlOp, Msg};
+
+use crate::{ComponentSuite, SuiteSpec};
+
+/// A broadcastable control op carrying a flat data block (models a
+/// descriptor-sized configuration payload).
+#[derive(Debug, Clone)]
+pub struct BenchBlast {
+    /// Opaque payload words.
+    pub data: Vec<u64>,
+}
+
+control_payload!(
+    BenchBlast,
+    "bench-blast",
+    wire_size = |op| 16 + 8 * op.data.len() as u64
+);
+
+/// A component-replication control op: the component (whose transferable
+/// size prices the wire) plus its encoded form (the bulk bytes a sink
+/// would incorporate from).
+#[derive(Debug, Clone)]
+pub struct BenchTransfer {
+    /// The component being replicated.
+    pub component: ComponentBinary,
+    /// Its encoded form.
+    pub encoded: Bytes,
+}
+
+control_payload!(
+    BenchTransfer,
+    "bench-transfer",
+    wire_size = |op| 64 + op.component.size_bytes()
+);
+
+/// A minimal ack reply.
+#[derive(Debug, Clone)]
+pub struct BenchAck;
+
+control_payload!(BenchAck, "bench-ack");
+
+// ---------------------------------------------------------------------------
+// ping-pong
+
+struct Pinger {
+    peer: ActorId,
+    remaining: u64,
+}
+
+impl Pinger {
+    fn fire(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.remaining -= 1;
+        let call = CallId::from_raw(ctx.fresh_u64());
+        ctx.send(
+            self.peer,
+            Msg::Invoke {
+                call,
+                target: ObjectId::from_raw(2),
+                function: "ping".into(),
+                args: vec![Value::Int(self.remaining as i64)],
+            },
+        );
+    }
+}
+
+impl Actor<Msg> for Pinger {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, msg: Msg) {
+        if matches!(msg, Msg::Reply { .. }) && self.remaining > 0 {
+            self.fire(ctx);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bench-pinger"
+    }
+}
+
+struct Ponger;
+
+impl Actor<Msg> for Ponger {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        if let Msg::Invoke { call, args, .. } = msg {
+            let echo = args.into_iter().next().unwrap_or(Value::Unit);
+            ctx.send(
+                from,
+                Msg::Reply {
+                    call,
+                    result: Ok(echo),
+                },
+            );
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bench-ponger"
+    }
+}
+
+/// Runs `rounds` invoke/reply volleys between two nodes of the centurion
+/// network. Returns events processed.
+pub fn ping_pong(rounds: u64) -> u64 {
+    let mut sim = Simulation::new(NetConfig::centurion(), 17);
+    let ponger = sim.spawn(NodeId::from_raw(1), Ponger);
+    let pinger = sim.spawn(
+        NodeId::from_raw(0),
+        Pinger {
+            peer: ponger,
+            remaining: rounds,
+        },
+    );
+    sim.post(
+        pinger,
+        pinger,
+        Msg::Reply {
+            call: CallId::from_raw(0),
+            result: Ok(Value::Unit),
+        },
+    );
+    sim.run_with_budget(rounds * 4 + 16)
+}
+
+// ---------------------------------------------------------------------------
+// fan-out
+
+struct BlastHub {
+    spokes: Vec<ActorId>,
+    op: ControlOp,
+    rounds_remaining: u64,
+    acks_pending: u32,
+}
+
+impl BlastHub {
+    fn broadcast(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.rounds_remaining -= 1;
+        self.acks_pending = self.spokes.len() as u32;
+        let call = CallId::from_raw(ctx.fresh_u64());
+        let spokes = std::mem::take(&mut self.spokes);
+        for &s in &spokes {
+            // The broadcast/resend path: each destination gets its own copy
+            // of the held op, exactly as the RPC retry machinery does.
+            ctx.send(
+                s,
+                Msg::Control {
+                    call,
+                    target: ObjectId::from_raw(100),
+                    op: self.op.clone(),
+                },
+            );
+        }
+        self.spokes = spokes;
+    }
+}
+
+impl Actor<Msg> for BlastHub {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, _msg: Msg) {
+        self.acks_pending -= 1;
+        if self.acks_pending == 0 && self.rounds_remaining > 0 {
+            self.broadcast(ctx);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bench-hub"
+    }
+}
+
+struct AckSpoke;
+
+impl Actor<Msg> for AckSpoke {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        if let Msg::Control { call, .. } = msg {
+            ctx.send(
+                from,
+                Msg::ControlReply {
+                    call,
+                    result: Ok(ControlOp::new(BenchAck)),
+                },
+            );
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bench-spoke"
+    }
+}
+
+/// Runs `rounds` broadcast rounds from a hub to `spokes` spokes on the
+/// instant network; the op payload carries `payload_words` words of data.
+/// Returns events processed.
+pub fn fan_out(rounds: u64, spokes: u32, payload_words: usize) -> u64 {
+    let mut sim = Simulation::new(NetConfig::instant(), 19);
+    let hub = sim.spawn(
+        NodeId::from_raw(0),
+        BlastHub {
+            spokes: Vec::new(),
+            op: ControlOp::new(BenchBlast {
+                data: (0..payload_words as u64).collect(),
+            }),
+            rounds_remaining: rounds,
+            acks_pending: 1,
+        },
+    );
+    let ids: Vec<ActorId> = (0..spokes)
+        .map(|i| sim.spawn(NodeId::from_raw(i % 16), AckSpoke))
+        .collect();
+    sim.actor_mut::<BlastHub>(hub).expect("alive").spokes = ids;
+    sim.post(
+        hub,
+        hub,
+        Msg::ControlReply {
+            call: CallId::from_raw(0),
+            result: Ok(ControlOp::new(BenchAck)),
+        },
+    );
+    sim.run_with_budget(rounds * u64::from(spokes) * 2 + u64::from(spokes) + 16)
+}
+
+// ---------------------------------------------------------------------------
+// timer-heavy
+
+struct TimerChurn {
+    fires_remaining: u64,
+    decoy: Option<TimerId>,
+}
+
+impl Actor<Msg> for TimerChurn {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, _msg: Msg) {
+        ctx.schedule_timer(SimDuration::from_micros(1), 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+        if let Some(decoy) = self.decoy.take() {
+            ctx.cancel_timer(decoy);
+        }
+        if self.fires_remaining == 0 {
+            return;
+        }
+        self.fires_remaining -= 1;
+        let step = SimDuration::from_micros(1 + token % 7);
+        ctx.schedule_timer(step, token + 1);
+        // The decoy is the connect-timeout pattern: armed per attempt,
+        // cancelled when the (faster) reply lands.
+        let decoy = ctx.schedule_timer(step * 3, token + 1_000_000);
+        self.decoy = Some(decoy);
+    }
+
+    fn name(&self) -> &str {
+        "bench-timer-churn"
+    }
+}
+
+/// Runs `actors` parallel schedule-two-cancel-one timer chains, each firing
+/// `fires_per_actor` times, on the instant network. Returns events
+/// processed.
+pub fn timer_heavy(actors: u32, fires_per_actor: u64) -> u64 {
+    let mut sim = Simulation::new(NetConfig::instant(), 23);
+    let ids: Vec<ActorId> = (0..actors)
+        .map(|i| {
+            sim.spawn(
+                NodeId::from_raw(i % 16),
+                TimerChurn {
+                    fires_remaining: fires_per_actor,
+                    decoy: None,
+                },
+            )
+        })
+        .collect();
+    for &a in &ids {
+        sim.post(
+            a,
+            a,
+            Msg::Progress {
+                call: CallId::from_raw(0),
+            },
+        );
+    }
+    sim.run_with_budget(u64::from(actors) * (fires_per_actor + 4) * 4 + 16)
+}
+
+// ---------------------------------------------------------------------------
+// transfer-heavy
+
+struct TransferSource {
+    sinks: Vec<ActorId>,
+    op: ControlOp,
+    rounds_remaining: u64,
+    acks_pending: u32,
+}
+
+impl TransferSource {
+    fn replicate(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.rounds_remaining -= 1;
+        self.acks_pending = self.sinks.len() as u32;
+        let call = CallId::from_raw(ctx.fresh_u64());
+        let sinks = std::mem::take(&mut self.sinks);
+        for &s in &sinks {
+            ctx.send(
+                s,
+                Msg::Control {
+                    call,
+                    target: ObjectId::from_raw(200),
+                    op: self.op.clone(),
+                },
+            );
+        }
+        self.sinks = sinks;
+    }
+}
+
+impl Actor<Msg> for TransferSource {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, _msg: Msg) {
+        self.acks_pending -= 1;
+        if self.acks_pending == 0 && self.rounds_remaining > 0 {
+            self.replicate(ctx);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bench-transfer-source"
+    }
+}
+
+struct TransferSink;
+
+impl Actor<Msg> for TransferSink {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        if let Msg::Control { call, op, .. } = msg {
+            // A sink keeps its own handle on the bulk bytes (what a host
+            // does before incorporating) — with shared payloads this is a
+            // refcount bump, not a copy.
+            let retained = op
+                .as_any()
+                .downcast_ref::<BenchTransfer>()
+                .map(|t| t.encoded.clone());
+            debug_assert!(retained.is_some());
+            drop(retained);
+            ctx.send(
+                from,
+                Msg::ControlReply {
+                    call,
+                    result: Ok(ControlOp::new(BenchAck)),
+                },
+            );
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bench-transfer-sink"
+    }
+}
+
+/// Builds the replicated component: a mid-sized suite component with
+/// static-data padding approximating the paper's ≈550 KB small native
+/// implementation.
+fn transfer_component() -> ComponentBinary {
+    let spec = SuiteSpec {
+        total_functions: 24,
+        components: 1,
+        work_nanos: 0,
+        static_data_size: 550_000,
+        first_component_id: 7_000,
+    };
+    let suite = ComponentSuite::generate(&spec);
+    suite.components()[0].clone()
+}
+
+/// Runs `rounds` replication rounds of one encoded component from a source
+/// to `sinks` sinks over the centurion network. Returns events processed.
+pub fn transfer_heavy(rounds: u64, sinks: u32) -> u64 {
+    let component = transfer_component();
+    let encoded = component.encode();
+    let mut sim = Simulation::new(NetConfig::centurion(), 29);
+    let source = sim.spawn(
+        NodeId::from_raw(0),
+        TransferSource {
+            sinks: Vec::new(),
+            op: ControlOp::new(BenchTransfer { component, encoded }),
+            rounds_remaining: rounds,
+            acks_pending: 1,
+        },
+    );
+    let ids: Vec<ActorId> = (0..sinks)
+        .map(|i| sim.spawn(NodeId::from_raw(1 + i % 15), TransferSink))
+        .collect();
+    sim.actor_mut::<TransferSource>(source)
+        .expect("alive")
+        .sinks = ids;
+    sim.post(
+        source,
+        source,
+        Msg::ControlReply {
+            call: CallId::from_raw(0),
+            result: Ok(ControlOp::new(BenchAck)),
+        },
+    );
+    sim.run_with_budget(rounds * u64::from(sinks) * 2 + u64::from(sinks) + 16)
+}
+
+/// Verifies the component suite used by `transfer_heavy` doesn't silently
+/// shrink (the bench is only meaningful while the payload stays big).
+pub fn transfer_component_size() -> u64 {
+    transfer_component().size_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_processes_expected_events() {
+        // Kick + rounds * (invoke deliver + reply deliver).
+        assert_eq!(ping_pong(10), 1 + 10 * 2);
+    }
+
+    #[test]
+    fn fan_out_processes_expected_events() {
+        // Kick + rounds * spokes * (control + reply).
+        assert_eq!(fan_out(3, 4, 16), 1 + 3 * 4 * 2);
+    }
+
+    #[test]
+    fn timer_heavy_drains() {
+        let events = timer_heavy(4, 50);
+        // Per actor: 1 kick + >= fires (cancelled decoys may or may not
+        // count as events depending on the queue implementation).
+        assert!(events >= 4 * (1 + 50));
+    }
+
+    #[test]
+    fn transfer_heavy_processes_expected_events() {
+        assert_eq!(transfer_heavy(2, 3), 1 + 2 * 3 * 2);
+    }
+
+    #[test]
+    fn transfer_component_is_paper_sized() {
+        let size = transfer_component_size();
+        assert!(size > 550_000, "bulk padding must dominate: {size}");
+    }
+}

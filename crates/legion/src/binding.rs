@@ -16,7 +16,7 @@ use dcdo_sim::{Actor, ActorId, Ctx};
 use dcdo_types::ObjectId;
 
 use crate::control_payload;
-use crate::msg::{Ack, ControlPayload, InvocationFault, Msg};
+use crate::msg::{Ack, ControlOp, InvocationFault, Msg};
 
 /// Registers (or updates) the binding for an object.
 #[derive(Debug, Clone)]
@@ -101,18 +101,18 @@ impl Actor<Msg> for BindingAgent {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
         match msg {
             Msg::Control { call, op, .. } => {
-                let result: Result<Box<dyn ControlPayload>, InvocationFault> =
+                let result: Result<ControlOp, InvocationFault> =
                     if let Some(reg) = op.as_any().downcast_ref::<RegisterBinding>() {
                         self.bindings.insert(reg.object, reg.address);
                         ctx.metrics().incr("binding.registered");
-                        Ok(Box::new(Ack))
+                        Ok(ControlOp::new(Ack))
                     } else if let Some(unreg) = op.as_any().downcast_ref::<UnregisterBinding>() {
                         self.bindings.remove(&unreg.object);
-                        Ok(Box::new(Ack))
+                        Ok(ControlOp::new(Ack))
                     } else if let Some(query) = op.as_any().downcast_ref::<QueryBinding>() {
                         self.queries_served += 1;
                         ctx.metrics().incr("binding.queries");
-                        Ok(Box::new(BindingResult {
+                        Ok(ControlOp::new(BindingResult {
                             object: query.object,
                             address: self.bindings.get(&query.object).copied(),
                         }))
@@ -149,11 +149,12 @@ mod tests {
     use dcdo_types::CallId;
 
     use super::*;
+    use crate::msg::ControlPayload;
 
     /// Driver actor that records control replies it receives.
     #[derive(Default)]
     struct Probe {
-        replies: Vec<Result<Box<dyn ControlPayload>, InvocationFault>>,
+        replies: Vec<Result<ControlOp, InvocationFault>>,
     }
 
     impl Actor<Msg> for Probe {
@@ -176,7 +177,7 @@ mod tests {
         Msg::Control {
             call: CallId::from_raw(call),
             target,
-            op: Box::new(op),
+            op: ControlOp::new(op),
         }
     }
 

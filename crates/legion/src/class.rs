@@ -23,7 +23,7 @@ use crate::cost::CostModel;
 use crate::monolithic::{
     CaptureState, Deactivate, ExecutableImage, MonolithicObject, RestoreState, StateBlob,
 };
-use crate::msg::{ControlPayload, InvocationFault, Msg};
+use crate::msg::{ControlOp, InvocationFault, Msg};
 use crate::rpc::{AgentAddress, Handled, RpcClient, RpcCompletion};
 use crate::vault::{LoadState, LoadedState, SaveState};
 
@@ -255,13 +255,7 @@ impl ClassObject {
         ctx.schedule_timer(after, token);
     }
 
-    fn rpc_step(
-        &mut self,
-        ctx: &mut Ctx<'_, Msg>,
-        op_id: u64,
-        target: ObjectId,
-        op: Box<dyn ControlPayload>,
-    ) {
+    fn rpc_step(&mut self, ctx: &mut Ctx<'_, Msg>, op_id: u64, target: ObjectId, op: ControlOp) {
         let call = self.rpc.control(ctx, target, op);
         self.rpc_routes.insert(call.as_raw(), op_id);
     }
@@ -337,7 +331,7 @@ impl ClassObject {
             self.begin_spawn(ctx, op_id);
         } else {
             self.ops.get_mut(&op_id).expect("op exists").step = Step::Deactivate;
-            self.rpc_step(ctx, op_id, object, Box::new(Deactivate));
+            self.rpc_step(ctx, op_id, object, ControlOp::new(Deactivate));
         }
     }
 
@@ -385,7 +379,7 @@ impl ClassObject {
             ctx,
             op_id,
             self.agent.object,
-            Box::new(RegisterBinding { object, address }),
+            ControlOp::new(RegisterBinding { object, address }),
         );
     }
 
@@ -402,10 +396,10 @@ impl ClassObject {
             },
         );
         let elapsed = ctx.now().duration_since(op.started);
-        let (metric, reply): (&str, Box<dyn ControlPayload>) = match op.kind {
+        let (metric, reply): (&str, ControlOp) = match op.kind {
             OpKind::Create => (
                 "class.create_time",
-                Box::new(InstanceCreated {
+                ControlOp::new(InstanceCreated {
                     object: op.object,
                     address,
                     version: op.target_version,
@@ -413,7 +407,7 @@ impl ClassObject {
             ),
             OpKind::Evolve => (
                 "class.evolve_time",
-                Box::new(LifecycleDone {
+                ControlOp::new(LifecycleDone {
                     object: op.object,
                     address,
                     version: op.target_version,
@@ -421,7 +415,7 @@ impl ClassObject {
             ),
             OpKind::Migrate => (
                 "class.migrate_time",
-                Box::new(LifecycleDone {
+                ControlOp::new(LifecycleDone {
                     object: op.object,
                     address,
                     version: op.target_version,
@@ -480,7 +474,7 @@ impl ClassObject {
             step: Step::Capture,
         };
         self.ops.insert(op_id, op);
-        self.rpc_step(ctx, op_id, object, Box::new(CaptureState));
+        self.rpc_step(ctx, op_id, object, ControlOp::new(CaptureState));
     }
 
     fn handle_rpc_completion(&mut self, ctx: &mut Ctx<'_, Msg>, completion: RpcCompletion) {
@@ -527,7 +521,12 @@ impl ClassObject {
                     };
                     let new_actor = self.ops[&op_id].new_actor.expect("spawned");
                     self.rpc.seed_binding(object, new_actor);
-                    self.rpc_step(ctx, op_id, object, Box::new(RestoreState { bytes: state }));
+                    self.rpc_step(
+                        ctx,
+                        op_id,
+                        object,
+                        ControlOp::new(RestoreState { bytes: state }),
+                    );
                 }
                 Step::Deactivate => {
                     // Old process is gone; its binding is stale from here on.
@@ -575,7 +574,7 @@ impl ClassObject {
                         ctx,
                         op_id,
                         vault,
-                        Box::new(SaveState {
+                        ControlOp::new(SaveState {
                             owner: object,
                             bytes: state,
                         }),
@@ -596,7 +595,12 @@ impl ClassObject {
                         op.step = Step::LoadVault;
                         op.object
                     };
-                    self.rpc_step(ctx, op_id, vault, Box::new(LoadState { owner: object }));
+                    self.rpc_step(
+                        ctx,
+                        op_id,
+                        vault,
+                        ControlOp::new(LoadState { owner: object }),
+                    );
                     return;
                 }
                 let (object_old_binding, state) = {
@@ -612,7 +616,7 @@ impl ClassObject {
                     ctx,
                     op_id,
                     object_old_binding,
-                    Box::new(RestoreState { bytes: state }),
+                    ControlOp::new(RestoreState { bytes: state }),
                 );
             }
             other => {
@@ -646,7 +650,7 @@ impl Actor<Msg> for ClassObject {
                         from,
                         Msg::ControlReply {
                             call,
-                            result: Ok(Box::new(crate::msg::Ack)),
+                            result: Ok(ControlOp::new(crate::msg::Ack)),
                         },
                     );
                 } else if let Some(ev) = op.as_any().downcast_ref::<EvolveInstance>() {
@@ -665,7 +669,7 @@ impl Actor<Msg> for ClassObject {
                         from,
                         Msg::ControlReply {
                             call,
-                            result: Ok(Box::new(InstanceTable {
+                            result: Ok(ControlOp::new(InstanceTable {
                                 entries: self.instances(),
                             })),
                         },

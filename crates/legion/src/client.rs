@@ -10,7 +10,7 @@ use dcdo_types::{CallId, ObjectId};
 use dcdo_vm::Value;
 
 use crate::cost::CostModel;
-use crate::msg::{ControlPayload, Msg};
+use crate::msg::{ControlOp, Msg};
 use crate::rpc::{AgentAddress, Handled, RpcClient, RpcCompletion};
 
 /// A client: a Legion object that only makes calls.
@@ -52,7 +52,7 @@ impl ClientObject {
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
         target: ObjectId,
-        op: Box<dyn ControlPayload>,
+        op: ControlOp,
     ) -> CallId {
         self.rpc.control(ctx, target, op)
     }

@@ -14,7 +14,7 @@ use crate::binding::BindingAgent;
 use crate::client::ClientObject;
 use crate::cost::CostModel;
 use crate::host::HostObject;
-use crate::msg::{ControlPayload, Msg};
+use crate::msg::{ControlOp, Msg};
 use crate::naming::ContextSpace;
 use crate::rpc::{AgentAddress, RpcCompletion};
 use crate::vault::Vault;
@@ -151,7 +151,7 @@ impl Testbed {
         &mut self,
         client: ActorId,
         target: ObjectId,
-        op: Box<dyn ControlPayload>,
+        op: ControlOp,
     ) -> dcdo_types::CallId {
         self.sim
             .with_actor::<ClientObject, _>(client, |c, ctx| c.control_op(ctx, target, op))
@@ -196,7 +196,7 @@ impl Testbed {
         &mut self,
         client: ActorId,
         target: ObjectId,
-        op: Box<dyn ControlPayload>,
+        op: ControlOp,
     ) -> RpcCompletion {
         let call = self.client_control(client, target, op);
         self.wait_for(client, call)

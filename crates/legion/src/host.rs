@@ -13,7 +13,7 @@ use dcdo_sim::{Actor, ActorId, Ctx, NodeId};
 use dcdo_types::{Architecture, ClassId, ComponentId, HostId, ObjectId};
 
 use crate::control_payload;
-use crate::msg::{Ack, ControlPayload, InvocationFault, Msg};
+use crate::msg::{Ack, ControlOp, InvocationFault, Msg};
 
 /// Control op: store component data in the host's cache.
 #[derive(Debug, Clone)]
@@ -179,25 +179,25 @@ impl Actor<Msg> for HostObject {
                     );
                     return;
                 }
-                let result: Result<Box<dyn ControlPayload>, InvocationFault> =
+                let result: Result<ControlOp, InvocationFault> =
                     if let Some(store) = op.as_any().downcast_ref::<StoreComponentData>() {
                         self.components.insert(store.component, store.bytes.clone());
                         ctx.metrics().incr("host.components_stored");
-                        Ok(Box::new(Ack))
+                        Ok(ControlOp::new(Ack))
                     } else if let Some(fetch) = op.as_any().downcast_ref::<FetchComponentData>() {
-                        Ok(Box::new(ComponentData {
+                        Ok(ControlOp::new(ComponentData {
                             component: fetch.component,
                             bytes: self.components.get(&fetch.component).cloned(),
                         }))
                     } else if let Some(has) = op.as_any().downcast_ref::<HasComponent>() {
-                        Ok(Box::new(CachedReply {
+                        Ok(ControlOp::new(CachedReply {
                             cached: self.components.contains_key(&has.component),
                         }))
                     } else if let Some(store) = op.as_any().downcast_ref::<StoreExecutable>() {
                         self.executables.insert((store.class, store.version));
-                        Ok(Box::new(Ack))
+                        Ok(ControlOp::new(Ack))
                     } else if let Some(has) = op.as_any().downcast_ref::<HasExecutable>() {
-                        Ok(Box::new(CachedReply {
+                        Ok(ControlOp::new(CachedReply {
                             cached: self.executables.contains(&(has.class, has.version)),
                         }))
                     } else {

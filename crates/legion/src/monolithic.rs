@@ -16,7 +16,7 @@ use dcdo_vm::{CodeBlock, NativeRegistry, StaticResolver, ValueStore};
 
 use crate::control_payload;
 use crate::cost::CostModel;
-use crate::msg::{Ack, ControlPayload, InvocationFault, Msg};
+use crate::msg::{Ack, ControlOp, InvocationFault, Msg};
 use crate::object::ObjectRuntime;
 use crate::rpc::{Handled, RpcClient};
 
@@ -191,30 +191,30 @@ impl MonolithicObject {
         ctx: &mut Ctx<'_, Msg>,
         from: ActorId,
         call: dcdo_types::CallId,
-        op: Box<dyn ControlPayload>,
+        op: ControlOp,
     ) {
-        let result: Result<Box<dyn ControlPayload>, InvocationFault> =
+        let result: Result<ControlOp, InvocationFault> =
             if op.as_any().downcast_ref::<CaptureState>().is_some() {
-                Ok(Box::new(StateBlob {
+                Ok(ControlOp::new(StateBlob {
                     bytes: self.state.capture(),
                 }))
             } else if let Some(restore) = op.as_any().downcast_ref::<RestoreState>() {
                 match ValueStore::restore(restore.bytes.clone()) {
                     Ok(state) => {
                         self.state = state;
-                        Ok(Box::new(Ack))
+                        Ok(ControlOp::new(Ack))
                     }
                     Err(e) => Err(InvocationFault::Refused(format!("bad state blob: {e}"))),
                 }
             } else if op.as_any().downcast_ref::<QueryVersion>().is_some() {
-                Ok(Box::new(VersionReport {
+                Ok(ControlOp::new(VersionReport {
                     version: self.image_version,
                     functions: self.function_count,
                 }))
             } else if op.as_any().downcast_ref::<Deactivate>().is_some() {
                 let me = ctx.self_id();
                 ctx.kill(me);
-                Ok(Box::new(Ack))
+                Ok(ControlOp::new(Ack))
             } else {
                 Err(InvocationFault::Refused(format!(
                     "monolithic object does not understand {}",

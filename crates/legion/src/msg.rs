@@ -10,6 +10,8 @@
 
 use std::any::Any;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 use dcdo_sim::Payload;
 use dcdo_types::{CallId, FunctionName, ObjectId};
@@ -83,19 +85,58 @@ pub trait ControlPayload: Any + fmt::Debug + Send {
 
     /// Upcast for downcasting to the concrete operation type.
     fn as_any(&self) -> &dyn Any;
-
-    /// Clones the payload (control calls must be resendable by the RPC
-    /// retry machinery).
-    fn clone_box(&self) -> Box<dyn ControlPayload>;
 }
 
-impl Clone for Box<dyn ControlPayload> {
-    fn clone(&self) -> Self {
-        self.clone_box()
+/// A shared, type-erased control operation.
+///
+/// Control payloads are immutable once sent, but the RPC machinery must
+/// keep a copy for every retry, the engine for every duplicate delivery,
+/// and fan-out callers one per destination. `ControlOp` wraps the payload
+/// in an [`Arc`] so all of those are pointer clones — the payload itself is
+/// never deep-copied after construction.
+#[derive(Clone)]
+pub struct ControlOp(Arc<dyn ControlPayload>);
+
+impl ControlOp {
+    /// Wraps a concrete payload.
+    pub fn new(op: impl ControlPayload) -> Self {
+        ControlOp(Arc::new(op))
+    }
+
+    /// Downcasts to the concrete operation type.
+    pub fn downcast_ref<T: ControlPayload>(&self) -> Option<&T> {
+        self.0.as_any().downcast_ref()
     }
 }
 
-/// Implements [`ControlPayload`] for a `Clone + Debug + Send + 'static` type.
+impl Deref for ControlOp {
+    type Target = dyn ControlPayload;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl fmt::Debug for ControlOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: ControlPayload> From<T> for ControlOp {
+    fn from(op: T) -> Self {
+        ControlOp::new(op)
+    }
+}
+
+impl ControlOp {
+    /// Wraps an already-boxed payload (the type-erased construction path).
+    pub fn from_boxed(op: Box<dyn ControlPayload>) -> Self {
+        ControlOp(Arc::from(op))
+    }
+}
+
+/// Implements [`ControlPayload`] for a `Debug + Send + 'static` type.
 #[macro_export]
 macro_rules! control_payload {
     ($ty:ty, $name:literal) => {
@@ -105,9 +146,6 @@ macro_rules! control_payload {
             }
             fn as_any(&self) -> &dyn ::std::any::Any {
                 self
-            }
-            fn clone_box(&self) -> ::std::boxed::Box<dyn $crate::ControlPayload> {
-                ::std::boxed::Box::new(self.clone())
             }
         }
     };
@@ -123,15 +161,15 @@ macro_rules! control_payload {
             fn as_any(&self) -> &dyn ::std::any::Any {
                 self
             }
-            fn clone_box(&self) -> ::std::boxed::Box<dyn $crate::ControlPayload> {
-                ::std::boxed::Box::new(self.clone())
-            }
         }
     };
 }
 
 /// A message between Legion objects.
-#[derive(Debug)]
+///
+/// Cheaply clonable: control payloads are [`Arc`]-shared via [`ControlOp`],
+/// so cloning a message copies headers and pointers, not payload bytes.
+#[derive(Debug, Clone)]
 pub enum Msg {
     /// Invoke an exported dynamic function on the destination object.
     Invoke {
@@ -158,14 +196,14 @@ pub enum Msg {
         /// The object the caller believes lives at the destination actor.
         target: ObjectId,
         /// The operation.
-        op: Box<dyn ControlPayload>,
+        op: ControlOp,
     },
     /// The outcome of a [`Msg::Control`].
     ControlReply {
         /// The call this answers.
         call: CallId,
         /// The operation outcome: a typed reply payload or a fault.
-        result: Result<Box<dyn ControlPayload>, InvocationFault>,
+        result: Result<ControlOp, InvocationFault>,
     },
     /// An early acknowledgement that a long-running operation was accepted
     /// and is in progress. Receipt proves the address is live, so the
@@ -179,6 +217,10 @@ pub enum Msg {
 }
 
 impl Payload for Msg {
+    fn clone_for_redelivery(&self) -> Option<Msg> {
+        Some(self.clone())
+    }
+
     fn wire_size(&self) -> u64 {
         match self {
             Msg::Invoke { function, args, .. } => {
@@ -250,13 +292,45 @@ mod tests {
     }
 
     #[test]
-    fn control_payload_clone_box() {
-        let op: Box<dyn ControlPayload> = Box::new(TestOp { data: vec![9] });
+    fn control_op_clone_shares_the_payload() {
+        let op = ControlOp::new(TestOp { data: vec![9] });
         let cloned = op.clone();
+        assert_eq!(cloned.downcast_ref::<TestOp>(), op.downcast_ref::<TestOp>());
+        // Arc-shared, not deep-copied.
+        assert!(std::ptr::eq(
+            op.downcast_ref::<TestOp>().expect("typed"),
+            cloned.downcast_ref::<TestOp>().expect("typed"),
+        ));
+    }
+
+    #[test]
+    fn control_op_converts_from_concrete_and_boxed() {
+        let from_concrete: ControlOp = TestOp { data: vec![1] }.into();
+        let from_boxed = ControlOp::from_boxed(Box::new(TestOp { data: vec![2] }));
+        assert_eq!(from_concrete.describe(), "test-op");
         assert_eq!(
-            cloned.as_any().downcast_ref::<TestOp>(),
-            op.as_any().downcast_ref::<TestOp>()
+            from_boxed.downcast_ref::<TestOp>().expect("typed").data,
+            [2]
         );
+    }
+
+    #[test]
+    fn msg_clone_is_shallow_for_control_payloads() {
+        let msg = Msg::Control {
+            call: CallId::from_raw(3),
+            target: ObjectId::from_raw(4),
+            op: ControlOp::new(TestOp {
+                data: vec![0; 4096],
+            }),
+        };
+        let dup = msg.clone_for_redelivery().expect("messages are duplicable");
+        let (Msg::Control { op: a, .. }, Msg::Control { op: b, .. }) = (&msg, &dup) else {
+            panic!("clone changed the variant");
+        };
+        assert!(std::ptr::eq(
+            a.downcast_ref::<TestOp>().expect("typed"),
+            b.downcast_ref::<TestOp>().expect("typed"),
+        ));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use dcdo_types::ObjectId;
 use serde::{Deserialize, Serialize};
 
 use crate::control_payload;
-use crate::msg::{Ack, ControlPayload, InvocationFault, Msg};
+use crate::msg::{Ack, ControlOp, InvocationFault, Msg};
 
 /// A hierarchical context path like `/home/components/sorting-v2`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -231,15 +231,15 @@ impl Actor<Msg> for ContextSpace {
                     );
                     return;
                 }
-                let result: Result<Box<dyn ControlPayload>, InvocationFault> =
+                let result: Result<ControlOp, InvocationFault> =
                     if let Some(bind) = op.as_any().downcast_ref::<BindName>() {
                         self.bindings.insert(bind.path.clone(), bind.object);
-                        Ok(Box::new(Ack))
+                        Ok(ControlOp::new(Ack))
                     } else if let Some(unbind) = op.as_any().downcast_ref::<UnbindName>() {
                         self.bindings.remove(&unbind.path);
-                        Ok(Box::new(Ack))
+                        Ok(ControlOp::new(Ack))
                     } else if let Some(lookup) = op.as_any().downcast_ref::<LookupName>() {
-                        Ok(Box::new(NameResult {
+                        Ok(ControlOp::new(NameResult {
                             path: lookup.path.clone(),
                             object: self.bindings.get(&lookup.path).copied(),
                         }))
@@ -250,7 +250,7 @@ impl Actor<Msg> for ContextSpace {
                             .filter(|(p, _)| list.context.contains(p))
                             .map(|(p, o)| (p.clone(), *o))
                             .collect();
-                        Ok(Box::new(ContextListing { entries }))
+                        Ok(ControlOp::new(ContextListing { entries }))
                     } else {
                         Err(InvocationFault::Refused(format!(
                             "context space does not understand {}",

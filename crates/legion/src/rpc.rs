@@ -26,7 +26,7 @@ use dcdo_vm::Value;
 
 use crate::binding::{BindingResult, QueryBinding};
 use crate::cost::CostModel;
-use crate::msg::{ControlPayload, InvocationFault, Msg};
+use crate::msg::{ControlOp, InvocationFault, Msg};
 
 /// Where the binding agent lives.
 #[derive(Debug, Clone, Copy)]
@@ -45,7 +45,7 @@ enum RpcOp {
         args: Vec<Value>,
     },
     Control {
-        op: Box<dyn ControlPayload>,
+        op: ControlOp,
     },
 }
 
@@ -55,7 +55,7 @@ pub enum ReplyPayload {
     /// Reply to a user-level invocation.
     Value(Value),
     /// Reply to a control operation.
-    Control(Box<dyn ControlPayload>),
+    Control(ControlOp),
 }
 
 impl ReplyPayload {
@@ -208,9 +208,9 @@ impl RpcClient {
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
         target: ObjectId,
-        op: Box<dyn ControlPayload>,
+        op: impl Into<ControlOp>,
     ) -> CallId {
-        self.start(ctx, target, RpcOp::Control { op })
+        self.start(ctx, target, RpcOp::Control { op: op.into() })
     }
 
     fn start(&mut self, ctx: &mut Ctx<'_, Msg>, target: ObjectId, op: RpcOp) -> CallId {
@@ -272,7 +272,7 @@ impl RpcClient {
             Msg::Control {
                 call: query,
                 target: self.agent.object,
-                op: Box::new(QueryBinding {
+                op: ControlOp::new(QueryBinding {
                     object: pending.target,
                 }),
             },
@@ -342,7 +342,7 @@ impl RpcClient {
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
         original: u64,
-        result: Result<Box<dyn ControlPayload>, InvocationFault>,
+        result: Result<ControlOp, InvocationFault>,
     ) -> Handled {
         let Some(mut pending) = self.pending.remove(&original) else {
             return Handled::Stale;

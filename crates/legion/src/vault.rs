@@ -11,7 +11,7 @@ use dcdo_sim::{Actor, ActorId, Ctx};
 use dcdo_types::ObjectId;
 
 use crate::control_payload;
-use crate::msg::{Ack, ControlPayload, InvocationFault, Msg};
+use crate::msg::{Ack, ControlOp, InvocationFault, Msg};
 
 /// Control op: persist a state blob for `owner`.
 #[derive(Debug, Clone)]
@@ -103,14 +103,14 @@ impl Actor<Msg> for Vault {
                     );
                     return;
                 }
-                let result: Result<Box<dyn ControlPayload>, InvocationFault> =
+                let result: Result<ControlOp, InvocationFault> =
                     if let Some(save) = op.as_any().downcast_ref::<SaveState>() {
                         self.blobs.insert(save.owner, save.bytes.clone());
                         ctx.metrics().incr("vault.saves");
-                        Ok(Box::new(Ack))
+                        Ok(ControlOp::new(Ack))
                     } else if let Some(load) = op.as_any().downcast_ref::<LoadState>() {
                         ctx.metrics().incr("vault.loads");
-                        Ok(Box::new(LoadedState {
+                        Ok(ControlOp::new(LoadedState {
                             owner: load.owner,
                             bytes: self.blobs.get(&load.owner).cloned(),
                         }))

@@ -11,7 +11,7 @@ use legion_substrate::class::{
 };
 use legion_substrate::harness::Testbed;
 use legion_substrate::monolithic::{ExecutableImage, QueryVersion, VersionReport};
-use legion_substrate::{InvocationFault, ReplyPayload};
+use legion_substrate::{ControlOp, InvocationFault, ReplyPayload};
 
 fn adder_image(version: u32, extra_functions: usize, size_bytes: u64) -> ExecutableImage {
     let mut functions = vec![
@@ -85,7 +85,7 @@ fn create_instance(bed: &mut Testbed, class_object: ObjectId, node: u32) -> Obje
     let completion = bed.control_and_wait(
         client,
         class_object,
-        Box::new(CreateInstance {
+        ControlOp::new(CreateInstance {
             node: bed.nodes[node as usize],
         }),
     );
@@ -126,7 +126,7 @@ fn creation_cost_matches_paper_calibration() {
     let call = bed.client_control(
         client,
         class_object,
-        Box::new(CreateInstance { node: bed.nodes[1] }),
+        ControlOp::new(CreateInstance { node: bed.nodes[1] }),
     );
     let completion = bed.wait_for(client, call);
     assert!(completion.result.is_ok());
@@ -137,7 +137,7 @@ fn creation_cost_matches_paper_calibration() {
     let call = bed.client_control(
         client,
         class_object,
-        Box::new(CreateInstance { node: bed.nodes[1] }),
+        ControlOp::new(CreateInstance { node: bed.nodes[1] }),
     );
     let completion = bed.wait_for(client, call);
     let second = completion.elapsed.as_secs_f64();
@@ -185,7 +185,7 @@ fn evolution_replaces_executable_and_preserves_state() {
     let completion = bed.control_and_wait(
         client,
         class_object,
-        Box::new(SetCurrentImage {
+        ControlOp::new(SetCurrentImage {
             image: adder_image(2, 0, 5_100_000),
         }),
     );
@@ -194,7 +194,7 @@ fn evolution_replaces_executable_and_preserves_state() {
     let completion = bed.control_and_wait(
         client,
         class_object,
-        Box::new(EvolveInstance { object: instance }),
+        ControlOp::new(EvolveInstance { object: instance }),
     );
     let payload = completion.result.expect("evolution succeeds");
     let done = payload
@@ -246,14 +246,14 @@ fn stale_binding_discovery_takes_25_to_35_seconds() {
     bed.control_and_wait(
         admin,
         class_object,
-        Box::new(SetCurrentImage {
+        ControlOp::new(SetCurrentImage {
             image: adder_image(3, 0, 550_000),
         }),
     );
     let done = bed.control_and_wait(
         admin,
         class_object,
-        Box::new(EvolveInstance { object: instance }),
+        ControlOp::new(EvolveInstance { object: instance }),
     );
     assert!(done.result.is_ok());
 
@@ -296,7 +296,7 @@ fn migration_moves_an_instance_between_hosts() {
     let completion = bed.control_and_wait(
         client,
         class_object,
-        Box::new(MigrateInstance {
+        ControlOp::new(MigrateInstance {
             object: instance,
             to: bed.nodes[8],
         }),
@@ -305,7 +305,7 @@ fn migration_moves_an_instance_between_hosts() {
     assert!(payload.control_as::<LifecycleDone>().is_some());
 
     // Instance table reflects the new placement.
-    let listing = bed.control_and_wait(client, class_object, Box::new(ListInstances));
+    let listing = bed.control_and_wait(client, class_object, ControlOp::new(ListInstances));
     let payload = listing.result.expect("list succeeds");
     let table = payload
         .control_as::<legion_substrate::class::InstanceTable>()
@@ -329,7 +329,7 @@ fn version_query_reports_running_image() {
     let (mut bed, class_object) = setup(8);
     let instance = create_instance(&mut bed, class_object, 1);
     let (_, client) = bed.spawn_client(bed.nodes[2]);
-    let completion = bed.control_and_wait(client, instance, Box::new(QueryVersion));
+    let completion = bed.control_and_wait(client, instance, ControlOp::new(QueryVersion));
     let payload = completion.result.expect("query succeeds");
     let report = payload
         .control_as::<VersionReport>()
@@ -374,7 +374,7 @@ fn evolution_can_park_state_in_the_vault() {
     let created = bed.control_and_wait(
         client,
         class_object,
-        Box::new(CreateInstance { node: bed.nodes[2] }),
+        ControlOp::new(CreateInstance { node: bed.nodes[2] }),
     );
     let instance = created
         .result
@@ -391,7 +391,7 @@ fn evolution_can_park_state_in_the_vault() {
     bed.control_and_wait(
         client,
         class_object,
-        Box::new(SetCurrentImage {
+        ControlOp::new(SetCurrentImage {
             image: adder_image(2, 0, 550_000),
         }),
     )
@@ -400,7 +400,7 @@ fn evolution_can_park_state_in_the_vault() {
     let done = bed.control_and_wait(
         client,
         class_object,
-        Box::new(EvolveInstance { object: instance }),
+        ControlOp::new(EvolveInstance { object: instance }),
     );
     assert!(done.result.is_ok());
 

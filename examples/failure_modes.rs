@@ -17,6 +17,7 @@ use dcdo::core::ops::{
 use dcdo::evolution::{Fleet, Strategy};
 use dcdo::legion::class::{ClassObject, CreateInstance, InstanceCreated};
 use dcdo::legion::monolithic::ExecutableImage;
+use dcdo::legion::ControlOp;
 use dcdo::sim::SimDuration;
 use dcdo::types::{ClassId, ComponentId, Protection, VersionId};
 use dcdo::vm::{ComponentBuilder, FunctionBuilder, Value};
@@ -62,7 +63,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(DisableFunction {
+            ControlOp::new(DisableFunction {
                 function: "incr".into(),
             }),
         )
@@ -78,7 +79,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(dcdo::core::ops::EnableFunction {
+            ControlOp::new(dcdo::core::ops::EnableFunction {
                 function: "incr".into(),
                 component: ComponentId::from_raw(1),
             }),
@@ -94,7 +95,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(DisableFunction {
+            ControlOp::new(DisableFunction {
                 function: "step".into(),
             }),
         )
@@ -112,7 +113,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(dcdo::core::ops::EnableFunction {
+            ControlOp::new(dcdo::core::ops::EnableFunction {
                 function: "step".into(),
                 component: ComponentId::from_raw(1),
             }),
@@ -124,7 +125,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(dcdo::core::ops::AddFunctionDependency {
+            ControlOp::new(dcdo::core::ops::AddFunctionDependency {
                 dependency: dcdo::types::Dependency::type_a(
                     "incr",
                     ComponentId::from_raw(1),
@@ -139,7 +140,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(DisableFunction {
+            ControlOp::new(DisableFunction {
                 function: "step".into(),
             }),
         )
@@ -153,7 +154,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(dcdo::core::ops::SetFunctionProtection {
+            ControlOp::new(dcdo::core::ops::SetFunctionProtection {
                 function: "incr".into(),
                 protection: Protection::Mandatory,
             }),
@@ -165,7 +166,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(DisableFunction {
+            ControlOp::new(DisableFunction {
                 function: "incr".into(),
             }),
         )
@@ -192,7 +193,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(dcdo::core::ops::IncorporateComponent { ico: ico2 }),
+            ControlOp::new(dcdo::core::ops::IncorporateComponent { ico: ico2 }),
         )
         .result
         .expect("incorporation succeeds");
@@ -201,7 +202,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(dcdo::core::ops::EnableFunction {
+            ControlOp::new(dcdo::core::ops::EnableFunction {
                 function: "relay".into(),
                 component: ComponentId::from_raw(2),
             }),
@@ -230,7 +231,11 @@ fn main() {
     let node = fleet.bed.nodes[2];
     let peer = fleet
         .bed
-        .control_and_wait(fleet.driver, class_obj, Box::new(CreateInstance { node }))
+        .control_and_wait(
+            fleet.driver,
+            class_obj,
+            ControlOp::new(CreateInstance { node }),
+        )
         .result
         .expect("peer created")
         .control_as::<InstanceCreated>()
@@ -247,7 +252,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(RemoveComponent {
+            ControlOp::new(RemoveComponent {
                 component: ComponentId::from_raw(2),
             }),
         )
@@ -263,7 +268,7 @@ fn main() {
         .control_and_wait(
             fleet.driver,
             dcdo,
-            Box::new(SetRemovalPolicy {
+            ControlOp::new(SetRemovalPolicy {
                 policy: RemovalPolicy::DelayUntilIdle,
             }),
         )
@@ -272,7 +277,7 @@ fn main() {
     let removal = fleet.bed.client_control(
         fleet.driver,
         dcdo,
-        Box::new(RemoveComponent {
+        ControlOp::new(RemoveComponent {
             component: ComponentId::from_raw(2),
         }),
     );

@@ -12,6 +12,7 @@
 
 use dcdo::core::ops::VersionConfigOp;
 use dcdo::evolution::{Fleet, Strategy};
+use dcdo::legion::ControlOp;
 use dcdo::types::{Dependency, VersionId};
 use dcdo::vm::Value;
 use dcdo::workloads::service;
@@ -100,7 +101,7 @@ fn main() {
     let derive = fleet.bed.control_and_wait(
         fleet.driver,
         fleet.manager_obj,
-        Box::new(dcdo::core::ops::DeriveVersion { from: v3.clone() }),
+        ControlOp::new(dcdo::core::ops::DeriveVersion { from: v3.clone() }),
     );
     let v4 = derive
         .result
@@ -112,7 +113,7 @@ fn main() {
     let refusal = fleet.bed.control_and_wait(
         fleet.driver,
         fleet.manager_obj,
-        Box::new(dcdo::core::ops::ConfigureVersion {
+        ControlOp::new(dcdo::core::ops::ConfigureVersion {
             version: v4,
             op: VersionConfigOp::EnableFunction {
                 function: "compare".into(),

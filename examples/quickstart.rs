@@ -15,6 +15,7 @@
 use dcdo::core::ops::{CreateDcdo, DcdoCreated, InterfaceReport, QueryInterface, VersionConfigOp};
 use dcdo::core::{DcdoManager, Ico, UpdatePropagation, VersionPolicy};
 use dcdo::legion::harness::Testbed;
+use dcdo::legion::ControlOp;
 use dcdo::types::{ClassId, ComponentId, ObjectId, VersionId};
 use dcdo::vm::{ComponentBuilder, Value};
 
@@ -64,7 +65,7 @@ fn main() {
     let derive = bed.control_and_wait(
         admin,
         manager_obj,
-        Box::new(dcdo::core::ops::DeriveVersion {
+        ControlOp::new(dcdo::core::ops::DeriveVersion {
             from: VersionId::root(),
         }),
     );
@@ -85,7 +86,7 @@ fn main() {
         bed.control_and_wait(
             admin,
             manager_obj,
-            Box::new(dcdo::core::ops::ConfigureVersion {
+            ControlOp::new(dcdo::core::ops::ConfigureVersion {
                 version: v1.clone(),
                 op,
             }),
@@ -96,7 +97,7 @@ fn main() {
     bed.control_and_wait(
         admin,
         manager_obj,
-        Box::new(dcdo::core::ops::MarkInstantiable {
+        ControlOp::new(dcdo::core::ops::MarkInstantiable {
             version: v1.clone(),
         }),
     )
@@ -105,7 +106,7 @@ fn main() {
     bed.control_and_wait(
         admin,
         manager_obj,
-        Box::new(dcdo::core::ops::SetCurrentVersion {
+        ControlOp::new(dcdo::core::ops::SetCurrentVersion {
             version: v1.clone(),
         }),
     )
@@ -117,7 +118,7 @@ fn main() {
     let created = bed.control_and_wait(
         admin,
         manager_obj,
-        Box::new(CreateDcdo { node: bed.nodes[4] }),
+        ControlOp::new(CreateDcdo { node: bed.nodes[4] }),
     );
     let dcdo: ObjectId = created
         .result
@@ -161,7 +162,7 @@ fn main() {
     let derive = bed.control_and_wait(
         admin,
         manager_obj,
-        Box::new(dcdo::core::ops::DeriveVersion { from: v1.clone() }),
+        ControlOp::new(dcdo::core::ops::DeriveVersion { from: v1.clone() }),
     );
     let v2: VersionId = derive
         .result
@@ -180,7 +181,7 @@ fn main() {
         bed.control_and_wait(
             admin,
             manager_obj,
-            Box::new(dcdo::core::ops::ConfigureVersion {
+            ControlOp::new(dcdo::core::ops::ConfigureVersion {
                 version: v2.clone(),
                 op,
             }),
@@ -191,7 +192,7 @@ fn main() {
     bed.control_and_wait(
         admin,
         manager_obj,
-        Box::new(dcdo::core::ops::MarkInstantiable {
+        ControlOp::new(dcdo::core::ops::MarkInstantiable {
             version: v2.clone(),
         }),
     )
@@ -200,7 +201,7 @@ fn main() {
     bed.control_and_wait(
         admin,
         manager_obj,
-        Box::new(dcdo::core::ops::SetCurrentVersion {
+        ControlOp::new(dcdo::core::ops::SetCurrentVersion {
             version: v2.clone(),
         }),
     )
@@ -210,7 +211,7 @@ fn main() {
     let update = bed.control_and_wait(
         admin,
         manager_obj,
-        Box::new(dcdo::core::ops::UpdateInstance {
+        ControlOp::new(dcdo::core::ops::UpdateInstance {
             object: dcdo,
             to: None,
         }),
@@ -232,7 +233,7 @@ fn main() {
     );
 
     // 9. Status reporting: the object's exported interface.
-    let interface = bed.control_and_wait(admin, dcdo, Box::new(QueryInterface));
+    let interface = bed.control_and_wait(admin, dcdo, ControlOp::new(QueryInterface));
     let report = interface.result.expect("query succeeds");
     let report = report.control_as::<InterfaceReport>().expect("report");
     println!("exported interface:");

@@ -3,6 +3,7 @@
 
 use dcdo::core::ops::{ListVersions, VersionConfigOp, VersionTable};
 use dcdo::evolution::{Fleet, Strategy};
+use dcdo::legion::ControlOp;
 use dcdo::sim::SimDuration;
 use dcdo::types::{ComponentId, VersionId};
 use dcdo::vm::ComponentBuilder;
@@ -113,10 +114,11 @@ fn ten_generations_under_load_and_loss() {
     }
 
     // The manager's DFM store holds the whole derivation chain.
-    let completion =
-        fleet
-            .bed
-            .control_and_wait(fleet.driver, fleet.manager_obj, Box::new(ListVersions));
+    let completion = fleet.bed.control_and_wait(
+        fleet.driver,
+        fleet.manager_obj,
+        ControlOp::new(ListVersions),
+    );
     let payload = completion.result.expect("list succeeds");
     let table = payload.control_as::<VersionTable>().expect("version table");
     assert_eq!(table.current, current);

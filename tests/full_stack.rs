@@ -3,6 +3,7 @@
 
 use dcdo::core::ops::VersionConfigOp;
 use dcdo::evolution::{Fleet, Strategy};
+use dcdo::legion::ControlOp;
 use dcdo::sim::SimDuration;
 use dcdo::types::{ComponentId, VersionId};
 use dcdo::vm::{ComponentBuilder, Value};
@@ -236,7 +237,7 @@ fn two_services_coexist_and_interact() {
         .control_and_wait(
             fleet.driver,
             fleet.manager_obj,
-            Box::new(dcdo::core::ops::UpdateInstance {
+            ControlOp::new(dcdo::core::ops::UpdateInstance {
                 object: backend,
                 to: None,
             }),
@@ -256,7 +257,7 @@ fn interface_queries_reflect_live_configuration() {
     let completion = fleet.bed.control_and_wait(
         fleet.driver,
         target,
-        Box::new(dcdo::core::ops::QueryImplementation),
+        ControlOp::new(dcdo::core::ops::QueryImplementation),
     );
     let payload = completion.result.expect("query succeeds");
     let report = payload
@@ -269,7 +270,7 @@ fn interface_queries_reflect_live_configuration() {
     let completion = fleet.bed.control_and_wait(
         fleet.driver,
         target,
-        Box::new(dcdo::core::ops::QueryFunctionStatus {
+        ControlOp::new(dcdo::core::ops::QueryFunctionStatus {
             function: "step".into(),
         }),
     );
@@ -322,7 +323,7 @@ fn two_managers_two_types_one_testbed() {
     let derive = fleet.bed.control_and_wait(
         fleet.driver,
         sorter_mgr_obj,
-        Box::new(dcdo::core::ops::DeriveVersion {
+        ControlOp::new(dcdo::core::ops::DeriveVersion {
             from: VersionId::root(),
         }),
     );
@@ -349,7 +350,7 @@ fn two_managers_two_types_one_testbed() {
             .control_and_wait(
                 fleet.driver,
                 sorter_mgr_obj,
-                Box::new(dcdo::core::ops::ConfigureVersion {
+                ControlOp::new(dcdo::core::ops::ConfigureVersion {
                     version: v1.clone(),
                     op,
                 }),
@@ -358,10 +359,10 @@ fn two_managers_two_types_one_testbed() {
             .expect("configure succeeds");
     }
     for op in [
-        Box::new(dcdo::core::ops::MarkInstantiable {
+        ControlOp::new(dcdo::core::ops::MarkInstantiable {
             version: v1.clone(),
-        }) as Box<dyn dcdo::legion::ControlPayload>,
-        Box::new(dcdo::core::ops::SetCurrentVersion {
+        }),
+        ControlOp::new(dcdo::core::ops::SetCurrentVersion {
             version: v1.clone(),
         }),
     ] {
@@ -374,7 +375,7 @@ fn two_managers_two_types_one_testbed() {
     let created = fleet.bed.control_and_wait(
         fleet.driver,
         sorter_mgr_obj,
-        Box::new(dcdo::core::ops::CreateDcdo {
+        ControlOp::new(dcdo::core::ops::CreateDcdo {
             node: fleet.bed.nodes[6],
         }),
     );

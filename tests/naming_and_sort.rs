@@ -7,6 +7,7 @@ use dcdo::legion::harness::Testbed;
 use dcdo::legion::naming::{
     BindName, ContextListing, ContextPath, ListContext, LookupName, NameResult,
 };
+use dcdo::legion::ControlOp;
 use dcdo::types::ObjectId;
 use dcdo::vm::{
     CallOrigin, NativeRegistry, RunOutcome, StaticResolver, Value, ValueStore, VmThread,
@@ -38,7 +39,7 @@ fn components_are_published_and_resolved_by_name() {
         bed.control_and_wait(
             client,
             context,
-            Box::new(BindName {
+            ControlOp::new(BindName {
                 path,
                 object: ico_obj,
             }),
@@ -52,7 +53,7 @@ fn components_are_published_and_resolved_by_name() {
     let completion = bed.control_and_wait(
         client,
         context,
-        Box::new(LookupName {
+        ControlOp::new(LookupName {
             path: "/components/sorting".parse().expect("valid path"),
         }),
     );
@@ -64,7 +65,7 @@ fn components_are_published_and_resolved_by_name() {
     let completion = bed.control_and_wait(
         client,
         context,
-        Box::new(ListContext {
+        ControlOp::new(ListContext {
             context: "/components".parse().expect("valid path"),
         }),
     );
@@ -77,7 +78,7 @@ fn components_are_published_and_resolved_by_name() {
     let completion = bed.control_and_wait(
         client,
         ico,
-        Box::new(dcdo::core::ops::ReadComponentDescriptor),
+        ControlOp::new(dcdo::core::ops::ReadComponentDescriptor),
     );
     let payload = completion.result.expect("read succeeds");
     let reply = payload
@@ -89,7 +90,7 @@ fn components_are_published_and_resolved_by_name() {
     let completion = bed.control_and_wait(
         client,
         context,
-        Box::new(LookupName {
+        ControlOp::new(LookupName {
             path: "/components/ghost".parse().expect("valid path"),
         }),
     );
