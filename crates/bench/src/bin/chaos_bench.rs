@@ -1,0 +1,79 @@
+//! Chaos recovery tracker: runs the fault-injection scenarios from
+//! `dcdo_workloads::chaos` twice per seed (verifying bit-identical replay)
+//! and emits a machine-readable `BENCH_chaos.json` so recovery time and
+//! message amplification are tracked across PRs (CI uploads it as an
+//! artifact).
+//!
+//! Usage: `cargo run --release -p dcdo-bench --bin chaos_bench [-- out.json]`
+
+use dcdo_workloads::chaos::{self, ChaosReport};
+
+struct Shot {
+    report: ChaosReport,
+    replay_ok: bool,
+}
+
+fn measure(run: impl Fn() -> ChaosReport) -> Shot {
+    let first = run();
+    let second = run();
+    let replay_ok =
+        first.trace_hash == second.trace_hash && first.events_processed == second.events_processed;
+    Shot {
+        report: second,
+        replay_ok,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    let seed = 42;
+    let shots = vec![
+        measure(|| chaos::crash_during_reconfig(seed)),
+        measure(|| chaos::rolling_partition(seed)),
+        measure(|| chaos::restart_storm(seed)),
+    ];
+
+    let mut json =
+        String::from("{\n  \"suite\": \"chaos_recovery\",\n  \"seed\": 42,\n  \"scenarios\": {\n");
+    for (i, s) in shots.iter().enumerate() {
+        let r = &s.report;
+        json.push_str(&format!(
+            "    \"{}\": {{\"trace_hash\": \"{:016x}\", \"replay_ok\": {}, \"events\": {}, \
+             \"recovery_time_s\": {:.4}, \"message_amplification\": {:.4}, \
+             \"unreachable_drops\": {}, \"node_crashes\": {}, \"leaked_events\": {}}}{}\n",
+            r.name,
+            r.trace_hash,
+            s.replay_ok,
+            r.events_processed,
+            r.recovery_time_s,
+            r.message_amplification,
+            r.unreachable_drops,
+            r.node_crashes,
+            r.leaked_events,
+            if i + 1 < shots.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    let mut all_replay_ok = true;
+    for s in &shots {
+        let r = &s.report;
+        println!(
+            "{:<24} recovery {:>7.3}s   amplification {:>6.3}x   drops {:>5}   crashes {:>3}   \
+             leaked {}   replay {}",
+            r.name,
+            r.recovery_time_s,
+            r.message_amplification,
+            r.unreachable_drops,
+            r.node_crashes,
+            r.leaked_events,
+            if s.replay_ok { "ok" } else { "MISMATCH" }
+        );
+        all_replay_ok &= s.replay_ok;
+    }
+    std::fs::write(&out_path, json).expect("write BENCH_chaos.json");
+    println!("wrote {out_path}");
+    assert!(all_replay_ok, "same-seed replay diverged");
+}

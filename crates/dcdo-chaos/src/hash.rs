@@ -1,0 +1,34 @@
+//! Golden-trace hashing.
+
+use dcdo_sim::Trace;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Condenses a recorded execution trace into a golden hash: FNV-1a over the
+/// rendered trace text. Two runs with the same seed, workload, and
+/// [`FaultPlan`](crate::FaultPlan) must produce equal hashes — the
+/// determinism witness used by the chaos tests and benchmarks.
+pub fn trace_hash(trace: &Trace) -> u64 {
+    fnv1a(trace.render().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,159 @@
+//! The declarative fault schedule.
+
+use dcdo_sim::{LinkFault, NodeId, SimDuration};
+
+/// One fault action, applied instantaneously at its scheduled time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Crash a node: its actors die, their timers are cancelled, and
+    /// traffic to or from the node is dropped as unreachable.
+    CrashNode(NodeId),
+    /// Bring a crashed node back up. Actors that died in the crash stay
+    /// dead; recovery layers are responsible for spawning replacements.
+    RestartNode(NodeId),
+    /// Partition the network into the given groups; nodes not listed in
+    /// any group form an implicit group of their own. Replaces any
+    /// partition installed earlier.
+    Partition(Vec<Vec<NodeId>>),
+    /// Heal the partition (crashed nodes stay down).
+    Heal,
+    /// Install (or replace) a fault on the directed link `src -> dst`.
+    SetLinkFault {
+        /// Sending side of the link.
+        src: NodeId,
+        /// Receiving side of the link.
+        dst: NodeId,
+        /// The loss/latency override.
+        fault: LinkFault,
+    },
+    /// Remove the fault on the directed link `src -> dst`.
+    ClearLinkFault {
+        /// Sending side of the link.
+        src: NodeId,
+        /// Receiving side of the link.
+        dst: NodeId,
+    },
+}
+
+/// A scheduled fault: `action` fires `at` after the plan is installed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultStep {
+    /// Offset from plan installation.
+    pub at: SimDuration,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A deterministic, replayable schedule of fault actions.
+///
+/// Steps are kept in insertion order; [`ChaosController::install`]
+/// (see [`crate::ChaosController`]) stably sorts them by time, so two steps
+/// at the same instant apply in the order they were added.
+///
+/// # Examples
+///
+/// ```
+/// use dcdo_chaos::FaultPlan;
+/// use dcdo_sim::{NodeId, SimDuration};
+///
+/// let n3 = NodeId::from_raw(3);
+/// let plan = FaultPlan::new()
+///     .crash_for(SimDuration::from_secs(10), SimDuration::from_secs(30), n3)
+///     .partition_at(
+///         SimDuration::from_secs(60),
+///         &[vec![NodeId::from_raw(0), NodeId::from_raw(1)]],
+///     )
+///     .heal_at(SimDuration::from_secs(90));
+/// assert_eq!(plan.len(), 4);
+/// assert_eq!(plan.last_at(), Some(SimDuration::from_secs(90)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    steps: Vec<FaultStep>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds an arbitrary step.
+    pub fn step(mut self, at: SimDuration, action: FaultAction) -> Self {
+        self.steps.push(FaultStep { at, action });
+        self
+    }
+
+    /// Crashes `node` at `at`.
+    pub fn crash_at(self, at: SimDuration, node: NodeId) -> Self {
+        self.step(at, FaultAction::CrashNode(node))
+    }
+
+    /// Restarts `node` at `at`.
+    pub fn restart_at(self, at: SimDuration, node: NodeId) -> Self {
+        self.step(at, FaultAction::RestartNode(node))
+    }
+
+    /// Crashes `node` at `at` and restarts it `down_for` later.
+    pub fn crash_for(self, at: SimDuration, down_for: SimDuration, node: NodeId) -> Self {
+        self.crash_at(at, node).restart_at(at + down_for, node)
+    }
+
+    /// Installs a partition at `at` (see [`FaultAction::Partition`]).
+    pub fn partition_at(self, at: SimDuration, groups: &[Vec<NodeId>]) -> Self {
+        self.step(at, FaultAction::Partition(groups.to_vec()))
+    }
+
+    /// Heals any partition at `at`.
+    pub fn heal_at(self, at: SimDuration) -> Self {
+        self.step(at, FaultAction::Heal)
+    }
+
+    /// Installs a directed link fault at `at`.
+    pub fn link_fault_at(
+        self,
+        at: SimDuration,
+        src: NodeId,
+        dst: NodeId,
+        fault: LinkFault,
+    ) -> Self {
+        self.step(at, FaultAction::SetLinkFault { src, dst, fault })
+    }
+
+    /// Clears a directed link fault at `at`.
+    pub fn clear_link_fault_at(self, at: SimDuration, src: NodeId, dst: NodeId) -> Self {
+        self.step(at, FaultAction::ClearLinkFault { src, dst })
+    }
+
+    /// The scheduled steps, in insertion order.
+    pub fn steps(&self) -> &[FaultStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The latest scheduled offset, if any — useful for sizing a run.
+    pub fn last_at(&self) -> Option<SimDuration> {
+        self.steps.iter().map(|s| s.at).max()
+    }
+
+    /// Returns `true` if any step crashes `node`.
+    pub fn crashes(&self, node: NodeId) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s.action, FaultAction::CrashNode(n) if n == node))
+    }
+
+    pub(crate) fn into_sorted_steps(mut self) -> Vec<FaultStep> {
+        self.steps.sort_by_key(|s| s.at);
+        self.steps
+    }
+}

@@ -24,6 +24,7 @@ use dcdo_sim::{Actor, ActorId, Ctx, NodeId, SimTime};
 use dcdo_types::{CallId, ClassId, ImplementationType, ObjectId, VersionId};
 use legion_substrate::binding::{RegisterBinding, UnregisterBinding};
 use legion_substrate::monolithic::{CaptureState, Deactivate, RestoreState, StateBlob};
+use legion_substrate::vault::{LoadState, LoadedState, SaveState};
 use legion_substrate::{
     Ack, AgentAddress, ControlOp, CostModel, Handled, InvocationFault, Msg, RpcClient,
     RpcCompletion,
@@ -34,9 +35,10 @@ use crate::error::ConfigError;
 use crate::hosts::HostDirectory;
 use crate::object::DcdoObject;
 use crate::ops::{
-    ActivateDcdo, ApplyDfmDescriptor, CheckVersion, ConfigureVersion, CreateDcdo, DcdoCreated,
-    DcdoTable, DeactivateDcdo, DeriveVersion, DerivedVersion, ListDcdos, ListVersions,
-    MarkInstantiable, MigrateDcdo, MigrateDone, QueryVersionInfo, ReadComponentDescriptor,
+    ActivateDcdo, ApplyDfmDescriptor, CheckVersion, CheckpointDcdo, ConfigureVersion, CreateDcdo,
+    DcdoCheckpointed, DcdoCreated, DcdoTable, DeactivateDcdo, DeriveVersion, DerivedVersion,
+    ListDcdos, ListVersions, MarkInstantiable, MigrateDcdo, MigrateDone, NodeFailed,
+    NodeFailureReport, NodeRecovered, QueryVersionInfo, ReadComponentDescriptor, RecoveryStarted,
     ReportVersion, SetCurrentVersion, UpdateDone, UpdateInstance, VersionCheckReply,
     VersionConfigOp, VersionInfo, VersionTable,
 };
@@ -82,6 +84,9 @@ struct DcdoInfo {
     impl_type: ImplementationType,
     /// `Some(state)` while the instance is deactivated (state parked here).
     parked_state: Option<Bytes>,
+    /// `true` while the instance's host is down ([`NodeFailed`]); the
+    /// instance refuses reconfiguration until [`NodeRecovered`] rebuilds it.
+    crashed: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +98,8 @@ enum MgrStep {
     Register,
     Apply,
     Restore,
+    SaveVault,
+    LoadVault,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +109,8 @@ enum MgrKind {
     Migrate,
     Deactivate,
     Activate,
+    Checkpoint,
+    Recover,
 }
 
 /// A queued (serialized) update request: reply channel, explicit target,
@@ -147,6 +156,11 @@ pub struct DcdoManager {
     // back to the older version.
     updates_in_flight: std::collections::HashSet<ObjectId>,
     queued_updates: HashMap<ObjectId, std::collections::VecDeque<QueuedUpdate>>,
+    // The vault backing checkpoint/recovery flows, when configured.
+    vault: Option<ObjectId>,
+    // Updates interrupted by a host crash: object -> target version. Resumed
+    // automatically once the instance is recovered.
+    interrupted_updates: HashMap<ObjectId, VersionId>,
     // ConfigureVersion incorporations awaiting an ICO descriptor:
     // rpc call -> (reply_to, call, version, ico).
     pending_incorporations: HashMap<u64, (ActorId, CallId, VersionId, ObjectId)>,
@@ -193,8 +207,17 @@ impl DcdoManager {
             retry_updates: HashMap::new(),
             updates_in_flight: std::collections::HashSet::new(),
             queued_updates: HashMap::new(),
+            vault: None,
+            interrupted_updates: HashMap::new(),
             pending_incorporations: HashMap::new(),
         }
+    }
+
+    /// Configures the vault backing [`CheckpointDcdo`] and crash-recovery
+    /// ([`NodeRecovered`]) flows. Without a vault both are refused.
+    pub fn with_vault(mut self, vault: ObjectId) -> Self {
+        self.vault = Some(vault);
+        self
     }
 
     /// The manager's object identity.
@@ -243,6 +266,24 @@ impl DcdoManager {
     /// Lifecycle flows still in progress.
     pub fn flows_in_flight(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Instances currently marked crashed (driver-side inspection).
+    pub fn crashed_instances(&self) -> Vec<ObjectId> {
+        let mut out: Vec<ObjectId> = self
+            .table
+            .iter()
+            .filter(|(_, i)| i.crashed)
+            .map(|(o, _)| *o)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Updates interrupted by a crash and awaiting resume (driver-side
+    /// inspection).
+    pub fn interrupted_update_count(&self) -> usize {
+        self.interrupted_updates.len()
     }
 
     // ---- version store operations --------------------------------------
@@ -504,11 +545,11 @@ impl DcdoManager {
                     }),
                 );
             }
-            MgrKind::Migrate | MgrKind::Activate => {
+            MgrKind::Migrate | MgrKind::Activate | MgrKind::Recover => {
                 // Bring the new process to the instance's version first.
                 self.begin_apply(ctx, flow_id);
             }
-            MgrKind::Update | MgrKind::Deactivate => {
+            MgrKind::Update | MgrKind::Deactivate | MgrKind::Checkpoint => {
                 unreachable!("these flows do not spawn processes")
             }
         }
@@ -548,6 +589,7 @@ impl DcdoManager {
                         version: flow.version.clone(),
                         impl_type,
                         parked_state: None,
+                        crashed: false,
                     },
                 );
                 ctx.metrics()
@@ -656,6 +698,38 @@ impl DcdoManager {
                     );
                 }
             }
+            MgrKind::Checkpoint => {
+                ctx.metrics().incr("manager.checkpoints");
+                ctx.metrics()
+                    .sample_duration("manager.checkpoint_time", elapsed);
+                if let Some((reply_to, call)) = flow.reply {
+                    ctx.send(
+                        reply_to,
+                        Msg::ControlReply {
+                            call,
+                            result: Ok(ControlOp::new(DcdoCheckpointed {
+                                object: flow.object,
+                                version: flow.version,
+                            })),
+                        },
+                    );
+                }
+            }
+            MgrKind::Recover => {
+                let address = flow.new_actor.expect("spawned");
+                if let Some(info) = self.table.get_mut(&flow.object) {
+                    info.actor = address;
+                    info.node = flow.target_node;
+                    info.crashed = false;
+                }
+                ctx.metrics().incr("manager.recoveries");
+                ctx.metrics()
+                    .sample_duration("manager.recover_time", elapsed);
+                // Resume the reconfiguration the crash interrupted, if any.
+                if let Some(target) = self.interrupted_updates.remove(&flow.object) {
+                    self.start_update(ctx, None, flow.object, Some(target));
+                }
+            }
         }
     }
 
@@ -707,6 +781,15 @@ impl DcdoManager {
         };
         if info.parked_state.is_some() {
             refuse(ctx, format!("instance {object} is deactivated"));
+            return;
+        }
+        if info.crashed {
+            // Internal pushes are remembered and resumed after recovery so
+            // the instance does not stay stranded behind the current version.
+            if reply.is_none() {
+                self.interrupted_updates.insert(object, target.clone());
+            }
+            refuse(ctx, format!("instance {object} host crashed"));
             return;
         }
         if info.version == target {
@@ -908,6 +991,210 @@ impl DcdoManager {
         self.schedule_flow_timer(ctx, flow_id, delay);
     }
 
+    /// Checkpoint: capture the running instance's state and persist it in
+    /// the vault, without disturbing the process. The snapshot is what
+    /// [`NodeRecovered`] rebuilds from after a crash.
+    fn start_checkpoint(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        reply: Option<(ActorId, CallId)>,
+        object: ObjectId,
+    ) {
+        let refuse = |ctx: &mut Ctx<'_, Msg>, why: String| {
+            if let Some((reply_to, call)) = reply {
+                ctx.send(
+                    reply_to,
+                    Msg::ControlReply {
+                        call,
+                        result: Err(InvocationFault::Refused(why)),
+                    },
+                );
+            }
+        };
+        if self.vault.is_none() {
+            refuse(ctx, "manager has no vault configured".into());
+            return;
+        }
+        let Some(info) = self.table.get(&object).cloned() else {
+            refuse(ctx, format!("unknown instance {object}"));
+            return;
+        };
+        if info.parked_state.is_some() {
+            refuse(ctx, format!("instance {object} is deactivated"));
+            return;
+        }
+        if info.crashed {
+            refuse(ctx, format!("instance {object} host crashed"));
+            return;
+        }
+        if let Some((reply_to, call)) = reply {
+            ctx.send(reply_to, Msg::Progress { call });
+        }
+        let flow_id = ctx.fresh_u64();
+        self.flows.insert(
+            flow_id,
+            MgrFlow {
+                kind: MgrKind::Checkpoint,
+                reply,
+                object,
+                version: info.version.clone(),
+                target_node: info.node,
+                state: None,
+                new_actor: None,
+                step: MgrStep::Capture,
+                started: ctx.now(),
+                retries: 0,
+            },
+        );
+        self.rpc_step(ctx, flow_id, object, ControlOp::new(CaptureState));
+    }
+
+    /// A host crashed: mark resident instances crashed and abort every
+    /// in-flight flow touching the host. Interrupted internal updates are
+    /// remembered for resume; explicit callers get a `Refused` reply now
+    /// rather than a dangling `Progress`.
+    fn handle_node_failed(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ActorId,
+        call: CallId,
+        node: NodeId,
+    ) {
+        let mut crashed: Vec<ObjectId> = Vec::new();
+        for (object, info) in self.table.iter_mut() {
+            if info.node == node && info.parked_state.is_none() && !info.crashed {
+                info.crashed = true;
+                crashed.push(*object);
+            }
+        }
+        crashed.sort_unstable();
+        let mut doomed: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.target_node == node || crashed.contains(&f.object))
+            .map(|(id, _)| *id)
+            .collect();
+        doomed.sort_unstable();
+        let mut aborted: Vec<ObjectId> = Vec::new();
+        for flow_id in doomed {
+            let flow = self.flows.remove(&flow_id).expect("doomed flow exists");
+            ctx.metrics().incr("manager.flows_aborted");
+            aborted.push(flow.object);
+            if flow.kind == MgrKind::Update {
+                self.updates_in_flight.remove(&flow.object);
+                if flow.reply.is_none() {
+                    self.interrupted_updates
+                        .insert(flow.object, flow.version.clone());
+                }
+            }
+            if let Some((reply_to, fcall)) = flow.reply {
+                ctx.send(
+                    reply_to,
+                    Msg::ControlReply {
+                        call: fcall,
+                        result: Err(InvocationFault::Refused(format!(
+                            "node {node} failed mid-{:?}",
+                            flow.kind
+                        ))),
+                    },
+                );
+            }
+        }
+        // Queued updates behind an aborted flow cannot run while the
+        // instance is down: refuse explicit ones, remember internal ones.
+        for object in &crashed {
+            if let Some(queue) = self.queued_updates.remove(object) {
+                for (reply, to, _) in queue {
+                    match reply {
+                        Some((reply_to, qcall)) => ctx.send(
+                            reply_to,
+                            Msg::ControlReply {
+                                call: qcall,
+                                result: Err(InvocationFault::Refused(format!(
+                                    "node {node} failed before queued update ran"
+                                ))),
+                            },
+                        ),
+                        None => {
+                            let target = to.unwrap_or_else(|| self.current.clone());
+                            self.interrupted_updates.insert(*object, target);
+                        }
+                    }
+                }
+            }
+        }
+        aborted.sort_unstable();
+        aborted.dedup();
+        ctx.metrics()
+            .add("manager.instances_crashed", crashed.len() as u64);
+        ctx.send(
+            from,
+            Msg::ControlReply {
+                call,
+                result: Ok(ControlOp::new(NodeFailureReport { crashed, aborted })),
+            },
+        );
+    }
+
+    /// A crashed host is back: rebuild every crashed instance that lived
+    /// there from its vault snapshot (fresh process at the instance's
+    /// version, state restored, binding re-registered).
+    fn handle_node_recovered(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ActorId,
+        call: CallId,
+        node: NodeId,
+    ) {
+        if self.vault.is_none() {
+            ctx.send(
+                from,
+                Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(
+                        "manager has no vault configured".into(),
+                    )),
+                },
+            );
+            return;
+        }
+        let mut objects: Vec<ObjectId> = self
+            .table
+            .iter()
+            .filter(|(_, i)| i.node == node && i.crashed)
+            .map(|(o, _)| *o)
+            .collect();
+        objects.sort_unstable();
+        for &object in &objects {
+            let version = self.table[&object].version.clone();
+            ctx.metrics().incr("manager.recoveries_started");
+            let flow_id = ctx.fresh_u64();
+            self.flows.insert(
+                flow_id,
+                MgrFlow {
+                    kind: MgrKind::Recover,
+                    reply: None,
+                    object,
+                    version,
+                    target_node: node,
+                    state: None,
+                    new_actor: None,
+                    step: MgrStep::Spawn,
+                    started: ctx.now(),
+                    retries: 0,
+                },
+            );
+            self.schedule_flow_timer(ctx, flow_id, self.cost.process_spawn_base);
+        }
+        ctx.send(
+            from,
+            Msg::ControlReply {
+                call,
+                result: Ok(ControlOp::new(RecoveryStarted { objects })),
+            },
+        );
+    }
+
     fn handle_rpc_completion(&mut self, ctx: &mut Ctx<'_, Msg>, completion: RpcCompletion) {
         // ConfigureVersion incorporations.
         if let Some((reply_to, call, version, ico)) = self
@@ -1056,6 +1343,94 @@ impl DcdoManager {
                 );
             }
             (MgrKind::Activate, MgrStep::Register) => self.finish_flow(ctx, flow_id),
+            // Checkpoint: Capture -> SaveVault -> done (process untouched).
+            (MgrKind::Checkpoint, MgrStep::Capture) => {
+                let Some(blob) = payload.control_as::<StateBlob>().map(|b| b.bytes.clone()) else {
+                    self.fail_flow(ctx, flow_id, "capture returned no state".into());
+                    return;
+                };
+                let (object, vault) = {
+                    let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                    flow.state = Some(blob.clone());
+                    flow.step = MgrStep::SaveVault;
+                    (
+                        flow.object,
+                        self.vault.expect("checkpoint requires a vault"),
+                    )
+                };
+                self.rpc_step(
+                    ctx,
+                    flow_id,
+                    vault,
+                    ControlOp::new(SaveState {
+                        owner: object,
+                        bytes: blob,
+                    }),
+                );
+            }
+            (MgrKind::Checkpoint, MgrStep::SaveVault) => self.finish_flow(ctx, flow_id),
+            // Recover: Spawn(timer) -> Apply -> LoadVault -> Restore ->
+            // Register -> done (Restore is skipped when no snapshot exists).
+            (MgrKind::Recover, MgrStep::Apply) => {
+                let (object, vault) = {
+                    let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                    flow.step = MgrStep::LoadVault;
+                    (flow.object, self.vault.expect("recovery requires a vault"))
+                };
+                self.rpc_step(
+                    ctx,
+                    flow_id,
+                    vault,
+                    ControlOp::new(LoadState { owner: object }),
+                );
+            }
+            (MgrKind::Recover, MgrStep::LoadVault) => {
+                let bytes = payload
+                    .control_as::<LoadedState>()
+                    .and_then(|l| l.bytes.clone());
+                if let Some(state) = bytes {
+                    let object = {
+                        let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                        flow.step = MgrStep::Restore;
+                        flow.state = Some(state.clone());
+                        flow.object
+                    };
+                    self.rpc_step(
+                        ctx,
+                        flow_id,
+                        object,
+                        ControlOp::new(RestoreState { bytes: state }),
+                    );
+                } else {
+                    // No snapshot: the instance restarts fresh at its version.
+                    ctx.metrics().incr("manager.recoveries_without_snapshot");
+                    let (object, address) = {
+                        let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                        flow.step = MgrStep::Register;
+                        (flow.object, flow.new_actor.expect("spawned"))
+                    };
+                    self.rpc_step(
+                        ctx,
+                        flow_id,
+                        self.agent.object,
+                        ControlOp::new(RegisterBinding { object, address }),
+                    );
+                }
+            }
+            (MgrKind::Recover, MgrStep::Restore) => {
+                let (object, address) = {
+                    let flow = self.flows.get_mut(&flow_id).expect("flow exists");
+                    flow.step = MgrStep::Register;
+                    (flow.object, flow.new_actor.expect("spawned"))
+                };
+                self.rpc_step(
+                    ctx,
+                    flow_id,
+                    self.agent.object,
+                    ControlOp::new(RegisterBinding { object, address }),
+                );
+            }
+            (MgrKind::Recover, MgrStep::Register) => self.finish_flow(ctx, flow_id),
             (kind, step) => {
                 self.fail_flow(
                     ctx,
@@ -1151,6 +1526,18 @@ impl DcdoManager {
         }
         if let Some(act) = op.as_any().downcast_ref::<ActivateDcdo>() {
             self.start_activate(ctx, Some((from, call)), act.object, act.node);
+            return;
+        }
+        if let Some(cp) = op.as_any().downcast_ref::<CheckpointDcdo>() {
+            self.start_checkpoint(ctx, Some((from, call)), cp.object);
+            return;
+        }
+        if let Some(nf) = op.as_any().downcast_ref::<NodeFailed>() {
+            self.handle_node_failed(ctx, from, call, nf.node);
+            return;
+        }
+        if let Some(nr) = op.as_any().downcast_ref::<NodeRecovered>() {
+            self.handle_node_recovered(ctx, from, call, nr.node);
             return;
         }
         if let Some(cfg) = op.as_any().downcast_ref::<ConfigureVersion>() {

@@ -578,6 +578,80 @@ control_payload!(
     wire_size = |op| { 64 + op.descriptor.function_count() as u64 * 48 }
 );
 
+/// Checkpoints a DCDO: its state is captured and persisted in the
+/// manager's vault *without* disturbing the running process. A checkpointed
+/// instance can be rebuilt after a host crash ([`NodeRecovered`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointDcdo {
+    /// The instance to checkpoint.
+    pub object: ObjectId,
+}
+
+control_payload!(CheckpointDcdo, "checkpoint-dcdo");
+
+/// Reply to [`CheckpointDcdo`].
+#[derive(Debug, Clone)]
+pub struct DcdoCheckpointed {
+    /// The checkpointed instance.
+    pub object: ObjectId,
+    /// The version the persisted snapshot reflects.
+    pub version: VersionId,
+}
+
+control_payload!(DcdoCheckpointed, "dcdo-checkpointed");
+
+/// Notifies the manager that a host crashed. Instances resident there are
+/// marked crashed (refusing further reconfiguration until recovered) and
+/// every in-flight flow touching the host is aborted; interrupted internal
+/// updates are remembered and resumed after recovery.
+#[derive(Debug, Clone)]
+pub struct NodeFailed {
+    /// The crashed host.
+    pub node: dcdo_sim::NodeId,
+}
+
+control_payload!(NodeFailed, "node-failed");
+
+/// Reply to [`NodeFailed`].
+#[derive(Debug, Clone)]
+pub struct NodeFailureReport {
+    /// Instances marked crashed (they were resident on the failed host).
+    pub crashed: Vec<ObjectId>,
+    /// Objects whose in-flight reconfiguration flows were aborted.
+    pub aborted: Vec<ObjectId>,
+}
+
+control_payload!(
+    NodeFailureReport,
+    "node-failure-report",
+    wire_size = |op| { 32 + (op.crashed.len() + op.aborted.len()) as u64 * 16 }
+);
+
+/// Notifies the manager that a crashed host is back. Every crashed
+/// instance previously resident there is rebuilt from its vault snapshot
+/// (fresh process at the instance's version, state restored, binding
+/// re-registered); updates interrupted by the crash then resume.
+#[derive(Debug, Clone)]
+pub struct NodeRecovered {
+    /// The recovered host.
+    pub node: dcdo_sim::NodeId,
+}
+
+control_payload!(NodeRecovered, "node-recovered");
+
+/// Reply to [`NodeRecovered`].
+#[derive(Debug, Clone)]
+pub struct RecoveryStarted {
+    /// Instances whose recovery flows were launched.
+    pub objects: Vec<ObjectId>,
+}
+
+control_payload!(
+    RecoveryStarted,
+    "recovery-started",
+    wire_size = |op| { 32 + op.objects.len() as u64 * 16 }
+);
+
 #[cfg(test)]
 mod tests {
     use legion_substrate::{ControlOp, ControlPayload};

@@ -5,11 +5,12 @@
 use std::collections::HashMap;
 
 use dcdo_core::ops::{
-    ApplyDfmDescriptor, CheckVersion, ConfigureVersion, CreateDcdo, DcdoCreated, DcdoTable,
-    DeriveVersion, DerivedVersion, DisableFunction, ImplementationReport, IncorporateComponent,
-    InterfaceReport, LazyCheck, ListDcdos, MarkInstantiable, QueryImplementation, QueryInterface,
-    RemovalPolicy, RemoveComponent, SetCurrentVersion, SetLazyCheck, SetRemovalPolicy, UpdateDone,
-    UpdateInstance, VersionConfigOp,
+    ApplyDfmDescriptor, CheckVersion, CheckpointDcdo, ConfigureVersion, CreateDcdo,
+    DcdoCheckpointed, DcdoCreated, DcdoTable, DeriveVersion, DerivedVersion, DisableFunction,
+    ImplementationReport, IncorporateComponent, InterfaceReport, LazyCheck, ListDcdos,
+    MarkInstantiable, NodeFailed, NodeFailureReport, NodeRecovered, QueryImplementation,
+    QueryInterface, RecoveryStarted, RemovalPolicy, RemoveComponent, SetCurrentVersion,
+    SetLazyCheck, SetRemovalPolicy, UpdateDone, UpdateInstance, VersionConfigOp,
 };
 use dcdo_core::{DcdoManager, HostDirectory, Ico, UpdatePropagation, VersionPolicy};
 use dcdo_sim::SimDuration;
@@ -115,7 +116,8 @@ impl Scenario {
             hosts,
             policy,
             propagation,
-        );
+        )
+        .with_vault(bed.vault_object);
         let manager_actor = bed.sim.spawn(bed.nodes[0], manager);
         bed.register(manager_obj, manager_actor);
         let (_, client) = bed.spawn_client(bed.nodes[15]);
@@ -1320,4 +1322,209 @@ fn invocations_during_a_slow_evolution_see_the_old_version_until_the_swap() {
         dcdo_vm::Value::Int(12),
         "new step (+10) after the swap"
     );
+}
+
+/// A big (padded) replacement step component: the download takes seconds,
+/// leaving a window to crash the host mid-reconfiguration.
+fn big_step() -> ComponentBinary {
+    ComponentBuilder::new(ComponentId::from_raw(2), "big-step")
+        .internal("step() -> int", |b| b.push_int(10).ret())
+        .expect("step")
+        .static_data_size(1_000_000)
+        .build()
+        .expect("valid")
+}
+
+#[test]
+fn crash_during_reconfiguration_aborts_cleanly_and_recovers_from_vault() {
+    let (mut s, dcdo, v1) = Scenario::with_counter(31, false);
+    let node = s.bed.nodes[4];
+    for expected in 1..=2 {
+        assert_eq!(
+            s.call(dcdo, "incr", vec![]).expect("incr"),
+            Value::Int(expected)
+        );
+    }
+
+    // Persist a snapshot (count = 2) before courting disaster.
+    let cp = s
+        .bed
+        .control_and_wait(
+            s.client,
+            s.manager_obj,
+            ControlOp::new(CheckpointDcdo { object: dcdo }),
+        )
+        .result
+        .expect("checkpoint succeeds");
+    let cp = cp.control_as::<DcdoCheckpointed>().expect("checkpointed");
+    assert_eq!(cp.version, v1);
+    assert!(s.bed.sim.metrics().counter("vault.saves") >= 1);
+
+    // Build the next version and start an explicit update, then crash the
+    // instance's host while the big component is still downloading.
+    let ico = s.publish_component(&big_step(), 2);
+    let v2 = s.derive(&v1.to_string());
+    s.configure(&v2, VersionConfigOp::IncorporateComponent { ico });
+    s.configure(
+        &v2,
+        VersionConfigOp::EnableFunction {
+            function: "step".into(),
+            component: ComponentId::from_raw(2),
+        },
+    );
+    s.mark_and_set_current(&v2);
+    let update = s.bed.client_control(
+        s.client,
+        s.manager_obj,
+        ControlOp::new(UpdateInstance {
+            object: dcdo,
+            to: None,
+        }),
+    );
+    s.bed.run_for(SimDuration::from_secs(1));
+    s.bed.sim.crash_node(node);
+
+    // NodeFailed marks the instance crashed and aborts the in-flight flow;
+    // the explicit caller gets a clean Refused instead of a hung Progress.
+    let report = s
+        .bed
+        .control_and_wait(s.client, s.manager_obj, ControlOp::new(NodeFailed { node }))
+        .result
+        .expect("failure report");
+    let report = report
+        .control_as::<NodeFailureReport>()
+        .expect("node-failure-report");
+    assert_eq!(report.crashed, vec![dcdo]);
+    assert!(report.aborted.contains(&dcdo), "update flow aborted");
+    let aborted = s.bed.wait_for(s.client, update);
+    let err = aborted.result.expect_err("interrupted update refused");
+    assert!(err.to_string().contains("failed mid-Update"), "{err}");
+
+    // Reconfiguration is refused while the host is down.
+    let err = s.mgr_err(ControlOp::new(UpdateInstance {
+        object: dcdo,
+        to: None,
+    }));
+    assert!(err.to_string().contains("crashed"), "{err}");
+
+    // Host returns (with its host daemon revived); NodeRecovered rebuilds
+    // the instance from its snapshot.
+    s.bed.sim.restart_node(node);
+    s.bed.revive_host(node);
+    let started = s
+        .bed
+        .control_and_wait(
+            s.client,
+            s.manager_obj,
+            ControlOp::new(NodeRecovered { node }),
+        )
+        .result
+        .expect("recovery starts");
+    let started = started
+        .control_as::<RecoveryStarted>()
+        .expect("recovery-started");
+    assert_eq!(started.objects, vec![dcdo]);
+    s.bed.run_for(SimDuration::from_secs(30));
+    assert_eq!(s.bed.sim.metrics().counter("manager.recoveries"), 1);
+    assert!(s.bed.sim.metrics().counter("vault.loads") >= 1);
+
+    // The client's stale binding heals and the restored state (count = 2)
+    // is served; the re-issued update then lands v2's +10 step.
+    assert_eq!(s.call(dcdo, "incr", vec![]).expect("incr"), Value::Int(3));
+    s.mgr_ok(ControlOp::new(UpdateInstance {
+        object: dcdo,
+        to: None,
+    }));
+    assert_eq!(s.call(dcdo, "incr", vec![]).expect("incr"), Value::Int(13));
+}
+
+#[test]
+fn proactive_push_interrupted_by_crash_resumes_after_recovery() {
+    let mut s = Scenario::new(
+        32,
+        VersionPolicy::SingleVersion,
+        UpdatePropagation::Proactive,
+    );
+    let core = counter_core(false);
+    let ico = s.publish_component(&core, 1);
+    let v1 = s.derive("1");
+    s.configure(&v1, VersionConfigOp::IncorporateComponent { ico });
+    for f in ["step", "get", "incr"] {
+        s.configure(
+            &v1,
+            VersionConfigOp::EnableFunction {
+                function: f.into(),
+                component: ComponentId::from_raw(1),
+            },
+        );
+    }
+    s.mark_and_set_current(&v1);
+    let (dcdo, _) = s.create_dcdo(4);
+    let node = s.bed.nodes[4];
+    assert_eq!(s.call(dcdo, "incr", vec![]).expect("incr"), Value::Int(1));
+    s.bed
+        .control_and_wait(
+            s.client,
+            s.manager_obj,
+            ControlOp::new(CheckpointDcdo { object: dcdo }),
+        )
+        .result
+        .expect("checkpoint succeeds");
+
+    // Designating v2 current starts an internal (supervised) push; crash
+    // the host while the big component is mid-download.
+    let ico = s.publish_component(&big_step(), 2);
+    let v2 = s.derive(&v1.to_string());
+    s.configure(&v2, VersionConfigOp::IncorporateComponent { ico });
+    s.configure(
+        &v2,
+        VersionConfigOp::EnableFunction {
+            function: "step".into(),
+            component: ComponentId::from_raw(2),
+        },
+    );
+    s.mark_and_set_current(&v2);
+    s.bed.run_for(SimDuration::from_secs(1));
+    s.bed.sim.crash_node(node);
+    s.bed
+        .control_and_wait(s.client, s.manager_obj, ControlOp::new(NodeFailed { node }))
+        .result
+        .expect("failure report");
+    {
+        let mgr = s
+            .bed
+            .sim
+            .actor::<DcdoManager>(s.manager_actor)
+            .expect("manager alive");
+        assert_eq!(mgr.crashed_instances(), vec![dcdo]);
+        assert_eq!(mgr.interrupted_update_count(), 1, "push remembered");
+    }
+
+    // Recovery rebuilds the instance at v1, then the remembered push
+    // resumes and lands v2 without any further operator action.
+    s.bed.sim.restart_node(node);
+    s.bed.revive_host(node);
+    s.bed
+        .control_and_wait(
+            s.client,
+            s.manager_obj,
+            ControlOp::new(NodeRecovered { node }),
+        )
+        .result
+        .expect("recovery starts");
+    s.bed.run_for(SimDuration::from_secs(60));
+    {
+        let mgr = s
+            .bed
+            .sim
+            .actor::<DcdoManager>(s.manager_actor)
+            .expect("manager alive");
+        assert!(mgr.crashed_instances().is_empty());
+        assert_eq!(mgr.interrupted_update_count(), 0, "push resumed");
+        let instances = mgr.instances();
+        assert_eq!(instances.len(), 1);
+        assert_eq!(instances[0].1, v2, "resumed update landed v2");
+    }
+    // Snapshot state (count = 1) restored, v2's +10 step in force.
+    assert_eq!(s.call(dcdo, "incr", vec![]).expect("incr"), Value::Int(11));
 }

@@ -194,6 +194,36 @@ impl<'a, M: Payload> Ctx<'a, M> {
     pub fn is_alive(&self, actor: ActorId) -> bool {
         self.sim.is_alive(actor)
     }
+
+    /// Crashes a node (see [`Simulation::crash_node`]). If the executing
+    /// actor itself lives on the node, it dies too — removal is deferred
+    /// until its handler returns, like [`Ctx::kill`].
+    pub fn crash_node(&mut self, node: NodeId) -> usize {
+        if self.sim.node_of(self.self_id) == node {
+            self.killed_self = true;
+        }
+        self.sim.crash_node(node)
+    }
+
+    /// Restarts a crashed node (see [`Simulation::restart_node`]).
+    pub fn restart_node(&mut self, node: NodeId) {
+        self.sim.restart_node(node);
+    }
+
+    /// Returns `true` if the node is up.
+    pub fn is_node_up(&self, node: NodeId) -> bool {
+        self.sim.is_node_up(node)
+    }
+
+    /// Returns the network model mutably (partitions, link faults, stats).
+    pub fn network_mut(&mut self) -> &mut Network {
+        self.sim.network_mut()
+    }
+
+    /// Returns the network model.
+    pub fn network(&self) -> &Network {
+        self.sim.network()
+    }
 }
 
 enum Slot<M> {
@@ -483,14 +513,87 @@ impl<M: Payload> Simulation<M> {
                         self.push(second, EventKind::Deliver { src, dst, msg: dup });
                     }
                     // Non-clonable payloads degrade to the old model: one
-                    // delivery at the later of the two arrival times.
-                    None => self.push(second, EventKind::Deliver { src, dst, msg }),
+                    // delivery at the later of the two arrival times. The
+                    // dropped second delivery is counted, not silent.
+                    None => {
+                        self.metrics.incr("sim.duplicates_degraded");
+                        self.network.note_duplicate_degraded();
+                        self.push(second, EventKind::Deliver { src, dst, msg });
+                    }
                 }
             }
             DeliveryPlan::Lost => {
                 self.metrics.incr("sim.messages_lost");
             }
+            DeliveryPlan::Unreachable => {
+                self.metrics.incr("sim.unreachable_drops");
+                self.trace
+                    .record(self.time, TraceEvent::Unreachable { src, dst });
+            }
         }
+    }
+
+    /// Crashes a node: marks it down in the network (traffic to or from it
+    /// is dropped as unreachable), kills every actor placed on it, and
+    /// cancels all their pending timers so nothing owned by a dead actor
+    /// ever fires. Messages already in flight toward the node dead-letter
+    /// on arrival. Returns the number of actors killed.
+    ///
+    /// Crashing an already-down node is a no-op. The currently executing
+    /// actor (if any) is not touched — use [`Ctx::crash_node`] from inside
+    /// a handler, which also handles self-destruction.
+    pub fn crash_node(&mut self, node: NodeId) -> usize {
+        if !self.network.is_node_up(node) {
+            return 0;
+        }
+        self.network.set_node_down(node);
+        self.metrics.incr("sim.node_crashes");
+        self.trace.record(self.time, TraceEvent::NodeDown { node });
+        let mut killed = 0;
+        for idx in 0..self.actors.len() {
+            if self.placements[idx] == node && matches!(self.actors[idx], Slot::Occupied(_)) {
+                self.actors[idx] = Slot::Vacant;
+                self.trace.record(
+                    self.time,
+                    TraceEvent::Killed {
+                        actor: ActorId(idx as u32),
+                    },
+                );
+                killed += 1;
+            }
+        }
+        let placements = &self.placements;
+        let cancelled = self.queue.cancel_timers_where(
+            |kind| matches!(kind, EventKind::Timer { dst, .. } if placements[dst.index()] == node),
+        );
+        self.metrics
+            .add("sim.timers_cancelled_by_crash", cancelled as u64);
+        killed
+    }
+
+    /// Brings a crashed node back up: traffic can reach it again. Actors
+    /// that died in the crash stay dead — recovery layers spawn fresh ones.
+    /// Restarting a node that is up is a no-op.
+    pub fn restart_node(&mut self, node: NodeId) {
+        if self.network.is_node_up(node) {
+            return;
+        }
+        self.network.set_node_up(node);
+        self.metrics.incr("sim.node_restarts");
+        self.trace.record(self.time, TraceEvent::NodeUp { node });
+    }
+
+    /// Returns `true` if the node is up (never crashed, or restarted).
+    pub fn is_node_up(&self, node: NodeId) -> bool {
+        self.network.is_node_up(node)
+    }
+
+    /// Returns the live actors placed on `node`, in spawn order.
+    pub fn actors_on(&self, node: NodeId) -> Vec<ActorId> {
+        (0..self.actors.len())
+            .filter(|&idx| self.placements[idx] == node && self.is_alive(ActorId(idx as u32)))
+            .map(|idx| ActorId(idx as u32))
+            .collect()
     }
 
     /// Processes the next event. Returns `false` if the queue is empty.
@@ -830,6 +933,109 @@ mod tests {
         let a = sim.fresh_u64();
         let b = sim.fresh_u64();
         assert!(b > a);
+    }
+
+    #[test]
+    fn crash_kills_actors_cancels_timers_and_blocks_traffic() {
+        let mut sim = Simulation::new(NetConfig::centurion(), 9);
+        let n0 = NodeId::from_raw(0);
+        let n1 = NodeId::from_raw(1);
+        let client = sim.spawn(n0, Collector::default());
+        let server = sim.spawn(n1, Responder);
+        let chain = sim.spawn(n1, TimerChain::default());
+        sim.post(chain, chain, TestMsg::Ping(0));
+        sim.run_for(SimDuration::from_millis(1));
+        assert!(sim.pending_events() > 0, "a chain timer is pending");
+
+        let killed = sim.crash_node(n1);
+        assert_eq!(killed, 2);
+        assert!(!sim.is_alive(server));
+        assert!(!sim.is_alive(chain));
+        assert!(sim.is_alive(client));
+        assert!(!sim.is_node_up(n1));
+        assert_eq!(
+            sim.pending_events(),
+            0,
+            "dead actors' timers are swept from the queue"
+        );
+        assert_eq!(sim.metrics().counter("sim.timers_cancelled_by_crash"), 1);
+
+        // New traffic toward the dead node is dropped as unreachable, with
+        // a counted reason — not a dead letter (it never reached the node).
+        sim.post(client, server, TestMsg::Ping(1));
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().counter("sim.unreachable_drops"), 1);
+        assert_eq!(sim.network().stats().unreachable, 1);
+        assert_eq!(sim.metrics().counter("sim.dead_letters"), 0);
+
+        // Restart: the node is reachable again, but old actors stay dead —
+        // deliveries to them now dead-letter.
+        sim.restart_node(n1);
+        assert!(sim.is_node_up(n1));
+        sim.post(client, server, TestMsg::Ping(2));
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().counter("sim.dead_letters"), 1);
+
+        // A replacement spawned after the restart serves traffic.
+        let server2 = sim.spawn(n1, Responder);
+        sim.post(client, server2, TestMsg::Ping(3));
+        sim.run_until_idle();
+        let c = sim.actor::<Collector>(client).expect("alive");
+        assert_eq!(c.pongs.len(), 1);
+        assert_eq!(sim.actors_on(n1), vec![server2]);
+    }
+
+    #[test]
+    fn crash_of_a_down_node_is_a_noop() {
+        let mut sim = Simulation::<TestMsg>::new(NetConfig::instant(), 10);
+        let n = NodeId::from_raw(3);
+        sim.spawn(n, Responder);
+        assert_eq!(sim.crash_node(n), 1);
+        assert_eq!(sim.crash_node(n), 0, "second crash is a no-op");
+        assert_eq!(sim.metrics().counter("sim.node_crashes"), 1);
+        sim.restart_node(n);
+        sim.restart_node(n);
+        assert_eq!(sim.metrics().counter("sim.node_restarts"), 1);
+    }
+
+    #[test]
+    fn partitioned_nodes_drop_cross_group_traffic() {
+        let mut sim = Simulation::new(NetConfig::centurion(), 11);
+        let a = sim.spawn(NodeId::from_raw(0), Collector::default());
+        let b = sim.spawn(NodeId::from_raw(1), Responder);
+        sim.network_mut()
+            .set_partition(&[vec![NodeId::from_raw(0)], vec![NodeId::from_raw(1)]]);
+        sim.post(a, b, TestMsg::Ping(1));
+        sim.run_until_idle();
+        assert!(sim.actor::<Collector>(a).expect("alive").pongs.is_empty());
+        assert_eq!(sim.metrics().counter("sim.unreachable_drops"), 1);
+        sim.network_mut().heal_partition();
+        sim.post(a, b, TestMsg::Ping(2));
+        sim.run_until_idle();
+        assert_eq!(sim.actor::<Collector>(a).expect("alive").pongs.len(), 1);
+    }
+
+    #[test]
+    fn degraded_duplicates_are_counted() {
+        // TestMsg does not implement clone_for_redelivery, so a planned
+        // duplicate degrades to one late delivery — and is counted.
+        let mut cfg = NetConfig::centurion();
+        cfg.duplicate_rate = 1.0;
+        let mut sim = Simulation::new(cfg, 12);
+        let a = sim.spawn(NodeId::from_raw(0), Collector::default());
+        let b = sim.spawn(NodeId::from_raw(1), Collector::default());
+        sim.post(a, b, TestMsg::Pong(1));
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().counter("sim.duplicates_planned"), 1);
+        assert_eq!(sim.metrics().counter("sim.duplicates_degraded"), 1);
+        let stats = sim.network().stats();
+        assert_eq!(stats.duplicates_planned, 1);
+        assert_eq!(stats.duplicates_degraded, 1);
+        assert_eq!(
+            sim.actor::<Collector>(b).expect("alive").pongs.len(),
+            1,
+            "degraded duplicate still delivers exactly once"
+        );
     }
 
     #[test]

@@ -61,7 +61,7 @@ mod trace;
 
 pub use engine::{Actor, ActorId, Ctx, Payload, Simulation, TimerId};
 pub use metrics::{Histogram, Metrics};
-pub use net::{DeliveryPlan, NetConfig, Network, NodeId, TransferModel};
+pub use net::{DeliveryPlan, LinkFault, NetConfig, NetStats, Network, NodeId, TransferModel};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry, TraceEvent};

@@ -9,6 +9,7 @@
 //! (≈0.25 MB/s with ≈2 s fixed cost — derived from its own reported numbers:
 //! 5.1 MB → 15–25 s, 550 KB → ≈4 s).
 
+use std::collections::HashMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -111,6 +112,42 @@ pub enum DeliveryPlan {
     DeliverTwice(SimTime, SimTime),
     /// The message was lost.
     Lost,
+    /// The destination (or source) node is down or on the far side of a
+    /// partition; the message is dropped before it touches the wire.
+    Unreachable,
+}
+
+/// Message-level delivery counters, including fault-injection outcomes.
+///
+/// `duplicates_degraded` counts planned duplicates whose payload could not
+/// be cloned ([`Payload::clone_for_redelivery`](crate::Payload) returned
+/// `None`): the engine then delivers once at the later arrival time, and
+/// this counter is the only witness that the second delivery was dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Total messages offered to the network.
+    pub messages_sent: u64,
+    /// Messages dropped by loss injection (global or per-link).
+    pub messages_lost: u64,
+    /// Messages planned for double delivery by duplicate injection.
+    pub duplicates_planned: u64,
+    /// Planned duplicates degraded to a single (late) delivery because the
+    /// payload does not support redelivery cloning.
+    pub duplicates_degraded: u64,
+    /// Messages dropped because a node was down or partitioned away.
+    pub unreachable: u64,
+    /// Total payload bytes offered.
+    pub bytes_sent: u64,
+}
+
+/// An additional fault on one directed link (ordered `(src, dst)` pair),
+/// layered on top of the global [`NetConfig`] knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Extra drop probability applied to messages crossing the link.
+    pub loss_rate: f64,
+    /// Extra one-way latency added to messages crossing the link.
+    pub extra_latency: SimDuration,
 }
 
 /// The message-level network: computes delivery times with egress-queue
@@ -121,9 +158,16 @@ pub struct Network {
     /// Per-node egress-queue free time, indexed by raw node id (node ids are
     /// small dense integers; a flat vector beats a map on the send path).
     egress_free: Vec<SimTime>,
-    messages_sent: u64,
-    messages_lost: u64,
-    bytes_sent: u64,
+    stats: NetStats,
+    /// Per-node down flags, indexed by raw node id (nodes past the end are
+    /// up). Empty in fault-free runs so liveness checks are a `Vec::get`.
+    down: Vec<bool>,
+    /// Partition group per node, indexed by raw node id; nodes past the end
+    /// are in group 0. Empty (no partition) in fault-free runs.
+    groups: Vec<u32>,
+    /// Per-link fault overrides. Empty in fault-free runs, so the lookup
+    /// (and any RNG draw it would gate) is skipped entirely.
+    link_faults: HashMap<(u32, u32), LinkFault>,
 }
 
 impl Network {
@@ -132,9 +176,10 @@ impl Network {
         Network {
             config,
             egress_free: Vec::new(),
-            messages_sent: 0,
-            messages_lost: 0,
-            bytes_sent: 0,
+            stats: NetStats::default(),
+            down: Vec::new(),
+            groups: Vec::new(),
+            link_faults: HashMap::new(),
         }
     }
 
@@ -152,7 +197,9 @@ impl Network {
     /// offered at time `now`.
     ///
     /// Same-node messages are delivered after
-    /// [`NetConfig::local_delivery`] and bypass contention and faults.
+    /// [`NetConfig::local_delivery`] and bypass contention and faults
+    /// (a process on a down node cannot send at all, but the engine kills
+    /// those actors at crash time, so the case never reaches the planner).
     pub fn plan(
         &mut self,
         now: SimTime,
@@ -161,19 +208,35 @@ impl Network {
         bytes: u64,
         rng: &mut SimRng,
     ) -> DeliveryPlan {
-        self.messages_sent += 1;
-        self.bytes_sent += bytes;
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += bytes;
         if src == dst {
             // Same-node messages bypass contention and faults entirely: no
             // RNG draws, so toggling fault knobs cannot shift local traffic.
             return DeliveryPlan::Deliver(now + self.config.local_delivery);
         }
+        // Reachability is a pure lookup — no RNG draws — so crash/partition
+        // support cannot shift the stream in fault-free runs.
+        if !self.reachable(src, dst) {
+            self.stats.unreachable += 1;
+            return DeliveryPlan::Unreachable;
+        }
         // Fault knobs at zero draw nothing from the RNG, so fault-free
         // configurations produce identical traces whether the knobs are
         // "disabled" or merely set to 0.0.
         if self.config.loss_rate > 0.0 && rng.chance(self.config.loss_rate) {
-            self.messages_lost += 1;
+            self.stats.messages_lost += 1;
             return DeliveryPlan::Lost;
+        }
+        let mut extra_latency = SimDuration::ZERO;
+        if !self.link_faults.is_empty() {
+            if let Some(fault) = self.link_faults.get(&(src.0, dst.0)).copied() {
+                if fault.loss_rate > 0.0 && rng.chance(fault.loss_rate) {
+                    self.stats.messages_lost += 1;
+                    return DeliveryPlan::Lost;
+                }
+                extra_latency = fault.extra_latency;
+            }
         }
         let tx = self.config.per_message_overhead + self.config.serialization_time(bytes);
         let free = self
@@ -190,12 +253,13 @@ impl Network {
             }
             self.egress_free[src.0 as usize] = egress_done;
         }
-        let mut delay = egress_done.duration_since(now) + self.config.latency;
+        let mut delay = egress_done.duration_since(now) + self.config.latency + extra_latency;
         if self.config.jitter_frac > 0.0 {
             delay = rng.jitter(delay, self.config.jitter_frac);
         }
         let arrival = now + delay;
         if self.config.duplicate_rate > 0.0 && rng.chance(self.config.duplicate_rate) {
+            self.stats.duplicates_planned += 1;
             let second = arrival + rng.duration_between(SimDuration::ZERO, self.config.latency * 4);
             DeliveryPlan::DeliverTwice(arrival, second)
         } else {
@@ -203,19 +267,104 @@ impl Network {
         }
     }
 
+    /// Returns `true` iff both endpoints are up and in the same partition
+    /// group. Same-node pairs are always reachable (checked by the caller's
+    /// bypass; this method is also used directly by drivers).
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        if src == dst {
+            return true;
+        }
+        if self.node_is_down(src) || self.node_is_down(dst) {
+            return false;
+        }
+        self.group_of(src) == self.group_of(dst)
+    }
+
+    fn node_is_down(&self, node: NodeId) -> bool {
+        self.down.get(node.0 as usize).copied().unwrap_or(false)
+    }
+
+    fn group_of(&self, node: NodeId) -> u32 {
+        self.groups.get(node.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if the node has not been marked down.
+    pub fn is_node_up(&self, node: NodeId) -> bool {
+        !self.node_is_down(node)
+    }
+
+    /// Marks a node down: traffic to or from it is dropped as unreachable.
+    pub fn set_node_down(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if self.down.len() <= idx {
+            self.down.resize(idx + 1, false);
+        }
+        self.down[idx] = true;
+    }
+
+    /// Marks a node up again.
+    pub fn set_node_up(&mut self, node: NodeId) {
+        if let Some(flag) = self.down.get_mut(node.0 as usize) {
+            *flag = false;
+        }
+    }
+
+    /// Installs a partition: the nodes of each listed group can talk among
+    /// themselves but not across groups; unlisted nodes form an implicit
+    /// group of their own (group 0). Replaces any previous partition.
+    pub fn set_partition(&mut self, partition_groups: &[Vec<NodeId>]) {
+        self.groups.clear();
+        for (i, group) in partition_groups.iter().enumerate() {
+            for node in group {
+                let idx = node.0 as usize;
+                if self.groups.len() <= idx {
+                    self.groups.resize(idx + 1, 0);
+                }
+                self.groups[idx] = i as u32 + 1;
+            }
+        }
+    }
+
+    /// Heals any installed partition (node down flags are unaffected).
+    pub fn heal_partition(&mut self) {
+        self.groups.clear();
+    }
+
+    /// Installs (or replaces) a fault on the directed link `src -> dst`.
+    pub fn set_link_fault(&mut self, src: NodeId, dst: NodeId, fault: LinkFault) {
+        self.link_faults.insert((src.0, dst.0), fault);
+    }
+
+    /// Removes the fault on the directed link `src -> dst`, if any.
+    pub fn clear_link_fault(&mut self, src: NodeId, dst: NodeId) {
+        self.link_faults.remove(&(src.0, dst.0));
+    }
+
+    /// Delivery and fault counters accumulated so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Records that a planned duplicate delivery was degraded to a single
+    /// delivery (the payload could not be cloned). Called by the engine,
+    /// which is the only place that knows the cloning outcome.
+    pub fn note_duplicate_degraded(&mut self) {
+        self.stats.duplicates_degraded += 1;
+    }
+
     /// Total messages offered to the network.
     pub fn messages_sent(&self) -> u64 {
-        self.messages_sent
+        self.stats.messages_sent
     }
 
     /// Messages dropped by loss injection.
     pub fn messages_lost(&self) -> u64 {
-        self.messages_lost
+        self.stats.messages_lost
     }
 
     /// Total payload bytes offered.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent
+        self.stats.bytes_sent
     }
 }
 
@@ -282,6 +431,7 @@ mod tests {
             DeliveryPlan::Deliver(t) => t,
             DeliveryPlan::DeliverTwice(t, _) => t,
             DeliveryPlan::Lost => panic!("message lost"),
+            DeliveryPlan::Unreachable => panic!("destination unreachable"),
         }
     }
 
@@ -390,5 +540,89 @@ mod tests {
         net.plan(SimTime::ZERO, a, a, 50, &mut rng);
         assert_eq!(net.messages_sent(), 2);
         assert_eq!(net.bytes_sent(), 150);
+    }
+
+    #[test]
+    fn down_node_makes_traffic_unreachable_both_ways() {
+        let mut net = Network::default();
+        let mut rng = SimRng::seed_from_u64(7);
+        let a = NodeId::from_raw(0);
+        let b = NodeId::from_raw(1);
+        net.set_node_down(b);
+        assert_eq!(
+            net.plan(SimTime::ZERO, a, b, 10, &mut rng),
+            DeliveryPlan::Unreachable
+        );
+        assert_eq!(
+            net.plan(SimTime::ZERO, b, a, 10, &mut rng),
+            DeliveryPlan::Unreachable
+        );
+        assert_eq!(net.stats().unreachable, 2);
+        net.set_node_up(b);
+        assert!(matches!(
+            net.plan(SimTime::ZERO, a, b, 10, &mut rng),
+            DeliveryPlan::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn partition_splits_and_heals() {
+        let mut net = Network::default();
+        let mut rng = SimRng::seed_from_u64(8);
+        let nodes: Vec<NodeId> = (0..4).map(NodeId::from_raw).collect();
+        net.set_partition(&[vec![nodes[0], nodes[1]], vec![nodes[2]]]);
+        // Within a group: fine. Across: unreachable. Unlisted node 3 forms
+        // its own implicit group.
+        assert!(net.reachable(nodes[0], nodes[1]));
+        assert!(!net.reachable(nodes[0], nodes[2]));
+        assert!(!net.reachable(nodes[1], nodes[3]));
+        assert!(net.reachable(nodes[3], nodes[3]));
+        assert_eq!(
+            net.plan(SimTime::ZERO, nodes[0], nodes[2], 10, &mut rng),
+            DeliveryPlan::Unreachable
+        );
+        net.heal_partition();
+        assert!(net.reachable(nodes[0], nodes[2]));
+    }
+
+    #[test]
+    fn link_fault_drops_and_delays_one_direction_only() {
+        // Zero overhead/serialization so repeated plans see no egress
+        // contention and arrivals depend only on latency + link faults.
+        let mut cfg = NetConfig::instant();
+        cfg.latency = SimDuration::from_millis(1);
+        let mut net = Network::new(cfg.clone());
+        let mut rng = SimRng::seed_from_u64(9);
+        let a = NodeId::from_raw(0);
+        let b = NodeId::from_raw(1);
+        let base = arrival(net.plan(SimTime::ZERO, b, a, 0, &mut rng));
+        net.set_link_fault(
+            a,
+            b,
+            LinkFault {
+                loss_rate: 1.0,
+                extra_latency: SimDuration::ZERO,
+            },
+        );
+        assert_eq!(
+            net.plan(SimTime::ZERO, a, b, 0, &mut rng),
+            DeliveryPlan::Lost,
+            "a->b has the fault"
+        );
+        // The reverse direction is unaffected.
+        assert_eq!(arrival(net.plan(SimTime::ZERO, b, a, 0, &mut rng)), base);
+        // Latency spike instead of loss.
+        net.set_link_fault(
+            a,
+            b,
+            LinkFault {
+                loss_rate: 0.0,
+                extra_latency: SimDuration::from_millis(50),
+            },
+        );
+        let spiked = arrival(net.plan(SimTime::ZERO, a, b, 0, &mut rng));
+        assert_eq!(spiked, base + SimDuration::from_millis(50));
+        net.clear_link_fault(a, b);
+        assert_eq!(arrival(net.plan(SimTime::ZERO, a, b, 0, &mut rng)), base);
     }
 }

@@ -150,6 +150,28 @@ impl<T> EventQueue<T> {
         true
     }
 
+    /// Removes every pending timer whose item matches `pred`, returning how
+    /// many were cancelled. O(n) over the slab plus O(log n) per removal —
+    /// used for rare sweeping events (a node crash cancelling every timer
+    /// owned by its dead actors), not on the hot path.
+    pub fn cancel_timers_where(&mut self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let mut ids = Vec::new();
+        for entry in &self.slab {
+            if entry.timer_id == NO_TIMER {
+                continue;
+            }
+            if let Some(item) = &entry.item {
+                if pred(item) {
+                    ids.push(entry.timer_id);
+                }
+            }
+        }
+        for &id in &ids {
+            self.cancel_timer(id);
+        }
+        ids.len()
+    }
+
     /// Pops the earliest event in `(time, seq)` order.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         // Keys are unique (seq is global), so a strict comparison suffices.
@@ -339,6 +361,20 @@ mod tests {
             "schedule/cancel churn must not accumulate entries, peak {}",
             q.peak_len()
         );
+    }
+
+    #[test]
+    fn cancel_timers_where_sweeps_matching_timers_only() {
+        let mut q = EventQueue::new();
+        // Items are plain u64s; sweep the odd ones.
+        q.push_timer(t(10), 1, 1, 11);
+        q.push_timer(t(20), 2, 2, 22);
+        q.push_timer(t(30), 3, 3, 33);
+        q.push(t(40), 4, 55); // a delivery matching the predicate: untouched
+        let removed = q.cancel_timers_where(|item| item % 2 == 1);
+        assert_eq!(removed, 2);
+        assert_eq!(drain(&mut q), vec![22, 55]);
+        assert!(!q.cancel_timer(1), "swept timers are really gone");
     }
 
     #[test]

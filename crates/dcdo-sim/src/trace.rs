@@ -49,6 +49,26 @@ pub enum TraceEvent {
         /// The token it was scheduled with.
         token: u64,
     },
+    /// A node crashed (fault injection): its actors died and their pending
+    /// timers were cancelled.
+    NodeDown {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node came back up (its former actors stay dead; recovery
+    /// layers spawn replacements).
+    NodeUp {
+        /// The restarted node.
+        node: NodeId,
+    },
+    /// A message was dropped because its destination node was down or
+    /// partitioned away from the sender.
+    Unreachable {
+        /// Sender.
+        src: ActorId,
+        /// The unreachable destination.
+        dst: ActorId,
+    },
 }
 
 /// A timestamped trace entry.
@@ -69,6 +89,9 @@ impl fmt::Display for TraceEntry {
             TraceEvent::Delivered { src, dst } => write!(f, "deliver {src} -> {dst}"),
             TraceEvent::DeadLetter { src, dst } => write!(f, "dead-letter {src} -> {dst}"),
             TraceEvent::TimerFired { actor, token } => write!(f, "timer {actor} token={token}"),
+            TraceEvent::NodeDown { node } => write!(f, "node-down {node}"),
+            TraceEvent::NodeUp { node } => write!(f, "node-up {node}"),
+            TraceEvent::Unreachable { src, dst } => write!(f, "unreachable {src} -> {dst}"),
         }
     }
 }

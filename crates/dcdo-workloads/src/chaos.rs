@@ -1,0 +1,547 @@
+//! Chaos workloads: deterministic fault-injection scenarios with recovery
+//! metrics.
+//!
+//! Three canonical fault shapes exercise the recovery machinery end to end
+//! and feed the `chaos_bench` JSON emitter (`BENCH_chaos.json`):
+//!
+//! - [`crash_during_reconfig`] — a DCDO's host crashes while an evolution
+//!   is mid-flight; the manager aborts the flow, rebuilds the instance from
+//!   its vault snapshot after the host returns, and the re-issued update
+//!   lands. Measures recovery time and the message amplification of the
+//!   faulted episode against a healthy same-seed baseline.
+//! - [`rolling_partition`] — timer-driven chatters keep pinging through a
+//!   sequence of partition/heal cycles. Measures how long traffic takes to
+//!   resume after the final heal and how many messages the partitions ate.
+//! - [`restart_storm`] — rounds of staggered crash/restart cycles sweep
+//!   across the testbed. Checks that nothing leaks: dead nodes' timers are
+//!   cancelled and the event queue drains to empty.
+//!
+//! Every scenario is seed-deterministic: two runs with the same seed
+//! produce bit-identical execution traces (compared via
+//! [`dcdo_chaos::trace_hash`]), which the chaos suite asserts.
+
+use dcdo_chaos::{trace_hash, ChaosController, FaultPlan};
+use dcdo_core::ops::{
+    CheckpointDcdo, ConfigureVersion, CreateDcdo, DcdoCreated, DeriveVersion, DerivedVersion,
+    MarkInstantiable, NodeFailed, NodeRecovered, SetCurrentVersion, UpdateInstance,
+    VersionConfigOp,
+};
+use dcdo_core::{DcdoManager, HostDirectory, Ico, UpdatePropagation, VersionPolicy};
+use dcdo_sim::{Actor, ActorId, Ctx, NetConfig, SimDuration, SimTime, Simulation};
+use dcdo_types::{CallId, ClassId, ObjectId, VersionId};
+use dcdo_vm::{ComponentBuilder, Value};
+use legion_substrate::harness::Testbed;
+use legion_substrate::{ControlOp, Msg};
+
+use crate::service;
+
+/// Outcome of one chaos scenario run.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Scenario name (stable across runs; used as the JSON key).
+    pub name: &'static str,
+    /// The RNG seed the run used.
+    pub seed: u64,
+    /// FNV-1a hash of the rendered execution trace — equal across two
+    /// same-seed runs of the same scenario.
+    pub trace_hash: u64,
+    /// Engine events processed over the whole run.
+    pub events_processed: u64,
+    /// Simulated seconds from fault to restored service (scenario-specific;
+    /// see each scenario's doc).
+    pub recovery_time_s: f64,
+    /// Message cost of running under faults, relative to a healthy
+    /// reference (scenario-specific; >= 1.0 means faults cost extra
+    /// traffic).
+    pub message_amplification: f64,
+    /// Messages dropped because a node was down or partitioned away.
+    pub unreachable_drops: u64,
+    /// Node crashes injected over the run.
+    pub node_crashes: u64,
+    /// Events still pending after the scenario drained — leaks; expected 0.
+    pub leaked_events: u64,
+}
+
+// ---------------------------------------------------------------------------
+// crash-during-reconfig
+
+/// A fat replacement `step` component: its static data makes the transfer
+/// take seconds, leaving a wide window to crash the host mid-evolution.
+fn padded_step() -> dcdo_vm::ComponentBinary {
+    ComponentBuilder::new(service::ids::STEP_TEN, "step-by-ten-padded")
+        .internal("step() -> int", |b| b.push_int(10).ret())
+        .expect("step")
+        .static_data_size(1_000_000)
+        .build()
+        .expect("valid component")
+}
+
+struct ReconfigRun {
+    bed: Testbed,
+    window_messages: u64,
+    recovery_time_s: f64,
+}
+
+/// Drives the counter service through an evolution to the padded step
+/// component, optionally crashing the instance's host one second into the
+/// flow. Returns the testbed (for trace/metric extraction) plus the
+/// message count of the reconfiguration window and the measured recovery
+/// time.
+fn reconfig_run(seed: u64, inject_fault: bool) -> ReconfigRun {
+    let mut bed = Testbed::centurion(seed);
+    bed.sim.trace_mut().enable(1 << 18);
+    let hosts = HostDirectory::from_testbed(&bed);
+    let manager_obj = bed.fresh_object_id();
+    let manager = DcdoManager::new(
+        manager_obj,
+        ClassId::from_raw(1),
+        bed.cost.clone(),
+        bed.agent,
+        hosts,
+        VersionPolicy::SingleVersion,
+        UpdatePropagation::Explicit,
+    )
+    .with_vault(bed.vault_object);
+    let manager_actor = bed.sim.spawn(bed.nodes[0], manager);
+    bed.register(manager_obj, manager_actor);
+    let (_, client) = bed.spawn_client(bed.nodes[15]);
+
+    let publish = |bed: &mut Testbed, binary: &dcdo_vm::ComponentBinary, node: usize| {
+        let ico_obj = bed.fresh_object_id();
+        let node = bed.nodes[node];
+        let cost = bed.cost.clone();
+        let actor = bed.sim.spawn(node, Ico::new(ico_obj, binary, cost));
+        bed.register(ico_obj, actor);
+        ico_obj
+    };
+    let derive = |bed: &mut Testbed, from: &str| -> VersionId {
+        bed.control_and_wait(
+            client,
+            manager_obj,
+            ControlOp::new(DeriveVersion {
+                from: from.parse().expect("version"),
+            }),
+        )
+        .result
+        .expect("derive succeeds")
+        .control_as::<DerivedVersion>()
+        .expect("derived-version reply")
+        .version
+        .clone()
+    };
+
+    // Version 1.1: the counter core, live in one instance on node 4.
+    let core_ico = publish(&mut bed, &service::counter_core(), 1);
+    let v1 = derive(&mut bed, "1");
+    bed.control_and_wait(
+        client,
+        manager_obj,
+        ControlOp::new(ConfigureVersion {
+            version: v1.clone(),
+            op: VersionConfigOp::IncorporateComponent { ico: core_ico },
+        }),
+    )
+    .result
+    .expect("incorporate");
+    for f in ["step", "get", "incr"] {
+        bed.control_and_wait(
+            client,
+            manager_obj,
+            ControlOp::new(ConfigureVersion {
+                version: v1.clone(),
+                op: VersionConfigOp::EnableFunction {
+                    function: f.into(),
+                    component: service::ids::COUNTER_CORE,
+                },
+            }),
+        )
+        .result
+        .expect("enable");
+    }
+    for op in [
+        ControlOp::new(MarkInstantiable {
+            version: v1.clone(),
+        }),
+        ControlOp::new(SetCurrentVersion {
+            version: v1.clone(),
+        }),
+    ] {
+        bed.control_and_wait(client, manager_obj, op)
+            .result
+            .expect("version workflow");
+    }
+    let node = bed.nodes[4];
+    let dcdo = bed
+        .control_and_wait(client, manager_obj, ControlOp::new(CreateDcdo { node }))
+        .result
+        .expect("create")
+        .control_as::<DcdoCreated>()
+        .expect("dcdo-created")
+        .object;
+    for _ in 0..2 {
+        bed.call_and_wait(client, dcdo, "incr", vec![])
+            .result
+            .expect("incr");
+    }
+    // Snapshot (count = 2): what recovery will rebuild from.
+    bed.control_and_wait(
+        client,
+        manager_obj,
+        ControlOp::new(CheckpointDcdo { object: dcdo }),
+    )
+    .result
+    .expect("checkpoint");
+
+    // Version 1.1.1: the padded step.
+    let step_ico = publish(&mut bed, &padded_step(), 2);
+    let v2 = derive(&mut bed, &v1.to_string());
+    bed.control_and_wait(
+        client,
+        manager_obj,
+        ControlOp::new(ConfigureVersion {
+            version: v2.clone(),
+            op: VersionConfigOp::IncorporateComponent { ico: step_ico },
+        }),
+    )
+    .result
+    .expect("incorporate step");
+    bed.control_and_wait(
+        client,
+        manager_obj,
+        ControlOp::new(ConfigureVersion {
+            version: v2.clone(),
+            op: VersionConfigOp::EnableFunction {
+                function: "step".into(),
+                component: service::ids::STEP_TEN,
+            },
+        }),
+    )
+    .result
+    .expect("enable step");
+    for op in [
+        ControlOp::new(MarkInstantiable {
+            version: v2.clone(),
+        }),
+        ControlOp::new(SetCurrentVersion {
+            version: v2.clone(),
+        }),
+    ] {
+        bed.control_and_wait(client, manager_obj, op)
+            .result
+            .expect("version workflow");
+    }
+
+    // The measured window: update kickoff to verified post-update service.
+    let window_start_messages = bed.sim.network().stats().messages_sent;
+    let update = bed.client_control(
+        client,
+        manager_obj,
+        ControlOp::new(UpdateInstance {
+            object: dcdo,
+            to: None,
+        }),
+    );
+    let mut recovery_time_s = 0.0;
+    if inject_fault {
+        bed.run_for(SimDuration::from_secs(1));
+        bed.sim.crash_node(node);
+        let crashed_at = bed.sim.now();
+        bed.control_and_wait(client, manager_obj, ControlOp::new(NodeFailed { node }))
+            .result
+            .expect("failure report");
+        bed.wait_for(client, update)
+            .result
+            .expect_err("interrupted update is refused");
+        bed.sim.restart_node(node);
+        bed.revive_host(node);
+        bed.control_and_wait(client, manager_obj, ControlOp::new(NodeRecovered { node }))
+            .result
+            .expect("recovery starts");
+        while bed.sim.metrics().counter("manager.recoveries") == 0 {
+            assert!(bed.sim.step(), "drained before recovery completed");
+        }
+        recovery_time_s = bed.sim.now().duration_since(crashed_at).as_secs_f64();
+        bed.control_and_wait(
+            client,
+            manager_obj,
+            ControlOp::new(UpdateInstance {
+                object: dcdo,
+                to: None,
+            }),
+        )
+        .result
+        .expect("re-issued update lands");
+    } else {
+        bed.wait_for(client, update).result.expect("update lands");
+    }
+    // Restored snapshot (count = 2) plus the new +10 step: both the
+    // healthy and the faulted path must serve 12.
+    let after = bed
+        .call_and_wait(client, dcdo, "incr", vec![])
+        .result
+        .expect("post-update call")
+        .into_value()
+        .expect("value reply");
+    assert_eq!(after, Value::Int(12), "service verified after the episode");
+    let window_messages = bed.sim.network().stats().messages_sent - window_start_messages;
+    ReconfigRun {
+        bed,
+        window_messages,
+        recovery_time_s,
+    }
+}
+
+/// Crash-during-reconfiguration: the instance's host dies one simulated
+/// second into an evolution; the manager aborts the flow, the host returns,
+/// the instance is rebuilt from its vault snapshot, and the re-issued
+/// update lands.
+///
+/// `recovery_time_s` is the simulated span from the crash to the recovered
+/// instance being re-registered. `message_amplification` compares the
+/// faulted reconfiguration window's traffic to a healthy same-seed
+/// baseline run of the same window (crash, failover, and rebuild all cost
+/// messages, so this exceeds 1).
+pub fn crash_during_reconfig(seed: u64) -> ChaosReport {
+    let baseline = reconfig_run(seed, false);
+    let mut faulted = reconfig_run(seed, true);
+    faulted.bed.sim.run_until_idle();
+    let sim = &faulted.bed.sim;
+    ChaosReport {
+        name: "crash_during_reconfig",
+        seed,
+        trace_hash: trace_hash(sim.trace()),
+        events_processed: sim.events_processed(),
+        recovery_time_s: faulted.recovery_time_s,
+        message_amplification: faulted.window_messages as f64
+            / baseline.window_messages.max(1) as f64,
+        unreachable_drops: sim.metrics().counter("sim.unreachable_drops"),
+        node_crashes: sim.metrics().counter("sim.node_crashes"),
+        leaked_events: sim.pending_events() as u64,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// chatter ring (rolling-partition and restart-storm traffic)
+
+/// A timer-driven ring talker: every period it pings its ring successor
+/// (regardless of replies — partitions and crashes must not silence it)
+/// and echoes pings it receives. Records when each echo arrived so the
+/// driver can measure how fast traffic resumes after a heal.
+struct Chatter {
+    peer: Option<ActorId>,
+    period: SimDuration,
+    until: SimTime,
+    sent: u64,
+    heard_times: Vec<SimTime>,
+}
+
+impl Chatter {
+    fn new(period: SimDuration, until: SimTime) -> Self {
+        Chatter {
+            peer: None,
+            period,
+            until,
+            sent: 0,
+            heard_times: Vec::new(),
+        }
+    }
+}
+
+impl Actor<Msg> for Chatter {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        match msg {
+            Msg::Invoke { call, args, .. } => {
+                let echo = args.into_iter().next().unwrap_or(Value::Unit);
+                ctx.send(
+                    from,
+                    Msg::Reply {
+                        call,
+                        result: Ok(echo),
+                    },
+                );
+            }
+            Msg::Reply { .. } => {
+                self.heard_times.push(ctx.now());
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _token: u64) {
+        if let Some(peer) = self.peer {
+            self.sent += 1;
+            let call = CallId::from_raw(ctx.fresh_u64());
+            ctx.send(
+                peer,
+                Msg::Invoke {
+                    call,
+                    target: ObjectId::from_raw(1),
+                    function: "ping".into(),
+                    args: vec![Value::Int(self.sent as i64)],
+                },
+            );
+        }
+        if ctx.now() + self.period < self.until {
+            ctx.schedule_timer(self.period, 0);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "chaos-chatter"
+    }
+}
+
+/// Spawns a ring of chatters, one per node in `nodes[1..]` (node 0 hosts
+/// the chaos controller), with staggered periods and start offsets.
+fn spawn_ring(sim: &mut Simulation<Msg>, n_nodes: u32, horizon: SimDuration) -> Vec<ActorId> {
+    let until = sim.now() + horizon;
+    let mut ring = Vec::new();
+    for i in 1..n_nodes {
+        let period = SimDuration::from_millis(80 + 17 * u64::from(i));
+        let actor = sim.spawn(dcdo_sim::NodeId::from_raw(i), Chatter::new(period, until));
+        ring.push(actor);
+    }
+    for (i, &actor) in ring.iter().enumerate() {
+        let peer = ring[(i + 1) % ring.len()];
+        sim.actor_mut::<Chatter>(actor).expect("chatter alive").peer = Some(peer);
+        sim.schedule_timer_for(actor, SimDuration::from_millis(10 * (i as u64 + 1)), 0);
+    }
+    ring
+}
+
+/// Ratio of messages offered to messages actually delivered (loss and
+/// unreachable drops removed): the price of talking through faults.
+fn delivery_amplification(sim: &Simulation<Msg>) -> f64 {
+    let stats = sim.network().stats();
+    let delivered = stats
+        .messages_sent
+        .saturating_sub(stats.messages_lost)
+        .saturating_sub(stats.unreachable);
+    stats.messages_sent as f64 / delivered.max(1) as f64
+}
+
+/// Rolling partition: a chatter ring on 8 nodes talks through two
+/// partition/heal cycles (different cuts each time).
+///
+/// `recovery_time_s` is the longest any chatter waited after the *final*
+/// heal before hearing an echo again. `message_amplification` is offered
+/// messages over delivered messages — the partitions eat the difference
+/// (counted in `unreachable_drops`).
+pub fn rolling_partition(seed: u64) -> ChaosReport {
+    const NODES: u32 = 8;
+    let horizon = SimDuration::from_secs(12);
+    let final_heal = SimDuration::from_secs(9);
+    let mut sim: Simulation<Msg> = Simulation::new(NetConfig::centurion(), seed);
+    sim.trace_mut().enable(1 << 18);
+    let ring = spawn_ring(&mut sim, NODES, horizon);
+
+    let n = |i: u32| dcdo_sim::NodeId::from_raw(i);
+    let plan = FaultPlan::new()
+        .partition_at(
+            SimDuration::from_secs(3),
+            &[vec![n(0), n(1), n(2), n(3)], vec![n(4), n(5), n(6), n(7)]],
+        )
+        .heal_at(SimDuration::from_secs(5))
+        .partition_at(
+            SimDuration::from_secs(7),
+            &[vec![n(0), n(2), n(4), n(6)], vec![n(1), n(3), n(5), n(7)]],
+        )
+        .heal_at(final_heal);
+    ChaosController::install(&mut sim, n(0), plan);
+
+    sim.run_for(horizon);
+    sim.run_until_idle();
+
+    let healed_at = SimTime::ZERO + final_heal;
+    let mut recovery_time_s = 0.0f64;
+    for &actor in &ring {
+        let chatter = sim.actor::<Chatter>(actor).expect("chatter alive");
+        let resumed = chatter
+            .heard_times
+            .iter()
+            .find(|t| **t > healed_at)
+            .copied()
+            .unwrap_or(SimTime::ZERO + horizon);
+        recovery_time_s = recovery_time_s.max(resumed.duration_since(healed_at).as_secs_f64());
+    }
+    ChaosReport {
+        name: "rolling_partition",
+        seed,
+        trace_hash: trace_hash(sim.trace()),
+        events_processed: sim.events_processed(),
+        recovery_time_s,
+        message_amplification: delivery_amplification(&sim),
+        unreachable_drops: sim.metrics().counter("sim.unreachable_drops"),
+        node_crashes: sim.metrics().counter("sim.node_crashes"),
+        leaked_events: sim.pending_events() as u64,
+    }
+}
+
+/// Restart storm: three rounds of staggered crash/restart cycles sweep
+/// nodes 1–4 while the chatter ring keeps talking.
+///
+/// `recovery_time_s` is the planned per-crash downtime. The interesting
+/// outputs are `leaked_events` (must be 0: dead nodes' timers are
+/// cancelled, the queue drains) and `unreachable_drops` (messages that hit
+/// a down node). Chatters on crashed nodes stay dead after the restart —
+/// subsequent pings to them dead-letter — so the ring thins as the storm
+/// progresses, exactly like un-revived processes on a rebooted host.
+pub fn restart_storm(seed: u64) -> ChaosReport {
+    const NODES: u32 = 8;
+    let down_for = SimDuration::from_millis(500);
+    let horizon = SimDuration::from_secs(10);
+    let mut sim: Simulation<Msg> = Simulation::new(NetConfig::centurion(), seed);
+    sim.trace_mut().enable(1 << 18);
+    spawn_ring(&mut sim, NODES, horizon);
+
+    let mut plan = FaultPlan::new();
+    for round in 0..3u64 {
+        for k in 1..=4u64 {
+            let at = SimDuration::from_millis(1_000 + round * 2_000 + k * 300);
+            plan = plan.crash_for(at, down_for, dcdo_sim::NodeId::from_raw(k as u32));
+        }
+    }
+    ChaosController::install(&mut sim, dcdo_sim::NodeId::from_raw(0), plan);
+
+    sim.run_for(horizon);
+    sim.run_until_idle();
+
+    ChaosReport {
+        name: "restart_storm",
+        seed,
+        trace_hash: trace_hash(sim.trace()),
+        events_processed: sim.events_processed(),
+        recovery_time_s: down_for.as_secs_f64(),
+        message_amplification: delivery_amplification(&sim),
+        unreachable_drops: sim.metrics().counter("sim.unreachable_drops"),
+        node_crashes: sim.metrics().counter("sim.node_crashes"),
+        leaked_events: sim.pending_events() as u64,
+    }
+}
+
+/// Runs every chaos scenario at `seed`, in a stable order.
+pub fn all_scenarios(seed: u64) -> Vec<ChaosReport> {
+    vec![
+        crash_during_reconfig(seed),
+        rolling_partition(seed),
+        restart_storm(seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chatter_ring_talks_on_a_quiet_network() {
+        let mut sim: Simulation<Msg> = Simulation::new(NetConfig::centurion(), 1);
+        let ring = spawn_ring(&mut sim, 4, SimDuration::from_secs(2));
+        sim.run_until_idle();
+        for actor in ring {
+            let c = sim.actor::<Chatter>(actor).expect("alive");
+            assert!(c.sent > 0);
+            assert!(!c.heard_times.is_empty(), "echoes heard");
+        }
+        assert_eq!(sim.pending_events(), 0);
+    }
+}

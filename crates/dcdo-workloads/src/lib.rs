@@ -9,11 +9,15 @@
 //! - [`ClosedLoopClient`] — the sequential-call load driver used to measure
 //!   remote-invocation latency and to feed lazy update checks;
 //! - [`simbench`] — the sim-core throughput workload shapes behind the
-//!   `sim_throughput` bench suite and the `BENCH_sim.json` emitter.
+//!   `sim_throughput` bench suite and the `BENCH_sim.json` emitter;
+//! - [`chaos`] — deterministic fault-injection scenarios (crash during
+//!   reconfiguration, rolling partitions, restart storms) with recovery
+//!   metrics behind the `BENCH_chaos.json` emitter.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod clients;
 mod components;
 pub mod service;

@@ -1,0 +1,67 @@
+//! The chaos workload suite: every fault scenario recovers, leaks nothing,
+//! and — the subsystem's core guarantee — replays bit-identically under the
+//! same seed (asserted via execution-trace hashes).
+
+use dcdo_workloads::chaos::{crash_during_reconfig, restart_storm, rolling_partition};
+
+#[test]
+fn crash_during_reconfig_recovers_and_replays_identically() {
+    let a = crash_during_reconfig(7);
+    let b = crash_during_reconfig(7);
+    assert_eq!(
+        a.trace_hash, b.trace_hash,
+        "same seed must replay bit-identically"
+    );
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.node_crashes, 1);
+    assert!(a.recovery_time_s > 0.0, "recovery takes simulated time");
+    assert!(
+        a.message_amplification > 1.0,
+        "failover and rebuild cost extra messages (got {})",
+        a.message_amplification
+    );
+    assert_eq!(a.leaked_events, 0, "queue drains after the episode");
+}
+
+#[test]
+fn crash_during_reconfig_diverges_across_seeds() {
+    let a = crash_during_reconfig(7);
+    let b = crash_during_reconfig(8);
+    assert_ne!(
+        a.trace_hash, b.trace_hash,
+        "different seeds should explore different schedules"
+    );
+}
+
+#[test]
+fn rolling_partition_drops_traffic_then_recovers() {
+    let a = rolling_partition(11);
+    let b = rolling_partition(11);
+    assert_eq!(a.trace_hash, b.trace_hash);
+    assert!(
+        a.unreachable_drops > 0,
+        "partitions must eat some cross-cut pings"
+    );
+    assert!(
+        a.message_amplification > 1.0,
+        "offered exceeds delivered under partitions"
+    );
+    assert!(
+        a.recovery_time_s < 1.0,
+        "chatter resumes within a ping period of the final heal (got {}s)",
+        a.recovery_time_s
+    );
+    assert_eq!(a.leaked_events, 0);
+}
+
+#[test]
+fn restart_storm_cancels_dead_timers_and_leaks_nothing() {
+    let a = restart_storm(13);
+    let b = restart_storm(13);
+    assert_eq!(a.trace_hash, b.trace_hash);
+    assert_eq!(a.node_crashes, 12, "3 rounds x 4 nodes");
+    assert_eq!(
+        a.leaked_events, 0,
+        "dead nodes' timers are cancelled; the queue drains"
+    );
+}

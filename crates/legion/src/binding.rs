@@ -38,6 +38,37 @@ pub struct UnregisterBinding {
 
 control_payload!(UnregisterBinding, "unregister-binding");
 
+/// Drops every binding that points at one of the given physical addresses.
+///
+/// Recovery layers send this when a host crashes: the actors that lived on
+/// it are gone, so any binding still naming them would send clients into
+/// the slow stale-binding timeout path. Answered with
+/// [`InvalidatedBindings`].
+#[derive(Debug, Clone)]
+pub struct InvalidateBindings {
+    /// Addresses that are no longer valid (e.g. actors of a crashed node).
+    pub addresses: Vec<ActorId>,
+}
+
+control_payload!(
+    InvalidateBindings,
+    "invalidate-bindings",
+    wire_size = |op| 16 + op.addresses.len() as u64 * 8
+);
+
+/// The answer to an [`InvalidateBindings`]: how many bindings were dropped.
+#[derive(Debug, Clone)]
+pub struct InvalidatedBindings {
+    /// Objects whose bindings were removed.
+    pub removed: Vec<ObjectId>,
+}
+
+control_payload!(
+    InvalidatedBindings,
+    "invalidated-bindings",
+    wire_size = |op| 16 + op.removed.len() as u64 * 8
+);
+
 /// Asks for the current binding of an object.
 #[derive(Debug, Clone)]
 pub struct QueryBinding {
@@ -95,6 +126,23 @@ impl BindingAgent {
     pub fn queries_served(&self) -> u64 {
         self.queries_served
     }
+
+    /// Drops every binding that points at one of `addresses`; returns the
+    /// objects that lost their binding (driver-side twin of
+    /// [`InvalidateBindings`]).
+    pub fn invalidate_addresses(&mut self, addresses: &[ActorId]) -> Vec<ObjectId> {
+        let mut removed: Vec<ObjectId> = self
+            .bindings
+            .iter()
+            .filter(|(_, a)| addresses.contains(a))
+            .map(|(o, _)| *o)
+            .collect();
+        removed.sort_unstable();
+        for object in &removed {
+            self.bindings.remove(object);
+        }
+        removed
+    }
 }
 
 impl Actor<Msg> for BindingAgent {
@@ -109,6 +157,11 @@ impl Actor<Msg> for BindingAgent {
                     } else if let Some(unreg) = op.as_any().downcast_ref::<UnregisterBinding>() {
                         self.bindings.remove(&unreg.object);
                         Ok(ControlOp::new(Ack))
+                    } else if let Some(inv) = op.as_any().downcast_ref::<InvalidateBindings>() {
+                        let removed = self.invalidate_addresses(&inv.addresses);
+                        ctx.metrics()
+                            .add("binding.invalidated", removed.len() as u64);
+                        Ok(ControlOp::new(InvalidatedBindings { removed }))
                     } else if let Some(query) = op.as_any().downcast_ref::<QueryBinding>() {
                         self.queries_served += 1;
                         ctx.metrics().incr("binding.queries");
@@ -272,6 +325,60 @@ mod tests {
             .downcast_ref::<BindingResult>()
             .expect("binding result");
         assert_eq!(binding.address, None);
+    }
+
+    #[test]
+    fn invalidate_drops_only_bindings_at_dead_addresses() {
+        let (mut sim, agent, probe, agent_obj) = setup();
+        let dead = ActorId::from_raw(3);
+        let alive = ActorId::from_raw(4);
+        let (a, b, c) = (
+            ObjectId::from_raw(10),
+            ObjectId::from_raw(11),
+            ObjectId::from_raw(12),
+        );
+        for (obj, addr) in [(a, dead), (b, dead), (c, alive)] {
+            sim.post(
+                probe,
+                agent,
+                control(
+                    obj.as_raw(),
+                    agent_obj,
+                    RegisterBinding {
+                        object: obj,
+                        address: addr,
+                    },
+                ),
+            );
+        }
+        sim.post(
+            probe,
+            agent,
+            control(
+                99,
+                agent_obj,
+                InvalidateBindings {
+                    addresses: vec![dead],
+                },
+            ),
+        );
+        sim.run_until_idle();
+        let probe_ref = sim.actor::<Probe>(probe).expect("alive");
+        let reply = probe_ref
+            .replies
+            .last()
+            .expect("reply")
+            .as_ref()
+            .expect("ok");
+        let inv = reply
+            .as_any()
+            .downcast_ref::<InvalidatedBindings>()
+            .expect("invalidated-bindings");
+        assert_eq!(inv.removed, vec![a, b]);
+        let agent_ref = sim.actor::<BindingAgent>(agent).expect("alive");
+        assert_eq!(agent_ref.lookup(a), None);
+        assert_eq!(agent_ref.lookup(b), None);
+        assert_eq!(agent_ref.lookup(c), Some(alive));
     }
 
     #[test]

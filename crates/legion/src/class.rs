@@ -83,6 +83,42 @@ pub struct MigrateInstance {
 
 control_payload!(MigrateInstance, "migrate-instance");
 
+/// Control op: capture an instance's state and park a snapshot in the
+/// class's vault, leaving the running process untouched. The snapshot is
+/// what [`ReactivateInstance`] restores from after a crash.
+#[derive(Debug, Clone)]
+pub struct CheckpointInstance {
+    /// The instance to checkpoint.
+    pub object: ObjectId,
+}
+
+control_payload!(CheckpointInstance, "checkpoint-instance");
+
+/// Control reply: a checkpoint was parked in the vault.
+#[derive(Debug, Clone)]
+pub struct CheckpointDone {
+    /// The instance checkpointed.
+    pub object: ObjectId,
+}
+
+control_payload!(CheckpointDone, "checkpoint-done");
+
+/// Control op: bring a crashed instance back up on `node` from its vault
+/// snapshot — download the executable if needed, spawn a fresh process,
+/// restore the parked state, and re-register the binding. Requires the
+/// class to be configured [`with_vault`](ClassObject::with_vault) and a
+/// snapshot to exist (from a [`CheckpointInstance`] or an earlier
+/// vault-mediated evolve/migrate).
+#[derive(Debug, Clone)]
+pub struct ReactivateInstance {
+    /// The instance to bring back.
+    pub object: ObjectId,
+    /// The node to respawn it on (often the restarted host).
+    pub node: NodeId,
+}
+
+control_payload!(ReactivateInstance, "reactivate-instance");
+
 /// Control reply: an evolve/migrate pipeline finished.
 #[derive(Debug, Clone)]
 pub struct LifecycleDone {
@@ -147,6 +183,10 @@ enum OpKind {
     Create,
     Evolve,
     Migrate,
+    /// Capture → park in vault; no process replacement.
+    Checkpoint,
+    /// Spawn a fresh process from the vault snapshot after a crash.
+    Reactivate,
 }
 
 struct PendingOp {
@@ -247,6 +287,13 @@ impl ClassObject {
     /// Lifecycle operations still in flight.
     pub fn ops_in_flight(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Forgets that executables were ever downloaded to `node` — call when
+    /// a host crashes, since its local store is gone and the next spawn
+    /// there must pay the transfer again.
+    pub fn forget_downloads(&mut self, node: NodeId) {
+        self.downloaded.retain(|(n, _)| *n != node);
     }
 
     fn schedule_step(&mut self, ctx: &mut Ctx<'_, Msg>, op_id: u64, after: SimDuration) {
@@ -421,6 +468,17 @@ impl ClassObject {
                     version: op.target_version,
                 }),
             ),
+            OpKind::Reactivate => (
+                "class.reactivate_time",
+                ControlOp::new(LifecycleDone {
+                    object: op.object,
+                    address,
+                    version: op.target_version,
+                }),
+            ),
+            OpKind::Checkpoint => {
+                unreachable!("checkpoints finish via finish_checkpoint")
+            }
         };
         ctx.metrics().sample_duration(metric, elapsed);
         ctx.send(
@@ -477,6 +535,110 @@ impl ClassObject {
         self.rpc_step(ctx, op_id, object, ControlOp::new(CaptureState));
     }
 
+    fn start_checkpoint(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        reply_to: ActorId,
+        call: CallId,
+        object: ObjectId,
+    ) {
+        let instance = self.instances.get(&object).copied();
+        let (Some(instance), Some(_vault)) = (instance, self.vault) else {
+            let why = if self.vault.is_none() {
+                "class has no vault to checkpoint into".to_string()
+            } else {
+                format!("unknown instance {object}")
+            };
+            ctx.send(
+                reply_to,
+                Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(why)),
+                },
+            );
+            return;
+        };
+        ctx.send(reply_to, Msg::Progress { call });
+        let op_id = ctx.fresh_u64();
+        let op = PendingOp {
+            kind: OpKind::Checkpoint,
+            reply_to,
+            call,
+            started: ctx.now(),
+            object,
+            target_node: instance.node,
+            target_version: instance.version,
+            old_actor: Some(instance.actor),
+            state: None,
+            needs_restore: false,
+            new_actor: None,
+            step: Step::Capture,
+        };
+        self.ops.insert(op_id, op);
+        self.rpc_step(ctx, op_id, object, ControlOp::new(CaptureState));
+    }
+
+    fn start_reactivate(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        reply_to: ActorId,
+        call: CallId,
+        object: ObjectId,
+        node: NodeId,
+    ) {
+        let instance = self.instances.get(&object).copied();
+        let (Some(instance), Some(_vault)) = (instance, self.vault) else {
+            let why = if self.vault.is_none() {
+                "class has no vault to reactivate from".to_string()
+            } else {
+                format!("unknown instance {object}")
+            };
+            ctx.send(
+                reply_to,
+                Msg::ControlReply {
+                    call,
+                    result: Err(InvocationFault::Refused(why)),
+                },
+            );
+            return;
+        };
+        ctx.send(reply_to, Msg::Progress { call });
+        ctx.metrics().incr("class.reactivations_started");
+        let op_id = ctx.fresh_u64();
+        let op = PendingOp {
+            kind: OpKind::Reactivate,
+            reply_to,
+            call,
+            started: ctx.now(),
+            object,
+            target_node: node,
+            target_version: instance.version,
+            // The old process died with its host; there is nothing to
+            // capture or deactivate.
+            old_actor: None,
+            state: None,
+            needs_restore: true,
+            new_actor: None,
+            step: Step::Download,
+        };
+        self.ops.insert(op_id, op);
+        self.begin_download_or_spawn(ctx, op_id);
+    }
+
+    fn finish_checkpoint(&mut self, ctx: &mut Ctx<'_, Msg>, op_id: u64) {
+        let op = self.ops.remove(&op_id).expect("op exists");
+        let elapsed = ctx.now().duration_since(op.started);
+        ctx.metrics()
+            .sample_duration("class.checkpoint_time", elapsed);
+        ctx.send(
+            op.reply_to,
+            Msg::ControlReply {
+                call: op.call,
+                result: Ok(ControlOp::new(CheckpointDone { object: op.object })),
+            },
+        );
+    }
+
     fn handle_rpc_completion(&mut self, ctx: &mut Ctx<'_, Msg>, completion: RpcCompletion) {
         let Some(op_id) = self.rpc_routes.remove(&completion.call.as_raw()) else {
             return;
@@ -503,7 +665,11 @@ impl ClassObject {
                     self.schedule_step(ctx, op_id, delay);
                 }
                 Step::SaveVault => {
-                    self.begin_download_or_spawn(ctx, op_id);
+                    if self.ops[&op_id].kind == OpKind::Checkpoint {
+                        self.finish_checkpoint(ctx, op_id);
+                    } else {
+                        self.begin_download_or_spawn(ctx, op_id);
+                    }
                 }
                 Step::LoadVault => {
                     let Some(bytes) = payload
@@ -664,6 +830,10 @@ impl Actor<Msg> for ClassObject {
                         mig.object,
                         Some(mig.to),
                     );
+                } else if let Some(ck) = op.as_any().downcast_ref::<CheckpointInstance>() {
+                    self.start_checkpoint(ctx, from, call, ck.object);
+                } else if let Some(re) = op.as_any().downcast_ref::<ReactivateInstance>() {
+                    self.start_reactivate(ctx, from, call, re.object, re.node);
                 } else if op.as_any().downcast_ref::<ListInstances>().is_some() {
                     ctx.send(
                         from,

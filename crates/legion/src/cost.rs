@@ -53,6 +53,14 @@ pub struct CostModel {
     /// Overall deadline after which an invocation is abandoned with
     /// `Timeout`.
     pub invocation_deadline: SimDuration,
+    /// Rebind cycles (drop binding → re-query agent → retry) tolerated
+    /// before the caller gives up with `Unreachable`. The first binding is
+    /// free; only fallbacks count.
+    pub max_rebinds: u32,
+    /// Consecutive *unanswered* binding-agent queries tolerated before the
+    /// caller gives up with `Unreachable` (an agent that answers "not
+    /// bound" resets the count — that is the slow `Timeout` path instead).
+    pub max_unanswered_queries: u32,
 }
 
 impl CostModel {
@@ -86,6 +94,8 @@ impl CostModel {
             binding_attempts: 5,
             binding_backoff_jitter: 1.4,
             invocation_deadline: SimDuration::from_secs(120),
+            max_rebinds: 2,
+            max_unanswered_queries: 4,
         }
     }
 
@@ -108,6 +118,8 @@ impl CostModel {
             binding_attempts: 2,
             binding_backoff_jitter: 1.0,
             invocation_deadline: SimDuration::from_secs(10),
+            max_rebinds: 2,
+            max_unanswered_queries: 3,
         }
     }
 

@@ -42,6 +42,9 @@ pub struct Testbed {
     pub context_object: ObjectId,
     /// The cost model in force.
     pub cost: CostModel,
+    /// Per-node host metadata, kept so crashed host daemons can be revived
+    /// with their original identities (parallel to `nodes`).
+    host_meta: Vec<(ObjectId, HostId, Architecture)>,
 }
 
 impl Testbed {
@@ -60,21 +63,19 @@ impl Testbed {
         };
 
         let mut hosts = Vec::with_capacity(nodes.len());
+        let mut host_meta = Vec::with_capacity(nodes.len());
         for (i, node) in nodes.iter().enumerate() {
             let host_object = ObjectId::from_raw(sim.fresh_u64());
+            let host_id = HostId::from_raw(i as u64);
             let host = sim.spawn(
                 *node,
-                HostObject::new(
-                    host_object,
-                    HostId::from_raw(i as u64),
-                    *node,
-                    Architecture::X86,
-                ),
+                HostObject::new(host_object, host_id, *node, Architecture::X86),
             );
             sim.actor_mut::<BindingAgent>(agent_actor)
                 .expect("agent alive")
                 .register(host_object, host);
             hosts.push(host);
+            host_meta.push((host_object, host_id, Architecture::X86));
         }
 
         let vault_object = ObjectId::from_raw(sim.fresh_u64());
@@ -97,6 +98,7 @@ impl Testbed {
             context,
             context_object,
             cost,
+            host_meta,
         }
     }
 
@@ -205,5 +207,26 @@ impl Testbed {
     /// Lets the simulation run for a span of virtual time.
     pub fn run_for(&mut self, d: SimDuration) {
         self.sim.run_for(d);
+    }
+
+    /// Respawns the host daemon of a restarted node: a fresh [`HostObject`]
+    /// with the node's original identity and an empty (cold) component
+    /// cache, re-registered with the binding agent. Call after
+    /// `sim.restart_node(node)` — a crash kills the daemon along with every
+    /// other actor on the node, and nothing placed there works until it is
+    /// back.
+    pub fn revive_host(&mut self, node: NodeId) -> ActorId {
+        let idx = self
+            .nodes
+            .iter()
+            .position(|n| *n == node)
+            .expect("node in testbed");
+        let (object, host_id, arch) = self.host_meta[idx];
+        let actor = self
+            .sim
+            .spawn(node, HostObject::new(object, host_id, node, arch));
+        self.register(object, actor);
+        self.hosts[idx] = actor;
+        actor
     }
 }

@@ -39,6 +39,12 @@ pub enum InvocationFault {
     Refused(String),
     /// Synthesized by the *caller* when all retries and rebinds failed.
     Timeout,
+    /// Synthesized by the *caller* when the retry budget is exhausted well
+    /// before the deadline — repeated rebind cycles kept landing on dead
+    /// addresses, or the binding agent itself stopped answering. Unlike
+    /// [`Timeout`](InvocationFault::Timeout) this is a crisp "the target's
+    /// host is gone" signal recovery layers can act on.
+    Unreachable,
 }
 
 impl fmt::Display for InvocationFault {
@@ -53,6 +59,7 @@ impl fmt::Display for InvocationFault {
             InvocationFault::ExecutionFault(e) => write!(f, "execution fault: {e}"),
             InvocationFault::Refused(why) => write!(f, "operation refused: {why}"),
             InvocationFault::Timeout => write!(f, "invocation timed out"),
+            InvocationFault::Unreachable => write!(f, "target unreachable"),
         }
     }
 }

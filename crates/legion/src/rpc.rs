@@ -13,7 +13,12 @@
 //!    a physical address that the object is no longer using" (§4);
 //! 4. then drop the cached binding, query the **binding agent**, and resend
 //!    to the fresh address;
-//! 5. give up with [`InvocationFault::Timeout`] at the overall deadline.
+//! 5. give up with [`InvocationFault::Timeout`] at the overall deadline —
+//!    or earlier with [`InvocationFault::Unreachable`] once the retry
+//!    budget is exhausted: more than `max_rebinds` rebind cycles, or
+//!    `max_unanswered_queries` consecutive binding queries the agent never
+//!    answered (each re-query backs off exponentially, clamped to the time
+//!    left before the deadline).
 //!
 //! A reply of [`InvocationFault::NoSuchObject`] (the address is alive but
 //! hosts someone else) short-circuits straight to rebinding.
@@ -134,6 +139,8 @@ struct Pending {
     /// Attempts across all addresses (reported in the completion).
     total_attempts: u32,
     rebinds: u32,
+    /// Consecutive binding queries the agent never answered.
+    unanswered_queries: u32,
     phase: Phase,
 }
 
@@ -224,6 +231,7 @@ impl RpcClient {
             attempts: 0,
             total_attempts: 0,
             rebinds: 0,
+            unanswered_queries: 0,
             phase: Phase::Idle,
         };
         match self.cache.get(&target).copied() {
@@ -266,6 +274,16 @@ impl RpcClient {
     }
 
     fn query_binding(&mut self, ctx: &mut Ctx<'_, Msg>, call: CallId, pending: &mut Pending) {
+        self.query_binding_with_timeout(ctx, call, pending, self.cost.binding_connect_timeout);
+    }
+
+    fn query_binding_with_timeout(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        call: CallId,
+        pending: &mut Pending,
+        timeout: SimDuration,
+    ) {
         let query = CallId::from_raw(ctx.fresh_u64());
         ctx.send(
             self.agent.actor,
@@ -278,7 +296,7 @@ impl RpcClient {
             },
         );
         self.binding_queries.insert(query.as_raw(), call.as_raw());
-        let timer = ctx.schedule_timer(self.cost.binding_connect_timeout, call.as_raw());
+        let timer = ctx.schedule_timer(timeout, call.as_raw());
         pending.phase = Phase::AwaitBinding { timer, query };
     }
 
@@ -331,6 +349,15 @@ impl RpcClient {
             // Alive address, wrong occupant: rebind immediately.
             self.cache.remove(&pending.target);
             pending.rebinds += 1;
+            if pending.rebinds > self.cost.max_rebinds {
+                ctx.metrics().incr("rpc.unreachable");
+                return Handled::Completed(self.complete(
+                    ctx,
+                    call,
+                    pending,
+                    Err(InvocationFault::Unreachable),
+                ));
+            }
             self.query_binding(ctx, call, &mut pending);
             self.pending.insert(call.as_raw(), pending);
             return Handled::InProgress;
@@ -349,6 +376,9 @@ impl RpcClient {
         };
         self.cancel_phase_timer(ctx, &pending.phase);
         let call = CallId::from_raw(original);
+        // The agent is alive — only *unanswered* queries count toward the
+        // Unreachable budget.
+        pending.unanswered_queries = 0;
         let address = result
             .ok()
             .and_then(|op| {
@@ -408,6 +438,18 @@ impl RpcClient {
                         .sample_duration("rpc.stale_binding_discovery_time", discovery);
                     self.cache.remove(&pending.target);
                     pending.rebinds += 1;
+                    if pending.rebinds > self.cost.max_rebinds {
+                        // Every address the agent hands out times out:
+                        // declare the target unreachable instead of cycling
+                        // until the deadline.
+                        ctx.metrics().incr("rpc.unreachable");
+                        return Some(self.complete(
+                            ctx,
+                            call,
+                            pending,
+                            Err(InvocationFault::Unreachable),
+                        ));
+                    }
                     pending.attempts = 0;
                     self.query_binding(ctx, call, &mut pending);
                 }
@@ -415,10 +457,35 @@ impl RpcClient {
                 None
             }
             Phase::AwaitBinding { query, .. } => {
-                // The agent did not answer (or answered None earlier);
-                // query again.
-                self.binding_queries.remove(&query.as_raw());
-                self.query_binding(ctx, call, &mut pending);
+                if query.as_raw() == u64::MAX {
+                    // The agent answered "not bound" earlier; keep polling
+                    // at the base cadence until the deadline resolves it.
+                    self.query_binding(ctx, call, &mut pending);
+                } else {
+                    // A real query went unanswered: the agent (or the path
+                    // to it) is down. Back off exponentially and give up
+                    // early once the budget is spent.
+                    self.binding_queries.remove(&query.as_raw());
+                    pending.unanswered_queries += 1;
+                    if pending.unanswered_queries >= self.cost.max_unanswered_queries {
+                        ctx.metrics().incr("rpc.unreachable");
+                        return Some(self.complete(
+                            ctx,
+                            call,
+                            pending,
+                            Err(InvocationFault::Unreachable),
+                        ));
+                    }
+                    let shift = pending.unanswered_queries.min(6);
+                    let backoff = self.cost.binding_connect_timeout * (1u64 << shift);
+                    let remaining = pending.deadline.duration_since(ctx.now());
+                    self.query_binding_with_timeout(
+                        ctx,
+                        call,
+                        &mut pending,
+                        backoff.min(remaining),
+                    );
+                }
                 self.pending.insert(token, pending);
                 None
             }

@@ -211,3 +211,47 @@ fn duplicate_deliveries_do_not_confuse_the_protocol() {
         "duplication actually occurred"
     );
 }
+
+#[test]
+fn dead_address_without_reregistration_fails_unreachable_before_deadline() {
+    // The agent keeps handing out the same dead address (nobody invalidated
+    // it): the client burns its rebind budget and reports Unreachable well
+    // before the 120 s deadline, instead of cycling until Timeout.
+    let mut bed = Testbed::centurion(8);
+    let (object, actor) = spawn_echo(&mut bed, 2);
+    let (_, client) = bed.spawn_client(bed.nodes[5]);
+    let c = bed.call_and_wait(client, object, "echo", vec![Value::Int(1)]);
+    assert!(c.result.is_ok());
+
+    bed.sim.kill(actor); // binding left stale on purpose
+    let c = bed.call_and_wait(client, object, "echo", vec![Value::Int(2)]);
+    assert!(matches!(c.result, Err(InvocationFault::Unreachable)));
+    let max_rebinds = CostModel::centurion().max_rebinds;
+    assert_eq!(c.rebinds, max_rebinds + 1);
+    let elapsed = c.elapsed.as_secs_f64();
+    let deadline = CostModel::centurion().invocation_deadline.as_secs_f64();
+    assert!(
+        elapsed < deadline,
+        "gave up before the deadline: {elapsed}s >= {deadline}s"
+    );
+    assert!(bed.sim.metrics().counter("rpc.unreachable") >= 1);
+}
+
+#[test]
+fn unanswered_binding_queries_back_off_and_fail_unreachable() {
+    // The binding agent itself is dead: the client's queries go unanswered,
+    // each retry backs off exponentially, and after the budget is spent the
+    // call fails Unreachable (not an endless requery loop).
+    let mut bed = Testbed::centurion(9);
+    let ghost = bed.fresh_object_id();
+    let (_, client) = bed.spawn_client(bed.nodes[3]);
+    bed.sim.kill(bed.agent.actor);
+    let c = bed.call_and_wait(client, ghost, "echo", vec![Value::Int(1)]);
+    assert!(matches!(c.result, Err(InvocationFault::Unreachable)));
+    // 4 unanswered queries at 5 s, 10 s, 20 s, 40 s: gone by ~75 s.
+    let elapsed = c.elapsed.as_secs_f64();
+    assert!(
+        (70.0..=80.0).contains(&elapsed),
+        "exponential backoff window: {elapsed}s"
+    );
+}

@@ -6,8 +6,9 @@ use dcdo_sim::SimDuration;
 use dcdo_types::{ClassId, ObjectId};
 use dcdo_vm::{FunctionBuilder, Value};
 use legion_substrate::class::{
-    ClassObject, CreateInstance, EvolveInstance, InstanceCreated, LifecycleDone, ListInstances,
-    MigrateInstance, SetCurrentImage,
+    CheckpointDone, CheckpointInstance, ClassObject, CreateInstance, EvolveInstance,
+    InstanceCreated, LifecycleDone, ListInstances, MigrateInstance, ReactivateInstance,
+    SetCurrentImage,
 };
 use legion_substrate::harness::Testbed;
 use legion_substrate::monolithic::{ExecutableImage, QueryVersion, VersionReport};
@@ -422,4 +423,111 @@ fn evolution_can_park_state_in_the_vault() {
         .into_value()
         .expect("value");
     assert_eq!(count, Value::Int(4));
+}
+
+#[test]
+fn crashed_instance_reactivates_from_vault_snapshot() {
+    // Checkpoint an instance into the vault, crash its host, then bring it
+    // back with ReactivateInstance: a fresh process is spawned, the parked
+    // state restored, the binding re-registered — and a client that still
+    // holds the dead address recovers through the stale-binding path.
+    let mut bed = Testbed::centurion(11);
+    let class_object = bed.fresh_object_id();
+    let class = ClassObject::new(
+        class_object,
+        ClassId::from_raw(1),
+        adder_image(1, 0, 550_000),
+        bed.cost.clone(),
+        bed.agent,
+    )
+    .with_vault(bed.vault_object);
+    let class_actor = bed.sim.spawn(bed.nodes[0], class);
+    bed.register(class_object, class_actor);
+
+    let (_, client) = bed.spawn_client(bed.nodes[1]);
+    let created = bed.control_and_wait(
+        client,
+        class_object,
+        ControlOp::new(CreateInstance { node: bed.nodes[3] }),
+    );
+    let instance = created
+        .result
+        .expect("creation succeeds")
+        .control_as::<InstanceCreated>()
+        .expect("reply")
+        .object;
+    for _ in 0..3 {
+        bed.call_and_wait(client, instance, "bump", vec![])
+            .result
+            .expect("bump");
+    }
+
+    let ck = bed.control_and_wait(
+        client,
+        class_object,
+        ControlOp::new(CheckpointInstance { object: instance }),
+    );
+    assert!(ck
+        .result
+        .expect("checkpoint succeeds")
+        .control_as::<CheckpointDone>()
+        .is_some());
+
+    // The host dies. Its actors are gone, its executables are gone, and
+    // the authoritative bindings to it are invalidated.
+    let dead = bed.sim.actors_on(bed.nodes[3]);
+    bed.sim.crash_node(bed.nodes[3]);
+    bed.sim
+        .actor_mut::<legion_substrate::binding::BindingAgent>(bed.agent.actor)
+        .expect("agent alive")
+        .invalidate_addresses(&dead);
+    bed.sim
+        .actor_mut::<ClassObject>(class_actor)
+        .expect("class alive")
+        .forget_downloads(bed.nodes[3]);
+    bed.sim.restart_node(bed.nodes[3]);
+
+    let (_, operator) = bed.spawn_client(bed.nodes[2]);
+    let done = bed.control_and_wait(
+        operator,
+        class_object,
+        ControlOp::new(ReactivateInstance {
+            object: instance,
+            node: bed.nodes[3],
+        }),
+    );
+    let done = done
+        .result
+        .expect("reactivation succeeds")
+        .control_as::<LifecycleDone>()
+        .expect("lifecycle-done reply")
+        .clone();
+    assert_eq!(done.object, instance);
+    assert!(
+        !dead.contains(&done.address),
+        "the revived process must be a fresh actor"
+    );
+
+    // A fresh client sees the checkpointed state.
+    let (_, fresh) = bed.spawn_client(bed.nodes[5]);
+    let count = bed
+        .call_and_wait(fresh, instance, "bump", vec![])
+        .result
+        .expect("bump after reactivation")
+        .into_value()
+        .expect("value");
+    assert_eq!(count, Value::Int(4), "three bumps survived the crash");
+
+    // The original client still holds the dead address; its next call pays
+    // the stale-binding discovery and then lands on the revived process.
+    let c = bed.call_and_wait(client, instance, "bump", vec![]);
+    assert_eq!(
+        c.result.expect("recovers").into_value().expect("value"),
+        Value::Int(5)
+    );
+    assert!(c.rebinds >= 1, "client rebound after the crash");
+    // The node restarted immediately, so sends to the dead process land as
+    // dead letters (the crash/queue sweep is covered by sim.node_crashes).
+    assert_eq!(bed.sim.metrics().counter("sim.node_crashes"), 1);
+    assert!(bed.sim.metrics().counter("sim.dead_letters") >= 1);
 }

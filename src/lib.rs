@@ -10,6 +10,8 @@
 //!   monolithic-object baseline.
 //! - [`core`] — the paper's contribution: DFMs, DCDOs, ICOs, DCDO Managers,
 //!   dependencies, and evolution restrictions.
+//! - [`chaos`] — deterministic fault injection (crashes, partitions, link
+//!   faults) and the FaultPlan DSL driving the recovery paths.
 //! - [`evolution`] — evolution management strategies (§3.3–3.5).
 //! - [`workloads`] — workload generators used by the benchmark harness.
 //!
@@ -21,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use dcdo_chaos as chaos;
 pub use dcdo_core as core;
 pub use dcdo_evolution as evolution;
 pub use dcdo_sim as sim;
