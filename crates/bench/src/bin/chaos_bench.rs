@@ -16,8 +16,9 @@ struct Shot {
 fn measure(run: impl Fn() -> ChaosReport) -> Shot {
     let first = run();
     let second = run();
-    let replay_ok =
-        first.trace_hash == second.trace_hash && first.events_processed == second.events_processed;
+    let replay_ok = first.trace_hash == second.trace_hash
+        && first.events_processed == second.events_processed
+        && first.span_digest == second.span_digest;
     Shot {
         report: second,
         replay_ok,
@@ -40,11 +41,14 @@ fn main() {
     for (i, s) in shots.iter().enumerate() {
         let r = &s.report;
         json.push_str(&format!(
-            "    \"{}\": {{\"trace_hash\": \"{:016x}\", \"replay_ok\": {}, \"events\": {}, \
+            "    \"{}\": {{\"trace_hash\": \"{:016x}\", \"span_digest\": \"{:016x}\", \
+             \"trace_violations\": {}, \"replay_ok\": {}, \"events\": {}, \
              \"recovery_time_s\": {:.4}, \"message_amplification\": {:.4}, \
              \"unreachable_drops\": {}, \"node_crashes\": {}, \"leaked_events\": {}}}{}\n",
             r.name,
             r.trace_hash,
+            r.span_digest,
+            r.trace_violations,
             s.replay_ok,
             r.events_processed,
             r.recovery_time_s,
@@ -58,8 +62,10 @@ fn main() {
     json.push_str("  }\n}\n");
 
     let mut all_replay_ok = true;
+    let mut total_violations = 0;
     for s in &shots {
         let r = &s.report;
+        total_violations += r.trace_violations;
         println!(
             "{:<24} recovery {:>7.3}s   amplification {:>6.3}x   drops {:>5}   crashes {:>3}   \
              leaked {}   replay {}",
@@ -76,4 +82,5 @@ fn main() {
     std::fs::write(&out_path, json).expect("write BENCH_chaos.json");
     println!("wrote {out_path}");
     assert!(all_replay_ok, "same-seed replay diverged");
+    assert_eq!(total_violations, 0, "trace invariants violated under chaos");
 }

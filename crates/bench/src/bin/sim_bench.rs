@@ -44,12 +44,24 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
     let reps = 5;
-    let shots = vec![
+    let shots = [
         measure("ping_pong", reps, || simbench::ping_pong(100_000)),
         measure("fan_out", reps, || simbench::fan_out(500, 200, 512)),
         measure("timer_heavy", reps, || simbench::timer_heavy(64, 2_000)),
         measure("transfer_heavy", reps, || simbench::transfer_heavy(100, 50)),
     ];
+
+    // Tracing overhead probe: the same fan_out shape with the span log
+    // recording every send/deliver, against the disabled run above. The
+    // disabled cost is one predicted branch per emit site; the enabled
+    // cost is the honest price of capturing everything.
+    let traced = measure("fan_out_traced", reps, || {
+        let (mut sim, budget) = simbench::fan_out_sim(500, 200, 512);
+        sim.spans_mut().enable();
+        sim.run_with_budget(budget)
+    });
+    let fan_out = &shots[1];
+    let overhead_frac = 1.0 - traced.best_events_per_sec / fan_out.best_events_per_sec;
 
     let mut json = String::from("{\n  \"suite\": \"sim_throughput\",\n  \"unit\": \"events_per_sec\",\n  \"workloads\": {\n");
     for (i, s) in shots.iter().enumerate() {
@@ -62,14 +74,25 @@ fn main() {
             if i + 1 < shots.len() { "," } else { "" }
         ));
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n  \"tracing\": {\n");
+    json.push_str(&format!(
+        "    \"fan_out_traced\": {{\"events\": {}, \"best\": {:.0}, \"mean\": {:.0}}},\n",
+        traced.events, traced.best_events_per_sec, traced.mean_events_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"enabled_overhead_frac\": {overhead_frac:.4}\n  }}\n}}\n"
+    ));
 
-    for s in &shots {
+    for s in shots.iter().chain(std::iter::once(&traced)) {
         println!(
             "{:<16} {:>10} events   best {:>12.0} ev/s   mean {:>12.0} ev/s",
             s.name, s.events, s.best_events_per_sec, s.mean_events_per_sec
         );
     }
+    println!(
+        "tracing enabled overhead on fan_out: {:.1}%",
+        overhead_frac * 100.0
+    );
     std::fs::write(&out_path, json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");
 }

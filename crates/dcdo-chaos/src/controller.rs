@@ -2,9 +2,9 @@
 
 use std::marker::PhantomData;
 
-use dcdo_sim::{Actor, ActorId, Ctx, NodeId, Payload, Simulation};
+use dcdo_sim::{Actor, ActorId, Ctx, NodeId, Payload, Simulation, SpanKind, NO_NODE};
 
-use crate::plan::{FaultAction, FaultPlan, FaultStep};
+use crate::plan::{FaultAction, FaultPlan, FaultStep, PlanError};
 
 /// Counters of fault actions actually applied (vs merely scheduled).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,6 +76,22 @@ impl<M: Payload> ChaosController<M> {
         actor
     }
 
+    /// Like [`ChaosController::install`], but validates the plan first and
+    /// returns a typed [`PlanError`] instead of installing a contradictory
+    /// schedule (or panicking on a plan that crashes the controller's own
+    /// node). Nothing is spawned or scheduled on error.
+    pub fn try_install(
+        sim: &mut Simulation<M>,
+        node: NodeId,
+        plan: FaultPlan,
+    ) -> Result<ActorId, PlanError> {
+        if plan.crashes(node) {
+            return Err(PlanError::CrashesController { node });
+        }
+        plan.validate()?;
+        Ok(Self::install(sim, node, plan))
+    }
+
     /// Counters of actions applied so far.
     pub fn stats(&self) -> &ChaosStats {
         &self.stats
@@ -87,6 +103,21 @@ impl<M: Payload> ChaosController<M> {
     }
 
     fn apply(&mut self, ctx: &mut Ctx<'_, M>, action: FaultAction) {
+        // Stable action codes for `ChaosFault` spans (see `SpanKind`).
+        let (code, target) = match &action {
+            FaultAction::CrashNode(node) => (1, node.as_raw()),
+            FaultAction::RestartNode(node) => (2, node.as_raw()),
+            FaultAction::Partition(_) => (3, NO_NODE),
+            FaultAction::Heal => (4, NO_NODE),
+            FaultAction::SetLinkFault { src, .. } => (5, src.as_raw()),
+            FaultAction::ClearLinkFault { src, .. } => (6, src.as_raw()),
+        };
+        if ctx.tracing_enabled() {
+            ctx.emit_span(SpanKind::ChaosFault {
+                action: code,
+                node: target,
+            });
+        }
         match action {
             FaultAction::CrashNode(node) => {
                 ctx.crash_node(node);
@@ -97,19 +128,20 @@ impl<M: Payload> ChaosController<M> {
                 self.stats.restarts += 1;
             }
             FaultAction::Partition(groups) => {
-                ctx.network_mut().set_partition(&groups);
+                // Traced wrappers so the invariant checker sees topology.
+                ctx.set_partition(&groups);
                 self.stats.partitions += 1;
             }
             FaultAction::Heal => {
-                ctx.network_mut().heal_partition();
+                ctx.heal_partition();
                 self.stats.heals += 1;
             }
             FaultAction::SetLinkFault { src, dst, fault } => {
-                ctx.network_mut().set_link_fault(src, dst, fault);
+                ctx.set_link_fault(src, dst, fault);
                 self.stats.link_changes += 1;
             }
             FaultAction::ClearLinkFault { src, dst } => {
-                ctx.network_mut().clear_link_fault(src, dst);
+                ctx.clear_link_fault(src, dst);
                 self.stats.link_changes += 1;
             }
         }

@@ -35,4 +35,4 @@ mod plan;
 
 pub use controller::{ChaosController, ChaosStats};
 pub use hash::{fnv1a, trace_hash};
-pub use plan::{FaultAction, FaultPlan, FaultStep};
+pub use plan::{FaultAction, FaultPlan, FaultStep, PlanError};

@@ -2,6 +2,74 @@
 
 use dcdo_sim::{LinkFault, NodeId, SimDuration};
 
+/// A structural defect in a [`FaultPlan`], caught by [`FaultPlan::validate`]
+/// before the plan touches a simulation.
+///
+/// Only *contradictory* schedules are errors. Benign redundancies are
+/// documented no-ops instead: healing when no partition is installed, or
+/// clearing a link fault that was never set, leave the network unchanged at
+/// runtime and pass validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A node is crashed again while an earlier crash window is still open
+    /// (no restart between the two crashes). The second crash would be a
+    /// silent no-op at runtime, so the window the author asked for —
+    /// typically via overlapping [`FaultPlan::crash_for`] calls — would not
+    /// be the window they get.
+    OverlappingCrash {
+        /// The doubly-crashed node.
+        node: NodeId,
+        /// When the still-open crash window began.
+        first_at: SimDuration,
+        /// When the conflicting second crash fires.
+        second_at: SimDuration,
+    },
+    /// A restart is scheduled for a node the plan has not crashed by that
+    /// point. The restart would be a silent no-op at runtime, which almost
+    /// always means a typo'd node id or a misordered schedule.
+    RestartWithoutCrash {
+        /// The never-crashed node.
+        node: NodeId,
+        /// When the orphaned restart fires.
+        at: SimDuration,
+    },
+    /// The plan crashes the node the controller itself runs on, which would
+    /// cancel the timers carrying the rest of the plan (see
+    /// [`crate::ChaosController::try_install`]).
+    CrashesController {
+        /// The controller's node.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::OverlappingCrash {
+                node,
+                first_at,
+                second_at,
+            } => write!(
+                f,
+                "node {node} crashed again at {second_at:?} while the crash \
+                 window opened at {first_at:?} is still open"
+            ),
+            PlanError::RestartWithoutCrash { node, at } => write!(
+                f,
+                "restart of node {node} at {at:?} but the plan never crashes \
+                 it before then"
+            ),
+            PlanError::CrashesController { node } => write!(
+                f,
+                "plan crashes the controller's own node {node}; place the \
+                 controller on an observer node"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
 /// One fault action, applied instantaneously at its scheduled time.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultAction {
@@ -105,6 +173,11 @@ impl FaultPlan {
     }
 
     /// Heals any partition at `at`.
+    ///
+    /// Healing when no partition is installed is a documented no-op: the
+    /// network is already whole, the step applies without effect (and
+    /// without error), and [`FaultPlan::validate`] accepts it. This lets
+    /// plans defensively end with a heal regardless of which branches fired.
     pub fn heal_at(self, at: SimDuration) -> Self {
         self.step(at, FaultAction::Heal)
     }
@@ -150,6 +223,52 @@ impl FaultPlan {
         self.steps
             .iter()
             .any(|s| matches!(s.action, FaultAction::CrashNode(n) if n == node))
+    }
+
+    /// Checks the schedule for structural defects (see [`PlanError`]).
+    ///
+    /// The check replays the steps in the same stably-sorted `(time,
+    /// insertion)` order the controller will apply them in, tracking which
+    /// nodes are down. Crashing a node whose crash window is still open is
+    /// [`PlanError::OverlappingCrash`]; restarting a node the plan has not
+    /// crashed by then is [`PlanError::RestartWithoutCrash`]. Healing with
+    /// no partition installed and clearing an absent link fault are benign
+    /// no-ops, not errors.
+    ///
+    /// Validation is advisory for [`crate::ChaosController::install`]
+    /// (which accepts any plan — every action is idempotent at runtime) and
+    /// mandatory for [`crate::ChaosController::try_install`].
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let mut ordered: Vec<&FaultStep> = self.steps.iter().collect();
+        ordered.sort_by_key(|s| s.at);
+        let mut down: Vec<(NodeId, SimDuration)> = Vec::new();
+        for step in ordered {
+            match step.action {
+                FaultAction::CrashNode(node) => {
+                    if let Some((_, first_at)) = down.iter().find(|(n, _)| *n == node) {
+                        return Err(PlanError::OverlappingCrash {
+                            node,
+                            first_at: *first_at,
+                            second_at: step.at,
+                        });
+                    }
+                    down.push((node, step.at));
+                }
+                FaultAction::RestartNode(node) => {
+                    let Some(idx) = down.iter().position(|(n, _)| *n == node) else {
+                        return Err(PlanError::RestartWithoutCrash { node, at: step.at });
+                    };
+                    down.remove(idx);
+                }
+                // Partition/heal and link-fault set/clear are idempotent
+                // replacements; any sequencing of them is well-formed.
+                FaultAction::Partition(_)
+                | FaultAction::Heal
+                | FaultAction::SetLinkFault { .. }
+                | FaultAction::ClearLinkFault { .. } => {}
+            }
+        }
+        Ok(())
     }
 
     pub(crate) fn into_sorted_steps(mut self) -> Vec<FaultStep> {

@@ -1,0 +1,169 @@
+//! Edge-case tests for the `FaultPlan` DSL: contradictory schedules are
+//! typed [`PlanError`]s, benign redundancies are documented no-ops, and
+//! nothing in the plan layer panics.
+
+use dcdo_chaos::{ChaosController, ChaosStats, FaultPlan, PlanError};
+use dcdo_sim::{NetConfig, NodeId, Payload, SimDuration, Simulation};
+
+/// Minimal payload: the controller is timer-driven, no messages flow.
+#[derive(Debug, Clone)]
+struct Noop;
+
+impl Payload for Noop {
+    fn clone_for_redelivery(&self) -> Option<Self> {
+        Some(Noop)
+    }
+}
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+fn node(n: u32) -> NodeId {
+    NodeId::from_raw(n)
+}
+
+/// A small sim with nothing in it but the chaos controller.
+fn bare_sim() -> Simulation<Noop> {
+    Simulation::new(NetConfig::centurion(), 42)
+}
+
+fn run_plan(plan: FaultPlan) -> ChaosStats {
+    let mut sim = bare_sim();
+    let ctl = ChaosController::try_install(&mut sim, node(0), plan).expect("plan validates");
+    sim.run_until_idle();
+    *sim.actor::<ChaosController<Noop>>(ctl)
+        .expect("controller alive")
+        .stats()
+}
+
+#[test]
+fn overlapping_crash_for_windows_are_rejected() {
+    // Second crash fires at 5s while the window opened at 2s is still open
+    // (restart not until 8s).
+    let plan = FaultPlan::new()
+        .crash_for(secs(2), secs(6), node(1))
+        .crash_for(secs(5), secs(1), node(1));
+    assert_eq!(
+        plan.validate(),
+        Err(PlanError::OverlappingCrash {
+            node: node(1),
+            first_at: secs(2),
+            second_at: secs(5),
+        })
+    );
+}
+
+#[test]
+fn sequential_crash_windows_validate() {
+    let plan = FaultPlan::new()
+        .crash_for(secs(2), secs(3), node(1))
+        .crash_for(secs(10), secs(3), node(1))
+        .crash_for(secs(4), secs(1), node(2));
+    assert_eq!(plan.validate(), Ok(()));
+}
+
+#[test]
+fn restart_of_never_crashed_node_is_rejected() {
+    let plan = FaultPlan::new()
+        .crash_for(secs(1), secs(2), node(1))
+        .restart_at(secs(5), node(2));
+    assert_eq!(
+        plan.validate(),
+        Err(PlanError::RestartWithoutCrash {
+            node: node(2),
+            at: secs(5),
+        })
+    );
+}
+
+#[test]
+fn restart_before_its_crash_is_rejected() {
+    // Insertion order says crash-then-restart, but the schedule puts the
+    // restart first: validation follows schedule order.
+    let plan = FaultPlan::new()
+        .crash_at(secs(9), node(1))
+        .restart_at(secs(3), node(1));
+    assert_eq!(
+        plan.validate(),
+        Err(PlanError::RestartWithoutCrash {
+            node: node(1),
+            at: secs(3),
+        })
+    );
+}
+
+#[test]
+fn heal_without_partition_is_a_documented_noop() {
+    // Validates clean...
+    let plan = FaultPlan::new().heal_at(secs(1)).heal_at(secs(2));
+    assert_eq!(plan.validate(), Ok(()));
+    // ...and applies at runtime without panicking; both heals are counted
+    // as applied even though the network was never partitioned.
+    let stats = run_plan(plan);
+    assert_eq!(stats.heals, 2);
+    assert_eq!(stats.total(), 2);
+}
+
+#[test]
+fn clearing_an_absent_link_fault_is_a_noop() {
+    let plan = FaultPlan::new().clear_link_fault_at(secs(1), node(1), node(2));
+    assert_eq!(plan.validate(), Ok(()));
+    let stats = run_plan(plan);
+    assert_eq!(stats.link_changes, 1);
+}
+
+#[test]
+fn try_install_rejects_without_mutating_the_sim() {
+    let mut sim = bare_sim();
+    let before = sim.pending_events();
+    let bad = FaultPlan::new().restart_at(secs(1), node(3));
+    let err = ChaosController::<Noop>::try_install(&mut sim, node(0), bad)
+        .expect_err("contradictory plan");
+    assert!(matches!(err, PlanError::RestartWithoutCrash { .. }));
+    assert_eq!(
+        sim.pending_events(),
+        before,
+        "nothing scheduled on rejection"
+    );
+}
+
+#[test]
+fn try_install_rejects_a_plan_that_crashes_the_controller() {
+    let mut sim = bare_sim();
+    let plan = FaultPlan::new().crash_for(secs(1), secs(2), node(0));
+    let err = ChaosController::<Noop>::try_install(&mut sim, node(0), plan)
+        .expect_err("controller must outlive its plan");
+    assert_eq!(err, PlanError::CrashesController { node: node(0) });
+}
+
+#[test]
+fn valid_plan_installs_and_every_action_applies() {
+    let plan = FaultPlan::new()
+        .crash_for(secs(1), secs(2), node(1))
+        .partition_at(secs(4), &[vec![node(0), node(1)]])
+        .heal_at(secs(5));
+    assert_eq!(plan.validate(), Ok(()));
+    let stats = run_plan(plan);
+    assert_eq!(stats.crashes, 1);
+    assert_eq!(stats.restarts, 1);
+    assert_eq!(stats.partitions, 1);
+    assert_eq!(stats.heals, 1);
+}
+
+#[test]
+fn plan_errors_display_the_offending_schedule() {
+    let overlap = PlanError::OverlappingCrash {
+        node: node(1),
+        first_at: secs(2),
+        second_at: secs(5),
+    }
+    .to_string();
+    assert!(overlap.contains("still open"), "got: {overlap}");
+    let orphan = PlanError::RestartWithoutCrash {
+        node: node(2),
+        at: secs(5),
+    }
+    .to_string();
+    assert!(orphan.contains("never crashes"), "got: {orphan}");
+}

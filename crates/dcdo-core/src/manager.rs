@@ -20,7 +20,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
-use dcdo_sim::{Actor, ActorId, Ctx, NodeId, SimTime};
+use dcdo_sim::{Actor, ActorId, Ctx, FlowKind as TraceFlowKind, NodeId, SimTime, SpanKind};
 use dcdo_types::{CallId, ClassId, ImplementationType, ObjectId, VersionId};
 use legion_substrate::binding::{RegisterBinding, UnregisterBinding};
 use legion_substrate::monolithic::{CaptureState, Deactivate, RestoreState, StateBlob};
@@ -410,9 +410,64 @@ impl DcdoManager {
         }
     }
 
+    /// Maps a manager flow kind onto its trace-level [`TraceFlowKind`].
+    fn trace_kind(kind: MgrKind) -> TraceFlowKind {
+        match kind {
+            MgrKind::Create => TraceFlowKind::Create,
+            MgrKind::Update => TraceFlowKind::Update,
+            MgrKind::Migrate => TraceFlowKind::Migrate,
+            MgrKind::Deactivate => TraceFlowKind::Deactivate,
+            MgrKind::Activate => TraceFlowKind::Activate,
+            MgrKind::Checkpoint => TraceFlowKind::Checkpoint,
+            MgrKind::Recover => TraceFlowKind::Recover,
+        }
+    }
+
+    /// Stable wire code for a manager step (trace `FlowStep` payload).
+    fn step_code(step: MgrStep) -> u32 {
+        match step {
+            MgrStep::Capture => 0,
+            MgrStep::Deactivate => 1,
+            MgrStep::Unregister => 2,
+            MgrStep::Spawn => 3,
+            MgrStep::Register => 4,
+            MgrStep::Apply => 5,
+            MgrStep::Restore => 6,
+            MgrStep::SaveVault => 7,
+            MgrStep::LoadVault => 8,
+        }
+    }
+
+    /// Emits a `FlowStarted` span for a freshly inserted flow.
+    fn trace_flow_started(&self, ctx: &mut Ctx<'_, Msg>, flow_id: u64) {
+        if !ctx.tracing_enabled() {
+            return;
+        }
+        if let Some(flow) = self.flows.get(&flow_id) {
+            ctx.emit_span(SpanKind::FlowStarted {
+                flow: flow_id,
+                object: flow.object.as_raw(),
+                kind: Self::trace_kind(flow.kind),
+            });
+        }
+    }
+
+    /// Emits a `FlowStep` span for a flow that just entered `step`.
+    fn trace_step(ctx: &mut Ctx<'_, Msg>, flow_id: u64, step: MgrStep) {
+        if ctx.tracing_enabled() {
+            ctx.emit_span(SpanKind::FlowStep {
+                flow: flow_id,
+                step: Self::step_code(step),
+            });
+        }
+    }
+
     fn fail_flow(&mut self, ctx: &mut Ctx<'_, Msg>, flow_id: u64, why: String) {
         if let Some(flow) = self.flows.remove(&flow_id) {
             ctx.metrics().incr("manager.flows_failed");
+            if ctx.tracing_enabled() {
+                ctx.emit_span(SpanKind::FlowAborted { flow: flow_id });
+            }
             if flow.kind == MgrKind::Update {
                 self.release_update_slot(ctx, flow.object);
             }
@@ -499,6 +554,7 @@ impl DcdoManager {
                 retries: 0,
             },
         );
+        self.trace_flow_started(ctx, flow_id);
         // DCDO process creation: base spawn cost only — the function
         // "linking" happens per component during incorporation.
         let delay = self.cost.process_spawn_base;
@@ -535,6 +591,7 @@ impl DcdoManager {
         match kind {
             MgrKind::Create => {
                 self.flows.get_mut(&flow_id).expect("flow exists").step = MgrStep::Register;
+                Self::trace_step(ctx, flow_id, MgrStep::Register);
                 self.rpc_step(
                     ctx,
                     flow_id,
@@ -561,6 +618,7 @@ impl DcdoManager {
             flow.step = MgrStep::Apply;
             (flow.object, flow.version.clone())
         };
+        Self::trace_step(ctx, flow_id, MgrStep::Apply);
         let descriptor = self.store[&version].descriptor.clone();
         self.rpc_step(
             ctx,
@@ -572,6 +630,9 @@ impl DcdoManager {
 
     fn finish_flow(&mut self, ctx: &mut Ctx<'_, Msg>, flow_id: u64) {
         let flow = self.flows.remove(&flow_id).expect("flow exists");
+        if ctx.tracing_enabled() {
+            ctx.emit_span(SpanKind::FlowCompleted { flow: flow_id });
+        }
         let elapsed = ctx.now().duration_since(flow.started);
         match flow.kind {
             MgrKind::Create => {
@@ -832,6 +893,7 @@ impl DcdoManager {
                 retries,
             },
         );
+        self.trace_flow_started(ctx, flow_id);
         self.updates_in_flight.insert(object);
         self.begin_apply(ctx, flow_id);
     }
@@ -887,6 +949,7 @@ impl DcdoManager {
                 retries: 0,
             },
         );
+        self.trace_flow_started(ctx, flow_id);
         self.rpc_step(ctx, flow_id, object, ControlOp::new(CaptureState));
     }
 
@@ -934,6 +997,7 @@ impl DcdoManager {
                 retries: 0,
             },
         );
+        self.trace_flow_started(ctx, flow_id);
         self.rpc_step(ctx, flow_id, object, ControlOp::new(CaptureState));
     }
 
@@ -987,6 +1051,7 @@ impl DcdoManager {
                 retries: 0,
             },
         );
+        self.trace_flow_started(ctx, flow_id);
         let delay = self.cost.process_spawn_base;
         self.schedule_flow_timer(ctx, flow_id, delay);
     }
@@ -1046,6 +1111,7 @@ impl DcdoManager {
                 retries: 0,
             },
         );
+        self.trace_flow_started(ctx, flow_id);
         self.rpc_step(ctx, flow_id, object, ControlOp::new(CaptureState));
     }
 
@@ -1079,6 +1145,9 @@ impl DcdoManager {
         for flow_id in doomed {
             let flow = self.flows.remove(&flow_id).expect("doomed flow exists");
             ctx.metrics().incr("manager.flows_aborted");
+            if ctx.tracing_enabled() {
+                ctx.emit_span(SpanKind::FlowAborted { flow: flow_id });
+            }
             aborted.push(flow.object);
             if flow.kind == MgrKind::Update {
                 self.updates_in_flight.remove(&flow.object);
@@ -1184,6 +1253,7 @@ impl DcdoManager {
                     retries: 0,
                 },
             );
+            self.trace_flow_started(ctx, flow_id);
             self.schedule_flow_timer(ctx, flow_id, self.cost.process_spawn_base);
         }
         ctx.send(
@@ -1253,10 +1323,12 @@ impl DcdoManager {
                     flow.step = MgrStep::Deactivate;
                     flow.object
                 };
+                Self::trace_step(ctx, flow_id, MgrStep::Deactivate);
                 self.rpc_step(ctx, flow_id, object, ControlOp::new(Deactivate));
             }
             (MgrKind::Migrate, MgrStep::Deactivate) => {
                 self.flows.get_mut(&flow_id).expect("flow exists").step = MgrStep::Spawn;
+                Self::trace_step(ctx, flow_id, MgrStep::Spawn);
                 let delay = self.cost.process_spawn_base;
                 self.schedule_flow_timer(ctx, flow_id, delay);
             }
@@ -1266,6 +1338,7 @@ impl DcdoManager {
                     flow.step = MgrStep::Restore;
                     (flow.object, flow.state.clone().expect("state captured"))
                 };
+                Self::trace_step(ctx, flow_id, MgrStep::Restore);
                 self.rpc_step(
                     ctx,
                     flow_id,
@@ -1279,6 +1352,7 @@ impl DcdoManager {
                     flow.step = MgrStep::Register;
                     (flow.object, flow.new_actor.expect("spawned"))
                 };
+                Self::trace_step(ctx, flow_id, MgrStep::Register);
                 self.rpc_step(
                     ctx,
                     flow_id,
@@ -1299,6 +1373,7 @@ impl DcdoManager {
                     flow.step = MgrStep::Deactivate;
                     flow.object
                 };
+                Self::trace_step(ctx, flow_id, MgrStep::Deactivate);
                 self.rpc_step(ctx, flow_id, object, ControlOp::new(Deactivate));
             }
             (MgrKind::Deactivate, MgrStep::Deactivate) => {
@@ -1307,6 +1382,7 @@ impl DcdoManager {
                     flow.step = MgrStep::Unregister;
                     flow.object
                 };
+                Self::trace_step(ctx, flow_id, MgrStep::Unregister);
                 self.rpc_step(
                     ctx,
                     flow_id,
@@ -1322,6 +1398,7 @@ impl DcdoManager {
                     flow.step = MgrStep::Restore;
                     (flow.object, flow.state.clone().expect("state parked"))
                 };
+                Self::trace_step(ctx, flow_id, MgrStep::Restore);
                 self.rpc_step(
                     ctx,
                     flow_id,
@@ -1335,6 +1412,7 @@ impl DcdoManager {
                     flow.step = MgrStep::Register;
                     (flow.object, flow.new_actor.expect("spawned"))
                 };
+                Self::trace_step(ctx, flow_id, MgrStep::Register);
                 self.rpc_step(
                     ctx,
                     flow_id,
@@ -1358,6 +1436,7 @@ impl DcdoManager {
                         self.vault.expect("checkpoint requires a vault"),
                     )
                 };
+                Self::trace_step(ctx, flow_id, MgrStep::SaveVault);
                 self.rpc_step(
                     ctx,
                     flow_id,
@@ -1377,6 +1456,7 @@ impl DcdoManager {
                     flow.step = MgrStep::LoadVault;
                     (flow.object, self.vault.expect("recovery requires a vault"))
                 };
+                Self::trace_step(ctx, flow_id, MgrStep::LoadVault);
                 self.rpc_step(
                     ctx,
                     flow_id,
@@ -1395,6 +1475,7 @@ impl DcdoManager {
                         flow.state = Some(state.clone());
                         flow.object
                     };
+                    Self::trace_step(ctx, flow_id, MgrStep::Restore);
                     self.rpc_step(
                         ctx,
                         flow_id,
@@ -1409,6 +1490,7 @@ impl DcdoManager {
                         flow.step = MgrStep::Register;
                         (flow.object, flow.new_actor.expect("spawned"))
                     };
+                    Self::trace_step(ctx, flow_id, MgrStep::Register);
                     self.rpc_step(
                         ctx,
                         flow_id,
@@ -1423,6 +1505,7 @@ impl DcdoManager {
                     flow.step = MgrStep::Register;
                     (flow.object, flow.new_actor.expect("spawned"))
                 };
+                Self::trace_step(ctx, flow_id, MgrStep::Register);
                 self.rpc_step(
                     ctx,
                     flow_id,

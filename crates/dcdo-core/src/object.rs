@@ -24,7 +24,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
-use dcdo_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
+use dcdo_sim::{Actor, ActorId, Ctx, SimDuration, SimTime, SpanKind};
 use dcdo_types::{
     Architecture, CallId, ComponentId, FunctionName, ImplementationType, ObjectId, VersionId,
 };
@@ -263,6 +263,12 @@ impl DcdoObject {
     fn unpark_all(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let parked = std::mem::take(&mut self.parked);
         for p in parked {
+            if ctx.tracing_enabled() {
+                ctx.emit_span(SpanKind::CallServed {
+                    object: self.object.as_raw(),
+                    call: p.call.as_raw(),
+                });
+            }
             self.runtime.handle_invoke(
                 ctx,
                 p.from,
@@ -425,6 +431,12 @@ impl DcdoObject {
         };
         if result.is_ok() {
             self.config_ops_applied += 1;
+            if ctx.tracing_enabled() {
+                ctx.emit_span(SpanKind::GenerationStamp {
+                    object: self.object.as_raw(),
+                    generation: self.dfm.generation(),
+                });
+            }
         }
         if self.check_in_flight {
             // A lazy-triggered evolution just finished; resume service and
@@ -799,19 +811,19 @@ impl DcdoObject {
         let result: Result<ControlOp, InvocationFault> =
             if let Some(en) = op.as_any().downcast_ref::<EnableFunction>() {
                 let r = self.dfm.enable_function(&en.function, en.component);
-                self.config_result(r)
+                self.config_result(ctx, r)
             } else if let Some(p) = op.as_any().downcast_ref::<SetFunctionProtection>() {
                 let r = self.dfm_descriptor_mut(|d| d.set_protection(&p.function, p.protection));
-                self.config_result(r)
+                self.config_result(ctx, r)
             } else if let Some(d) = op.as_any().downcast_ref::<AddFunctionDependency>() {
                 let r = self.dfm_descriptor_mut(|desc| desc.add_dependency(d.dependency.clone()));
-                self.config_result(r)
+                self.config_result(ctx, r)
             } else if let Some(d) = op.as_any().downcast_ref::<RemoveFunctionDependency>() {
                 let r = self.dfm_descriptor_mut(|desc| {
                     desc.remove_dependency(&d.dependency);
                     Ok(())
                 });
-                self.config_result(r)
+                self.config_result(ctx, r)
             } else if let Some(p) = op.as_any().downcast_ref::<SetRemovalPolicy>() {
                 self.removal_policy = p.policy;
                 Ok(ControlOp::new(Ack))
@@ -884,10 +896,20 @@ impl DcdoObject {
         self.dfm.with_descriptor_mut(f)
     }
 
-    fn config_result(&mut self, r: Result<(), ConfigError>) -> Result<ControlOp, InvocationFault> {
+    fn config_result(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        r: Result<(), ConfigError>,
+    ) -> Result<ControlOp, InvocationFault> {
         match r {
             Ok(()) => {
                 self.config_ops_applied += 1;
+                if ctx.tracing_enabled() {
+                    ctx.emit_span(SpanKind::GenerationStamp {
+                        object: self.object.as_raw(),
+                        generation: self.dfm.generation(),
+                    });
+                }
                 Ok(ControlOp::new(Ack))
             }
             Err(e) => Err(InvocationFault::Refused(e.to_string())),
@@ -934,6 +956,12 @@ impl Actor<Msg> for DcdoObject {
                     });
                     self.start_version_check(ctx);
                     return;
+                }
+                if ctx.tracing_enabled() {
+                    ctx.emit_span(SpanKind::CallServed {
+                        object: self.object.as_raw(),
+                        call: call.as_raw(),
+                    });
                 }
                 self.runtime.handle_invoke(
                     ctx,

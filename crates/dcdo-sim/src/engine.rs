@@ -11,8 +11,10 @@
 use std::any::Any;
 use std::fmt;
 
+use dcdo_trace::{SendVerdict, SpanId, SpanKind, TraceLog};
+
 use crate::metrics::Metrics;
-use crate::net::{DeliveryPlan, NetConfig, Network, NodeId};
+use crate::net::{DeliveryPlan, LinkFault, NetConfig, Network, NodeId};
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -101,11 +103,17 @@ enum EventKind<M> {
         src: ActorId,
         dst: ActorId,
         msg: M,
+        /// The span of the send that put this delivery in flight (only set
+        /// while structured tracing is enabled).
+        cause: Option<SpanId>,
     },
     Timer {
         dst: ActorId,
         id: TimerId,
         token: u64,
+        /// The span of the event whose handler scheduled this timer (only
+        /// set while structured tracing is enabled).
+        cause: Option<SpanId>,
     },
 }
 
@@ -224,6 +232,69 @@ impl<'a, M: Payload> Ctx<'a, M> {
     pub fn network(&self) -> &Network {
         self.sim.network()
     }
+
+    /// Returns `true` if structured span tracing is recording. Callers with
+    /// expensive span construction should gate on this.
+    #[inline(always)]
+    pub fn tracing_enabled(&self) -> bool {
+        self.sim.spans.is_enabled()
+    }
+
+    /// Records a structured span at the current time on this actor's node,
+    /// causally parented to the event being handled. Returns `None` when
+    /// tracing is disabled.
+    #[inline]
+    pub fn emit_span(&mut self, kind: SpanKind) -> Option<SpanId> {
+        if !self.sim.spans.is_enabled() {
+            return None;
+        }
+        let at = self.sim.time.as_nanos();
+        let node = self.sim.node_of(self.self_id).as_raw();
+        let parent = self.sim.current_span;
+        self.sim.spans.emit(at, node, parent, kind)
+    }
+
+    /// Records a structured span with an explicit causal parent (e.g. the
+    /// span that opened a multi-event protocol exchange). Returns `None`
+    /// when tracing is disabled.
+    #[inline]
+    pub fn emit_span_under(&mut self, parent: Option<SpanId>, kind: SpanKind) -> Option<SpanId> {
+        if !self.sim.spans.is_enabled() {
+            return None;
+        }
+        let at = self.sim.time.as_nanos();
+        let node = self.sim.node_of(self.self_id).as_raw();
+        self.sim.spans.emit(at, node, parent, kind)
+    }
+
+    /// The span of the event currently being dispatched, if traced.
+    pub fn current_span(&self) -> Option<SpanId> {
+        self.sim.current_span
+    }
+
+    /// Installs a partition (see [`Network::set_partition`]), recording the
+    /// topology change in the structured trace.
+    pub fn set_partition(&mut self, partition_groups: &[Vec<NodeId>]) {
+        self.sim.set_partition(partition_groups);
+    }
+
+    /// Heals any installed partition (see [`Network::heal_partition`]),
+    /// recording the topology change in the structured trace.
+    pub fn heal_partition(&mut self) {
+        self.sim.heal_partition();
+    }
+
+    /// Installs a directed link fault (see [`Network::set_link_fault`]),
+    /// recording it in the structured trace.
+    pub fn set_link_fault(&mut self, src: NodeId, dst: NodeId, fault: LinkFault) {
+        self.sim.set_link_fault(src, dst, fault);
+    }
+
+    /// Clears a directed link fault (see [`Network::clear_link_fault`]),
+    /// recording it in the structured trace.
+    pub fn clear_link_fault(&mut self, src: NodeId, dst: NodeId) {
+        self.sim.clear_link_fault(src, dst);
+    }
 }
 
 enum Slot<M> {
@@ -271,6 +342,11 @@ pub struct Simulation<M: Payload> {
     fresh: u64,
     events_processed: u64,
     trace: Trace,
+    spans: TraceLog,
+    /// The span of the event currently being dispatched — the causal parent
+    /// of everything its handler emits. `None` outside dispatch or when
+    /// tracing is disabled.
+    current_span: Option<SpanId>,
 }
 
 impl<M: Payload> Simulation<M> {
@@ -290,6 +366,8 @@ impl<M: Payload> Simulation<M> {
             fresh: 0,
             events_processed: 0,
             trace: Trace::new(),
+            spans: TraceLog::new(),
+            current_span: None,
         }
     }
 
@@ -350,6 +428,66 @@ impl<M: Payload> Simulation<M> {
         &mut self.trace
     }
 
+    /// The structured span log (disabled by default; see
+    /// [`TraceLog::enable`]).
+    pub fn spans(&self) -> &TraceLog {
+        &self.spans
+    }
+
+    /// Mutable access to the structured span log, e.g. to enable it before a
+    /// run or export it afterwards.
+    pub fn spans_mut(&mut self) -> &mut TraceLog {
+        &mut self.spans
+    }
+
+    /// Records a structured span at the current time with no node
+    /// attribution (driver-side). Returns `None` when tracing is disabled.
+    pub fn emit_span(&mut self, kind: SpanKind) -> Option<SpanId> {
+        if !self.spans.is_enabled() {
+            return None;
+        }
+        let at = self.time.as_nanos();
+        self.spans
+            .emit(at, dcdo_trace::NO_NODE, self.current_span, kind)
+    }
+
+    /// Installs a partition and records the topology change in the
+    /// structured trace (prefer this over
+    /// [`network_mut`](Simulation::network_mut) + `set_partition` so the
+    /// trace-invariant checker can replay reachability).
+    pub fn set_partition(&mut self, partition_groups: &[Vec<NodeId>]) {
+        self.network.set_partition(partition_groups);
+        if self.spans.is_enabled() {
+            let groups = self.network.partition_groups().to_vec();
+            self.emit_span(SpanKind::PartitionChanged { groups });
+        }
+    }
+
+    /// Heals any installed partition, recording the change in the
+    /// structured trace.
+    pub fn heal_partition(&mut self) {
+        self.network.heal_partition();
+        self.emit_span(SpanKind::PartitionHealed);
+    }
+
+    /// Installs a directed link fault, recording it in the structured trace.
+    pub fn set_link_fault(&mut self, src: NodeId, dst: NodeId, fault: LinkFault) {
+        self.network.set_link_fault(src, dst, fault);
+        self.emit_span(SpanKind::LinkFaultSet {
+            src_node: src.as_raw(),
+            dst_node: dst.as_raw(),
+        });
+    }
+
+    /// Clears a directed link fault, recording it in the structured trace.
+    pub fn clear_link_fault(&mut self, src: NodeId, dst: NodeId) {
+        self.network.clear_link_fault(src, dst);
+        self.emit_span(SpanKind::LinkFaultCleared {
+            src_node: src.as_raw(),
+            dst_node: dst.as_raw(),
+        });
+    }
+
     /// Mints a fresh unique `u64`.
     pub fn fresh_u64(&mut self) -> u64 {
         self.fresh += 1;
@@ -368,6 +506,17 @@ impl<M: Payload> Simulation<M> {
         self.placements.push(node);
         self.trace
             .record(self.time, TraceEvent::Spawned { actor: id, node });
+        if self.spans.is_enabled() {
+            self.spans.emit(
+                self.time.as_nanos(),
+                node.as_raw(),
+                self.current_span,
+                SpanKind::ActorSpawned {
+                    actor: id.as_raw(),
+                    node: node.as_raw(),
+                },
+            );
+        }
         id
     }
 
@@ -376,6 +525,16 @@ impl<M: Payload> Simulation<M> {
         if let Some(slot) = self.actors.get_mut(actor.index()) {
             *slot = Slot::Vacant;
             self.trace.record(self.time, TraceEvent::Killed { actor });
+            if self.spans.is_enabled() {
+                self.spans.emit(
+                    self.time.as_nanos(),
+                    self.placements[actor.index()].as_raw(),
+                    self.current_span,
+                    SpanKind::ActorKilled {
+                        actor: actor.as_raw(),
+                    },
+                );
+            }
         }
     }
 
@@ -463,12 +622,16 @@ impl<M: Payload> Simulation<M> {
         self.next_timer += 1;
         let id = TimerId(self.next_timer);
         let at = self.time + delay;
+        // `current_span` is only ever set while tracing is enabled, so this
+        // costs nothing in the disabled case.
+        let cause = self.current_span;
         self.push(
             at,
             EventKind::Timer {
                 dst: actor,
                 id,
                 token,
+                cause,
             },
         );
         id
@@ -499,18 +662,64 @@ impl<M: Payload> Simulation<M> {
         let bytes = msg.wire_size();
         let (src_node, dst_node) = (self.node_of(src), self.node_of(dst));
         let now = self.time;
-        match self
+        let plan = self
             .network
-            .plan(now, src_node, dst_node, bytes, &mut self.rng)
-        {
-            DeliveryPlan::Deliver(at) => self.push(at, EventKind::Deliver { src, dst, msg }),
+            .plan(now, src_node, dst_node, bytes, &mut self.rng);
+        let cause = if self.spans.is_enabled() {
+            let verdict = match plan {
+                DeliveryPlan::Deliver(_) => SendVerdict::Sent,
+                DeliveryPlan::DeliverTwice(..) => SendVerdict::SentTwice,
+                DeliveryPlan::Lost => SendVerdict::Lost,
+                DeliveryPlan::Unreachable => SendVerdict::Unreachable,
+            };
+            self.spans.emit(
+                now.as_nanos(),
+                src_node.as_raw(),
+                self.current_span,
+                SpanKind::MsgSent {
+                    src: src.as_raw(),
+                    dst: dst.as_raw(),
+                    src_node: src_node.as_raw(),
+                    dst_node: dst_node.as_raw(),
+                    verdict,
+                },
+            )
+        } else {
+            None
+        };
+        match plan {
+            DeliveryPlan::Deliver(at) => self.push(
+                at,
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    msg,
+                    cause,
+                },
+            ),
             DeliveryPlan::DeliverTwice(first, second) => {
                 self.metrics.incr("sim.duplicates_planned");
                 match msg.clone_for_redelivery() {
                     // True double delivery for payloads that opt in.
                     Some(dup) => {
-                        self.push(first, EventKind::Deliver { src, dst, msg });
-                        self.push(second, EventKind::Deliver { src, dst, msg: dup });
+                        self.push(
+                            first,
+                            EventKind::Deliver {
+                                src,
+                                dst,
+                                msg,
+                                cause,
+                            },
+                        );
+                        self.push(
+                            second,
+                            EventKind::Deliver {
+                                src,
+                                dst,
+                                msg: dup,
+                                cause,
+                            },
+                        );
                     }
                     // Non-clonable payloads degrade to the old model: one
                     // delivery at the later of the two arrival times. The
@@ -518,7 +727,15 @@ impl<M: Payload> Simulation<M> {
                     None => {
                         self.metrics.incr("sim.duplicates_degraded");
                         self.network.note_duplicate_degraded();
-                        self.push(second, EventKind::Deliver { src, dst, msg });
+                        self.push(
+                            second,
+                            EventKind::Deliver {
+                                src,
+                                dst,
+                                msg,
+                                cause,
+                            },
+                        );
                     }
                 }
             }
@@ -549,6 +766,18 @@ impl<M: Payload> Simulation<M> {
         self.network.set_node_down(node);
         self.metrics.incr("sim.node_crashes");
         self.trace.record(self.time, TraceEvent::NodeDown { node });
+        let crash_span = if self.spans.is_enabled() {
+            self.spans.emit(
+                self.time.as_nanos(),
+                node.as_raw(),
+                self.current_span,
+                SpanKind::NodeCrashed {
+                    node: node.as_raw(),
+                },
+            )
+        } else {
+            None
+        };
         let mut killed = 0;
         for idx in 0..self.actors.len() {
             if self.placements[idx] == node && matches!(self.actors[idx], Slot::Occupied(_)) {
@@ -559,6 +788,14 @@ impl<M: Payload> Simulation<M> {
                         actor: ActorId(idx as u32),
                     },
                 );
+                if self.spans.is_enabled() {
+                    self.spans.emit(
+                        self.time.as_nanos(),
+                        node.as_raw(),
+                        crash_span,
+                        SpanKind::ActorKilled { actor: idx as u32 },
+                    );
+                }
                 killed += 1;
             }
         }
@@ -581,6 +818,16 @@ impl<M: Payload> Simulation<M> {
         self.network.set_node_up(node);
         self.metrics.incr("sim.node_restarts");
         self.trace.record(self.time, TraceEvent::NodeUp { node });
+        if self.spans.is_enabled() {
+            self.spans.emit(
+                self.time.as_nanos(),
+                node.as_raw(),
+                self.current_span,
+                SpanKind::NodeRestarted {
+                    node: node.as_raw(),
+                },
+            );
+        }
     }
 
     /// Returns `true` if the node is up (never crashed, or restarted).
@@ -605,13 +852,25 @@ impl<M: Payload> Simulation<M> {
         self.time = at;
         self.events_processed += 1;
         match kind {
-            EventKind::Deliver { src, dst, msg } => self.dispatch_message(src, dst, msg),
-            EventKind::Timer { dst, token, .. } => self.dispatch_timer(dst, token),
+            EventKind::Deliver {
+                src,
+                dst,
+                msg,
+                cause,
+            } => self.dispatch_message(src, dst, msg, cause),
+            EventKind::Timer {
+                dst, token, cause, ..
+            } => self.dispatch_timer(dst, token, cause),
         }
         true
     }
 
-    fn dispatch_message(&mut self, src: ActorId, dst: ActorId, msg: M) {
+    fn dispatch_message(&mut self, src: ActorId, dst: ActorId, msg: M, cause: Option<SpanId>) {
+        let dst_node = self
+            .placements
+            .get(dst.index())
+            .copied()
+            .unwrap_or(NodeId::from_raw(dcdo_trace::NO_NODE));
         let Some(slot) = self.actors.get_mut(dst.index()) else {
             self.metrics.incr("sim.dead_letters");
             self.trace
@@ -624,10 +883,34 @@ impl<M: Payload> Simulation<M> {
             self.metrics.incr("sim.dead_letters");
             self.trace
                 .record(self.time, TraceEvent::DeadLetter { src, dst });
+            if self.spans.is_enabled() {
+                self.spans.emit(
+                    self.time.as_nanos(),
+                    dst_node.as_raw(),
+                    cause,
+                    SpanKind::MsgDeadLetter {
+                        src: src.as_raw(),
+                        dst: dst.as_raw(),
+                        dst_node: dst_node.as_raw(),
+                    },
+                );
+            }
             return;
         };
         self.trace
             .record(self.time, TraceEvent::Delivered { src, dst });
+        if self.spans.is_enabled() {
+            self.current_span = self.spans.emit(
+                self.time.as_nanos(),
+                dst_node.as_raw(),
+                cause,
+                SpanKind::MsgDelivered {
+                    src: src.as_raw(),
+                    dst: dst.as_raw(),
+                    dst_node: dst_node.as_raw(),
+                },
+            );
+        }
         let killed;
         {
             let mut ctx = Ctx {
@@ -638,6 +921,7 @@ impl<M: Payload> Simulation<M> {
             actor.on_message(&mut ctx, src, msg);
             killed = ctx.killed_self;
         }
+        self.current_span = None;
         self.actors[dst.index()] = if killed {
             Slot::Vacant
         } else {
@@ -645,7 +929,7 @@ impl<M: Payload> Simulation<M> {
         };
     }
 
-    fn dispatch_timer(&mut self, dst: ActorId, token: u64) {
+    fn dispatch_timer(&mut self, dst: ActorId, token: u64, cause: Option<SpanId>) {
         self.trace
             .record(self.time, TraceEvent::TimerFired { actor: dst, token });
         let Some(slot) = self.actors.get_mut(dst.index()) else {
@@ -656,6 +940,17 @@ impl<M: Payload> Simulation<M> {
             self.actors[dst.index()] = Slot::Vacant;
             return;
         };
+        if self.spans.is_enabled() {
+            self.current_span = self.spans.emit(
+                self.time.as_nanos(),
+                self.placements[dst.index()].as_raw(),
+                cause,
+                SpanKind::TimerFired {
+                    actor: dst.as_raw(),
+                    token,
+                },
+            );
+        }
         let killed;
         {
             let mut ctx = Ctx {
@@ -666,6 +961,7 @@ impl<M: Payload> Simulation<M> {
             actor.on_timer(&mut ctx, token);
             killed = ctx.killed_self;
         }
+        self.current_span = None;
         self.actors[dst.index()] = if killed {
             Slot::Vacant
         } else {

@@ -65,3 +65,11 @@ pub use net::{DeliveryPlan, LinkFault, NetConfig, NetStats, Network, NodeId, Tra
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry, TraceEvent};
+
+// Structured causal tracing (see the `dcdo-trace` crate): re-exported so
+// layers above the engine can emit spans through [`Ctx`] without depending
+// on the tracing crate directly.
+pub use dcdo_trace::{
+    check as check_trace_invariants, FlowKind, RpcOutcome, SendVerdict, SpanEvent, SpanId,
+    SpanKind, TraceLog, Violation, NO_NODE,
+};

@@ -47,7 +47,15 @@ impl Histogram {
     }
 
     /// Records a sample.
+    ///
+    /// Non-finite samples (NaN, ±∞) are rejected — silently dropped — since
+    /// they carry no usable measurement and would poison the running sum
+    /// and the quantile sort. Count, mean, min, max, and quantiles reflect
+    /// only the finite samples recorded.
     pub fn record(&mut self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
         self.samples.push(sample);
         self.sorted = false;
         self.sum += sample;
@@ -101,8 +109,9 @@ impl Histogram {
             return None;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            // All samples are finite (`record` rejects non-finite), so
+            // total_cmp agrees with the numeric order.
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
@@ -303,5 +312,134 @@ mod tests {
         let m = Metrics::new();
         let s = m.to_string();
         assert!(s.contains("counters"));
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        h.record(2.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Some(2.0));
+        assert_eq!(h.median(), Some(2.0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// The nearest-rank oracle: sort a copy, index directly.
+        fn oracle_quantile(samples: &[f64], q: f64) -> f64 {
+            let mut sorted = samples.to_vec();
+            sorted.sort_by(f64::total_cmp);
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[rank.min(sorted.len() - 1)]
+        }
+
+        proptest! {
+            #[test]
+            fn quantile_matches_sort_oracle(
+                samples in prop::collection::vec(-1e9..1e9f64, 1..200),
+                q in 0.0..=1.0f64,
+            ) {
+                let mut h = Histogram::new();
+                for &s in &samples {
+                    h.record(s);
+                }
+                prop_assert_eq!(
+                    h.quantile(q).expect("nonempty"),
+                    oracle_quantile(&samples, q)
+                );
+            }
+
+            #[test]
+            fn quantiles_are_monotone_in_q(
+                samples in prop::collection::vec(-1e6..1e6f64, 1..100),
+                qs in prop::collection::vec(0.0..=1.0f64, 2..8),
+            ) {
+                let mut h = Histogram::new();
+                for &s in &samples {
+                    h.record(s);
+                }
+                let mut qs = qs;
+                qs.sort_by(f64::total_cmp);
+                let values: Vec<f64> =
+                    qs.iter().map(|&q| h.quantile(q).expect("nonempty")).collect();
+                for w in values.windows(2) {
+                    prop_assert!(w[0] <= w[1], "quantiles must be monotone: {w:?}");
+                }
+            }
+
+            #[test]
+            fn running_aggregates_survive_interleaved_quantiles(
+                batches in prop::collection::vec(
+                    prop::collection::vec(-1e6..1e6f64, 1..20),
+                    1..6,
+                ),
+            ) {
+                // Interleave record batches with quantile calls (which sort
+                // the buffer) and check the incremental sum/min/max always
+                // match a from-scratch recomputation.
+                let mut h = Histogram::new();
+                let mut all: Vec<f64> = Vec::new();
+                for batch in &batches {
+                    for &s in batch {
+                        h.record(s);
+                        all.push(s);
+                    }
+                    let _ = h.median(); // forces a sort mid-run
+                    let n = all.len() as f64;
+                    let mean = all.iter().sum::<f64>() / n;
+                    let min = all.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    prop_assert!((h.mean().expect("nonempty") - mean).abs() <= 1e-6 * n);
+                    prop_assert_eq!(h.min().expect("nonempty"), min);
+                    prop_assert_eq!(h.max().expect("nonempty"), max);
+                    prop_assert_eq!(h.count(), all.len());
+                }
+            }
+
+            #[test]
+            fn non_finite_samples_never_poison_statistics(
+                finite in prop::collection::vec(-1e6..1e6f64, 1..50),
+                junk_positions in prop::collection::vec(any::<usize>(), 0..10),
+                junk_kind in prop::collection::vec(0u8..3, 0..10),
+            ) {
+                // Splice NaN/±inf into the stream at arbitrary positions:
+                // every statistic must behave as if they were never recorded.
+                let mut h = Histogram::new();
+                let junk: Vec<(usize, f64)> = junk_positions
+                    .iter()
+                    .zip(junk_kind.iter().chain(std::iter::repeat(&0)))
+                    .map(|(pos, kind)| {
+                        let junk = match kind {
+                            0 => f64::NAN,
+                            1 => f64::INFINITY,
+                            _ => f64::NEG_INFINITY,
+                        };
+                        (pos % finite.len(), junk)
+                    })
+                    .collect();
+                for (i, &s) in finite.iter().enumerate() {
+                    for (_, j) in junk.iter().filter(|(at, _)| *at == i) {
+                        h.record(*j);
+                    }
+                    h.record(s);
+                }
+                prop_assert_eq!(h.count(), finite.len());
+                prop_assert_eq!(
+                    h.quantile(0.5).expect("nonempty"),
+                    oracle_quantile(&finite, 0.5)
+                );
+                let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+                prop_assert_eq!(h.min().expect("nonempty"), min);
+            }
+        }
     }
 }

@@ -330,6 +330,14 @@ impl Network {
         self.groups.clear();
     }
 
+    /// The active partition as group ids per raw node id (nodes past the
+    /// end are in group 0; empty when no partition is installed). This is
+    /// the representation the structured trace records so the invariant
+    /// checker can replay reachability.
+    pub fn partition_groups(&self) -> &[u32] {
+        &self.groups
+    }
+
     /// Installs (or replaces) a fault on the directed link `src -> dst`.
     pub fn set_link_fault(&mut self, src: NodeId, dst: NodeId, fault: LinkFault) {
         self.link_faults.insert((src.0, dst.0), fault);

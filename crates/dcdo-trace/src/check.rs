@@ -1,0 +1,619 @@
+//! The trace-invariant checker: replays a finished log and verifies
+//! system-wide conformance properties.
+//!
+//! Five invariant classes are checked (see DESIGN.md §9):
+//!
+//! 1. **Delivery conformance** — no message is delivered to a node that the
+//!    trace shows as crashed at delivery time, and no send is planned for
+//!    delivery across a traced partition or toward a traced-down node.
+//!    (In-flight messages sent *before* a partition may legally land after
+//!    it; only the send-time verdict is checked against topology.)
+//! 2. **Flow termination** — every `FlowStarted` meets a matching
+//!    `FlowCompleted` or `FlowAborted`; flows never leak.
+//! 3. **Generation monotonicity** — `GenerationStamp`s are non-decreasing
+//!    per object.
+//! 4. **Retry-chain resolution** — every call with an `RpcAttempt`
+//!    terminates in an `RpcCompleted` (success or a typed fault); chains
+//!    never dangle. A chain whose *caller's* node crashes dies with the
+//!    caller and is not dangling.
+//! 5. **Recovery re-registration** — after a `Recover` flow starts for an
+//!    object, the object serves no call until its binding is re-registered.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::log::TraceLog;
+use crate::span::{FlowKind, SpanId, SpanKind};
+
+/// One invariant violation found by [`check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A message was delivered to a node the trace shows as crashed.
+    DeliveredToDeadNode {
+        /// The offending event.
+        span: SpanId,
+        /// The dead destination node.
+        dst_node: u32,
+    },
+    /// A send was planned for delivery although the traced topology says the
+    /// endpoints cannot reach each other.
+    SentAcrossFault {
+        /// The offending event.
+        span: SpanId,
+        /// Source node of the send.
+        src_node: u32,
+        /// Destination node of the send.
+        dst_node: u32,
+    },
+    /// A flow started but never completed or aborted.
+    LeakedFlow {
+        /// The leaked flow id.
+        flow: u64,
+        /// The object the flow concerned.
+        object: u64,
+    },
+    /// A flow completed or aborted more than once, or without starting.
+    SpuriousFlowEnd {
+        /// The offending event.
+        span: SpanId,
+        /// The flow id.
+        flow: u64,
+    },
+    /// An object's generation stamp went backwards.
+    GenerationRegressed {
+        /// The object.
+        object: u64,
+        /// The previously observed generation.
+        from: u64,
+        /// The regressed stamp.
+        to: u64,
+    },
+    /// An RPC retry chain never terminated.
+    DanglingRetryChain {
+        /// The unresolved call id.
+        call: u64,
+    },
+    /// A recovered object served a call before re-registering its binding.
+    ServedBeforeReregister {
+        /// The offending event.
+        span: SpanId,
+        /// The object that served too early.
+        object: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DeliveredToDeadNode { span, dst_node } => {
+                write!(f, "{span}: delivered to crashed node {dst_node}")
+            }
+            Violation::SentAcrossFault {
+                span,
+                src_node,
+                dst_node,
+            } => write!(
+                f,
+                "{span}: send {src_node}->{dst_node} planned for delivery across a traced fault"
+            ),
+            Violation::LeakedFlow { flow, object } => {
+                write!(f, "flow {flow} (object {object}) never terminated")
+            }
+            Violation::SpuriousFlowEnd { span, flow } => {
+                write!(f, "{span}: flow {flow} ended without being open")
+            }
+            Violation::GenerationRegressed { object, from, to } => {
+                write!(f, "object {object}: generation regressed {from} -> {to}")
+            }
+            Violation::DanglingRetryChain { call } => {
+                write!(f, "call {call}: retry chain never resolved")
+            }
+            Violation::ServedBeforeReregister { span, object } => {
+                write!(
+                    f,
+                    "{span}: object {object} served a call before re-registering after recovery"
+                )
+            }
+        }
+    }
+}
+
+/// Replayed topology state: which nodes are down and how they are grouped.
+#[derive(Default)]
+struct Topology {
+    down: HashMap<u32, bool>,
+    groups: Vec<u32>,
+}
+
+impl Topology {
+    fn is_down(&self, node: u32) -> bool {
+        self.down.get(&node).copied().unwrap_or(false)
+    }
+
+    fn group_of(&self, node: u32) -> u32 {
+        self.groups.get(node as usize).copied().unwrap_or(0)
+    }
+
+    fn reachable(&self, src: u32, dst: u32) -> bool {
+        if src == dst {
+            return true;
+        }
+        if self.is_down(src) || self.is_down(dst) {
+            return false;
+        }
+        self.group_of(src) == self.group_of(dst)
+    }
+}
+
+/// Replays a finished log and returns every invariant violation found, in
+/// trace order (terminal "never happened" violations — leaked flows,
+/// dangling retry chains — come last).
+pub fn check(log: &TraceLog) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut topo = Topology::default();
+    // flow id -> (object, open?)
+    let mut flows: HashMap<u64, (u64, bool)> = HashMap::new();
+    let mut generations: HashMap<u64, u64> = HashMap::new();
+    // call id -> (resolved?, caller node of the latest attempt)
+    let mut calls: HashMap<u64, (bool, u32)> = HashMap::new();
+    // object -> recover flow awaiting re-registration
+    let mut recovering: HashMap<u64, u64> = HashMap::new();
+
+    for e in log.events() {
+        match &e.kind {
+            SpanKind::NodeCrashed { node } => {
+                topo.down.insert(*node, true);
+                // Retry chains whose caller just died terminate with it.
+                for (resolved, caller) in calls.values_mut() {
+                    if *caller == *node {
+                        *resolved = true;
+                    }
+                }
+            }
+            SpanKind::NodeRestarted { node } => {
+                topo.down.insert(*node, false);
+            }
+            SpanKind::PartitionChanged { groups } => {
+                topo.groups = groups.clone();
+            }
+            SpanKind::PartitionHealed => {
+                topo.groups.clear();
+            }
+            SpanKind::MsgSent {
+                src_node,
+                dst_node,
+                verdict,
+                ..
+            } if verdict.delivers() && !topo.reachable(*src_node, *dst_node) => {
+                violations.push(Violation::SentAcrossFault {
+                    span: e.id,
+                    src_node: *src_node,
+                    dst_node: *dst_node,
+                });
+            }
+            SpanKind::MsgDelivered { dst_node, .. } if topo.is_down(*dst_node) => {
+                violations.push(Violation::DeliveredToDeadNode {
+                    span: e.id,
+                    dst_node: *dst_node,
+                });
+            }
+            SpanKind::FlowStarted { flow, object, kind } => {
+                flows.insert(*flow, (*object, true));
+                if *kind == FlowKind::Recover {
+                    recovering.insert(*object, *flow);
+                }
+            }
+            SpanKind::FlowCompleted { flow } | SpanKind::FlowAborted { flow } => {
+                match flows.get_mut(flow) {
+                    Some((object, open)) if *open => {
+                        *open = false;
+                        // An aborted recovery no longer gates serving: the
+                        // object stays dead until a fresh recovery flow runs.
+                        if matches!(e.kind, SpanKind::FlowAborted { .. })
+                            && recovering.get(object) == Some(flow)
+                        {
+                            recovering.remove(object);
+                        }
+                    }
+                    _ => violations.push(Violation::SpuriousFlowEnd {
+                        span: e.id,
+                        flow: *flow,
+                    }),
+                }
+            }
+            SpanKind::GenerationStamp { object, generation } => {
+                let last = generations.entry(*object).or_insert(*generation);
+                if *generation < *last {
+                    violations.push(Violation::GenerationRegressed {
+                        object: *object,
+                        from: *last,
+                        to: *generation,
+                    });
+                } else {
+                    *last = *generation;
+                }
+            }
+            SpanKind::RpcAttempt { call, .. } => {
+                let entry = calls.entry(*call).or_insert((false, e.node));
+                entry.1 = e.node;
+            }
+            SpanKind::RpcCompleted { call, .. } => {
+                calls.insert(*call, (true, e.node));
+            }
+            SpanKind::BindingRegistered { object, .. } => {
+                recovering.remove(object);
+            }
+            SpanKind::CallServed { object, .. } if recovering.contains_key(object) => {
+                violations.push(Violation::ServedBeforeReregister {
+                    span: e.id,
+                    object: *object,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    let mut leaked: Vec<(u64, u64)> = flows
+        .iter()
+        .filter(|(_, (_, open))| *open)
+        .map(|(flow, (object, _))| (*flow, *object))
+        .collect();
+    leaked.sort_unstable();
+    for (flow, object) in leaked {
+        violations.push(Violation::LeakedFlow { flow, object });
+    }
+
+    let mut dangling: Vec<u64> = calls
+        .iter()
+        .filter(|(_, (resolved, _))| !*resolved)
+        .map(|(call, _)| *call)
+        .collect();
+    dangling.sort_unstable();
+    for call in dangling {
+        violations.push(Violation::DanglingRetryChain { call });
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{RpcOutcome, SendVerdict, NO_NODE};
+
+    fn log() -> TraceLog {
+        let mut l = TraceLog::new();
+        l.enable();
+        l
+    }
+
+    fn sent(src_node: u32, dst_node: u32, verdict: SendVerdict) -> SpanKind {
+        SpanKind::MsgSent {
+            src: 0,
+            dst: 1,
+            src_node,
+            dst_node,
+            verdict,
+        }
+    }
+
+    #[test]
+    fn clean_log_has_no_violations() {
+        let mut l = log();
+        let f = SpanKind::FlowStarted {
+            flow: 1,
+            object: 9,
+            kind: FlowKind::Update,
+        };
+        l.emit(0, 0, None, f);
+        l.emit(
+            1,
+            0,
+            None,
+            SpanKind::RpcAttempt {
+                call: 5,
+                object: 9,
+                attempt: 1,
+                dst: 2,
+            },
+        );
+        l.emit(2, 0, None, sent(0, 1, SendVerdict::Sent));
+        l.emit(
+            3,
+            1,
+            None,
+            SpanKind::MsgDelivered {
+                src: 0,
+                dst: 1,
+                dst_node: 1,
+            },
+        );
+        l.emit(
+            4,
+            0,
+            None,
+            SpanKind::RpcCompleted {
+                call: 5,
+                outcome: RpcOutcome::Ok,
+            },
+        );
+        l.emit(
+            5,
+            0,
+            None,
+            SpanKind::GenerationStamp {
+                object: 9,
+                generation: 3,
+            },
+        );
+        l.emit(
+            6,
+            0,
+            None,
+            SpanKind::GenerationStamp {
+                object: 9,
+                generation: 4,
+            },
+        );
+        l.emit(7, 0, None, SpanKind::FlowCompleted { flow: 1 });
+        assert_eq!(check(&l), vec![]);
+    }
+
+    #[test]
+    fn catches_delivery_to_dead_node() {
+        let mut l = log();
+        l.emit(0, NO_NODE, None, SpanKind::NodeCrashed { node: 3 });
+        l.emit(
+            1,
+            3,
+            None,
+            SpanKind::MsgDelivered {
+                src: 0,
+                dst: 1,
+                dst_node: 3,
+            },
+        );
+        assert!(matches!(
+            check(&l)[..],
+            [Violation::DeliveredToDeadNode { dst_node: 3, .. }]
+        ));
+        // After a restart the same delivery is fine.
+        let mut l2 = log();
+        l2.emit(0, NO_NODE, None, SpanKind::NodeCrashed { node: 3 });
+        l2.emit(1, NO_NODE, None, SpanKind::NodeRestarted { node: 3 });
+        l2.emit(
+            2,
+            3,
+            None,
+            SpanKind::MsgDelivered {
+                src: 0,
+                dst: 1,
+                dst_node: 3,
+            },
+        );
+        assert_eq!(check(&l2), vec![]);
+    }
+
+    #[test]
+    fn catches_send_planned_across_partition() {
+        let mut l = log();
+        l.emit(
+            0,
+            NO_NODE,
+            None,
+            SpanKind::PartitionChanged { groups: vec![1, 2] },
+        );
+        l.emit(1, 0, None, sent(0, 1, SendVerdict::Sent));
+        assert!(matches!(
+            check(&l)[..],
+            [Violation::SentAcrossFault {
+                src_node: 0,
+                dst_node: 1,
+                ..
+            }]
+        ));
+        // The honest verdict is fine, and so is a send after healing.
+        let mut l2 = log();
+        l2.emit(
+            0,
+            NO_NODE,
+            None,
+            SpanKind::PartitionChanged { groups: vec![1, 2] },
+        );
+        l2.emit(1, 0, None, sent(0, 1, SendVerdict::Unreachable));
+        l2.emit(2, NO_NODE, None, SpanKind::PartitionHealed);
+        l2.emit(3, 0, None, sent(0, 1, SendVerdict::Sent));
+        assert_eq!(check(&l2), vec![]);
+    }
+
+    #[test]
+    fn catches_leaked_flow() {
+        let mut l = log();
+        l.emit(
+            0,
+            0,
+            None,
+            SpanKind::FlowStarted {
+                flow: 42,
+                object: 7,
+                kind: FlowKind::Checkpoint,
+            },
+        );
+        assert_eq!(
+            check(&l),
+            vec![Violation::LeakedFlow {
+                flow: 42,
+                object: 7
+            }]
+        );
+    }
+
+    #[test]
+    fn catches_double_flow_end() {
+        let mut l = log();
+        l.emit(
+            0,
+            0,
+            None,
+            SpanKind::FlowStarted {
+                flow: 1,
+                object: 7,
+                kind: FlowKind::Create,
+            },
+        );
+        l.emit(1, 0, None, SpanKind::FlowCompleted { flow: 1 });
+        l.emit(2, 0, None, SpanKind::FlowAborted { flow: 1 });
+        assert!(matches!(
+            check(&l)[..],
+            [Violation::SpuriousFlowEnd { flow: 1, .. }]
+        ));
+    }
+
+    #[test]
+    fn catches_generation_regression() {
+        let mut l = log();
+        l.emit(
+            0,
+            0,
+            None,
+            SpanKind::GenerationStamp {
+                object: 7,
+                generation: 10,
+            },
+        );
+        l.emit(
+            1,
+            0,
+            None,
+            SpanKind::GenerationStamp {
+                object: 7,
+                generation: 9,
+            },
+        );
+        // A different object at a lower generation is not a regression.
+        l.emit(
+            2,
+            0,
+            None,
+            SpanKind::GenerationStamp {
+                object: 8,
+                generation: 1,
+            },
+        );
+        assert_eq!(
+            check(&l),
+            vec![Violation::GenerationRegressed {
+                object: 7,
+                from: 10,
+                to: 9
+            }]
+        );
+    }
+
+    #[test]
+    fn catches_dangling_retry_chain() {
+        let mut l = log();
+        for attempt in 1..=3 {
+            l.emit(
+                attempt as u64,
+                0,
+                None,
+                SpanKind::RpcAttempt {
+                    call: 77,
+                    object: 9,
+                    attempt,
+                    dst: 2,
+                },
+            );
+        }
+        assert_eq!(check(&l), vec![Violation::DanglingRetryChain { call: 77 }]);
+        // A typed Unreachable terminal resolves the chain.
+        l.emit(
+            4,
+            0,
+            None,
+            SpanKind::RpcCompleted {
+                call: 77,
+                outcome: RpcOutcome::Unreachable,
+            },
+        );
+        assert_eq!(check(&l), vec![]);
+    }
+
+    #[test]
+    fn caller_crash_terminates_its_retry_chains() {
+        // The caller on node 4 dies mid-chain: the chain dies with it and
+        // is not dangling. A chain from a surviving node still is.
+        let mut l = log();
+        l.emit(
+            0,
+            4,
+            None,
+            SpanKind::RpcAttempt {
+                call: 70,
+                object: 9,
+                attempt: 1,
+                dst: 2,
+            },
+        );
+        l.emit(
+            1,
+            0,
+            None,
+            SpanKind::RpcAttempt {
+                call: 71,
+                object: 9,
+                attempt: 1,
+                dst: 2,
+            },
+        );
+        l.emit(2, NO_NODE, None, SpanKind::NodeCrashed { node: 4 });
+        assert_eq!(check(&l), vec![Violation::DanglingRetryChain { call: 71 }]);
+    }
+
+    #[test]
+    fn catches_serving_before_reregistration() {
+        let mut l = log();
+        l.emit(
+            0,
+            0,
+            None,
+            SpanKind::FlowStarted {
+                flow: 1,
+                object: 7,
+                kind: FlowKind::Recover,
+            },
+        );
+        l.emit(1, 0, None, SpanKind::CallServed { object: 7, call: 5 });
+        l.emit(
+            2,
+            0,
+            None,
+            SpanKind::BindingRegistered { object: 7, dst: 3 },
+        );
+        l.emit(3, 0, None, SpanKind::CallServed { object: 7, call: 6 });
+        l.emit(4, 0, None, SpanKind::FlowCompleted { flow: 1 });
+        assert!(matches!(
+            check(&l)[..],
+            [Violation::ServedBeforeReregister { object: 7, .. }]
+        ));
+    }
+
+    #[test]
+    fn aborted_recovery_stops_gating_service() {
+        let mut l = log();
+        l.emit(
+            0,
+            0,
+            None,
+            SpanKind::FlowStarted {
+                flow: 1,
+                object: 7,
+                kind: FlowKind::Recover,
+            },
+        );
+        l.emit(1, 0, None, SpanKind::FlowAborted { flow: 1 });
+        l.emit(2, 0, None, SpanKind::CallServed { object: 7, call: 5 });
+        assert_eq!(check(&l), vec![]);
+    }
+}

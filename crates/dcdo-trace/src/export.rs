@@ -1,0 +1,155 @@
+//! Offline exporters: Chrome-trace JSON and JSONL.
+//!
+//! Both formats are hand-rendered: every field is an integer or a static
+//! name, so no serialization framework is needed and the output is
+//! byte-stable across builds.
+
+use std::fmt::Write as _;
+
+use crate::log::TraceLog;
+use crate::span::{SpanEvent, SpanKind};
+
+impl TraceLog {
+    /// Renders the log as a Chrome-trace (`chrome://tracing`, Perfetto)
+    /// JSON document of instant events.
+    ///
+    /// Nodes map to `pid`, actors-or-node to `tid`, and the causal parent
+    /// plus all typed fields land in `args`. Timestamps are microseconds as
+    /// Chrome expects; sub-microsecond structure is preserved in
+    /// `args.at_ns`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(128 + self.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in self.events().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ts_us = e.at_ns / 1_000;
+            let ts_frac = e.at_ns % 1_000;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{}.{:03},\"pid\":{},\"tid\":0,\"args\":{{\"span\":{},\"parent\":{},\"at_ns\":{}",
+                e.kind.name(),
+                ts_us,
+                ts_frac,
+                e.node,
+                e.id.as_raw(),
+                e.parent.map_or(0, |p| p.as_raw()),
+                e.at_ns,
+            );
+            write_fields(&mut out, e);
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the log as JSON Lines: one object per event, emit order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.len() * 96);
+        for e in self.events() {
+            let _ = write!(
+                out,
+                "{{\"span\":{},\"parent\":{},\"at_ns\":{},\"node\":{},\"kind\":\"{}\"",
+                e.id.as_raw(),
+                e.parent.map_or(0, |p| p.as_raw()),
+                e.at_ns,
+                e.node,
+                e.kind.name(),
+            );
+            write_fields(&mut out, e);
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Appends `,"field":value` pairs (and the partition group array) to a JSON
+/// object under construction.
+fn write_fields(out: &mut String, e: &SpanEvent) {
+    for (name, value) in e.kind.fields() {
+        let _ = write!(out, ",\"{name}\":{value}");
+    }
+    if let SpanKind::PartitionChanged { groups } = &e.kind {
+        out.push_str(",\"groups\":[");
+        for (i, g) in groups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{g}");
+        }
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SendVerdict;
+
+    fn tiny_log() -> TraceLog {
+        let mut log = TraceLog::new();
+        log.enable();
+        let sent = log.emit(
+            1_500,
+            0,
+            None,
+            SpanKind::MsgSent {
+                src: 1,
+                dst: 2,
+                src_node: 0,
+                dst_node: 1,
+                verdict: SendVerdict::Sent,
+            },
+        );
+        log.emit(
+            3_000,
+            1,
+            sent,
+            SpanKind::MsgDelivered {
+                src: 1,
+                dst: 2,
+                dst_node: 1,
+            },
+        );
+        log.emit(
+            4_000,
+            u32::MAX,
+            None,
+            SpanKind::PartitionChanged {
+                groups: vec![1, 1, 2],
+            },
+        );
+        log
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let json = tiny_log().to_chrome_trace();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"msg_sent\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"parent\":1"));
+        assert!(json.contains("\"groups\":[1,1,2]"));
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let text = tiny_log().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"msg_sent\""));
+        assert!(lines[1].contains("\"parent\":1"));
+        assert!(lines[2].contains("\"groups\":[1,1,2]"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        assert_eq!(tiny_log().to_chrome_trace(), tiny_log().to_chrome_trace());
+        assert_eq!(tiny_log().to_jsonl(), tiny_log().to_jsonl());
+    }
+}

@@ -1,0 +1,557 @@
+//! Span identifiers and the typed event taxonomy.
+
+use std::fmt;
+use std::num::NonZeroU64;
+
+/// Sentinel node value for events not attributable to any node (driver-side
+/// topology changes, for example).
+pub const NO_NODE: u32 = u32::MAX;
+
+/// Identifies one span event within a [`TraceLog`](crate::TraceLog).
+///
+/// Ids are dense sequence numbers starting at 1, assigned in emit order, so
+/// they double as a stable total order over the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(NonZeroU64);
+
+impl SpanId {
+    /// Creates a span id from a raw non-zero value.
+    pub fn from_raw(raw: u64) -> Option<Self> {
+        NonZeroU64::new(raw).map(SpanId)
+    }
+
+    /// Returns the raw value.
+    pub fn as_raw(self) -> u64 {
+        self.0.get()
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "span:{}", self.0)
+    }
+}
+
+/// The network's verdict for a message at send time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// Planned for a single delivery.
+    Sent,
+    /// Planned for double delivery (duplicate fault injection).
+    SentTwice,
+    /// Dropped by loss injection.
+    Lost,
+    /// Dropped because an endpoint was down or partitioned away.
+    Unreachable,
+}
+
+impl SendVerdict {
+    /// A stable small integer code (used in the digest and exporters).
+    pub const fn code(self) -> u64 {
+        match self {
+            SendVerdict::Sent => 0,
+            SendVerdict::SentTwice => 1,
+            SendVerdict::Lost => 2,
+            SendVerdict::Unreachable => 3,
+        }
+    }
+
+    /// A stable short name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SendVerdict::Sent => "sent",
+            SendVerdict::SentTwice => "sent_twice",
+            SendVerdict::Lost => "lost",
+            SendVerdict::Unreachable => "unreachable",
+        }
+    }
+
+    /// Returns `true` if at least one delivery was planned.
+    pub const fn delivers(self) -> bool {
+        matches!(self, SendVerdict::Sent | SendVerdict::SentTwice)
+    }
+}
+
+/// How an RPC retry chain terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcOutcome {
+    /// The call completed with a reply (possibly an application-level error).
+    Ok,
+    /// The call completed with an application-typed fault (e.g. refused).
+    Fault,
+    /// The call terminated with the typed `Unreachable` fault.
+    Unreachable,
+    /// The call terminated with the typed `Timeout` fault.
+    Timeout,
+}
+
+impl RpcOutcome {
+    /// A stable small integer code (used in the digest and exporters).
+    pub const fn code(self) -> u64 {
+        match self {
+            RpcOutcome::Ok => 0,
+            RpcOutcome::Fault => 1,
+            RpcOutcome::Unreachable => 2,
+            RpcOutcome::Timeout => 3,
+        }
+    }
+
+    /// A stable short name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            RpcOutcome::Ok => "ok",
+            RpcOutcome::Fault => "fault",
+            RpcOutcome::Unreachable => "unreachable",
+            RpcOutcome::Timeout => "timeout",
+        }
+    }
+}
+
+/// The semantic kind of a traced flow (manager or object side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// Instance creation.
+    Create,
+    /// Implementation update / evolution.
+    Update,
+    /// Migration between hosts.
+    Migrate,
+    /// Deactivation to the vault.
+    Deactivate,
+    /// Reactivation from the vault.
+    Activate,
+    /// Checkpoint to the vault.
+    Checkpoint,
+    /// Crash recovery from the vault.
+    Recover,
+    /// Object-local configuration change (incorporate/apply/remove/disable).
+    Config,
+}
+
+impl FlowKind {
+    /// A stable small integer code (used in the digest and exporters).
+    pub const fn code(self) -> u64 {
+        match self {
+            FlowKind::Create => 0,
+            FlowKind::Update => 1,
+            FlowKind::Migrate => 2,
+            FlowKind::Deactivate => 3,
+            FlowKind::Activate => 4,
+            FlowKind::Checkpoint => 5,
+            FlowKind::Recover => 6,
+            FlowKind::Config => 7,
+        }
+    }
+
+    /// A stable short name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FlowKind::Create => "create",
+            FlowKind::Update => "update",
+            FlowKind::Migrate => "migrate",
+            FlowKind::Deactivate => "deactivate",
+            FlowKind::Activate => "activate",
+            FlowKind::Checkpoint => "checkpoint",
+            FlowKind::Recover => "recover",
+            FlowKind::Config => "config",
+        }
+    }
+}
+
+/// The typed payload of one span event.
+///
+/// Identifiers are raw integers: `u32` for engine-level actors and nodes,
+/// `u64` for the logical ids minted above the engine (objects, calls, flows).
+/// Every variant is integer-only so the log digests identically across
+/// builds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanKind {
+    // ---- engine ---------------------------------------------------------
+    /// A message was offered to the network.
+    MsgSent {
+        /// Sending actor.
+        src: u32,
+        /// Destination actor.
+        dst: u32,
+        /// Node of the sender.
+        src_node: u32,
+        /// Node of the destination.
+        dst_node: u32,
+        /// What the network decided to do with it.
+        verdict: SendVerdict,
+    },
+    /// A message reached a live destination actor.
+    MsgDelivered {
+        /// Sending actor.
+        src: u32,
+        /// Destination actor.
+        dst: u32,
+        /// Node of the destination.
+        dst_node: u32,
+    },
+    /// A message arrived for a dead actor and was dropped.
+    MsgDeadLetter {
+        /// Sending actor.
+        src: u32,
+        /// Destination actor.
+        dst: u32,
+        /// Node of the destination.
+        dst_node: u32,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// Owning actor.
+        actor: u32,
+        /// The token passed at scheduling time.
+        token: u64,
+    },
+    /// An actor was spawned.
+    ActorSpawned {
+        /// The new actor.
+        actor: u32,
+        /// Its placement.
+        node: u32,
+    },
+    /// An actor was killed.
+    ActorKilled {
+        /// The dead actor.
+        actor: u32,
+    },
+    /// A node crashed (actors killed, timers swept, traffic dropped).
+    NodeCrashed {
+        /// The crashed node.
+        node: u32,
+    },
+    /// A crashed node came back up.
+    NodeRestarted {
+        /// The restarted node.
+        node: u32,
+    },
+    /// A partition was installed; `groups[i]` is the partition group of the
+    /// node with raw id `i` (nodes past the end are in group 0).
+    PartitionChanged {
+        /// Group assignment per raw node id.
+        groups: Vec<u32>,
+    },
+    /// Any installed partition was healed.
+    PartitionHealed,
+    /// A directed link fault was installed.
+    LinkFaultSet {
+        /// Source node of the faulted link.
+        src_node: u32,
+        /// Destination node of the faulted link.
+        dst_node: u32,
+    },
+    /// A directed link fault was removed.
+    LinkFaultCleared {
+        /// Source node of the healed link.
+        src_node: u32,
+        /// Destination node of the healed link.
+        dst_node: u32,
+    },
+    /// A chaos-plan step was applied (`action` is the plan's step code).
+    ChaosFault {
+        /// Stable code of the applied fault action.
+        action: u32,
+        /// The node the fault targets (or [`NO_NODE`]).
+        node: u32,
+    },
+
+    // ---- RPC / binding --------------------------------------------------
+    /// An RPC attempt was put on the wire.
+    RpcAttempt {
+        /// The call id.
+        call: u64,
+        /// The logical destination object.
+        object: u64,
+        /// 1-based attempt number within the retry chain.
+        attempt: u32,
+        /// The physical destination actor tried.
+        dst: u32,
+    },
+    /// An RPC attempt timed out and will be retried.
+    RpcRetry {
+        /// The call id.
+        call: u64,
+        /// The attempt that timed out.
+        attempt: u32,
+    },
+    /// A binding cache lookup hit.
+    BindingHit {
+        /// The object looked up.
+        object: u64,
+        /// The cached physical actor.
+        dst: u32,
+    },
+    /// A binding cache lookup missed (a query to the binding agent follows).
+    BindingMiss {
+        /// The object looked up.
+        object: u64,
+    },
+    /// A binding was (re-)registered with the binding agent.
+    BindingRegistered {
+        /// The object registered.
+        object: u64,
+        /// The physical actor it binds to.
+        dst: u32,
+    },
+    /// A binding was invalidated (stale address discovered or unregistered).
+    BindingInvalidated {
+        /// The object whose binding died.
+        object: u64,
+    },
+    /// An RPC retry chain terminated.
+    RpcCompleted {
+        /// The call id.
+        call: u64,
+        /// How the chain ended.
+        outcome: RpcOutcome,
+    },
+
+    // ---- manager / object flows ----------------------------------------
+    /// A managed flow started.
+    FlowStarted {
+        /// The flow id.
+        flow: u64,
+        /// The object the flow concerns.
+        object: u64,
+        /// The flow's semantic kind.
+        kind: FlowKind,
+    },
+    /// A flow advanced to a new step (`step` is the layer's own step code).
+    FlowStep {
+        /// The flow id.
+        flow: u64,
+        /// Stable code of the step entered.
+        step: u32,
+    },
+    /// A flow finished successfully.
+    FlowCompleted {
+        /// The flow id.
+        flow: u64,
+    },
+    /// A flow terminated without completing (failure or node loss).
+    FlowAborted {
+        /// The flow id.
+        flow: u64,
+    },
+    /// An object's DFM reached a new configuration generation.
+    GenerationStamp {
+        /// The object.
+        object: u64,
+        /// The generation stamp (globally unique, monotone).
+        generation: u64,
+    },
+    /// An object served an application invocation.
+    CallServed {
+        /// The serving object.
+        object: u64,
+        /// The call id served.
+        call: u64,
+    },
+}
+
+impl SpanKind {
+    /// A stable integer code identifying the variant (digest, exporters).
+    pub const fn code(&self) -> u64 {
+        match self {
+            SpanKind::MsgSent { .. } => 1,
+            SpanKind::MsgDelivered { .. } => 2,
+            SpanKind::MsgDeadLetter { .. } => 3,
+            SpanKind::TimerFired { .. } => 4,
+            SpanKind::ActorSpawned { .. } => 5,
+            SpanKind::ActorKilled { .. } => 6,
+            SpanKind::NodeCrashed { .. } => 7,
+            SpanKind::NodeRestarted { .. } => 8,
+            SpanKind::PartitionChanged { .. } => 9,
+            SpanKind::PartitionHealed => 10,
+            SpanKind::LinkFaultSet { .. } => 11,
+            SpanKind::LinkFaultCleared { .. } => 12,
+            SpanKind::ChaosFault { .. } => 13,
+            SpanKind::RpcAttempt { .. } => 20,
+            SpanKind::RpcRetry { .. } => 21,
+            SpanKind::BindingHit { .. } => 22,
+            SpanKind::BindingMiss { .. } => 23,
+            SpanKind::BindingRegistered { .. } => 24,
+            SpanKind::BindingInvalidated { .. } => 25,
+            SpanKind::RpcCompleted { .. } => 26,
+            SpanKind::FlowStarted { .. } => 30,
+            SpanKind::FlowStep { .. } => 31,
+            SpanKind::FlowCompleted { .. } => 32,
+            SpanKind::FlowAborted { .. } => 33,
+            SpanKind::GenerationStamp { .. } => 34,
+            SpanKind::CallServed { .. } => 35,
+        }
+    }
+
+    /// A stable event name (Chrome-trace / JSONL `name` field).
+    pub const fn name(&self) -> &'static str {
+        match self {
+            SpanKind::MsgSent { .. } => "msg_sent",
+            SpanKind::MsgDelivered { .. } => "msg_delivered",
+            SpanKind::MsgDeadLetter { .. } => "msg_dead_letter",
+            SpanKind::TimerFired { .. } => "timer_fired",
+            SpanKind::ActorSpawned { .. } => "actor_spawned",
+            SpanKind::ActorKilled { .. } => "actor_killed",
+            SpanKind::NodeCrashed { .. } => "node_crashed",
+            SpanKind::NodeRestarted { .. } => "node_restarted",
+            SpanKind::PartitionChanged { .. } => "partition_changed",
+            SpanKind::PartitionHealed => "partition_healed",
+            SpanKind::LinkFaultSet { .. } => "link_fault_set",
+            SpanKind::LinkFaultCleared { .. } => "link_fault_cleared",
+            SpanKind::ChaosFault { .. } => "chaos_fault",
+            SpanKind::RpcAttempt { .. } => "rpc_attempt",
+            SpanKind::RpcRetry { .. } => "rpc_retry",
+            SpanKind::BindingHit { .. } => "binding_hit",
+            SpanKind::BindingMiss { .. } => "binding_miss",
+            SpanKind::BindingRegistered { .. } => "binding_registered",
+            SpanKind::BindingInvalidated { .. } => "binding_invalidated",
+            SpanKind::RpcCompleted { .. } => "rpc_completed",
+            SpanKind::FlowStarted { .. } => "flow_started",
+            SpanKind::FlowStep { .. } => "flow_step",
+            SpanKind::FlowCompleted { .. } => "flow_completed",
+            SpanKind::FlowAborted { .. } => "flow_aborted",
+            SpanKind::GenerationStamp { .. } => "generation_stamp",
+            SpanKind::CallServed { .. } => "call_served",
+        }
+    }
+
+    /// The flow id this event references, if any.
+    pub const fn flow_id(&self) -> Option<u64> {
+        match self {
+            SpanKind::FlowStarted { flow, .. }
+            | SpanKind::FlowStep { flow, .. }
+            | SpanKind::FlowCompleted { flow }
+            | SpanKind::FlowAborted { flow } => Some(*flow),
+            _ => None,
+        }
+    }
+
+    /// The logical object id this event references, if any.
+    pub const fn object_id(&self) -> Option<u64> {
+        match self {
+            SpanKind::RpcAttempt { object, .. }
+            | SpanKind::BindingHit { object, .. }
+            | SpanKind::BindingMiss { object }
+            | SpanKind::BindingRegistered { object, .. }
+            | SpanKind::BindingInvalidated { object }
+            | SpanKind::FlowStarted { object, .. }
+            | SpanKind::GenerationStamp { object, .. }
+            | SpanKind::CallServed { object, .. } => Some(*object),
+            _ => None,
+        }
+    }
+
+    /// The call id this event references, if any.
+    pub const fn call_id(&self) -> Option<u64> {
+        match self {
+            SpanKind::RpcAttempt { call, .. }
+            | SpanKind::RpcRetry { call, .. }
+            | SpanKind::RpcCompleted { call, .. }
+            | SpanKind::CallServed { call, .. } => Some(*call),
+            _ => None,
+        }
+    }
+
+    /// Named integer fields in declaration order, for the exporters.
+    ///
+    /// [`SpanKind::PartitionChanged`]'s group vector is not representable as
+    /// scalar pairs and is handled separately by the exporters and the
+    /// digest.
+    pub(crate) fn fields(&self) -> Vec<(&'static str, u64)> {
+        match self {
+            SpanKind::MsgSent {
+                src,
+                dst,
+                src_node,
+                dst_node,
+                verdict,
+            } => vec![
+                ("src", *src as u64),
+                ("dst", *dst as u64),
+                ("src_node", *src_node as u64),
+                ("dst_node", *dst_node as u64),
+                ("verdict", verdict.code()),
+            ],
+            SpanKind::MsgDelivered { src, dst, dst_node }
+            | SpanKind::MsgDeadLetter { src, dst, dst_node } => vec![
+                ("src", *src as u64),
+                ("dst", *dst as u64),
+                ("dst_node", *dst_node as u64),
+            ],
+            SpanKind::TimerFired { actor, token } => {
+                vec![("actor", *actor as u64), ("token", *token)]
+            }
+            SpanKind::ActorSpawned { actor, node } => {
+                vec![("actor", *actor as u64), ("node", *node as u64)]
+            }
+            SpanKind::ActorKilled { actor } => vec![("actor", *actor as u64)],
+            SpanKind::NodeCrashed { node } | SpanKind::NodeRestarted { node } => {
+                vec![("node", *node as u64)]
+            }
+            SpanKind::PartitionChanged { groups } => {
+                vec![("ngroups", groups.len() as u64)]
+            }
+            SpanKind::PartitionHealed => vec![],
+            SpanKind::LinkFaultSet { src_node, dst_node }
+            | SpanKind::LinkFaultCleared { src_node, dst_node } => vec![
+                ("src_node", *src_node as u64),
+                ("dst_node", *dst_node as u64),
+            ],
+            SpanKind::ChaosFault { action, node } => {
+                vec![("action", *action as u64), ("node", *node as u64)]
+            }
+            SpanKind::RpcAttempt {
+                call,
+                object,
+                attempt,
+                dst,
+            } => vec![
+                ("call", *call),
+                ("object", *object),
+                ("attempt", *attempt as u64),
+                ("dst", *dst as u64),
+            ],
+            SpanKind::RpcRetry { call, attempt } => {
+                vec![("call", *call), ("attempt", *attempt as u64)]
+            }
+            SpanKind::BindingHit { object, dst } | SpanKind::BindingRegistered { object, dst } => {
+                vec![("object", *object), ("dst", *dst as u64)]
+            }
+            SpanKind::BindingMiss { object } | SpanKind::BindingInvalidated { object } => {
+                vec![("object", *object)]
+            }
+            SpanKind::RpcCompleted { call, outcome } => {
+                vec![("call", *call), ("outcome", outcome.code())]
+            }
+            SpanKind::FlowStarted { flow, object, kind } => {
+                vec![("flow", *flow), ("object", *object), ("kind", kind.code())]
+            }
+            SpanKind::FlowStep { flow, step } => vec![("flow", *flow), ("step", *step as u64)],
+            SpanKind::FlowCompleted { flow } | SpanKind::FlowAborted { flow } => {
+                vec![("flow", *flow)]
+            }
+            SpanKind::GenerationStamp { object, generation } => {
+                vec![("object", *object), ("generation", *generation)]
+            }
+            SpanKind::CallServed { object, call } => {
+                vec![("object", *object), ("call", *call)]
+            }
+        }
+    }
+}
+
+/// One recorded event of a [`TraceLog`](crate::TraceLog).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// This event's id (dense, emit-ordered).
+    pub id: SpanId,
+    /// The event that causally triggered this one, if traced.
+    pub parent: Option<SpanId>,
+    /// Simulated time of the event, in nanoseconds since the run started.
+    pub at_ns: u64,
+    /// The node the event happened on, or [`NO_NODE`].
+    pub node: u32,
+    /// The typed payload.
+    pub kind: SpanKind,
+}

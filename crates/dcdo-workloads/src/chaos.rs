@@ -60,6 +60,22 @@ pub struct ChaosReport {
     pub node_crashes: u64,
     /// Events still pending after the scenario drained — leaks; expected 0.
     pub leaked_events: u64,
+    /// FNV-1a digest of the structured span log — equal across same-seed
+    /// runs and across build profiles (integer-only).
+    pub span_digest: u64,
+    /// Trace-invariant violations found by the checker; expected 0.
+    pub trace_violations: u64,
+}
+
+/// Runs the trace-invariant checker over a finished sim's span log and
+/// returns `(violation count, span digest)`, printing each violation so a
+/// failing suite names the broken invariant.
+fn span_results(sim: &Simulation<Msg>) -> (u64, u64) {
+    let violations = dcdo_sim::check_trace_invariants(sim.spans());
+    for v in &violations {
+        eprintln!("trace invariant violated: {v}");
+    }
+    (violations.len() as u64, sim.spans().digest())
 }
 
 // ---------------------------------------------------------------------------
@@ -90,6 +106,7 @@ struct ReconfigRun {
 fn reconfig_run(seed: u64, inject_fault: bool) -> ReconfigRun {
     let mut bed = Testbed::centurion(seed);
     bed.sim.trace_mut().enable(1 << 18);
+    bed.sim.spans_mut().enable();
     let hosts = HostDirectory::from_testbed(&bed);
     let manager_obj = bed.fresh_object_id();
     let manager = DcdoManager::new(
@@ -306,6 +323,7 @@ pub fn crash_during_reconfig(seed: u64) -> ChaosReport {
     let mut faulted = reconfig_run(seed, true);
     faulted.bed.sim.run_until_idle();
     let sim = &faulted.bed.sim;
+    let (trace_violations, span_digest) = span_results(sim);
     ChaosReport {
         name: "crash_during_reconfig",
         seed,
@@ -317,6 +335,8 @@ pub fn crash_during_reconfig(seed: u64) -> ChaosReport {
         unreachable_drops: sim.metrics().counter("sim.unreachable_drops"),
         node_crashes: sim.metrics().counter("sim.node_crashes"),
         leaked_events: sim.pending_events() as u64,
+        span_digest,
+        trace_violations,
     }
 }
 
@@ -433,6 +453,7 @@ pub fn rolling_partition(seed: u64) -> ChaosReport {
     let final_heal = SimDuration::from_secs(9);
     let mut sim: Simulation<Msg> = Simulation::new(NetConfig::centurion(), seed);
     sim.trace_mut().enable(1 << 18);
+    sim.spans_mut().enable();
     let ring = spawn_ring(&mut sim, NODES, horizon);
 
     let n = |i: u32| dcdo_sim::NodeId::from_raw(i);
@@ -464,6 +485,7 @@ pub fn rolling_partition(seed: u64) -> ChaosReport {
             .unwrap_or(SimTime::ZERO + horizon);
         recovery_time_s = recovery_time_s.max(resumed.duration_since(healed_at).as_secs_f64());
     }
+    let (trace_violations, span_digest) = span_results(&sim);
     ChaosReport {
         name: "rolling_partition",
         seed,
@@ -474,6 +496,8 @@ pub fn rolling_partition(seed: u64) -> ChaosReport {
         unreachable_drops: sim.metrics().counter("sim.unreachable_drops"),
         node_crashes: sim.metrics().counter("sim.node_crashes"),
         leaked_events: sim.pending_events() as u64,
+        span_digest,
+        trace_violations,
     }
 }
 
@@ -492,6 +516,7 @@ pub fn restart_storm(seed: u64) -> ChaosReport {
     let horizon = SimDuration::from_secs(10);
     let mut sim: Simulation<Msg> = Simulation::new(NetConfig::centurion(), seed);
     sim.trace_mut().enable(1 << 18);
+    sim.spans_mut().enable();
     spawn_ring(&mut sim, NODES, horizon);
 
     let mut plan = FaultPlan::new();
@@ -506,6 +531,7 @@ pub fn restart_storm(seed: u64) -> ChaosReport {
     sim.run_for(horizon);
     sim.run_until_idle();
 
+    let (trace_violations, span_digest) = span_results(&sim);
     ChaosReport {
         name: "restart_storm",
         seed,
@@ -516,6 +542,8 @@ pub fn restart_storm(seed: u64) -> ChaosReport {
         unreachable_drops: sim.metrics().counter("sim.unreachable_drops"),
         node_crashes: sim.metrics().counter("sim.node_crashes"),
         leaked_events: sim.pending_events() as u64,
+        span_digest,
+        trace_violations,
     }
 }
 

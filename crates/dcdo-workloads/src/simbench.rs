@@ -120,9 +120,10 @@ impl Actor<Msg> for Ponger {
     }
 }
 
-/// Runs `rounds` invoke/reply volleys between two nodes of the centurion
-/// network. Returns events processed.
-pub fn ping_pong(rounds: u64) -> u64 {
+/// Builds the ping-pong simulation without running it. Returns the sim and
+/// the event budget to run it with — callers may enable span tracing on the
+/// sim first (the invariant suite does).
+pub fn ping_pong_sim(rounds: u64) -> (Simulation<Msg>, u64) {
     let mut sim = Simulation::new(NetConfig::centurion(), 17);
     let ponger = sim.spawn(NodeId::from_raw(1), Ponger);
     let pinger = sim.spawn(
@@ -140,7 +141,14 @@ pub fn ping_pong(rounds: u64) -> u64 {
             result: Ok(Value::Unit),
         },
     );
-    sim.run_with_budget(rounds * 4 + 16)
+    (sim, rounds * 4 + 16)
+}
+
+/// Runs `rounds` invoke/reply volleys between two nodes of the centurion
+/// network. Returns events processed.
+pub fn ping_pong(rounds: u64) -> u64 {
+    let (mut sim, budget) = ping_pong_sim(rounds);
+    sim.run_with_budget(budget)
 }
 
 // ---------------------------------------------------------------------------
@@ -208,10 +216,8 @@ impl Actor<Msg> for AckSpoke {
     }
 }
 
-/// Runs `rounds` broadcast rounds from a hub to `spokes` spokes on the
-/// instant network; the op payload carries `payload_words` words of data.
-/// Returns events processed.
-pub fn fan_out(rounds: u64, spokes: u32, payload_words: usize) -> u64 {
+/// Builds the fan-out simulation without running it; see [`ping_pong_sim`].
+pub fn fan_out_sim(rounds: u64, spokes: u32, payload_words: usize) -> (Simulation<Msg>, u64) {
     let mut sim = Simulation::new(NetConfig::instant(), 19);
     let hub = sim.spawn(
         NodeId::from_raw(0),
@@ -236,7 +242,15 @@ pub fn fan_out(rounds: u64, spokes: u32, payload_words: usize) -> u64 {
             result: Ok(ControlOp::new(BenchAck)),
         },
     );
-    sim.run_with_budget(rounds * u64::from(spokes) * 2 + u64::from(spokes) + 16)
+    (sim, rounds * u64::from(spokes) * 2 + u64::from(spokes) + 16)
+}
+
+/// Runs `rounds` broadcast rounds from a hub to `spokes` spokes on the
+/// instant network; the op payload carries `payload_words` words of data.
+/// Returns events processed.
+pub fn fan_out(rounds: u64, spokes: u32, payload_words: usize) -> u64 {
+    let (mut sim, budget) = fan_out_sim(rounds, spokes, payload_words);
+    sim.run_with_budget(budget)
 }
 
 // ---------------------------------------------------------------------------
@@ -273,10 +287,9 @@ impl Actor<Msg> for TimerChurn {
     }
 }
 
-/// Runs `actors` parallel schedule-two-cancel-one timer chains, each firing
-/// `fires_per_actor` times, on the instant network. Returns events
-/// processed.
-pub fn timer_heavy(actors: u32, fires_per_actor: u64) -> u64 {
+/// Builds the timer-heavy simulation without running it; see
+/// [`ping_pong_sim`].
+pub fn timer_heavy_sim(actors: u32, fires_per_actor: u64) -> (Simulation<Msg>, u64) {
     let mut sim = Simulation::new(NetConfig::instant(), 23);
     let ids: Vec<ActorId> = (0..actors)
         .map(|i| {
@@ -298,7 +311,15 @@ pub fn timer_heavy(actors: u32, fires_per_actor: u64) -> u64 {
             },
         );
     }
-    sim.run_with_budget(u64::from(actors) * (fires_per_actor + 4) * 4 + 16)
+    (sim, u64::from(actors) * (fires_per_actor + 4) * 4 + 16)
+}
+
+/// Runs `actors` parallel schedule-two-cancel-one timer chains, each firing
+/// `fires_per_actor` times, on the instant network. Returns events
+/// processed.
+pub fn timer_heavy(actors: u32, fires_per_actor: u64) -> u64 {
+    let (mut sim, budget) = timer_heavy_sim(actors, fires_per_actor);
+    sim.run_with_budget(budget)
 }
 
 // ---------------------------------------------------------------------------
@@ -388,9 +409,9 @@ fn transfer_component() -> ComponentBinary {
     suite.components()[0].clone()
 }
 
-/// Runs `rounds` replication rounds of one encoded component from a source
-/// to `sinks` sinks over the centurion network. Returns events processed.
-pub fn transfer_heavy(rounds: u64, sinks: u32) -> u64 {
+/// Builds the transfer-heavy simulation without running it; see
+/// [`ping_pong_sim`].
+pub fn transfer_heavy_sim(rounds: u64, sinks: u32) -> (Simulation<Msg>, u64) {
     let component = transfer_component();
     let encoded = component.encode();
     let mut sim = Simulation::new(NetConfig::centurion(), 29);
@@ -417,7 +438,14 @@ pub fn transfer_heavy(rounds: u64, sinks: u32) -> u64 {
             result: Ok(ControlOp::new(BenchAck)),
         },
     );
-    sim.run_with_budget(rounds * u64::from(sinks) * 2 + u64::from(sinks) + 16)
+    (sim, rounds * u64::from(sinks) * 2 + u64::from(sinks) + 16)
+}
+
+/// Runs `rounds` replication rounds of one encoded component from a source
+/// to `sinks` sinks over the centurion network. Returns events processed.
+pub fn transfer_heavy(rounds: u64, sinks: u32) -> u64 {
+    let (mut sim, budget) = transfer_heavy_sim(rounds, sinks);
+    sim.run_with_budget(budget)
 }
 
 /// Verifies the component suite used by `transfer_heavy` doesn't silently

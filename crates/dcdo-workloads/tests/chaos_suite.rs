@@ -21,6 +21,8 @@ fn crash_during_reconfig_recovers_and_replays_identically() {
         a.message_amplification
     );
     assert_eq!(a.leaked_events, 0, "queue drains after the episode");
+    assert_eq!(a.trace_violations, 0, "trace invariants hold under faults");
+    assert_eq!(a.span_digest, b.span_digest, "span log replays identically");
 }
 
 #[test]
@@ -52,6 +54,8 @@ fn rolling_partition_drops_traffic_then_recovers() {
         a.recovery_time_s
     );
     assert_eq!(a.leaked_events, 0);
+    assert_eq!(a.trace_violations, 0, "trace invariants hold under faults");
+    assert_eq!(a.span_digest, b.span_digest, "span log replays identically");
 }
 
 #[test]
@@ -64,4 +68,6 @@ fn restart_storm_cancels_dead_timers_and_leaks_nothing() {
         a.leaked_events, 0,
         "dead nodes' timers are cancelled; the queue drains"
     );
+    assert_eq!(a.trace_violations, 0, "trace invariants hold under faults");
+    assert_eq!(a.span_digest, b.span_digest, "span log replays identically");
 }

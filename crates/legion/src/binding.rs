@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use dcdo_sim::{Actor, ActorId, Ctx};
+use dcdo_sim::{Actor, ActorId, Ctx, SpanKind};
 use dcdo_types::ObjectId;
 
 use crate::control_payload;
@@ -153,14 +153,32 @@ impl Actor<Msg> for BindingAgent {
                     if let Some(reg) = op.as_any().downcast_ref::<RegisterBinding>() {
                         self.bindings.insert(reg.object, reg.address);
                         ctx.metrics().incr("binding.registered");
+                        if ctx.tracing_enabled() {
+                            ctx.emit_span(SpanKind::BindingRegistered {
+                                object: reg.object.as_raw(),
+                                dst: reg.address.as_raw(),
+                            });
+                        }
                         Ok(ControlOp::new(Ack))
                     } else if let Some(unreg) = op.as_any().downcast_ref::<UnregisterBinding>() {
                         self.bindings.remove(&unreg.object);
+                        if ctx.tracing_enabled() {
+                            ctx.emit_span(SpanKind::BindingInvalidated {
+                                object: unreg.object.as_raw(),
+                            });
+                        }
                         Ok(ControlOp::new(Ack))
                     } else if let Some(inv) = op.as_any().downcast_ref::<InvalidateBindings>() {
                         let removed = self.invalidate_addresses(&inv.addresses);
                         ctx.metrics()
                             .add("binding.invalidated", removed.len() as u64);
+                        if ctx.tracing_enabled() {
+                            for object in &removed {
+                                ctx.emit_span(SpanKind::BindingInvalidated {
+                                    object: object.as_raw(),
+                                });
+                            }
+                        }
                         Ok(ControlOp::new(InvalidatedBindings { removed }))
                     } else if let Some(query) = op.as_any().downcast_ref::<QueryBinding>() {
                         self.queries_served += 1;

@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 
-use dcdo_sim::{ActorId, Ctx, SimDuration, SimTime, TimerId};
+use dcdo_sim::{ActorId, Ctx, RpcOutcome, SimDuration, SimTime, SpanKind, TimerId};
 use dcdo_types::{CallId, FunctionName, ObjectId};
 use dcdo_vm::Value;
 
@@ -235,8 +235,23 @@ impl RpcClient {
             phase: Phase::Idle,
         };
         match self.cache.get(&target).copied() {
-            Some(address) => self.send_attempt(ctx, call, &mut pending, address),
-            None => self.query_binding(ctx, call, &mut pending),
+            Some(address) => {
+                if ctx.tracing_enabled() {
+                    ctx.emit_span(SpanKind::BindingHit {
+                        object: target.as_raw(),
+                        dst: address.as_raw(),
+                    });
+                }
+                self.send_attempt(ctx, call, &mut pending, address);
+            }
+            None => {
+                if ctx.tracing_enabled() {
+                    ctx.emit_span(SpanKind::BindingMiss {
+                        object: target.as_raw(),
+                    });
+                }
+                self.query_binding(ctx, call, &mut pending);
+            }
         }
         self.pending.insert(call.as_raw(), pending);
         call
@@ -251,6 +266,14 @@ impl RpcClient {
     ) {
         pending.attempts += 1;
         pending.total_attempts += 1;
+        if ctx.tracing_enabled() {
+            ctx.emit_span(SpanKind::RpcAttempt {
+                call: call.as_raw(),
+                object: pending.target.as_raw(),
+                attempt: pending.total_attempts,
+                dst: address.as_raw(),
+            });
+        }
         let msg = match &pending.op {
             RpcOp::Invoke { function, args } => Msg::Invoke {
                 call,
@@ -348,6 +371,11 @@ impl RpcClient {
         if let Err(InvocationFault::NoSuchObject(_)) = &result {
             // Alive address, wrong occupant: rebind immediately.
             self.cache.remove(&pending.target);
+            if ctx.tracing_enabled() {
+                ctx.emit_span(SpanKind::BindingInvalidated {
+                    object: pending.target.as_raw(),
+                });
+            }
             pending.rebinds += 1;
             if pending.rebinds > self.cost.max_rebinds {
                 ctx.metrics().incr("rpc.unreachable");
@@ -429,6 +457,12 @@ impl RpcClient {
             Phase::AwaitReply { address, .. } => {
                 if pending.attempts < self.cost.binding_attempts {
                     // Retry against the same (possibly stale) address.
+                    if ctx.tracing_enabled() {
+                        ctx.emit_span(SpanKind::RpcRetry {
+                            call: call.as_raw(),
+                            attempt: pending.total_attempts,
+                        });
+                    }
                     self.send_attempt(ctx, call, &mut pending, address);
                 } else {
                     // Give up on the cached binding; consult the agent.
@@ -437,6 +471,11 @@ impl RpcClient {
                     ctx.metrics()
                         .sample_duration("rpc.stale_binding_discovery_time", discovery);
                     self.cache.remove(&pending.target);
+                    if ctx.tracing_enabled() {
+                        ctx.emit_span(SpanKind::BindingInvalidated {
+                            object: pending.target.as_raw(),
+                        });
+                    }
                     pending.rebinds += 1;
                     if pending.rebinds > self.cost.max_rebinds {
                         // Every address the agent hands out times out:
@@ -513,6 +552,18 @@ impl RpcClient {
         ctx.metrics().incr("rpc.completed");
         if result.is_err() {
             ctx.metrics().incr("rpc.faulted");
+        }
+        if ctx.tracing_enabled() {
+            let outcome = match &result {
+                Ok(_) => RpcOutcome::Ok,
+                Err(InvocationFault::Unreachable) => RpcOutcome::Unreachable,
+                Err(InvocationFault::Timeout) => RpcOutcome::Timeout,
+                Err(_) => RpcOutcome::Fault,
+            };
+            ctx.emit_span(SpanKind::RpcCompleted {
+                call: call.as_raw(),
+                outcome,
+            });
         }
         RpcCompletion {
             call,
