@@ -4,7 +4,13 @@
 //! message amplification are tracked across PRs (CI uploads it as an
 //! artifact).
 //!
-//! Usage: `cargo run --release -p dcdo-bench --bin chaos_bench [-- out.json]`
+//! Usage: `cargo run --release -p dcdo-bench --bin chaos_bench [-- out.json [profile.json]]`
+//!
+//! Alongside the recovery metrics it profiles the crash-during-reconfig
+//! episode's span log through `dcdo-profile` and writes the deterministic
+//! report (`BENCH_profile.json` by default): the reconfiguration-cost
+//! table, per-flow critical paths, and the VM hot-function list under
+//! fault.
 
 use dcdo_workloads::chaos::{self, ChaosReport};
 
@@ -29,6 +35,9 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    let profile_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_profile.json".to_string());
     let seed = 42;
     let shots = vec![
         measure(|| chaos::crash_during_reconfig(seed)),
@@ -81,6 +90,16 @@ fn main() {
     }
     std::fs::write(&out_path, json).expect("write BENCH_chaos.json");
     println!("wrote {out_path}");
+
+    let (_, profile) =
+        chaos::profiled_scenario("crash_during_reconfig", seed).expect("known scenario");
+    std::fs::write(&profile_path, profile.to_json()).expect("write profile JSON");
+    println!(
+        "wrote {profile_path} ({} flows profiled, {} aborted)",
+        profile.flows.len(),
+        profile.flows_aborted()
+    );
+
     assert!(all_replay_ok, "same-seed replay diverged");
     assert_eq!(total_violations, 0, "trace invariants violated under chaos");
 }

@@ -1,0 +1,203 @@
+//! Trace inspector: runs a named workload or chaos scenario with full
+//! tracing, feeds the span log through the `dcdo-profile` analyzers, and
+//! prints the paper-style tables — per-kind reconfiguration costs, the
+//! longest critical path with its per-layer split, the VM hot-function
+//! list, and RPC amplification. Exports the full report as deterministic
+//! JSON and Prometheus text (CI diffs the JSON debug-vs-release).
+//!
+//! Usage:
+//!   cargo run --release -p dcdo-bench --bin dcdo-inspect -- \
+//!       <workload> [seed] [--out PREFIX]
+//!
+//! Workloads: reconfig, reconfig_faulted, crash_during_reconfig,
+//! rolling_partition, restart_storm. Seed defaults to 42; output defaults
+//! to BENCH_profile.json / BENCH_profile.prom.
+
+use dcdo_profile::{CriticalPath, ProfileReport};
+use dcdo_workloads::{chaos, reconfig};
+
+const WORKLOADS: &[&str] = &[
+    "reconfig",
+    "reconfig_faulted",
+    "crash_during_reconfig",
+    "rolling_partition",
+    "restart_storm",
+];
+
+fn usage() -> ! {
+    eprintln!("usage: dcdo-inspect <workload> [seed] [--out PREFIX]");
+    eprintln!("workloads: {}", WORKLOADS.join(", "));
+    std::process::exit(2);
+}
+
+fn run_workload(name: &str, seed: u64) -> ProfileReport {
+    match name {
+        "reconfig" | "reconfig_faulted" => {
+            let run = reconfig::reconfig_run(seed, name == "reconfig_faulted");
+            if run.recovery_time_s > 0.0 {
+                println!("recovery after injected crash: {:.3}s", run.recovery_time_s);
+            }
+            println!("reconfiguration window: {} messages", run.window_messages);
+            run.profile()
+        }
+        _ => {
+            let (report, profile) = chaos::profiled_scenario(name, seed).unwrap_or_else(|| usage());
+            println!(
+                "{}: recovery {:.3}s, amplification {:.3}x, {} trace violations",
+                report.name,
+                report.recovery_time_s,
+                report.message_amplification,
+                report.trace_violations
+            );
+            profile
+        }
+    }
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn print_cost_table(report: &ProfileReport) {
+    println!("\nreconfiguration-cost table (per flow kind)");
+    println!(
+        "{:<12} {:>6} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>12}",
+        "kind", "flows", "aborted", "mean_ms", "median_ms", "p99_ms", "max_ms", "messages", "bytes"
+    );
+    for r in &report.cost_table {
+        println!(
+            "{:<12} {:>6} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>9} {:>12}",
+            r.kind.name(),
+            r.flows,
+            r.aborted,
+            ms(r.mean_ns),
+            ms(r.median_ns),
+            ms(r.p99_ns),
+            ms(r.max_ns),
+            r.messages,
+            r.bytes
+        );
+    }
+    if report.cost_table.is_empty() {
+        println!("(no terminated flows in this trace)");
+    }
+}
+
+fn print_critical_path(report: &ProfileReport) {
+    let Some(path) = report.paths.iter().max_by_key(|p| p.total_ns()) else {
+        println!("\nno critical paths (no terminated flows)");
+        return;
+    };
+    println!(
+        "\nlongest critical path: {} flow {} — {:.3} ms over {} hops",
+        path.kind.name(),
+        path.flow,
+        ms(path.total_ns()),
+        path.segments.len()
+    );
+    for (layer, ns) in &path.by_layer {
+        if *ns > 0 {
+            println!("  {:<8} {:>10.3} ms", layer.name(), ms(*ns));
+        }
+    }
+    let check: u64 = path.by_layer.iter().map(|(_, ns)| ns).sum();
+    assert_eq!(check, path.total_ns(), "layer split must sum to end-to-end");
+}
+
+fn print_flow_steps(report: &ProfileReport) {
+    println!("\nslowest flow steps");
+    let mut steps = report.steps.clone();
+    steps.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+    for s in steps.iter().take(8) {
+        println!(
+            "  {:<10} {:<12} count {:>5}   total {:>10.3} ms   mean {:>9.3} ms",
+            s.kind.name(),
+            dcdo_profile::step_name(s.kind, s.step),
+            s.count,
+            ms(s.total_ns),
+            ms(s.mean_ns())
+        );
+    }
+}
+
+fn print_vm(report: &ProfileReport) {
+    println!("\nVM hot functions");
+    if report.vm.is_empty() {
+        println!("(no profiled VM threads in this trace)");
+        return;
+    }
+    for f in report.vm.iter().take(10) {
+        let name = f
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("{:#018x}", f.function));
+        println!(
+            "  {:<16} calls {:>6}   instructions {:>9}   work {:>10.3} ms",
+            name,
+            f.calls,
+            f.instructions,
+            ms(f.work_nanos)
+        );
+    }
+}
+
+fn print_rpc(report: &ProfileReport) {
+    let r = &report.rpc;
+    println!(
+        "\nRPC: {} calls, {} attempts ({} retries), amplification {:.3}x, worst attempts/call {}",
+        r.calls,
+        r.attempts,
+        r.retries,
+        r.amplification_millis() as f64 / 1000.0,
+        r.max_attempts
+    );
+}
+
+fn longest(paths: &[CriticalPath]) -> u64 {
+    paths.iter().map(|p| p.total_ns()).max().unwrap_or(0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = None;
+    let mut seed = 42u64;
+    let mut out_prefix = "BENCH_profile".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_prefix = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            a if workload.is_none() => workload = Some(a.to_string()),
+            a => seed = a.parse().unwrap_or_else(|_| usage()),
+        }
+        i += 1;
+    }
+    let workload = workload.unwrap_or_else(|| usage());
+    if !WORKLOADS.contains(&workload.as_str()) {
+        usage();
+    }
+
+    println!("workload {workload}, seed {seed}");
+    let report = run_workload(&workload, seed);
+
+    print_cost_table(&report);
+    print_critical_path(&report);
+    print_flow_steps(&report);
+    print_vm(&report);
+    print_rpc(&report);
+    println!(
+        "\nflows: {} completed, {} aborted; longest path {:.3} ms",
+        report.flows_completed(),
+        report.flows_aborted(),
+        ms(longest(&report.paths))
+    );
+
+    let json_path = format!("{out_prefix}.json");
+    let prom_path = format!("{out_prefix}.prom");
+    std::fs::write(&json_path, report.to_json()).expect("write profile JSON");
+    std::fs::write(&prom_path, report.to_prometheus()).expect("write profile Prometheus");
+    println!("wrote {json_path} and {prom_path}");
+}

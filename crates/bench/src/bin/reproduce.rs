@@ -67,6 +67,9 @@ fn main() {
     if want("e8") {
         println!("{}", experiments::e8(seed));
     }
+    if want("p1") {
+        println!("{}", experiments::p1(seed));
+    }
     if want("a1") && !quick {
         println!("{}", experiments::a1(seed));
     }

@@ -63,6 +63,18 @@ fn main() {
     let fan_out = &shots[1];
     let overhead_frac = 1.0 - traced.best_events_per_sec / fan_out.best_events_per_sec;
 
+    // VM profiling overhead probe: a pure interpreter hot loop (a function
+    // call crossing per iteration) with the per-thread cost profile off vs
+    // on. Off is the shipped default — its cost is one predicted branch at
+    // each call/return/instruction hook — and the fraction reported here is
+    // the honest price of turning attribution on.
+    const SPIN_ITERS: i64 = 200_000;
+    let spin_off = measure("vm_spin", reps, || simbench::vm_spin(SPIN_ITERS, false));
+    let spin_on = measure("vm_spin_profiled", reps, || {
+        simbench::vm_spin(SPIN_ITERS, true)
+    });
+    let vm_overhead_frac = 1.0 - spin_on.best_events_per_sec / spin_off.best_events_per_sec;
+
     let mut json = String::from("{\n  \"suite\": \"sim_throughput\",\n  \"unit\": \"events_per_sec\",\n  \"workloads\": {\n");
     for (i, s) in shots.iter().enumerate() {
         json.push_str(&format!(
@@ -80,10 +92,22 @@ fn main() {
         traced.events, traced.best_events_per_sec, traced.mean_events_per_sec
     ));
     json.push_str(&format!(
-        "    \"enabled_overhead_frac\": {overhead_frac:.4}\n  }}\n}}\n"
+        "    \"enabled_overhead_frac\": {overhead_frac:.4}\n  }},\n"
+    ));
+    json.push_str("  \"vm_profiling\": {\n");
+    json.push_str(&format!(
+        "    \"vm_spin\": {{\"iters\": {SPIN_ITERS}, \"best\": {:.0}, \"mean\": {:.0}}},\n",
+        spin_off.best_events_per_sec, spin_off.mean_events_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"vm_spin_profiled\": {{\"iters\": {SPIN_ITERS}, \"best\": {:.0}, \"mean\": {:.0}}},\n",
+        spin_on.best_events_per_sec, spin_on.mean_events_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"enabled_overhead_frac\": {vm_overhead_frac:.4}\n  }}\n}}\n"
     ));
 
-    for s in shots.iter().chain(std::iter::once(&traced)) {
+    for s in shots.iter().chain([&traced, &spin_off, &spin_on]) {
         println!(
             "{:<16} {:>10} events   best {:>12.0} ev/s   mean {:>12.0} ev/s",
             s.name, s.events, s.best_events_per_sec, s.mean_events_per_sec
@@ -92,6 +116,10 @@ fn main() {
     println!(
         "tracing enabled overhead on fan_out: {:.1}%",
         overhead_frac * 100.0
+    );
+    println!(
+        "vm profiling enabled overhead on vm_spin: {:.1}%",
+        vm_overhead_frac * 100.0
     );
     std::fs::write(&out_path, json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");

@@ -4,8 +4,10 @@ mod cost;
 mod ext;
 mod perf;
 mod policy;
+mod profile;
 
 pub use cost::{assert_counter_still_works, counter_fleet_for_tests, e4, e5, e6};
 pub use ext::{a1, e8};
 pub use perf::{e1, e2, e3, single_instance};
 pub use policy::e7;
+pub use profile::p1;

@@ -1,0 +1,75 @@
+//! P1: the trace-derived reconfiguration-cost table.
+//!
+//! Unlike E1–E8, which time operations from the driver's vantage point,
+//! this table is produced *from the execution trace itself*: the canonical
+//! reconfiguration workload runs once with full span tracing, and
+//! `dcdo-profile` derives per-config-op-kind latency and causally
+//! attributed message cost, plus the critical path of the slowest flow
+//! split by layer. It is the same report `dcdo-inspect reconfig` exports
+//! as `BENCH_profile.json`.
+
+use dcdo_workloads::reconfig::reconfig_run;
+
+use crate::table::{secs, Table};
+
+fn ns(v: u64) -> String {
+    secs(v as f64 / 1e9)
+}
+
+/// P1: per-kind reconfiguration costs derived from the span trace.
+pub fn p1(seed: u64) -> Table {
+    let run = reconfig_run(seed, false);
+    let report = run.profile();
+    let mut t = Table::new(
+        "P1 (profiler)",
+        "Reconfiguration cost by config-op kind, derived from the trace",
+        "(companion to E6: the paper reports driver-side stopwatch numbers; \
+         this table is computed from the span log by the trace profiler, so \
+         latency, message count, and critical-path attribution come from \
+         the same causal record)",
+        &[
+            "config-op kind",
+            "flows",
+            "aborted",
+            "mean",
+            "median",
+            "p99",
+            "max",
+            "messages",
+            "bytes",
+        ],
+    );
+    for r in &report.cost_table {
+        t.row(vec![
+            r.kind.name().to_owned(),
+            r.flows.to_string(),
+            r.aborted.to_string(),
+            ns(r.mean_ns),
+            ns(r.median_ns),
+            ns(r.p99_ns),
+            ns(r.max_ns),
+            r.messages.to_string(),
+            r.bytes.to_string(),
+        ]);
+    }
+    let verdict = match report.paths.iter().max_by_key(|p| p.total_ns()) {
+        Some(path) => {
+            let split: Vec<String> = path
+                .by_layer
+                .iter()
+                .filter(|(_, v)| *v > 0)
+                .map(|(l, v)| format!("{} {}", l.name(), ns(*v)))
+                .collect();
+            format!(
+                "longest critical path: {} flow, {} end to end ({}); \
+                 layer components sum exactly to the end-to-end latency",
+                path.kind.name(),
+                ns(path.total_ns()),
+                split.join(", ")
+            )
+        }
+        None => "no terminated flows (unexpected for this workload)".to_owned(),
+    };
+    t.verdict(verdict);
+    t
+}

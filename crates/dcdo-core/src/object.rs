@@ -24,7 +24,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
-use dcdo_sim::{Actor, ActorId, Ctx, SimDuration, SimTime, SpanKind};
+use dcdo_sim::{Actor, ActorId, Ctx, FlowKind as TraceFlowKind, SimDuration, SimTime, SpanKind};
 use dcdo_types::{
     Architecture, CallId, ComponentId, FunctionName, ImplementationType, ObjectId, VersionId,
 };
@@ -47,6 +47,27 @@ use crate::ops::{
 
 /// Interval at which delayed removals re-check thread activity.
 const IDLE_RECHECK: SimDuration = SimDuration::from_millis(50);
+
+/// Stable step codes for object-local `Config` flows (trace `FlowStep`
+/// payloads): the staged fetch pipeline, the removal gate, and the final
+/// semantic application. These are wire-stable — the profiler keys its
+/// per-step latency tables on them.
+mod cfg_step {
+    /// Reading the component descriptor from the ICO.
+    pub const DESCRIPTOR: u32 = 0;
+    /// Consulting the local host's component cache.
+    pub const HOST_CHECK: u32 = 1;
+    /// Downloading the component data from the ICO.
+    pub const ICO_READ: u32 = 2;
+    /// Writing the downloaded data into the local host cache.
+    pub const HOST_STORE: u32 = 3;
+    /// Mapping the component into the address space (timer).
+    pub const MAP: u32 = 4;
+    /// Checking the thread-activity gate (may repeat on rechecks).
+    pub const GATE: u32 = 5;
+    /// Applying the semantic configuration change.
+    pub const APPLY: u32 = 6;
+}
 
 #[derive(Debug)]
 enum FetchStage {
@@ -285,6 +306,30 @@ impl DcdoObject {
 
     // ---- configuration flows -------------------------------------------
 
+    /// Emits a `FlowStarted` span for a freshly inserted object-local flow.
+    /// Object flows carry the trace kind `Config`, distinguishing them from
+    /// the manager's lifecycle flows.
+    fn trace_flow_started(&self, ctx: &mut Ctx<'_, Msg>, flow_id: u64) {
+        if ctx.tracing_enabled() {
+            ctx.emit_span(SpanKind::FlowStarted {
+                flow: flow_id,
+                object: self.object.as_raw(),
+                kind: TraceFlowKind::Config,
+            });
+        }
+    }
+
+    /// Emits a `FlowStep` span for a flow that just entered `step` (one of
+    /// the [`cfg_step`] codes).
+    fn trace_step(ctx: &mut Ctx<'_, Msg>, flow_id: u64, step: u32) {
+        if ctx.tracing_enabled() {
+            ctx.emit_span(SpanKind::FlowStep {
+                flow: flow_id,
+                step,
+            });
+        }
+    }
+
     fn start_flow(&mut self, ctx: &mut Ctx<'_, Msg>, mut flow: ConfigFlow) -> u64 {
         let flow_id = ctx.fresh_u64();
         if let Some((reply_to, call)) = flow.reply {
@@ -292,6 +337,7 @@ impl DcdoObject {
         }
         flow.started = ctx.now();
         self.flows.insert(flow_id, flow);
+        self.trace_flow_started(ctx, flow_id);
         self.advance_flow(ctx, flow_id);
         flow_id
     }
@@ -315,6 +361,7 @@ impl DcdoObject {
                         component,
                         ico: item.ico,
                     });
+                    Self::trace_step(ctx, flow_id, cfg_step::HOST_CHECK);
                     let call = self.rpc.control(
                         ctx,
                         self.host,
@@ -324,6 +371,7 @@ impl DcdoObject {
                 }
                 None => {
                     flow.fetching = Some(FetchStage::Descriptor { ico: item.ico });
+                    Self::trace_step(ctx, flow_id, cfg_step::DESCRIPTOR);
                     let call =
                         self.rpc
                             .control(ctx, item.ico, ControlOp::new(ReadComponentDescriptor));
@@ -341,6 +389,7 @@ impl DcdoObject {
         let Some(flow) = self.flows.get(&flow_id) else {
             return;
         };
+        Self::trace_step(ctx, flow_id, cfg_step::GATE);
         let busy: Vec<(ComponentId, u32)> = match &flow.kind {
             FlowKind::Remove { component } => {
                 let n = self.dfm.component_active_threads(*component);
@@ -414,6 +463,7 @@ impl DcdoObject {
     /// Executes the flow's actual configuration change and replies.
     fn apply_flow_semantics(&mut self, ctx: &mut Ctx<'_, Msg>, flow_id: u64) {
         let flow = self.flows.remove(&flow_id).expect("flow exists");
+        Self::trace_step(ctx, flow_id, cfg_step::APPLY);
         let result: Result<(), ConfigError> = match flow.kind {
             FlowKind::Incorporate => Ok(()), // staged components were incorporated during mapping
             FlowKind::Apply { target } => {
@@ -429,6 +479,13 @@ impl DcdoObject {
             FlowKind::Remove { component } => self.dfm.remove_component(component),
             FlowKind::Disable { function } => self.dfm.disable_function(&function),
         };
+        if ctx.tracing_enabled() {
+            if result.is_ok() {
+                ctx.emit_span(SpanKind::FlowCompleted { flow: flow_id });
+            } else {
+                ctx.emit_span(SpanKind::FlowAborted { flow: flow_id });
+            }
+        }
         if result.is_ok() {
             self.config_ops_applied += 1;
             if ctx.tracing_enabled() {
@@ -477,6 +534,9 @@ impl DcdoObject {
             return;
         };
         ctx.metrics().incr("dcdo.config_failed");
+        if ctx.tracing_enabled() {
+            ctx.emit_span(SpanKind::FlowAborted { flow: flow_id });
+        }
         if self.check_in_flight {
             self.check_in_flight = false;
             self.unpark_all(ctx);
@@ -544,6 +604,7 @@ impl DcdoObject {
                 }
                 let flow = self.flows.get_mut(&flow_id).expect("flow exists");
                 flow.fetching = Some(FetchStage::HostCheck { component, ico });
+                Self::trace_step(ctx, flow_id, cfg_step::HOST_CHECK);
                 let call = self.rpc.control(
                     ctx,
                     self.host,
@@ -564,6 +625,7 @@ impl DcdoObject {
                         ctx.metrics().incr("dcdo.component_cache_misses");
                         let flow = self.flows.get_mut(&flow_id).expect("flow exists");
                         flow.fetching = Some(FetchStage::IcoRead { component });
+                        Self::trace_step(ctx, flow_id, cfg_step::ICO_READ);
                         let call = self.rpc.control(ctx, ico, ControlOp::new(ReadComponent));
                         self.rpc_routes.insert(call.as_raw(), flow_id);
                     }
@@ -589,6 +651,7 @@ impl DcdoObject {
                 };
                 let flow = self.flows.get_mut(&flow_id).expect("flow exists");
                 flow.fetching = Some(FetchStage::HostStore { binary });
+                Self::trace_step(ctx, flow_id, cfg_step::HOST_STORE);
                 let call = self.rpc.control(
                     ctx,
                     self.host,
@@ -637,6 +700,7 @@ impl DcdoObject {
         let flow = self.flows.get_mut(&flow_id).expect("flow exists");
         let _ = cached;
         flow.fetching = Some(FetchStage::MapTimer { binary });
+        Self::trace_step(ctx, flow_id, cfg_step::MAP);
         self.schedule_flow_timer(ctx, flow_id, delay);
     }
 

@@ -1,0 +1,164 @@
+//! Deterministic exporters for the simulator's [`Metrics`] registry:
+//! Prometheus text exposition and a JSON snapshot.
+//!
+//! Both renderings iterate the registry's already-sorted (BTree-backed)
+//! name order, so two exports of the same registry are byte-identical —
+//! including across debug/release builds.
+
+use dcdo_sim::{Histogram, Metrics};
+
+use crate::json::{esc, num};
+
+/// Rewrites a metric name into the Prometheus identifier charset
+/// (`[a-zA-Z0-9_]`, non-digit first).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() && !(i == 0 && c.is_ascii_digit()) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a sample value for Prometheus exposition.
+fn prom_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "NaN".to_string()
+    }
+}
+
+fn quantiles(h: &Histogram) -> [(f64, Option<f64>); 3] {
+    // `quantile` sorts lazily and needs `&mut`; work on a scratch copy so
+    // the exporter can take the registry by shared reference.
+    let mut scratch = h.clone();
+    [
+        (0.5, scratch.quantile(0.5)),
+        (0.99, scratch.quantile(0.99)),
+        (1.0, scratch.quantile(1.0)),
+    ]
+}
+
+/// Renders the registry in the Prometheus text exposition format:
+/// counters as `counter`, histograms as `summary` (p50/p99/max quantiles,
+/// `_sum`, `_count`). Deterministic: sorted name order, stable float
+/// formatting.
+pub fn metrics_to_prometheus(metrics: &Metrics) -> String {
+    let mut out = String::new();
+    for (name, value) in metrics.counters() {
+        let name = prom_name(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, h) in metrics.histograms() {
+        let name = prom_name(name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (q, v) in quantiles(h) {
+            if let Some(v) = v {
+                out.push_str(&format!("{name}{{quantile=\"{q:?}\"}} {}\n", prom_value(v)));
+            }
+        }
+        let sum: f64 = h.samples().iter().sum();
+        out.push_str(&format!("{name}_sum {}\n", prom_value(sum)));
+        out.push_str(&format!("{name}_count {}\n", h.count()));
+    }
+    out
+}
+
+/// Renders the registry as a JSON snapshot:
+/// `{"counters": {...}, "histograms": {name: {count, mean, min, max, p50,
+/// p99}}}` with names in sorted order and deterministic float formatting.
+pub fn metrics_to_json(metrics: &Metrics) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    let mut first = true;
+    for (name, value) in metrics.counters() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {value}", esc(name)));
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"histograms\": {");
+    let mut first = true;
+    for (name, h) in metrics.histograms() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let mut scratch = h.clone();
+        let stat = |v: Option<f64>| v.map_or("null".to_string(), num);
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"count\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p99\": {}}}",
+            esc(name),
+            h.count(),
+            stat(h.mean()),
+            stat(h.min()),
+            stat(h.max()),
+            stat(scratch.quantile(0.5)),
+            stat(scratch.quantile(0.99)),
+        ));
+    }
+    out.push_str(if first { "}\n}\n" } else { "\n  }\n}\n" });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics() -> Metrics {
+        let mut m = Metrics::new();
+        m.add("beta.count", 2);
+        m.incr("alpha.count");
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.sample("lat/ns", v);
+        }
+        m
+    }
+
+    #[test]
+    fn prometheus_output_is_sorted_and_stable() {
+        let m = sample_metrics();
+        let a = metrics_to_prometheus(&m);
+        let b = metrics_to_prometheus(&m);
+        assert_eq!(a, b, "two exports are byte-identical");
+        let alpha = a.find("alpha_count 1").expect("alpha present");
+        let beta = a.find("beta_count 2").expect("beta present");
+        assert!(alpha < beta, "counters in sorted name order");
+        assert!(a.contains("# TYPE lat_ns summary"));
+        assert!(a.contains("lat_ns{quantile=\"0.5\"} 2.0"));
+        assert!(a.contains("lat_ns_sum 10.0"));
+        assert!(a.contains("lat_ns_count 4"));
+    }
+
+    #[test]
+    fn json_snapshot_has_sorted_keys_and_valid_shape() {
+        let m = sample_metrics();
+        let j = metrics_to_json(&m);
+        assert_eq!(j, metrics_to_json(&m));
+        assert!(j.contains("\"alpha.count\": 1"));
+        assert!(j.contains("\"lat/ns\": {\"count\": 4, \"mean\": 2.5"));
+        assert!(j.find("alpha.count").unwrap() < j.find("beta.count").unwrap());
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_objects() {
+        let m = Metrics::new();
+        assert_eq!(
+            metrics_to_json(&m),
+            "{\n  \"counters\": {},\n  \"histograms\": {}\n}\n"
+        );
+        assert_eq!(metrics_to_prometheus(&m), "");
+    }
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(prom_name("dcdo.lazy_checks"), "dcdo_lazy_checks");
+        assert_eq!(prom_name("9lives"), "_lives");
+        assert_eq!(prom_name("a/b-c"), "a_b_c");
+    }
+}

@@ -682,6 +682,7 @@ impl<M: Payload> Simulation<M> {
                     src_node: src_node.as_raw(),
                     dst_node: dst_node.as_raw(),
                     verdict,
+                    bytes,
                 },
             )
         } else {

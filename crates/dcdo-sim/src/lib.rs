@@ -70,6 +70,6 @@ pub use trace::{Trace, TraceEntry, TraceEvent};
 // layers above the engine can emit spans through [`Ctx`] without depending
 // on the tracing crate directly.
 pub use dcdo_trace::{
-    check as check_trace_invariants, FlowKind, RpcOutcome, SendVerdict, SpanEvent, SpanId,
+    check as check_trace_invariants, fn_hash, FlowKind, RpcOutcome, SendVerdict, SpanEvent, SpanId,
     SpanKind, TraceLog, Violation, NO_NODE,
 };

@@ -123,6 +123,32 @@ impl Histogram {
         self.quantile(0.5)
     }
 
+    /// Returns the population standard deviation, or `None` if empty.
+    ///
+    /// Two-pass: the mean comes from the cached running sum (O(1)), then one
+    /// sweep accumulates squared deviations — numerically stable without the
+    /// per-record cost of Welford. A single sample yields `Some(0.0)`.
+    /// Non-finite samples never enter the buffer
+    /// ([`record`](Histogram::record) rejects them), so the result is always
+    /// finite for a non-empty histogram.
+    pub fn stddev(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.sum / n;
+        let var = self
+            .samples
+            .iter()
+            .map(|s| {
+                let d = s - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        Some(var.sqrt())
+    }
+
     /// Returns a view of the raw samples, in insertion order unless a
     /// quantile has been computed (which sorts them).
     pub fn samples(&self) -> &[f64] {
@@ -315,6 +341,43 @@ mod tests {
     }
 
     #[test]
+    fn stddev_known_values() {
+        let mut h = Histogram::new();
+        assert_eq!(h.stddev(), None);
+        h.record(4.0);
+        assert_eq!(h.stddev(), Some(0.0), "single sample has zero spread");
+        // 2, 4, 4, 4, 5, 5, 7, 9: the classic example with σ = 2.
+        let mut h = Histogram::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            h.record(x);
+        }
+        assert!((h.stddev().expect("nonempty") - 2.0).abs() < 1e-12);
+        // Non-finite junk never reaches the buffer, so it cannot skew σ.
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert!((h.stddev().expect("nonempty") - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_iteration_is_sorted_by_name() {
+        // The exporters rely on deterministic iteration: counters and
+        // histograms come back in lexicographic name order regardless of
+        // insertion order.
+        let mut m = Metrics::new();
+        for name in ["zeta", "alpha", "mid/sub", "mid", "Alpha"] {
+            m.incr(name);
+            m.sample(name, 1.0);
+        }
+        let counter_names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(
+            counter_names,
+            vec!["Alpha", "alpha", "mid", "mid/sub", "zeta"]
+        );
+        let histogram_names: Vec<&str> = m.histograms().map(|(k, _)| k).collect();
+        assert_eq!(histogram_names, counter_names);
+    }
+
+    #[test]
     fn non_finite_samples_are_rejected() {
         let mut h = Histogram::new();
         h.record(f64::NAN);
@@ -342,7 +405,33 @@ mod tests {
             sorted[rank.min(sorted.len() - 1)]
         }
 
+        /// Naive from-scratch oracle for the standard deviation: recompute
+        /// the mean directly from the samples (ignoring the histogram's
+        /// cached running sum) and take the population variance.
+        fn oracle_stddev(samples: &[f64]) -> f64 {
+            let n = samples.len() as f64;
+            let mean = samples.iter().sum::<f64>() / n;
+            (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n).sqrt()
+        }
+
         proptest! {
+            #[test]
+            fn stddev_matches_naive_oracle(
+                samples in prop::collection::vec(-1e6..1e6f64, 1..200),
+            ) {
+                let mut h = Histogram::new();
+                for &s in &samples {
+                    h.record(s);
+                }
+                let got = h.stddev().expect("nonempty");
+                let want = oracle_stddev(&samples);
+                prop_assert!(
+                    (got - want).abs() <= 1e-9 * (1.0 + want),
+                    "stddev {got} != oracle {want}"
+                );
+                prop_assert!(got.is_finite() && got >= 0.0);
+            }
+
             #[test]
             fn quantile_matches_sort_oracle(
                 samples in prop::collection::vec(-1e9..1e9f64, 1..200),

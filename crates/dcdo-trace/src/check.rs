@@ -9,7 +9,9 @@
 //!    (In-flight messages sent *before* a partition may legally land after
 //!    it; only the send-time verdict is checked against topology.)
 //! 2. **Flow termination** — every `FlowStarted` meets a matching
-//!    `FlowCompleted` or `FlowAborted`; flows never leak.
+//!    `FlowCompleted` or `FlowAborted`; flows never leak. A flow whose
+//!    *owner's* node crashes dies with its actor and is not leaked
+//!    (mirroring the retry-chain rule below).
 //! 3. **Generation monotonicity** — `GenerationStamp`s are non-decreasing
 //!    per object.
 //! 4. **Retry-chain resolution** — every call with an `RpcAttempt`
@@ -151,8 +153,8 @@ impl Topology {
 pub fn check(log: &TraceLog) -> Vec<Violation> {
     let mut violations = Vec::new();
     let mut topo = Topology::default();
-    // flow id -> (object, open?)
-    let mut flows: HashMap<u64, (u64, bool)> = HashMap::new();
+    // flow id -> (object, open?, node the flow started on)
+    let mut flows: HashMap<u64, (u64, bool, u32)> = HashMap::new();
     let mut generations: HashMap<u64, u64> = HashMap::new();
     // call id -> (resolved?, caller node of the latest attempt)
     let mut calls: HashMap<u64, (bool, u32)> = HashMap::new();
@@ -167,6 +169,12 @@ pub fn check(log: &TraceLog) -> Vec<Violation> {
                 for (resolved, caller) in calls.values_mut() {
                     if *caller == *node {
                         *resolved = true;
+                    }
+                }
+                // Flows die with the actor that owned them.
+                for (_, open, owner) in flows.values_mut() {
+                    if *owner == *node {
+                        *open = false;
                     }
                 }
             }
@@ -198,14 +206,14 @@ pub fn check(log: &TraceLog) -> Vec<Violation> {
                 });
             }
             SpanKind::FlowStarted { flow, object, kind } => {
-                flows.insert(*flow, (*object, true));
+                flows.insert(*flow, (*object, true, e.node));
                 if *kind == FlowKind::Recover {
                     recovering.insert(*object, *flow);
                 }
             }
             SpanKind::FlowCompleted { flow } | SpanKind::FlowAborted { flow } => {
                 match flows.get_mut(flow) {
-                    Some((object, open)) if *open => {
+                    Some((object, open, _)) if *open => {
                         *open = false;
                         // An aborted recovery no longer gates serving: the
                         // object stays dead until a fresh recovery flow runs.
@@ -255,8 +263,8 @@ pub fn check(log: &TraceLog) -> Vec<Violation> {
 
     let mut leaked: Vec<(u64, u64)> = flows
         .iter()
-        .filter(|(_, (_, open))| *open)
-        .map(|(flow, (object, _))| (*flow, *object))
+        .filter(|(_, (_, open, _))| *open)
+        .map(|(flow, (object, _, _))| (*flow, *object))
         .collect();
     leaked.sort_unstable();
     for (flow, object) in leaked {
@@ -294,6 +302,7 @@ mod tests {
             src_node,
             dst_node,
             verdict,
+            bytes: 64,
         }
     }
 
@@ -444,6 +453,41 @@ mod tests {
             vec![Violation::LeakedFlow {
                 flow: 42,
                 object: 7
+            }]
+        );
+    }
+
+    #[test]
+    fn flow_dies_with_its_owners_node() {
+        // A flow whose owner node crashes is not leaked — its actor (and the
+        // flow state with it) died. A flow on a surviving node still leaks.
+        let mut l = log();
+        l.emit(
+            0,
+            3,
+            None,
+            SpanKind::FlowStarted {
+                flow: 42,
+                object: 7,
+                kind: FlowKind::Config,
+            },
+        );
+        l.emit(
+            1,
+            5,
+            None,
+            SpanKind::FlowStarted {
+                flow: 43,
+                object: 8,
+                kind: FlowKind::Update,
+            },
+        );
+        l.emit(2, NO_NODE, None, SpanKind::NodeCrashed { node: 3 });
+        assert_eq!(
+            check(&l),
+            vec![Violation::LeakedFlow {
+                flow: 43,
+                object: 8
             }]
         );
     }

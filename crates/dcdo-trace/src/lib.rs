@@ -36,5 +36,5 @@ mod log;
 mod span;
 
 pub use check::{check, Violation};
-pub use log::TraceLog;
+pub use log::{fn_hash, TraceLog};
 pub use span::{FlowKind, RpcOutcome, SendVerdict, SpanEvent, SpanId, SpanKind, NO_NODE};

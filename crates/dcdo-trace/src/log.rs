@@ -177,6 +177,22 @@ impl TraceLog {
     }
 }
 
+/// Build-independent FNV-1a hash of a function name.
+///
+/// This is how string-valued identities (function names) cross into the
+/// integer-only trace: [`SpanKind::VmCost`] carries `fn_hash(name)` and the
+/// emitting layer publishes a hash → name table out of band. The hash is
+/// plain FNV-1a over the UTF-8 bytes, so it is identical across builds,
+/// machines, and processes.
+pub fn fn_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// 64-bit FNV-1a over little-endian u64 words.
 struct Fnv1a(u64);
 
@@ -225,6 +241,7 @@ mod tests {
                 src_node: 0,
                 dst_node: 1,
                 verdict: crate::SendVerdict::Sent,
+                bytes: 64,
             },
         );
         log.emit(
@@ -275,6 +292,40 @@ mod tests {
         let log = sample_log();
         let window: Vec<u64> = log.between(20, 50).iter().map(|e| e.at_ns).collect();
         assert_eq!(window, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn between_boundary_inclusivity() {
+        // Events at exactly the window start are included; events at exactly
+        // the window end are excluded (half-open `[start, end)`).
+        let log = sample_log(); // events at 10, 20, 30, 40, 50
+        let exact: Vec<u64> = log.between(10, 10).iter().map(|e| e.at_ns).collect();
+        assert_eq!(exact, Vec::<u64>::new(), "empty window captures nothing");
+        let start_only: Vec<u64> = log.between(50, 51).iter().map(|e| e.at_ns).collect();
+        assert_eq!(start_only, vec![50], "start boundary is inclusive");
+        let end_only: Vec<u64> = log.between(0, 10).iter().map(|e| e.at_ns).collect();
+        assert_eq!(end_only, Vec::<u64>::new(), "end boundary is exclusive");
+        let all: Vec<u64> = log.between(10, 51).iter().map(|e| e.at_ns).collect();
+        assert_eq!(all, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn spans_for_flow_on_empty_log_is_empty() {
+        let empty = TraceLog::new();
+        assert!(empty.spans_for_flow(0).is_empty());
+        assert!(empty.spans_for_flow(7).is_empty());
+        let mut enabled_but_empty = TraceLog::new();
+        enabled_but_empty.enable();
+        assert!(enabled_but_empty.spans_for_flow(7).is_empty());
+    }
+
+    #[test]
+    fn fn_hash_is_stable_and_distinguishes_names() {
+        // Pin the FNV-1a constants: the hash must never drift, because the
+        // VmCost `function` field is compared across builds and runs.
+        assert_eq!(fn_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fn_hash("step"), fn_hash("step"));
+        assert_ne!(fn_hash("step"), fn_hash("get"));
     }
 
     #[test]

@@ -179,6 +179,8 @@ pub enum SpanKind {
         dst_node: u32,
         /// What the network decided to do with it.
         verdict: SendVerdict,
+        /// Wire size of the payload in bytes.
+        bytes: u64,
     },
     /// A message reached a live destination actor.
     MsgDelivered {
@@ -349,6 +351,28 @@ pub enum SpanKind {
         /// The call id served.
         call: u64,
     },
+    /// VM compute attributed to one function while serving a call.
+    ///
+    /// Emitted (at most once per function per thread) when a VM thread
+    /// finishes, enriching the thread's [`SpanKind::CallServed`] span so the
+    /// profiler can attribute compute to components. `function` is the
+    /// build-independent FNV-1a hash of the function's name (see
+    /// [`fn_hash`](crate::fn_hash)); the layers above publish a hash → name
+    /// table out of band.
+    VmCost {
+        /// The serving object.
+        object: u64,
+        /// The call id the thread was serving.
+        call: u64,
+        /// FNV-1a hash of the function name.
+        function: u64,
+        /// Times the function was entered.
+        calls: u64,
+        /// Instructions retired inside the function.
+        instructions: u64,
+        /// Simulated nanoseconds charged by `Work` instructions inside it.
+        work_nanos: u64,
+    },
 }
 
 impl SpanKind {
@@ -381,6 +405,7 @@ impl SpanKind {
             SpanKind::FlowAborted { .. } => 33,
             SpanKind::GenerationStamp { .. } => 34,
             SpanKind::CallServed { .. } => 35,
+            SpanKind::VmCost { .. } => 36,
         }
     }
 
@@ -413,6 +438,7 @@ impl SpanKind {
             SpanKind::FlowAborted { .. } => "flow_aborted",
             SpanKind::GenerationStamp { .. } => "generation_stamp",
             SpanKind::CallServed { .. } => "call_served",
+            SpanKind::VmCost { .. } => "vm_cost",
         }
     }
 
@@ -437,7 +463,8 @@ impl SpanKind {
             | SpanKind::BindingInvalidated { object }
             | SpanKind::FlowStarted { object, .. }
             | SpanKind::GenerationStamp { object, .. }
-            | SpanKind::CallServed { object, .. } => Some(*object),
+            | SpanKind::CallServed { object, .. }
+            | SpanKind::VmCost { object, .. } => Some(*object),
             _ => None,
         }
     }
@@ -448,7 +475,8 @@ impl SpanKind {
             SpanKind::RpcAttempt { call, .. }
             | SpanKind::RpcRetry { call, .. }
             | SpanKind::RpcCompleted { call, .. }
-            | SpanKind::CallServed { call, .. } => Some(*call),
+            | SpanKind::CallServed { call, .. }
+            | SpanKind::VmCost { call, .. } => Some(*call),
             _ => None,
         }
     }
@@ -466,12 +494,14 @@ impl SpanKind {
                 src_node,
                 dst_node,
                 verdict,
+                bytes,
             } => vec![
                 ("src", *src as u64),
                 ("dst", *dst as u64),
                 ("src_node", *src_node as u64),
                 ("dst_node", *dst_node as u64),
                 ("verdict", verdict.code()),
+                ("bytes", *bytes),
             ],
             SpanKind::MsgDelivered { src, dst, dst_node }
             | SpanKind::MsgDeadLetter { src, dst, dst_node } => vec![
@@ -537,6 +567,21 @@ impl SpanKind {
             SpanKind::CallServed { object, call } => {
                 vec![("object", *object), ("call", *call)]
             }
+            SpanKind::VmCost {
+                object,
+                call,
+                function,
+                calls,
+                instructions,
+                work_nanos,
+            } => vec![
+                ("object", *object),
+                ("call", *call),
+                ("function", *function),
+                ("calls", *calls),
+                ("instructions", *instructions),
+                ("work_nanos", *work_nanos),
+            ],
         }
     }
 }

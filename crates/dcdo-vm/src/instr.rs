@@ -123,6 +123,108 @@ pub enum Instr {
     GlobalSet(FunctionName),
 }
 
+/// Number of distinct opcodes ([`Instr`] variants) — the length of the
+/// per-opcode aggregate array kept by the profiling hook.
+pub const OPCODE_COUNT: usize = 39;
+
+/// Stable opcode names, indexed by [`Instr::opcode`].
+pub const OPCODE_NAMES: [&str; OPCODE_COUNT] = [
+    "push",
+    "pop",
+    "dup",
+    "swap",
+    "load_arg",
+    "load_local",
+    "store_local",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "rem",
+    "neg",
+    "not",
+    "and",
+    "or",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "jump",
+    "jump_if_false",
+    "jump_if_true",
+    "call_dyn",
+    "call_native",
+    "call_remote",
+    "ret",
+    "make_list",
+    "list_get",
+    "list_set",
+    "list_len",
+    "list_push",
+    "str_concat",
+    "str_len",
+    "work",
+    "global_get",
+    "global_set",
+];
+
+impl Instr {
+    /// A dense opcode index in declaration order, `0..OPCODE_COUNT`.
+    ///
+    /// Stable across builds (it follows the declaration order above), so the
+    /// profiler's per-opcode aggregates are comparable between runs.
+    pub const fn opcode(&self) -> usize {
+        match self {
+            Instr::Push(_) => 0,
+            Instr::Pop => 1,
+            Instr::Dup => 2,
+            Instr::Swap => 3,
+            Instr::LoadArg(_) => 4,
+            Instr::LoadLocal(_) => 5,
+            Instr::StoreLocal(_) => 6,
+            Instr::Add => 7,
+            Instr::Sub => 8,
+            Instr::Mul => 9,
+            Instr::Div => 10,
+            Instr::Rem => 11,
+            Instr::Neg => 12,
+            Instr::Not => 13,
+            Instr::And => 14,
+            Instr::Or => 15,
+            Instr::Eq => 16,
+            Instr::Ne => 17,
+            Instr::Lt => 18,
+            Instr::Le => 19,
+            Instr::Gt => 20,
+            Instr::Ge => 21,
+            Instr::Jump(_) => 22,
+            Instr::JumpIfFalse(_) => 23,
+            Instr::JumpIfTrue(_) => 24,
+            Instr::CallDyn { .. } => 25,
+            Instr::CallNative { .. } => 26,
+            Instr::CallRemote { .. } => 27,
+            Instr::Ret => 28,
+            Instr::MakeList(_) => 29,
+            Instr::ListGet => 30,
+            Instr::ListSet => 31,
+            Instr::ListLen => 32,
+            Instr::ListPush => 33,
+            Instr::StrConcat => 34,
+            Instr::StrLen => 35,
+            Instr::Work(_) => 36,
+            Instr::GlobalGet(_) => 37,
+            Instr::GlobalSet(_) => 38,
+        }
+    }
+
+    /// The stable short name of this instruction's opcode.
+    pub const fn opcode_name(&self) -> &'static str {
+        OPCODE_NAMES[self.opcode()]
+    }
+}
+
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -24,6 +24,7 @@ use dcdo_types::{ComponentId, FunctionName, ObjectId, TypeTag};
 use crate::error::VmError;
 use crate::instr::{CodeBlock, Instr};
 use crate::native::NativeRegistry;
+use crate::profile::{ThreadProfile, VmProfile};
 use crate::resolver::{CallOrigin, CallResolver, CallToken, ResolveError, ResolvedCall};
 use crate::store::ValueStore;
 use crate::value::Value;
@@ -108,6 +109,9 @@ pub struct VmThread {
     /// any configuration change bumps the resolver's generation, so stale
     /// entries fail redemption and fall back to full by-name resolution.
     call_cache: HashMap<usize, CallToken>,
+    /// Opt-in cost attribution; `None` (the default) costs one predicted
+    /// branch per retired instruction.
+    profile: Option<Box<ThreadProfile>>,
 }
 
 impl VmThread {
@@ -135,6 +139,7 @@ impl VmThread {
             consumed_nanos: resolver.dispatch_cost_nanos(),
             pending_resume: None,
             call_cache: HashMap::new(),
+            profile: None,
         };
         resolver.enter(function, resolved.component);
         thread.frames.push(Frame::new(resolved, args));
@@ -169,6 +174,34 @@ impl VmThread {
     /// (from `Work` instructions and dispatch costs).
     pub fn take_consumed_nanos(&mut self) -> u64 {
         std::mem::take(&mut self.consumed_nanos)
+    }
+
+    /// Turns on cost attribution for this thread: per-function call /
+    /// instruction / `Work`-nanosecond counters plus a per-opcode aggregate.
+    ///
+    /// Frames already on the stack (typically just the root, when called
+    /// right after [`VmThread::call`]) are counted as entered. Idempotent —
+    /// enabling twice keeps the existing counters.
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_some() {
+            return;
+        }
+        let mut profile = Box::<ThreadProfile>::default();
+        for frame in &self.frames {
+            profile.enter(frame.function());
+        }
+        self.profile = Some(profile);
+    }
+
+    /// Returns `true` if cost attribution is on.
+    pub fn is_profiling(&self) -> bool {
+        self.profile.is_some()
+    }
+
+    /// Detaches the accumulated cost report, or `None` if profiling was
+    /// never enabled. The thread keeps running unprofiled afterwards.
+    pub fn take_profile(&mut self) -> Option<VmProfile> {
+        self.profile.take().map(|p| p.snapshot())
     }
 
     /// Delivers the reply for the outcall this thread is suspended on.
@@ -215,6 +248,9 @@ impl VmThread {
     fn unwind(&mut self, resolver: &mut dyn CallResolver) {
         while let Some(frame) = self.frames.pop() {
             resolver.exit(frame.function(), frame.component);
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.exit();
+            }
         }
     }
 
@@ -292,6 +328,14 @@ impl VmThread {
         // Borrow the instruction from the (cheaply cloned) shared code block
         // rather than deep-cloning it every step.
         let instr = &code.instrs()[pc];
+        if let Some(p) = self.profile.as_deref_mut() {
+            let work = if let Instr::Work(nanos) = instr {
+                *nanos
+            } else {
+                0
+            };
+            p.instruction(instr.opcode(), work);
+        }
         let frame = self.frames.last_mut().expect("frame exists");
         match instr {
             Instr::Push(v) => frame.stack.push(v.clone()),
@@ -423,6 +467,9 @@ impl VmThread {
                 check_args(&resolved, function, &args)?;
                 self.consumed_nanos += resolver.dispatch_cost_nanos();
                 resolver.enter(function, resolved.component);
+                if let Some(p) = self.profile.as_deref_mut() {
+                    p.enter(function);
+                }
                 self.frames.push(Frame::new(resolved, args));
             }
             Instr::CallNative { function, argc } => {
@@ -517,6 +564,9 @@ impl VmThread {
     ) -> Result<StepOutcome, VmError> {
         let frame = self.frames.pop().expect("returning thread has a frame");
         resolver.exit(frame.function(), frame.component);
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.exit();
+        }
         let expected = frame.code.signature().ret();
         if !expected.accepts(value.type_tag()) {
             return Err(VmError::ReturnType {

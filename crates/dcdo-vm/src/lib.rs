@@ -36,6 +36,7 @@ mod error;
 mod instr;
 mod interp;
 mod native;
+mod profile;
 mod resolver;
 mod store;
 mod value;
@@ -48,9 +49,10 @@ pub use component::{
     FunctionMeta,
 };
 pub use error::VmError;
-pub use instr::{CodeBlock, CodeValidationError, Instr};
+pub use instr::{CodeBlock, CodeValidationError, Instr, OPCODE_COUNT, OPCODE_NAMES};
 pub use interp::{OutcallRequest, RunOutcome, ThreadStatus, VmThread, MAX_CALL_DEPTH};
 pub use native::{NativeFn, NativeRegistry};
+pub use profile::{FnProfile, FnStats, VmProfile};
 pub use resolver::{
     next_generation, CallOrigin, CallResolver, CallToken, ResolveError, ResolvedCall,
     StaticResolver,

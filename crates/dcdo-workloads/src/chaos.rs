@@ -21,19 +21,13 @@
 //! [`dcdo_chaos::trace_hash`]), which the chaos suite asserts.
 
 use dcdo_chaos::{trace_hash, ChaosController, FaultPlan};
-use dcdo_core::ops::{
-    CheckpointDcdo, ConfigureVersion, CreateDcdo, DcdoCreated, DeriveVersion, DerivedVersion,
-    MarkInstantiable, NodeFailed, NodeRecovered, SetCurrentVersion, UpdateInstance,
-    VersionConfigOp,
-};
-use dcdo_core::{DcdoManager, HostDirectory, Ico, UpdatePropagation, VersionPolicy};
+use dcdo_profile::{FnNames, LayerMap, ProfileReport};
 use dcdo_sim::{Actor, ActorId, Ctx, NetConfig, SimDuration, SimTime, Simulation};
-use dcdo_types::{CallId, ClassId, ObjectId, VersionId};
-use dcdo_vm::{ComponentBuilder, Value};
-use legion_substrate::harness::Testbed;
-use legion_substrate::{ControlOp, Msg};
+use dcdo_types::{CallId, ObjectId};
+use dcdo_vm::Value;
+use legion_substrate::Msg;
 
-use crate::service;
+use crate::reconfig::{reconfig_run, ReconfigRun};
 
 /// Outcome of one chaos scenario run.
 #[derive(Debug, Clone)]
@@ -81,233 +75,6 @@ fn span_results(sim: &Simulation<Msg>) -> (u64, u64) {
 // ---------------------------------------------------------------------------
 // crash-during-reconfig
 
-/// A fat replacement `step` component: its static data makes the transfer
-/// take seconds, leaving a wide window to crash the host mid-evolution.
-fn padded_step() -> dcdo_vm::ComponentBinary {
-    ComponentBuilder::new(service::ids::STEP_TEN, "step-by-ten-padded")
-        .internal("step() -> int", |b| b.push_int(10).ret())
-        .expect("step")
-        .static_data_size(1_000_000)
-        .build()
-        .expect("valid component")
-}
-
-struct ReconfigRun {
-    bed: Testbed,
-    window_messages: u64,
-    recovery_time_s: f64,
-}
-
-/// Drives the counter service through an evolution to the padded step
-/// component, optionally crashing the instance's host one second into the
-/// flow. Returns the testbed (for trace/metric extraction) plus the
-/// message count of the reconfiguration window and the measured recovery
-/// time.
-fn reconfig_run(seed: u64, inject_fault: bool) -> ReconfigRun {
-    let mut bed = Testbed::centurion(seed);
-    bed.sim.trace_mut().enable(1 << 18);
-    bed.sim.spans_mut().enable();
-    let hosts = HostDirectory::from_testbed(&bed);
-    let manager_obj = bed.fresh_object_id();
-    let manager = DcdoManager::new(
-        manager_obj,
-        ClassId::from_raw(1),
-        bed.cost.clone(),
-        bed.agent,
-        hosts,
-        VersionPolicy::SingleVersion,
-        UpdatePropagation::Explicit,
-    )
-    .with_vault(bed.vault_object);
-    let manager_actor = bed.sim.spawn(bed.nodes[0], manager);
-    bed.register(manager_obj, manager_actor);
-    let (_, client) = bed.spawn_client(bed.nodes[15]);
-
-    let publish = |bed: &mut Testbed, binary: &dcdo_vm::ComponentBinary, node: usize| {
-        let ico_obj = bed.fresh_object_id();
-        let node = bed.nodes[node];
-        let cost = bed.cost.clone();
-        let actor = bed.sim.spawn(node, Ico::new(ico_obj, binary, cost));
-        bed.register(ico_obj, actor);
-        ico_obj
-    };
-    let derive = |bed: &mut Testbed, from: &str| -> VersionId {
-        bed.control_and_wait(
-            client,
-            manager_obj,
-            ControlOp::new(DeriveVersion {
-                from: from.parse().expect("version"),
-            }),
-        )
-        .result
-        .expect("derive succeeds")
-        .control_as::<DerivedVersion>()
-        .expect("derived-version reply")
-        .version
-        .clone()
-    };
-
-    // Version 1.1: the counter core, live in one instance on node 4.
-    let core_ico = publish(&mut bed, &service::counter_core(), 1);
-    let v1 = derive(&mut bed, "1");
-    bed.control_and_wait(
-        client,
-        manager_obj,
-        ControlOp::new(ConfigureVersion {
-            version: v1.clone(),
-            op: VersionConfigOp::IncorporateComponent { ico: core_ico },
-        }),
-    )
-    .result
-    .expect("incorporate");
-    for f in ["step", "get", "incr"] {
-        bed.control_and_wait(
-            client,
-            manager_obj,
-            ControlOp::new(ConfigureVersion {
-                version: v1.clone(),
-                op: VersionConfigOp::EnableFunction {
-                    function: f.into(),
-                    component: service::ids::COUNTER_CORE,
-                },
-            }),
-        )
-        .result
-        .expect("enable");
-    }
-    for op in [
-        ControlOp::new(MarkInstantiable {
-            version: v1.clone(),
-        }),
-        ControlOp::new(SetCurrentVersion {
-            version: v1.clone(),
-        }),
-    ] {
-        bed.control_and_wait(client, manager_obj, op)
-            .result
-            .expect("version workflow");
-    }
-    let node = bed.nodes[4];
-    let dcdo = bed
-        .control_and_wait(client, manager_obj, ControlOp::new(CreateDcdo { node }))
-        .result
-        .expect("create")
-        .control_as::<DcdoCreated>()
-        .expect("dcdo-created")
-        .object;
-    for _ in 0..2 {
-        bed.call_and_wait(client, dcdo, "incr", vec![])
-            .result
-            .expect("incr");
-    }
-    // Snapshot (count = 2): what recovery will rebuild from.
-    bed.control_and_wait(
-        client,
-        manager_obj,
-        ControlOp::new(CheckpointDcdo { object: dcdo }),
-    )
-    .result
-    .expect("checkpoint");
-
-    // Version 1.1.1: the padded step.
-    let step_ico = publish(&mut bed, &padded_step(), 2);
-    let v2 = derive(&mut bed, &v1.to_string());
-    bed.control_and_wait(
-        client,
-        manager_obj,
-        ControlOp::new(ConfigureVersion {
-            version: v2.clone(),
-            op: VersionConfigOp::IncorporateComponent { ico: step_ico },
-        }),
-    )
-    .result
-    .expect("incorporate step");
-    bed.control_and_wait(
-        client,
-        manager_obj,
-        ControlOp::new(ConfigureVersion {
-            version: v2.clone(),
-            op: VersionConfigOp::EnableFunction {
-                function: "step".into(),
-                component: service::ids::STEP_TEN,
-            },
-        }),
-    )
-    .result
-    .expect("enable step");
-    for op in [
-        ControlOp::new(MarkInstantiable {
-            version: v2.clone(),
-        }),
-        ControlOp::new(SetCurrentVersion {
-            version: v2.clone(),
-        }),
-    ] {
-        bed.control_and_wait(client, manager_obj, op)
-            .result
-            .expect("version workflow");
-    }
-
-    // The measured window: update kickoff to verified post-update service.
-    let window_start_messages = bed.sim.network().stats().messages_sent;
-    let update = bed.client_control(
-        client,
-        manager_obj,
-        ControlOp::new(UpdateInstance {
-            object: dcdo,
-            to: None,
-        }),
-    );
-    let mut recovery_time_s = 0.0;
-    if inject_fault {
-        bed.run_for(SimDuration::from_secs(1));
-        bed.sim.crash_node(node);
-        let crashed_at = bed.sim.now();
-        bed.control_and_wait(client, manager_obj, ControlOp::new(NodeFailed { node }))
-            .result
-            .expect("failure report");
-        bed.wait_for(client, update)
-            .result
-            .expect_err("interrupted update is refused");
-        bed.sim.restart_node(node);
-        bed.revive_host(node);
-        bed.control_and_wait(client, manager_obj, ControlOp::new(NodeRecovered { node }))
-            .result
-            .expect("recovery starts");
-        while bed.sim.metrics().counter("manager.recoveries") == 0 {
-            assert!(bed.sim.step(), "drained before recovery completed");
-        }
-        recovery_time_s = bed.sim.now().duration_since(crashed_at).as_secs_f64();
-        bed.control_and_wait(
-            client,
-            manager_obj,
-            ControlOp::new(UpdateInstance {
-                object: dcdo,
-                to: None,
-            }),
-        )
-        .result
-        .expect("re-issued update lands");
-    } else {
-        bed.wait_for(client, update).result.expect("update lands");
-    }
-    // Restored snapshot (count = 2) plus the new +10 step: both the
-    // healthy and the faulted path must serve 12.
-    let after = bed
-        .call_and_wait(client, dcdo, "incr", vec![])
-        .result
-        .expect("post-update call")
-        .into_value()
-        .expect("value reply");
-    assert_eq!(after, Value::Int(12), "service verified after the episode");
-    let window_messages = bed.sim.network().stats().messages_sent - window_start_messages;
-    ReconfigRun {
-        bed,
-        window_messages,
-        recovery_time_s,
-    }
-}
-
 /// Crash-during-reconfiguration: the instance's host dies one simulated
 /// second into an evolution; the manager aborts the flow, the host returns,
 /// the instance is rebuilt from its vault snapshot, and the re-issued
@@ -319,12 +86,16 @@ fn reconfig_run(seed: u64, inject_fault: bool) -> ReconfigRun {
 /// baseline run of the same window (crash, failover, and rebuild all cost
 /// messages, so this exceeds 1).
 pub fn crash_during_reconfig(seed: u64) -> ChaosReport {
+    crash_during_reconfig_inner(seed).0
+}
+
+fn crash_during_reconfig_inner(seed: u64) -> (ChaosReport, ReconfigRun) {
     let baseline = reconfig_run(seed, false);
     let mut faulted = reconfig_run(seed, true);
     faulted.bed.sim.run_until_idle();
     let sim = &faulted.bed.sim;
     let (trace_violations, span_digest) = span_results(sim);
-    ChaosReport {
+    let report = ChaosReport {
         name: "crash_during_reconfig",
         seed,
         trace_hash: trace_hash(sim.trace()),
@@ -337,7 +108,8 @@ pub fn crash_during_reconfig(seed: u64) -> ChaosReport {
         leaked_events: sim.pending_events() as u64,
         span_digest,
         trace_violations,
-    }
+    };
+    (report, faulted)
 }
 
 // ---------------------------------------------------------------------------
@@ -448,6 +220,10 @@ fn delivery_amplification(sim: &Simulation<Msg>) -> f64 {
 /// messages over delivered messages — the partitions eat the difference
 /// (counted in `unreachable_drops`).
 pub fn rolling_partition(seed: u64) -> ChaosReport {
+    rolling_partition_inner(seed).0
+}
+
+fn rolling_partition_inner(seed: u64) -> (ChaosReport, Simulation<Msg>) {
     const NODES: u32 = 8;
     let horizon = SimDuration::from_secs(12);
     let final_heal = SimDuration::from_secs(9);
@@ -486,7 +262,7 @@ pub fn rolling_partition(seed: u64) -> ChaosReport {
         recovery_time_s = recovery_time_s.max(resumed.duration_since(healed_at).as_secs_f64());
     }
     let (trace_violations, span_digest) = span_results(&sim);
-    ChaosReport {
+    let report = ChaosReport {
         name: "rolling_partition",
         seed,
         trace_hash: trace_hash(sim.trace()),
@@ -498,7 +274,8 @@ pub fn rolling_partition(seed: u64) -> ChaosReport {
         leaked_events: sim.pending_events() as u64,
         span_digest,
         trace_violations,
-    }
+    };
+    (report, sim)
 }
 
 /// Restart storm: three rounds of staggered crash/restart cycles sweep
@@ -511,6 +288,10 @@ pub fn rolling_partition(seed: u64) -> ChaosReport {
 /// subsequent pings to them dead-letter — so the ring thins as the storm
 /// progresses, exactly like un-revived processes on a rebooted host.
 pub fn restart_storm(seed: u64) -> ChaosReport {
+    restart_storm_inner(seed).0
+}
+
+fn restart_storm_inner(seed: u64) -> (ChaosReport, Simulation<Msg>) {
     const NODES: u32 = 8;
     let down_for = SimDuration::from_millis(500);
     let horizon = SimDuration::from_secs(10);
@@ -532,7 +313,7 @@ pub fn restart_storm(seed: u64) -> ChaosReport {
     sim.run_until_idle();
 
     let (trace_violations, span_digest) = span_results(&sim);
-    ChaosReport {
+    let report = ChaosReport {
         name: "restart_storm",
         seed,
         trace_hash: trace_hash(sim.trace()),
@@ -544,7 +325,8 @@ pub fn restart_storm(seed: u64) -> ChaosReport {
         leaked_events: sim.pending_events() as u64,
         span_digest,
         trace_violations,
-    }
+    };
+    (report, sim)
 }
 
 /// Runs every chaos scenario at `seed`, in a stable order.
@@ -554,6 +336,33 @@ pub fn all_scenarios(seed: u64) -> Vec<ChaosReport> {
         rolling_partition(seed),
         restart_storm(seed),
     ]
+}
+
+/// Runs the named scenario and profiles its span log; `None` for an
+/// unknown name. `crash_during_reconfig` profiles with the reconfiguration
+/// workload's real layer map and name table; the ring scenarios have no
+/// manager or vault, so their profile carries an empty map (everything
+/// attributes to `other`/`network`) and surfaces traffic and RPC shape
+/// rather than flow tables.
+pub fn profiled_scenario(name: &str, seed: u64) -> Option<(ChaosReport, ProfileReport)> {
+    match name {
+        "crash_during_reconfig" => {
+            let (report, run) = crash_during_reconfig_inner(seed);
+            let profile = run.profile();
+            Some((report, profile))
+        }
+        "rolling_partition" => {
+            let (report, sim) = rolling_partition_inner(seed);
+            let profile = ProfileReport::analyze(sim.spans(), &LayerMap::new(), &FnNames::new());
+            Some((report, profile))
+        }
+        "restart_storm" => {
+            let (report, sim) = restart_storm_inner(seed);
+            let profile = ProfileReport::analyze(sim.spans(), &LayerMap::new(), &FnNames::new());
+            Some((report, profile))
+        }
+        _ => None,
+    }
 }
 
 #[cfg(test)]

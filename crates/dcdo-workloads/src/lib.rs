@@ -12,7 +12,9 @@
 //!   `sim_throughput` bench suite and the `BENCH_sim.json` emitter;
 //! - [`chaos`] — deterministic fault-injection scenarios (crash during
 //!   reconfiguration, rolling partitions, restart storms) with recovery
-//!   metrics behind the `BENCH_chaos.json` emitter.
+//!   metrics behind the `BENCH_chaos.json` emitter;
+//! - [`reconfig`] — the canonical reconfiguration workload with the layer
+//!   map and name tables the `dcdo-profile` analyzers consume.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +22,7 @@
 pub mod chaos;
 mod clients;
 mod components;
+pub mod reconfig;
 pub mod service;
 pub mod simbench;
 

@@ -454,6 +454,87 @@ pub fn transfer_component_size() -> u64 {
     transfer_component().size_bytes()
 }
 
+// ---------------------------------------------------------------------------
+// vm-spin (VM profiling-overhead probe)
+
+/// The spin component's id (outside the canonical service range).
+const VM_SPIN_ID: dcdo_types::ComponentId = dcdo_types::ComponentId::from_raw(9_900);
+
+/// Builds the spin component: exported `spin(n)` runs a counted loop that
+/// crosses a function boundary every iteration (`bump`, an internal
+/// increment), so both the per-instruction and the per-call profiling hooks
+/// sit on the hot path.
+pub fn vm_spin_component() -> ComponentBinary {
+    dcdo_vm::ComponentBuilder::new(VM_SPIN_ID, "vm-spin")
+        .exported("spin(int) -> int", |b| {
+            let top = b.new_label();
+            let end = b.new_label();
+            b.locals(2)
+                // l0 = acc = 0; l1 = n
+                .push_int(0)
+                .store_local(0)
+                .load_arg(0)
+                .store_local(1)
+                .bind(top)
+                .load_local(1)
+                .push_int(0)
+                .gt()
+                .jump_if_false(end)
+                .load_local(0)
+                .call_dyn("bump", 1)
+                .store_local(0)
+                .load_local(1)
+                .push_int(1)
+                .sub()
+                .store_local(1)
+                .jump(top)
+                .bind(end)
+                .load_local(0)
+                .ret()
+        })
+        .expect("spin")
+        .internal("bump(int) -> int", |b| {
+            b.load_arg(0).push_int(1).add().ret()
+        })
+        .expect("bump")
+        .build()
+        .expect("valid component")
+}
+
+/// Runs `spin(iters)` to completion on a frozen resolver, with the VM's
+/// per-thread cost profile enabled or not — the probe behind the
+/// "profiling is free when disabled" claim (`sim_bench` times both and
+/// reports the overhead fraction). Returns the spin result (== `iters`).
+pub fn vm_spin(iters: i64, profiled: bool) -> u64 {
+    use dcdo_vm::{CallOrigin, NativeRegistry, RunOutcome, StaticResolver, ValueStore, VmThread};
+    let component = vm_spin_component();
+    let mut resolver = StaticResolver::new();
+    for f in component.functions() {
+        resolver.insert(f.code().clone(), component.id());
+    }
+    let mut globals = ValueStore::new();
+    let mut thread = VmThread::call(
+        &mut resolver,
+        &"spin".into(),
+        vec![Value::Int(iters)],
+        CallOrigin::External,
+    )
+    .expect("spin starts");
+    if profiled {
+        thread.enable_profiling();
+    }
+    let fuel = (iters as u64) * 24 + 64;
+    match thread.run(
+        &mut resolver,
+        &NativeRegistry::standard(),
+        &mut globals,
+        fuel,
+    ) {
+        RunOutcome::Completed(Value::Int(v)) => v as u64,
+        other => panic!("spin must complete: {other:?}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +562,12 @@ mod tests {
     #[test]
     fn transfer_heavy_processes_expected_events() {
         assert_eq!(transfer_heavy(2, 3), 1 + 2 * 3 * 2);
+    }
+
+    #[test]
+    fn vm_spin_spins_profiled_or_not() {
+        assert_eq!(vm_spin(1_000, false), 1_000);
+        assert_eq!(vm_spin(1_000, true), 1_000);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! End-to-end profiler tests over the canonical reconfiguration workload:
+//! the acceptance criteria for `dcdo-profile` run against a real trace, not
+//! synthetic span logs.
+
+use dcdo_profile::vm_costs_between;
+use dcdo_trace::{fn_hash, FlowKind, SpanKind};
+use dcdo_workloads::reconfig::reconfig_run;
+
+/// Every critical path's per-layer attribution must sum exactly to the
+/// flow's end-to-end latency — the segments partition the flow's lifetime,
+/// so nothing is double-counted and nothing is dropped.
+#[test]
+fn critical_path_layers_sum_to_end_to_end_latency() {
+    let run = reconfig_run(11, false);
+    let report = run.profile();
+    assert!(
+        !report.paths.is_empty(),
+        "a real reconfiguration run yields critical paths"
+    );
+    let mut kinds_seen = Vec::new();
+    for path in &report.paths {
+        let by_layer: u64 = path.by_layer.iter().map(|(_, ns)| ns).sum();
+        assert_eq!(
+            by_layer,
+            path.total_ns(),
+            "flow {} ({}): layer components must sum to end-to-end latency",
+            path.flow,
+            path.kind.name()
+        );
+        if !kinds_seen.contains(&path.kind) {
+            kinds_seen.push(path.kind);
+        }
+    }
+    // The workflow drives creation, checkpointing, and an update, and the
+    // instance runs its own object-local Config flows.
+    for kind in [FlowKind::Create, FlowKind::Update, FlowKind::Config] {
+        assert!(kinds_seen.contains(&kind), "saw a {} flow", kind.name());
+    }
+    // The cost table keys the same kinds.
+    assert!(report.cost_table.iter().any(|r| r.kind == FlowKind::Update));
+    let update = report
+        .cost_table
+        .iter()
+        .find(|r| r.kind == FlowKind::Update)
+        .expect("update row");
+    assert!(update.messages > 0, "updates move messages");
+    assert!(update.bytes > 0, "the padded component moves bytes");
+}
+
+/// Per-function VM costs are attributable to the windows before and after
+/// the reconfiguration: splitting the log at the instance's final
+/// generation stamp shows `step`/`incr` served in both epochs.
+#[test]
+fn vm_cost_deltas_are_visible_across_the_reconfiguration() {
+    let mut run = reconfig_run(12, false);
+    // Drive two more post-update calls so the post window has its own
+    // clearly-attributed samples.
+    for _ in 0..2 {
+        run.bed
+            .call_and_wait(run.client, run.dcdo, "incr", vec![])
+            .result
+            .expect("post-update incr");
+    }
+    let stamp_ns = run
+        .bed
+        .sim
+        .spans()
+        .events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            SpanKind::GenerationStamp { object, .. } if *object == run.dcdo.as_raw() => {
+                Some(e.at_ns)
+            }
+            _ => None,
+        })
+        .max()
+        .expect("the update stamps a generation");
+
+    let names = run.fn_names();
+    let log = run.bed.sim.spans();
+    let pre = vm_costs_between(log, &names, 0, stamp_ns);
+    let post = vm_costs_between(log, &names, stamp_ns, u64::MAX);
+    let find = |costs: &[dcdo_profile::VmFnCost], name: &str| {
+        costs
+            .iter()
+            .find(|c| c.function == fn_hash(name))
+            .cloned()
+            .unwrap_or_else(|| panic!("{name} served in window"))
+    };
+
+    // Pre-update: the two seed `incr` calls, each stepping by one.
+    let pre_step = find(&pre, "step");
+    let pre_incr = find(&pre, "incr");
+    assert_eq!(pre_incr.calls, 2);
+    assert_eq!(pre_step.calls, 2);
+    // Post-update: the verification call plus the two driven above, now
+    // running the swapped step component.
+    let post_step = find(&post, "step");
+    let post_incr = find(&post, "incr");
+    assert_eq!(post_incr.calls, 3);
+    assert_eq!(post_step.calls, 3);
+    // Costs are real and named in both epochs.
+    for c in [&pre_step, &pre_incr, &post_step, &post_incr] {
+        assert!(c.instructions > 0, "{:?} retired instructions", c.name);
+        assert!(c.name.is_some(), "hash resolved through the name table");
+    }
+    // The delta itself: the post window's step served more calls and
+    // retired more instructions than each pre-update call did on average.
+    assert_ne!(
+        pre_step.calls, post_step.calls,
+        "the split exposes a per-function delta"
+    );
+}
+
+/// The rendered profile of a run is a pure function of the seed: two runs
+/// with the same seed render byte-identical JSON and Prometheus output.
+#[test]
+fn profile_report_is_seed_deterministic() {
+    let render = |seed: u64| {
+        let run = reconfig_run(seed, false);
+        let report = run.profile();
+        (report.to_json(), report.to_prometheus())
+    };
+    let (json_a, prom_a) = render(21);
+    let (json_b, prom_b) = render(21);
+    assert_eq!(json_a, json_b, "same seed renders byte-identical JSON");
+    assert_eq!(
+        prom_a, prom_b,
+        "same seed renders byte-identical Prometheus"
+    );
+    assert!(json_a.contains("\"cost_table\""));
+    assert!(prom_a.contains("dcdo_profile_flow_latency_ns"));
+}
+
+/// The faulted variant (host crash mid-evolution) still profiles cleanly:
+/// aborted flows appear in the table and every path still balances.
+#[test]
+fn faulted_run_profiles_cleanly() {
+    let run = reconfig_run(5, true);
+    let report = run.profile();
+    assert!(
+        report.flows_aborted() > 0,
+        "the crash aborts at least one flow"
+    );
+    assert!(report.flows_completed() > 0, "recovery completes flows");
+    for path in &report.paths {
+        let by_layer: u64 = path.by_layer.iter().map(|(_, ns)| ns).sum();
+        assert_eq!(by_layer, path.total_ns());
+    }
+}

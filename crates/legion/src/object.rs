@@ -13,11 +13,11 @@
 
 use std::collections::HashMap;
 
-use dcdo_sim::{ActorId, Ctx, SimDuration};
+use dcdo_sim::{fn_hash, ActorId, Ctx, SimDuration, SpanKind};
 use dcdo_types::{CallId, ComponentId, FunctionName, ObjectId};
 use dcdo_vm::{
     CallOrigin, CallResolver, NativeRegistry, OutcallRequest, RunOutcome, Value, ValueStore,
-    VmError, VmThread,
+    VmError, VmProfile, VmThread,
 };
 
 use crate::msg::{InvocationFault, Msg};
@@ -56,6 +56,7 @@ pub struct ObjectRuntime {
     deferred: HashMap<u64, Deferred>,
     outcalls: HashMap<u64, u64>,
     invocations_served: u64,
+    vm_profile: VmProfile,
 }
 
 impl ObjectRuntime {
@@ -68,6 +69,7 @@ impl ObjectRuntime {
             deferred: HashMap::new(),
             outcalls: HashMap::new(),
             invocations_served: 0,
+            vm_profile: VmProfile::new(),
         }
     }
 
@@ -138,7 +140,13 @@ impl ObjectRuntime {
     ) {
         self.invocations_served += 1;
         match VmThread::call(resolver, &function, args, CallOrigin::External) {
-            Ok(thread) => {
+            Ok(mut thread) => {
+                // Cost attribution piggybacks on tracing: when spans are
+                // recording, each thread counts per-function costs and the
+                // totals surface as `VmCost` spans at thread completion.
+                if ctx.tracing_enabled() {
+                    thread.enable_profiling();
+                }
                 let token = ctx.fresh_u64();
                 self.threads.insert(
                     token,
@@ -179,7 +187,8 @@ impl ObjectRuntime {
         let consumed = SimDuration::from_nanos(entry.thread.take_consumed_nanos());
         match outcome {
             RunOutcome::Completed(value) => {
-                let entry = self.threads.remove(&token).expect("thread exists");
+                let mut entry = self.threads.remove(&token).expect("thread exists");
+                self.finish_profile(ctx, &mut entry);
                 self.defer(
                     ctx,
                     consumed,
@@ -191,7 +200,8 @@ impl ObjectRuntime {
                 );
             }
             RunOutcome::Faulted(err) => {
-                let entry = self.threads.remove(&token).expect("thread exists");
+                let mut entry = self.threads.remove(&token).expect("thread exists");
+                self.finish_profile(ctx, &mut entry);
                 ctx.metrics().incr("object.threads_faulted");
                 self.defer(
                     ctx,
@@ -208,6 +218,32 @@ impl ObjectRuntime {
                 self.defer(ctx, consumed, Deferred::IssueOutcall { token, request });
             }
         }
+    }
+
+    /// Harvests a finished thread's cost profile: emits one `VmCost` span
+    /// per function touched (enriching the thread's `CallServed` span) and
+    /// folds the counters into the runtime-lifetime aggregate.
+    fn finish_profile(&mut self, ctx: &mut Ctx<'_, Msg>, entry: &mut ThreadEntry) {
+        let Some(profile) = entry.thread.take_profile() else {
+            return;
+        };
+        for f in &profile.functions {
+            ctx.emit_span(SpanKind::VmCost {
+                object: self.object.as_raw(),
+                call: entry.call.as_raw(),
+                function: fn_hash(f.name.as_str()),
+                calls: f.stats.calls,
+                instructions: f.stats.instructions,
+                work_nanos: f.stats.work_nanos,
+            });
+        }
+        self.vm_profile.merge(&profile);
+    }
+
+    /// The merged VM cost profile of every profiled thread that finished in
+    /// this runtime (empty unless tracing was on).
+    pub fn vm_profile(&self) -> &VmProfile {
+        &self.vm_profile
     }
 
     fn defer(&mut self, ctx: &mut Ctx<'_, Msg>, after: SimDuration, action: Deferred) {

@@ -13,6 +13,9 @@
 //! - [`chaos`] — deterministic fault injection (crashes, partitions, link
 //!   faults) and the FaultPlan DSL driving the recovery paths.
 //! - [`evolution`] — evolution management strategies (§3.3–3.5).
+//! - [`profile`] — the trace-driven profiler: flow latency breakdowns,
+//!   critical paths, reconfiguration cost tables, VM cost attribution, and
+//!   deterministic metric exporters.
 //! - [`workloads`] — workload generators used by the benchmark harness.
 //!
 //! # Quickstart
@@ -26,6 +29,7 @@
 pub use dcdo_chaos as chaos;
 pub use dcdo_core as core;
 pub use dcdo_evolution as evolution;
+pub use dcdo_profile as profile;
 pub use dcdo_sim as sim;
 pub use dcdo_types as types;
 pub use dcdo_vm as vm;
