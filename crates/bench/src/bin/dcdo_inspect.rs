@@ -7,11 +7,14 @@
 //!
 //! Usage:
 //!   cargo run --release -p dcdo-bench --bin dcdo-inspect -- \
-//!       <workload> [seed] [--out PREFIX]
+//!       <workload> [seed] [--out PREFIX] [--threads N]
 //!
 //! Workloads: reconfig, reconfig_faulted, crash_during_reconfig,
 //! rolling_partition, restart_storm. Seed defaults to 42; output defaults
-//! to BENCH_profile.json / BENCH_profile.prom.
+//! to BENCH_profile.json / BENCH_profile.prom. `--threads N` runs the
+//! simulation on the sharded parallel engine with N workers — the report
+//! (and the exported JSON) is byte-identical at any thread count, which
+//! makes the flag a handy determinism spot-check on real workloads.
 
 use dcdo_profile::{CriticalPath, ProfileReport};
 use dcdo_workloads::{chaos, reconfig};
@@ -25,7 +28,7 @@ const WORKLOADS: &[&str] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: dcdo-inspect <workload> [seed] [--out PREFIX]");
+    eprintln!("usage: dcdo-inspect <workload> [seed] [--out PREFIX] [--threads N]");
     eprintln!("workloads: {}", WORKLOADS.join(", "));
     std::process::exit(2);
 }
@@ -162,12 +165,24 @@ fn main() {
     let mut workload = None;
     let mut seed = 42u64;
     let mut out_prefix = "BENCH_profile".to_string();
+    let mut threads: Option<u32> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--out" => {
                 i += 1;
                 out_prefix = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                let n: u32 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                // Workloads build their sims internally, so the count is
+                // installed as the process-wide default.
+                dcdo_sim::set_default_threads(n);
+                threads = Some(n);
             }
             "--help" | "-h" => usage(),
             a if workload.is_none() => workload = Some(a.to_string()),
@@ -180,7 +195,10 @@ fn main() {
         usage();
     }
 
-    println!("workload {workload}, seed {seed}");
+    match threads {
+        Some(n) => println!("workload {workload}, seed {seed}, {n} worker thread(s)"),
+        None => println!("workload {workload}, seed {seed}"),
+    }
     let report = run_workload(&workload, seed);
 
     print_cost_table(&report);

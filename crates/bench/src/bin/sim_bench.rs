@@ -39,6 +39,20 @@ fn measure(name: &'static str, reps: u32, run: impl Fn() -> u64) -> Shot {
     }
 }
 
+/// Times one workload at a fixed worker-thread count.
+fn measure_at_threads(
+    name: &'static str,
+    reps: u32,
+    threads: u32,
+    build: impl Fn() -> (dcdo_sim::Simulation<legion_substrate::Msg>, u64),
+) -> Shot {
+    measure(name, reps, || {
+        let (mut sim, budget) = build();
+        sim.set_threads(threads);
+        sim.run_with_budget(budget)
+    })
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -51,6 +65,38 @@ fn main() {
         measure("transfer_heavy", reps, || simbench::transfer_heavy(100, 50)),
     ];
 
+    // Parallel-engine sweep: the two shard-friendly shapes at 1/2/4/8
+    // worker threads. `host_cpus` is recorded alongside because the sweep
+    // is only meaningful relative to the cores actually available — on a
+    // 1-CPU host the >1-thread rows measure coordination overhead, not
+    // scaling (CI runs this on a multi-core runner and uploads the JSON).
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sweep_counts = [1u32, 2, 4, 8];
+    let sweep: Vec<(&'static str, Vec<Shot>)> = vec![
+        (
+            "fan_out_wide",
+            sweep_counts
+                .iter()
+                .map(|&t| {
+                    measure_at_threads("fan_out_wide", reps, t, || {
+                        simbench::fan_out_wide_sim(200, 192, 512)
+                    })
+                })
+                .collect(),
+        ),
+        (
+            "transfer_heavy",
+            sweep_counts
+                .iter()
+                .map(|&t| {
+                    measure_at_threads("transfer_heavy", reps, t, || {
+                        simbench::transfer_heavy_sim(100, 50)
+                    })
+                })
+                .collect(),
+        ),
+    ];
+
     // Tracing overhead probe: the same fan_out shape with the span log
     // recording every send/deliver, against the disabled run above. The
     // disabled cost is one predicted branch per emit site; the enabled
@@ -61,7 +107,10 @@ fn main() {
         sim.run_with_budget(budget)
     });
     let fan_out = &shots[1];
-    let overhead_frac = 1.0 - traced.best_events_per_sec / fan_out.best_events_per_sec;
+    // Throughput ratio (traced / untraced, < 1) and its reciprocal — the
+    // "tracing costs N×" slowdown factor quoted in EXPERIMENTS.md.
+    let traced_ratio = traced.best_events_per_sec / fan_out.best_events_per_sec;
+    let overhead_x = fan_out.best_events_per_sec / traced.best_events_per_sec;
 
     // VM profiling overhead probe: a pure interpreter hot loop (a function
     // call crossing per iteration) with the per-thread cost profile off vs
@@ -86,14 +135,36 @@ fn main() {
             if i + 1 < shots.len() { "," } else { "" }
         ));
     }
+    json.push_str("  },\n  \"threads_sweep\": {\n");
+    json.push_str(&format!("    \"host_cpus\": {host_cpus},\n"));
+    for (wi, (wname, shots_by_threads)) in sweep.iter().enumerate() {
+        json.push_str(&format!("    \"{wname}\": {{"));
+        for (ti, (t, s)) in sweep_counts.iter().zip(shots_by_threads).enumerate() {
+            json.push_str(&format!(
+                "\"{t}\": {{\"best\": {:.0}, \"mean\": {:.0}}}{}",
+                s.best_events_per_sec,
+                s.mean_events_per_sec,
+                if ti + 1 < sweep_counts.len() {
+                    ", "
+                } else {
+                    ""
+                }
+            ));
+        }
+        json.push_str(&format!(
+            "}}{}\n",
+            if wi + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  },\n  \"tracing\": {\n");
     json.push_str(&format!(
         "    \"fan_out_traced\": {{\"events\": {}, \"best\": {:.0}, \"mean\": {:.0}}},\n",
         traced.events, traced.best_events_per_sec, traced.mean_events_per_sec
     ));
     json.push_str(&format!(
-        "    \"enabled_overhead_frac\": {overhead_frac:.4}\n  }},\n"
+        "    \"traced_throughput_ratio\": {traced_ratio:.4},\n"
     ));
+    json.push_str(&format!("    \"overhead_x\": {overhead_x:.2}\n  }},\n"));
     json.push_str("  \"vm_profiling\": {\n");
     json.push_str(&format!(
         "    \"vm_spin\": {{\"iters\": {SPIN_ITERS}, \"best\": {:.0}, \"mean\": {:.0}}},\n",
@@ -113,10 +184,16 @@ fn main() {
             s.name, s.events, s.best_events_per_sec, s.mean_events_per_sec
         );
     }
-    println!(
-        "tracing enabled overhead on fan_out: {:.1}%",
-        overhead_frac * 100.0
-    );
+    println!("threads sweep (host has {host_cpus} cpu(s)):");
+    for (wname, shots_by_threads) in &sweep {
+        for (t, s) in sweep_counts.iter().zip(shots_by_threads) {
+            println!(
+                "  {wname:<16} @ {t} thread(s)   best {:>12.0} ev/s   mean {:>12.0} ev/s",
+                s.best_events_per_sec, s.mean_events_per_sec
+            );
+        }
+    }
+    println!("tracing on fan_out: throughput ratio {traced_ratio:.2}, overhead {overhead_x:.2}x");
     println!(
         "vm profiling enabled overhead on vm_spin: {:.1}%",
         vm_overhead_frac * 100.0

@@ -4,40 +4,79 @@
 //! binding agents, DCDOs, ICOs, managers, clients — is an [`Actor`] placed on
 //! a [`NodeId`] of the simulated network. Actors interact only through
 //! messages (routed through the [`Network`](crate::net::Network) model) and
-//! timers. The engine is single-threaded and processes events in a total
-//! order keyed by `(time, sequence-number)`, which together with the single
-//! seeded RNG makes whole simulations deterministic.
-
+//! timers.
+//!
+//! Events execute in a total order keyed by `(time, lane, lane-seq)`, where
+//! a *lane* is one execution context: lane 0 is the driver, lane `u + 1` is
+//! the handlers of node `u`. Every name the engine mints — event sequence
+//! numbers, timer ids, fresh `u64`s, span ids, actor ids, RNG draws — comes
+//! from a per-lane counter or a per-lane RNG stream split deterministically
+//! from the run seed. Because a lane's counters advance only with that
+//! lane's own activity, the whole keyed event history is independent of
+//! *which thread* executed an event, which is what lets the sharded
+//! parallel engine (see [`crate::parallel`]) reproduce byte-identical
+//! traces at any worker count. A `Simulation` doubles as the shard unit:
+//! the parallel runner splits one simulation into per-shard sub-simulations
+//! that each own a disjoint set of nodes, runs them a bounded lookahead
+//! window ahead, and merges their buffered traces back by event key.
 use std::any::Any;
+use std::collections::HashSet;
 use std::fmt;
 
-use dcdo_trace::{SendVerdict, SpanId, SpanKind, TraceLog};
+use dcdo_trace::{SendVerdict, SpanEvent, SpanId, SpanKind, TraceLog};
 
 use crate::metrics::Metrics;
 use crate::net::{DeliveryPlan, LinkFault, NetConfig, Network, NodeId};
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{Trace, TraceEntry, TraceEvent};
+
+/// Bit position splitting a lane from a per-lane counter in 64-bit ids.
+pub(crate) const LANE_SHIFT: u32 = 48;
+
+/// `splitmix64` finalizer — mixes a lane index into the run seed to derive
+/// statistically independent per-lane RNG streams.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG seed of one lane, a pure function of the run seed and the lane.
+fn lane_seed(run_seed: u64, lane: u16) -> u64 {
+    splitmix64(run_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane as u64 + 1))
+}
 
 /// Identifies an actor within one [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ActorId(u32);
 
 impl ActorId {
-    /// Creates an actor id from a raw index (normally produced by
+    /// Creates an actor id from a raw value (normally produced by
     /// [`Simulation::spawn`]).
     pub const fn from_raw(raw: u32) -> Self {
         ActorId(raw)
     }
 
-    /// Returns the raw index.
+    /// Returns the raw value. The high 16 bits are the lane that allocated
+    /// the id (0 for driver-side spawns), the low 16 bits its per-lane
+    /// spawn counter — driver-spawned actors keep the dense ids 0, 1, 2, …
     pub const fn as_raw(self) -> u32 {
         self.0
     }
 
-    fn index(self) -> usize {
-        self.0 as usize
+    const fn from_parts(lane: u16, ctr: u16) -> Self {
+        ActorId(((lane as u32) << 16) | ctr as u32)
+    }
+
+    fn lane_index(self) -> usize {
+        (self.0 >> 16) as usize
+    }
+
+    fn ctr_index(self) -> usize {
+        (self.0 & 0xFFFF) as usize
     }
 }
 
@@ -54,8 +93,9 @@ pub struct TimerId(u64);
 /// A message type routable by the engine.
 ///
 /// `wire_size` is the payload size the network model charges for; the
-/// default of 64 bytes approximates an empty RPC header.
-pub trait Payload: 'static {
+/// default of 64 bytes approximates an empty RPC header. `Send` is required
+/// so simulations can be executed by the sharded parallel runner.
+pub trait Payload: 'static + Send {
     /// Returns the on-the-wire size of this message in bytes.
     fn wire_size(&self) -> u64 {
         64
@@ -81,8 +121,9 @@ pub trait Payload: 'static {
 /// Actors own their state and react to messages and timers via the [`Ctx`]
 /// handle, which exposes the clock, the network, randomness, metrics, and
 /// actor management. `Actor` requires [`Any`] so drivers can downcast actors
-/// for inspection between events.
-pub trait Actor<M: Payload>: Any {
+/// for inspection between events, and `Send` so a shard (and the actors it
+/// owns) can be handed to a worker thread.
+pub trait Actor<M: Payload>: Any + Send {
     /// Handles a message delivered to this actor.
     fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: ActorId, msg: M);
 
@@ -98,7 +139,7 @@ pub trait Actor<M: Payload>: Any {
     }
 }
 
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Deliver {
         src: ActorId,
         dst: ActorId,
@@ -115,6 +156,48 @@ enum EventKind<M> {
         /// set while structured tracing is enabled).
         cause: Option<SpanId>,
     },
+}
+
+impl<M> EventKind<M> {
+    fn dst(&self) -> ActorId {
+        match self {
+            EventKind::Deliver { dst, .. } | EventKind::Timer { dst, .. } => *dst,
+        }
+    }
+}
+
+/// Mutable name-allocation state of one lane: its RNG stream and the
+/// counters behind event keys, timer ids, fresh `u64`s, span ids, and actor
+/// ids. Created lazily from [`lane_seed`] the first time a lane acts, so a
+/// lane's history is identical whether or not other lanes exist.
+pub(crate) struct LaneState {
+    rng: SimRng,
+    /// Event sub-key counter (48 bits used).
+    seq: u64,
+    next_timer: u64,
+    fresh: u64,
+    span_ctr: u64,
+    actor_ctr: u32,
+}
+
+impl LaneState {
+    fn new(seed: u64) -> Self {
+        LaneState {
+            rng: SimRng::seed_from_u64(seed),
+            seq: 0,
+            next_timer: 0,
+            fresh: 0,
+            span_ctr: 0,
+            actor_ctr: 0,
+        }
+    }
+}
+
+/// Which slice of the node space a shard sub-simulation owns.
+#[derive(Clone, Copy)]
+pub(crate) struct ShardRole {
+    idx: u32,
+    nshards: u32,
 }
 
 /// The handle through which an actor (or a driver) interacts with the engine.
@@ -168,9 +251,10 @@ impl<'a, M: Payload> Ctx<'a, M> {
         self.sim.queue.cancel_timer(id.0);
     }
 
-    /// Returns the simulation's random-number generator.
+    /// Returns the RNG stream of the executing lane (this actor's node).
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.sim.rng
+        let lane = self.sim.cur_lane;
+        &mut self.sim.lane_state(lane).rng
     }
 
     /// Returns the simulation's metrics registry.
@@ -245,13 +329,9 @@ impl<'a, M: Payload> Ctx<'a, M> {
     /// tracing is disabled.
     #[inline]
     pub fn emit_span(&mut self, kind: SpanKind) -> Option<SpanId> {
-        if !self.sim.spans.is_enabled() {
-            return None;
-        }
-        let at = self.sim.time.as_nanos();
         let node = self.sim.node_of(self.self_id).as_raw();
         let parent = self.sim.current_span;
-        self.sim.spans.emit(at, node, parent, kind)
+        self.sim.span_emit(node, parent, kind)
     }
 
     /// Records a structured span with an explicit causal parent (e.g. the
@@ -259,12 +339,8 @@ impl<'a, M: Payload> Ctx<'a, M> {
     /// when tracing is disabled.
     #[inline]
     pub fn emit_span_under(&mut self, parent: Option<SpanId>, kind: SpanKind) -> Option<SpanId> {
-        if !self.sim.spans.is_enabled() {
-            return None;
-        }
-        let at = self.sim.time.as_nanos();
         let node = self.sim.node_of(self.self_id).as_raw();
-        self.sim.spans.emit(at, node, parent, kind)
+        self.sim.span_emit(node, parent, kind)
     }
 
     /// The span of the event currently being dispatched, if traced.
@@ -301,6 +377,10 @@ enum Slot<M> {
     Occupied(Box<dyn Actor<M>>),
     Running,
     Vacant,
+    /// The actor exists but is owned by a different shard of a parallel
+    /// window; only placement queries are valid here. Dispatching to a
+    /// `Remote` slot is a routing bug and panics.
+    Remote,
 }
 
 /// The discrete-event simulation engine.
@@ -331,15 +411,16 @@ enum Slot<M> {
 /// ```
 pub struct Simulation<M: Payload> {
     time: SimTime,
-    seq: u64,
+    run_seed: u64,
     queue: EventQueue<EventKind<M>>,
-    actors: Vec<Slot<M>>,
-    placements: Vec<NodeId>,
+    /// Actor slots, indexed `[allocating lane][per-lane spawn counter]`.
+    actors: Vec<Vec<Slot<M>>>,
+    /// Placements, parallel to `actors`.
+    placements: Vec<Vec<NodeId>>,
+    /// Per-lane allocation state, created lazily (index = lane).
+    lanes: Vec<Option<LaneState>>,
     network: Network,
-    rng: SimRng,
     metrics: Metrics,
-    next_timer: u64,
-    fresh: u64,
     events_processed: u64,
     trace: Trace,
     spans: TraceLog,
@@ -347,6 +428,32 @@ pub struct Simulation<M: Payload> {
     /// of everything its handler emits. `None` outside dispatch or when
     /// tracing is disabled.
     current_span: Option<SpanId>,
+    /// The lane charged for names minted right now: 0 driver-side, node + 1
+    /// while that node's handler runs.
+    cur_lane: u16,
+    /// Key of the event being executed; tags buffered emissions so per-shard
+    /// logs merge back into execution order.
+    cur_key: u128,
+    /// Actors registered as structural-fault drivers (see
+    /// [`Simulation::mark_structural`]): their events always execute at a
+    /// global barrier, never inside a parallel window.
+    structural: HashSet<u32>,
+    /// Per-instance worker-thread override (see [`Simulation::set_threads`]).
+    threads: Option<u32>,
+    /// `Some` while this simulation is a shard of a parallel window.
+    shard: Option<ShardRole>,
+    /// Cross-shard (or structural-bound) sends deferred to the next barrier.
+    outbox: Vec<(u128, EventKind<M>)>,
+    /// Buffered trace entries, tagged with the emitting event's key.
+    trace_buf: Vec<(u128, TraceEntry)>,
+    /// Buffered span events, tagged with the emitting event's key.
+    span_buf: Vec<(u128, SpanEvent)>,
+    /// Actors spawned inside the current window, to register with every
+    /// other shard at the barrier.
+    new_actors: Vec<(ActorId, NodeId)>,
+    /// Actors spawned inside the current window whose placement belongs to
+    /// another shard: the boxed actor travels to its owner at the barrier.
+    exported: Vec<(ActorId, Box<dyn Actor<M>>)>,
 }
 
 impl<M: Payload> Simulation<M> {
@@ -355,19 +462,27 @@ impl<M: Payload> Simulation<M> {
     pub fn new(net: NetConfig, seed: u64) -> Self {
         Simulation {
             time: SimTime::ZERO,
-            seq: 0,
+            run_seed: seed,
             queue: EventQueue::new(),
             actors: Vec::new(),
             placements: Vec::new(),
+            lanes: Vec::new(),
             network: Network::new(net),
-            rng: SimRng::seed_from_u64(seed),
             metrics: Metrics::new(),
-            next_timer: 0,
-            fresh: 0,
             events_processed: 0,
             trace: Trace::new(),
             spans: TraceLog::new(),
             current_span: None,
+            cur_lane: 0,
+            cur_key: 0,
+            structural: HashSet::new(),
+            threads: None,
+            shard: None,
+            outbox: Vec::new(),
+            trace_buf: Vec::new(),
+            span_buf: Vec::new(),
+            new_actors: Vec::new(),
+            exported: Vec::new(),
         }
     }
 
@@ -411,7 +526,9 @@ impl<M: Payload> Simulation<M> {
     }
 
     /// Returns the high-water mark of [`pending_events`]
-    /// (memory-boundedness witness for cancel-heavy workloads).
+    /// (memory-boundedness witness for cancel-heavy workloads). Under
+    /// parallel execution this is the root queue's own high-water mark;
+    /// events resident in per-shard queues during a window are not counted.
     ///
     /// [`pending_events`]: Simulation::pending_events
     pub fn peak_pending_events(&self) -> usize {
@@ -440,15 +557,40 @@ impl<M: Payload> Simulation<M> {
         &mut self.spans
     }
 
+    /// Overrides the worker-thread count for this simulation's `run_*`
+    /// entry points (1 = sequential). Without an override, runs consult
+    /// [`crate::set_default_threads`] and then the `DCDO_SIM_THREADS`
+    /// environment variable.
+    pub fn set_threads(&mut self, n: u32) {
+        self.threads = Some(n.max(1));
+    }
+
+    /// The worker-thread count `run_*` entry points will use.
+    pub fn threads(&self) -> u32 {
+        self.threads
+            .unwrap_or_else(crate::parallel::default_threads)
+            .max(1)
+    }
+
+    /// Registers an actor as a structural-fault driver: every event
+    /// delivered to it executes at a global barrier with all shards merged,
+    /// so its handler may crash/restart nodes, install partitions or link
+    /// faults, and touch any actor. The chaos controller registers itself
+    /// automatically; custom fault-driving actors must call this before the
+    /// run or their structural calls panic inside parallel windows.
+    pub fn mark_structural(&mut self, actor: ActorId) {
+        assert!(
+            self.shard.is_none(),
+            "mark_structural may not be called inside a parallel window"
+        );
+        self.structural.insert(actor.as_raw());
+    }
+
     /// Records a structured span at the current time with no node
     /// attribution (driver-side). Returns `None` when tracing is disabled.
     pub fn emit_span(&mut self, kind: SpanKind) -> Option<SpanId> {
-        if !self.spans.is_enabled() {
-            return None;
-        }
-        let at = self.time.as_nanos();
-        self.spans
-            .emit(at, dcdo_trace::NO_NODE, self.current_span, kind)
+        let parent = self.current_span;
+        self.span_emit(dcdo_trace::NO_NODE, parent, kind)
     }
 
     /// Installs a partition and records the topology change in the
@@ -456,6 +598,7 @@ impl<M: Payload> Simulation<M> {
     /// [`network_mut`](Simulation::network_mut) + `set_partition` so the
     /// trace-invariant checker can replay reachability).
     pub fn set_partition(&mut self, partition_groups: &[Vec<NodeId>]) {
+        self.assert_sole("set_partition");
         self.network.set_partition(partition_groups);
         if self.spans.is_enabled() {
             let groups = self.network.partition_groups().to_vec();
@@ -466,12 +609,14 @@ impl<M: Payload> Simulation<M> {
     /// Heals any installed partition, recording the change in the
     /// structured trace.
     pub fn heal_partition(&mut self) {
+        self.assert_sole("heal_partition");
         self.network.heal_partition();
         self.emit_span(SpanKind::PartitionHealed);
     }
 
     /// Installs a directed link fault, recording it in the structured trace.
     pub fn set_link_fault(&mut self, src: NodeId, dst: NodeId, fault: LinkFault) {
+        self.assert_sole("set_link_fault");
         self.network.set_link_fault(src, dst, fault);
         self.emit_span(SpanKind::LinkFaultSet {
             src_node: src.as_raw(),
@@ -481,6 +626,7 @@ impl<M: Payload> Simulation<M> {
 
     /// Clears a directed link fault, recording it in the structured trace.
     pub fn clear_link_fault(&mut self, src: NodeId, dst: NodeId) {
+        self.assert_sole("clear_link_fault");
         self.network.clear_link_fault(src, dst);
         self.emit_span(SpanKind::LinkFaultCleared {
             src_node: src.as_raw(),
@@ -488,10 +634,14 @@ impl<M: Payload> Simulation<M> {
         });
     }
 
-    /// Mints a fresh unique `u64`.
+    /// Mints a fresh unique `u64`. Values carry the minting lane in the
+    /// high bits; driver-side values stay the dense 1, 2, 3, …
     pub fn fresh_u64(&mut self) -> u64 {
-        self.fresh += 1;
-        self.fresh
+        let lane = self.cur_lane;
+        let ls = self.lane_state(lane);
+        ls.fresh += 1;
+        debug_assert!(ls.fresh < 1 << LANE_SHIFT);
+        ((lane as u64) << LANE_SHIFT) | ls.fresh
     }
 
     /// Spawns an actor on `node` and returns its id.
@@ -501,49 +651,82 @@ impl<M: Payload> Simulation<M> {
 
     /// Spawns a boxed actor on `node` and returns its id.
     pub fn spawn_boxed(&mut self, node: NodeId, actor: Box<dyn Actor<M>>) -> ActorId {
-        let id = ActorId(self.actors.len() as u32);
-        self.actors.push(Slot::Occupied(actor));
-        self.placements.push(node);
-        self.trace
-            .record(self.time, TraceEvent::Spawned { actor: id, node });
-        if self.spans.is_enabled() {
-            self.spans.emit(
-                self.time.as_nanos(),
-                node.as_raw(),
-                self.current_span,
-                SpanKind::ActorSpawned {
-                    actor: id.as_raw(),
-                    node: node.as_raw(),
-                },
-            );
+        assert!(
+            node.as_raw() < 0xFFFF,
+            "node ids must fit the engine's 16-bit lane space"
+        );
+        let lane = self.cur_lane;
+        let ls = self.lane_state(lane);
+        let ctr = ls.actor_ctr;
+        assert!(
+            ctr < u16::MAX as u32,
+            "lane {lane} exhausted its 16-bit actor-id space"
+        );
+        ls.actor_ctr += 1;
+        let id = ActorId::from_parts(lane, ctr as u16);
+        self.ensure_lane_slots(lane);
+        debug_assert_eq!(self.actors[lane as usize].len(), ctr as usize);
+        if self.owns_node(node) {
+            self.actors[lane as usize].push(Slot::Occupied(actor));
+        } else {
+            // Spawned from inside a window onto a node another shard owns:
+            // the box travels to its owner at the barrier.
+            self.actors[lane as usize].push(Slot::Remote);
+            self.exported.push((id, actor));
         }
+        self.placements[lane as usize].push(node);
+        if self.shard.is_some() {
+            self.new_actors.push((id, node));
+        }
+        self.trace_record(TraceEvent::Spawned { actor: id, node });
+        let parent = self.current_span;
+        self.span_emit(
+            node.as_raw(),
+            parent,
+            SpanKind::ActorSpawned {
+                actor: id.as_raw(),
+                node: node.as_raw(),
+            },
+        );
         id
     }
 
     /// Kills an actor; subsequent messages to it are dead letters.
     pub fn kill(&mut self, actor: ActorId) {
-        if let Some(slot) = self.actors.get_mut(actor.index()) {
-            *slot = Slot::Vacant;
-            self.trace.record(self.time, TraceEvent::Killed { actor });
-            if self.spans.is_enabled() {
-                self.spans.emit(
-                    self.time.as_nanos(),
-                    self.placements[actor.index()].as_raw(),
-                    self.current_span,
-                    SpanKind::ActorKilled {
-                        actor: actor.as_raw(),
-                    },
-                );
-            }
-        }
+        let Some(&node) = self
+            .placements
+            .get(actor.lane_index())
+            .and_then(|v| v.get(actor.ctr_index()))
+        else {
+            return;
+        };
+        let slot = self.slot_mut(actor).expect("placement implies slot");
+        assert!(
+            !matches!(slot, Slot::Remote),
+            "kill({actor}) targets an actor owned by another shard during a parallel window"
+        );
+        *slot = Slot::Vacant;
+        self.trace_record(TraceEvent::Killed { actor });
+        let parent = self.current_span;
+        self.span_emit(
+            node.as_raw(),
+            parent,
+            SpanKind::ActorKilled {
+                actor: actor.as_raw(),
+            },
+        );
     }
 
     /// Returns `true` if the actor is alive.
     pub fn is_alive(&self, actor: ActorId) -> bool {
-        matches!(
-            self.actors.get(actor.index()),
-            Some(Slot::Occupied(_) | Slot::Running)
-        )
+        match self.slot(actor) {
+            Some(Slot::Occupied(_) | Slot::Running) => true,
+            Some(Slot::Remote) => panic!(
+                "is_alive({actor}) asked about an actor owned by another shard \
+                 during a parallel window"
+            ),
+            _ => false,
+        }
     }
 
     /// Returns the node an actor is placed on.
@@ -552,12 +735,12 @@ impl<M: Payload> Simulation<M> {
     ///
     /// Panics if the actor id was never spawned.
     pub fn node_of(&self, actor: ActorId) -> NodeId {
-        self.placements[actor.index()]
+        self.placements[actor.lane_index()][actor.ctr_index()]
     }
 
     /// Downcasts an actor to a concrete type for inspection.
     pub fn actor<T: Actor<M>>(&self, id: ActorId) -> Option<&T> {
-        match self.actors.get(id.index())? {
+        match self.slot(id)? {
             Slot::Occupied(a) => (a.as_ref() as &dyn Any).downcast_ref::<T>(),
             _ => None,
         }
@@ -565,7 +748,7 @@ impl<M: Payload> Simulation<M> {
 
     /// Downcasts an actor to a concrete type for mutation between events.
     pub fn actor_mut<T: Actor<M>>(&mut self, id: ActorId) -> Option<&mut T> {
-        match self.actors.get_mut(id.index())? {
+        match self.slot_mut(id)? {
             Slot::Occupied(a) => (a.as_mut() as &mut dyn Any).downcast_mut::<T>(),
             _ => None,
         }
@@ -582,10 +765,16 @@ impl<M: Payload> Simulation<M> {
         id: ActorId,
         f: impl FnOnce(&mut T, &mut Ctx<'_, M>) -> R,
     ) -> R {
-        let slot = std::mem::replace(&mut self.actors[id.index()], Slot::Running);
+        let Some(slot_ref) = self.slot_mut(id) else {
+            panic!("with_actor: {id} is not alive");
+        };
+        let slot = std::mem::replace(slot_ref, Slot::Running);
         let Slot::Occupied(mut actor) = slot else {
             panic!("with_actor: {id} is not alive");
         };
+        let node = self.node_of(id);
+        let prev_lane = self.cur_lane;
+        self.cur_lane = node.as_raw() as u16 + 1;
         let (out, killed) = {
             let mut ctx = Ctx {
                 sim: self,
@@ -598,7 +787,8 @@ impl<M: Payload> Simulation<M> {
             let out = f(t, &mut ctx);
             (out, ctx.killed_self)
         };
-        self.actors[id.index()] = if killed {
+        self.cur_lane = prev_lane;
+        *self.slot_mut(id).expect("slot exists") = if killed {
             Slot::Vacant
         } else {
             Slot::Occupied(actor)
@@ -619,8 +809,11 @@ impl<M: Payload> Simulation<M> {
         delay: SimDuration,
         token: u64,
     ) -> TimerId {
-        self.next_timer += 1;
-        let id = TimerId(self.next_timer);
+        let lane = self.cur_lane;
+        let ls = self.lane_state(lane);
+        ls.next_timer += 1;
+        debug_assert!(ls.next_timer < 1 << LANE_SHIFT);
+        let id = TimerId(((lane as u64) << LANE_SHIFT) | ls.next_timer);
         let at = self.time + delay;
         // `current_span` is only ever set while tracing is enabled, so this
         // costs nothing in the disabled case.
@@ -643,18 +836,128 @@ impl<M: Payload> Simulation<M> {
         self.queue.cancel_timer(id.0);
     }
 
-    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
-        self.seq += 1;
-        let timer_id = match &kind {
-            EventKind::Timer { id, .. } => Some(id.0),
-            EventKind::Deliver { .. } => None,
+    // ---- lane / shard internals -----------------------------------------
+
+    fn lane_state(&mut self, lane: u16) -> &mut LaneState {
+        let idx = lane as usize;
+        if self.lanes.len() <= idx {
+            self.lanes.resize_with(idx + 1, || None);
+        }
+        let seed = lane_seed(self.run_seed, lane);
+        self.lanes[idx].get_or_insert_with(|| LaneState::new(seed))
+    }
+
+    fn ensure_lane_slots(&mut self, lane: u16) {
+        let idx = lane as usize;
+        if self.actors.len() <= idx {
+            self.actors.resize_with(idx + 1, Vec::new);
+            self.placements.resize_with(idx + 1, Vec::new);
+        }
+    }
+
+    fn slot(&self, id: ActorId) -> Option<&Slot<M>> {
+        self.actors.get(id.lane_index())?.get(id.ctr_index())
+    }
+
+    fn slot_mut(&mut self, id: ActorId) -> Option<&mut Slot<M>> {
+        self.actors
+            .get_mut(id.lane_index())?
+            .get_mut(id.ctr_index())
+    }
+
+    fn owns_node(&self, node: NodeId) -> bool {
+        match self.shard {
+            None => true,
+            Some(r) => node.as_raw() % r.nshards == r.idx,
+        }
+    }
+
+    fn assert_sole(&self, what: &str) {
+        assert!(
+            self.shard.is_none(),
+            "{what} mutates global topology and may only run driver-side or \
+             from an actor registered with Simulation::mark_structural"
+        );
+    }
+
+    /// Records an execution-trace event: directly in sole mode, buffered
+    /// (tagged with the executing event's key) inside a parallel window.
+    fn trace_record(&mut self, event: TraceEvent) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        if self.shard.is_some() {
+            self.trace_buf.push((
+                self.cur_key,
+                TraceEntry {
+                    at: self.time,
+                    event,
+                },
+            ));
+        } else {
+            self.trace.record(self.time, event);
+        }
+    }
+
+    /// Emits a structured span from the current lane: ids are
+    /// `((lane + 1) << 48) | per-lane counter`, so they are unique, never
+    /// collide with the dense ids of standalone [`TraceLog::emit`] calls,
+    /// and do not depend on the worker-thread count. Buffered inside a
+    /// parallel window, direct otherwise.
+    fn span_emit(&mut self, node: u32, parent: Option<SpanId>, kind: SpanKind) -> Option<SpanId> {
+        if !self.spans.is_enabled() {
+            return None;
+        }
+        let lane = self.cur_lane;
+        let at_ns = self.time.as_nanos();
+        let ls = self.lane_state(lane);
+        ls.span_ctr += 1;
+        debug_assert!(ls.span_ctr < 1 << LANE_SHIFT);
+        let raw = ((lane as u64 + 1) << LANE_SHIFT) | ls.span_ctr;
+        let id = SpanId::from_raw(raw).expect("lane span ids are nonzero");
+        let ev = SpanEvent {
+            id,
+            parent,
+            at_ns,
+            node,
+            kind,
         };
-        match timer_id {
+        if self.shard.is_some() {
+            self.span_buf.push((self.cur_key, ev));
+        } else {
+            self.spans.push_event(ev);
+        }
+        Some(id)
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let lane = self.cur_lane;
+        let ls = self.lane_state(lane);
+        ls.seq += 1;
+        debug_assert!(ls.seq < 1 << LANE_SHIFT);
+        let key = ((at.as_nanos() as u128) << 64) | ((lane as u128) << LANE_SHIFT) | ls.seq as u128;
+        if self.shard.is_some() {
+            let dst = kind.dst();
+            if !self.owns_node(self.node_of(dst)) || self.structural.contains(&dst.as_raw()) {
+                debug_assert!(
+                    matches!(kind, EventKind::Deliver { .. }),
+                    "timers are self-targeted and never cross shards"
+                );
+                self.outbox.push((key, kind));
+                return;
+            }
+        }
+        match &kind {
             // Timers always go through the heap — even zero-delay ones —
-            // so every timer stays cancellable until it fires.
-            Some(id) => self.queue.push_timer(at, self.seq, id, kind),
-            None if at == self.time => self.queue.push_same_tick(at, self.seq, kind),
-            None => self.queue.push(at, self.seq, kind),
+            // so every timer stays cancellable.
+            EventKind::Timer { id, .. } => {
+                let timer_id = id.0;
+                self.queue.push_raw_timer(key, timer_id, kind);
+            }
+            EventKind::Deliver { .. } if at == self.time => {
+                self.queue.push_same_tick_raw(key, kind);
+            }
+            EventKind::Deliver { .. } => self.queue.push_raw(key, kind),
         }
     }
 
@@ -662,9 +965,13 @@ impl<M: Payload> Simulation<M> {
         let bytes = msg.wire_size();
         let (src_node, dst_node) = (self.node_of(src), self.node_of(dst));
         let now = self.time;
-        let plan = self
-            .network
-            .plan(now, src_node, dst_node, bytes, &mut self.rng);
+        let lane = self.cur_lane;
+        self.lane_state(lane);
+        let plan = {
+            let Simulation { lanes, network, .. } = self;
+            let rng = &mut lanes[lane as usize].as_mut().expect("lane state").rng;
+            network.plan(now, src_node, dst_node, bytes, rng)
+        };
         let cause = if self.spans.is_enabled() {
             let verdict = match plan {
                 DeliveryPlan::Deliver(_) => SendVerdict::Sent,
@@ -672,10 +979,10 @@ impl<M: Payload> Simulation<M> {
                 DeliveryPlan::Lost => SendVerdict::Lost,
                 DeliveryPlan::Unreachable => SendVerdict::Unreachable,
             };
-            self.spans.emit(
-                now.as_nanos(),
+            let parent = self.current_span;
+            self.span_emit(
                 src_node.as_raw(),
-                self.current_span,
+                parent,
                 SpanKind::MsgSent {
                     src: src.as_raw(),
                     dst: dst.as_raw(),
@@ -745,8 +1052,7 @@ impl<M: Payload> Simulation<M> {
             }
             DeliveryPlan::Unreachable => {
                 self.metrics.incr("sim.unreachable_drops");
-                self.trace
-                    .record(self.time, TraceEvent::Unreachable { src, dst });
+                self.trace_record(TraceEvent::Unreachable { src, dst });
             }
         }
     }
@@ -759,51 +1065,51 @@ impl<M: Payload> Simulation<M> {
     ///
     /// Crashing an already-down node is a no-op. The currently executing
     /// actor (if any) is not touched — use [`Ctx::crash_node`] from inside
-    /// a handler, which also handles self-destruction.
+    /// a handler, which also handles self-destruction. From a parallel run,
+    /// only driver code or a [`mark_structural`](Simulation::mark_structural)
+    /// actor may call this.
     pub fn crash_node(&mut self, node: NodeId) -> usize {
+        self.assert_sole("crash_node");
         if !self.network.is_node_up(node) {
             return 0;
         }
         self.network.set_node_down(node);
         self.metrics.incr("sim.node_crashes");
-        self.trace.record(self.time, TraceEvent::NodeDown { node });
-        let crash_span = if self.spans.is_enabled() {
-            self.spans.emit(
-                self.time.as_nanos(),
-                node.as_raw(),
-                self.current_span,
-                SpanKind::NodeCrashed {
-                    node: node.as_raw(),
-                },
-            )
-        } else {
-            None
-        };
+        self.trace_record(TraceEvent::NodeDown { node });
+        let parent = self.current_span;
+        let crash_span = self.span_emit(
+            node.as_raw(),
+            parent,
+            SpanKind::NodeCrashed {
+                node: node.as_raw(),
+            },
+        );
         let mut killed = 0;
-        for idx in 0..self.actors.len() {
-            if self.placements[idx] == node && matches!(self.actors[idx], Slot::Occupied(_)) {
-                self.actors[idx] = Slot::Vacant;
-                self.trace.record(
-                    self.time,
-                    TraceEvent::Killed {
-                        actor: ActorId(idx as u32),
+        for lane in 0..self.actors.len() {
+            for ctr in 0..self.actors[lane].len() {
+                if self.placements[lane][ctr] != node
+                    || !matches!(self.actors[lane][ctr], Slot::Occupied(_))
+                {
+                    continue;
+                }
+                self.actors[lane][ctr] = Slot::Vacant;
+                let actor = ActorId::from_parts(lane as u16, ctr as u16);
+                self.trace_record(TraceEvent::Killed { actor });
+                self.span_emit(
+                    node.as_raw(),
+                    crash_span,
+                    SpanKind::ActorKilled {
+                        actor: actor.as_raw(),
                     },
                 );
-                if self.spans.is_enabled() {
-                    self.spans.emit(
-                        self.time.as_nanos(),
-                        node.as_raw(),
-                        crash_span,
-                        SpanKind::ActorKilled { actor: idx as u32 },
-                    );
-                }
                 killed += 1;
             }
         }
         let placements = &self.placements;
-        let cancelled = self.queue.cancel_timers_where(
-            |kind| matches!(kind, EventKind::Timer { dst, .. } if placements[dst.index()] == node),
-        );
+        let cancelled = self.queue.cancel_timers_where(|kind| {
+            matches!(kind, EventKind::Timer { dst, .. }
+                if placements[dst.lane_index()][dst.ctr_index()] == node)
+        });
         self.metrics
             .add("sim.timers_cancelled_by_crash", cancelled as u64);
         killed
@@ -813,22 +1119,21 @@ impl<M: Payload> Simulation<M> {
     /// that died in the crash stay dead — recovery layers spawn fresh ones.
     /// Restarting a node that is up is a no-op.
     pub fn restart_node(&mut self, node: NodeId) {
+        self.assert_sole("restart_node");
         if self.network.is_node_up(node) {
             return;
         }
         self.network.set_node_up(node);
         self.metrics.incr("sim.node_restarts");
-        self.trace.record(self.time, TraceEvent::NodeUp { node });
-        if self.spans.is_enabled() {
-            self.spans.emit(
-                self.time.as_nanos(),
-                node.as_raw(),
-                self.current_span,
-                SpanKind::NodeRestarted {
-                    node: node.as_raw(),
-                },
-            );
-        }
+        self.trace_record(TraceEvent::NodeUp { node });
+        let parent = self.current_span;
+        self.span_emit(
+            node.as_raw(),
+            parent,
+            SpanKind::NodeRestarted {
+                node: node.as_raw(),
+            },
+        );
     }
 
     /// Returns `true` if the node is up (never crashed, or restarted).
@@ -836,21 +1141,40 @@ impl<M: Payload> Simulation<M> {
         self.network.is_node_up(node)
     }
 
-    /// Returns the live actors placed on `node`, in spawn order.
+    /// Returns the live actors placed on `node`, in id order (driver-side
+    /// spawns first, in spawn order).
     pub fn actors_on(&self, node: NodeId) -> Vec<ActorId> {
-        (0..self.actors.len())
-            .filter(|&idx| self.placements[idx] == node && self.is_alive(ActorId(idx as u32)))
-            .map(|idx| ActorId(idx as u32))
-            .collect()
+        let mut out = Vec::new();
+        for lane in 0..self.actors.len() {
+            for ctr in 0..self.actors[lane].len() {
+                if self.placements[lane][ctr] != node {
+                    continue;
+                }
+                let id = ActorId::from_parts(lane as u16, ctr as u16);
+                if self.is_alive(id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
     }
 
-    /// Processes the next event. Returns `false` if the queue is empty.
+    /// Processes the next event sequentially. Returns `false` if the queue
+    /// is empty. `step` always executes on the calling thread regardless of
+    /// the configured thread count.
     pub fn step(&mut self) -> bool {
-        let Some((at, kind)) = self.queue.pop() else {
+        let Some((key, kind)) = self.queue.pop_raw() else {
             return false;
         };
+        self.execute(key, kind);
+        true
+    }
+
+    fn execute(&mut self, key: u128, kind: EventKind<M>) {
+        let at = SimTime::from_nanos((key >> 64) as u64);
         debug_assert!(at >= self.time, "time cannot go backwards");
         self.time = at;
+        self.cur_key = key;
         self.events_processed += 1;
         match kind {
             EventKind::Deliver {
@@ -863,55 +1187,52 @@ impl<M: Payload> Simulation<M> {
                 dst, token, cause, ..
             } => self.dispatch_timer(dst, token, cause),
         }
-        true
     }
 
     fn dispatch_message(&mut self, src: ActorId, dst: ActorId, msg: M, cause: Option<SpanId>) {
-        let dst_node = self
+        let Some(&dst_node) = self
             .placements
-            .get(dst.index())
-            .copied()
-            .unwrap_or(NodeId::from_raw(dcdo_trace::NO_NODE));
-        let Some(slot) = self.actors.get_mut(dst.index()) else {
+            .get(dst.lane_index())
+            .and_then(|v| v.get(dst.ctr_index()))
+        else {
+            // Never-spawned destination: count and drop.
             self.metrics.incr("sim.dead_letters");
-            self.trace
-                .record(self.time, TraceEvent::DeadLetter { src, dst });
+            self.trace_record(TraceEvent::DeadLetter { src, dst });
             return;
         };
-        let slot = std::mem::replace(slot, Slot::Running);
+        self.cur_lane = dst_node.as_raw() as u16 + 1;
+        let slot_ref = self.slot_mut(dst).expect("placement implies slot");
+        assert!(
+            !matches!(slot_ref, Slot::Remote),
+            "delivery for {dst} reached a shard that does not own it"
+        );
+        let slot = std::mem::replace(slot_ref, Slot::Running);
         let Slot::Occupied(mut actor) = slot else {
-            self.actors[dst.index()] = Slot::Vacant;
+            *self.slot_mut(dst).expect("slot exists") = Slot::Vacant;
             self.metrics.incr("sim.dead_letters");
-            self.trace
-                .record(self.time, TraceEvent::DeadLetter { src, dst });
-            if self.spans.is_enabled() {
-                self.spans.emit(
-                    self.time.as_nanos(),
-                    dst_node.as_raw(),
-                    cause,
-                    SpanKind::MsgDeadLetter {
-                        src: src.as_raw(),
-                        dst: dst.as_raw(),
-                        dst_node: dst_node.as_raw(),
-                    },
-                );
-            }
-            return;
-        };
-        self.trace
-            .record(self.time, TraceEvent::Delivered { src, dst });
-        if self.spans.is_enabled() {
-            self.current_span = self.spans.emit(
-                self.time.as_nanos(),
+            self.trace_record(TraceEvent::DeadLetter { src, dst });
+            self.span_emit(
                 dst_node.as_raw(),
                 cause,
-                SpanKind::MsgDelivered {
+                SpanKind::MsgDeadLetter {
                     src: src.as_raw(),
                     dst: dst.as_raw(),
                     dst_node: dst_node.as_raw(),
                 },
             );
-        }
+            self.cur_lane = 0;
+            return;
+        };
+        self.trace_record(TraceEvent::Delivered { src, dst });
+        self.current_span = self.span_emit(
+            dst_node.as_raw(),
+            cause,
+            SpanKind::MsgDelivered {
+                src: src.as_raw(),
+                dst: dst.as_raw(),
+                dst_node: dst_node.as_raw(),
+            },
+        );
         let killed;
         {
             let mut ctx = Ctx {
@@ -923,7 +1244,8 @@ impl<M: Payload> Simulation<M> {
             killed = ctx.killed_self;
         }
         self.current_span = None;
-        self.actors[dst.index()] = if killed {
+        self.cur_lane = 0;
+        *self.slot_mut(dst).expect("slot exists") = if killed {
             Slot::Vacant
         } else {
             Slot::Occupied(actor)
@@ -931,27 +1253,34 @@ impl<M: Payload> Simulation<M> {
     }
 
     fn dispatch_timer(&mut self, dst: ActorId, token: u64, cause: Option<SpanId>) {
-        self.trace
-            .record(self.time, TraceEvent::TimerFired { actor: dst, token });
-        let Some(slot) = self.actors.get_mut(dst.index()) else {
+        self.trace_record(TraceEvent::TimerFired { actor: dst, token });
+        let Some(&node) = self
+            .placements
+            .get(dst.lane_index())
+            .and_then(|v| v.get(dst.ctr_index()))
+        else {
             return;
         };
-        let slot = std::mem::replace(slot, Slot::Running);
+        self.cur_lane = node.as_raw() as u16 + 1;
+        let slot_ref = self.slot_mut(dst).expect("placement implies slot");
+        assert!(
+            !matches!(slot_ref, Slot::Remote),
+            "timer for {dst} fired on a shard that does not own it"
+        );
+        let slot = std::mem::replace(slot_ref, Slot::Running);
         let Slot::Occupied(mut actor) = slot else {
-            self.actors[dst.index()] = Slot::Vacant;
+            *self.slot_mut(dst).expect("slot exists") = Slot::Vacant;
+            self.cur_lane = 0;
             return;
         };
-        if self.spans.is_enabled() {
-            self.current_span = self.spans.emit(
-                self.time.as_nanos(),
-                self.placements[dst.index()].as_raw(),
-                cause,
-                SpanKind::TimerFired {
-                    actor: dst.as_raw(),
-                    token,
-                },
-            );
-        }
+        self.current_span = self.span_emit(
+            node.as_raw(),
+            cause,
+            SpanKind::TimerFired {
+                actor: dst.as_raw(),
+                token,
+            },
+        );
         let killed;
         {
             let mut ctx = Ctx {
@@ -963,7 +1292,8 @@ impl<M: Payload> Simulation<M> {
             killed = ctx.killed_self;
         }
         self.current_span = None;
-        self.actors[dst.index()] = if killed {
+        self.cur_lane = 0;
+        *self.slot_mut(dst).expect("slot exists") = if killed {
             Slot::Vacant
         } else {
             Slot::Occupied(actor)
@@ -971,7 +1301,8 @@ impl<M: Payload> Simulation<M> {
     }
 
     /// Runs until the queue is empty. Returns the number of events
-    /// processed.
+    /// processed. Uses the configured worker-thread count (see
+    /// [`set_threads`](Simulation::set_threads)).
     ///
     /// # Panics
     ///
@@ -981,13 +1312,21 @@ impl<M: Payload> Simulation<M> {
     }
 
     /// Runs until the queue is empty or `budget` events have been processed;
-    /// returns the number processed.
+    /// returns the number processed. Uses the configured worker-thread
+    /// count.
     ///
     /// # Panics
     ///
     /// Panics if the budget is exhausted with events still pending — a
     /// deterministic simulation that exceeds its budget is a bug, not load.
     pub fn run_with_budget(&mut self, budget: u64) -> u64 {
+        match self.threads() {
+            0 | 1 => self.run_with_budget_sole(budget),
+            t => self.run_parallel_with_budget(t, budget),
+        }
+    }
+
+    pub(crate) fn run_with_budget_sole(&mut self, budget: u64) -> u64 {
         let mut n = 0;
         while n < budget {
             if !self.step() {
@@ -1004,8 +1343,15 @@ impl<M: Payload> Simulation<M> {
 
     /// Runs until simulated time reaches `deadline` (events at exactly
     /// `deadline` are processed) or the queue empties. Returns events
-    /// processed.
+    /// processed. Uses the configured worker-thread count.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        match self.threads() {
+            0 | 1 => self.run_until_sole(deadline),
+            t => self.run_parallel_until(t, deadline),
+        }
+    }
+
+    pub(crate) fn run_until_sole(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
         while let Some((at, _)) = self.queue.peek_key() {
             if at > deadline {
@@ -1025,13 +1371,272 @@ impl<M: Payload> Simulation<M> {
         let deadline = self.time + d;
         self.run_until(deadline)
     }
+
+    // ---- shard lifecycle (used by crate::parallel) ----------------------
+
+    /// Advances the clock to a deadline no events reached (run_until
+    /// semantics: the simulation "waits out" the remaining idle time).
+    pub(crate) fn set_time_for_deadline(&mut self, deadline: SimTime) {
+        debug_assert!(self.time <= deadline);
+        self.time = deadline;
+    }
+
+    /// Time of the earliest pending event, in nanoseconds.
+    pub(crate) fn peek_time_ns(&self) -> Option<u64> {
+        self.queue.peek_raw_key().map(|k| (k >> 64) as u64)
+    }
+
+    /// Executes pending events with key-time strictly below `w_end_ns`, up
+    /// to `cap` of them. Returns `(events executed, hit the cap)`.
+    pub(crate) fn run_window(&mut self, w_end_ns: u64, cap: u64) -> (u64, bool) {
+        let w_key = (w_end_ns as u128) << 64;
+        let mut n = 0u64;
+        loop {
+            let Some(k) = self.queue.peek_raw_key() else {
+                return (n, false);
+            };
+            if k >= w_key {
+                return (n, false);
+            }
+            if n >= cap {
+                return (n, true);
+            }
+            let (key, kind) = self.queue.pop_raw().expect("peeked non-empty");
+            self.execute(key, kind);
+            n += 1;
+        }
+    }
+
+    /// Executes every pending event at exactly the current head time
+    /// (a structural barrier runs the full tick sequentially so topology
+    /// mutations see a merged world). Returns events executed.
+    pub(crate) fn run_head_tick_sole(&mut self) -> u64 {
+        debug_assert!(self.shard.is_none());
+        let Some(head) = self.peek_time_ns() else {
+            return 0;
+        };
+        let mut n = 0;
+        while self.peek_time_ns() == Some(head) {
+            self.step();
+            n += 1;
+        }
+        n
+    }
+
+    /// Splits this simulation into `n` shard sub-simulations, each owning
+    /// the nodes `u` with `u % n == idx`. Events destined for
+    /// [structural](Simulation::mark_structural) actors stay in the root
+    /// queue; everything else (actor slots, per-lane state, pending events)
+    /// moves to its owner. The root keeps `Remote` placeholders and stays
+    /// inert until [`collapse_shards`](Simulation::collapse_shards).
+    // Boxed on purpose (not `vec_box` noise): shards cross thread
+    // boundaries every window, and a boxed shard moves as one pointer
+    // instead of memcpy'ing the whole engine struct per handoff.
+    #[allow(clippy::vec_box)]
+    pub(crate) fn split_shards(&mut self, n: u32) -> Vec<Box<Simulation<M>>> {
+        debug_assert!(self.shard.is_none());
+        let nlanes = self.actors.len();
+        let mut shards: Vec<Box<Simulation<M>>> = (0..n)
+            .map(|idx| {
+                let mut s = Simulation::new(NetConfig::instant(), self.run_seed);
+                s.time = self.time;
+                s.network = self.network.fork_for_shard();
+                s.placements = self.placements.clone();
+                s.actors = (0..nlanes).map(|_| Vec::new()).collect();
+                s.structural = self.structural.clone();
+                s.threads = Some(1);
+                s.shard = Some(ShardRole { idx, nshards: n });
+                if self.trace.is_enabled() {
+                    s.trace.enable(1); // flag only; entries are buffered
+                }
+                if self.spans.is_enabled() {
+                    s.spans.enable();
+                }
+                Box::new(s)
+            })
+            .collect();
+        // Actor slots move to the owner of their placement; everyone else
+        // (including the root) keeps a Remote placeholder.
+        for lane in 0..nlanes {
+            for ctr in 0..self.actors[lane].len() {
+                let node = self.placements[lane][ctr];
+                let owner = (node.as_raw() % n) as usize;
+                let mut slot = Some(std::mem::replace(&mut self.actors[lane][ctr], Slot::Remote));
+                for (i, sh) in shards.iter_mut().enumerate() {
+                    sh.actors[lane].push(if i == owner {
+                        slot.take().expect("moved once")
+                    } else {
+                        Slot::Remote
+                    });
+                }
+            }
+        }
+        // Lane state: lane 0 (the driver) stays with the root; lane u + 1
+        // goes to the shard owning node u.
+        for lane in 1..self.lanes.len() {
+            let owner = ((lane as u32 - 1) % n) as usize;
+            if let Some(st) = self.lanes[lane].take() {
+                if shards[owner].lanes.len() <= lane {
+                    shards[owner].lanes.resize_with(lane + 1, || None);
+                }
+                shards[owner].lanes[lane] = Some(st);
+            }
+        }
+        // Pending events: structural destinations stay home, the rest go to
+        // the shard owning the destination's node.
+        for (key, timer_id, kind) in self.queue.drain_raw() {
+            let dst = kind.dst();
+            let q = if self.structural.contains(&dst.as_raw()) {
+                &mut self.queue
+            } else {
+                let owner = (self.node_of(dst).as_raw() % n) as usize;
+                &mut shards[owner].queue
+            };
+            if timer_id != 0 {
+                q.push_raw_timer(key, timer_id, kind);
+            } else {
+                q.push_raw(key, kind);
+            }
+        }
+        shards
+    }
+
+    /// Barrier merge after one parallel window: registers actors spawned in
+    /// the window with every simulation, delivers exported actor boxes to
+    /// their owners, routes outboxed cross-shard sends, and merges the
+    /// buffered trace/span logs back into the root in event-key order.
+    pub(crate) fn merge_window(&mut self, shards: &mut [Box<Simulation<M>>]) {
+        let n = shards.len() as u32;
+        // 1. Registrations, then exported boxes (ids are lane-allocated, so
+        //    per-shard registration order is spawn order and slots line up).
+        for i in 0..shards.len() {
+            let new_actors = std::mem::take(&mut shards[i].new_actors);
+            for (id, node) in new_actors {
+                let lane = id.lane_index();
+                let ctr = id.ctr_index();
+                self.ensure_lane_slots(lane as u16);
+                debug_assert_eq!(self.actors[lane].len(), ctr);
+                self.actors[lane].push(Slot::Remote);
+                self.placements[lane].push(node);
+                for (j, sh) in shards.iter_mut().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    sh.ensure_lane_slots(lane as u16);
+                    debug_assert_eq!(sh.actors[lane].len(), ctr);
+                    sh.actors[lane].push(Slot::Remote);
+                    sh.placements[lane].push(node);
+                }
+            }
+            let exported = std::mem::take(&mut shards[i].exported);
+            for (id, bx) in exported {
+                let owner = (self.node_of(id).as_raw() % n) as usize;
+                debug_assert_ne!(owner, i, "exported actors go to another shard");
+                shards[owner].actors[id.lane_index()][id.ctr_index()] = Slot::Occupied(bx);
+            }
+        }
+        // 2. Outboxed sends (already keyed by their sender's lane).
+        for i in 0..shards.len() {
+            let outbox = std::mem::take(&mut shards[i].outbox);
+            for (key, kind) in outbox {
+                let dst = kind.dst();
+                if self.structural.contains(&dst.as_raw()) {
+                    self.queue.push_raw(key, kind);
+                } else {
+                    let owner = (self.node_of(dst).as_raw() % n) as usize;
+                    shards[owner].queue.push_raw(key, kind);
+                }
+            }
+        }
+        // 3. Buffered logs, k-way merged by emitting-event key. Each shard's
+        //    buffer is in its own execution order; the global execution
+        //    order is recovered by always taking the smallest head key
+        //    (cross-shard events created inside a window cannot execute in
+        //    the same window, so every shard's head is globally comparable).
+        let tbufs: Vec<_> = shards
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.trace_buf))
+            .collect();
+        merge_tagged(tbufs, |e: TraceEntry| self.trace.record(e.at, e.event));
+        let sbufs: Vec<_> = shards
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.span_buf))
+            .collect();
+        merge_tagged(sbufs, |ev: SpanEvent| self.spans.push_event(ev));
+    }
+
+    /// Folds shard sub-simulations back into the root: queues, actor slots,
+    /// lane state, network statistics and egress clocks, metrics, and the
+    /// event count. The root becomes a plain sequential simulation again.
+    #[allow(clippy::vec_box)]
+    pub(crate) fn collapse_shards(&mut self, shards: Vec<Box<Simulation<M>>>) {
+        let n = shards.len() as u32;
+        for (i, mut sh) in shards.into_iter().enumerate() {
+            debug_assert!(sh.outbox.is_empty(), "merge_window drains outboxes");
+            debug_assert!(sh.trace_buf.is_empty() && sh.span_buf.is_empty());
+            debug_assert!(sh.new_actors.is_empty() && sh.exported.is_empty());
+            self.time = self.time.max(sh.time);
+            self.events_processed += sh.events_processed;
+            for (key, timer_id, kind) in sh.queue.drain_raw() {
+                if timer_id != 0 {
+                    self.queue.push_raw_timer(key, timer_id, kind);
+                } else {
+                    self.queue.push_raw(key, kind);
+                }
+            }
+            for lane in 0..sh.actors.len() {
+                for ctr in 0..sh.actors[lane].len() {
+                    let slot = std::mem::replace(&mut sh.actors[lane][ctr], Slot::Remote);
+                    if !matches!(slot, Slot::Remote) {
+                        self.actors[lane][ctr] = slot;
+                    }
+                }
+            }
+            for lane in 0..sh.lanes.len() {
+                if let Some(st) = sh.lanes[lane].take() {
+                    if self.lanes.len() <= lane {
+                        self.lanes.resize_with(lane + 1, || None);
+                    }
+                    debug_assert!(self.lanes[lane].is_none(), "lane owned by one shard");
+                    self.lanes[lane] = Some(st);
+                }
+            }
+            let idx = i as u32;
+            self.network
+                .absorb_shard(&sh.network, |node| node % n == idx);
+            self.metrics.merge(&sh.metrics);
+        }
+    }
+}
+
+/// K-way merges per-shard `(event key, item)` buffers in ascending key
+/// order. Each buffer is individually in execution order with duplicate
+/// keys only within one buffer (one event executes on exactly one shard),
+/// so taking the smallest current head reproduces the global execution
+/// order.
+fn merge_tagged<T>(bufs: Vec<Vec<(u128, T)>>, mut f: impl FnMut(T)) {
+    let mut iters: Vec<_> = bufs.into_iter().map(|b| b.into_iter().peekable()).collect();
+    loop {
+        let mut best: Option<(u128, usize)> = None;
+        for (i, it) in iters.iter_mut().enumerate() {
+            if let Some((k, _)) = it.peek() {
+                if best.is_none_or(|(bk, _)| *k < bk) {
+                    best = Some((*k, i));
+                }
+            }
+        }
+        match best {
+            Some((_, i)) => f(iters[i].next().expect("peeked").1),
+            None => break,
+        }
+    }
 }
 
 impl<M: Payload> fmt::Debug for Simulation<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulation")
             .field("time", &self.time)
-            .field("actors", &self.actors.len())
+            .field("actors", &self.actors.iter().map(Vec::len).sum::<usize>())
             .field("pending_events", &self.queue.len())
             .field("events_processed", &self.events_processed)
             .finish()
@@ -1086,6 +1691,7 @@ mod tests {
 
     fn two_node_sim() -> (Simulation<TestMsg>, ActorId, ActorId) {
         let mut sim = Simulation::new(NetConfig::centurion(), 1);
+        sim.set_threads(1);
         let client = sim.spawn(NodeId::from_raw(0), Collector::default());
         let server = sim.spawn(NodeId::from_raw(1), Responder);
         (sim, client, server)
@@ -1114,6 +1720,20 @@ mod tests {
         assert_eq!(tags, (0..10).collect::<Vec<_>>());
         let times: Vec<SimTime> = c.pongs.iter().map(|(_, t)| *t).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn driver_side_ids_stay_dense() {
+        // Lane-structured allocation must not disturb the driver's view:
+        // spawns, timers, and fresh u64s minted driver-side keep the same
+        // dense numbering the pre-lane engine produced.
+        let mut sim = Simulation::<TestMsg>::new(NetConfig::instant(), 99);
+        let a = sim.spawn(NodeId::from_raw(0), Responder);
+        let b = sim.spawn(NodeId::from_raw(1), Responder);
+        assert_eq!(a.as_raw(), 0);
+        assert_eq!(b.as_raw(), 1);
+        assert_eq!(sim.fresh_u64(), 1);
+        assert_eq!(sim.fresh_u64(), 2);
     }
 
     #[test]
@@ -1235,6 +1855,7 @@ mod tests {
     #[test]
     fn crash_kills_actors_cancels_timers_and_blocks_traffic() {
         let mut sim = Simulation::new(NetConfig::centurion(), 9);
+        sim.set_threads(1);
         let n0 = NodeId::from_raw(0);
         let n1 = NodeId::from_raw(1);
         let client = sim.spawn(n0, Collector::default());
@@ -1298,6 +1919,7 @@ mod tests {
     #[test]
     fn partitioned_nodes_drop_cross_group_traffic() {
         let mut sim = Simulation::new(NetConfig::centurion(), 11);
+        sim.set_threads(1);
         let a = sim.spawn(NodeId::from_raw(0), Collector::default());
         let b = sim.spawn(NodeId::from_raw(1), Responder);
         sim.network_mut()
@@ -1319,6 +1941,7 @@ mod tests {
         let mut cfg = NetConfig::centurion();
         cfg.duplicate_rate = 1.0;
         let mut sim = Simulation::new(cfg, 12);
+        sim.set_threads(1);
         let a = sim.spawn(NodeId::from_raw(0), Collector::default());
         let b = sim.spawn(NodeId::from_raw(1), Collector::default());
         sim.post(a, b, TestMsg::Pong(1));
@@ -1339,6 +1962,7 @@ mod tests {
     fn identical_seeds_give_identical_traces() {
         let run = |seed: u64| -> Vec<(u32, SimTime)> {
             let mut sim = Simulation::new(NetConfig::centurion(), seed);
+            sim.set_threads(1);
             let client = sim.spawn(NodeId::from_raw(0), Collector::default());
             let server = sim.spawn(NodeId::from_raw(1), Responder);
             for tag in 0..20 {

@@ -15,9 +15,15 @@
 //! - seeded randomness ([`SimRng`]) and measurement collection ([`Metrics`],
 //!   [`Histogram`]).
 //!
-//! Determinism: the engine is single-threaded, events are totally ordered by
-//! `(time, sequence)`, and all jitter comes from one seeded generator —
-//! identical seeds produce identical traces.
+//! Determinism: events are totally ordered by `(time, lane, sequence)` keys
+//! minted from per-lane counters, and all jitter comes from per-lane seeded
+//! generators split deterministically from the run seed — identical seeds
+//! produce identical traces. The parallel sharded runner (enable with
+//! [`Simulation::set_threads`], [`set_default_threads`], or
+//! `DCDO_SIM_THREADS`) executes disjoint node shards concurrently under a
+//! conservative network-latency lookahead and merges their logs back into
+//! the exact sequential order: trace digests are byte-identical at every
+//! thread count.
 //!
 //! # Examples
 //!
@@ -54,6 +60,7 @@
 mod engine;
 mod metrics;
 mod net;
+mod parallel;
 mod queue;
 mod rng;
 mod time;
@@ -62,6 +69,7 @@ mod trace;
 pub use engine::{Actor, ActorId, Ctx, Payload, Simulation, TimerId};
 pub use metrics::{Histogram, Metrics};
 pub use net::{DeliveryPlan, LinkFault, NetConfig, NetStats, Network, NodeId, TransferModel};
+pub use parallel::set_default_threads;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEntry, TraceEvent};

@@ -1,0 +1,280 @@
+//! The parallel sharded runner: conservative-lookahead windows over
+//! node-owned shards, with deterministic merge.
+//!
+//! # Model
+//!
+//! [`Simulation::split_shards`](crate::Simulation) partitions the node space
+//! by residue (`node % nshards`) into sub-simulations. Each shard owns its
+//! nodes' actors, lanes (RNG streams, counters), pending events, and a fork
+//! of the network model, and buffers its trace/span emissions tagged with
+//! the executing event's `(time, lane, seq)` key.
+//!
+//! Each round, the coordinator computes the global horizon `H` (the minimum
+//! pending event time anywhere) and lets every shard run events with
+//! `time < H + L`, where `L` is the network model's minimum cross-node
+//! delay ([`Network::min_cross_delay`](crate::Network)). Same-node traffic
+//! never leaves a shard; any cross-node message planned inside the window
+//! arrives no earlier than `H + L`, so no shard can receive work it should
+//! already have interleaved — the classic conservative (Chandy–Misra-style)
+//! lookahead argument. Cross-shard sends land in a per-shard outbox and are
+//! exchanged at the window barrier over `crossbeam` channels.
+//!
+//! At the barrier, per-shard buffers are k-way merged by event key, which
+//! reproduces the exact sequential execution order; the merged trace, span
+//! log, and (at the end) metrics are byte-identical to a single-threaded
+//! run, for every workload and thread count. Events destined for
+//! [structural](crate::Simulation::mark_structural) actors (the chaos
+//! controller) never enter a window: when one is next, the world is
+//! collapsed and its whole tick executes sequentially, so crash/partition
+//! mutations see a merged, consistent topology.
+//!
+//! Configurations with no usable lookahead (`min_cross_delay() == 0`, e.g.
+//! [`NetConfig::instant`](crate::NetConfig)) fall back to sequential
+//! execution — there is no window in which shards could legally run ahead.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+use crossbeam::channel;
+
+use crate::engine::{Payload, Simulation};
+use crate::time::SimTime;
+
+/// Process-wide thread-count override installed by
+/// [`set_default_threads`]; 0 means unset.
+static DEFAULT_THREADS: AtomicU32 = AtomicU32::new(0);
+
+/// `DCDO_SIM_THREADS` parsed once per process.
+static ENV_THREADS: OnceLock<u32> = OnceLock::new();
+
+/// Sets the process-wide default worker-thread count used by simulations
+/// without an instance override (see
+/// [`Simulation::set_threads`](crate::Simulation::set_threads)). Takes
+/// precedence over the `DCDO_SIM_THREADS` environment variable. `0` clears
+/// the override.
+pub fn set_default_threads(n: u32) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The worker-thread count for simulations without an instance override:
+/// the [`set_default_threads`] value if set, else `DCDO_SIM_THREADS`, else 1.
+pub(crate) fn default_threads() -> u32 {
+    let over = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if over != 0 {
+        return over;
+    }
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("DCDO_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    })
+}
+
+/// What bounds a parallel run: an event budget or a time deadline.
+enum Limit {
+    Budget(u64),
+    Deadline(SimTime),
+}
+
+/// A window assignment shipped to a persistent worker: shard index, the
+/// shard itself, the window end (exclusive, ns), and the event cap.
+type WindowJob<M> = (usize, Box<Simulation<M>>, u64, u64);
+
+/// A worker's reply: the shard index plus either the shard and its
+/// `(events, hit_cap)` outcome, or the payload of a panic that occurred
+/// while running it (re-raised on the coordinator).
+type WindowReply<M> = (
+    usize,
+    Result<(Box<Simulation<M>>, (u64, bool)), Box<dyn std::any::Any + Send>>,
+);
+
+/// The persistent worker loop: runs one window per job until the job
+/// channel disconnects. Panics inside `run_window` are caught and shipped
+/// back so the coordinator can re-raise them instead of deadlocking on a
+/// reply that will never come.
+fn worker_loop<M: Payload>(
+    jobs: channel::Receiver<WindowJob<M>>,
+    replies: channel::Sender<WindowReply<M>>,
+) {
+    for (i, mut shard, w_end, cap) in jobs.iter() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let out = shard.run_window(w_end, cap);
+            (shard, out)
+        }));
+        let died = outcome.is_err();
+        if replies.send((i, outcome)).is_err() || died {
+            break;
+        }
+    }
+}
+
+impl<M: Payload> Simulation<M> {
+    pub(crate) fn run_parallel_with_budget(&mut self, threads: u32, budget: u64) -> u64 {
+        self.run_parallel(threads, Limit::Budget(budget))
+    }
+
+    pub(crate) fn run_parallel_until(&mut self, threads: u32, deadline: SimTime) -> u64 {
+        self.run_parallel(threads, Limit::Deadline(deadline))
+    }
+
+    /// The windowed coordinator loop. `self` must be a root (non-shard)
+    /// simulation; returns the number of events processed.
+    fn run_parallel(&mut self, threads: u32, limit: Limit) -> u64 {
+        let lookahead = self.network().min_cross_delay().as_nanos();
+        if threads <= 1 || lookahead == 0 {
+            // No usable lookahead (or nothing to parallelize): sequential.
+            return match limit {
+                Limit::Budget(b) => self.run_with_budget_sole(b),
+                Limit::Deadline(d) => self.run_until_sole(d),
+            };
+        }
+        let budget = match limit {
+            Limit::Budget(b) => b,
+            Limit::Deadline(_) => u64::MAX,
+        };
+        let deadline_ns = match limit {
+            Limit::Deadline(d) => Some(d.as_nanos()),
+            Limit::Budget(_) => None,
+        };
+        let mut processed: u64 = 0;
+        let mut shards = self.split_shards(threads);
+        // Persistent workers: spawned once for the whole run, fed one
+        // window at a time over dedicated channels. Windows are short
+        // (lookahead-bounded), so per-window thread spawning would dominate
+        // the coordination cost; persistent workers amortize it across the
+        // run. `threads - 1` workers: the coordinator itself runs one busy
+        // shard inline each window.
+        let nworkers = threads as usize - 1;
+        let (reply_tx, reply_rx) = channel::unbounded::<WindowReply<M>>();
+        let mut job_txs: Vec<channel::Sender<WindowJob<M>>> = Vec::with_capacity(nworkers);
+        let mut job_rxs = Vec::with_capacity(nworkers);
+        for _ in 0..nworkers {
+            let (tx, rx) = channel::unbounded::<WindowJob<M>>();
+            job_txs.push(tx);
+            job_rxs.push(rx);
+        }
+        std::thread::scope(|scope| {
+            for job_rx in job_rxs {
+                let replies = reply_tx.clone();
+                scope.spawn(move || worker_loop(job_rx, replies));
+            }
+            // Workers hold the only live reply senders, so `recv` disconnects
+            // (rather than blocking forever) once they have all exited.
+            drop(reply_tx);
+            loop {
+                // Global horizon: earliest pending event anywhere (shard queues
+                // plus the root queue holding structural-actor events).
+                let root_min = self.peek_time_ns();
+                let shard_min = shards.iter().filter_map(|s| s.peek_time_ns()).min();
+                let horizon = match (root_min, shard_min) {
+                    (None, None) => break,
+                    (a, b) => a.into_iter().chain(b).min().expect("some pending"),
+                };
+                if let Some(d) = deadline_ns {
+                    if horizon > d {
+                        break;
+                    }
+                }
+                if processed >= budget {
+                    panic!("simulation exceeded event budget of {budget}");
+                }
+                if root_min == Some(horizon) {
+                    // A structural event is next: collapse, run its whole tick
+                    // sequentially against the merged world, re-split.
+                    self.collapse_shards(shards);
+                    processed += self.run_head_tick_sole();
+                    if processed > budget {
+                        panic!("simulation exceeded event budget of {budget}");
+                    }
+                    shards = self.split_shards(threads);
+                    continue;
+                }
+                // Window end: horizon + lookahead, clipped so neither a pending
+                // structural event nor the deadline falls strictly inside it.
+                let mut w_end = horizon.saturating_add(lookahead).saturating_add(1);
+                if let Some(r) = root_min {
+                    w_end = w_end.min(r);
+                }
+                if let Some(d) = deadline_ns {
+                    w_end = w_end.min(d.saturating_add(1));
+                }
+                // Per-shard cap: a single shard may not exceed what remains of
+                // the global budget (+1 so the overshoot is observable).
+                let cap = (budget - processed).saturating_add(1);
+                let busy: Vec<usize> = shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.peek_time_ns().is_some_and(|t| t < w_end))
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut hit_cap = false;
+                if busy.len() <= 1 {
+                    // One busy shard: run it inline, no handoff ceremony.
+                    for i in busy {
+                        let (n, hc) = shards[i].run_window(w_end, cap);
+                        processed += n;
+                        hit_cap |= hc;
+                    }
+                } else {
+                    let (inline, to_workers) = busy.split_last().expect("len > 1");
+                    for (w, &i) in to_workers.iter().enumerate() {
+                        // Placeholder shell keeps the Vec's indices stable while
+                        // the real shard is on a worker thread. Busy shards
+                        // never outnumber `nworkers + 1`, so each worker gets
+                        // at most one job per window.
+                        let shell = Box::new(Simulation::new(crate::NetConfig::instant(), 0));
+                        let shard = std::mem::replace(&mut shards[i], shell);
+                        job_txs[w % nworkers]
+                            .send((i, shard, w_end, cap))
+                            .expect("worker alive");
+                    }
+                    let (n, hc) = shards[*inline].run_window(w_end, cap);
+                    processed += n;
+                    hit_cap |= hc;
+                    for _ in 0..to_workers.len() {
+                        let (i, outcome) = reply_rx.recv().expect("worker alive");
+                        match outcome {
+                            Ok((shard, (n, hc))) => {
+                                shards[i] = shard;
+                                processed += n;
+                                hit_cap |= hc;
+                            }
+                            Err(panic_payload) => std::panic::resume_unwind(panic_payload),
+                        }
+                    }
+                }
+                if processed > budget || (processed >= budget && hit_cap) {
+                    panic!("simulation exceeded event budget of {budget}");
+                }
+                self.merge_window(&mut shards);
+            }
+            drop(job_txs);
+            self.collapse_shards(shards);
+            if let Limit::Deadline(d) = limit {
+                if self.now() < d {
+                    self.set_time_for_deadline(d);
+                }
+            } else if processed >= budget && self.pending_events() > 0 {
+                panic!("simulation exceeded event budget of {budget}");
+            }
+            processed
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        // Whatever the environment says, the resolved count is >= 1 and the
+        // explicit override wins.
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        set_default_threads(0);
+        assert!(default_threads() >= 1);
+    }
+}

@@ -21,10 +21,15 @@
 //!   later heap entry. Timers always go through the heap, even at zero
 //!   delay, so every timer stays cancellable.
 //!
-//! Ordering is by the packed key `(at.as_nanos() << 64) | seq`: `seq` is the
-//! engine's global event sequence number, so keys are unique and the total
-//! order `(time, seq)` is exactly the one the old queue produced — traces
-//! are bit-identical across the swap (pinned by `tests/determinism.rs`).
+//! Ordering is by the packed key `(at.as_nanos() << 64) | sub`: `sub` is a
+//! 64-bit sub-key the engine structures as `(lane << 48) | lane_seq`, where
+//! a *lane* is one execution context (the driver, or one node's handlers).
+//! Per-lane sequence numbers make keys unique and — crucially for the
+//! parallel engine — independent of how many worker threads executed the
+//! run: a lane's counter advances only with that lane's own events. The
+//! queue itself only relies on keys being unique and totally ordered; the
+//! raw-key API (`push_raw`, `pop_raw`, `drain_raw`) lets the sharded engine
+//! move events between per-shard queues without re-keying them.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -32,6 +37,7 @@ use crate::time::SimTime;
 
 /// Packs `(at, seq)` into a single totally ordered `u128` key.
 #[inline]
+#[cfg_attr(not(test), allow(dead_code))]
 fn pack(at: SimTime, seq: u64) -> u128 {
     ((at.as_nanos() as u128) << 64) | seq as u128
 }
@@ -105,36 +111,57 @@ impl<T> EventQueue<T> {
 
     /// Earliest pending `(time, seq)` without removing it.
     pub fn peek_key(&self) -> Option<(SimTime, u64)> {
-        let ring = self.ring.front().map(|(k, _)| *k);
-        let heap = self.heap.first().map(|e| e.key);
-        let key = match (ring, heap) {
-            (Some(r), Some(h)) => r.min(h),
-            (Some(r), None) => r,
-            (None, Some(h)) => h,
-            (None, None) => return None,
-        };
-        Some((key_time(key), key as u64))
+        self.peek_raw_key().map(|key| (key_time(key), key as u64))
     }
 
     /// Enqueues a delivery due at the current instant. The caller guarantees
     /// `at == now`; such events FIFO ahead of everything later without
     /// touching the heap.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn push_same_tick(&mut self, at: SimTime, seq: u64, item: T) {
-        self.ring.push_back((pack(at, seq), item));
+        self.push_same_tick_raw(pack(at, seq), item);
+    }
+
+    /// Raw-key variant of [`push_same_tick`](Self::push_same_tick).
+    ///
+    /// The ring must stay key-sorted, but same-instant pushes are not
+    /// globally key-ordered under lane-structured sub-keys (a lower lane can
+    /// push after a higher one at the same tick): an entry that would break
+    /// the ring's order is diverted to the heap instead.
+    pub fn push_same_tick_raw(&mut self, key: u128, item: T) {
+        if self.ring.back().is_some_and(|(back, _)| *back > key) {
+            self.push_slab(key, NO_TIMER, item);
+            return;
+        }
+        self.ring.push_back((key, item));
         self.peak_len = self.peak_len.max(self.len());
     }
 
     /// Enqueues a future delivery.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
         self.push_slab(pack(at, seq), NO_TIMER, item);
+    }
+
+    /// Raw-key variant of [`push`](Self::push) (future delivery).
+    pub fn push_raw(&mut self, key: u128, item: T) {
+        self.push_slab(key, NO_TIMER, item);
     }
 
     /// Enqueues a timer. `timer_id` must be nonzero and unique among live
     /// timers; it becomes cancellable via [`cancel_timer`](Self::cancel_timer)
     /// until it pops.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn push_timer(&mut self, at: SimTime, seq: u64, timer_id: u64, item: T) {
         debug_assert_ne!(timer_id, NO_TIMER);
         let slot = self.push_slab(pack(at, seq), timer_id, item);
+        self.timers.insert(timer_id, slot);
+    }
+
+    /// Raw-key variant of [`push_timer`](Self::push_timer).
+    pub fn push_raw_timer(&mut self, key: u128, timer_id: u64, item: T) {
+        debug_assert_ne!(timer_id, NO_TIMER);
+        let slot = self.push_slab(key, timer_id, item);
         self.timers.insert(timer_id, slot);
     }
 
@@ -172,9 +199,27 @@ impl<T> EventQueue<T> {
         ids.len()
     }
 
+    /// Earliest pending key without removing it.
+    pub fn peek_raw_key(&self) -> Option<u128> {
+        let ring = self.ring.front().map(|(k, _)| *k);
+        let heap = self.heap.first().map(|e| e.key);
+        match (ring, heap) {
+            (Some(r), Some(h)) => Some(r.min(h)),
+            (Some(r), None) => Some(r),
+            (None, Some(h)) => Some(h),
+            (None, None) => None,
+        }
+    }
+
     /// Pops the earliest event in `(time, seq)` order.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        // Keys are unique (seq is global), so a strict comparison suffices.
+        self.pop_raw().map(|(key, item)| (key_time(key), item))
+    }
+
+    /// Pops the earliest event, returning its full packed key.
+    pub fn pop_raw(&mut self) -> Option<(u128, T)> {
+        // Keys are unique (per-lane seq), so a strict comparison suffices.
         let take_heap = match (self.ring.front(), self.heap.first()) {
             (None, None) => return None,
             (None, Some(_)) => true,
@@ -194,11 +239,32 @@ impl<T> EventQueue<T> {
                 self.timers.remove(&timer_id);
             }
             self.release_slot(slot);
-            Some((key_time(key), item))
+            Some((key, item))
         } else {
             let (key, item) = self.ring.pop_front().expect("ring checked non-empty");
-            Some((key_time(key), item))
+            Some((key, item))
         }
+    }
+
+    /// Empties the queue, returning every pending `(key, timer_id, item)` in
+    /// arbitrary (but deterministic) order; `timer_id` is `0` for
+    /// deliveries. Used by the sharded engine to redistribute events between
+    /// queues; callers re-push with [`push_raw`](Self::push_raw) /
+    /// [`push_raw_timer`](Self::push_raw_timer).
+    pub fn drain_raw(&mut self) -> Vec<(u128, u64, T)> {
+        let mut out = Vec::with_capacity(self.len());
+        for (key, item) in self.ring.drain(..) {
+            out.push((key, NO_TIMER, item));
+        }
+        for e in self.heap.drain(..) {
+            let entry = &mut self.slab[e.slot as usize];
+            let item = entry.item.take().expect("heap entry has an item");
+            out.push((e.key, entry.timer_id, item));
+        }
+        self.slab.clear();
+        self.free.clear();
+        self.timers.clear();
+        out
     }
 
     fn push_slab(&mut self, key: u128, timer_id: u64, item: T) -> u32 {
@@ -395,6 +461,37 @@ mod tests {
         assert_eq!(q.peek_key(), Some((t(50), 3)));
         q.pop();
         assert_eq!(q.peek_key(), Some((t(50), 7)));
+    }
+
+    #[test]
+    fn out_of_order_same_tick_push_diverts_to_heap() {
+        // Lane-structured sub-keys mean a same-instant push can carry a
+        // smaller key than the ring's back entry; it must still pop in key
+        // order (via the heap), not break the ring's FIFO invariant.
+        let mut q = EventQueue::new();
+        q.push_same_tick(t(0), 5, 50);
+        q.push_same_tick(t(0), 2, 20); // smaller key after larger: diverted
+        q.push_same_tick(t(0), 7, 70);
+        assert_eq!(drain(&mut q), vec![20, 50, 70]);
+    }
+
+    #[test]
+    fn drain_raw_roundtrips_through_push_raw() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 1, 301);
+        q.push_same_tick(t(0), 2, 2);
+        q.push_timer(t(10), 3, 9, 109);
+        let mut other = EventQueue::new();
+        for (key, timer_id, item) in q.drain_raw() {
+            if timer_id != 0 {
+                other.push_raw_timer(key, timer_id, item);
+            } else {
+                other.push_raw(key, item);
+            }
+        }
+        assert!(q.is_empty());
+        assert!(other.cancel_timer(9), "timer index survives the move");
+        assert_eq!(drain(&mut other), vec![2, 301]);
     }
 
     #[test]

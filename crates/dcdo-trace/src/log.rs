@@ -1,6 +1,6 @@
 //! The per-run structured trace log: recording, queries, digest.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crate::span::{SpanEvent, SpanId, SpanKind};
 
@@ -10,11 +10,19 @@ use crate::span::{SpanEvent, SpanId, SpanKind};
 /// nothing, which is what lets the instrumented engine stay within its
 /// throughput budget when nobody is watching. Enable with
 /// [`TraceLog::enable`] before the run starts to capture everything.
+///
+/// Events enter the log through two doors: [`TraceLog::emit`] mints the next
+/// dense id itself, while [`TraceLog::push_event`] appends a pre-built event
+/// whose id the producer chose (the simulation engine allocates per-lane
+/// ids so a parallel run can merge shard logs back into one sequence). Both
+/// maintain the id → position index that [`TraceLog::get`] uses.
 #[derive(Debug, Default, Clone)]
 pub struct TraceLog {
     enabled: bool,
     next_id: u64,
     events: Vec<SpanEvent>,
+    /// Raw span id → index in `events`.
+    index: HashMap<u64, usize>,
 }
 
 impl TraceLog {
@@ -42,6 +50,7 @@ impl TraceLog {
     /// Drops all captured events and resets the id sequence.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.index.clear();
         self.next_id = 0;
     }
 
@@ -63,6 +72,7 @@ impl TraceLog {
         }
         self.next_id += 1;
         let id = SpanId::from_raw(self.next_id).expect("span ids start at 1");
+        self.index.insert(id.as_raw(), self.events.len());
         self.events.push(SpanEvent {
             id,
             parent,
@@ -71,6 +81,15 @@ impl TraceLog {
             kind,
         });
         Some(id)
+    }
+
+    /// Appends a pre-built event carrying a producer-allocated id. Unlike
+    /// [`TraceLog::emit`], the id sequence is not advanced — the producer
+    /// owns id uniqueness. The engine uses this to merge per-shard span
+    /// buffers back into execution order after a parallel window.
+    pub fn push_event(&mut self, ev: SpanEvent) {
+        self.index.insert(ev.id.as_raw(), self.events.len());
+        self.events.push(ev);
     }
 
     /// All captured events in emit order.
@@ -90,8 +109,7 @@ impl TraceLog {
 
     /// Looks an event up by id.
     pub fn get(&self, id: SpanId) -> Option<&SpanEvent> {
-        // Ids are dense and emit-ordered, so the lookup is an index.
-        self.events.get((id.as_raw() - 1) as usize)
+        self.events.get(*self.index.get(&id.as_raw())?)
     }
 
     /// Direct causal children of `id`, in emit order.
@@ -122,10 +140,11 @@ impl TraceLog {
                 queue.push_back(e.id);
             }
         }
-        // Children always have larger ids than parents (emit order), so one
+        // Children always appear after their parents (log order), so one
         // forward sweep per frontier element terminates.
         while let Some(parent) = queue.pop_front() {
-            let start = parent.as_raw() as usize; // first candidate child index
+            // First candidate child position: just past the parent itself.
+            let start = self.index.get(&parent.as_raw()).map_or(0, |&pos| pos + 1);
             for (i, e) in self.events.iter().enumerate().skip(start) {
                 if !member[i] && e.parent == Some(parent) {
                     member[i] = true;
@@ -351,6 +370,45 @@ mod tests {
         c.emit(60, 0, None, SpanKind::PartitionHealed);
         assert_ne!(a.digest(), c.digest());
         assert_ne!(TraceLog::new().digest(), a.digest());
+    }
+
+    #[test]
+    fn push_event_with_sparse_ids_supports_lookup_and_flows() {
+        // The engine's lane-allocated ids are huge and non-dense; get(),
+        // children_of, and spans_for_flow must still work.
+        let mut log = TraceLog::new();
+        log.enable();
+        let big = |raw: u64| SpanId::from_raw(raw).expect("nonzero");
+        log.push_event(SpanEvent {
+            id: big(1 << 48),
+            parent: None,
+            at_ns: 5,
+            node: 0,
+            kind: SpanKind::FlowStarted {
+                flow: 3,
+                object: 1,
+                kind: FlowKind::Create,
+            },
+        });
+        log.push_event(SpanEvent {
+            id: big((2 << 48) | 7),
+            parent: Some(big(1 << 48)),
+            at_ns: 6,
+            node: 1,
+            kind: SpanKind::FlowCompleted { flow: 3 },
+        });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.get(big(1 << 48)).expect("indexed").at_ns, 5);
+        assert_eq!(log.get(big((2 << 48) | 7)).expect("indexed").at_ns, 6);
+        assert!(log.get(big(42)).is_none());
+        assert_eq!(log.children_of(big(1 << 48)).len(), 1);
+        assert_eq!(log.spans_for_flow(3).len(), 2);
+        // A later emit() still mints dense ids independent of pushed ones.
+        let id = log
+            .emit(7, 0, None, SpanKind::PartitionHealed)
+            .expect("enabled");
+        assert_eq!(id.as_raw(), 1);
+        assert_eq!(log.get(id).expect("indexed").at_ns, 7);
     }
 
     #[test]

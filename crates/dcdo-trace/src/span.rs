@@ -9,8 +9,12 @@ pub const NO_NODE: u32 = u32::MAX;
 
 /// Identifies one span event within a [`TraceLog`](crate::TraceLog).
 ///
-/// Ids are dense sequence numbers starting at 1, assigned in emit order, so
-/// they double as a stable total order over the log.
+/// Standalone [`emit`](crate::TraceLog::emit) calls assign dense sequence
+/// numbers starting at 1. Producers that append pre-built events through
+/// [`push_event`](crate::TraceLog::push_event) — like the simulation
+/// engine, whose parallel mode needs thread-count-independent ids — supply
+/// their own nonzero ids instead; log position, not id value, is the total
+/// order over a mixed log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpanId(NonZeroU64);
 
@@ -589,7 +593,7 @@ impl SpanKind {
 /// One recorded event of a [`TraceLog`](crate::TraceLog).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanEvent {
-    /// This event's id (dense, emit-ordered).
+    /// This event's id (see [`SpanId`] for the allocation schemes).
     pub id: SpanId,
     /// The event that causally triggered this one, if traced.
     pub parent: Option<SpanId>,

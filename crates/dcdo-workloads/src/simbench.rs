@@ -254,6 +254,70 @@ pub fn fan_out(rounds: u64, spokes: u32, payload_words: usize) -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// fan-out-wide (the parallel-scaling shape)
+
+/// Builds the wide fan-out simulation: one [`BlastHub`] per centurion node
+/// (16 independent broadcast clusters running concurrently), with the
+/// `spokes` ack spokes dealt round-robin across the hubs and every spoke
+/// placed on a *different* node than its hub.
+///
+/// Unlike [`fan_out_sim`] — a single hub on the instant network, which is
+/// an inherently serial event stream — this shape is built for the sharded
+/// runner: the centurion network's link latency gives the conservative
+/// lookahead a non-zero window, and the 16 clusters make progress
+/// independently, so work spreads across however many shards the engine is
+/// configured with. It is the scaling workload of the thread-count sweep
+/// in `BENCH_sim.json`.
+pub fn fan_out_wide_sim(rounds: u64, spokes: u32, payload_words: usize) -> (Simulation<Msg>, u64) {
+    const HUBS: u32 = 16;
+    let mut sim = Simulation::new(NetConfig::centurion(), 31);
+    let hubs: Vec<ActorId> = (0..HUBS)
+        .map(|h| {
+            sim.spawn(
+                NodeId::from_raw(h),
+                BlastHub {
+                    spokes: Vec::new(),
+                    op: ControlOp::new(BenchBlast {
+                        data: (0..payload_words as u64).collect(),
+                    }),
+                    rounds_remaining: rounds,
+                    acks_pending: 1,
+                },
+            )
+        })
+        .collect();
+    for i in 0..spokes {
+        let h = i % HUBS;
+        // Spokes sit on nodes other than their hub's, so every broadcast
+        // and every ack crosses the network (and, sharded, a lane).
+        let node = (h + 1 + i / HUBS) % HUBS;
+        let spoke = sim.spawn(NodeId::from_raw(node), AckSpoke);
+        sim.actor_mut::<BlastHub>(hubs[h as usize])
+            .expect("alive")
+            .spokes
+            .push(spoke);
+    }
+    for &hub in &hubs {
+        sim.post(
+            hub,
+            hub,
+            Msg::ControlReply {
+                call: CallId::from_raw(0),
+                result: Ok(ControlOp::new(BenchAck)),
+            },
+        );
+    }
+    (sim, rounds * u64::from(spokes) * 2 + u64::from(spokes) + 64)
+}
+
+/// Runs `rounds` broadcast rounds across 16 per-node hub clusters sharing
+/// `spokes` spokes on the centurion network. Returns events processed.
+pub fn fan_out_wide(rounds: u64, spokes: u32, payload_words: usize) -> u64 {
+    let (mut sim, budget) = fan_out_wide_sim(rounds, spokes, payload_words);
+    sim.run_with_budget(budget)
+}
+
+// ---------------------------------------------------------------------------
 // timer-heavy
 
 struct TimerChurn {
@@ -549,6 +613,13 @@ mod tests {
     fn fan_out_processes_expected_events() {
         // Kick + rounds * spokes * (control + reply).
         assert_eq!(fan_out(3, 4, 16), 1 + 3 * 4 * 2);
+    }
+
+    #[test]
+    fn fan_out_wide_processes_expected_events() {
+        // 16 kicks + rounds * spokes * (control + reply). Every hub has
+        // spokes (32 >= 16), so all 16 clusters run all their rounds.
+        assert_eq!(fan_out_wide(3, 32, 16), 16 + 3 * 32 * 2);
     }
 
     #[test]

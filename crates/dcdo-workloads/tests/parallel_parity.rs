@@ -1,0 +1,157 @@
+//! The parallel engine's acceptance oracle: every workload and chaos
+//! scenario must produce **byte-identical** span digests and execution
+//! traces at every thread count.
+//!
+//! The sharded runner (DESIGN.md §11) claims that conservative lookahead
+//! plus the `(time, lane, seq)` merge reproduces the sequential execution
+//! exactly — not merely an equivalent one. These tests hold it to that:
+//! the digests from `threads = 1` (the sole-threaded loop, no sharding
+//! machinery at all) are compared against runs at 2, 4, and 8 worker
+//! threads, including under structural fault plans driven by the chaos
+//! controller.
+
+use dcdo_sim::{check_trace_invariants, set_default_threads, Simulation};
+use dcdo_workloads::chaos::{crash_during_reconfig, restart_storm, rolling_partition, ChaosReport};
+use dcdo_workloads::simbench;
+use legion_substrate::Msg;
+use std::sync::Mutex;
+
+const THREAD_COUNTS: [u32; 3] = [2, 4, 8];
+
+/// Runs a built workload sim at `threads` workers with spans and the
+/// execution trace on; returns `(span digest, trace hash)` after asserting
+/// a clean invariant check.
+fn run_digests(mut sim: Simulation<Msg>, budget: u64, threads: u32, name: &str) -> (u64, u64) {
+    sim.spans_mut().enable();
+    sim.trace_mut().enable(1 << 16);
+    sim.set_threads(threads);
+    sim.run_with_budget(budget);
+    sim.run_until_idle();
+    let violations = check_trace_invariants(sim.spans());
+    assert!(
+        violations.is_empty(),
+        "{name} @ {threads} threads: {} violation(s), first: {}",
+        violations.len(),
+        violations[0]
+    );
+    assert!(!sim.spans().is_empty(), "{name}: tracing recorded nothing");
+    (sim.spans().digest(), dcdo_chaos::trace_hash(sim.trace()))
+}
+
+/// Asserts a workload builder produces identical digests at 1/2/4/8
+/// threads.
+fn assert_workload_parity(name: &str, build: impl Fn() -> (Simulation<Msg>, u64)) {
+    let (sim, budget) = build();
+    let sequential = run_digests(sim, budget, 1, name);
+    for threads in THREAD_COUNTS {
+        let (sim, budget) = build();
+        let parallel = run_digests(sim, budget, threads, name);
+        assert_eq!(
+            sequential, parallel,
+            "{name}: digests diverged at {threads} threads \
+             (sequential (span, trace) = {sequential:?}, parallel = {parallel:?})"
+        );
+    }
+}
+
+#[test]
+fn ping_pong_parity() {
+    assert_workload_parity("ping_pong", || simbench::ping_pong_sim(200));
+}
+
+#[test]
+fn fan_out_parity() {
+    assert_workload_parity("fan_out", || simbench::fan_out_sim(20, 8, 16));
+}
+
+#[test]
+fn fan_out_wide_parity() {
+    assert_workload_parity("fan_out_wide", || simbench::fan_out_wide_sim(12, 48, 16));
+}
+
+#[test]
+fn timer_heavy_parity() {
+    assert_workload_parity("timer_heavy", || simbench::timer_heavy_sim(8, 50));
+}
+
+#[test]
+fn transfer_heavy_parity() {
+    assert_workload_parity("transfer_heavy", || simbench::transfer_heavy_sim(4, 6));
+}
+
+// ---------------------------------------------------------------------------
+// chaos scenarios
+//
+// Scenario functions build their simulations internally, so the worker
+// count is injected through the process-wide default. The lock serializes
+// the scenario tests against each other (tests in one binary share the
+// global), and the guard restores the sequential default even on panic so
+// one failing scenario can't contaminate the rest.
+
+static DEFAULT_THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+struct ThreadsGuard<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl Drop for ThreadsGuard<'_> {
+    fn drop(&mut self) {
+        set_default_threads(1);
+    }
+}
+
+fn with_default_threads(threads: u32) -> ThreadsGuard<'static> {
+    let guard = DEFAULT_THREADS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    set_default_threads(threads);
+    ThreadsGuard(guard)
+}
+
+/// Asserts a chaos scenario's full report signature — span digest, trace
+/// hash, event count, and recovery metrics — is thread-count invariant.
+fn assert_scenario_parity(scenario: impl Fn(u64) -> ChaosReport) {
+    let sequential = {
+        let _g = with_default_threads(1);
+        scenario(11)
+    };
+    assert_eq!(sequential.trace_violations, 0, "{}", sequential.name);
+    for threads in THREAD_COUNTS {
+        let parallel = {
+            let _g = with_default_threads(threads);
+            scenario(11)
+        };
+        let name = sequential.name;
+        assert_eq!(
+            sequential.span_digest, parallel.span_digest,
+            "{name}: span digest diverged at {threads} threads"
+        );
+        assert_eq!(
+            sequential.trace_hash, parallel.trace_hash,
+            "{name}: execution trace diverged at {threads} threads"
+        );
+        assert_eq!(
+            sequential.events_processed, parallel.events_processed,
+            "{name}: event count diverged at {threads} threads"
+        );
+        assert_eq!(
+            (sequential.recovery_time_s, sequential.unreachable_drops),
+            (parallel.recovery_time_s, parallel.unreachable_drops),
+            "{name}: recovery metrics diverged at {threads} threads"
+        );
+        assert_eq!(parallel.trace_violations, 0, "{name} @ {threads} threads");
+    }
+}
+
+#[test]
+fn crash_during_reconfig_parity() {
+    assert_scenario_parity(crash_during_reconfig);
+}
+
+#[test]
+fn rolling_partition_parity() {
+    assert_scenario_parity(rolling_partition);
+}
+
+#[test]
+fn restart_storm_parity() {
+    assert_scenario_parity(restart_storm);
+}

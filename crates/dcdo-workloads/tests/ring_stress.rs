@@ -1,0 +1,145 @@
+//! Cross-shard ring stress: a token ring whose stride is co-prime with
+//! every tested shard count, so **every single hop crosses a shard
+//! boundary** — the adversarial case for the sharded runner's outbox/merge
+//! path (no same-shard fast path ever applies, all traffic is routed
+//! through cross-shard channels and merged at window edges).
+//!
+//! The engine's own span instrumentation (`MsgSent`/`MsgDelivered`/
+//! `TimerFired`) witnesses the full event order, so digest equality at
+//! 1/2/4/8 threads is exact execution-order equality. A second variant
+//! layers a partition/heal fault plan on top: structural barriers must
+//! interleave with windowed execution without perturbing the order.
+
+use dcdo_chaos::{ChaosController, FaultPlan};
+use dcdo_sim::{Actor, ActorId, Ctx, NetConfig, NodeId, Payload, SimDuration, Simulation};
+
+const NODES: u32 = 16;
+/// Co-prime with 2, 4, 8, and 16 — and odd, so `node % shards` always
+/// changes across a hop at every tested shard count.
+const STRIDE: u32 = 5;
+
+#[derive(Debug)]
+struct Token {
+    hops_left: u32,
+}
+
+impl Payload for Token {}
+
+/// Forwards the token to its ring successor until the hop budget is spent.
+struct RingNode {
+    next: Option<ActorId>,
+    tokens_seen: u32,
+}
+
+impl Actor<Token> for RingNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Token>, _from: ActorId, msg: Token) {
+        self.tokens_seen += 1;
+        if msg.hops_left > 0 {
+            ctx.send(
+                self.next.expect("ring wired"),
+                Token {
+                    hops_left: msg.hops_left - 1,
+                },
+            );
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ring-node"
+    }
+}
+
+/// Builds the ring: one actor per node, successor at `+STRIDE` (mod
+/// `NODES`), with `tokens` tokens injected at distinct starting nodes,
+/// each living for `hops` hops.
+fn ring_sim(tokens: u32, hops: u32) -> Simulation<Token> {
+    let mut sim = Simulation::new(NetConfig::centurion(), 37);
+    let ids: Vec<ActorId> = (0..NODES)
+        .map(|i| {
+            sim.spawn(
+                NodeId::from_raw(i),
+                RingNode {
+                    next: None,
+                    tokens_seen: 0,
+                },
+            )
+        })
+        .collect();
+    for (i, &id) in ids.iter().enumerate() {
+        let next = ids[(i + STRIDE as usize) % NODES as usize];
+        sim.actor_mut::<RingNode>(id).expect("alive").next = Some(next);
+    }
+    for t in 0..tokens {
+        let start = ids[(t * 3 % NODES) as usize];
+        sim.post(start, start, Token { hops_left: hops });
+    }
+    sim
+}
+
+/// Runs the ring at `threads` workers; returns `(span digest, events)`.
+fn run_ring(mut sim: Simulation<Token>, threads: u32) -> (u64, u64) {
+    sim.spans_mut().enable();
+    sim.set_threads(threads);
+    let events = sim.run_until_idle();
+    (sim.spans().digest(), events)
+}
+
+#[test]
+fn every_hop_crosses_a_shard_boundary() {
+    // The property the ring is built on: for each tested shard count, a
+    // `+STRIDE` hop always lands in a different shard (`node % shards`).
+    for shards in [2u32, 4, 8] {
+        for node in 0..NODES {
+            let next = (node + STRIDE) % NODES;
+            assert_ne!(
+                node % shards,
+                next % shards,
+                "hop {node}->{next} stays inside shard ({shards} shards)"
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_digest_is_thread_count_invariant() {
+    let sequential = run_ring(ring_sim(8, 200), 1);
+    assert!(sequential.1 >= 8 * 200, "ring must actually run");
+    for threads in [2u32, 4, 8] {
+        let parallel = run_ring(ring_sim(8, 200), threads);
+        assert_eq!(
+            sequential, parallel,
+            "ring (span digest, events) diverged at {threads} threads"
+        );
+    }
+}
+
+/// The partitioned variant: two partition/heal cycles sweep the testbed
+/// while tokens circulate. Deliveries into the blocked half drop (the ring
+/// keeps no retry state, so the drop pattern itself is part of the
+/// witnessed order).
+fn partitioned_ring_sim(tokens: u32, hops: u32) -> Simulation<Token> {
+    let mut sim = ring_sim(tokens, hops);
+    let left: Vec<NodeId> = (0..NODES / 2).map(NodeId::from_raw).collect();
+    let right: Vec<NodeId> = (NODES / 2..NODES).map(NodeId::from_raw).collect();
+    let plan = FaultPlan::new()
+        .partition_at(SimDuration::from_millis(2), &[left.clone(), right.clone()])
+        .heal_at(SimDuration::from_millis(5))
+        .partition_at(SimDuration::from_millis(8), &[left, right])
+        .heal_at(SimDuration::from_millis(11));
+    // The controller rides on node 0; it only drives partitions, which
+    // don't unseat actors, so placing it inside a partition group is fine.
+    ChaosController::install(&mut sim, NodeId::from_raw(0), plan);
+    sim
+}
+
+#[test]
+fn partitioned_ring_digest_is_thread_count_invariant() {
+    let sequential = run_ring(partitioned_ring_sim(8, 400), 1);
+    for threads in [2u32, 4, 8] {
+        let parallel = run_ring(partitioned_ring_sim(8, 400), threads);
+        assert_eq!(
+            sequential, parallel,
+            "partitioned ring diverged at {threads} threads"
+        );
+    }
+}

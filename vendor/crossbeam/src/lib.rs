@@ -1,0 +1,149 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides exactly the `crossbeam::channel` subset this workspace uses —
+//! `bounded`, `unbounded`, cloneable `Sender`s, `Receiver`, and the
+//! matching error types — implemented on top of `std::sync::mpsc`. The API
+//! mirrors the real crate for the operations used (`send`, `recv`,
+//! `try_recv`, `iter`), so swapping the real `crossbeam` back in requires
+//! no call-site changes. It does not reproduce crossbeam's lock-free
+//! performance characteristics; correctness and blocking semantics match.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; carries
+    /// the unsent message back.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders remain.
+        Empty,
+        /// Every sender is gone and the channel is drained.
+        Disconnected,
+    }
+
+    enum SenderImpl<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    /// The sending half of a channel. Cloneable, like crossbeam's.
+    pub struct Sender<T>(SenderImpl<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                SenderImpl::Bounded(s) => SenderImpl::Bounded(s.clone()),
+                SenderImpl::Unbounded(s) => SenderImpl::Unbounded(s.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderImpl::Bounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+                SenderImpl::Unbounded(s) => s.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns immediately with a message, `Empty`, or `Disconnected`.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator over incoming messages; ends when all senders
+        /// disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::sync_channel(cap);
+        (Sender(SenderImpl::Bounded(s)), Receiver(r))
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(SenderImpl::Unbounded(s)), Receiver(r))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_round_trip_across_threads() {
+            let (tx, rx) = bounded::<u32>(1);
+            let tx2 = tx.clone();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    tx.send(1).unwrap();
+                });
+                s.spawn(move || {
+                    tx2.send(2).unwrap();
+                });
+                let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+                got.sort_unstable();
+                assert_eq!(got, vec![1, 2]);
+            });
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn unbounded_iter_drains_until_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<u32> = rx.iter().collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+            assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_returns_message() {
+            let (tx, rx) = unbounded::<String>();
+            drop(rx);
+            let err = tx.send("hello".to_owned()).unwrap_err();
+            assert_eq!(err.0, "hello");
+        }
+    }
+}
