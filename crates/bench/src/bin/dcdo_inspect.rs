@@ -7,7 +7,7 @@
 //!
 //! Usage:
 //!   cargo run --release -p dcdo-bench --bin dcdo-inspect -- \
-//!       <workload> [seed] [--out PREFIX] [--threads N]
+//!       [vm] <workload> [seed] [--out PREFIX] [--threads N]
 //!
 //! Workloads: reconfig, reconfig_faulted, crash_during_reconfig,
 //! rolling_partition, restart_storm. Seed defaults to 42; output defaults
@@ -15,8 +15,16 @@
 //! simulation on the sharded parallel engine with N workers — the report
 //! (and the exported JSON) is byte-identical at any thread count, which
 //! makes the flag a handy determinism spot-check on real workloads.
+//!
+//! The `vm` subcommand (`dcdo-inspect vm <workload> …`) runs the same
+//! scenario and then reports the VM's view of it: the per-function cost
+//! table, the per-opcode retirement table (in original-opcode terms, so the
+//! numbers are identical with fusion on or off), and the superinstruction
+//! coverage the threaded dispatch achieved. With `--out PREFIX` it also
+//! writes `PREFIX.vm.json`.
 
 use dcdo_profile::{CriticalPath, ProfileReport};
+use dcdo_vm::{FusionStats, VmProfile, OPCODE_NAMES};
 use dcdo_workloads::{chaos, reconfig};
 
 const WORKLOADS: &[&str] = &[
@@ -28,8 +36,10 @@ const WORKLOADS: &[&str] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: dcdo-inspect <workload> [seed] [--out PREFIX] [--threads N]");
+    eprintln!("usage: dcdo-inspect [vm] <workload> [seed] [--out PREFIX] [--threads N]");
     eprintln!("workloads: {}", WORKLOADS.join(", "));
+    eprintln!("vm: print the VM per-function/per-opcode cost tables and");
+    eprintln!("    superinstruction coverage for the scenario");
     std::process::exit(2);
 }
 
@@ -160,8 +170,112 @@ fn longest(paths: &[CriticalPath]) -> u64 {
     paths.iter().map(|p| p.total_ns()).max().unwrap_or(0)
 }
 
+/// Per-function VM cost table from the process-wide aggregate (real names —
+/// unlike the trace-side table, which only has hashes for unseen names).
+fn print_vm_functions(profile: &VmProfile) {
+    println!("\nVM per-function costs");
+    if profile.functions.is_empty() {
+        println!("(no profiled VM threads in this scenario)");
+        return;
+    }
+    println!(
+        "{:<20} {:>8} {:>14} {:>12}",
+        "function", "calls", "instructions", "work_ms"
+    );
+    let mut rows = profile.functions.clone();
+    rows.sort_by(|a, b| {
+        b.stats
+            .instructions
+            .cmp(&a.stats.instructions)
+            .then_with(|| a.name.as_str().cmp(b.name.as_str()))
+    });
+    for f in &rows {
+        println!(
+            "{:<20} {:>8} {:>14} {:>12.3}",
+            f.name.as_str(),
+            f.stats.calls,
+            f.stats.instructions,
+            ms(f.stats.work_nanos)
+        );
+    }
+}
+
+/// Per-opcode retirement table, in original-opcode terms: fused
+/// superinstructions attribute each constituent, so this table is identical
+/// with fusion on or off.
+fn print_vm_opcodes(profile: &VmProfile) {
+    println!("\nVM per-opcode retirement (original-opcode terms)");
+    let mut rows: Vec<(usize, u64)> = profile
+        .opcodes
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    if rows.is_empty() {
+        println!("(no instructions retired)");
+        return;
+    }
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let total: u64 = rows.iter().map(|&(_, n)| n).sum();
+    println!("{:<14} {:>12} {:>8}", "opcode", "retired", "share");
+    for (op, n) in &rows {
+        println!(
+            "{:<14} {:>12} {:>7.2}%",
+            OPCODE_NAMES[*op],
+            n,
+            100.0 * *n as f64 / total as f64
+        );
+    }
+    println!("{:<14} {:>12}", "total", total);
+}
+
+fn print_vm_fusion(stats: FusionStats) {
+    println!(
+        "\nsuperinstruction coverage: {:.2}% ({} of {} retired opcodes ran fused)",
+        100.0 * stats.coverage(),
+        stats.fused,
+        stats.retired
+    );
+}
+
+fn vm_json(profile: &VmProfile, stats: FusionStats) -> String {
+    let mut s = String::from("{\n  \"functions\": [");
+    for (i, f) in profile.functions.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"calls\": {}, \"instructions\": {}, \"work_nanos\": {}}}",
+            f.name.as_str(),
+            f.stats.calls,
+            f.stats.instructions,
+            f.stats.work_nanos
+        ));
+    }
+    s.push_str("\n  ],\n  \"opcodes\": {");
+    let mut first = true;
+    for (op, n) in profile.opcodes.iter().enumerate() {
+        if *n > 0 {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\n    \"{}\": {}", OPCODE_NAMES[op], n));
+        }
+    }
+    s.push_str(&format!(
+        "\n  }},\n  \"fusion\": {{\"retired\": {}, \"fused\": {}, \"coverage\": {:.4}}}\n}}\n",
+        stats.retired,
+        stats.fused,
+        stats.coverage()
+    ));
+    s
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut vm_mode = false;
     let mut workload = None;
     let mut seed = 42u64;
     let mut out_prefix = "BENCH_profile".to_string();
@@ -185,6 +299,7 @@ fn main() {
                 threads = Some(n);
             }
             "--help" | "-h" => usage(),
+            "vm" if workload.is_none() && !vm_mode => vm_mode = true,
             a if workload.is_none() => workload = Some(a.to_string()),
             a => seed = a.parse().unwrap_or_else(|_| usage()),
         }
@@ -199,7 +314,24 @@ fn main() {
         Some(n) => println!("workload {workload}, seed {seed}, {n} worker thread(s)"),
         None => println!("workload {workload}, seed {seed}"),
     }
+    if vm_mode {
+        // Scope the process-wide VM aggregates to this scenario.
+        dcdo_vm::reset_global_vm_profile();
+        dcdo_vm::reset_fusion_stats();
+    }
     let report = run_workload(&workload, seed);
+
+    if vm_mode {
+        let profile = dcdo_vm::global_vm_profile();
+        let fusion = dcdo_vm::fusion_stats();
+        print_vm_functions(&profile);
+        print_vm_opcodes(&profile);
+        print_vm_fusion(fusion);
+        let json_path = format!("{out_prefix}.vm.json");
+        std::fs::write(&json_path, vm_json(&profile, fusion)).expect("write VM cost JSON");
+        println!("wrote {json_path}");
+        return;
+    }
 
     print_cost_table(&report);
     print_critical_path(&report);

@@ -123,6 +123,17 @@ fn main() {
         simbench::vm_spin(SPIN_ITERS, true)
     });
     let vm_overhead_frac = 1.0 - spin_on.best_events_per_sec / spin_off.best_events_per_sec;
+    // Dispatch-mode split: the legacy single-step interpreter ("before"),
+    // the threaded loop without fusion, and the full fused path (== vm_spin
+    // above, re-measured for a same-process comparison).
+    let spin_legacy = measure("vm_spin_legacy", reps, || {
+        simbench::vm_spin_with(SPIN_ITERS, false, simbench::VmSpinMode::Legacy).0
+    });
+    let spin_unfused = measure("vm_spin_unfused", reps, || {
+        simbench::vm_spin_with(SPIN_ITERS, false, simbench::VmSpinMode::Unfused).0
+    });
+    let speedup_vs_legacy = spin_off.best_events_per_sec / spin_legacy.best_events_per_sec;
+    let fusion_probe = simbench::vm_spin_fusion_probe(SPIN_ITERS.min(10_000));
 
     let mut json = String::from("{\n  \"suite\": \"sim_throughput\",\n  \"unit\": \"events_per_sec\",\n  \"workloads\": {\n");
     for (i, s) in shots.iter().enumerate() {
@@ -175,10 +186,32 @@ fn main() {
         spin_on.best_events_per_sec, spin_on.mean_events_per_sec
     ));
     json.push_str(&format!(
-        "    \"enabled_overhead_frac\": {vm_overhead_frac:.4}\n  }}\n}}\n"
+        "    \"enabled_overhead_frac\": {vm_overhead_frac:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"vm_spin_legacy\": {{\"iters\": {SPIN_ITERS}, \"best\": {:.0}, \"mean\": {:.0}}},\n",
+        spin_legacy.best_events_per_sec, spin_legacy.mean_events_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"vm_spin_unfused\": {{\"iters\": {SPIN_ITERS}, \"best\": {:.0}, \"mean\": {:.0}}},\n",
+        spin_unfused.best_events_per_sec, spin_unfused.mean_events_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"speedup_vs_legacy_x\": {speedup_vs_legacy:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"fused_coverage_frac\": {:.4},\n",
+        fusion_probe.coverage()
+    ));
+    json.push_str(&format!(
+        "    \"decode_cache\": {{\"decodes\": {}, \"hits\": {}, \"invalidations\": {}}}\n  }}\n}}\n",
+        fusion_probe.stats.decodes, fusion_probe.stats.hits, fusion_probe.stats.invalidations
     ));
 
-    for s in shots.iter().chain([&traced, &spin_off, &spin_on]) {
+    for s in shots
+        .iter()
+        .chain([&traced, &spin_off, &spin_on, &spin_legacy, &spin_unfused])
+    {
         println!(
             "{:<16} {:>10} events   best {:>12.0} ev/s   mean {:>12.0} ev/s",
             s.name, s.events, s.best_events_per_sec, s.mean_events_per_sec
@@ -197,6 +230,13 @@ fn main() {
     println!(
         "vm profiling enabled overhead on vm_spin: {:.1}%",
         vm_overhead_frac * 100.0
+    );
+    println!(
+        "vm dispatch: {speedup_vs_legacy:.2}x vs legacy, fused coverage {:.1}%, decode cache {}/{} hits/decodes ({} invalidations)",
+        fusion_probe.coverage() * 100.0,
+        fusion_probe.stats.hits,
+        fusion_probe.stats.decodes,
+        fusion_probe.stats.invalidations
     );
     std::fs::write(&out_path, json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");

@@ -29,8 +29,8 @@ use std::sync::Arc;
 use dcdo_sim::{SimDuration, SimRng};
 use dcdo_types::{ComponentId, FunctionId, FunctionInterner, FunctionName, VersionId};
 use dcdo_vm::{
-    next_generation, CallOrigin, CallResolver, CallToken, CodeBlock, ComponentBinary, ResolveError,
-    ResolvedCall,
+    fusion_default, next_generation, CallOrigin, CallResolver, CallToken, ComponentBinary,
+    DecodeCacheStats, DecodedCode, ResolveError, ResolvedCall,
 };
 
 use crate::descriptor::{DfmDescriptor, ImplKey};
@@ -41,7 +41,7 @@ use crate::error::ConfigError;
 enum Slot {
     /// The function is enabled and its code is loaded: dispatch is an index.
     Ready {
-        code: Arc<CodeBlock>,
+        code: Arc<DecodedCode>,
         component: ComponentId,
         exported: bool,
     },
@@ -54,7 +54,11 @@ enum Slot {
 /// The runtime dynamic function mapper of one DCDO.
 pub struct Dfm {
     descriptor: DfmDescriptor,
-    loaded: HashMap<ComponentId, HashMap<FunctionName, Arc<CodeBlock>>>,
+    /// Loaded component code, **pre-decoded** into the VM's direct-threaded
+    /// form. Decoding happens once per incorporate/stage — the same rare
+    /// configuration-time moment that bumps the generation — so steady-state
+    /// dispatch hands out `Arc` clones of a cached decode.
+    loaded: HashMap<ComponentId, HashMap<FunctionName, Arc<DecodedCode>>>,
     interner: FunctionInterner,
     slots: Vec<Slot>,
     generation: u64,
@@ -62,6 +66,8 @@ pub struct Dfm {
     dispatch_band: (SimDuration, SimDuration),
     rng: SimRng,
     dispatches: u64,
+    fuse: bool,
+    decode_stats: DecodeCacheStats,
 }
 
 impl Dfm {
@@ -80,7 +86,35 @@ impl Dfm {
             dispatch_band,
             rng: SimRng::seed_from_u64(seed),
             dispatches: 0,
+            fuse: fusion_default(),
+            decode_stats: DecodeCacheStats::default(),
         }
+    }
+
+    /// Selects whether the decode pass fuses superinstructions (defaults to
+    /// the process-wide `DCDO_VM_FUSE` knob). Flipping the mode re-decodes
+    /// every loaded function and reindexes — a configuration operation like
+    /// any other, so outstanding [`CallToken`]s expire.
+    pub fn set_fusion(&mut self, fuse: bool) {
+        if self.fuse == fuse {
+            return;
+        }
+        self.fuse = fuse;
+        for map in self.loaded.values_mut() {
+            for code in map.values_mut() {
+                self.decode_stats.invalidations += 1;
+                self.decode_stats.decodes += 1;
+                *code = Arc::new(DecodedCode::decode(Arc::clone(code.block()), fuse));
+            }
+        }
+        self.reindex();
+    }
+
+    /// Pre-decode cache counters: decodes performed (at incorporate/stage),
+    /// resolutions served from the cache, and cached decodes dropped by
+    /// configuration operations.
+    pub fn decode_cache_stats(&self) -> DecodeCacheStats {
+        self.decode_stats
     }
 
     /// The descriptor describing the current configuration.
@@ -128,7 +162,7 @@ impl Dfm {
         &self,
         function: &FunctionName,
         origin: CallOrigin,
-    ) -> Result<(Arc<CodeBlock>, ComponentId), ResolveError> {
+    ) -> Result<(Arc<DecodedCode>, ComponentId), ResolveError> {
         let record = self
             .descriptor
             .function(function)
@@ -211,7 +245,7 @@ impl Dfm {
             .map_err(|e| ConfigError::BadComponent(e.to_string()))?;
         self.descriptor
             .incorporate_component(&binary.descriptor(), ico)?;
-        self.loaded.insert(binary.id(), share_code(binary));
+        self.load_decoded(binary);
         self.reindex();
         Ok(())
     }
@@ -226,7 +260,9 @@ impl Dfm {
     /// Propagates descriptor-level removal failures.
     pub fn remove_component(&mut self, component: ComponentId) -> Result<(), ConfigError> {
         self.descriptor.remove_component(component)?;
-        self.loaded.remove(&component);
+        if let Some(dropped) = self.loaded.remove(&component) {
+            self.decode_stats.invalidations += dropped.len() as u64;
+        }
         self.reindex();
         Ok(())
     }
@@ -277,8 +313,16 @@ impl Dfm {
                 return Err(ConfigError::ComponentNotPresent(component));
             }
         }
-        // Unload components the new descriptor no longer references.
+        // Unload components the new descriptor no longer references,
+        // dropping their cached decodes.
         let keep: Vec<ComponentId> = descriptor.components().map(|(c, _)| c).collect();
+        let dropped: u64 = self
+            .loaded
+            .iter()
+            .filter(|(c, _)| !keep.contains(c))
+            .map(|(_, m)| m.len() as u64)
+            .sum();
+        self.decode_stats.invalidations += dropped;
         self.loaded.retain(|c, _| keep.contains(c));
         self.descriptor = descriptor;
         self.reindex();
@@ -295,9 +339,29 @@ impl Dfm {
         binary
             .validate()
             .map_err(|e| ConfigError::BadComponent(e.to_string()))?;
-        self.loaded.insert(binary.id(), share_code(binary));
+        self.load_decoded(binary);
         self.reindex();
         Ok(())
+    }
+
+    /// Decodes and loads a binary's code blocks (one `Arc<DecodedCode>` per
+    /// function, decoded once here rather than per call). Replacing an
+    /// already-loaded component drops its cached decodes.
+    fn load_decoded(&mut self, binary: &ComponentBinary) {
+        let decoded: HashMap<FunctionName, Arc<DecodedCode>> = binary
+            .functions()
+            .iter()
+            .map(|f| {
+                (
+                    f.name().clone(),
+                    Arc::new(DecodedCode::decode(Arc::new(f.code().clone()), self.fuse)),
+                )
+            })
+            .collect();
+        self.decode_stats.decodes += decoded.len() as u64;
+        if let Some(replaced) = self.loaded.insert(binary.id(), decoded) {
+            self.decode_stats.invalidations += replaced.len() as u64;
+        }
     }
 
     /// Returns `true` if the component's code is loaded.
@@ -325,16 +389,6 @@ impl Dfm {
     }
 }
 
-/// Shares a binary's code blocks for loading (one `Arc` per function, no
-/// deep copies of instruction sequences or signatures).
-fn share_code(binary: &ComponentBinary) -> HashMap<FunctionName, Arc<CodeBlock>> {
-    binary
-        .functions()
-        .iter()
-        .map(|f| (f.name().clone(), Arc::new(f.code().clone())))
-        .collect()
-}
-
 impl Dfm {
     /// The shared fast/slow resolution core. Returns the resolved call plus
     /// the ready slot's id when the fast path served it (the token, if any,
@@ -357,6 +411,7 @@ impl Dfm {
                     return Err(ResolveError::NotExported);
                 }
                 self.dispatches += 1;
+                self.decode_stats.hits += 1;
                 return Ok((
                     ResolvedCall {
                         code: Arc::clone(code),
@@ -368,6 +423,7 @@ impl Dfm {
         }
         let (code, component) = self.resolve_slow(function, origin)?;
         self.dispatches += 1;
+        self.decode_stats.hits += 1;
         Ok((ResolvedCall { code, component }, None))
     }
 }
@@ -408,12 +464,27 @@ impl CallResolver for Dfm {
                 code, component, ..
             }) => {
                 self.dispatches += 1;
+                self.decode_stats.hits += 1;
                 Some(ResolvedCall {
                     code: Arc::clone(code),
                     component: *component,
                 })
             }
             _ => None,
+        }
+    }
+
+    fn revalidate_token(&mut self, token: CallToken) -> bool {
+        if token.generation != self.generation {
+            return false;
+        }
+        match self.slots.get(token.slot as usize) {
+            Some(Slot::Ready { .. }) => {
+                self.dispatches += 1;
+                self.decode_stats.hits += 1;
+                true
+            }
+            _ => false,
         }
     }
 

@@ -2,18 +2,35 @@
 //!
 //! A [`VmThread`] models one Legion thread executing inside an object. It
 //! runs bytecode until it completes, faults, or *suspends* at a remote
-//! outcall ([`Instr::CallRemote`]); a suspended thread's entire state —
-//! call frames, operand stacks, locals — is parked inside the `VmThread`
-//! and resumes when the owner delivers the reply. This is exactly the
-//! "thread blocked on an outcall" state in which the paper's disappearing
-//! function and disappearing component problems arise (§3.1): configuration
-//! operations execute between suspension and resumption, and when the thread
-//! wakes it may find the function or component it needs gone.
+//! outcall ([`Instr::CallRemote`](crate::Instr::CallRemote)); a suspended
+//! thread's entire state — call frames, operand stacks, locals — is parked
+//! inside the `VmThread` and resumes when the owner delivers the reply. This
+//! is exactly the "thread blocked on an outcall" state in which the paper's
+//! disappearing function and disappearing component problems arise (§3.1):
+//! configuration operations execute between suspension and resumption, and
+//! when the thread wakes it may find the function or component it needs gone.
 //!
 //! All intra-object calls resolve through the owner's [`CallResolver`] at
 //! call time, and entry/exit of every frame is reported to the resolver so a
 //! DFM can maintain the per-function active-thread counters used for thread
 //! activity monitoring (§3.2).
+//!
+//! # Dispatch
+//!
+//! Execution runs over the resolver's pre-decoded
+//! [`DecodedCode`](crate::DecodedCode) stream: a direct-threaded loop whose
+//! inner hot path holds the current frame's fields and the fuel in locals,
+//! never touches the code `Arc`'s refcount per activation, and dispatches
+//! merged opcodes — including the superinstructions the decode-time peephole
+//! selector fused. Fuel and profiling are charged **per original opcode, in
+//! original program order**, inside every superinstruction, so the
+//! profiler's accounting and all fault ordering are bit-identical to unfused
+//! execution.
+//!
+//! The original single-step interpreter is retained as the *legacy stepper*
+//! ([`VmThread::set_legacy_stepper`]): it walks the undecoded instruction
+//! stream one `step()` at a time and serves as the differential oracle for
+//! the threaded path (and as the "before" build for benchmarks).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -21,8 +38,9 @@ use std::sync::Arc;
 
 use dcdo_types::{ComponentId, FunctionName, ObjectId, TypeTag};
 
+use crate::decoded::{self, ArithKind, DecodedCode, DecodedOp, Operand};
 use crate::error::VmError;
-use crate::instr::{CodeBlock, Instr};
+use crate::instr::Instr;
 use crate::native::NativeRegistry;
 use crate::profile::{ThreadProfile, VmProfile};
 use crate::resolver::{CallOrigin, CallResolver, CallToken, ResolveError, ResolvedCall};
@@ -35,17 +53,51 @@ pub const MAX_CALL_DEPTH: usize = 128;
 /// One call frame of a running thread.
 #[derive(Debug, Clone)]
 struct Frame {
-    code: Arc<CodeBlock>,
+    code: Arc<crate::decoded::DecodedCode>,
     component: ComponentId,
     pc: usize,
     args: Vec<Value>,
     locals: Vec<Value>,
     stack: Vec<Value>,
+    /// Per-call-site inline-cache slots, indexed by the decoded `CallDyn`
+    /// op's `site`: each slot holds the generation-stamped [`CallToken`]
+    /// that exact site last redeemed (plus, for leaf-shaped callees, the
+    /// pre-extracted leaf summary). Sized from the decode (empty for
+    /// call-free code), so the threaded path never hashes to find its
+    /// cache entry.
+    sites: Box<[SiteState]>,
+}
+
+/// One call site's inline-cache state.
+#[derive(Debug, Clone, Default)]
+struct SiteState {
+    /// The generation-stamped token this site last redeemed.
+    token: Option<CallToken>,
+    /// Pre-extracted summary of a leaf-shaped callee (whole body one fused
+    /// arith-return, no locals), valid exactly as long as `leaf.token`'s
+    /// generation still matches the resolver's.
+    leaf: Option<LeafCall>,
+}
+
+/// Everything the inline leaf-call path needs, extracted once per
+/// (site, configuration generation) so steady-state leaf calls skip the
+/// slot-table fetch, the callee-shape inspection, and the full
+/// argument-check walk.
+#[derive(Debug, Clone)]
+struct LeafCall {
+    token: CallToken,
+    a: Operand,
+    b: Operand,
+    op: ArithKind,
+    component: ComponentId,
+    param: TypeTag,
+    ret: TypeTag,
 }
 
 impl Frame {
     fn new(resolved: ResolvedCall, args: Vec<Value>) -> Self {
         let locals = vec![Value::Unit; resolved.code.locals() as usize];
+        let sites = vec![SiteState::default(); resolved.code.call_sites()].into_boxed_slice();
         Frame {
             code: resolved.code,
             component: resolved.component,
@@ -53,6 +105,7 @@ impl Frame {
             args,
             locals,
             stack: Vec::new(),
+            sites,
         }
     }
 
@@ -97,21 +150,47 @@ pub enum RunOutcome {
     Faulted(VmError),
 }
 
+/// What the inner dispatch loop hands back to the frame-boundary handler.
+enum FrameEvent {
+    /// The current frame returned `value` (explicit `Ret` or fell off the
+    /// end).
+    Return(Value),
+    /// A `CallDyn` resolved; push a frame for it.
+    Call {
+        resolved: ResolvedCall,
+        args: Vec<Value>,
+    },
+    /// A `CallRemote` suspended the thread.
+    Suspend(OutcallRequest),
+    /// An instruction faulted.
+    Fault(VmError),
+}
+
 /// A (possibly suspended) thread executing dynamic-function code.
 pub struct VmThread {
     frames: Vec<Frame>,
     status: ThreadStatus,
     consumed_nanos: u64,
     pending_resume: Option<Result<Value, VmError>>,
-    /// Per-call-site inline cache: the callee name's identity key maps to
+    /// Legacy-stepper inline cache: the callee name's identity key maps to
     /// the generation-stamped [`CallToken`] the resolver issued last time
-    /// this site resolved. A hit turns dispatch into one slot-table index;
-    /// any configuration change bumps the resolver's generation, so stale
-    /// entries fail redemption and fall back to full by-name resolution.
+    /// that site resolved. The threaded path uses the per-frame `sites`
+    /// table instead (indexed, no hashing).
     call_cache: HashMap<usize, CallToken>,
     /// Opt-in cost attribution; `None` (the default) costs one predicted
     /// branch per retired instruction.
     profile: Option<Box<ThreadProfile>>,
+    /// Recycled argument buffers: each `CallDyn` drains its arguments into a
+    /// pooled `Vec` and each return recycles the callee's, so steady-state
+    /// call/return cycles allocate nothing.
+    arg_pool: Vec<Vec<Value>>,
+    /// When set, runs the original single-step interpreter over the
+    /// undecoded instruction stream — the differential oracle.
+    legacy: bool,
+    /// Original opcodes retired by this thread's threaded runs.
+    total_retired: u64,
+    /// The subset retired inside superinstructions.
+    fused_retired: u64,
 }
 
 impl VmThread {
@@ -125,14 +204,14 @@ impl VmThread {
     ///
     /// Fails fast — without creating a thread — if resolution, arity, or
     /// argument types fail. The resolver's `enter` is called on success.
-    pub fn call(
-        resolver: &mut dyn CallResolver,
+    pub fn call<R: CallResolver + ?Sized>(
+        resolver: &mut R,
         function: &FunctionName,
         args: Vec<Value>,
         origin: CallOrigin,
     ) -> Result<VmThread, VmError> {
         let resolved = resolve_checked(resolver, function, origin)?;
-        check_args(&resolved, function, &args)?;
+        check_args(&resolved.code, function, &args)?;
         let mut thread = VmThread {
             frames: Vec::new(),
             status: ThreadStatus::Runnable,
@@ -140,6 +219,10 @@ impl VmThread {
             pending_resume: None,
             call_cache: HashMap::new(),
             profile: None,
+            arg_pool: Vec::new(),
+            legacy: false,
+            total_retired: 0,
+            fused_retired: 0,
         };
         resolver.enter(function, resolved.component);
         thread.frames.push(Frame::new(resolved, args));
@@ -154,6 +237,31 @@ impl VmThread {
     /// Returns the current call depth.
     pub fn depth(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Selects the legacy single-step interpreter (`true`) or the threaded
+    /// dispatch loop (`false`, the default). The legacy stepper is kept as
+    /// the differential-testing oracle and the benchmark "before" build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has already started executing — the two modes
+    /// interpret the saved program counter differently (original vs decoded
+    /// indices), so the mode must be fixed before the first run.
+    pub fn set_legacy_stepper(&mut self, legacy: bool) {
+        assert!(
+            self.frames.iter().all(|f| f.pc == 0 && f.stack.is_empty()),
+            "stepper mode must be selected before the thread executes"
+        );
+        self.legacy = legacy;
+    }
+
+    /// `(total, fused)` original opcodes retired by this thread's threaded
+    /// runs — the per-thread slice of
+    /// [`fusion_stats`](crate::fusion_stats). The legacy stepper does not
+    /// count (it retires nothing fused by definition).
+    pub fn retired_counts(&self) -> (u64, u64) {
+        (self.total_retired, self.fused_retired)
     }
 
     /// The components with at least one frame on this thread's stack.
@@ -238,14 +346,14 @@ impl VmThread {
     /// Aborts the thread, unwinding all frames (reporting exits to the
     /// resolver). Used when an owner forcibly removes a component with the
     /// time-out policy of §3.2.
-    pub fn abort(&mut self, resolver: &mut dyn CallResolver, reason: &str) -> VmError {
+    pub fn abort<R: CallResolver + ?Sized>(&mut self, resolver: &mut R, reason: &str) -> VmError {
         let err = VmError::Aborted(reason.to_owned());
         self.unwind(resolver);
         self.status = ThreadStatus::Done;
         err
     }
 
-    fn unwind(&mut self, resolver: &mut dyn CallResolver) {
+    fn unwind<R: CallResolver + ?Sized>(&mut self, resolver: &mut R) {
         while let Some(frame) = self.frames.pop() {
             resolver.exit(frame.function(), frame.component);
             if let Some(p) = self.profile.as_deref_mut() {
@@ -261,9 +369,9 @@ impl VmThread {
     /// # Panics
     ///
     /// Panics if the thread is suspended (deliver the reply first) or done.
-    pub fn run(
+    pub fn run<R: CallResolver + ?Sized>(
         &mut self,
-        resolver: &mut dyn CallResolver,
+        resolver: &mut R,
         natives: &NativeRegistry,
         globals: &mut ValueStore,
         fuel: u64,
@@ -282,6 +390,761 @@ impl VmThread {
                 Err(err) => return self.fault(resolver, err),
             }
         }
+        if self.legacy {
+            self.run_legacy(resolver, natives, globals, fuel)
+        } else {
+            self.run_threaded(resolver, natives, globals, fuel)
+        }
+    }
+
+    /// The direct-threaded dispatch loop. The inner loop executes one frame
+    /// with the frame's fields, fuel, and retirement counters held in
+    /// locals; frame boundaries (call, return, suspend, fault) break out to
+    /// the outer loop, which is the only place the frame stack changes.
+    fn run_threaded<R: CallResolver + ?Sized>(
+        &mut self,
+        resolver: &mut R,
+        natives: &NativeRegistry,
+        globals: &mut ValueStore,
+        fuel: u64,
+    ) -> RunOutcome {
+        let mut remaining = fuel;
+        let mut retired: u64 = 0;
+        let mut fused: u64 = 0;
+        let outcome = 'thread: loop {
+            // Disjoint field borrows: the current frame's fields (split so
+            // the ops slice can be borrowed while the stack and locals are
+            // mutated — no `Arc` refcount traffic per activation), the
+            // profile, and the consumed-nanos accumulator are all live
+            // across the inner loop.
+            let depth = self.frames.len();
+            let profile = &mut self.profile;
+            let consumed_nanos = &mut self.consumed_nanos;
+            let arg_pool = &mut self.arg_pool;
+            let Frame {
+                code,
+                component: _,
+                pc,
+                args: frame_args,
+                locals,
+                stack,
+                sites,
+            } = self.frames.last_mut().expect("running thread has frames");
+            let ops = code.ops();
+
+            let event = 'ops: loop {
+                /// Breaks the dispatch loop with a fault.
+                macro_rules! fault {
+                    ($e:expr) => {
+                        break 'ops FrameEvent::Fault($e)
+                    };
+                }
+                /// Unwraps a `Result` or faults.
+                macro_rules! tr {
+                    ($e:expr) => {
+                        match $e {
+                            Ok(v) => v,
+                            Err(e) => fault!(e),
+                        }
+                    };
+                }
+                /// Charges fuel and profiling for one original opcode —
+                /// exactly the legacy order: fuel check, decrement, then
+                /// the profiling hook, then execution. Superinstructions
+                /// invoke this once per constituent.
+                macro_rules! charge {
+                    ($opc:expr, $work:expr, $in_fused:expr) => {{
+                        if remaining == 0 {
+                            fault!(VmError::FuelExhausted);
+                        }
+                        remaining -= 1;
+                        retired += 1;
+                        if $in_fused {
+                            fused += 1;
+                        }
+                        if let Some(p) = profile.as_deref_mut() {
+                            p.instruction($opc, $work);
+                        }
+                    }};
+                }
+                /// `tr!` for a superinstruction's bulk-charged fast path:
+                /// on a fault, refunds the constituents the legacy order
+                /// would not yet have charged, so retirement counts match
+                /// per-constituent execution exactly even on faulting
+                /// programs.
+                macro_rules! trf {
+                    ($e:expr, $undo:expr) => {
+                        match $e {
+                            Ok(v) => v,
+                            Err(e) => {
+                                retired -= $undo;
+                                fused -= $undo;
+                                fault!(e)
+                            }
+                        }
+                    };
+                }
+
+                let cur = *pc;
+                let Some(op) = ops.get(cur) else {
+                    // Implicit unit return when execution falls off the
+                    // end: consumes one fuel unit (the legacy run loop
+                    // charges before stepping) but retires no instruction.
+                    if remaining == 0 {
+                        fault!(VmError::FuelExhausted);
+                    }
+                    remaining -= 1;
+                    break 'ops FrameEvent::Return(Value::Unit);
+                };
+                *pc = cur + 1;
+                match op {
+                    DecodedOp::Push(v) => {
+                        charge!(0, 0, false);
+                        stack.push(v.clone());
+                    }
+                    DecodedOp::Pop => {
+                        charge!(1, 0, false);
+                        tr!(pop(stack));
+                    }
+                    DecodedOp::Dup => {
+                        charge!(2, 0, false);
+                        let v = tr!(stack.last().cloned().ok_or(VmError::StackUnderflow));
+                        stack.push(v);
+                    }
+                    DecodedOp::Swap => {
+                        charge!(3, 0, false);
+                        let b = tr!(pop(stack));
+                        let a = tr!(pop(stack));
+                        stack.push(b);
+                        stack.push(a);
+                    }
+                    DecodedOp::LoadArg(n) => {
+                        charge!(4, 0, false);
+                        let v = tr!(frame_args
+                            .get(*n as usize)
+                            .cloned()
+                            .ok_or(VmError::StackUnderflow));
+                        stack.push(v);
+                    }
+                    DecodedOp::LoadLocal(n) => {
+                        charge!(5, 0, false);
+                        let v = tr!(locals
+                            .get(*n as usize)
+                            .cloned()
+                            .ok_or(VmError::StackUnderflow));
+                        stack.push(v);
+                    }
+                    DecodedOp::StoreLocal(n) => {
+                        charge!(6, 0, false);
+                        let v = tr!(pop(stack));
+                        let slot = tr!(locals.get_mut(*n as usize).ok_or(VmError::StackUnderflow));
+                        *slot = v;
+                    }
+                    DecodedOp::Add => {
+                        charge!(7, 0, false);
+                        tr!(int_binop(stack, |a, b| Ok(a.wrapping_add(b))));
+                    }
+                    DecodedOp::Sub => {
+                        charge!(8, 0, false);
+                        tr!(int_binop(stack, |a, b| Ok(a.wrapping_sub(b))));
+                    }
+                    DecodedOp::Mul => {
+                        charge!(9, 0, false);
+                        tr!(int_binop(stack, |a, b| Ok(a.wrapping_mul(b))));
+                    }
+                    DecodedOp::Div => {
+                        charge!(10, 0, false);
+                        tr!(int_binop(stack, |a, b| {
+                            if b == 0 {
+                                Err(VmError::DivideByZero)
+                            } else {
+                                Ok(a.wrapping_div(b))
+                            }
+                        }));
+                    }
+                    DecodedOp::Rem => {
+                        charge!(11, 0, false);
+                        tr!(int_binop(stack, |a, b| {
+                            if b == 0 {
+                                Err(VmError::DivideByZero)
+                            } else {
+                                Ok(a.wrapping_rem(b))
+                            }
+                        }));
+                    }
+                    DecodedOp::Neg => {
+                        charge!(12, 0, false);
+                        let a = tr!(pop_int(stack));
+                        stack.push(Value::Int(a.wrapping_neg()));
+                    }
+                    DecodedOp::Not => {
+                        charge!(13, 0, false);
+                        let a = tr!(pop_bool(stack));
+                        stack.push(Value::Bool(!a));
+                    }
+                    DecodedOp::And => {
+                        charge!(14, 0, false);
+                        let b = tr!(pop_bool(stack));
+                        let a = tr!(pop_bool(stack));
+                        stack.push(Value::Bool(a && b));
+                    }
+                    DecodedOp::Or => {
+                        charge!(15, 0, false);
+                        let b = tr!(pop_bool(stack));
+                        let a = tr!(pop_bool(stack));
+                        stack.push(Value::Bool(a || b));
+                    }
+                    DecodedOp::Eq => {
+                        charge!(16, 0, false);
+                        let b = tr!(pop(stack));
+                        let a = tr!(pop(stack));
+                        stack.push(Value::Bool(a == b));
+                    }
+                    DecodedOp::Ne => {
+                        charge!(17, 0, false);
+                        let b = tr!(pop(stack));
+                        let a = tr!(pop(stack));
+                        stack.push(Value::Bool(a != b));
+                    }
+                    DecodedOp::Lt => {
+                        charge!(18, 0, false);
+                        tr!(int_cmp(stack, |a, b| a < b));
+                    }
+                    DecodedOp::Le => {
+                        charge!(19, 0, false);
+                        tr!(int_cmp(stack, |a, b| a <= b));
+                    }
+                    DecodedOp::Gt => {
+                        charge!(20, 0, false);
+                        tr!(int_cmp(stack, |a, b| a > b));
+                    }
+                    DecodedOp::Ge => {
+                        charge!(21, 0, false);
+                        tr!(int_cmp(stack, |a, b| a >= b));
+                    }
+                    DecodedOp::Jump(t) => {
+                        charge!(22, 0, false);
+                        *pc = *t as usize;
+                    }
+                    DecodedOp::JumpIfFalse(t) => {
+                        charge!(23, 0, false);
+                        if !tr!(pop_bool(stack)) {
+                            *pc = *t as usize;
+                        }
+                    }
+                    DecodedOp::JumpIfTrue(t) => {
+                        charge!(24, 0, false);
+                        if tr!(pop_bool(stack)) {
+                            *pc = *t as usize;
+                        }
+                    }
+                    DecodedOp::CallDyn {
+                        function,
+                        argc,
+                        site,
+                    } => {
+                        charge!(25, 0, false);
+                        if depth >= MAX_CALL_DEPTH {
+                            fault!(VmError::CallDepthExceeded(MAX_CALL_DEPTH));
+                        }
+                        let n = *argc as usize;
+                        if stack.len() < n {
+                            fault!(VmError::StackUnderflow);
+                        }
+                        let mut args = arg_pool.pop().unwrap_or_default();
+                        let at = stack.len() - n;
+                        args.extend(stack.drain(at..));
+                        // Inline cache: redeem the token this exact call
+                        // site cached, if the resolver's configuration
+                        // generation still matches.
+                        let cached = sites[*site as usize].token;
+                        let resolved = match cached.and_then(|token| resolver.resolve_token(token))
+                        {
+                            Some(resolved) => resolved,
+                            None => {
+                                let (resolved, token) = tr!(resolve_with_token_checked(
+                                    resolver,
+                                    function,
+                                    CallOrigin::Internal
+                                ));
+                                sites[*site as usize].token = token;
+                                resolved
+                            }
+                        };
+                        tr!(check_args(&resolved.code, function, &args));
+                        *consumed_nanos += resolver.dispatch_cost_nanos();
+                        resolver.enter(function, resolved.component);
+                        if let Some(p) = profile.as_deref_mut() {
+                            p.enter(function);
+                        }
+                        break 'ops FrameEvent::Call { resolved, args };
+                    }
+                    DecodedOp::CallNative { function, argc } => {
+                        charge!(26, 0, false);
+                        let args = tr!(pop_n(stack, *argc as usize));
+                        let result = tr!(natives.call(function, &args));
+                        stack.push(result);
+                    }
+                    DecodedOp::CallRemote { function, argc } => {
+                        charge!(27, 0, false);
+                        let args = tr!(pop_n(stack, *argc as usize));
+                        let target = tr!(pop(stack));
+                        let Some(target) = target.as_obj_ref() else {
+                            fault!(VmError::TypeMismatch {
+                                expected: TypeTag::ObjRef,
+                                found: target.type_tag(),
+                            });
+                        };
+                        break 'ops FrameEvent::Suspend(OutcallRequest {
+                            target,
+                            function: function.clone(),
+                            args,
+                        });
+                    }
+                    DecodedOp::Ret => {
+                        charge!(28, 0, false);
+                        let value = stack.pop().unwrap_or(Value::Unit);
+                        break 'ops FrameEvent::Return(value);
+                    }
+                    DecodedOp::MakeList(n) => {
+                        charge!(29, 0, false);
+                        let items = tr!(pop_n(stack, *n as usize));
+                        stack.push(Value::List(items));
+                    }
+                    DecodedOp::ListGet => {
+                        charge!(30, 0, false);
+                        let index = tr!(pop_int(stack));
+                        let list = tr!(pop_list(stack));
+                        let item = tr!(usize::try_from(index)
+                            .ok()
+                            .and_then(|i| list.get(i).cloned())
+                            .ok_or(VmError::IndexOutOfRange {
+                                index,
+                                len: list.len(),
+                            }));
+                        stack.push(item);
+                    }
+                    DecodedOp::ListSet => {
+                        charge!(31, 0, false);
+                        let value = tr!(pop(stack));
+                        let index = tr!(pop_int(stack));
+                        let mut list = tr!(pop_list(stack));
+                        let len = list.len();
+                        let slot = tr!(usize::try_from(index)
+                            .ok()
+                            .and_then(|i| list.get_mut(i))
+                            .ok_or(VmError::IndexOutOfRange { index, len }));
+                        *slot = value;
+                        stack.push(Value::List(list));
+                    }
+                    DecodedOp::ListLen => {
+                        charge!(32, 0, false);
+                        let list = tr!(pop_list(stack));
+                        stack.push(Value::Int(list.len() as i64));
+                    }
+                    DecodedOp::ListPush => {
+                        charge!(33, 0, false);
+                        let value = tr!(pop(stack));
+                        let mut list = tr!(pop_list(stack));
+                        list.push(value);
+                        stack.push(Value::List(list));
+                    }
+                    DecodedOp::StrConcat => {
+                        charge!(34, 0, false);
+                        let b = tr!(pop_str(stack));
+                        let a = tr!(pop_str(stack));
+                        stack.push(Value::str(format!("{a}{b}")));
+                    }
+                    DecodedOp::StrLen => {
+                        charge!(35, 0, false);
+                        let s = tr!(pop_str(stack));
+                        stack.push(Value::Int(s.len() as i64));
+                    }
+                    DecodedOp::Work(nanos) => {
+                        // Folded into the dispatch table: the work amount
+                        // reaches the profiler through the hook argument,
+                        // with no pre-dispatch branch on the hot path.
+                        charge!(36, *nanos, false);
+                        *consumed_nanos += *nanos;
+                    }
+                    DecodedOp::GlobalGet(key) => {
+                        charge!(37, 0, false);
+                        stack.push(globals.get(key.as_str()));
+                    }
+                    DecodedOp::GlobalSet(key) => {
+                        charge!(38, 0, false);
+                        let v = tr!(pop(stack));
+                        globals.set(key.as_str().to_owned(), v);
+                    }
+                    // ---- superinstructions. With profiling off and ample
+                    // fuel, the whole fused op charges in one bulk update
+                    // (fault paths refund via `trf!` so retirement stays
+                    // exact). Near the fuel boundary or with profiling on,
+                    // the per-constituent path charges fuel and fires the
+                    // profiling hook for each original opcode in program
+                    // order, so fuel exhaustion and per-opcode accounting
+                    // land on exactly the constituent the unfused program
+                    // would have reached.
+                    DecodedOp::BinBr {
+                        a,
+                        b,
+                        cmp,
+                        when,
+                        target,
+                    } => {
+                        if profile.is_none() && remaining >= 4 {
+                            remaining -= 4;
+                            retired += 4;
+                            fused += 4;
+                            let va = trf!(fetch(locals, frame_args, a), 3);
+                            let vb = trf!(fetch(locals, frame_args, b), 2);
+                            let flag = trf!(cmp.eval(&va, &vb), 1);
+                            if flag == *when {
+                                *pc = *target as usize;
+                            }
+                        } else {
+                            charge!(a.opcode(), 0, true);
+                            let va = tr!(fetch(locals, frame_args, a));
+                            charge!(b.opcode(), 0, true);
+                            let vb = tr!(fetch(locals, frame_args, b));
+                            charge!(cmp.opcode(), 0, true);
+                            let flag = tr!(cmp.eval(&va, &vb));
+                            charge!(if *when { 24 } else { 23 }, 0, true);
+                            if flag == *when {
+                                *pc = *target as usize;
+                            }
+                        }
+                    }
+                    DecodedOp::BinStore { a, b, op, dst } => {
+                        if profile.is_none() && remaining >= 4 {
+                            remaining -= 4;
+                            retired += 4;
+                            fused += 4;
+                            let va = trf!(fetch(locals, frame_args, a), 3);
+                            let vb = trf!(fetch(locals, frame_args, b), 2);
+                            let r = trf!(op.eval(&va, &vb), 1);
+                            let slot = trf!(
+                                locals.get_mut(*dst as usize).ok_or(VmError::StackUnderflow),
+                                0
+                            );
+                            *slot = Value::Int(r);
+                        } else {
+                            charge!(a.opcode(), 0, true);
+                            let va = tr!(fetch(locals, frame_args, a));
+                            charge!(b.opcode(), 0, true);
+                            let vb = tr!(fetch(locals, frame_args, b));
+                            charge!(op.opcode(), 0, true);
+                            let r = tr!(op.eval(&va, &vb));
+                            charge!(6, 0, true);
+                            let slot =
+                                tr!(locals.get_mut(*dst as usize).ok_or(VmError::StackUnderflow));
+                            *slot = Value::Int(r);
+                        }
+                    }
+                    DecodedOp::BinStoreJmp {
+                        a,
+                        b,
+                        op,
+                        dst,
+                        target,
+                    } => {
+                        if profile.is_none() && remaining >= 5 {
+                            remaining -= 5;
+                            retired += 5;
+                            fused += 5;
+                            let va = trf!(fetch(locals, frame_args, a), 4);
+                            let vb = trf!(fetch(locals, frame_args, b), 3);
+                            let r = trf!(op.eval(&va, &vb), 2);
+                            let slot = trf!(
+                                locals.get_mut(*dst as usize).ok_or(VmError::StackUnderflow),
+                                1
+                            );
+                            *slot = Value::Int(r);
+                            *pc = *target as usize;
+                        } else {
+                            charge!(a.opcode(), 0, true);
+                            let va = tr!(fetch(locals, frame_args, a));
+                            charge!(b.opcode(), 0, true);
+                            let vb = tr!(fetch(locals, frame_args, b));
+                            charge!(op.opcode(), 0, true);
+                            let r = tr!(op.eval(&va, &vb));
+                            charge!(6, 0, true);
+                            let slot =
+                                tr!(locals.get_mut(*dst as usize).ok_or(VmError::StackUnderflow));
+                            *slot = Value::Int(r);
+                            charge!(22, 0, true);
+                            *pc = *target as usize;
+                        }
+                    }
+                    DecodedOp::BinRet { a, b, op } => {
+                        if profile.is_none() && remaining >= 4 {
+                            remaining -= 4;
+                            retired += 4;
+                            fused += 4;
+                            let va = trf!(fetch(locals, frame_args, a), 3);
+                            let vb = trf!(fetch(locals, frame_args, b), 2);
+                            let r = trf!(op.eval(&va, &vb), 1);
+                            break 'ops FrameEvent::Return(Value::Int(r));
+                        } else {
+                            charge!(a.opcode(), 0, true);
+                            let va = tr!(fetch(locals, frame_args, a));
+                            charge!(b.opcode(), 0, true);
+                            let vb = tr!(fetch(locals, frame_args, b));
+                            charge!(op.opcode(), 0, true);
+                            let r = tr!(op.eval(&va, &vb));
+                            charge!(28, 0, true);
+                            break 'ops FrameEvent::Return(Value::Int(r));
+                        }
+                    }
+                    DecodedOp::BinPush { a, b, op } => {
+                        if profile.is_none() && remaining >= 3 {
+                            remaining -= 3;
+                            retired += 3;
+                            fused += 3;
+                            let va = trf!(fetch(locals, frame_args, a), 2);
+                            let vb = trf!(fetch(locals, frame_args, b), 1);
+                            let r = trf!(op.eval(&va, &vb), 0);
+                            stack.push(Value::Int(r));
+                        } else {
+                            charge!(a.opcode(), 0, true);
+                            let va = tr!(fetch(locals, frame_args, a));
+                            charge!(b.opcode(), 0, true);
+                            let vb = tr!(fetch(locals, frame_args, b));
+                            charge!(op.opcode(), 0, true);
+                            let r = tr!(op.eval(&va, &vb));
+                            stack.push(Value::Int(r));
+                        }
+                    }
+                    DecodedOp::OpStore { src, dst } => {
+                        if profile.is_none() && remaining >= 2 {
+                            remaining -= 2;
+                            retired += 2;
+                            fused += 2;
+                            let v = trf!(fetch(locals, frame_args, src), 1);
+                            let slot = trf!(
+                                locals.get_mut(*dst as usize).ok_or(VmError::StackUnderflow),
+                                0
+                            );
+                            *slot = v;
+                        } else {
+                            charge!(src.opcode(), 0, true);
+                            let v = tr!(fetch(locals, frame_args, src));
+                            charge!(6, 0, true);
+                            let slot =
+                                tr!(locals.get_mut(*dst as usize).ok_or(VmError::StackUnderflow));
+                            *slot = v;
+                        }
+                    }
+                    DecodedOp::OpRet { src } => {
+                        if profile.is_none() && remaining >= 2 {
+                            remaining -= 2;
+                            retired += 2;
+                            fused += 2;
+                            let v = trf!(fetch(locals, frame_args, src), 1);
+                            break 'ops FrameEvent::Return(v);
+                        } else {
+                            charge!(src.opcode(), 0, true);
+                            let v = tr!(fetch(locals, frame_args, src));
+                            charge!(28, 0, true);
+                            break 'ops FrameEvent::Return(v);
+                        }
+                    }
+                    DecodedOp::CallDyn1 {
+                        arg,
+                        function,
+                        site,
+                    } => {
+                        // [operand, call_dyn f/1]: the argument reads
+                        // straight from a local/arg/constant, skipping the
+                        // operand-stack round trip of the unfused pair.
+                        let v;
+                        if profile.is_none() && remaining >= 2 {
+                            remaining -= 2;
+                            retired += 2;
+                            fused += 2;
+                            v = trf!(fetch(locals, frame_args, arg), 1);
+                        } else {
+                            charge!(arg.opcode(), 0, true);
+                            v = tr!(fetch(locals, frame_args, arg));
+                            charge!(25, 0, true);
+                        }
+                        if depth >= MAX_CALL_DEPTH {
+                            fault!(VmError::CallDepthExceeded(MAX_CALL_DEPTH));
+                        }
+                        let slot = &mut sites[*site as usize];
+                        // Steady-state leaf fast path: this exact site
+                        // already proved (at the current configuration
+                        // generation) that its callee is one fused
+                        // arith-return with no locals. A cheap generation
+                        // revalidation — counted by the resolver exactly
+                        // like a full redemption — then licenses executing
+                        // the callee inline: no slot-table fetch, no frame
+                        // push/pop. Fuel, retirement, the enter/exit pair,
+                        // and every fault match the framed execution
+                        // bit-for-bit.
+                        if profile.is_none() && remaining >= 4 {
+                            let mut stale = false;
+                            if let Some(leaf) = &slot.leaf {
+                                if resolver.revalidate_token(leaf.token) {
+                                    if !leaf.param.accepts(v.type_tag()) {
+                                        fault!(VmError::ArgumentType {
+                                            function: function.clone(),
+                                            position: 0,
+                                            expected: leaf.param,
+                                            found: v.type_tag(),
+                                        });
+                                    }
+                                    *consumed_nanos += resolver.dispatch_cost_nanos();
+                                    resolver.enter(function, leaf.component);
+                                    remaining -= 4;
+                                    retired += 4;
+                                    fused += 4;
+                                    let largs = std::slice::from_ref(&v);
+                                    let va = match fetch(&[], largs, &leaf.a) {
+                                        Ok(x) => x,
+                                        Err(e) => {
+                                            retired -= 3;
+                                            fused -= 3;
+                                            resolver.exit(function, leaf.component);
+                                            fault!(e);
+                                        }
+                                    };
+                                    let vb = match fetch(&[], largs, &leaf.b) {
+                                        Ok(x) => x,
+                                        Err(e) => {
+                                            retired -= 2;
+                                            fused -= 2;
+                                            resolver.exit(function, leaf.component);
+                                            fault!(e);
+                                        }
+                                    };
+                                    let r = match leaf.op.eval(&va, &vb) {
+                                        Ok(x) => x,
+                                        Err(e) => {
+                                            retired -= 1;
+                                            fused -= 1;
+                                            resolver.exit(function, leaf.component);
+                                            fault!(e);
+                                        }
+                                    };
+                                    resolver.exit(function, leaf.component);
+                                    if !leaf.ret.accepts(TypeTag::Int) {
+                                        fault!(VmError::ReturnType {
+                                            function: function.clone(),
+                                            expected: leaf.ret,
+                                            found: TypeTag::Int,
+                                        });
+                                    }
+                                    stack.push(Value::Int(r));
+                                    continue 'ops;
+                                }
+                                stale = true;
+                            }
+                            if stale {
+                                slot.leaf = None;
+                            }
+                        }
+                        let resolved =
+                            match slot.token.and_then(|token| resolver.resolve_token(token)) {
+                                Some(resolved) => resolved,
+                                None => {
+                                    let (resolved, token) = tr!(resolve_with_token_checked(
+                                        resolver,
+                                        function,
+                                        CallOrigin::Internal
+                                    ));
+                                    slot.token = token;
+                                    resolved
+                                }
+                            };
+                        tr!(check_args(
+                            &resolved.code,
+                            function,
+                            std::slice::from_ref(&v)
+                        ));
+                        // First framed pass through a leaf-shaped callee
+                        // records the leaf summary; later calls at this site
+                        // take the inline path above until a configuration
+                        // change invalidates the token.
+                        if let Some(token) = slot.token {
+                            if resolved.code.locals() == 0 {
+                                if let [DecodedOp::BinRet { a, b, op }] = resolved.code.ops() {
+                                    slot.leaf = Some(LeafCall {
+                                        token,
+                                        a: a.clone(),
+                                        b: b.clone(),
+                                        op: *op,
+                                        component: resolved.component,
+                                        param: resolved.code.signature().params()[0],
+                                        ret: resolved.code.signature().ret(),
+                                    });
+                                }
+                            }
+                        }
+                        *consumed_nanos += resolver.dispatch_cost_nanos();
+                        resolver.enter(function, resolved.component);
+                        let mut args = arg_pool.pop().unwrap_or_default();
+                        args.push(v);
+                        if let Some(p) = profile.as_deref_mut() {
+                            p.enter(function);
+                        }
+                        break 'ops FrameEvent::Call { resolved, args };
+                    }
+                }
+            };
+
+            match event {
+                FrameEvent::Call { resolved, args } => {
+                    self.frames.push(Frame::new(resolved, args));
+                }
+                FrameEvent::Return(value) => {
+                    let mut frame = self.frames.pop().expect("returning thread has a frame");
+                    resolver.exit(frame.function(), frame.component);
+                    if let Some(p) = self.profile.as_deref_mut() {
+                        p.exit();
+                    }
+                    if self.arg_pool.len() < MAX_CALL_DEPTH {
+                        frame.args.clear();
+                        self.arg_pool.push(std::mem::take(&mut frame.args));
+                    }
+                    let expected = frame.code.signature().ret();
+                    if !expected.accepts(value.type_tag()) {
+                        let err = VmError::ReturnType {
+                            function: frame.function().clone(),
+                            expected,
+                            found: value.type_tag(),
+                        };
+                        break 'thread self.fault(resolver, err);
+                    }
+                    match self.frames.last_mut() {
+                        Some(caller) => caller.stack.push(value),
+                        None => {
+                            self.status = ThreadStatus::Done;
+                            break 'thread RunOutcome::Completed(value);
+                        }
+                    }
+                }
+                FrameEvent::Suspend(req) => {
+                    self.status = ThreadStatus::Suspended;
+                    break 'thread RunOutcome::Suspended(req);
+                }
+                FrameEvent::Fault(err) => break 'thread self.fault(resolver, err),
+            }
+        };
+        self.total_retired += retired;
+        self.fused_retired += fused;
+        decoded::record_retirement(retired, fused);
+        outcome
+    }
+
+    /// The original fuel loop over the single-step interpreter.
+    fn run_legacy<R: CallResolver + ?Sized>(
+        &mut self,
+        resolver: &mut R,
+        natives: &NativeRegistry,
+        globals: &mut ValueStore,
+        fuel: u64,
+    ) -> RunOutcome {
         let mut remaining = fuel;
         loop {
             if remaining == 0 {
@@ -303,22 +1166,24 @@ impl VmThread {
         }
     }
 
-    fn fault(&mut self, resolver: &mut dyn CallResolver, err: VmError) -> RunOutcome {
+    fn fault<R: CallResolver + ?Sized>(&mut self, resolver: &mut R, err: VmError) -> RunOutcome {
         self.unwind(resolver);
         self.status = ThreadStatus::Done;
         RunOutcome::Faulted(err)
     }
 
-    fn step(
+    /// One step of the legacy interpreter, over the undecoded instruction
+    /// stream.
+    fn step<R: CallResolver + ?Sized>(
         &mut self,
-        resolver: &mut dyn CallResolver,
+        resolver: &mut R,
         natives: &NativeRegistry,
         globals: &mut ValueStore,
     ) -> Result<StepOutcome, VmError> {
         // Implicit return of unit when execution falls off the end.
         let (code, pc, depth) = {
             let frame = self.frames.last_mut().expect("running thread has frames");
-            if frame.pc >= frame.code.len() {
+            if frame.pc >= frame.code.block().len() {
                 return self.do_return(resolver, Value::Unit);
             }
             let pc = frame.pc;
@@ -327,7 +1192,7 @@ impl VmThread {
         };
         // Borrow the instruction from the (cheaply cloned) shared code block
         // rather than deep-cloning it every step.
-        let instr = &code.instrs()[pc];
+        let instr = &code.block().instrs()[pc];
         if let Some(p) = self.profile.as_deref_mut() {
             let work = if let Instr::Work(nanos) = instr {
                 *nanos
@@ -340,15 +1205,15 @@ impl VmThread {
         match instr {
             Instr::Push(v) => frame.stack.push(v.clone()),
             Instr::Pop => {
-                pop(frame)?;
+                pop(&mut frame.stack)?;
             }
             Instr::Dup => {
                 let v = frame.stack.last().ok_or(VmError::StackUnderflow)?.clone();
                 frame.stack.push(v);
             }
             Instr::Swap => {
-                let b = pop(frame)?;
-                let a = pop(frame)?;
+                let b = pop(&mut frame.stack)?;
+                let a = pop(&mut frame.stack)?;
                 frame.stack.push(b);
                 frame.stack.push(a);
             }
@@ -369,24 +1234,24 @@ impl VmThread {
                 frame.stack.push(v);
             }
             Instr::StoreLocal(n) => {
-                let v = pop(frame)?;
+                let v = pop(&mut frame.stack)?;
                 let slot = frame
                     .locals
                     .get_mut(*n as usize)
                     .ok_or(VmError::StackUnderflow)?;
                 *slot = v;
             }
-            Instr::Add => int_binop(frame, |a, b| Ok(a.wrapping_add(b)))?,
-            Instr::Sub => int_binop(frame, |a, b| Ok(a.wrapping_sub(b)))?,
-            Instr::Mul => int_binop(frame, |a, b| Ok(a.wrapping_mul(b)))?,
-            Instr::Div => int_binop(frame, |a, b| {
+            Instr::Add => int_binop(&mut frame.stack, |a, b| Ok(a.wrapping_add(b)))?,
+            Instr::Sub => int_binop(&mut frame.stack, |a, b| Ok(a.wrapping_sub(b)))?,
+            Instr::Mul => int_binop(&mut frame.stack, |a, b| Ok(a.wrapping_mul(b)))?,
+            Instr::Div => int_binop(&mut frame.stack, |a, b| {
                 if b == 0 {
                     Err(VmError::DivideByZero)
                 } else {
                     Ok(a.wrapping_div(b))
                 }
             })?,
-            Instr::Rem => int_binop(frame, |a, b| {
+            Instr::Rem => int_binop(&mut frame.stack, |a, b| {
                 if b == 0 {
                     Err(VmError::DivideByZero)
                 } else {
@@ -394,45 +1259,45 @@ impl VmThread {
                 }
             })?,
             Instr::Neg => {
-                let a = pop_int(frame)?;
+                let a = pop_int(&mut frame.stack)?;
                 frame.stack.push(Value::Int(a.wrapping_neg()));
             }
             Instr::Not => {
-                let a = pop_bool(frame)?;
+                let a = pop_bool(&mut frame.stack)?;
                 frame.stack.push(Value::Bool(!a));
             }
             Instr::And => {
-                let b = pop_bool(frame)?;
-                let a = pop_bool(frame)?;
+                let b = pop_bool(&mut frame.stack)?;
+                let a = pop_bool(&mut frame.stack)?;
                 frame.stack.push(Value::Bool(a && b));
             }
             Instr::Or => {
-                let b = pop_bool(frame)?;
-                let a = pop_bool(frame)?;
+                let b = pop_bool(&mut frame.stack)?;
+                let a = pop_bool(&mut frame.stack)?;
                 frame.stack.push(Value::Bool(a || b));
             }
             Instr::Eq => {
-                let b = pop(frame)?;
-                let a = pop(frame)?;
+                let b = pop(&mut frame.stack)?;
+                let a = pop(&mut frame.stack)?;
                 frame.stack.push(Value::Bool(a == b));
             }
             Instr::Ne => {
-                let b = pop(frame)?;
-                let a = pop(frame)?;
+                let b = pop(&mut frame.stack)?;
+                let a = pop(&mut frame.stack)?;
                 frame.stack.push(Value::Bool(a != b));
             }
-            Instr::Lt => int_cmp(frame, |a, b| a < b)?,
-            Instr::Le => int_cmp(frame, |a, b| a <= b)?,
-            Instr::Gt => int_cmp(frame, |a, b| a > b)?,
-            Instr::Ge => int_cmp(frame, |a, b| a >= b)?,
+            Instr::Lt => int_cmp(&mut frame.stack, |a, b| a < b)?,
+            Instr::Le => int_cmp(&mut frame.stack, |a, b| a <= b)?,
+            Instr::Gt => int_cmp(&mut frame.stack, |a, b| a > b)?,
+            Instr::Ge => int_cmp(&mut frame.stack, |a, b| a >= b)?,
             Instr::Jump(t) => frame.pc = *t as usize,
             Instr::JumpIfFalse(t) => {
-                if !pop_bool(frame)? {
+                if !pop_bool(&mut frame.stack)? {
                     frame.pc = *t as usize;
                 }
             }
             Instr::JumpIfTrue(t) => {
-                if pop_bool(frame)? {
+                if pop_bool(&mut frame.stack)? {
                     frame.pc = *t as usize;
                 }
             }
@@ -440,7 +1305,7 @@ impl VmThread {
                 if depth >= MAX_CALL_DEPTH {
                     return Err(VmError::CallDepthExceeded(MAX_CALL_DEPTH));
                 }
-                let args = pop_n(frame, *argc as usize)?;
+                let args = pop_n(&mut frame.stack, *argc as usize)?;
                 // Inline cache: redeem the token this call site cached, if
                 // the resolver's configuration generation still matches.
                 let site = function.identity_key();
@@ -464,7 +1329,7 @@ impl VmThread {
                         resolved
                     }
                 };
-                check_args(&resolved, function, &args)?;
+                check_args(&resolved.code, function, &args)?;
                 self.consumed_nanos += resolver.dispatch_cost_nanos();
                 resolver.enter(function, resolved.component);
                 if let Some(p) = self.profile.as_deref_mut() {
@@ -473,13 +1338,13 @@ impl VmThread {
                 self.frames.push(Frame::new(resolved, args));
             }
             Instr::CallNative { function, argc } => {
-                let args = pop_n(frame, *argc as usize)?;
+                let args = pop_n(&mut frame.stack, *argc as usize)?;
                 let result = natives.call(function, &args)?;
                 frame.stack.push(result);
             }
             Instr::CallRemote { function, argc } => {
-                let args = pop_n(frame, *argc as usize)?;
-                let target = pop(frame)?;
+                let args = pop_n(&mut frame.stack, *argc as usize)?;
+                let target = pop(&mut frame.stack)?;
                 let Some(target) = target.as_obj_ref() else {
                     return Err(VmError::TypeMismatch {
                         expected: TypeTag::ObjRef,
@@ -497,12 +1362,12 @@ impl VmThread {
                 return self.do_return(resolver, value);
             }
             Instr::MakeList(n) => {
-                let items = pop_n(frame, *n as usize)?;
+                let items = pop_n(&mut frame.stack, *n as usize)?;
                 frame.stack.push(Value::List(items));
             }
             Instr::ListGet => {
-                let index = pop_int(frame)?;
-                let list = pop_list(frame)?;
+                let index = pop_int(&mut frame.stack)?;
+                let list = pop_list(&mut frame.stack)?;
                 let item = usize::try_from(index)
                     .ok()
                     .and_then(|i| list.get(i).cloned())
@@ -513,9 +1378,9 @@ impl VmThread {
                 frame.stack.push(item);
             }
             Instr::ListSet => {
-                let value = pop(frame)?;
-                let index = pop_int(frame)?;
-                let mut list = pop_list(frame)?;
+                let value = pop(&mut frame.stack)?;
+                let index = pop_int(&mut frame.stack)?;
+                let mut list = pop_list(&mut frame.stack)?;
                 let len = list.len();
                 let slot = usize::try_from(index)
                     .ok()
@@ -525,22 +1390,22 @@ impl VmThread {
                 frame.stack.push(Value::List(list));
             }
             Instr::ListLen => {
-                let list = pop_list(frame)?;
+                let list = pop_list(&mut frame.stack)?;
                 frame.stack.push(Value::Int(list.len() as i64));
             }
             Instr::ListPush => {
-                let value = pop(frame)?;
-                let mut list = pop_list(frame)?;
+                let value = pop(&mut frame.stack)?;
+                let mut list = pop_list(&mut frame.stack)?;
                 list.push(value);
                 frame.stack.push(Value::List(list));
             }
             Instr::StrConcat => {
-                let b = pop_str(frame)?;
-                let a = pop_str(frame)?;
+                let b = pop_str(&mut frame.stack)?;
+                let a = pop_str(&mut frame.stack)?;
                 frame.stack.push(Value::str(format!("{a}{b}")));
             }
             Instr::StrLen => {
-                let s = pop_str(frame)?;
+                let s = pop_str(&mut frame.stack)?;
                 frame.stack.push(Value::Int(s.len() as i64));
             }
             Instr::Work(nanos) => {
@@ -550,16 +1415,16 @@ impl VmThread {
                 frame.stack.push(globals.get(key.as_str()));
             }
             Instr::GlobalSet(key) => {
-                let v = pop(frame)?;
+                let v = pop(&mut frame.stack)?;
                 globals.set(key.as_str().to_owned(), v);
             }
         }
         Ok(StepOutcome::Continue)
     }
 
-    fn do_return(
+    fn do_return<R: CallResolver + ?Sized>(
         &mut self,
-        resolver: &mut dyn CallResolver,
+        resolver: &mut R,
         value: Value,
     ) -> Result<StepOutcome, VmError> {
         let frame = self.frames.pop().expect("returning thread has a frame");
@@ -608,6 +1473,24 @@ enum StepOutcome {
     Suspend(OutcallRequest),
 }
 
+/// Reads a fused operand without touching the operand stack. Out-of-range
+/// local/arg slots report `StackUnderflow`, exactly as the unfused
+/// `LoadLocal`/`LoadArg` would.
+#[inline]
+fn fetch(locals: &[Value], args: &[Value], operand: &Operand) -> Result<Value, VmError> {
+    match operand {
+        Operand::Local(n) => locals
+            .get(*n as usize)
+            .cloned()
+            .ok_or(VmError::StackUnderflow),
+        Operand::Arg(n) => args
+            .get(*n as usize)
+            .cloned()
+            .ok_or(VmError::StackUnderflow),
+        Operand::Imm(v) => Ok(v.clone()),
+    }
+}
+
 fn resolve_error_to_vm(e: ResolveError, function: &FunctionName) -> VmError {
     match e {
         ResolveError::Missing => VmError::MissingFunction(function.clone()),
@@ -616,8 +1499,8 @@ fn resolve_error_to_vm(e: ResolveError, function: &FunctionName) -> VmError {
     }
 }
 
-fn resolve_checked(
-    resolver: &mut dyn CallResolver,
+fn resolve_checked<R: CallResolver + ?Sized>(
+    resolver: &mut R,
     function: &FunctionName,
     origin: CallOrigin,
 ) -> Result<ResolvedCall, VmError> {
@@ -626,8 +1509,8 @@ fn resolve_checked(
         .map_err(|e| resolve_error_to_vm(e, function))
 }
 
-fn resolve_with_token_checked(
-    resolver: &mut dyn CallResolver,
+fn resolve_with_token_checked<R: CallResolver + ?Sized>(
+    resolver: &mut R,
     function: &FunctionName,
     origin: CallOrigin,
 ) -> Result<(ResolvedCall, Option<CallToken>), VmError> {
@@ -636,12 +1519,8 @@ fn resolve_with_token_checked(
         .map_err(|e| resolve_error_to_vm(e, function))
 }
 
-fn check_args(
-    resolved: &ResolvedCall,
-    function: &FunctionName,
-    args: &[Value],
-) -> Result<(), VmError> {
-    let params = resolved.code.signature().params();
+fn check_args(code: &DecodedCode, function: &FunctionName, args: &[Value]) -> Result<(), VmError> {
+    let params = code.signature().params();
     if params.len() != args.len() {
         return Err(VmError::ArityMismatch {
             function: function.clone(),
@@ -662,35 +1541,35 @@ fn check_args(
     Ok(())
 }
 
-fn pop(frame: &mut Frame) -> Result<Value, VmError> {
-    frame.stack.pop().ok_or(VmError::StackUnderflow)
+fn pop(stack: &mut Vec<Value>) -> Result<Value, VmError> {
+    stack.pop().ok_or(VmError::StackUnderflow)
 }
 
-fn pop_n(frame: &mut Frame, n: usize) -> Result<Vec<Value>, VmError> {
-    if frame.stack.len() < n {
+fn pop_n(stack: &mut Vec<Value>, n: usize) -> Result<Vec<Value>, VmError> {
+    if stack.len() < n {
         return Err(VmError::StackUnderflow);
     }
-    Ok(frame.stack.split_off(frame.stack.len() - n))
+    Ok(stack.split_off(stack.len() - n))
 }
 
-fn pop_int(frame: &mut Frame) -> Result<i64, VmError> {
-    let v = pop(frame)?;
+fn pop_int(stack: &mut Vec<Value>) -> Result<i64, VmError> {
+    let v = pop(stack)?;
     v.as_int().ok_or(VmError::TypeMismatch {
         expected: TypeTag::Int,
         found: v.type_tag(),
     })
 }
 
-fn pop_bool(frame: &mut Frame) -> Result<bool, VmError> {
-    let v = pop(frame)?;
+fn pop_bool(stack: &mut Vec<Value>) -> Result<bool, VmError> {
+    let v = pop(stack)?;
     v.as_bool().ok_or(VmError::TypeMismatch {
         expected: TypeTag::Bool,
         found: v.type_tag(),
     })
 }
 
-fn pop_str(frame: &mut Frame) -> Result<std::sync::Arc<str>, VmError> {
-    let v = pop(frame)?;
+fn pop_str(stack: &mut Vec<Value>) -> Result<std::sync::Arc<str>, VmError> {
+    let v = pop(stack)?;
     match v {
         Value::Str(s) => Ok(s),
         other => Err(VmError::TypeMismatch {
@@ -700,8 +1579,8 @@ fn pop_str(frame: &mut Frame) -> Result<std::sync::Arc<str>, VmError> {
     }
 }
 
-fn pop_list(frame: &mut Frame) -> Result<Vec<Value>, VmError> {
-    let v = pop(frame)?;
+fn pop_list(stack: &mut Vec<Value>) -> Result<Vec<Value>, VmError> {
+    let v = pop(stack)?;
     match v {
         Value::List(l) => Ok(l),
         other => Err(VmError::TypeMismatch {
@@ -712,18 +1591,18 @@ fn pop_list(frame: &mut Frame) -> Result<Vec<Value>, VmError> {
 }
 
 fn int_binop(
-    frame: &mut Frame,
+    stack: &mut Vec<Value>,
     f: impl Fn(i64, i64) -> Result<i64, VmError>,
 ) -> Result<(), VmError> {
-    let b = pop_int(frame)?;
-    let a = pop_int(frame)?;
-    frame.stack.push(Value::Int(f(a, b)?));
+    let b = pop_int(stack)?;
+    let a = pop_int(stack)?;
+    stack.push(Value::Int(f(a, b)?));
     Ok(())
 }
 
-fn int_cmp(frame: &mut Frame, f: impl Fn(i64, i64) -> bool) -> Result<(), VmError> {
-    let b = pop_int(frame)?;
-    let a = pop_int(frame)?;
-    frame.stack.push(Value::Bool(f(a, b)));
+fn int_cmp(stack: &mut Vec<Value>, f: impl Fn(i64, i64) -> bool) -> Result<(), VmError> {
+    let b = pop_int(stack)?;
+    let a = pop_int(stack)?;
+    stack.push(Value::Bool(f(a, b)));
     Ok(())
 }

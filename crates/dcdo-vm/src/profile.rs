@@ -11,9 +11,45 @@
 //! charges exactly one unit per retired instruction — so `instructions`
 //! doubles as the fuel attribution the profiler reports.
 
+use std::sync::{Mutex, OnceLock};
+
 use dcdo_types::{FunctionInterner, FunctionName};
 
 use crate::instr::OPCODE_COUNT;
+
+fn global_aggregate() -> &'static Mutex<VmProfile> {
+    static GLOBAL: OnceLock<Mutex<VmProfile>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(VmProfile::new()))
+}
+
+/// Folds `profile` into the process-wide VM profile aggregate.
+///
+/// The aggregate exists for offline inspection tooling (`dcdo-inspect vm`)
+/// that wants per-opcode totals across every profiled thread in a run
+/// without threading a collector through the runtime. Hosts that emit
+/// per-object profiles (the legion object runtime) record here as they
+/// finish each thread.
+pub fn record_global_vm_profile(profile: &VmProfile) {
+    global_aggregate()
+        .lock()
+        .expect("vm profile aggregate poisoned")
+        .merge(profile);
+}
+
+/// A snapshot of the process-wide VM profile aggregate.
+pub fn global_vm_profile() -> VmProfile {
+    global_aggregate()
+        .lock()
+        .expect("vm profile aggregate poisoned")
+        .clone()
+}
+
+/// Clears the process-wide VM profile aggregate (start of a measured run).
+pub fn reset_global_vm_profile() {
+    *global_aggregate()
+        .lock()
+        .expect("vm profile aggregate poisoned") = VmProfile::new();
+}
 
 /// Per-function counters inside a [`ThreadProfile`] / [`VmProfile`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -43,6 +43,7 @@ use std::sync::Arc;
 
 use dcdo_types::{ComponentId, FunctionName};
 
+use crate::decoded::{fusion_default, DecodeCacheStats, DecodedCode};
 use crate::instr::CodeBlock;
 
 /// Where a call originates, which determines the visibility check.
@@ -68,10 +69,18 @@ pub enum ResolveError {
 }
 
 /// A successful resolution: the code to run and the component it lives in.
+///
+/// The code arrives **pre-decoded**: resolvers decode each [`CodeBlock`]
+/// into its direct-threaded [`DecodedCode`] form once, at configuration
+/// time, and hand out shared references. The decode cache rides the same
+/// generation machinery as [`CallToken`]s — a configuration operation
+/// replaces the cached decode exactly when it invalidates outstanding
+/// tokens.
 #[derive(Debug, Clone)]
 pub struct ResolvedCall {
-    /// The implementation to execute (shared, not deep-copied per call).
-    pub code: Arc<CodeBlock>,
+    /// The pre-decoded implementation to execute (shared, decoded once per
+    /// configuration generation, never per call).
+    pub code: Arc<DecodedCode>,
     /// The component containing the implementation (for thread-activity
     /// accounting and the disappearing-component check).
     pub component: ComponentId,
@@ -132,6 +141,19 @@ pub trait CallResolver {
         None
     }
 
+    /// Cheap form of [`CallResolver::resolve_token`] for call sites that
+    /// cached everything they need from an earlier redemption: returns
+    /// `true` iff redeeming `token` now would succeed, without re-fetching
+    /// the entry. A `true` return counts against the resolver's cache
+    /// accounting exactly like a full redemption, so fused and unfused
+    /// execution report identical dispatch statistics. Slot-table resolvers
+    /// should override this together with `resolve_token`; the default
+    /// (matching `resolve_token`'s default) revalidates nothing.
+    fn revalidate_token(&mut self, token: CallToken) -> bool {
+        let _ = token;
+        false
+    }
+
     /// Notifies that a thread entered the implementation of `function` in
     /// `component` (push of a call frame).
     fn enter(&mut self, function: &FunctionName, component: ComponentId) {
@@ -164,11 +186,13 @@ pub struct StaticResolver {
     entries: Vec<ResolvedEntry>,
     generation: u64,
     dispatch_cost_nanos: u64,
+    fuse: bool,
+    stats: DecodeCacheStats,
 }
 
 #[derive(Debug, Clone)]
 struct ResolvedEntry {
-    code: Arc<CodeBlock>,
+    code: Arc<DecodedCode>,
     component: ComponentId,
 }
 
@@ -179,6 +203,8 @@ impl Default for StaticResolver {
             entries: Vec::new(),
             generation: next_generation(),
             dispatch_cost_nanos: 0,
+            fuse: fusion_default(),
+            stats: DecodeCacheStats::default(),
         }
     }
 }
@@ -196,17 +222,54 @@ impl StaticResolver {
         self
     }
 
-    /// Installs a function implementation. Later insertions replace earlier
-    /// ones (link order). Each insertion moves the table to a fresh
-    /// generation, invalidating outstanding [`CallToken`]s.
+    /// Selects whether the decode pass fuses superinstructions. Defaults to
+    /// the process-wide [`fusion_default`] (`DCDO_VM_FUSE`). Flipping the
+    /// mode re-decodes every installed function and moves the table to a
+    /// fresh generation, exactly like any other configuration change.
+    pub fn with_fusion(mut self, fuse: bool) -> Self {
+        self.set_fusion(fuse);
+        self
+    }
+
+    /// See [`StaticResolver::with_fusion`].
+    pub fn set_fusion(&mut self, fuse: bool) {
+        if self.fuse == fuse {
+            return;
+        }
+        self.fuse = fuse;
+        for entry in &mut self.entries {
+            self.stats.invalidations += 1;
+            self.stats.decodes += 1;
+            entry.code = Arc::new(DecodedCode::decode(Arc::clone(entry.code.block()), fuse));
+        }
+        if !self.entries.is_empty() {
+            self.generation = next_generation();
+        }
+    }
+
+    /// Pre-decode cache counters: decodes performed, resolutions served
+    /// from the cache, and cached decodes invalidated by configuration
+    /// changes.
+    pub fn decode_stats(&self) -> DecodeCacheStats {
+        self.stats
+    }
+
+    /// Installs a function implementation, decoding it once into its
+    /// direct-threaded form. Later insertions replace earlier ones (link
+    /// order) and invalidate the replaced decode. Each insertion moves the
+    /// table to a fresh generation, invalidating outstanding [`CallToken`]s.
     pub fn insert(&mut self, code: CodeBlock, component: ComponentId) {
         let name = code.signature().name().clone();
+        self.stats.decodes += 1;
         let entry = ResolvedEntry {
-            code: Arc::new(code),
+            code: Arc::new(DecodedCode::decode(Arc::new(code), self.fuse)),
             component,
         };
         match self.slots_by_name.get(&name) {
-            Some(&slot) => self.entries[slot as usize] = entry,
+            Some(&slot) => {
+                self.stats.invalidations += 1;
+                self.entries[slot as usize] = entry;
+            }
             None => {
                 let slot = u32::try_from(self.entries.len()).expect("slot overflow");
                 self.entries.push(entry);
@@ -236,7 +299,8 @@ impl StaticResolver {
         self.slots_by_name.contains_key(function)
     }
 
-    fn entry_call(&self, slot: u32) -> ResolvedCall {
+    fn entry_call(&mut self, slot: u32) -> ResolvedCall {
+        self.stats.hits += 1;
         let entry = &self.entries[slot as usize];
         ResolvedCall {
             code: Arc::clone(&entry.code),
@@ -279,6 +343,14 @@ impl CallResolver for StaticResolver {
             return None;
         }
         Some(self.entry_call(token.slot))
+    }
+
+    fn revalidate_token(&mut self, token: CallToken) -> bool {
+        if token.generation != self.generation || token.slot as usize >= self.entries.len() {
+            return false;
+        }
+        self.stats.hits += 1;
+        true
     }
 
     fn dispatch_cost_nanos(&mut self) -> u64 {

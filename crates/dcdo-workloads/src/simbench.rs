@@ -565,14 +565,36 @@ pub fn vm_spin_component() -> ComponentBinary {
         .expect("valid component")
 }
 
+/// How `vm_spin_with` executes the spin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmSpinMode {
+    /// The legacy single-step interpreter (the differential oracle and the
+    /// benchmark "before" build).
+    Legacy,
+    /// The threaded dispatch loop over pre-decoded code, without
+    /// superinstruction fusion.
+    Unfused,
+    /// The threaded dispatch loop with superinstructions (the default
+    /// production configuration).
+    Fused,
+}
+
 /// Runs `spin(iters)` to completion on a frozen resolver, with the VM's
 /// per-thread cost profile enabled or not — the probe behind the
 /// "profiling is free when disabled" claim (`sim_bench` times both and
 /// reports the overhead fraction). Returns the spin result (== `iters`).
 pub fn vm_spin(iters: i64, profiled: bool) -> u64 {
+    vm_spin_with(iters, profiled, VmSpinMode::Fused).0
+}
+
+/// `vm_spin` with an explicit execution mode; returns
+/// `(spin result, (retired, fused) original-opcode counts)`. The retired
+/// counts are zero in [`VmSpinMode::Legacy`] (the legacy stepper does not
+/// count retirement).
+pub fn vm_spin_with(iters: i64, profiled: bool, mode: VmSpinMode) -> (u64, (u64, u64)) {
     use dcdo_vm::{CallOrigin, NativeRegistry, RunOutcome, StaticResolver, ValueStore, VmThread};
     let component = vm_spin_component();
-    let mut resolver = StaticResolver::new();
+    let mut resolver = StaticResolver::new().with_fusion(mode == VmSpinMode::Fused);
     for f in component.functions() {
         resolver.insert(f.code().clone(), component.id());
     }
@@ -584,6 +606,7 @@ pub fn vm_spin(iters: i64, profiled: bool) -> u64 {
         CallOrigin::External,
     )
     .expect("spin starts");
+    thread.set_legacy_stepper(mode == VmSpinMode::Legacy);
     if profiled {
         thread.enable_profiling();
     }
@@ -594,8 +617,83 @@ pub fn vm_spin(iters: i64, profiled: bool) -> u64 {
         &mut globals,
         fuel,
     ) {
-        RunOutcome::Completed(Value::Int(v)) => v as u64,
+        RunOutcome::Completed(Value::Int(v)) => (v as u64, thread.retired_counts()),
         other => panic!("spin must complete: {other:?}"),
+    }
+}
+
+/// What the fusion/decode-cache probe observed across a spin plus a
+/// simulated reconfiguration.
+#[derive(Debug, Clone, Copy)]
+pub struct VmSpinProbe {
+    /// Original opcodes retired by the probe's threaded runs.
+    pub retired: u64,
+    /// The subset retired inside superinstructions.
+    pub fused: u64,
+    /// Pre-decode cache counters across the whole probe (two decodes per
+    /// function: initial install + the reconfiguration's re-install).
+    pub stats: dcdo_vm::DecodeCacheStats,
+}
+
+impl VmSpinProbe {
+    /// Fraction of executed original opcodes that ran inside a
+    /// superinstruction.
+    pub fn coverage(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.fused as f64 / self.retired as f64
+        }
+    }
+}
+
+/// Runs a fused spin, then re-installs the spin component (a configuration
+/// operation: the cached decodes are invalidated and rebuilt, outstanding
+/// call tokens expire) and spins again — measuring superinstruction
+/// coverage and decode-cache hit/invalidation behavior across a
+/// reconfiguration.
+pub fn vm_spin_fusion_probe(iters: i64) -> VmSpinProbe {
+    use dcdo_vm::{CallOrigin, NativeRegistry, RunOutcome, StaticResolver, ValueStore, VmThread};
+    let component = vm_spin_component();
+    let mut resolver = StaticResolver::new().with_fusion(true);
+    for f in component.functions() {
+        resolver.insert(f.code().clone(), component.id());
+    }
+    let mut retired = 0;
+    let mut fused = 0;
+    for round in 0..2 {
+        if round == 1 {
+            // The reconfiguration: re-incorporating the component replaces
+            // (and re-decodes) both functions and bumps the generation.
+            for f in component.functions() {
+                resolver.insert(f.code().clone(), component.id());
+            }
+        }
+        let mut globals = ValueStore::new();
+        let mut thread = VmThread::call(
+            &mut resolver,
+            &"spin".into(),
+            vec![Value::Int(iters)],
+            CallOrigin::External,
+        )
+        .expect("spin starts");
+        match thread.run(
+            &mut resolver,
+            &NativeRegistry::standard(),
+            &mut globals,
+            (iters as u64) * 24 + 64,
+        ) {
+            RunOutcome::Completed(Value::Int(v)) => assert_eq!(v, iters, "spin result"),
+            other => panic!("spin must complete: {other:?}"),
+        }
+        let (r, f) = thread.retired_counts();
+        retired += r;
+        fused += f;
+    }
+    VmSpinProbe {
+        retired,
+        fused,
+        stats: resolver.decode_stats(),
     }
 }
 
@@ -639,6 +737,41 @@ mod tests {
     fn vm_spin_spins_profiled_or_not() {
         assert_eq!(vm_spin(1_000, false), 1_000);
         assert_eq!(vm_spin(1_000, true), 1_000);
+    }
+
+    #[test]
+    fn vm_spin_modes_agree_and_fusion_covers_the_loop() {
+        let (legacy, legacy_counts) = vm_spin_with(500, false, VmSpinMode::Legacy);
+        let (unfused, unfused_counts) = vm_spin_with(500, false, VmSpinMode::Unfused);
+        let (fused, fused_counts) = vm_spin_with(500, false, VmSpinMode::Fused);
+        assert_eq!(legacy, 500);
+        assert_eq!(unfused, 500);
+        assert_eq!(fused, 500);
+        assert_eq!(legacy_counts, (0, 0), "legacy stepper does not count");
+        assert_eq!(unfused_counts.1, 0, "no fusion without the fuse pass");
+        // Fusion must retire the same original-opcode total, with a large
+        // share inside superinstructions (the spin body is built from
+        // fusable shapes).
+        assert_eq!(fused_counts.0, unfused_counts.0);
+        assert!(
+            fused_counts.1 * 2 > fused_counts.0,
+            "expected >50% fused coverage on vm_spin, got {}/{}",
+            fused_counts.1,
+            fused_counts.0
+        );
+    }
+
+    #[test]
+    fn vm_spin_probe_sees_reconfiguration_invalidations() {
+        let probe = vm_spin_fusion_probe(200);
+        assert!(probe.coverage() > 0.5, "coverage {}", probe.coverage());
+        // Two installs of two functions: 4 decodes, 2 of them replacing
+        // (invalidating) the first round's cached decodes.
+        assert_eq!(probe.stats.decodes, 4);
+        assert_eq!(probe.stats.invalidations, 2);
+        // Every CallDyn resolution in both rounds was served from the
+        // pre-decoded cache.
+        assert!(probe.stats.hits >= 400);
     }
 
     #[test]

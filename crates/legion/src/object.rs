@@ -238,6 +238,7 @@ impl ObjectRuntime {
             });
         }
         self.vm_profile.merge(&profile);
+        dcdo_vm::record_global_vm_profile(&profile);
     }
 
     /// The merged VM cost profile of every profiled thread that finished in
