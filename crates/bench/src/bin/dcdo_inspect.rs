@@ -22,6 +22,13 @@
 //! numbers are identical with fusion on or off), and the superinstruction
 //! coverage the threaded dispatch achieved. With `--out PREFIX` it also
 //! writes `PREFIX.vm.json`.
+//!
+//! The `scenarios` subcommand lists every declared scenario; `scenario
+//! <name|file.scn|all> [seed] [--threads N] [--out FILE]` runs declared
+//! scenarios (or a `.scn` file) through the `dcdo-scenario` runner, prints
+//! each verdict table, and writes the deterministic per-run JSON reports to
+//! `BENCH_scenarios.json`. The process exits nonzero if any expectation
+//! fails, so CI can gate on declared behavior.
 
 use dcdo_profile::{CriticalPath, ProfileReport};
 use dcdo_vm::{FusionStats, VmProfile, OPCODE_NAMES};
@@ -37,10 +44,139 @@ const WORKLOADS: &[&str] = &[
 
 fn usage() -> ! {
     eprintln!("usage: dcdo-inspect [vm] <workload> [seed] [--out PREFIX] [--threads N]");
+    eprintln!("       dcdo-inspect scenarios");
+    eprintln!("       dcdo-inspect scenario <name|file.scn|all> [seed] [--threads N] [--out FILE]");
     eprintln!("workloads: {}", WORKLOADS.join(", "));
     eprintln!("vm: print the VM per-function/per-opcode cost tables and");
     eprintln!("    superinstruction coverage for the scenario");
+    eprintln!("scenarios: list the declared scenarios the runner knows");
+    eprintln!("scenario: run declared scenarios (or a .scn file), print verdicts,");
+    eprintln!("    and write deterministic reports to BENCH_scenarios.json");
     std::process::exit(2);
+}
+
+/// One-line summary of a declared scenario for `dcdo-inspect scenarios`.
+fn scenario_summary(text: &str) -> String {
+    let decl = dcdo_scenario::parse_scenario(text).expect("embedded scenario text parses");
+    let window = match decl.window {
+        dcdo_scenario::Window::Ticks(n) => format!("ticks={n}"),
+        dcdo_scenario::Window::Timed(d) => format!("secs={}", d.as_secs_f64()),
+        dcdo_scenario::Window::Episode => "episode".to_string(),
+    };
+    let workloads = decl
+        .workloads
+        .iter()
+        .map(|w| w.name.as_str())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{:<8} nodes={:<3} {:<10} workloads: {}",
+        decl.topology.infra.name(),
+        decl.topology.nodes,
+        window,
+        workloads
+    )
+}
+
+fn list_scenarios() {
+    for (name, text) in dcdo_scenario::registry::declared() {
+        println!("{name:<22} {}", scenario_summary(text));
+    }
+}
+
+/// Resolves a `scenario` target: `all`, a declared name, or a `.scn` file
+/// path. Exits with status 2 on unreadable or unparseable input.
+fn scenario_targets(target: &str) -> Vec<dcdo_scenario::Scenario> {
+    if target == "all" {
+        return dcdo_scenario::registry::declared()
+            .iter()
+            .map(|(name, _)| {
+                dcdo_scenario::registry::load_declared(name).expect("declared scenario loads")
+            })
+            .collect();
+    }
+    if let Some(scenario) = dcdo_scenario::registry::load_declared(target) {
+        return vec![scenario];
+    }
+    let text = std::fs::read_to_string(target).unwrap_or_else(|e| {
+        eprintln!("dcdo-inspect: {target} is not a declared scenario and not a readable file: {e}");
+        eprintln!(
+            "declared scenarios: {}",
+            dcdo_scenario::registry::declared()
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    });
+    match dcdo_scenario::Scenario::from_text(&text) {
+        Ok(scenario) => vec![scenario],
+        Err(e) => {
+            eprintln!("dcdo-inspect: {target}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `scenario` subcommand: run one declared scenario, a `.scn` file, or
+/// all declared scenarios; print verdicts; export deterministic JSON.
+fn run_scenarios(args: &[String]) {
+    let mut target: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut out_path = "BENCH_scenarios.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--threads" => {
+                i += 1;
+                let n: u32 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                // Episode workloads build their sims internally, so the
+                // count is installed as the process-wide default; the
+                // runner-built worlds inherit it the same way.
+                dcdo_sim::set_default_threads(n);
+            }
+            "--help" | "-h" => usage(),
+            a if target.is_none() => target = Some(a.to_string()),
+            a => seed = Some(a.parse().unwrap_or_else(|_| usage())),
+        }
+        i += 1;
+    }
+    let target = target.unwrap_or_else(|| usage());
+    let mut scenarios = scenario_targets(&target);
+    if let Some(seed) = seed {
+        scenarios = scenarios.into_iter().map(|s| s.with_seed(seed)).collect();
+    }
+
+    let mut all_passed = true;
+    let mut reports = Vec::new();
+    for scenario in scenarios {
+        let name = scenario.name.clone();
+        match dcdo_scenario::run(scenario) {
+            Ok(report) => {
+                print!("{}", report.render());
+                all_passed &= report.passed;
+                reports.push(report.to_json());
+            }
+            Err(e) => {
+                eprintln!("dcdo-inspect: scenario {name} is invalid: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let json = format!("{{\"scenarios\":[{}]}}\n", reports.join(","));
+    std::fs::write(&out_path, json).expect("write scenario report JSON");
+    println!("wrote {out_path}");
+    if !all_passed {
+        std::process::exit(1);
+    }
 }
 
 fn run_workload(name: &str, seed: u64) -> ProfileReport {
@@ -275,6 +411,17 @@ fn vm_json(profile: &VmProfile, stats: FusionStats) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("scenarios") => {
+            list_scenarios();
+            return;
+        }
+        Some("scenario") => {
+            run_scenarios(&args[1..]);
+            return;
+        }
+        _ => {}
+    }
     let mut vm_mode = false;
     let mut workload = None;
     let mut seed = 42u64;

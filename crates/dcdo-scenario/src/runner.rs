@@ -1,0 +1,154 @@
+//! The scenario runner: validate, build, set up, drive, measure, judge.
+//!
+//! The run sequence matches the repo's hand-coded workload drivers exactly
+//! (the golden-parity suite holds it to their trace hashes):
+//!
+//! 1. [`Scenario::validate`] — typed rejection before any state exists.
+//! 2. Build the world from the topology (episodes stay pending).
+//! 3. Enable execution tracing and span logging.
+//! 4. `setup` every workload in declaration order.
+//! 5. `capture` every expectation's baseline.
+//! 6. Drive the window: timed runs let timers and chaos plans supply the
+//!    traffic; tick windows draw one workload per tick by a weighted draw
+//!    from the engine's per-lane deterministic RNG stream, so the mix a
+//!    seed produces is byte-identical at every worker-thread count;
+//!    episode windows run each workload's episode hook once.
+//! 7. Drain the queue, `measure` every workload, `judge` every
+//!    expectation, and assemble the [`ScenarioReport`].
+
+use dcdo_sim::NodeId;
+
+use crate::report::ScenarioReport;
+use crate::scenario::{Scenario, Window};
+use crate::workload::RunCx;
+use crate::ScenarioError;
+
+/// Runs `scenario` to completion at the process-default thread count.
+pub fn run(scenario: Scenario) -> Result<ScenarioReport, ScenarioError> {
+    run_with_threads(scenario, None)
+}
+
+/// Runs `scenario` with an explicit worker-thread count for the world the
+/// runner builds (`None` keeps the process default). Episode workloads
+/// build their own simulations, which honor the process default
+/// (`DCDO_SIM_THREADS` / `dcdo_sim::set_default_threads`) instead.
+pub fn run_with_threads(
+    mut scenario: Scenario,
+    threads: Option<u32>,
+) -> Result<ScenarioReport, ScenarioError> {
+    scenario.validate()?;
+    let mut cx = RunCx::new(scenario.seed, scenario.topology.build(scenario.seed));
+    if let Some(sim) = cx.world.sim_mut() {
+        if let Some(n) = threads {
+            sim.set_threads(n);
+        }
+        sim.trace_mut().enable(1 << 18);
+        sim.spans_mut().enable();
+    }
+    for slot in &mut scenario.workloads {
+        slot.workload.setup(&mut cx);
+    }
+    for expectation in &mut scenario.expectations {
+        expectation.capture(&cx);
+    }
+
+    let mut ticks: Vec<(String, u64)> = Vec::new();
+    match scenario.window {
+        Window::Timed(d) => {
+            let sim = cx.world.sim_mut().expect("validated: built world");
+            sim.run_for(d);
+            sim.run_until_idle();
+        }
+        Window::Ticks(n) => {
+            // Weighted selection draws from the lane of the service's
+            // client node (falling back to node 0's lane): per-lane RNG
+            // streams are the engine's determinism backbone, so the draw
+            // sequence — and therefore the traffic mix — is identical
+            // whether the run is sequential or sharded.
+            let lane_node = cx
+                .service
+                .map(|s| s.client_node)
+                .unwrap_or_else(|| NodeId::from_raw(0));
+            let weights: Vec<u64> = scenario.workloads.iter().map(|s| s.weight).collect();
+            let total: u64 = weights.iter().sum();
+            let mut counts = vec![0u64; weights.len()];
+            for tick in 0..n {
+                let mut draw = cx
+                    .world
+                    .sim_mut()
+                    .expect("validated: built world")
+                    .rng_for(lane_node)
+                    .range_u64(0, total);
+                let mut picked = 0;
+                for (i, &w) in weights.iter().enumerate() {
+                    if draw < w {
+                        picked = i;
+                        break;
+                    }
+                    draw -= w;
+                }
+                scenario.workloads[picked].workload.step(&mut cx, tick);
+                counts[picked] += 1;
+            }
+            cx.world
+                .sim_mut()
+                .expect("validated: built world")
+                .run_until_idle();
+            for (slot, &count) in scenario.workloads.iter().zip(&counts) {
+                if slot.weight == 0 {
+                    continue;
+                }
+                let name = slot.workload.name().to_string();
+                cx.gauge(
+                    &format!("mix.{name}.expected"),
+                    slot.weight as f64 / total as f64,
+                );
+                cx.gauge(
+                    &format!("mix.{name}.observed"),
+                    count as f64 / n.max(1) as f64,
+                );
+                ticks.push((name, count));
+            }
+        }
+        Window::Episode => {
+            for slot in &mut scenario.workloads {
+                slot.workload.episode(&mut cx);
+            }
+        }
+    }
+
+    for slot in &mut scenario.workloads {
+        slot.workload.measure(&mut cx);
+    }
+    let verdicts: Vec<_> = scenario
+        .expectations
+        .iter_mut()
+        .map(|e| e.judge(&cx))
+        .collect();
+
+    let (trace_hash, span_digest, events_processed, leaked_events, trace_violations) =
+        match cx.world.sim() {
+            Some(sim) => (
+                dcdo_chaos::trace_hash(sim.trace()),
+                sim.spans().digest(),
+                sim.events_processed(),
+                sim.pending_events() as u64,
+                dcdo_sim::check_trace_invariants(sim.spans()).len() as u64,
+            ),
+            None => (0, 0, 0, 0, 0),
+        };
+    Ok(ScenarioReport {
+        name: scenario.name.clone(),
+        seed: scenario.seed,
+        passed: verdicts.iter().all(|v| v.passed),
+        trace_hash,
+        span_digest,
+        events_processed,
+        leaked_events,
+        trace_violations,
+        ticks,
+        counters: cx.counters.into_iter().collect(),
+        gauges: cx.gauges.into_iter().collect(),
+        verdicts,
+    })
+}

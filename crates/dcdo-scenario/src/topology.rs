@@ -1,0 +1,173 @@
+//! Topologies describe the world a scenario runs in; workloads drive it.
+//!
+//! A [`Topology`] is a *description* — node count, network characteristics,
+//! and which infrastructure tier to stand up — that [`Topology::build`]
+//! turns into a [`World`]: either a bare [`Simulation`] (rings, chaos), a
+//! full Legion [`Testbed`] (DCDO services, managers, vaults), or a pending
+//! placeholder that an episode workload fills in with a world it built and
+//! drove itself.
+
+use dcdo_sim::{NetConfig, Simulation};
+use legion_substrate::harness::Testbed;
+use legion_substrate::{CostModel, Msg};
+
+/// The network shape a topology runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetKind {
+    /// Zero-latency, lossless delivery ([`NetConfig::instant`]).
+    Instant,
+    /// The calibrated cluster profile ([`NetConfig::centurion`]).
+    Centurion,
+}
+
+impl NetKind {
+    /// The simulator network configuration this kind stands for.
+    pub fn config(&self) -> NetConfig {
+        match self {
+            NetKind::Instant => NetConfig::instant(),
+            NetKind::Centurion => NetConfig::centurion(),
+        }
+    }
+
+    /// The name used in scenario files (`net=instant` / `net=centurion`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetKind::Instant => "instant",
+            NetKind::Centurion => "centurion",
+        }
+    }
+}
+
+/// Which infrastructure tier the topology stands up before workloads run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Infra {
+    /// A bare simulator: nodes and a network, no substrate objects.
+    /// Workloads spawn their own actors (chatter rings, chaos controllers).
+    Bare,
+    /// A full Legion testbed: hosts, binding agent, vault, and context,
+    /// ready for DCDO managers and services.
+    Legion,
+    /// No world is built up front; a single episode workload constructs,
+    /// drives, and installs its own finished world.
+    Episode,
+}
+
+impl Infra {
+    /// The name used in scenario files (`topology bare|legion|episode`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Infra::Bare => "bare",
+            Infra::Legion => "legion",
+            Infra::Episode => "episode",
+        }
+    }
+}
+
+/// A description of the world a scenario runs in: how many nodes, over
+/// which network, with which infrastructure tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of simulated nodes (descriptive for [`Infra::Episode`]).
+    pub nodes: u32,
+    /// Network characteristics.
+    pub net: NetKind,
+    /// Infrastructure tier to build.
+    pub infra: Infra,
+}
+
+impl Topology {
+    /// A bare simulator topology.
+    pub fn bare(nodes: u32, net: NetKind) -> Self {
+        Topology {
+            nodes,
+            net,
+            infra: Infra::Bare,
+        }
+    }
+
+    /// A Legion testbed topology.
+    pub fn legion(nodes: u32, net: NetKind) -> Self {
+        Topology {
+            nodes,
+            net,
+            infra: Infra::Legion,
+        }
+    }
+
+    /// An episode topology: `nodes`/`net` describe the world the episode
+    /// workload will build, for documentation and reports; nothing is
+    /// constructed up front.
+    pub fn episode(nodes: u32, net: NetKind) -> Self {
+        Topology {
+            nodes,
+            net,
+            infra: Infra::Episode,
+        }
+    }
+
+    /// Builds the world this topology describes. Episode topologies return
+    /// [`World::Pending`]; the episode workload installs the finished
+    /// world during its run.
+    pub fn build(&self, seed: u64) -> World {
+        match self.infra {
+            Infra::Bare => World::Bare(Simulation::new(self.net.config(), seed)),
+            Infra::Legion => World::Legion(Testbed::new(
+                self.nodes,
+                CostModel::centurion(),
+                self.net.config(),
+                seed,
+            )),
+            Infra::Episode => World::Pending,
+        }
+    }
+}
+
+/// The built world a scenario's workloads drive and its expectations judge.
+// One World exists per run and it lives on the heap inside RunCx consumers
+// anyway; boxing the variants would only add indirection to every access.
+#[allow(clippy::large_enum_variant)]
+pub enum World {
+    /// Nothing built yet — an episode workload will install its world.
+    Pending,
+    /// A bare simulator.
+    Bare(Simulation<Msg>),
+    /// A full Legion testbed.
+    Legion(Testbed),
+}
+
+impl World {
+    /// The underlying simulator, whichever tier is built; `None` while
+    /// pending.
+    pub fn sim(&self) -> Option<&Simulation<Msg>> {
+        match self {
+            World::Pending => None,
+            World::Bare(sim) => Some(sim),
+            World::Legion(bed) => Some(&bed.sim),
+        }
+    }
+
+    /// Mutable access to the underlying simulator.
+    pub fn sim_mut(&mut self) -> Option<&mut Simulation<Msg>> {
+        match self {
+            World::Pending => None,
+            World::Bare(sim) => Some(sim),
+            World::Legion(bed) => Some(&mut bed.sim),
+        }
+    }
+
+    /// The Legion testbed, when this world has one.
+    pub fn testbed(&self) -> Option<&Testbed> {
+        match self {
+            World::Legion(bed) => Some(bed),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the Legion testbed.
+    pub fn testbed_mut(&mut self) -> Option<&mut Testbed> {
+        match self {
+            World::Legion(bed) => Some(bed),
+            _ => None,
+        }
+    }
+}

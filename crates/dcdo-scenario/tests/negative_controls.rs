@@ -1,0 +1,284 @@
+//! Negative controls: broken declarations are rejected with precise typed
+//! errors, and broken *runs* fail with precise verdicts — never a panic.
+
+use dcdo_chaos::{FaultPlan, PlanError};
+use dcdo_scenario::{
+    run, Calls, ChaosAttachment, ChatterRing, CounterBound, NetKind, NoLeakedEvents, RunCx,
+    Scenario, ScenarioError, Topology, TraceInvariantsClean, Workload,
+};
+use dcdo_sim::{NodeId, SimDuration};
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+// ---------------------------------------------------------------------------
+// Runtime negative controls: failures surface as verdicts, not panics.
+
+/// Plants a leaked-flow span into an otherwise clean run after the window
+/// closes, so the trace-invariant checker must flag it.
+struct PlantViolation;
+
+impl Workload for PlantViolation {
+    fn name(&self) -> &str {
+        "plant_violation"
+    }
+
+    fn measure(&mut self, cx: &mut RunCx) {
+        let sim = cx.world.sim_mut().expect("built world");
+        sim.spans_mut().emit(
+            0,
+            0,
+            None,
+            dcdo_sim::SpanKind::FlowStarted {
+                flow: 999_999,
+                object: 424_242,
+                kind: dcdo_sim::FlowKind::Update,
+            },
+        );
+    }
+}
+
+#[test]
+fn planted_invariant_violation_fails_with_a_precise_verdict() {
+    let scenario = Scenario::builder("planted")
+        .seed(3)
+        .topology(Topology::bare(4, NetKind::Centurion))
+        .timed(secs(1))
+        .workload(0, ChatterRing::new(4, secs(1)))
+        .workload(0, PlantViolation)
+        .expect(TraceInvariantsClean)
+        .build();
+    let report = run(scenario).expect("declaration itself is valid");
+    assert!(!report.passed, "planted violation must fail the run");
+    assert!(report.trace_violations > 0);
+    let verdict = &report.verdicts[0];
+    assert_eq!(verdict.expectation, "trace_invariants");
+    assert!(!verdict.passed);
+    assert!(
+        verdict.detail.contains("violations"),
+        "verdict names the problem: {}",
+        verdict.detail
+    );
+}
+
+#[test]
+fn unmet_expectation_fails_with_a_precise_verdict() {
+    let scenario = Scenario::builder("unmet")
+        .seed(3)
+        .topology(Topology::bare(4, NetKind::Centurion))
+        .timed(secs(1))
+        .workload(0, ChatterRing::new(4, secs(1)))
+        .expect(CounterBound::at_least("nonexistent.counter", 5))
+        .expect(NoLeakedEvents)
+        .build();
+    let report = run(scenario).expect("declaration itself is valid");
+    assert!(!report.passed, "unmet expectation must fail the run");
+    let unmet = &report.verdicts[0];
+    assert!(!unmet.passed);
+    assert_eq!(unmet.detail, "nonexistent.counter = 0 (>= 5)");
+    // Other expectations still judge independently.
+    assert!(report.verdicts[1].passed, "no_leaks still passes");
+}
+
+// ---------------------------------------------------------------------------
+// Validation negative controls: typed errors before any state is built.
+
+#[test]
+fn zero_total_weight_is_rejected() {
+    let scenario = Scenario::builder("zero")
+        .seed(1)
+        .topology(Topology::legion(4, NetKind::Centurion))
+        .ticks(100)
+        .workload(0, Calls::new())
+        .build();
+    assert_eq!(
+        scenario.validate(),
+        Err(ScenarioError::ZeroTotalWeight {
+            scenario: "zero".to_string()
+        })
+    );
+}
+
+#[test]
+fn no_workloads_is_rejected() {
+    let scenario = Scenario::builder("empty")
+        .seed(1)
+        .topology(Topology::bare(4, NetKind::Centurion))
+        .timed(secs(1))
+        .build();
+    assert_eq!(
+        scenario.validate(),
+        Err(ScenarioError::NoWorkloads {
+            scenario: "empty".to_string()
+        })
+    );
+}
+
+#[test]
+fn zero_nodes_is_rejected() {
+    let scenario = Scenario::builder("hollow")
+        .seed(1)
+        .topology(Topology::bare(0, NetKind::Centurion))
+        .timed(secs(1))
+        .workload(0, ChatterRing::new(2, secs(1)))
+        .build();
+    assert_eq!(
+        scenario.validate(),
+        Err(ScenarioError::NoNodes {
+            scenario: "hollow".to_string()
+        })
+    );
+}
+
+#[test]
+fn window_shorter_than_fault_plan_is_rejected() {
+    let plan = FaultPlan::new().crash_at(secs(30), NodeId::from_raw(1));
+    let scenario = Scenario::builder("short")
+        .seed(1)
+        .topology(Topology::bare(4, NetKind::Centurion))
+        .timed(secs(2))
+        .workload(0, ChatterRing::new(4, secs(2)))
+        .workload(0, ChaosAttachment::new(NodeId::from_raw(0), plan))
+        .build();
+    assert_eq!(
+        scenario.validate(),
+        Err(ScenarioError::WindowShorterThanFaultPlan {
+            workload: "chaos".to_string(),
+            window: secs(2),
+            plan_end: secs(30),
+        })
+    );
+}
+
+#[test]
+fn invalid_fault_plan_is_rejected_with_the_plan_error() {
+    // Two overlapping crashes of the same node: FaultPlan::validate's own
+    // typed error must surface through the scenario layer.
+    let node = NodeId::from_raw(1);
+    let plan = FaultPlan::new()
+        .crash_at(secs(1), node)
+        .crash_at(secs(2), node);
+    let scenario = Scenario::builder("overlap")
+        .seed(1)
+        .topology(Topology::bare(4, NetKind::Centurion))
+        .timed(secs(5))
+        .workload(0, ChatterRing::new(4, secs(5)))
+        .workload(0, ChaosAttachment::new(NodeId::from_raw(0), plan))
+        .build();
+    match scenario.validate() {
+        Err(ScenarioError::InvalidFaultPlan { workload, error }) => {
+            assert_eq!(workload, "chaos");
+            assert!(matches!(error, PlanError::OverlappingCrash { .. }));
+        }
+        other => panic!("expected InvalidFaultPlan, got {other:?}"),
+    }
+}
+
+#[test]
+fn legion_workload_on_bare_topology_is_rejected() {
+    let scenario = Scenario::builder("mismatch")
+        .seed(1)
+        .topology(Topology::bare(4, NetKind::Centurion))
+        .ticks(10)
+        .workload(1, Calls::new())
+        .build();
+    assert_eq!(
+        scenario.validate(),
+        Err(ScenarioError::WorldMismatch {
+            workload: "calls".to_string(),
+            needs: "legion",
+        })
+    );
+}
+
+#[test]
+fn episode_window_without_episode_topology_is_rejected() {
+    let scenario = Scenario::builder("confused")
+        .seed(1)
+        .topology(Topology::bare(4, NetKind::Centurion))
+        .episode()
+        .workload(0, ChatterRing::new(4, secs(1)))
+        .build();
+    assert_eq!(
+        scenario.validate(),
+        Err(ScenarioError::EpisodeMismatch {
+            scenario: "confused".to_string()
+        })
+    );
+}
+
+#[test]
+fn oversized_ring_is_rejected_as_bad_param() {
+    let scenario = Scenario::builder("toobig")
+        .seed(1)
+        .topology(Topology::bare(4, NetKind::Centurion))
+        .timed(secs(1))
+        .workload(0, ChatterRing::new(8, secs(1)))
+        .build();
+    match scenario.validate() {
+        Err(ScenarioError::BadParam { context, msg }) => {
+            assert_eq!(context, "workload chatter_ring");
+            assert!(msg.contains("8 nodes"), "message names the sizes: {msg}");
+        }
+        other => panic!("expected BadParam, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_names_are_rejected_by_the_loader() {
+    let err = Scenario::from_text(
+        "scenario x\ntopology bare nodes=4\nwindow secs=1\nworkload no_such_thing\n",
+    )
+    .expect_err("unknown workload");
+    assert_eq!(
+        err,
+        ScenarioError::UnknownWorkload {
+            name: "no_such_thing".to_string()
+        }
+    );
+
+    let err = Scenario::from_text(
+        "scenario x\ntopology bare nodes=4\nwindow secs=1\nworkload chatter_ring nodes=4 until=1\nexpect never_heard_of_it\n",
+    )
+    .expect_err("unknown expectation");
+    assert_eq!(
+        err,
+        ScenarioError::UnknownExpectation {
+            name: "never_heard_of_it".to_string()
+        }
+    );
+}
+
+#[test]
+fn run_surfaces_validation_errors() {
+    let scenario = Scenario::builder("empty")
+        .seed(1)
+        .topology(Topology::bare(4, NetKind::Centurion))
+        .timed(secs(1))
+        .build();
+    assert!(matches!(
+        run(scenario),
+        Err(ScenarioError::NoWorkloads { .. })
+    ));
+}
+
+#[test]
+fn errors_display_precisely() {
+    let err = ScenarioError::WindowShorterThanFaultPlan {
+        workload: "chaos".to_string(),
+        window: secs(2),
+        plan_end: secs(30),
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("chaos") && msg.contains("30") && msg.contains("2"),
+        "{msg}"
+    );
+
+    let msg = ScenarioError::UnknownWorkload {
+        name: "ghost".to_string(),
+    }
+    .to_string();
+    assert!(msg.contains("ghost"), "{msg}");
+}

@@ -644,6 +644,23 @@ impl<M: Payload> Simulation<M> {
         ((lane as u64) << LANE_SHIFT) | ls.fresh
     }
 
+    /// Driver-side access to the deterministic RNG stream of `node`'s lane —
+    /// the same stream [`Ctx::rng`] hands an actor executing on that node.
+    ///
+    /// Draws advance only that lane's state, so they are byte-identical at
+    /// every worker-thread count (the per-lane streams are the engine's
+    /// determinism backbone; see the module docs). Scenario drivers use this
+    /// for weighted workload selection: the traffic mix a seed produces is
+    /// the same whether the run is sequential or sharded.
+    pub fn rng_for(&mut self, node: NodeId) -> &mut SimRng {
+        assert!(
+            node.as_raw() < u16::MAX as u32,
+            "node ids must fit the engine's 16-bit lane space"
+        );
+        let lane = node.as_raw() as u16 + 1;
+        &mut self.lane_state(lane).rng
+    }
+
     /// Spawns an actor on `node` and returns its id.
     pub fn spawn(&mut self, node: NodeId, actor: impl Actor<M>) -> ActorId {
         self.spawn_boxed(node, Box::new(actor))

@@ -119,7 +119,11 @@ fn crash_during_reconfig_inner(seed: u64) -> (ChaosReport, ReconfigRun) {
 /// (regardless of replies — partitions and crashes must not silence it)
 /// and echoes pings it receives. Records when each echo arrived so the
 /// driver can measure how fast traffic resumes after a heal.
-struct Chatter {
+///
+/// Public so the `dcdo-scenario` layer can re-express the ring scenarios
+/// declaratively: a chatter-ring workload spawns the same ring through
+/// [`spawn_ring`] and measures recovery through [`ring_recovery_time`].
+pub struct Chatter {
     peer: Option<ActorId>,
     period: SimDuration,
     until: SimTime,
@@ -185,7 +189,7 @@ impl Actor<Msg> for Chatter {
 
 /// Spawns a ring of chatters, one per node in `nodes[1..]` (node 0 hosts
 /// the chaos controller), with staggered periods and start offsets.
-fn spawn_ring(sim: &mut Simulation<Msg>, n_nodes: u32, horizon: SimDuration) -> Vec<ActorId> {
+pub fn spawn_ring(sim: &mut Simulation<Msg>, n_nodes: u32, horizon: SimDuration) -> Vec<ActorId> {
     let until = sim.now() + horizon;
     let mut ring = Vec::new();
     for i in 1..n_nodes {
@@ -203,13 +207,36 @@ fn spawn_ring(sim: &mut Simulation<Msg>, n_nodes: u32, horizon: SimDuration) -> 
 
 /// Ratio of messages offered to messages actually delivered (loss and
 /// unreachable drops removed): the price of talking through faults.
-fn delivery_amplification(sim: &Simulation<Msg>) -> f64 {
+pub fn delivery_amplification(sim: &Simulation<Msg>) -> f64 {
     let stats = sim.network().stats();
     let delivered = stats
         .messages_sent
         .saturating_sub(stats.messages_lost)
         .saturating_sub(stats.unreachable);
     stats.messages_sent as f64 / delivered.max(1) as f64
+}
+
+/// The longest any chatter in `ring` waited after `healed_at` before
+/// hearing an echo again, in simulated seconds; a chatter that never
+/// resumed is charged the full span to `horizon_end`.
+pub fn ring_recovery_time(
+    sim: &Simulation<Msg>,
+    ring: &[ActorId],
+    healed_at: SimTime,
+    horizon_end: SimTime,
+) -> f64 {
+    let mut recovery_time_s = 0.0f64;
+    for &actor in ring {
+        let chatter = sim.actor::<Chatter>(actor).expect("chatter alive");
+        let resumed = chatter
+            .heard_times
+            .iter()
+            .find(|t| **t > healed_at)
+            .copied()
+            .unwrap_or(horizon_end);
+        recovery_time_s = recovery_time_s.max(resumed.duration_since(healed_at).as_secs_f64());
+    }
+    recovery_time_s
 }
 
 /// Rolling partition: a chatter ring on 8 nodes talks through two
@@ -250,17 +277,7 @@ fn rolling_partition_inner(seed: u64) -> (ChaosReport, Simulation<Msg>) {
     sim.run_until_idle();
 
     let healed_at = SimTime::ZERO + final_heal;
-    let mut recovery_time_s = 0.0f64;
-    for &actor in &ring {
-        let chatter = sim.actor::<Chatter>(actor).expect("chatter alive");
-        let resumed = chatter
-            .heard_times
-            .iter()
-            .find(|t| **t > healed_at)
-            .copied()
-            .unwrap_or(SimTime::ZERO + horizon);
-        recovery_time_s = recovery_time_s.max(resumed.duration_since(healed_at).as_secs_f64());
-    }
+    let recovery_time_s = ring_recovery_time(&sim, &ring, healed_at, SimTime::ZERO + horizon);
     let (trace_violations, span_digest) = span_results(&sim);
     let report = ChaosReport {
         name: "rolling_partition",

@@ -17,6 +17,9 @@
 //!   critical paths, reconfiguration cost tables, VM cost attribution, and
 //!   deterministic metric exporters.
 //! - [`workloads`] — workload generators used by the benchmark harness.
+//! - [`scenario`] — the declarative scenario framework: topologies,
+//!   weighted workload mixes, pluggable expectations, and the `.scn`
+//!   loader behind `dcdo-inspect scenario`.
 //!
 //! # Quickstart
 //!
@@ -30,6 +33,7 @@ pub use dcdo_chaos as chaos;
 pub use dcdo_core as core;
 pub use dcdo_evolution as evolution;
 pub use dcdo_profile as profile;
+pub use dcdo_scenario as scenario;
 pub use dcdo_sim as sim;
 pub use dcdo_types as types;
 pub use dcdo_vm as vm;
