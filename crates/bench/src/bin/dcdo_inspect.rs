@@ -29,6 +29,12 @@
 //! each verdict table, and writes the deterministic per-run JSON reports to
 //! `BENCH_scenarios.json`. The process exits nonzero if any expectation
 //! fails, so CI can gate on declared behavior.
+//!
+//! The `epochs` subcommand (`dcdo-inspect epochs <name|file.scn> [seed]
+//! [--threads N]`) runs one scenario and renders the group-epoch timeline
+//! reconstructed from its span log: every proposal, commit, and replica
+//! adoption in deterministic log order — the observability view of the
+//! epoch-based reconfiguration protocol.
 
 use dcdo_profile::{CriticalPath, ProfileReport};
 use dcdo_vm::{FusionStats, VmProfile, OPCODE_NAMES};
@@ -46,12 +52,15 @@ fn usage() -> ! {
     eprintln!("usage: dcdo-inspect [vm] <workload> [seed] [--out PREFIX] [--threads N]");
     eprintln!("       dcdo-inspect scenarios");
     eprintln!("       dcdo-inspect scenario <name|file.scn|all> [seed] [--threads N] [--out FILE]");
+    eprintln!("       dcdo-inspect epochs <name|file.scn> [seed] [--threads N]");
     eprintln!("workloads: {}", WORKLOADS.join(", "));
     eprintln!("vm: print the VM per-function/per-opcode cost tables and");
     eprintln!("    superinstruction coverage for the scenario");
     eprintln!("scenarios: list the declared scenarios the runner knows");
     eprintln!("scenario: run declared scenarios (or a .scn file), print verdicts,");
     eprintln!("    and write deterministic reports to BENCH_scenarios.json");
+    eprintln!("epochs: run one scenario and print the group-epoch timeline");
+    eprintln!("    (proposals, commits, replica adoptions) from its span log");
     std::process::exit(2);
 }
 
@@ -176,6 +185,65 @@ fn run_scenarios(args: &[String]) {
     println!("wrote {out_path}");
     if !all_passed {
         std::process::exit(1);
+    }
+}
+
+/// The `epochs` subcommand: run one scenario with span logging and render
+/// the per-group epoch timeline (proposals, commits, replica adoptions).
+fn run_epochs(args: &[String]) {
+    let mut target: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<u32> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                let n: u32 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                threads = Some(n);
+            }
+            "--help" | "-h" => usage(),
+            a if target.is_none() => target = Some(a.to_string()),
+            a => seed = Some(a.parse().unwrap_or_else(|_| usage())),
+        }
+        i += 1;
+    }
+    let target = target.unwrap_or_else(|| usage());
+    if target == "all" {
+        eprintln!("dcdo-inspect: epochs takes one scenario, not `all`");
+        std::process::exit(2);
+    }
+    let mut scenario = scenario_targets(&target).remove(0);
+    if let Some(seed) = seed {
+        scenario = scenario.with_seed(seed);
+    }
+    let name = scenario.name.clone();
+    match dcdo_scenario::run_with_spans(scenario, threads) {
+        Ok((report, spans)) => {
+            let rows = dcdo_group::epoch_timeline(&spans);
+            println!(
+                "scenario {name}, seed {}: {} epoch events over {} spans",
+                report.seed,
+                rows.len(),
+                spans.len()
+            );
+            if rows.is_empty() {
+                println!("(no group-epoch spans — does the scenario deploy a replica group?)");
+            } else {
+                print!("{}", dcdo_group::render_timeline(&rows));
+            }
+            if !report.passed {
+                eprintln!("dcdo-inspect: scenario {name} failed its expectations");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("dcdo-inspect: scenario {name} is invalid: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -418,6 +486,10 @@ fn main() {
         }
         Some("scenario") => {
             run_scenarios(&args[1..]);
+            return;
+        }
+        Some("epochs") => {
+            run_epochs(&args[1..]);
             return;
         }
         _ => {}

@@ -167,6 +167,21 @@ impl FaultPlan {
         self.crash_at(at, node).restart_at(at + down_for, node)
     }
 
+    /// Crashes `node` for `down_for` at *each* offset in `ats` — the chaos
+    /// composition for boundary sweeps (e.g. bouncing a wave coordinator at
+    /// every wave of a rolling upgrade). Offsets must be spaced further
+    /// apart than `down_for`, or [`FaultPlan::validate`] reports the
+    /// overlapping crash windows.
+    pub fn crash_for_at_each(
+        self,
+        ats: impl IntoIterator<Item = SimDuration>,
+        down_for: SimDuration,
+        node: NodeId,
+    ) -> Self {
+        ats.into_iter()
+            .fold(self, |plan, at| plan.crash_for(at, down_for, node))
+    }
+
     /// Installs a partition at `at` (see [`FaultAction::Partition`]).
     pub fn partition_at(self, at: SimDuration, groups: &[Vec<NodeId>]) -> Self {
         self.step(at, FaultAction::Partition(groups.to_vec()))

@@ -167,3 +167,30 @@ fn plan_errors_display_the_offending_schedule() {
     .to_string();
     assert!(orphan.contains("never crashes"), "got: {orphan}");
 }
+
+#[test]
+fn crash_for_at_each_bounces_the_node_at_every_offset() {
+    let plan = FaultPlan::new().crash_for_at_each([secs(1), secs(4), secs(7)], secs(2), node(3));
+    assert_eq!(plan.validate(), Ok(()));
+    assert_eq!(plan.len(), 6, "three crash/restart pairs");
+    assert!(plan.crashes(node(3)));
+    assert_eq!(plan.last_at(), Some(secs(9)));
+    let stats = run_plan(plan);
+    assert_eq!(stats.crashes, 3);
+    assert_eq!(stats.restarts, 3);
+}
+
+#[test]
+fn crash_for_at_each_with_overlapping_windows_fails_validation() {
+    // 2s windows spaced 1s apart: the second crash lands while the first
+    // window is still open.
+    let plan = FaultPlan::new().crash_for_at_each([secs(1), secs(2)], secs(2), node(3));
+    assert_eq!(
+        plan.validate(),
+        Err(PlanError::OverlappingCrash {
+            node: node(3),
+            first_at: secs(1),
+            second_at: secs(2),
+        })
+    );
+}

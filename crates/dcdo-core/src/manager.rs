@@ -37,10 +37,10 @@ use crate::object::DcdoObject;
 use crate::ops::{
     ActivateDcdo, ApplyDfmDescriptor, CheckVersion, CheckpointDcdo, ConfigureVersion, CreateDcdo,
     DcdoCheckpointed, DcdoCreated, DcdoTable, DeactivateDcdo, DeriveVersion, DerivedVersion,
-    ListDcdos, ListVersions, MarkInstantiable, MigrateDcdo, MigrateDone, NodeFailed,
-    NodeFailureReport, NodeRecovered, QueryVersionInfo, ReadComponentDescriptor, RecoveryStarted,
-    ReportVersion, SetCurrentVersion, UpdateDone, UpdateInstance, VersionCheckReply,
-    VersionConfigOp, VersionInfo, VersionTable,
+    GroupEpochReport, ListDcdos, ListVersions, MarkInstantiable, MigrateDcdo, MigrateDone,
+    NodeFailed, NodeFailureReport, NodeRecovered, QueryVersionInfo, ReadComponentDescriptor,
+    RecoveryStarted, ReportVersion, SetCurrentVersion, SetGroupEpoch, UpdateDone, UpdateInstance,
+    VersionCheckReply, VersionConfigOp, VersionInfo, VersionTable,
 };
 
 /// Which evolutions between versions are legal (§3.4–3.5).
@@ -117,6 +117,15 @@ enum MgrKind {
 /// and retry count.
 type QueuedUpdate = (Option<(ActorId, CallId)>, Option<VersionId>, u32);
 
+/// The manager's enrolment in epoch-based group reconfiguration
+/// ([`SetGroupEpoch`]). While fenced, new evolution flows are refused.
+struct GroupGate {
+    group: u64,
+    epoch: u64,
+    fenced: bool,
+    refused_while_fenced: u64,
+}
+
 struct MgrFlow {
     kind: MgrKind,
     reply: Option<(ActorId, CallId)>,
@@ -164,6 +173,8 @@ pub struct DcdoManager {
     // ConfigureVersion incorporations awaiting an ICO descriptor:
     // rpc call -> (reply_to, call, version, ico).
     pending_incorporations: HashMap<u64, (ActorId, CallId, VersionId, ObjectId)>,
+    // Epoch-based group reconfiguration enrolment, if any (SetGroupEpoch).
+    group_gate: Option<GroupGate>,
 }
 
 impl DcdoManager {
@@ -210,6 +221,7 @@ impl DcdoManager {
             vault: None,
             interrupted_updates: HashMap::new(),
             pending_incorporations: HashMap::new(),
+            group_gate: None,
         }
     }
 
@@ -813,6 +825,28 @@ impl DcdoManager {
         to: Option<VersionId>,
         retries: u32,
     ) {
+        if let Some(gate) = &mut self.group_gate {
+            if gate.fenced {
+                // An epoch round is in flight: refuse rather than queue, so
+                // the caller can retry after the commit (queued work could
+                // otherwise apply a pre-epoch target post-commit).
+                gate.refused_while_fenced += 1;
+                ctx.metrics().incr("manager.group_fence_refusals");
+                if let Some((reply_to, call)) = reply {
+                    ctx.send(
+                        reply_to,
+                        Msg::ControlReply {
+                            call,
+                            result: Err(InvocationFault::Refused(format!(
+                                "group {} epoch {} is fencing evolution",
+                                gate.group, gate.epoch
+                            ))),
+                        },
+                    );
+                }
+                return;
+            }
+        }
         if self.updates_in_flight.contains(&object) {
             // Serialize: at most one Apply per instance at a time.
             if let Some((reply_to, call)) = reply {
@@ -1584,6 +1618,75 @@ impl DcdoManager {
         ctx.send(from, Msg::ControlReply { call, result: wire });
     }
 
+    fn handle_set_group_epoch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ActorId,
+        call: CallId,
+        set: &SetGroupEpoch,
+    ) {
+        let object = self.object;
+        let result = match &mut self.group_gate {
+            Some(gate) if gate.group != set.group => Err(InvocationFault::Refused(format!(
+                "manager is enrolled in group {}, not {}",
+                gate.group, set.group
+            ))),
+            // Backwards never; re-fencing an epoch already adopted never.
+            Some(gate)
+                if set.epoch < gate.epoch
+                    || (set.epoch == gate.epoch && set.fence && !gate.fenced) =>
+            {
+                Err(InvocationFault::Refused(format!(
+                    "stale group epoch {} (manager is at {})",
+                    set.epoch, gate.epoch
+                )))
+            }
+            gate => {
+                let g = gate.get_or_insert(GroupGate {
+                    group: set.group,
+                    epoch: 0,
+                    fenced: false,
+                    refused_while_fenced: 0,
+                });
+                g.epoch = set.epoch;
+                g.fenced = set.fence;
+                if set.fence {
+                    ctx.metrics().incr("manager.group_fences");
+                } else {
+                    // Adoption: the manager is a (non-serving) group member
+                    // for timeline purposes.
+                    ctx.emit_span(SpanKind::ReplicaEpoch {
+                        group: set.group,
+                        replica: object.as_raw(),
+                        epoch: set.epoch,
+                    });
+                    ctx.metrics().incr("manager.group_epoch_adoptions");
+                }
+                Ok(ControlOp::new(GroupEpochReport {
+                    group: g.group,
+                    epoch: g.epoch,
+                    fenced: g.fenced,
+                    refused_while_fenced: g.refused_while_fenced,
+                }))
+            }
+        };
+        ctx.send(from, Msg::ControlReply { call, result });
+    }
+
+    /// The manager's group enrolment, if any: `(group, epoch, fenced)`.
+    pub fn group_epoch(&self) -> Option<(u64, u64, bool)> {
+        self.group_gate
+            .as_ref()
+            .map(|g| (g.group, g.epoch, g.fenced))
+    }
+
+    /// Evolution requests refused while the group gate was fenced.
+    pub fn group_fence_refusals(&self) -> u64 {
+        self.group_gate
+            .as_ref()
+            .map_or(0, |g| g.refused_while_fenced)
+    }
+
     fn handle_control(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -1625,6 +1728,10 @@ impl DcdoManager {
         }
         if let Some(cfg) = op.as_any().downcast_ref::<ConfigureVersion>() {
             self.handle_configure(ctx, from, call, cfg);
+            return;
+        }
+        if let Some(set) = op.as_any().downcast_ref::<SetGroupEpoch>() {
+            self.handle_set_group_epoch(ctx, from, call, set);
             return;
         }
         let result: Result<ControlOp, InvocationFault> =

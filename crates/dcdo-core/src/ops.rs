@@ -652,6 +652,42 @@ control_payload!(
     wire_size = |op| { 32 + op.objects.len() as u64 * 16 }
 );
 
+// ---- Group epoch gating ------------------------------------------------------
+
+/// A group coordinator pinning the manager to a reconfiguration epoch.
+///
+/// With `fence: true` (the prepare half of an epoch round) the manager
+/// refuses to *start* new evolution flows until the matching commit arrives
+/// with `fence: false`; in-flight flows drain normally. Stale epochs —
+/// anything below the manager's recorded epoch — are refused outright, so a
+/// partitioned coordinator cannot drag a manager backwards.
+#[derive(Debug, Clone)]
+pub struct SetGroupEpoch {
+    /// The reconfiguring group.
+    pub group: u64,
+    /// The epoch being prepared or committed.
+    pub epoch: u64,
+    /// `true` fences evolution (prepare); `false` adopts (commit).
+    pub fence: bool,
+}
+
+control_payload!(SetGroupEpoch, "set-group-epoch");
+
+/// Reply to [`SetGroupEpoch`]: the manager's view of its group enrolment.
+#[derive(Debug, Clone)]
+pub struct GroupEpochReport {
+    /// The group the manager is enrolled in.
+    pub group: u64,
+    /// The epoch the manager is at.
+    pub epoch: u64,
+    /// Whether evolution is currently fenced.
+    pub fenced: bool,
+    /// Evolution requests refused while fenced, cumulative.
+    pub refused_while_fenced: u64,
+}
+
+control_payload!(GroupEpochReport, "group-epoch-report");
+
 #[cfg(test)]
 mod tests {
     use legion_substrate::{ControlOp, ControlPayload};

@@ -1528,3 +1528,98 @@ fn proactive_push_interrupted_by_crash_resumes_after_recovery() {
     // Snapshot state (count = 1) restored, v2's +10 step in force.
     assert_eq!(s.call(dcdo, "incr", vec![]).expect("incr"), Value::Int(11));
 }
+
+#[test]
+fn group_epoch_gate_fences_evolution_until_commit() {
+    use dcdo_core::ops::{GroupEpochReport, SetGroupEpoch};
+
+    let (mut s, dcdo, _v) = Scenario::with_counter(31, false);
+
+    // Enrol the manager: prepare epoch 1 of group 7 (fenced).
+    let report = s
+        .bed
+        .control_and_wait(
+            s.client,
+            s.manager_obj,
+            ControlOp::new(SetGroupEpoch {
+                group: 7,
+                epoch: 1,
+                fence: true,
+            }),
+        )
+        .result
+        .expect("prepare accepted")
+        .control_as::<GroupEpochReport>()
+        .expect("group-epoch-report")
+        .clone();
+    assert_eq!((report.group, report.epoch, report.fenced), (7, 1, true));
+
+    // While fenced, evolution is refused with a typed fault — even a no-op
+    // update to the current version.
+    let fault = s.mgr_err(ControlOp::new(UpdateInstance {
+        object: dcdo,
+        to: None,
+    }));
+    assert!(
+        matches!(&fault, InvocationFault::Refused(why) if why.contains("fencing")),
+        "expected a fencing refusal, got {fault:?}"
+    );
+
+    // Application traffic is NOT gated: only reconfiguration is.
+    assert_eq!(s.call(dcdo, "incr", vec![]).expect("incr"), Value::Int(1));
+
+    // Stale epochs and foreign groups are refused outright.
+    let stale = s.mgr_err(ControlOp::new(SetGroupEpoch {
+        group: 7,
+        epoch: 0,
+        fence: false,
+    }));
+    assert!(matches!(&stale, InvocationFault::Refused(why) if why.contains("stale")));
+    let foreign = s.mgr_err(ControlOp::new(SetGroupEpoch {
+        group: 8,
+        epoch: 5,
+        fence: true,
+    }));
+    assert!(matches!(&foreign, InvocationFault::Refused(why) if why.contains("enrolled")));
+
+    // Commit epoch 1: the gate opens and reports the refusal it absorbed.
+    let committed = s
+        .bed
+        .control_and_wait(
+            s.client,
+            s.manager_obj,
+            ControlOp::new(SetGroupEpoch {
+                group: 7,
+                epoch: 1,
+                fence: false,
+            }),
+        )
+        .result
+        .expect("commit accepted")
+        .control_as::<GroupEpochReport>()
+        .expect("group-epoch-report")
+        .clone();
+    assert!(!committed.fenced);
+    assert_eq!(committed.refused_while_fenced, 1);
+
+    // Re-fencing an adopted epoch is stale; fencing the next one works.
+    let refence = s.mgr_err(ControlOp::new(SetGroupEpoch {
+        group: 7,
+        epoch: 1,
+        fence: true,
+    }));
+    assert!(matches!(&refence, InvocationFault::Refused(why) if why.contains("stale")));
+
+    // Unfenced, evolution proceeds again.
+    s.mgr_ok(ControlOp::new(UpdateInstance {
+        object: dcdo,
+        to: None,
+    }));
+    let mgr = s
+        .bed
+        .sim
+        .actor::<DcdoManager>(s.manager_actor)
+        .expect("manager alive");
+    assert_eq!(mgr.group_epoch(), Some((7, 1, false)));
+    assert_eq!(mgr.group_fence_refusals(), 1);
+}

@@ -1,0 +1,38 @@
+//! Epoch-based group reconfiguration for fleets of DCDOs.
+//!
+//! The paper reconfigures one object at a time; this crate reconfigures
+//! *groups* of replicas, grounding the protocol in reconfigurable lattice
+//! agreement: configuration changes are joinable deltas
+//! ([`ConfigDelta`]), so concurrent proposals merge instead of aborting,
+//! and every replica that applies the same joined delta reaches the same
+//! next [`GroupConfig`] — byte-checkably, via digests.
+//!
+//! The pieces:
+//!
+//! - [`lattice`] — the [`ConfigDelta`] join-semilattice and the
+//!   [`GroupConfig`] it folds into.
+//! - [`protocol`] — the propose/prepare/commit epoch round: a
+//!   [`GroupCoordinator`] fencing [`GroupReplica`]s, with strict
+//!   no-mixed-epoch-serving guaranteed by the fence (checked by trace
+//!   invariant classes 6 and 7 in `dcdo-trace`).
+//! - [`rollout`] — rolling-upgrade orchestration: canary → percentage
+//!   waves, health probes, abort-and-roll-back.
+//! - [`timeline`] — the epoch timeline table `dcdo-inspect epochs`
+//!   renders from a span log.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lattice;
+pub mod protocol;
+pub mod rollout;
+pub mod timeline;
+
+pub use lattice::{ConfigDelta, GroupConfig};
+pub use protocol::{
+    deploy_group, deploy_group_with, EpochAbort, EpochCommit, EpochPrepare, EpochPrepareAck,
+    GroupClient, GroupCoordinator, GroupDeployment, GroupReplica, ProbeReplica, ProposalResult,
+    ProposeConfig, ReplicaHandle, ReplicaStatus,
+};
+pub use rollout::{RolloutDriver, RolloutPlan, RolloutState, Wave, WaveTarget};
+pub use timeline::{epoch_timeline, render_timeline, EpochEvent, EpochEventKind};

@@ -1,0 +1,98 @@
+//! Shared harness bits for the group test battery.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use dcdo_sim::{Actor, ActorId, Ctx, Simulation};
+use dcdo_types::{CallId, ObjectId};
+use legion_substrate::{ControlOp, InvocationFault, Msg};
+
+/// A scripted endpoint: records every reply it receives, so tests can send
+/// protocol messages from a real actor (the engine requires a sender) and
+/// assert on what came back.
+#[derive(Default)]
+pub struct Courier {
+    /// Control replies, in arrival order.
+    pub control_replies: Vec<(CallId, Result<ControlOp, InvocationFault>)>,
+    /// Invoke replies, in arrival order.
+    pub invoke_replies: Vec<(CallId, Result<dcdo_vm::Value, InvocationFault>)>,
+}
+
+impl Actor<Msg> for Courier {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: ActorId, msg: Msg) {
+        match msg {
+            Msg::ControlReply { call, result } => self.control_replies.push((call, result)),
+            Msg::Reply { call, result } => self.invoke_replies.push((call, result)),
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "courier"
+    }
+}
+
+/// Sends a control op from `courier` to `(to, target)` at the current sim
+/// time; returns the call id to correlate the reply.
+pub fn send_control(
+    sim: &mut Simulation<Msg>,
+    courier: ActorId,
+    to: ActorId,
+    target: ObjectId,
+    op: ControlOp,
+) -> CallId {
+    sim.with_actor::<Courier, _>(courier, |_, ctx| {
+        let call = CallId::from_raw(ctx.fresh_u64());
+        ctx.send(to, Msg::Control { call, target, op });
+        call
+    })
+}
+
+/// Sends an invoke from `courier` to `(to, target)` at the current sim
+/// time; returns the call id to correlate the reply.
+pub fn send_invoke(
+    sim: &mut Simulation<Msg>,
+    courier: ActorId,
+    to: ActorId,
+    target: ObjectId,
+    function: &str,
+) -> CallId {
+    let function = function.to_string();
+    sim.with_actor::<Courier, _>(courier, |_, ctx| {
+        let call = CallId::from_raw(ctx.fresh_u64());
+        ctx.send(
+            to,
+            Msg::Invoke {
+                call,
+                target,
+                function: function.into(),
+                args: vec![],
+            },
+        );
+        call
+    })
+}
+
+/// The reply a call got on the courier, if any.
+pub fn control_reply(
+    sim: &Simulation<Msg>,
+    courier: ActorId,
+    call: CallId,
+) -> Option<Result<ControlOp, InvocationFault>> {
+    sim.actor::<Courier>(courier)?
+        .control_replies
+        .iter()
+        .find(|(c, _)| *c == call)
+        .map(|(_, r)| r.clone())
+}
+
+/// The invoke reply a call got on the courier, if any.
+pub fn invoke_reply(
+    sim: &Simulation<Msg>,
+    courier: ActorId,
+    call: CallId,
+) -> Option<Result<dcdo_vm::Value, InvocationFault>> {
+    sim.actor::<Courier>(courier)?
+        .invoke_replies
+        .iter()
+        .find(|(c, _)| *c == call)
+        .map(|(_, r)| r.clone())
+}

@@ -43,6 +43,17 @@ pub enum ScenarioError {
         /// When the plan's last step fires.
         plan_end: SimDuration,
     },
+    /// A workload's internal schedule (e.g. a rolling upgrade's wave plan)
+    /// extends past the end of the scenario's timed window, so its last
+    /// step would never fire.
+    WindowShorterThanSchedule {
+        /// The workload carrying the schedule.
+        workload: String,
+        /// The declared run window.
+        window: SimDuration,
+        /// When the workload's schedule fires its last step.
+        schedule_end: SimDuration,
+    },
     /// An `episode` window on a non-episode topology, or an episode
     /// topology with a non-episode window: episodes build their own world,
     /// so the two declarations must agree.
@@ -114,6 +125,16 @@ impl fmt::Display for ScenarioError {
                 f,
                 "workload {workload:?}: fault plan ends at {:?}s but the run window is {:?}s",
                 plan_end.as_secs_f64(),
+                window.as_secs_f64()
+            ),
+            ScenarioError::WindowShorterThanSchedule {
+                workload,
+                window,
+                schedule_end,
+            } => write!(
+                f,
+                "workload {workload:?}: schedule ends at {:?}s but the run window is {:?}s",
+                schedule_end.as_secs_f64(),
                 window.as_secs_f64()
             ),
             ScenarioError::EpisodeMismatch { scenario } => write!(

@@ -79,6 +79,7 @@
 mod episodes;
 mod error;
 mod expect;
+mod group;
 mod parse;
 mod report;
 mod ring;
@@ -96,14 +97,15 @@ pub use expect::{
     CounterBound, Expectation, GaugeBound, MetricBound, MixConverged, NoLeakedEvents,
     TraceInvariantsClean, TrafficFlowed, Verdict,
 };
+pub use group::{ReplicaGroup, RollingUpgrade};
 pub use parse::{
     parse_fault_tokens, parse_scenario, parse_secs, ExpectDecl, ScenarioDecl, WorkloadDecl,
 };
 pub use registry::Registry;
 pub use report::ScenarioReport;
 pub use ring::{ChaosAttachment, ChatterRing};
-pub use runner::{run, run_with_threads};
+pub use runner::{run, run_with_spans, run_with_threads};
 pub use scenario::{Scenario, ScenarioBuilder, Window, WorkloadSlot};
 pub use topology::{Infra, NetKind, Topology, World};
 pub use traffic::{Calls, ConfigOps, CounterService, Migrations};
-pub use workload::{RunCx, ServiceHandles, Workload};
+pub use workload::{GroupHandles, RunCx, ServiceHandles, Workload};

@@ -20,6 +20,7 @@ use crate::expect::{
     CounterBound, Expectation, GaugeBound, MetricBound, MixConverged, NoLeakedEvents,
     TraceInvariantsClean, TrafficFlowed,
 };
+use crate::group::{ReplicaGroup, RollingUpgrade};
 use crate::parse::{parse_fault_tokens, parse_scenario, parse_secs, ScenarioDecl};
 use crate::ring::{ChaosAttachment, ChatterRing};
 use crate::scenario::{Scenario, WorkloadSlot};
@@ -90,6 +91,66 @@ impl Registry {
                 }
             };
             Ok(Box::new(ReconfigEpisode::new(faulted)))
+        });
+        r.register_workload("replica_group", |args| {
+            let replicas = optional_kv_u32(args, "replica_group", "replicas")?.unwrap_or(4);
+            let version = optional_kv_u32(args, "replica_group", "version")?.unwrap_or(1);
+            let until = require_kv_secs(args, "replica_group", "until")?;
+            let mut group = ReplicaGroup::new(replicas, version, until);
+            if let Some(period) = optional_kv_secs(args, "replica_group", "period")? {
+                group = group.with_period(period);
+            }
+            Ok(Box::new(group))
+        });
+        r.register_workload("rolling_upgrade", |args| {
+            let bad = |msg: String| ScenarioError::BadParam {
+                context: "workload rolling_upgrade".to_string(),
+                msg,
+            };
+            let from = optional_kv_u32(args, "rolling_upgrade", "from")?.unwrap_or(1);
+            let to = require_kv_u32(args, "rolling_upgrade", "to")?;
+            let mut waves = Vec::new();
+            for token in args {
+                if let Some(at) = token.strip_prefix("canary@") {
+                    let at =
+                        parse_secs(at).ok_or_else(|| bad(format!("bad canary time {at:?}")))?;
+                    waves.push(dcdo_group::Wave {
+                        at,
+                        target: dcdo_group::WaveTarget::Count(1),
+                    });
+                } else if let Some(rest) = token.strip_prefix("wave@") {
+                    let (at, pct) = rest
+                        .split_once('=')
+                        .ok_or_else(|| bad(format!("expected wave@T=PCT, got {token:?}")))?;
+                    let at = parse_secs(at).ok_or_else(|| bad(format!("bad wave time {at:?}")))?;
+                    let pct: u32 = pct
+                        .parse()
+                        .map_err(|_| bad(format!("bad wave percentage {pct:?}")))?;
+                    waves.push(dcdo_group::Wave {
+                        at,
+                        target: dcdo_group::WaveTarget::Percent(pct),
+                    });
+                }
+            }
+            if waves.is_empty() {
+                return Err(bad(
+                    "expected at least one canary@T or wave@T=PCT token".to_string()
+                ));
+            }
+            let mut plan = dcdo_group::RolloutPlan {
+                from_version: from,
+                to_version: to,
+                waves,
+                probe_delay: dcdo_sim::SimDuration::from_millis(50),
+                proposal_deadline: dcdo_sim::SimDuration::from_millis(250),
+            };
+            if let Some(probe) = optional_kv_secs(args, "rolling_upgrade", "probe")? {
+                plan.probe_delay = probe;
+            }
+            if let Some(deadline) = optional_kv_secs(args, "rolling_upgrade", "deadline")? {
+                plan.proposal_deadline = deadline;
+            }
+            Ok(Box::new(RollingUpgrade::new(plan)))
         });
         r.register_workload("simbench", |args| {
             let shape = require_kv(args, "simbench", "shape")?;
@@ -419,6 +480,60 @@ expect trace_invariants
 expect no_leaks
 ";
 
+/// `rolling_upgrade` — an epoch-based group reconfiguration under
+/// sustained traffic: canary at 100ms, 25% at 400ms, full fleet at 700ms.
+/// The group must converge on one epoch and one config, nobody may stay
+/// fenced, and the client may only ever see typed refusals.
+pub const ROLLING_UPGRADE: &str = "\
+# Canary -> 25% -> 100% rolling upgrade of a 4-replica group under traffic.
+scenario rolling_upgrade
+seed 42
+topology bare nodes=8 net=centurion
+window secs=2
+workload replica_group replicas=4 version=1 until=2
+workload rolling_upgrade from=1 to=2 canary@0.1 wave@0.4=25 wave@0.7=100
+expect trace_invariants
+expect no_leaks
+expect counter_equals rollout.completed 1
+expect counter_equals rollout.waves_committed 3
+expect counter_equals group.epoch 3
+expect counter_equals group.epoch.disagreement 0
+expect counter_equals group.config.disagreement 0
+expect counter_equals group.fenced 0
+expect counter_equals group.calls.failed 0
+expect counter_at_least group.calls.ok 500
+";
+
+/// `rolling_upgrade_coord_crash` — the chaos composition: the wave
+/// coordinator's node dies right after the second wave commits (epoch
+/// rounds resolve in ~6ms, so 20ms past the wave boundary the round is
+/// already down). The committed epochs stay committed, the final wave's
+/// proposal hits a dead coordinator and aborts at the driver's proposal
+/// deadline, every fence clears, and traffic only ever sees typed
+/// refusals.
+pub const ROLLING_UPGRADE_COORD_CRASH: &str = "\
+# The wave coordinator (node 5) crashes mid-rollout; the rollout rolls back.
+scenario rolling_upgrade_coord_crash
+seed 42
+topology bare nodes=8 net=centurion
+window secs=2
+workload replica_group replicas=4 version=1 until=2
+workload rolling_upgrade from=1 to=2 canary@0.1 wave@0.4=25 wave@0.7=100
+workload chaos node=0 crash@0.42=5
+expect trace_invariants
+expect no_leaks
+expect metric_equals sim.node_crashes 1
+expect counter_equals rollout.completed 0
+expect counter_equals rollout.rolled_back 1
+expect counter_equals rollout.waves_committed 2
+expect counter_equals group.epoch 2
+expect counter_equals group.epoch.disagreement 0
+expect counter_equals group.config.disagreement 0
+expect counter_equals group.fenced 0
+expect counter_equals group.calls.failed 0
+expect counter_at_least group.calls.ok 500
+";
+
 /// Every canonical declaration, in the order `dcdo-inspect scenarios`
 /// lists them: `(name, scenario text)`.
 pub fn declared() -> &'static [(&'static str, &'static str)] {
@@ -428,6 +543,8 @@ pub fn declared() -> &'static [(&'static str, &'static str)] {
         ("crash_during_reconfig", CRASH_DURING_RECONFIG),
         ("rolling_partition", ROLLING_PARTITION),
         ("restart_storm", RESTART_STORM),
+        ("rolling_upgrade", ROLLING_UPGRADE),
+        ("rolling_upgrade_coord_crash", ROLLING_UPGRADE_COORD_CRASH),
         ("ping_pong", PING_PONG),
         ("fan_out", FAN_OUT),
         ("transfer_heavy", TRANSFER_HEAVY),

@@ -33,9 +33,26 @@ pub fn run(scenario: Scenario) -> Result<ScenarioReport, ScenarioError> {
 /// build their own simulations, which honor the process default
 /// (`DCDO_SIM_THREADS` / `dcdo_sim::set_default_threads`) instead.
 pub fn run_with_threads(
-    mut scenario: Scenario,
+    scenario: Scenario,
     threads: Option<u32>,
 ) -> Result<ScenarioReport, ScenarioError> {
+    run_inner(scenario, threads).map(|(report, _)| report)
+}
+
+/// Like [`run_with_threads`], but also returns the run's span log — the
+/// raw material for post-hoc analyses like the epoch timeline
+/// (`dcdo-inspect epochs`).
+pub fn run_with_spans(
+    scenario: Scenario,
+    threads: Option<u32>,
+) -> Result<(ScenarioReport, Vec<dcdo_sim::SpanEvent>), ScenarioError> {
+    run_inner(scenario, threads)
+}
+
+fn run_inner(
+    mut scenario: Scenario,
+    threads: Option<u32>,
+) -> Result<(ScenarioReport, Vec<dcdo_sim::SpanEvent>), ScenarioError> {
     scenario.validate()?;
     let mut cx = RunCx::new(scenario.seed, scenario.topology.build(scenario.seed));
     if let Some(sim) = cx.world.sim_mut() {
@@ -126,7 +143,7 @@ pub fn run_with_threads(
         .map(|e| e.judge(&cx))
         .collect();
 
-    let (trace_hash, span_digest, events_processed, leaked_events, trace_violations) =
+    let (trace_hash, span_digest, events_processed, leaked_events, trace_violations, spans) =
         match cx.world.sim() {
             Some(sim) => (
                 dcdo_chaos::trace_hash(sim.trace()),
@@ -134,21 +151,25 @@ pub fn run_with_threads(
                 sim.events_processed(),
                 sim.pending_events() as u64,
                 dcdo_sim::check_trace_invariants(sim.spans()).len() as u64,
+                sim.spans().events().to_vec(),
             ),
-            None => (0, 0, 0, 0, 0),
+            None => (0, 0, 0, 0, 0, Vec::new()),
         };
-    Ok(ScenarioReport {
-        name: scenario.name.clone(),
-        seed: scenario.seed,
-        passed: verdicts.iter().all(|v| v.passed),
-        trace_hash,
-        span_digest,
-        events_processed,
-        leaked_events,
-        trace_violations,
-        ticks,
-        counters: cx.counters.into_iter().collect(),
-        gauges: cx.gauges.into_iter().collect(),
-        verdicts,
-    })
+    Ok((
+        ScenarioReport {
+            name: scenario.name.clone(),
+            seed: scenario.seed,
+            passed: verdicts.iter().all(|v| v.passed),
+            trace_hash,
+            span_digest,
+            events_processed,
+            leaked_events,
+            trace_violations,
+            ticks,
+            counters: cx.counters.into_iter().collect(),
+            gauges: cx.gauges.into_iter().collect(),
+            verdicts,
+        },
+        spans,
+    ))
 }

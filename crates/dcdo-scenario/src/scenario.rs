@@ -157,6 +157,17 @@ impl Scenario {
                     }
                 }
             }
+            if let (Window::Timed(window), Some(schedule_end)) =
+                (self.window, slot.workload.schedule_end())
+            {
+                if schedule_end > window {
+                    return Err(ScenarioError::WindowShorterThanSchedule {
+                        workload: slot.workload.name().to_string(),
+                        window,
+                        schedule_end,
+                    });
+                }
+            }
         }
         Ok(())
     }

@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 
 use dcdo_chaos::FaultPlan;
-use dcdo_sim::{ActorId, NodeId};
+use dcdo_sim::{ActorId, NodeId, SimDuration};
 use dcdo_types::ObjectId;
 
 use crate::topology::{Infra, World};
@@ -45,6 +45,19 @@ pub struct ServiceHandles {
     pub dcdo_node: NodeId,
 }
 
+/// Identities of a deployed replica group, shared between the group
+/// workload that stands it up and the rolling-upgrade workload that
+/// reconfigures it.
+#[derive(Clone)]
+pub struct GroupHandles {
+    /// The deployed group: coordinator, replicas, object ids.
+    pub deployment: dcdo_group::GroupDeployment,
+    /// The closed-loop client driving application traffic at the group.
+    pub client: ActorId,
+    /// The rolling-upgrade driver, once one is installed.
+    pub driver: Option<ActorId>,
+}
+
 /// Shared state for one scenario run: the world, the service handles, and
 /// the stats that workloads record and expectations judge.
 pub struct RunCx {
@@ -55,6 +68,8 @@ pub struct RunCx {
     pub world: World,
     /// Handles to a stood-up DCDO service, if a service workload built one.
     pub service: Option<ServiceHandles>,
+    /// Handles to a deployed replica group, if a group workload built one.
+    pub group: Option<GroupHandles>,
     /// Monotonic counters recorded by workloads and the runner
     /// (`calls.ok`, `migrations.err`, …).
     pub counters: BTreeMap<String, u64>,
@@ -70,6 +85,7 @@ impl RunCx {
             seed,
             world,
             service: None,
+            group: None,
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
         }
@@ -147,6 +163,13 @@ pub trait Workload {
     /// The fault plan this workload installs, if any; used to validate
     /// that the run window is long enough for every planned step to fire.
     fn fault_plan(&self) -> Option<&FaultPlan> {
+        None
+    }
+
+    /// When this workload's own internal schedule (wave plans, staged
+    /// phases) fires its last step, if it has one; used to validate that a
+    /// timed run window is long enough to reach the end of the schedule.
+    fn schedule_end(&self) -> Option<SimDuration> {
         None
     }
 }

@@ -137,3 +137,29 @@ fn every_declared_scenario_loads_validates_and_passes() {
         assert_eq!(report.trace_violations, 0, "{name} violated invariants");
     }
 }
+
+#[test]
+fn rolling_upgrade_parity_holds_at_four_threads() {
+    let seq = run(declared("rolling_upgrade")).expect("valid scenario");
+    assert!(seq.passed, "{}", seq.render());
+    let par = run_with_threads(declared("rolling_upgrade"), Some(4)).expect("valid");
+    assert_eq!(par.trace_hash, seq.trace_hash, "sharded run diverged");
+    assert_eq!(par.span_digest, seq.span_digest);
+    assert_eq!(
+        par.counters, seq.counters,
+        "counters diverged across threads"
+    );
+}
+
+#[test]
+fn rolling_upgrade_coord_crash_parity_holds_at_four_threads() {
+    let seq = run(declared("rolling_upgrade_coord_crash")).expect("valid scenario");
+    assert!(seq.passed, "{}", seq.render());
+    let par = run_with_threads(declared("rolling_upgrade_coord_crash"), Some(4)).expect("valid");
+    assert_eq!(par.trace_hash, seq.trace_hash, "sharded run diverged");
+    assert_eq!(par.span_digest, seq.span_digest);
+    assert_eq!(
+        par.counters, seq.counters,
+        "counters diverged across threads"
+    );
+}

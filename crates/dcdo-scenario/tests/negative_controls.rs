@@ -282,3 +282,56 @@ fn errors_display_precisely() {
     .to_string();
     assert!(msg.contains("ghost"), "{msg}");
 }
+
+#[test]
+fn window_shorter_than_rollout_schedule_is_rejected() {
+    // The last wave fires at 0.9s and its proposal deadline + probe delay
+    // push the schedule's end to 1.2s — past the 1s window.
+    let text = "\
+scenario short_rollout
+seed 1
+topology bare nodes=8 net=centurion
+window secs=1
+workload replica_group replicas=4 version=1 until=1
+workload rolling_upgrade from=1 to=2 canary@0.1 wave@0.9=100
+expect trace_invariants
+";
+    let scenario = Scenario::from_text(text).expect("parses and resolves");
+    assert_eq!(
+        scenario.validate(),
+        Err(ScenarioError::WindowShorterThanSchedule {
+            workload: "rolling_upgrade".to_string(),
+            window: secs(1),
+            schedule_end: SimDuration::from_millis(1200),
+        })
+    );
+}
+
+#[test]
+fn empty_wave_plans_and_schedule_errors_display_precisely() {
+    let err = ScenarioError::WindowShorterThanSchedule {
+        workload: "rolling_upgrade".to_string(),
+        window: secs(1),
+        schedule_end: SimDuration::from_millis(1200),
+    }
+    .to_string();
+    assert!(err.contains("schedule ends at 1.2s"), "got: {err}");
+    let missing = Scenario::from_text(
+        "\
+scenario no_waves
+seed 1
+topology bare nodes=8 net=centurion
+window secs=1
+workload replica_group replicas=4 until=1
+workload rolling_upgrade to=2
+expect trace_invariants
+",
+    );
+    assert!(
+        matches!(
+            missing,
+            Err(ScenarioError::BadParam { ref context, .. }) if context.contains("rolling_upgrade")
+        ),
+        "got: {missing:?}"
+    );
+}

@@ -1,7 +1,7 @@
 //! The trace-invariant checker: replays a finished log and verifies
 //! system-wide conformance properties.
 //!
-//! Five invariant classes are checked (see DESIGN.md §9):
+//! Seven invariant classes are checked (see DESIGN.md §9 and §14):
 //!
 //! 1. **Delivery conformance** — no message is delivered to a node that the
 //!    trace shows as crashed at delivery time, and no send is planned for
@@ -20,6 +20,11 @@
 //!    caller and is not dangling.
 //! 5. **Recovery re-registration** — after a `Recover` flow starts for an
 //!    object, the object serves no call until its binding is re-registered.
+//! 6. **Epoch monotonicity** — committed epochs are strictly increasing per
+//!    group, and each replica's adopted epoch is non-decreasing.
+//! 7. **No mixed-epoch serving** — once an epoch commits, no replica of the
+//!    group serves at an older epoch (stale replicas are fenced until they
+//!    catch up).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -82,6 +87,33 @@ pub enum Violation {
         /// The object that served too early.
         object: u64,
     },
+    /// A group's epoch went backwards: a commit at or below the last
+    /// committed epoch, or a replica adopting an epoch below one it already
+    /// held.
+    EpochRegressed {
+        /// The offending event.
+        span: SpanId,
+        /// The group.
+        group: u64,
+        /// The previously observed epoch.
+        from: u64,
+        /// The regressed epoch.
+        to: u64,
+    },
+    /// A replica served a call at an epoch older than the group's committed
+    /// epoch: stale replicas must refuse to serve until they catch up.
+    MixedEpochServing {
+        /// The offending event.
+        span: SpanId,
+        /// The group.
+        group: u64,
+        /// The stale-serving replica.
+        replica: u64,
+        /// The epoch the call was served at.
+        serving: u64,
+        /// The group's committed epoch at serve time.
+        committed: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -116,6 +148,25 @@ impl fmt::Display for Violation {
                     "{span}: object {object} served a call before re-registering after recovery"
                 )
             }
+            Violation::EpochRegressed {
+                span,
+                group,
+                from,
+                to,
+            } => {
+                write!(f, "{span}: group {group}: epoch regressed {from} -> {to}")
+            }
+            Violation::MixedEpochServing {
+                span,
+                group,
+                replica,
+                serving,
+                committed,
+            } => write!(
+                f,
+                "{span}: group {group} replica {replica} served at epoch {serving} \
+                 after epoch {committed} committed"
+            ),
         }
     }
 }
@@ -160,6 +211,10 @@ pub fn check(log: &TraceLog) -> Vec<Violation> {
     let mut calls: HashMap<u64, (bool, u32)> = HashMap::new();
     // object -> recover flow awaiting re-registration
     let mut recovering: HashMap<u64, u64> = HashMap::new();
+    // group -> last committed epoch
+    let mut committed: HashMap<u64, u64> = HashMap::new();
+    // (group, replica) -> last adopted epoch
+    let mut adopted: HashMap<(u64, u64), u64> = HashMap::new();
 
     for e in log.events() {
         match &e.kind {
@@ -256,6 +311,60 @@ pub fn check(log: &TraceLog) -> Vec<Violation> {
                     span: e.id,
                     object: *object,
                 });
+            }
+            SpanKind::EpochCommitted { group, epoch, .. } => {
+                match committed.get(group) {
+                    // Commits must advance strictly: re-committing the same
+                    // epoch would let two different configs claim one epoch.
+                    Some(&last) if *epoch <= last => {
+                        violations.push(Violation::EpochRegressed {
+                            span: e.id,
+                            group: *group,
+                            from: last,
+                            to: *epoch,
+                        });
+                    }
+                    _ => {
+                        committed.insert(*group, *epoch);
+                    }
+                }
+            }
+            SpanKind::ReplicaEpoch {
+                group,
+                replica,
+                epoch,
+            } => {
+                let last = adopted.entry((*group, *replica)).or_insert(*epoch);
+                // Adoption below the group's commit is legal (catch-up in
+                // progress); only the replica's own history must not rewind.
+                if *epoch < *last {
+                    violations.push(Violation::EpochRegressed {
+                        span: e.id,
+                        group: *group,
+                        from: *last,
+                        to: *epoch,
+                    });
+                } else {
+                    *last = *epoch;
+                }
+            }
+            SpanKind::EpochServed {
+                group,
+                replica,
+                epoch,
+                ..
+            } => {
+                if let Some(&current) = committed.get(group) {
+                    if *epoch < current {
+                        violations.push(Violation::MixedEpochServing {
+                            span: e.id,
+                            group: *group,
+                            replica: *replica,
+                            serving: *epoch,
+                            committed: current,
+                        });
+                    }
+                }
             }
             _ => {}
         }
@@ -641,6 +750,187 @@ mod tests {
             check(&l)[..],
             [Violation::ServedBeforeReregister { object: 7, .. }]
         ));
+    }
+
+    #[test]
+    fn catches_epoch_regression() {
+        // Negative control: a planted commit regression must surface as the
+        // exact typed violation.
+        let mut l = log();
+        l.emit(
+            0,
+            0,
+            None,
+            SpanKind::EpochCommitted {
+                group: 7,
+                epoch: 3,
+                config: 0xa,
+            },
+        );
+        l.emit(
+            1,
+            0,
+            None,
+            SpanKind::EpochCommitted {
+                group: 7,
+                epoch: 2,
+                config: 0xb,
+            },
+        );
+        // A different group at a lower epoch is independent, not a
+        // regression.
+        l.emit(
+            2,
+            0,
+            None,
+            SpanKind::EpochCommitted {
+                group: 8,
+                epoch: 1,
+                config: 0xc,
+            },
+        );
+        assert!(matches!(
+            check(&l)[..],
+            [Violation::EpochRegressed {
+                group: 7,
+                from: 3,
+                to: 2,
+                ..
+            }]
+        ));
+        // Re-committing the SAME epoch is also a regression: two configs
+        // must never claim one epoch.
+        let mut l2 = log();
+        for config in [0xa, 0xb] {
+            l2.emit(
+                config,
+                0,
+                None,
+                SpanKind::EpochCommitted {
+                    group: 7,
+                    epoch: 3,
+                    config,
+                },
+            );
+        }
+        assert!(matches!(
+            check(&l2)[..],
+            [Violation::EpochRegressed {
+                group: 7,
+                from: 3,
+                to: 3,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn catches_replica_epoch_rewind() {
+        let mut l = log();
+        for epoch in [4, 5, 3] {
+            l.emit(
+                epoch,
+                1,
+                None,
+                SpanKind::ReplicaEpoch {
+                    group: 7,
+                    replica: 1,
+                    epoch,
+                },
+            );
+        }
+        assert!(matches!(
+            check(&l)[..],
+            [Violation::EpochRegressed {
+                group: 7,
+                from: 5,
+                to: 3,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn catches_mixed_epoch_serving() {
+        // Negative control: replica 2 keeps serving at epoch 1 after the
+        // group committed epoch 2 — the exact typed violation must surface.
+        let mut l = log();
+        l.emit(
+            0,
+            2,
+            None,
+            SpanKind::EpochServed {
+                group: 7,
+                replica: 2,
+                epoch: 1,
+                call: 100,
+            },
+        );
+        l.emit(
+            1,
+            0,
+            None,
+            SpanKind::EpochCommitted {
+                group: 7,
+                epoch: 2,
+                config: 0xa,
+            },
+        );
+        l.emit(
+            2,
+            2,
+            None,
+            SpanKind::EpochServed {
+                group: 7,
+                replica: 2,
+                epoch: 1,
+                call: 101,
+            },
+        );
+        assert!(matches!(
+            check(&l)[..],
+            [Violation::MixedEpochServing {
+                group: 7,
+                replica: 2,
+                serving: 1,
+                committed: 2,
+                ..
+            }]
+        ));
+        // Serving at the committed epoch (a caught-up replica) is clean.
+        let mut l2 = log();
+        l2.emit(
+            0,
+            0,
+            None,
+            SpanKind::EpochCommitted {
+                group: 7,
+                epoch: 2,
+                config: 0xa,
+            },
+        );
+        l2.emit(
+            1,
+            2,
+            None,
+            SpanKind::ReplicaEpoch {
+                group: 7,
+                replica: 2,
+                epoch: 2,
+            },
+        );
+        l2.emit(
+            2,
+            2,
+            None,
+            SpanKind::EpochServed {
+                group: 7,
+                replica: 2,
+                epoch: 2,
+                call: 100,
+            },
+        );
+        assert_eq!(check(&l2), vec![]);
     }
 
     #[test]

@@ -130,6 +130,8 @@ pub enum FlowKind {
     Recover,
     /// Object-local configuration change (incorporate/apply/remove/disable).
     Config,
+    /// Group epoch round (propose → prepare/ack → commit or abort).
+    Epoch,
 }
 
 impl FlowKind {
@@ -144,6 +146,7 @@ impl FlowKind {
             FlowKind::Checkpoint => 5,
             FlowKind::Recover => 6,
             FlowKind::Config => 7,
+            FlowKind::Epoch => 8,
         }
     }
 
@@ -158,6 +161,7 @@ impl FlowKind {
             FlowKind::Checkpoint => "checkpoint",
             FlowKind::Recover => "recover",
             FlowKind::Config => "config",
+            FlowKind::Epoch => "epoch",
         }
     }
 }
@@ -355,6 +359,49 @@ pub enum SpanKind {
         /// The call id served.
         call: u64,
     },
+    // ---- group reconfiguration ------------------------------------------
+    /// A group coordinator opened an epoch round: the joined batch of
+    /// config deltas was broadcast for acknowledgement.
+    EpochProposed {
+        /// The reconfiguring group.
+        group: u64,
+        /// The epoch the round advances to on commit.
+        epoch: u64,
+        /// Digest of the joined delta under proposal.
+        config: u64,
+    },
+    /// A quorum acknowledged the joined epoch and the coordinator committed
+    /// it. Epochs must be strictly increasing per group, and no replica may
+    /// serve at an older epoch after this point (it is fenced or caught up).
+    EpochCommitted {
+        /// The reconfiguring group.
+        group: u64,
+        /// The committed epoch.
+        epoch: u64,
+        /// Digest of the committed configuration.
+        config: u64,
+    },
+    /// A replica adopted a committed epoch (caught up).
+    ReplicaEpoch {
+        /// The group.
+        group: u64,
+        /// The adopting replica (member id).
+        replica: u64,
+        /// The epoch adopted.
+        epoch: u64,
+    },
+    /// A group replica served an application call at its current epoch.
+    EpochServed {
+        /// The group.
+        group: u64,
+        /// The serving replica (member id).
+        replica: u64,
+        /// The epoch the call was served at.
+        epoch: u64,
+        /// The call id served.
+        call: u64,
+    },
+
     /// VM compute attributed to one function while serving a call.
     ///
     /// Emitted (at most once per function per thread) when a VM thread
@@ -410,6 +457,10 @@ impl SpanKind {
             SpanKind::GenerationStamp { .. } => 34,
             SpanKind::CallServed { .. } => 35,
             SpanKind::VmCost { .. } => 36,
+            SpanKind::EpochProposed { .. } => 40,
+            SpanKind::EpochCommitted { .. } => 41,
+            SpanKind::ReplicaEpoch { .. } => 42,
+            SpanKind::EpochServed { .. } => 43,
         }
     }
 
@@ -443,6 +494,10 @@ impl SpanKind {
             SpanKind::GenerationStamp { .. } => "generation_stamp",
             SpanKind::CallServed { .. } => "call_served",
             SpanKind::VmCost { .. } => "vm_cost",
+            SpanKind::EpochProposed { .. } => "epoch_proposed",
+            SpanKind::EpochCommitted { .. } => "epoch_committed",
+            SpanKind::ReplicaEpoch { .. } => "replica_epoch",
+            SpanKind::EpochServed { .. } => "epoch_served",
         }
     }
 
@@ -480,6 +535,7 @@ impl SpanKind {
             | SpanKind::RpcRetry { call, .. }
             | SpanKind::RpcCompleted { call, .. }
             | SpanKind::CallServed { call, .. }
+            | SpanKind::EpochServed { call, .. }
             | SpanKind::VmCost { call, .. } => Some(*call),
             _ => None,
         }
@@ -571,6 +627,32 @@ impl SpanKind {
             SpanKind::CallServed { object, call } => {
                 vec![("object", *object), ("call", *call)]
             }
+            SpanKind::EpochProposed {
+                group,
+                epoch,
+                config,
+            }
+            | SpanKind::EpochCommitted {
+                group,
+                epoch,
+                config,
+            } => vec![("group", *group), ("epoch", *epoch), ("config", *config)],
+            SpanKind::ReplicaEpoch {
+                group,
+                replica,
+                epoch,
+            } => vec![("group", *group), ("replica", *replica), ("epoch", *epoch)],
+            SpanKind::EpochServed {
+                group,
+                replica,
+                epoch,
+                call,
+            } => vec![
+                ("group", *group),
+                ("replica", *replica),
+                ("epoch", *epoch),
+                ("call", *call),
+            ],
             SpanKind::VmCost {
                 object,
                 call,

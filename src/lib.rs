@@ -12,6 +12,9 @@
 //!   dependencies, and evolution restrictions.
 //! - [`chaos`] — deterministic fault injection (crashes, partitions, link
 //!   faults) and the FaultPlan DSL driving the recovery paths.
+//! - [`group`] — epoch-based group reconfiguration: joinable config deltas
+//!   (lattice agreement), propose/commit epochs over replica sets, and
+//!   rolling-upgrade orchestration.
 //! - [`evolution`] — evolution management strategies (§3.3–3.5).
 //! - [`profile`] — the trace-driven profiler: flow latency breakdowns,
 //!   critical paths, reconfiguration cost tables, VM cost attribution, and
@@ -32,6 +35,7 @@
 pub use dcdo_chaos as chaos;
 pub use dcdo_core as core;
 pub use dcdo_evolution as evolution;
+pub use dcdo_group as group;
 pub use dcdo_profile as profile;
 pub use dcdo_scenario as scenario;
 pub use dcdo_sim as sim;
