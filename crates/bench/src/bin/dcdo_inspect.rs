@@ -35,6 +35,14 @@
 //! reconstructed from its span log: every proposal, commit, and replica
 //! adoption in deterministic log order — the observability view of the
 //! epoch-based reconfiguration protocol.
+//!
+//! The `timeline` subcommand runs one scenario and exports its windowed
+//! time-series telemetry (per-100ms-bucket event counts, derived latency
+//! series) as deterministic JSON and Prometheus text; `flight` runs one
+//! scenario and renders the tail-sampled flight-recorder dump — the causal
+//! span trees of every aborted, invariant-violating, or slowest-percentile
+//! flow. Both honor the uniform `--threads N` / `--out FILE` flags every
+//! subcommand shares, and both exit nonzero if the scenario fails.
 
 use dcdo_profile::{CriticalPath, ProfileReport};
 use dcdo_vm::{FusionStats, VmProfile, OPCODE_NAMES};
@@ -53,6 +61,8 @@ fn usage() -> ! {
     eprintln!("       dcdo-inspect scenarios");
     eprintln!("       dcdo-inspect scenario <name|file.scn|all> [seed] [--threads N] [--out FILE]");
     eprintln!("       dcdo-inspect epochs <name|file.scn> [seed] [--threads N]");
+    eprintln!("       dcdo-inspect timeline <name|file.scn> [seed] [--threads N] [--out FILE]");
+    eprintln!("       dcdo-inspect flight <name|file.scn> [seed] [--threads N] [--out FILE]");
     eprintln!("workloads: {}", WORKLOADS.join(", "));
     eprintln!("vm: print the VM per-function/per-opcode cost tables and");
     eprintln!("    superinstruction coverage for the scenario");
@@ -61,7 +71,68 @@ fn usage() -> ! {
     eprintln!("    and write deterministic reports to BENCH_scenarios.json");
     eprintln!("epochs: run one scenario and print the group-epoch timeline");
     eprintln!("    (proposals, commits, replica adoptions) from its span log");
+    eprintln!("timeline: run one scenario and export its windowed telemetry");
+    eprintln!("    as deterministic JSON (+ Prometheus text alongside)");
+    eprintln!("flight: run one scenario and render the tail-sampled");
+    eprintln!("    flight-recorder dump (aborted/violating/slowest flows)");
+    eprintln!("every subcommand accepts --threads N and --out FILE uniformly");
     std::process::exit(2);
+}
+
+/// The command-line tail every subcommand shares: positional arguments
+/// plus the uniform `--out FILE` / `--threads N` flags.
+struct Cli {
+    positionals: Vec<String>,
+    out: Option<String>,
+    threads: Option<u32>,
+}
+
+/// Parses the shared flag set. `--threads` is also installed as the
+/// process-wide default because several workloads build their simulations
+/// internally; worlds the scenario runner builds get it passed explicitly
+/// as well. Unknown flags exit with the usage text (status 2).
+fn parse_cli(args: &[String]) -> Cli {
+    let mut cli = Cli {
+        positionals: Vec::new(),
+        out: None,
+        threads: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                cli.out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--threads" => {
+                i += 1;
+                let n: u32 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                dcdo_sim::set_default_threads(n);
+                cli.threads = Some(n);
+            }
+            "--help" | "-h" => usage(),
+            a if a.starts_with("--") => usage(),
+            a => cli.positionals.push(a.to_string()),
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// Splits a subcommand's positionals into `<target> [seed]`.
+fn target_and_seed(cli: &Cli) -> (String, Option<u64>) {
+    if cli.positionals.is_empty() || cli.positionals.len() > 2 {
+        usage();
+    }
+    let target = cli.positionals[0].clone();
+    let seed = cli
+        .positionals
+        .get(1)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()));
+    (target, seed)
 }
 
 /// One-line summary of a declared scenario for `dcdo-inspect scenarios`.
@@ -129,36 +200,15 @@ fn scenario_targets(target: &str) -> Vec<dcdo_scenario::Scenario> {
 }
 
 /// The `scenario` subcommand: run one declared scenario, a `.scn` file, or
-/// all declared scenarios; print verdicts; export deterministic JSON.
+/// all declared scenarios; print verdicts; export deterministic JSON. An
+/// SLO breach additionally writes the full-fidelity flight-recorder dump
+/// to `FLIGHT_<scenario>.breach.json`.
 fn run_scenarios(args: &[String]) {
-    let mut target: Option<String> = None;
-    let mut seed: Option<u64> = None;
-    let mut out_path = "BENCH_scenarios.json".to_string();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--out" => {
-                i += 1;
-                out_path = args.get(i).cloned().unwrap_or_else(|| usage());
-            }
-            "--threads" => {
-                i += 1;
-                let n: u32 = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-                // Episode workloads build their sims internally, so the
-                // count is installed as the process-wide default; the
-                // runner-built worlds inherit it the same way.
-                dcdo_sim::set_default_threads(n);
-            }
-            "--help" | "-h" => usage(),
-            a if target.is_none() => target = Some(a.to_string()),
-            a => seed = Some(a.parse().unwrap_or_else(|_| usage())),
-        }
-        i += 1;
-    }
-    let target = target.unwrap_or_else(|| usage());
+    let cli = parse_cli(args);
+    let (target, seed) = target_and_seed(&cli);
+    let out_path = cli
+        .out
+        .unwrap_or_else(|| "BENCH_scenarios.json".to_string());
     let mut scenarios = scenario_targets(&target);
     if let Some(seed) = seed {
         scenarios = scenarios.into_iter().map(|s| s.with_seed(seed)).collect();
@@ -168,11 +218,23 @@ fn run_scenarios(args: &[String]) {
     let mut reports = Vec::new();
     for scenario in scenarios {
         let name = scenario.name.clone();
-        match dcdo_scenario::run(scenario) {
-            Ok(report) => {
-                print!("{}", report.render());
-                all_passed &= report.passed;
-                reports.push(report.to_json());
+        match dcdo_scenario::run_artifacts(scenario, cli.threads) {
+            Ok(artifacts) => {
+                print!("{}", artifacts.report.render());
+                all_passed &= artifacts.report.passed;
+                if artifacts.slo_breached {
+                    if let Some(flight) = &artifacts.flight {
+                        let dump_path = format!("FLIGHT_{name}.breach.json");
+                        std::fs::write(&dump_path, flight.to_json())
+                            .expect("write breach flight dump");
+                        eprintln!(
+                            "dcdo-inspect: scenario {name} breached {} SLO watchdog(s); \
+                             flight dump written to {dump_path}",
+                            artifacts.report.slo_breaches
+                        );
+                    }
+                }
+                reports.push(artifacts.report.to_json());
             }
             Err(e) => {
                 eprintln!("dcdo-inspect: scenario {name} is invalid: {e}");
@@ -188,40 +250,28 @@ fn run_scenarios(args: &[String]) {
     }
 }
 
-/// The `epochs` subcommand: run one scenario with span logging and render
-/// the per-group epoch timeline (proposals, commits, replica adoptions).
-fn run_epochs(args: &[String]) {
-    let mut target: Option<String> = None;
-    let mut seed: Option<u64> = None;
-    let mut threads: Option<u32> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--threads" => {
-                i += 1;
-                let n: u32 = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-                threads = Some(n);
-            }
-            "--help" | "-h" => usage(),
-            a if target.is_none() => target = Some(a.to_string()),
-            a => seed = Some(a.parse().unwrap_or_else(|_| usage())),
-        }
-        i += 1;
-    }
-    let target = target.unwrap_or_else(|| usage());
+/// Resolves the single-scenario target shared by `epochs`, `timeline`,
+/// and `flight` (they take one scenario, not `all`).
+fn single_scenario(subcommand: &str, cli: &Cli) -> dcdo_scenario::Scenario {
+    let (target, seed) = target_and_seed(cli);
     if target == "all" {
-        eprintln!("dcdo-inspect: epochs takes one scenario, not `all`");
+        eprintln!("dcdo-inspect: {subcommand} takes one scenario, not `all`");
         std::process::exit(2);
     }
     let mut scenario = scenario_targets(&target).remove(0);
     if let Some(seed) = seed {
         scenario = scenario.with_seed(seed);
     }
+    scenario
+}
+
+/// The `epochs` subcommand: run one scenario with span logging and render
+/// the per-group epoch timeline (proposals, commits, replica adoptions).
+fn run_epochs(args: &[String]) {
+    let cli = parse_cli(args);
+    let scenario = single_scenario("epochs", &cli);
     let name = scenario.name.clone();
-    match dcdo_scenario::run_with_spans(scenario, threads) {
+    match dcdo_scenario::run_with_spans(scenario, cli.threads) {
         Ok((report, spans)) => {
             let rows = dcdo_group::epoch_timeline(&spans);
             println!(
@@ -244,6 +294,122 @@ fn run_epochs(args: &[String]) {
             eprintln!("dcdo-inspect: scenario {name} is invalid: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// The `timeline` subcommand: run one scenario, print a per-window summary
+/// table, and export the windowed telemetry as deterministic JSON (and
+/// Prometheus text alongside).
+fn run_timeline(args: &[String]) {
+    let cli = parse_cli(args);
+    let scenario = single_scenario("timeline", &cli);
+    let name = scenario.name.clone();
+    match dcdo_scenario::run_artifacts(scenario, cli.threads) {
+        Ok(artifacts) => {
+            let r = &artifacts.report;
+            println!(
+                "scenario {name}, seed {}: {} events over the run",
+                r.seed, r.events_processed
+            );
+            print_timeline_table(&artifacts.timeline_json);
+            let json_path = cli.out.unwrap_or_else(|| format!("TIMELINE_{name}.json"));
+            let prom_path = sibling_prom_path(&json_path);
+            std::fs::write(&json_path, &artifacts.timeline_json).expect("write timeline JSON");
+            std::fs::write(&prom_path, &artifacts.timeline_prom)
+                .expect("write timeline Prometheus");
+            println!("wrote {json_path} and {prom_path}");
+            if !r.passed {
+                eprintln!("dcdo-inspect: scenario {name} failed its expectations");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("dcdo-inspect: scenario {name} is invalid: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `flight` subcommand: run one scenario, render the tail-sampled
+/// flight-recorder dump, and export it as deterministic JSON.
+fn run_flight(args: &[String]) {
+    let cli = parse_cli(args);
+    let scenario = single_scenario("flight", &cli);
+    let name = scenario.name.clone();
+    match dcdo_scenario::run_artifacts(scenario, cli.threads) {
+        Ok(artifacts) => {
+            let r = &artifacts.report;
+            let Some(flight) = &artifacts.flight else {
+                eprintln!("dcdo-inspect: scenario {name} never built a world");
+                std::process::exit(2);
+            };
+            println!(
+                "scenario {name}, seed {}: flight digest {:016x}, {} frames recorded, \
+                 {} of {} flows retained",
+                r.seed,
+                r.flight_digest,
+                flight.frames_recorded,
+                flight.flows.len(),
+                flight.total_flows
+            );
+            print!("{}", flight.render());
+            let json_path = cli.out.unwrap_or_else(|| format!("FLIGHT_{name}.json"));
+            std::fs::write(&json_path, flight.to_json()).expect("write flight dump JSON");
+            println!("wrote {json_path}");
+            if !r.passed {
+                eprintln!("dcdo-inspect: scenario {name} failed its expectations");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("dcdo-inspect: scenario {name} is invalid: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Derives the Prometheus export path from the JSON path (`x.json` →
+/// `x.prom`, anything else gets `.prom` appended).
+fn sibling_prom_path(json_path: &str) -> String {
+    match json_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.prom"),
+        None => format!("{json_path}.prom"),
+    }
+}
+
+/// Prints the human-readable per-window table from the timeline JSON's
+/// bucket lines (the JSON is the machine artifact; this is the eyeball
+/// view).
+fn print_timeline_table(timeline_json: &str) {
+    println!(
+        "{:>8} {:>10} {:>10} {:>8} {:>12} {:>8} {:>9}",
+        "window", "events", "delivered", "timers", "dead_letters", "crashes", "restarts"
+    );
+    for line in timeline_json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with("{\"window\":") {
+            continue;
+        }
+        let field = |key: &str| -> u64 {
+            line.split(&format!("\"{key}\": "))
+                .nth(1)
+                .and_then(|rest| {
+                    rest.split(|c: char| !c.is_ascii_digit())
+                        .next()
+                        .and_then(|n| n.parse().ok())
+                })
+                .unwrap_or(0)
+        };
+        println!(
+            "{:>8} {:>10} {:>10} {:>8} {:>12} {:>8} {:>9}",
+            field("window"),
+            field("events"),
+            field("delivered"),
+            field("timers"),
+            field("dead_letters"),
+            field("crashes"),
+            field("restarts")
+        );
     }
 }
 
@@ -492,44 +658,40 @@ fn main() {
             run_epochs(&args[1..]);
             return;
         }
+        Some("timeline") => {
+            run_timeline(&args[1..]);
+            return;
+        }
+        Some("flight") => {
+            run_flight(&args[1..]);
+            return;
+        }
         _ => {}
     }
-    let mut vm_mode = false;
-    let mut workload = None;
-    let mut seed = 42u64;
-    let mut out_prefix = "BENCH_profile".to_string();
-    let mut threads: Option<u32> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--out" => {
-                i += 1;
-                out_prefix = args.get(i).cloned().unwrap_or_else(|| usage());
-            }
-            "--threads" => {
-                i += 1;
-                let n: u32 = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
-                // Workloads build their sims internally, so the count is
-                // installed as the process-wide default.
-                dcdo_sim::set_default_threads(n);
-                threads = Some(n);
-            }
-            "--help" | "-h" => usage(),
-            "vm" if workload.is_none() && !vm_mode => vm_mode = true,
-            a if workload.is_none() => workload = Some(a.to_string()),
-            a => seed = a.parse().unwrap_or_else(|_| usage()),
-        }
-        i += 1;
+    // The profile path (`[vm] <workload> [seed]`) shares the same flag
+    // parser as every subcommand.
+    let cli = parse_cli(&args);
+    let mut positionals = cli.positionals.as_slice();
+    let vm_mode = positionals.first().map(String::as_str) == Some("vm");
+    if vm_mode {
+        positionals = &positionals[1..];
     }
-    let workload = workload.unwrap_or_else(|| usage());
+    let Some(workload) = positionals.first().cloned() else {
+        usage();
+    };
+    let seed: u64 = positionals
+        .get(1)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(42);
+    if positionals.len() > 2 {
+        usage();
+    }
+    let out_prefix = cli.out.unwrap_or_else(|| "BENCH_profile".to_string());
     if !WORKLOADS.contains(&workload.as_str()) {
         usage();
     }
 
-    match threads {
+    match cli.threads {
         Some(n) => println!("workload {workload}, seed {seed}, {n} worker thread(s)"),
         None => println!("workload {workload}, seed {seed}"),
     }

@@ -39,6 +39,48 @@ fn measure(name: &'static str, reps: u32, run: impl Fn() -> u64) -> Shot {
     }
 }
 
+/// Times two variants of one workload with interleaved reps (off, on,
+/// off, on, …): slow clock-frequency and scheduler drift then hits both
+/// arms equally instead of biasing whichever measured block runs second.
+/// Reports best and mean per arm, like [`measure`].
+fn measure_paired(
+    name_off: &'static str,
+    name_on: &'static str,
+    reps: u32,
+    run: impl Fn(bool) -> u64,
+) -> (Shot, Shot) {
+    run(false);
+    run(true);
+    let mut best = [0.0f64; 2];
+    let mut sum = [0.0f64; 2];
+    let mut events = [0u64; 2];
+    for rep in 0..reps {
+        // Alternate which arm goes first so within-pair warmup/throttle
+        // drift doesn't systematically tax one arm.
+        let order = if rep % 2 == 0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
+        for enabled in order {
+            let i = usize::from(enabled);
+            let t = Instant::now();
+            events[i] = run(enabled);
+            let secs = t.elapsed().as_secs_f64().max(1e-12);
+            let rate = events[i] as f64 / secs;
+            best[i] = best[i].max(rate);
+            sum[i] += rate;
+        }
+    }
+    let shot = |i: usize, name: &'static str| Shot {
+        name,
+        events: events[i],
+        best_events_per_sec: best[i],
+        mean_events_per_sec: sum[i] / f64::from(reps),
+    };
+    (shot(0, name_off), shot(1, name_on))
+}
+
 /// Times one workload at a fixed worker-thread count.
 fn measure_at_threads(
     name: &'static str,
@@ -112,6 +154,28 @@ fn main() {
     let traced_ratio = traced.best_events_per_sec / fan_out.best_events_per_sec;
     let overhead_x = fan_out.best_events_per_sec / traced.best_events_per_sec;
 
+    // Always-on observability probe: the same fan_out shape with the
+    // flight recorder and timeline disabled (the bare baseline) vs the
+    // shipped default with both on. Reps are interleaved off-on-off-on so
+    // slow clock-frequency or scheduler drift hits both arms equally
+    // instead of biasing whichever block runs second; the acceptance bar
+    // is <2% throughput cost.
+    // A 4×-longer fan_out run than the headline shape: per-rep scheduler
+    // noise shrinks with run length, which matters when the quantity under
+    // test is a couple of percent.
+    let (flight_off, flight_on) =
+        measure_paired("fan_out_flight_off", "fan_out_flight_on", 10, |enabled| {
+            let (mut sim, budget) = simbench::fan_out_sim(500, 800, 512);
+            if !enabled {
+                sim.flight_mut().disable();
+                sim.timeline_mut().disable();
+            }
+            sim.run_with_budget(budget)
+        });
+    let flight_ratio = flight_on.best_events_per_sec / flight_off.best_events_per_sec;
+    let flight_overhead_frac = 1.0 - flight_ratio;
+    let flight_overhead_x = flight_off.best_events_per_sec / flight_on.best_events_per_sec;
+
     // VM profiling overhead probe: a pure interpreter hot loop (a function
     // call crossing per iteration) with the per-thread cost profile off vs
     // on. Off is the shipped default — its cost is one predicted branch at
@@ -175,7 +239,25 @@ fn main() {
     json.push_str(&format!(
         "    \"traced_throughput_ratio\": {traced_ratio:.4},\n"
     ));
-    json.push_str(&format!("    \"overhead_x\": {overhead_x:.2}\n  }},\n"));
+    json.push_str(&format!("    \"overhead_x\": {overhead_x:.2},\n"));
+    json.push_str(&format!(
+        "    \"flight_recorder\": {{\"traced_throughput_ratio\": {flight_ratio:.4}, \"overhead_x\": {flight_overhead_x:.2}}}\n  }},\n"
+    ));
+    json.push_str("  \"flight\": {\n");
+    json.push_str(&format!(
+        "    \"fan_out_flight_off\": {{\"events\": {}, \"best\": {:.0}, \"mean\": {:.0}}},\n",
+        flight_off.events, flight_off.best_events_per_sec, flight_off.mean_events_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"fan_out_flight_on\": {{\"events\": {}, \"best\": {:.0}, \"mean\": {:.0}}},\n",
+        flight_on.events, flight_on.best_events_per_sec, flight_on.mean_events_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"flight_throughput_ratio\": {flight_ratio:.4},\n"
+    ));
+    json.push_str(&format!(
+        "    \"overhead_frac\": {flight_overhead_frac:.4}\n  }},\n"
+    ));
     json.push_str("  \"vm_profiling\": {\n");
     json.push_str(&format!(
         "    \"vm_spin\": {{\"iters\": {SPIN_ITERS}, \"best\": {:.0}, \"mean\": {:.0}}},\n",
@@ -208,10 +290,15 @@ fn main() {
         fusion_probe.stats.decodes, fusion_probe.stats.hits, fusion_probe.stats.invalidations
     ));
 
-    for s in shots
-        .iter()
-        .chain([&traced, &spin_off, &spin_on, &spin_legacy, &spin_unfused])
-    {
+    for s in shots.iter().chain([
+        &traced,
+        &flight_off,
+        &flight_on,
+        &spin_off,
+        &spin_on,
+        &spin_legacy,
+        &spin_unfused,
+    ]) {
         println!(
             "{:<16} {:>10} events   best {:>12.0} ev/s   mean {:>12.0} ev/s",
             s.name, s.events, s.best_events_per_sec, s.mean_events_per_sec

@@ -85,6 +85,7 @@ mod report;
 mod ring;
 mod runner;
 mod scenario;
+mod slo;
 mod topology;
 mod traffic;
 mod workload;
@@ -104,8 +105,11 @@ pub use parse::{
 pub use registry::Registry;
 pub use report::ScenarioReport;
 pub use ring::{ChaosAttachment, ChatterRing};
-pub use runner::{run, run_with_spans, run_with_threads};
+pub use runner::{
+    run, run_artifacts, run_with_spans, run_with_threads, RunArtifacts, FLIGHT_SLOW_QUANTILE,
+};
 pub use scenario::{Scenario, ScenarioBuilder, Window, WorkloadSlot};
+pub use slo::{SloErrorRate, SloLatency, SloRecovery};
 pub use topology::{Infra, NetKind, Topology, World};
 pub use traffic::{Calls, ConfigOps, CounterService, Migrations};
 pub use workload::{GroupHandles, RunCx, ServiceHandles, Workload};

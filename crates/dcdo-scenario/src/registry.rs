@@ -24,6 +24,7 @@ use crate::group::{ReplicaGroup, RollingUpgrade};
 use crate::parse::{parse_fault_tokens, parse_scenario, parse_secs, ScenarioDecl};
 use crate::ring::{ChaosAttachment, ChatterRing};
 use crate::scenario::{Scenario, WorkloadSlot};
+use crate::slo::{parse_quantile, SloErrorRate, SloLatency, SloRecovery};
 use crate::traffic::{Calls, ConfigOps, CounterService, Migrations};
 use crate::workload::Workload;
 
@@ -200,6 +201,41 @@ impl Registry {
                 msg: format!("bad tolerance {tol:?}"),
             })?;
             Ok(Box::new(MixConverged::new(tol)))
+        });
+        r.register_expectation("slo_latency", |args| {
+            let [series, q, bound] = args else {
+                return Err(ScenarioError::BadParam {
+                    context: "expect slo_latency".to_string(),
+                    msg: "expected: slo_latency <series> <p50|p90|p95|p99|q=F> <bound_secs>"
+                        .to_string(),
+                });
+            };
+            let quantile = parse_quantile(q).ok_or_else(|| ScenarioError::BadParam {
+                context: "expect slo_latency".to_string(),
+                msg: format!("bad quantile {q:?}"),
+            })?;
+            let bound: f64 = bound.parse().map_err(|_| ScenarioError::BadParam {
+                context: "expect slo_latency".to_string(),
+                msg: format!("bad bound {bound:?}"),
+            })?;
+            Ok(Box::new(SloLatency::new(series, quantile, bound)))
+        });
+        r.register_expectation("slo_error_rate", |args| {
+            let (prefix, max_frac) = key_and_f64(args, "slo_error_rate")?;
+            Ok(Box::new(SloErrorRate::new(&prefix, max_frac)))
+        });
+        r.register_expectation("slo_recovery", |args| {
+            let [budget] = args else {
+                return Err(ScenarioError::BadParam {
+                    context: "expect slo_recovery".to_string(),
+                    msg: "expected: slo_recovery <budget_secs>".to_string(),
+                });
+            };
+            let budget: f64 = budget.parse().map_err(|_| ScenarioError::BadParam {
+                context: "expect slo_recovery".to_string(),
+                msg: format!("bad budget {budget:?}"),
+            })?;
+            Ok(Box::new(SloRecovery::new(budget)))
         });
         r
     }
@@ -383,6 +419,10 @@ expect counter_equals calls.err 0
 expect counter_equals config_ops.err 0
 expect counter_equals migrations.err 0
 expect mix_converged 0.06
+expect slo_latency lat.flow p99 1.0
+expect slo_latency lat.rpc p99 60.0
+expect slo_error_rate rpc 0.05
+expect slo_recovery 1.0
 ";
 
 /// `reconfig` — the canonical healthy reconfiguration workflow as an
@@ -502,6 +542,9 @@ expect counter_equals group.config.disagreement 0
 expect counter_equals group.fenced 0
 expect counter_equals group.calls.failed 0
 expect counter_at_least group.calls.ok 500
+expect slo_latency lat.flow p99 0.05
+expect slo_error_rate flow 0.05
+expect slo_recovery 1.0
 ";
 
 /// `rolling_upgrade_coord_crash` — the chaos composition: the wave
@@ -532,6 +575,9 @@ expect counter_equals group.config.disagreement 0
 expect counter_equals group.fenced 0
 expect counter_equals group.calls.failed 0
 expect counter_at_least group.calls.ok 500
+expect slo_latency lat.flow p99 0.05
+expect slo_error_rate flow 0.05
+expect slo_recovery 1.0
 ";
 
 /// Every canonical declaration, in the order `dcdo-inspect scenarios`

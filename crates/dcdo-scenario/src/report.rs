@@ -24,6 +24,9 @@ pub struct ScenarioReport {
     /// FNV-1a digest of the structured span log (integer-only, stable
     /// across build profiles and thread counts).
     pub span_digest: u64,
+    /// FNV-1a digest of the flight-recorder ring (same stability
+    /// guarantees as the span digest).
+    pub flight_digest: u64,
     /// Engine events processed over the whole run.
     pub events_processed: u64,
     /// Events still pending after the drain — leaks; expected 0.
@@ -31,6 +34,8 @@ pub struct ScenarioReport {
     /// Trace-invariant violations found in the span log (informational;
     /// add the `trace_invariants` expectation to make them fail the run).
     pub trace_violations: u64,
+    /// Failed `slo_*` expectation verdicts — breached SLO watchdogs.
+    pub slo_breaches: u64,
     /// Ticks each weighted workload received, in declaration order
     /// (tick windows only).
     pub ticks: Vec<(String, u64)>,
@@ -54,9 +59,11 @@ impl ScenarioReport {
         let _ = write!(out, ",\"passed\":{}", self.passed);
         let _ = write!(out, ",\"trace_hash\":\"{:016x}\"", self.trace_hash);
         let _ = write!(out, ",\"span_digest\":\"{:016x}\"", self.span_digest);
+        let _ = write!(out, ",\"flight_digest\":\"{:016x}\"", self.flight_digest);
         let _ = write!(out, ",\"events_processed\":{}", self.events_processed);
         let _ = write!(out, ",\"leaked_events\":{}", self.leaked_events);
         let _ = write!(out, ",\"trace_violations\":{}", self.trace_violations);
+        let _ = write!(out, ",\"slo_breaches\":{}", self.slo_breaches);
         out.push_str(",\"ticks\":{");
         for (i, (name, n)) in self.ticks.iter().enumerate() {
             if i > 0 {
@@ -107,8 +114,13 @@ impl ScenarioReport {
         );
         let _ = writeln!(
             out,
-            "  trace_hash {:016x}  span_digest {:016x}  events {}  leaked {}",
-            self.trace_hash, self.span_digest, self.events_processed, self.leaked_events
+            "  trace_hash {:016x}  span_digest {:016x}  flight_digest {:016x}",
+            self.trace_hash, self.span_digest, self.flight_digest
+        );
+        let _ = writeln!(
+            out,
+            "  events {}  leaked {}  slo_breaches {}",
+            self.events_processed, self.leaked_events, self.slo_breaches
         );
         if !self.ticks.is_empty() {
             let mix = self
@@ -174,9 +186,11 @@ mod tests {
             passed: false,
             trace_hash: 0xabc,
             span_digest: 0xdef,
+            flight_digest: 0x123,
             events_processed: 10,
             leaked_events: 0,
             trace_violations: 1,
+            slo_breaches: 0,
             ticks: vec![("calls".to_string(), 9)],
             counters: vec![("calls.ok".to_string(), 9)],
             gauges: vec![("mix.calls.observed".to_string(), 0.9)],
@@ -194,6 +208,8 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.starts_with("{\"scenario\":\"demo \\\"quoted\\\"\",\"seed\":7,\"passed\":false"));
         assert!(a.contains("\"trace_hash\":\"0000000000000abc\""));
+        assert!(a.contains("\"flight_digest\":\"0000000000000123\""));
+        assert!(a.contains("\"slo_breaches\":0"));
         assert!(a.contains("\"ticks\":{\"calls\":9}"));
         assert!(a.contains("\"gauges\":{\"mix.calls.observed\":0.9}"));
         assert!(a.contains("\"expectations\":[{\"name\":\"trace_invariants\",\"passed\":false,"));

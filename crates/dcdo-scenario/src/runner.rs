@@ -16,12 +16,38 @@
 //! 7. Drain the queue, `measure` every workload, `judge` every
 //!    expectation, and assemble the [`ScenarioReport`].
 
-use dcdo_sim::NodeId;
+use dcdo_sim::{tail_sample, FlightDump, NodeId, RpcOutcome, SpanEvent, SpanKind};
 
 use crate::report::ScenarioReport;
 use crate::scenario::{Scenario, Window};
 use crate::workload::RunCx;
 use crate::ScenarioError;
+
+/// The slowest-percentile cut the runner's tail sampler retains: flows in
+/// the slowest 5% keep their full causal span trees in the flight dump.
+pub const FLIGHT_SLOW_QUANTILE: f64 = 0.95;
+
+/// Everything a scenario run produces beyond the pass/fail report: the raw
+/// span log, the windowed-telemetry exports, and the flight-recorder dump.
+/// All of it is deterministic — byte-identical at every worker-thread
+/// count and across build profiles.
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// The pass/fail report (same value [`run`] returns).
+    pub report: ScenarioReport,
+    /// The run's span log, for post-hoc analyses.
+    pub spans: Vec<SpanEvent>,
+    /// Windowed time-series telemetry as deterministic JSON.
+    pub timeline_json: String,
+    /// The same telemetry as Prometheus text exposition.
+    pub timeline_prom: String,
+    /// The tail-sampled flight-recorder dump (`None` only when the
+    /// scenario never built a world).
+    pub flight: Option<FlightDump>,
+    /// `true` when any `slo_*` expectation failed — callers should persist
+    /// the full-fidelity [`flight`](RunArtifacts::flight) dump.
+    pub slo_breached: bool,
+}
 
 /// Runs `scenario` to completion at the process-default thread count.
 pub fn run(scenario: Scenario) -> Result<ScenarioReport, ScenarioError> {
@@ -36,7 +62,7 @@ pub fn run_with_threads(
     scenario: Scenario,
     threads: Option<u32>,
 ) -> Result<ScenarioReport, ScenarioError> {
-    run_inner(scenario, threads).map(|(report, _)| report)
+    run_inner(scenario, threads).map(|a| a.report)
 }
 
 /// Like [`run_with_threads`], but also returns the run's span log — the
@@ -46,13 +72,79 @@ pub fn run_with_spans(
     scenario: Scenario,
     threads: Option<u32>,
 ) -> Result<(ScenarioReport, Vec<dcdo_sim::SpanEvent>), ScenarioError> {
+    run_inner(scenario, threads).map(|a| (a.report, a.spans))
+}
+
+/// Like [`run_with_threads`], but returns the full [`RunArtifacts`]:
+/// report, span log, timeline exports, and flight-recorder dump.
+pub fn run_artifacts(
+    scenario: Scenario,
+    threads: Option<u32>,
+) -> Result<RunArtifacts, ScenarioError> {
     run_inner(scenario, threads)
 }
 
-fn run_inner(
-    mut scenario: Scenario,
-    threads: Option<u32>,
-) -> Result<(ScenarioReport, Vec<dcdo_sim::SpanEvent>), ScenarioError> {
+/// Derives the windowed series the SLO watchdogs judge from the span log:
+/// flow latencies and outcomes (`lat.flow`, `ok.flow`, `err.flow`), RPC
+/// latencies keyed off each call's first attempt (`lat.rpc`, `ok.rpc`,
+/// `err.rpc`), and served calls (`served`). A pure function of the span
+/// log — which is byte-identical at every worker-thread count — written
+/// into the engine's timeline so bucketing matches the hot-path stats.
+fn derive_windowed_series(cx: &mut RunCx) {
+    use std::collections::BTreeMap;
+    let Some(sim) = cx.world.sim() else { return };
+    let mut samples: Vec<(u64, &'static str, f64)> = Vec::new();
+    let mut counters: Vec<(u64, &'static str, u64)> = Vec::new();
+    let mut flow_start: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rpc_start: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in sim.spans().events() {
+        match &e.kind {
+            SpanKind::FlowStarted { flow, .. } => {
+                flow_start.entry(*flow).or_insert(e.at_ns);
+            }
+            SpanKind::FlowCompleted { flow } => {
+                if let Some(t0) = flow_start.get(flow) {
+                    samples.push((e.at_ns, "lat.flow", (e.at_ns - t0) as f64 / 1e9));
+                }
+                counters.push((e.at_ns, "ok.flow", 1));
+            }
+            SpanKind::FlowAborted { flow } => {
+                if let Some(t0) = flow_start.get(flow) {
+                    samples.push((e.at_ns, "lat.flow", (e.at_ns - t0) as f64 / 1e9));
+                }
+                counters.push((e.at_ns, "err.flow", 1));
+            }
+            SpanKind::RpcAttempt { call, .. } => {
+                rpc_start.entry(*call).or_insert(e.at_ns);
+            }
+            SpanKind::RpcCompleted { call, outcome } => {
+                if let Some(t0) = rpc_start.get(call) {
+                    samples.push((e.at_ns, "lat.rpc", (e.at_ns - t0) as f64 / 1e9));
+                }
+                let name = match outcome {
+                    RpcOutcome::Ok => "ok.rpc",
+                    _ => "err.rpc",
+                };
+                counters.push((e.at_ns, name, 1));
+            }
+            SpanKind::CallServed { .. } => counters.push((e.at_ns, "served", 1)),
+            _ => {}
+        }
+    }
+    let Some(sim) = cx.world.sim_mut() else {
+        return;
+    };
+    let timeline = sim.timeline_mut();
+    for (at_ns, name, value) in samples {
+        timeline.record_sample(at_ns, name, value);
+    }
+    for (at_ns, name, delta) in counters {
+        timeline.record_counter(at_ns, name, delta);
+    }
+    timeline.flush();
+}
+
+fn run_inner(mut scenario: Scenario, threads: Option<u32>) -> Result<RunArtifacts, ScenarioError> {
     scenario.validate()?;
     let mut cx = RunCx::new(scenario.seed, scenario.topology.build(scenario.seed));
     if let Some(sim) = cx.world.sim_mut() {
@@ -137,39 +229,69 @@ fn run_inner(
     for slot in &mut scenario.workloads {
         slot.workload.measure(&mut cx);
     }
+    // Fill the timeline's derived series before judging so the SLO
+    // watchdogs see the full windowed picture.
+    derive_windowed_series(&mut cx);
     let verdicts: Vec<_> = scenario
         .expectations
         .iter_mut()
         .map(|e| e.judge(&cx))
         .collect();
+    let slo_breaches = verdicts
+        .iter()
+        .filter(|v| !v.passed && v.expectation.starts_with("slo_"))
+        .count() as u64;
 
-    let (trace_hash, span_digest, events_processed, leaked_events, trace_violations, spans) =
-        match cx.world.sim() {
-            Some(sim) => (
-                dcdo_chaos::trace_hash(sim.trace()),
-                sim.spans().digest(),
-                sim.events_processed(),
-                sim.pending_events() as u64,
-                dcdo_sim::check_trace_invariants(sim.spans()).len() as u64,
-                sim.spans().events().to_vec(),
-            ),
-            None => (0, 0, 0, 0, 0, Vec::new()),
-        };
-    Ok((
-        ScenarioReport {
+    let (
+        trace_hash,
+        span_digest,
+        events_processed,
+        leaked_events,
+        trace_violations,
+        spans,
+        flight_digest,
+        flight,
+    ) = match cx.world.sim() {
+        Some(sim) => (
+            dcdo_chaos::trace_hash(sim.trace()),
+            sim.spans().digest(),
+            sim.events_processed(),
+            sim.pending_events() as u64,
+            dcdo_sim::check_trace_invariants(sim.spans()).len() as u64,
+            sim.spans().events().to_vec(),
+            sim.flight().digest(),
+            Some(tail_sample(sim.spans(), sim.flight(), FLIGHT_SLOW_QUANTILE)),
+        ),
+        None => (0, 0, 0, 0, 0, Vec::new(), 0, None),
+    };
+    let (timeline_json, timeline_prom) = match cx.world.sim_mut() {
+        Some(sim) => (
+            sim.timeline_mut().to_json(),
+            sim.timeline_mut().to_prometheus(),
+        ),
+        None => (String::new(), String::new()),
+    };
+    Ok(RunArtifacts {
+        report: ScenarioReport {
             name: scenario.name.clone(),
             seed: scenario.seed,
             passed: verdicts.iter().all(|v| v.passed),
             trace_hash,
             span_digest,
+            flight_digest,
             events_processed,
             leaked_events,
             trace_violations,
+            slo_breaches,
             ticks,
             counters: cx.counters.into_iter().collect(),
             gauges: cx.gauges.into_iter().collect(),
             verdicts,
         },
         spans,
-    ))
+        timeline_json,
+        timeline_prom,
+        flight,
+        slo_breached: slo_breaches > 0,
+    })
 }

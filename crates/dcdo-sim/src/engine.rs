@@ -23,13 +23,14 @@ use std::any::Any;
 use std::collections::HashSet;
 use std::fmt;
 
-use dcdo_trace::{SendVerdict, SpanEvent, SpanId, SpanKind, TraceLog};
+use dcdo_trace::{FlightFrame, FlightRecorder, SendVerdict, SpanEvent, SpanId, SpanKind, TraceLog};
 
 use crate::metrics::Metrics;
 use crate::net::{DeliveryPlan, LinkFault, NetConfig, Network, NodeId};
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::timeline::Timeline;
 use crate::trace::{Trace, TraceEntry, TraceEvent};
 
 /// Bit position splitting a lane from a per-lane counter in 64-bit ids.
@@ -48,6 +49,12 @@ fn splitmix64(x: u64) -> u64 {
 fn lane_seed(run_seed: u64, lane: u16) -> u64 {
     splitmix64(run_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane as u64 + 1))
 }
+
+/// Salt separating flight-recorder head-sampling streams from the lanes'
+/// main RNG streams: sampling draws come from `lane_seed(run_seed ^
+/// FLIGHT_SALT, lane)`, so enabling sampling cannot shift any draw the
+/// simulated system itself observes.
+const FLIGHT_SALT: u64 = 0x0F11_6817_0DEC_0DE5;
 
 /// Identifies an actor within one [`Simulation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -178,6 +185,11 @@ pub(crate) struct LaneState {
     fresh: u64,
     span_ctr: u64,
     actor_ctr: u32,
+    /// Flight-recorder head-sampling stream, split from a salted run seed
+    /// so sampling draws never perturb the lane's main RNG stream. Created
+    /// only when sampling is actually configured (`flight_sample_n > 1`),
+    /// so the default always-on path makes no draws at all.
+    flight_rng: Option<SimRng>,
 }
 
 impl LaneState {
@@ -189,6 +201,7 @@ impl LaneState {
             fresh: 0,
             span_ctr: 0,
             actor_ctr: 0,
+            flight_rng: None,
         }
     }
 }
@@ -454,6 +467,20 @@ pub struct Simulation<M: Payload> {
     /// Actors spawned inside the current window whose placement belongs to
     /// another shard: the boxed actor travels to its owner at the barrier.
     exported: Vec<(ActorId, Box<dyn Actor<M>>)>,
+    /// The always-on flight recorder: a bounded ring of compact frames per
+    /// executed event. Shards never push into their own ring — see
+    /// `flight_buf`.
+    flight: FlightRecorder,
+    /// Shard-side flight frames, tagged with the emitting event's key and
+    /// merged into the root ring at the window barrier so eviction order is
+    /// the sequential execution order.
+    flight_buf: Vec<(u128, FlightFrame)>,
+    /// Head-sampling rate: keep 1 in `n` delivered/timer frames (1 = all).
+    /// Draws come from per-lane `flight_rng` streams, so the retained set
+    /// is identical at any worker-thread count.
+    flight_sample_n: u64,
+    /// The always-on windowed time-series registry.
+    timeline: Timeline,
 }
 
 impl<M: Payload> Simulation<M> {
@@ -483,6 +510,10 @@ impl<M: Payload> Simulation<M> {
             span_buf: Vec::new(),
             new_actors: Vec::new(),
             exported: Vec::new(),
+            flight: FlightRecorder::new(),
+            flight_buf: Vec::new(),
+            flight_sample_n: 1,
+            timeline: Timeline::new(),
         }
     }
 
@@ -555,6 +586,40 @@ impl<M: Payload> Simulation<M> {
     /// run or export it afterwards.
     pub fn spans_mut(&mut self) -> &mut TraceLog {
         &mut self.spans
+    }
+
+    /// The always-on flight recorder (enabled by default; see
+    /// [`FlightRecorder`]).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Mutable access to the flight recorder, e.g. to disable it or resize
+    /// the ring before a run.
+    pub fn flight_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flight
+    }
+
+    /// The windowed time-series registry (enabled by default; see
+    /// [`Timeline`]).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Mutable access to the timeline, e.g. to change the bucket width
+    /// before a run or export it afterwards.
+    pub fn timeline_mut(&mut self) -> &mut Timeline {
+        &mut self.timeline
+    }
+
+    /// Configures flight-recorder head sampling: keep 1 in `n` delivered
+    /// and timer frames (`n` = 1, the default, keeps everything).
+    /// Dead letters, crashes, and restarts are always recorded. Draws come
+    /// from dedicated per-lane RNG streams split from a salted run seed, so
+    /// the retained set is byte-identical at any worker-thread count and
+    /// the engine's main RNG streams are never perturbed.
+    pub fn set_flight_sampling(&mut self, n: u64) {
+        self.flight_sample_n = n.max(1);
     }
 
     /// Overrides the worker-thread count for this simulation's `run_*`
@@ -1101,6 +1166,7 @@ impl<M: Payload> Simulation<M> {
                 node: node.as_raw(),
             },
         );
+        self.observe(7, node.as_raw(), 0, false);
         let mut killed = 0;
         for lane in 0..self.actors.len() {
             for ctr in 0..self.actors[lane].len() {
@@ -1151,6 +1217,7 @@ impl<M: Payload> Simulation<M> {
                 node: node.as_raw(),
             },
         );
+        self.observe(8, node.as_raw(), 0, false);
     }
 
     /// Returns `true` if the node is up (never crashed, or restarted).
@@ -1206,6 +1273,41 @@ impl<M: Payload> Simulation<M> {
         }
     }
 
+    /// The always-on observability hook: accounts the executing event into
+    /// the timeline bucket and leaves a compact frame in the flight ring.
+    /// `sampled` frames (deliveries, timers) are subject to head sampling;
+    /// error-shaped frames (dead letters, crashes, restarts) always record.
+    /// This is the per-event hot path — one enabled branch per facility, a
+    /// cached bucket-end compare, plain integer increments, and a 16-byte
+    /// ring store; no division or map lookups.
+    #[inline(always)]
+    fn observe(&mut self, code: u8, node: u32, actor: u64, sampled: bool) {
+        let at_ns = self.time.as_nanos();
+        if self.timeline.is_enabled() {
+            self.timeline.account(at_ns, code);
+        }
+        if self.flight.is_enabled() {
+            if sampled && self.flight_sample_n > 1 {
+                let n = self.flight_sample_n;
+                let lane = self.cur_lane;
+                let run_seed = self.run_seed;
+                let ls = self.lane_state(lane);
+                let rng = ls.flight_rng.get_or_insert_with(|| {
+                    SimRng::seed_from_u64(lane_seed(run_seed ^ FLIGHT_SALT, lane))
+                });
+                if rng.range_u64(0, n) != 0 {
+                    return;
+                }
+            }
+            let frame = FlightFrame::pack(at_ns, code, node, actor);
+            if self.shard.is_some() {
+                self.flight_buf.push((self.cur_key, frame));
+            } else {
+                self.flight.push(frame);
+            }
+        }
+    }
+
     fn dispatch_message(&mut self, src: ActorId, dst: ActorId, msg: M, cause: Option<SpanId>) {
         let Some(&dst_node) = self
             .placements
@@ -1215,6 +1317,7 @@ impl<M: Payload> Simulation<M> {
             // Never-spawned destination: count and drop.
             self.metrics.incr("sim.dead_letters");
             self.trace_record(TraceEvent::DeadLetter { src, dst });
+            self.observe(3, u32::MAX, dst.as_raw() as u64, false);
             return;
         };
         self.cur_lane = dst_node.as_raw() as u16 + 1;
@@ -1237,6 +1340,7 @@ impl<M: Payload> Simulation<M> {
                     dst_node: dst_node.as_raw(),
                 },
             );
+            self.observe(3, dst_node.as_raw(), dst.as_raw() as u64, false);
             self.cur_lane = 0;
             return;
         };
@@ -1250,6 +1354,7 @@ impl<M: Payload> Simulation<M> {
                 dst_node: dst_node.as_raw(),
             },
         );
+        self.observe(2, dst_node.as_raw(), dst.as_raw() as u64, true);
         let killed;
         {
             let mut ctx = Ctx {
@@ -1298,6 +1403,7 @@ impl<M: Payload> Simulation<M> {
                 token,
             },
         );
+        self.observe(4, node.as_raw(), dst.as_raw() as u64, true);
         let killed;
         {
             let mut ctx = Ctx {
@@ -1469,6 +1575,17 @@ impl<M: Payload> Simulation<M> {
                 if self.spans.is_enabled() {
                     s.spans.enable();
                 }
+                // Flight frames are buffered (flag only; the ring lives on
+                // the root); timelines are shard-local and merge order-free
+                // at collapse.
+                if !self.flight.is_enabled() {
+                    s.flight.disable();
+                }
+                s.flight_sample_n = self.flight_sample_n;
+                s.timeline.set_bucket_ns(self.timeline.bucket_ns());
+                if !self.timeline.is_enabled() {
+                    s.timeline.disable();
+                }
                 Box::new(s)
             })
             .collect();
@@ -1580,6 +1697,11 @@ impl<M: Payload> Simulation<M> {
             .map(|s| std::mem::take(&mut s.span_buf))
             .collect();
         merge_tagged(sbufs, |ev: SpanEvent| self.spans.push_event(ev));
+        let fbufs: Vec<_> = shards
+            .iter_mut()
+            .map(|s| std::mem::take(&mut s.flight_buf))
+            .collect();
+        merge_tagged(fbufs, |f: FlightFrame| self.flight.push(f));
     }
 
     /// Folds shard sub-simulations back into the root: queues, actor slots,
@@ -1591,6 +1713,10 @@ impl<M: Payload> Simulation<M> {
         for (i, mut sh) in shards.into_iter().enumerate() {
             debug_assert!(sh.outbox.is_empty(), "merge_window drains outboxes");
             debug_assert!(sh.trace_buf.is_empty() && sh.span_buf.is_empty());
+            debug_assert!(
+                sh.flight_buf.is_empty(),
+                "merge_window drains flight frames"
+            );
             debug_assert!(sh.new_actors.is_empty() && sh.exported.is_empty());
             self.time = self.time.max(sh.time);
             self.events_processed += sh.events_processed;
@@ -1622,6 +1748,7 @@ impl<M: Payload> Simulation<M> {
             self.network
                 .absorb_shard(&sh.network, |node| node % n == idx);
             self.metrics.merge(&sh.metrics);
+            self.timeline.merge(&mut sh.timeline);
         }
     }
 }

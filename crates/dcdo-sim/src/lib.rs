@@ -64,6 +64,7 @@ mod parallel;
 mod queue;
 mod rng;
 mod time;
+mod timeline;
 mod trace;
 
 pub use engine::{Actor, ActorId, Ctx, Payload, Simulation, TimerId};
@@ -72,7 +73,12 @@ pub use net::{DeliveryPlan, LinkFault, NetConfig, NetStats, Network, NodeId, Tra
 pub use parallel::set_default_threads;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use timeline::{Bucket, Timeline, WindowStats, DEFAULT_BUCKET_NS};
 pub use trace::{Trace, TraceEntry, TraceEvent};
+
+// The always-on flight recorder (see the `dcdo-trace` crate): re-exported
+// alongside the engine that feeds it.
+pub use dcdo_trace::{tail_sample, FlightDump, FlightFrame, FlightRecorder, RetainedFlow};
 
 // Structured causal tracing (see the `dcdo-trace` crate): re-exported so
 // layers above the engine can emit spans through [`Ctx`] without depending

@@ -1,0 +1,508 @@
+//! Windowed time-series telemetry: sim-time-bucketed snapshots of the
+//! engine's event stream plus named counters and sample series.
+//!
+//! The aggregate [`Metrics`](crate::metrics::Metrics) registry answers
+//! "what happened over the whole run"; the [`Timeline`] answers "when".
+//! Simulated time is divided into fixed-width buckets (default 100 ms) and
+//! every executed event lands in the bucket its timestamp falls in. The
+//! hot path ([`Timeline::account`]) is one enabled-branch, one cached
+//! end-of-bucket comparison, and a handful of plain `u64` increments — no
+//! division, no map lookups — which is what lets the timeline stay on
+//! during benchmarks.
+//!
+//! Bucketing is by *sim time*, not processing order, so per-shard timelines
+//! from a parallel run merge order-free: counters sum and histogram
+//! multisets union into exactly the buckets a sequential run would have
+//! filled. The exporters emit only order-independent statistics (counts,
+//! exact min/max, nearest-rank quantiles — never float sums of merged
+//! histograms), so the JSON and Prometheus text are byte-identical at any
+//! worker-thread count and across build profiles.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::Metrics;
+
+/// Default bucket width: 100 ms of simulated time.
+pub const DEFAULT_BUCKET_NS: u64 = 100_000_000;
+
+/// Per-bucket engine event counts, incremented on the hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Events executed in the bucket (all kinds).
+    pub events: u64,
+    /// Messages delivered to a live actor.
+    pub delivered: u64,
+    /// Timers fired.
+    pub timers: u64,
+    /// Messages dead-lettered (no such actor, or node down).
+    pub dead_letters: u64,
+    /// Node crashes.
+    pub crashes: u64,
+    /// Node restarts.
+    pub restarts: u64,
+}
+
+impl WindowStats {
+    fn merge(&mut self, other: &WindowStats) {
+        self.events += other.events;
+        self.delivered += other.delivered;
+        self.timers += other.timers;
+        self.dead_letters += other.dead_letters;
+        self.crashes += other.crashes;
+        self.restarts += other.restarts;
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == WindowStats::default()
+    }
+
+    /// Sum of the classified per-kind counts — what `events` is derived
+    /// from when the accumulator flushes.
+    fn observed(&self) -> u64 {
+        self.delivered + self.timers + self.dead_letters + self.crashes + self.restarts
+    }
+}
+
+/// One finished time bucket: hot-path stats plus named counters/series.
+#[derive(Debug, Clone, Default)]
+pub struct Bucket {
+    /// Engine event counts for the bucket.
+    pub stats: WindowStats,
+    /// Named counters and sample series recorded into the bucket.
+    pub metrics: Metrics,
+}
+
+/// The windowed time-series registry. Enabled by default (always-on);
+/// bucket width is fixed once the first event is accounted.
+#[derive(Debug)]
+pub struct Timeline {
+    enabled: bool,
+    bucket_ns: u64,
+    /// Index of the bucket `cur` accumulates into.
+    cur_idx: u64,
+    /// Exclusive end time of the current bucket — the hot path compares
+    /// against this instead of dividing.
+    cur_end_ns: u64,
+    cur: WindowStats,
+    done: BTreeMap<u64, Bucket>,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new()
+    }
+}
+
+impl Timeline {
+    /// Creates an enabled timeline with the default bucket width.
+    pub fn new() -> Self {
+        Timeline {
+            enabled: true,
+            bucket_ns: DEFAULT_BUCKET_NS,
+            cur_idx: 0,
+            cur_end_ns: DEFAULT_BUCKET_NS,
+            cur: WindowStats::default(),
+            done: BTreeMap::new(),
+        }
+    }
+
+    /// Turns accounting on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Turns accounting off (finished buckets are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Returns `true` while accounting.
+    #[inline(always)]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The bucket width in nanoseconds.
+    pub fn bucket_ns(&self) -> u64 {
+        self.bucket_ns
+    }
+
+    /// Replaces the bucket width (minimum 1 ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if anything has already been recorded — re-bucketing recorded
+    /// history is not supported.
+    pub fn set_bucket_ns(&mut self, bucket_ns: u64) {
+        assert!(
+            self.done.is_empty() && self.cur.is_zero(),
+            "bucket width is fixed once recording starts"
+        );
+        self.bucket_ns = bucket_ns.max(1);
+        self.cur_end_ns = self.bucket_ns;
+    }
+
+    /// Accounts one executed engine event at `at_ns` with the stable
+    /// [`SpanKind`](dcdo_trace::SpanKind) code of its kind. This is the
+    /// per-event hot path: callers gate on
+    /// [`is_enabled`](Timeline::is_enabled). Only the engine's five
+    /// executed-event codes (2/3/4/7/8) are classified — the bucket's
+    /// `events` total is derived from them at flush time, so the hot path
+    /// is one boundary compare and a single counter increment.
+    #[inline(always)]
+    pub fn account(&mut self, at_ns: u64, code: u8) {
+        if at_ns >= self.cur_end_ns {
+            self.roll(at_ns);
+        }
+        match code {
+            2 => self.cur.delivered += 1,
+            3 => self.cur.dead_letters += 1,
+            4 => self.cur.timers += 1,
+            7 => self.cur.crashes += 1,
+            8 => self.cur.restarts += 1,
+            _ => {}
+        }
+    }
+
+    /// Moves the accumulator to the bucket containing `at_ns`. Cold: runs
+    /// once per bucket boundary, and is the only place that divides.
+    #[cold]
+    fn roll(&mut self, at_ns: u64) {
+        if !self.cur.is_zero() {
+            let mut stats = std::mem::take(&mut self.cur);
+            stats.events = stats.observed();
+            self.done
+                .entry(self.cur_idx)
+                .or_default()
+                .stats
+                .merge(&stats);
+        }
+        self.cur_idx = at_ns / self.bucket_ns;
+        self.cur_end_ns = (self.cur_idx + 1) * self.bucket_ns;
+    }
+
+    /// Adds `delta` to the named counter in the bucket containing `at_ns`.
+    /// Off the hot path: meant for derived series (per-window RPC outcomes,
+    /// flow completions) written after or alongside the run.
+    pub fn record_counter(&mut self, at_ns: u64, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let idx = at_ns / self.bucket_ns;
+        self.done.entry(idx).or_default().metrics.add(name, delta);
+    }
+
+    /// Records a sample into the named series in the bucket containing
+    /// `at_ns`. Off the hot path.
+    pub fn record_sample(&mut self, at_ns: u64, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let idx = at_ns / self.bucket_ns;
+        self.done
+            .entry(idx)
+            .or_default()
+            .metrics
+            .sample(name, value);
+    }
+
+    /// Flushes the in-flight accumulator so [`buckets`](Timeline::buckets)
+    /// and the exporters see everything recorded so far.
+    pub fn flush(&mut self) {
+        if !self.cur.is_zero() {
+            let mut stats = std::mem::take(&mut self.cur);
+            stats.events = stats.observed();
+            self.done
+                .entry(self.cur_idx)
+                .or_default()
+                .stats
+                .merge(&stats);
+        }
+    }
+
+    /// Folds another timeline into this one (after flushing both sides).
+    /// Bucket widths must match. Order-free: counters sum and sample
+    /// multisets union, so merging per-shard timelines in any order yields
+    /// the sequential result.
+    pub fn merge(&mut self, other: &mut Timeline) {
+        assert_eq!(
+            self.bucket_ns, other.bucket_ns,
+            "cannot merge timelines with different bucket widths"
+        );
+        self.flush();
+        other.flush();
+        for (idx, bucket) in std::mem::take(&mut other.done) {
+            let slot = self.done.entry(idx).or_default();
+            slot.stats.merge(&bucket.stats);
+            slot.metrics.merge(&bucket.metrics);
+        }
+    }
+
+    /// Finished buckets in ascending window order (call
+    /// [`flush`](Timeline::flush) first to include the in-flight bucket).
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, &Bucket)> {
+        self.done.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Total events accounted across all buckets (including in-flight).
+    pub fn total_events(&self) -> u64 {
+        self.done.values().map(|b| b.stats.events).sum::<u64>() + self.cur.observed()
+    }
+
+    /// Drops all recorded buckets and the in-flight accumulator.
+    pub fn clear(&mut self) {
+        self.done.clear();
+        self.cur = WindowStats::default();
+        self.cur_idx = 0;
+        self.cur_end_ns = self.bucket_ns;
+    }
+
+    /// Deterministic JSON: fixed key order, buckets ascending, series
+    /// reporting only count / exact min / nearest-rank quantiles / exact
+    /// max — statistics of the sample *multiset*, so the bytes are
+    /// identical at any worker-thread count and across build profiles.
+    pub fn to_json(&mut self) -> String {
+        self.flush();
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bucket_ns\": {},\n", self.bucket_ns));
+        out.push_str("  \"buckets\": [");
+        let indices: Vec<u64> = self.done.keys().copied().collect();
+        for (i, idx) in indices.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let start_ns = idx * self.bucket_ns;
+            let b = self.done.get_mut(idx).expect("bucket exists");
+            out.push_str("\n    {");
+            out.push_str(&format!("\"window\": {idx}, "));
+            out.push_str(&format!("\"start_ns\": {start_ns}, "));
+            out.push_str(&format!("\"events\": {}, ", b.stats.events));
+            out.push_str(&format!("\"delivered\": {}, ", b.stats.delivered));
+            out.push_str(&format!("\"timers\": {}, ", b.stats.timers));
+            out.push_str(&format!("\"dead_letters\": {}, ", b.stats.dead_letters));
+            out.push_str(&format!("\"crashes\": {}, ", b.stats.crashes));
+            out.push_str(&format!("\"restarts\": {}, ", b.stats.restarts));
+            out.push_str("\"counters\": {");
+            let counters: Vec<(String, u64)> = b
+                .metrics
+                .counters()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect();
+            for (j, (name, v)) in counters.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{name}\": {v}"));
+            }
+            out.push_str("}, \"series\": {");
+            let names: Vec<String> = b.metrics.histograms().map(|(k, _)| k.to_owned()).collect();
+            for (j, name) in names.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let h = b.metrics.histogram_mut(name).expect("series exists");
+                let count = h.count();
+                let min = h.min().unwrap_or(0.0);
+                let p50 = h.quantile(0.5).unwrap_or(0.0);
+                let p90 = h.quantile(0.9).unwrap_or(0.0);
+                let p99 = h.quantile(0.99).unwrap_or(0.0);
+                let max = h.max().unwrap_or(0.0);
+                out.push_str(&format!(
+                    "\"{name}\": {{\"count\": {count}, \"min\": {min:?}, \"p50\": {p50:?}, \"p90\": {p90:?}, \"p99\": {p99:?}, \"max\": {max:?}}}"
+                ));
+            }
+            out.push_str("}}");
+        }
+        if !indices.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Deterministic Prometheus text exposition of the same statistics,
+    /// with the window index as a label.
+    pub fn to_prometheus(&mut self) -> String {
+        self.flush();
+        let mut out = String::new();
+        out.push_str("# TYPE dcdo_window_events gauge\n");
+        for (idx, b) in &self.done {
+            out.push_str(&format!(
+                "dcdo_window_events{{window=\"{idx}\"}} {}\n",
+                b.stats.events
+            ));
+        }
+        for (field, get) in [
+            ("delivered", 0usize),
+            ("timers", 1),
+            ("dead_letters", 2),
+            ("crashes", 3),
+            ("restarts", 4),
+        ] {
+            out.push_str(&format!("# TYPE dcdo_window_{field} gauge\n"));
+            for (idx, b) in &self.done {
+                let v = match get {
+                    0 => b.stats.delivered,
+                    1 => b.stats.timers,
+                    2 => b.stats.dead_letters,
+                    3 => b.stats.crashes,
+                    _ => b.stats.restarts,
+                };
+                out.push_str(&format!("dcdo_window_{field}{{window=\"{idx}\"}} {v}\n"));
+            }
+        }
+        out.push_str("# TYPE dcdo_window_counter gauge\n");
+        for (idx, b) in &self.done {
+            for (name, v) in b.metrics.counters() {
+                out.push_str(&format!(
+                    "dcdo_window_counter{{name=\"{name}\",window=\"{idx}\"}} {v}\n"
+                ));
+            }
+        }
+        out.push_str("# TYPE dcdo_window_series gauge\n");
+        let indices: Vec<u64> = self.done.keys().copied().collect();
+        for idx in indices {
+            let b = self.done.get_mut(&idx).expect("bucket exists");
+            let names: Vec<String> = b.metrics.histograms().map(|(k, _)| k.to_owned()).collect();
+            for name in names {
+                let h = b.metrics.histogram_mut(&name).expect("series exists");
+                let stats = [
+                    ("count", h.count() as f64),
+                    ("min", h.min().unwrap_or(0.0)),
+                    ("p50", h.quantile(0.5).unwrap_or(0.0)),
+                    ("p90", h.quantile(0.9).unwrap_or(0.0)),
+                    ("p99", h.quantile(0.99).unwrap_or(0.0)),
+                    ("max", h.max().unwrap_or(0.0)),
+                ];
+                for (stat, v) in stats {
+                    out.push_str(&format!(
+                        "dcdo_window_series{{name=\"{name}\",stat=\"{stat}\",window=\"{idx}\"}} {v:?}\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_land_in_their_sim_time_bucket() {
+        let mut t = Timeline::new();
+        t.set_bucket_ns(100);
+        t.account(10, 2);
+        t.account(50, 4);
+        t.account(150, 2);
+        t.account(310, 3);
+        t.flush();
+        let buckets: Vec<(u64, WindowStats)> = t.buckets().map(|(i, b)| (i, b.stats)).collect();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].0, 0);
+        assert_eq!(buckets[0].1.events, 2);
+        assert_eq!(buckets[0].1.delivered, 1);
+        assert_eq!(buckets[0].1.timers, 1);
+        assert_eq!(buckets[1].0, 1);
+        assert_eq!(buckets[1].1.delivered, 1);
+        assert_eq!(buckets[2].0, 3);
+        assert_eq!(buckets[2].1.dead_letters, 1);
+        assert_eq!(t.total_events(), 4);
+    }
+
+    #[test]
+    fn disabled_timeline_costs_nothing_observable() {
+        let mut t = Timeline::new();
+        t.set_bucket_ns(100);
+        t.disable();
+        t.record_counter(10, "x", 1);
+        t.record_sample(10, "y", 1.0);
+        assert!(!t.is_enabled());
+        assert_eq!(t.buckets().count(), 0);
+    }
+
+    #[test]
+    fn bucket_width_is_fixed_once_recording() {
+        let mut t = Timeline::new();
+        t.set_bucket_ns(100);
+        t.account(10, 2);
+        assert!(std::panic::catch_unwind(move || t.set_bucket_ns(200)).is_err());
+    }
+
+    #[test]
+    fn merge_reproduces_single_timeline() {
+        // Split one event stream across two shard timelines in an arbitrary
+        // interleaving: the merge must equal single-timeline accounting.
+        let mut whole = Timeline::new();
+        whole.set_bucket_ns(100);
+        let mut a = Timeline::new();
+        a.set_bucket_ns(100);
+        let mut b = Timeline::new();
+        b.set_bucket_ns(100);
+        let events = [(10u64, 2u8), (20, 4), (110, 2), (130, 3), (250, 2)];
+        for (i, (at, code)) in events.iter().enumerate() {
+            whole.account(*at, *code);
+            if i % 2 == 0 {
+                a.account(*at, *code);
+            } else {
+                b.account(*at, *code);
+            }
+        }
+        whole.record_sample(15, "lat", 0.5);
+        a.record_sample(15, "lat", 0.5);
+        whole.record_counter(115, "ok", 3);
+        b.record_counter(115, "ok", 3);
+        a.merge(&mut b);
+        assert_eq!(whole.to_json(), a.to_json());
+    }
+
+    #[test]
+    fn json_reports_multiset_statistics_only() {
+        let mut t = Timeline::new();
+        t.set_bucket_ns(1000);
+        for v in [3.0, 1.0, 2.0] {
+            t.record_sample(10, "lat", v);
+        }
+        t.record_counter(10, "ok", 7);
+        t.account(10, 2);
+        let json = t.to_json();
+        assert!(json.contains("\"bucket_ns\": 1000"));
+        assert!(json.contains("\"ok\": 7"));
+        assert!(json.contains("\"count\": 3"));
+        assert!(json.contains("\"min\": 1.0"));
+        assert!(json.contains("\"p50\": 2.0"));
+        assert!(json.contains("\"max\": 3.0"));
+        assert!(!json.contains("mean"), "merged-float stats are excluded");
+    }
+
+    #[test]
+    fn prometheus_lines_cover_every_bucket() {
+        let mut t = Timeline::new();
+        t.set_bucket_ns(100);
+        t.account(10, 2);
+        t.account(150, 4);
+        t.record_sample(10, "lat", 0.25);
+        let prom = t.to_prometheus();
+        assert!(prom.contains("dcdo_window_events{window=\"0\"} 1"));
+        assert!(prom.contains("dcdo_window_events{window=\"1\"} 1"));
+        assert!(prom.contains("dcdo_window_timers{window=\"1\"} 1"));
+        assert!(prom.contains("dcdo_window_series{name=\"lat\",stat=\"p50\",window=\"0\"} 0.25"));
+    }
+
+    #[test]
+    fn out_of_order_cross_bucket_accounting_still_lands_correctly() {
+        // Shards process disjoint event subsequences, so a shard's clock can
+        // jump backward relative to another's. Within one timeline, account
+        // rolls forward only on boundary crossings; record_* always indexes
+        // by division. Mixed use must still bucket correctly.
+        let mut t = Timeline::new();
+        t.set_bucket_ns(100);
+        t.account(250, 2);
+        t.record_counter(50, "early", 1);
+        t.flush();
+        let buckets: Vec<u64> = t.buckets().map(|(i, _)| i).collect();
+        assert_eq!(buckets, vec![0, 2]);
+    }
+}

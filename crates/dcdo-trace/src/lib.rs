@@ -32,9 +32,13 @@
 
 mod check;
 mod export;
+mod flight;
 mod log;
 mod span;
 
 pub use check::{check, Violation};
+pub use flight::{
+    tail_sample, FlightDump, FlightFrame, FlightRecorder, RetainedFlow, DEFAULT_FLIGHT_CAPACITY,
+};
 pub use log::{fn_hash, TraceLog};
 pub use span::{FlowKind, RpcOutcome, SendVerdict, SpanEvent, SpanId, SpanKind, NO_NODE};
